@@ -1,0 +1,142 @@
+//! Makespan bounds for DAG task graphs.
+//!
+//! Graham's classic list-scheduling bound: on `m` identical cores any
+//! work-conserving schedule finishes a DAG within
+//!
+//! ```text
+//! makespan ≤ len(G) + (vol(G) − len(G)) / m
+//! ```
+//!
+//! where `len` is the critical-path length and `vol` the total work.
+//! YASMIN's graph-level deadlines (§2) can be checked against this bound
+//! before deployment.
+
+use crate::util::{wcet_of, WcetAssumption};
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::TaskId;
+use yasmin_core::time::Duration;
+
+/// Total work of the component rooted at `root`.
+#[must_use]
+pub fn volume(ts: &TaskSet, root: TaskId, assumption: WcetAssumption) -> Duration {
+    ts.component_of(root)
+        .into_iter()
+        .fold(Duration::ZERO, |acc, t| acc + wcet_of(ts, t, assumption))
+}
+
+/// Critical-path length of the component rooted at `root`.
+#[must_use]
+pub fn critical_path(ts: &TaskSet, root: TaskId, assumption: WcetAssumption) -> Duration {
+    let members = ts.component_of(root);
+    let mut finish: std::collections::HashMap<TaskId, Duration> = std::collections::HashMap::new();
+    let mut longest = Duration::ZERO;
+    for &t in &members {
+        let start = ts
+            .in_edges(t)
+            .filter_map(|e| finish.get(&e.src).copied())
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let f = start + wcet_of(ts, t, assumption);
+        longest = longest.max(f);
+        finish.insert(t, f);
+    }
+    longest
+}
+
+/// Graham's bound on the makespan of the component rooted at `root` on
+/// `m` cores.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn graham_bound(ts: &TaskSet, root: TaskId, m: usize, assumption: WcetAssumption) -> Duration {
+    assert!(m > 0, "need at least one core");
+    let len = critical_path(ts, root, assumption);
+    let vol = volume(ts, root, assumption);
+    len + (vol - len) / m as u64
+}
+
+/// `true` if Graham's bound proves the graph meets its (graph-level)
+/// deadline on `m` dedicated cores.
+#[must_use]
+pub fn dag_meets_deadline(
+    ts: &TaskSet,
+    root: TaskId,
+    m: usize,
+    assumption: WcetAssumption,
+) -> bool {
+    let d = ts.effective_deadline(root);
+    if d == Duration::MAX {
+        return true;
+    }
+    graham_bound(ts, root, m, assumption) <= d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasmin_core::graph::TaskSetBuilder;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// fork(10) -> {a(30), b(20)} -> join(10)
+    fn diamond() -> (TaskSet, TaskId) {
+        let mut b = TaskSetBuilder::new();
+        let fork = b.task_decl(TaskSpec::periodic("fork", ms(100))).unwrap();
+        let a = b.task_decl(TaskSpec::graph_node("a")).unwrap();
+        let c = b.task_decl(TaskSpec::graph_node("b")).unwrap();
+        let join = b.task_decl(TaskSpec::graph_node("join")).unwrap();
+        for (t, w) in [(fork, 10), (a, 30), (c, 20), (join, 10)] {
+            b.version_decl(t, VersionSpec::new("v", ms(w))).unwrap();
+        }
+        for (s, d, n) in [(fork, a, "x"), (fork, c, "y"), (a, join, "z"), (c, join, "w")] {
+            let ch = b.channel_decl(n, 1, 1);
+            b.channel_connect(s, d, ch).unwrap();
+        }
+        (b.build().unwrap(), fork)
+    }
+
+    #[test]
+    fn volume_and_critical_path() {
+        let (ts, root) = diamond();
+        assert_eq!(volume(&ts, root, WcetAssumption::MaxVersion), ms(70));
+        // Critical path: fork -> a -> join = 50.
+        assert_eq!(critical_path(&ts, root, WcetAssumption::MaxVersion), ms(50));
+    }
+
+    #[test]
+    fn graham_bounds() {
+        let (ts, root) = diamond();
+        // m=1: 50 + 20 = 70 (serialisation).
+        assert_eq!(graham_bound(&ts, root, 1, WcetAssumption::MaxVersion), ms(70));
+        // m=2: 50 + 10 = 60.
+        assert_eq!(graham_bound(&ts, root, 2, WcetAssumption::MaxVersion), ms(60));
+        // m large: approaches the critical path (50 + 20/100 = 50.2ms).
+        assert_eq!(
+            graham_bound(&ts, root, 100, WcetAssumption::MaxVersion),
+            Duration::from_micros(50_200)
+        );
+    }
+
+    #[test]
+    fn deadline_check() {
+        let (ts, root) = diamond();
+        // Deadline = period = 100ms; bound 70 on one core -> fits.
+        assert!(dag_meets_deadline(&ts, root, 1, WcetAssumption::MaxVersion));
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut b = TaskSetBuilder::new();
+        let t = b.task_decl(TaskSpec::periodic("solo", ms(10))).unwrap();
+        b.version_decl(t, VersionSpec::new("v", ms(4))).unwrap();
+        let ts = b.build().unwrap();
+        assert_eq!(critical_path(&ts, t, WcetAssumption::MaxVersion), ms(4));
+        assert_eq!(graham_bound(&ts, t, 4, WcetAssumption::MaxVersion), ms(4));
+    }
+}

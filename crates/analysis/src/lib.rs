@@ -1,0 +1,35 @@
+//! # yasmin-analysis
+//!
+//! Schedulability analysis companions to the YASMIN middleware:
+//!
+//! * [`util`] — utilisation tests: Liu & Layland (RM), `U ≤ 1` (EDF),
+//!   Goossens-Funk-Baruah (global EDF);
+//! * [`rta`] — fixed-priority response-time analysis (uniprocessor and
+//!   partitioned);
+//! * [`edf`] — exact uniprocessor EDF via processor-demand analysis;
+//! * [`dag`] — Graham makespan bounds for DAG task graphs;
+//! * [`blocking`] — PIP blocking terms from accelerator sections, folded
+//!   into a blocking-aware RTA (§3.2 meets Rajkumar's bound).
+//!
+//! These are used by the experiment harness (to pick interesting
+//! utilisation levels) and cross-validated against the simulator in the
+//! integration tests: whenever an analysis deems a set schedulable, the
+//! simulator must observe zero deadline misses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod dag;
+pub mod edf;
+pub mod rta;
+pub mod util;
+
+pub use blocking::{blocking_term, response_times_blocking};
+pub use dag::{critical_path, dag_meets_deadline, graham_bound, volume};
+pub use edf::{demand_bound, edf_schedulable};
+pub use rta::{response_times, schedulable, ResponseTime};
+pub use util::{
+    edf_utilisation_test, gfb_global_edf_test, liu_layland_bound, max_utilisation,
+    rm_utilisation_test, total_utilisation, WcetAssumption,
+};

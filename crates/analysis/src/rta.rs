@@ -1,0 +1,343 @@
+//! Response-time analysis (RTA) for fixed-priority scheduling.
+//!
+//! The classic Joseph & Pandya / Audsley iteration for preemptive
+//! fixed-priority uniprocessor (or per-core partitioned) scheduling with
+//! constrained deadlines:
+//!
+//! ```text
+//! R⁰ = Cᵢ;   Rᵏ⁺¹ = Cᵢ + Σ_{j ∈ hp(i)} ⌈Rᵏ / Tⱼ⌉ · Cⱼ
+//! ```
+//!
+//! YASMIN's offline synthesis and the experiment harness use this to
+//! decide whether a partitioned assignment is feasible before running it.
+
+use crate::util::{wcet_of, WcetAssumption};
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::TaskId;
+use yasmin_core::priority::{Priority, PriorityPolicy};
+use yasmin_core::time::Duration;
+
+/// Result of the RTA for one task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponseTime {
+    /// The task.
+    pub task: TaskId,
+    /// The computed worst-case response time, `None` if the iteration
+    /// diverged past the deadline (unschedulable).
+    pub wcrt: Option<Duration>,
+    /// The deadline the WCRT is compared against.
+    pub deadline: Duration,
+}
+
+impl ResponseTime {
+    /// `true` if the task provably meets its deadline.
+    #[must_use]
+    pub fn schedulable(&self) -> bool {
+        self.wcrt.is_some_and(|r| r <= self.deadline)
+    }
+}
+
+fn static_priority(ts: &TaskSet, policy: PriorityPolicy, t: TaskId) -> Priority {
+    match policy {
+        PriorityPolicy::RateMonotonic => ts
+            .effective_period(t)
+            .map_or(Priority::LOWEST, Priority::rate_monotonic),
+        PriorityPolicy::DeadlineMonotonic => {
+            let d = ts.effective_deadline(t);
+            if d == Duration::MAX {
+                Priority::LOWEST
+            } else {
+                Priority::deadline_monotonic(d)
+            }
+        }
+        PriorityPolicy::UserDefined => ts.tasks()[t.index()]
+            .spec()
+            .static_priority()
+            .unwrap_or(Priority::LOWEST),
+        PriorityPolicy::EarliestDeadlineFirst => Priority::LOWEST,
+    }
+}
+
+/// Runs the RTA for every task of `ts` on a single core under a static
+/// priority `policy` (RM, DM or user-defined).
+///
+/// Graph inner nodes are treated as independent tasks with their
+/// effective (graph-inherited) period and deadline — a safe abstraction
+/// when the whole graph runs on the analysed core.
+///
+/// # Panics
+///
+/// Panics if called with [`PriorityPolicy::EarliestDeadlineFirst`]; use
+/// [`crate::edf`] for EDF.
+#[must_use]
+pub fn response_times(
+    ts: &TaskSet,
+    policy: PriorityPolicy,
+    assumption: WcetAssumption,
+) -> Vec<ResponseTime> {
+    assert!(
+        policy.is_static(),
+        "RTA applies to static priorities; use the EDF demand test instead"
+    );
+    let tasks: Vec<TaskId> = ts.tasks().iter().map(|t| t.id()).collect();
+    tasks
+        .iter()
+        .map(|&t| {
+            let c = wcet_of(ts, t, assumption);
+            let d = ts.effective_deadline(t);
+            let my_prio = static_priority(ts, policy, t);
+            // Higher-priority set: strictly more urgent; equal priority
+            // broken by task id (matching the ready-queue tie-break).
+            let hp: Vec<(Duration, Duration)> = tasks
+                .iter()
+                .filter(|&&j| j != t)
+                .filter(|&&j| {
+                    let pj = static_priority(ts, policy, j);
+                    pj.is_higher_than(my_prio) || (pj == my_prio && j < t)
+                })
+                .filter_map(|&j| {
+                    let tj = ts.effective_period(j)?;
+                    if tj.is_zero() {
+                        return None;
+                    }
+                    Some((wcet_of(ts, j, assumption), tj))
+                })
+                .collect();
+
+            let limit = if d == Duration::MAX {
+                // Unbounded deadline: iterate up to the hyperperiod as a
+                // pragmatic divergence cut-off.
+                ts.hyperperiod().unwrap_or(Duration::MAX)
+            } else {
+                d
+            };
+            let mut r = c;
+            let wcrt = loop {
+                let mut next = c;
+                for (cj, tj) in &hp {
+                    let jobs = (r.as_nanos()).div_ceil(tj.as_nanos());
+                    next += *cj * jobs;
+                }
+                if next == r {
+                    break Some(r);
+                }
+                if next > limit {
+                    break None;
+                }
+                r = next;
+            };
+            ResponseTime {
+                task: t,
+                wcrt,
+                deadline: d,
+            }
+        })
+        .collect()
+}
+
+/// `true` if every task passes the RTA.
+#[must_use]
+pub fn schedulable(ts: &TaskSet, policy: PriorityPolicy, assumption: WcetAssumption) -> bool {
+    response_times(ts, policy, assumption)
+        .iter()
+        .all(ResponseTime::schedulable)
+}
+
+/// Per-worker RTA for a partitioned task set: each worker's tasks are
+/// analysed in isolation. Returns `(worker, ResponseTime)` pairs.
+#[must_use]
+pub fn partitioned_response_times(
+    ts: &TaskSet,
+    workers: usize,
+    policy: PriorityPolicy,
+    assumption: WcetAssumption,
+) -> Vec<(usize, ResponseTime)> {
+    let mut out = Vec::new();
+    let all = response_times_filtered(ts, policy, assumption, workers);
+    out.extend(all);
+    out
+}
+
+fn response_times_filtered(
+    ts: &TaskSet,
+    policy: PriorityPolicy,
+    assumption: WcetAssumption,
+    workers: usize,
+) -> Vec<(usize, ResponseTime)> {
+    let mut results = Vec::new();
+    for w in 0..workers {
+        let members: Vec<TaskId> = ts
+            .tasks()
+            .iter()
+            .filter(|t| {
+                t.spec()
+                    .assigned_worker()
+                    .is_some_and(|a| a.index() == w)
+            })
+            .map(|t| t.id())
+            .collect();
+        for &t in &members {
+            let c = wcet_of(ts, t, assumption);
+            let d = ts.effective_deadline(t);
+            let my_prio = static_priority(ts, policy, t);
+            let hp: Vec<(Duration, Duration)> = members
+                .iter()
+                .filter(|&&j| j != t)
+                .filter(|&&j| {
+                    let pj = static_priority(ts, policy, j);
+                    pj.is_higher_than(my_prio) || (pj == my_prio && j < t)
+                })
+                .filter_map(|&j| {
+                    let tj = ts.effective_period(j)?;
+                    if tj.is_zero() {
+                        return None;
+                    }
+                    Some((wcet_of(ts, j, assumption), tj))
+                })
+                .collect();
+            let limit = if d == Duration::MAX {
+                ts.hyperperiod().unwrap_or(Duration::MAX)
+            } else {
+                d
+            };
+            let mut r = c;
+            let wcrt = loop {
+                let mut next = c;
+                for (cj, tj) in &hp {
+                    next += *cj * r.as_nanos().div_ceil(tj.as_nanos());
+                }
+                if next == r {
+                    break Some(r);
+                }
+                if next > limit {
+                    break None;
+                }
+                r = next;
+            };
+            results.push((
+                w,
+                ResponseTime {
+                    task: t,
+                    wcrt,
+                    deadline: d,
+                },
+            ));
+        }
+    }
+    results
+}
+
+/// A simple sanity bound used in tests: the busy-period-free lower bound
+/// `R ≥ C` and, when schedulable, `R ≤ D`.
+#[must_use]
+pub fn wcrt_bounds_hold(r: &ResponseTime, c: Duration) -> bool {
+    match r.wcrt {
+        Some(w) => w >= c && (w <= r.deadline),
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasmin_core::graph::TaskSetBuilder;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn set(params: &[(u64, u64)]) -> TaskSet {
+        let mut b = TaskSetBuilder::new();
+        for (i, (t, c)) in params.iter().enumerate() {
+            let id = b
+                .task_decl(TaskSpec::periodic(format!("t{i}"), ms(*t)))
+                .unwrap();
+            b.version_decl(id, VersionSpec::new("v", ms(*c))).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn textbook_example() {
+        // T = {(T=7,C=3), (T=12,C=3), (T=20,C=5)}, RM.
+        // R1 = 3; R2 = 3 + ceil(R2/7)*3 -> 6; R3: 5+3+3=11 ->
+        // 5 + ceil(11/7)*3 + ceil(11/12)*3 = 5+6+3 = 14 ->
+        // 5 + ceil(14/7)*3 + ceil(14/12)*3 = 5+6+6 = 17 ->
+        // 5 + 9 + 6 = 20 -> 5 + 9 + 6 = 20 fixpoint.
+        let ts = set(&[(7, 3), (12, 3), (20, 5)]);
+        let r = response_times(&ts, PriorityPolicy::RateMonotonic, WcetAssumption::MaxVersion);
+        assert_eq!(r[0].wcrt, Some(ms(3)));
+        assert_eq!(r[1].wcrt, Some(ms(6)));
+        assert_eq!(r[2].wcrt, Some(ms(20)));
+        assert!(r.iter().all(ResponseTime::schedulable));
+    }
+
+    #[test]
+    fn unschedulable_diverges() {
+        let ts = set(&[(10, 6), (15, 6)]);
+        let r = response_times(&ts, PriorityPolicy::RateMonotonic, WcetAssumption::MaxVersion);
+        assert!(r[0].schedulable());
+        assert!(!r[1].schedulable());
+        assert_eq!(r[1].wcrt, None);
+        assert!(!schedulable(&ts, PriorityPolicy::RateMonotonic, WcetAssumption::MaxVersion));
+    }
+
+    #[test]
+    fn dm_uses_deadlines() {
+        // Same periods; t1 has the tighter deadline, so under DM it
+        // preempts t0 even though periods tie.
+        let mut b = TaskSetBuilder::new();
+        let t0 = b.task_decl(TaskSpec::periodic("t0", ms(20))).unwrap();
+        b.version_decl(t0, VersionSpec::new("v", ms(5))).unwrap();
+        let t1 = b
+            .task_decl(TaskSpec::periodic("t1", ms(20)).with_constrained_deadline(ms(8)))
+            .unwrap();
+        b.version_decl(t1, VersionSpec::new("v", ms(3))).unwrap();
+        let ts = b.build().unwrap();
+        let r = response_times(&ts, PriorityPolicy::DeadlineMonotonic, WcetAssumption::MaxVersion);
+        assert_eq!(r[1].wcrt, Some(ms(3)), "tight-deadline task runs first");
+        assert_eq!(r[0].wcrt, Some(ms(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "static")]
+    fn edf_rejected() {
+        let ts = set(&[(10, 1)]);
+        let _ = response_times(&ts, PriorityPolicy::EarliestDeadlineFirst, WcetAssumption::MaxVersion);
+    }
+
+    #[test]
+    fn partitioned_isolates_workers() {
+        let mut b = TaskSetBuilder::new();
+        // Worker 0: two heavy tasks; worker 1: one light task.
+        for (i, (t, c, w)) in [(10u64, 6u64, 0u16), (15, 6, 0), (10, 1, 1)].iter().enumerate() {
+            let id = b
+                .task_decl(
+                    TaskSpec::periodic(format!("t{i}"), ms(*t))
+                        .on_worker(yasmin_core::ids::WorkerId::new(*w)),
+                )
+                .unwrap();
+            b.version_decl(id, VersionSpec::new("v", ms(*c))).unwrap();
+        }
+        let ts = b.build().unwrap();
+        let r = partitioned_response_times(
+            &ts,
+            2,
+            PriorityPolicy::RateMonotonic,
+            WcetAssumption::MaxVersion,
+        );
+        // Worker 0 overloaded; worker 1 fine.
+        let w0_sched = r
+            .iter()
+            .filter(|(w, _)| *w == 0)
+            .all(|(_, rt)| rt.schedulable());
+        let w1_sched = r
+            .iter()
+            .filter(|(w, _)| *w == 1)
+            .all(|(_, rt)| rt.schedulable());
+        assert!(!w0_sched);
+        assert!(w1_sched);
+    }
+}

@@ -1,0 +1,175 @@
+//! Utilisation-based schedulability tests.
+
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::TaskId;
+use yasmin_core::time::Duration;
+
+/// Which version's WCET an analysis assumes per task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum WcetAssumption {
+    /// The largest WCET over all versions (safe for any runtime choice).
+    #[default]
+    MaxVersion,
+    /// The smallest WCET (valid only when the runtime provably picks it,
+    /// e.g. off-line pre-selection).
+    MinVersion,
+}
+
+/// The WCET of `task` under `assumption`.
+#[must_use]
+pub fn wcet_of(ts: &TaskSet, task: TaskId, assumption: WcetAssumption) -> Duration {
+    let t = &ts.tasks()[task.index()];
+    match assumption {
+        WcetAssumption::MaxVersion => t.max_wcet(),
+        WcetAssumption::MinVersion => t.min_wcet(),
+    }
+}
+
+/// Per-task utilisation `C/T` (effective period for graph nodes); zero
+/// for tasks with no period (pure aperiodic).
+#[must_use]
+pub fn utilisation_of(ts: &TaskSet, task: TaskId, assumption: WcetAssumption) -> f64 {
+    match ts.effective_period(task) {
+        Some(p) if !p.is_zero() => {
+            wcet_of(ts, task, assumption).as_nanos() as f64 / p.as_nanos() as f64
+        }
+        _ => 0.0,
+    }
+}
+
+/// Total utilisation of the set.
+#[must_use]
+pub fn total_utilisation(ts: &TaskSet, assumption: WcetAssumption) -> f64 {
+    ts.tasks()
+        .iter()
+        .map(|t| utilisation_of(ts, t.id(), assumption))
+        .sum()
+}
+
+/// Largest single-task utilisation.
+#[must_use]
+pub fn max_utilisation(ts: &TaskSet, assumption: WcetAssumption) -> f64 {
+    ts.tasks()
+        .iter()
+        .map(|t| utilisation_of(ts, t.id(), assumption))
+        .fold(0.0, f64::max)
+}
+
+/// The Liu & Layland bound for rate-monotonic scheduling of `n` implicit-
+/// deadline tasks on one core: `n(2^{1/n} − 1)`.
+#[must_use]
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    n as f64 * (2f64.powf(1.0 / n as f64) - 1.0)
+}
+
+/// Sufficient RM test on one core: `U ≤ n(2^{1/n} − 1)`.
+#[must_use]
+pub fn rm_utilisation_test(ts: &TaskSet, assumption: WcetAssumption) -> bool {
+    total_utilisation(ts, assumption) <= liu_layland_bound(ts.len()) + 1e-12
+}
+
+/// Exact EDF test on one core for implicit deadlines: `U ≤ 1`.
+#[must_use]
+pub fn edf_utilisation_test(ts: &TaskSet, assumption: WcetAssumption) -> bool {
+    total_utilisation(ts, assumption) <= 1.0 + 1e-12
+}
+
+/// The Goossens-Funk-Baruah (GFB) sufficient test for global EDF on `m`
+/// identical cores with implicit deadlines:
+/// `U ≤ m − (m − 1)·u_max`.
+#[must_use]
+pub fn gfb_global_edf_test(ts: &TaskSet, m: usize, assumption: WcetAssumption) -> bool {
+    let u = total_utilisation(ts, assumption);
+    let umax = max_utilisation(ts, assumption);
+    u <= m as f64 - (m as f64 - 1.0) * umax + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasmin_core::graph::TaskSetBuilder;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn set(params: &[(u64, u64)]) -> TaskSet {
+        let mut b = TaskSetBuilder::new();
+        for (i, (t, c)) in params.iter().enumerate() {
+            let id = b
+                .task_decl(TaskSpec::periodic(format!("t{i}"), ms(*t)))
+                .unwrap();
+            b.version_decl(id, VersionSpec::new("v", ms(*c))).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn utilisation_sums() {
+        let ts = set(&[(10, 2), (20, 5), (40, 10)]);
+        let u = total_utilisation(&ts, WcetAssumption::MaxVersion);
+        assert!((u - 0.7).abs() < 1e-9);
+        assert!((max_utilisation(&ts, WcetAssumption::MaxVersion) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_vs_max_version() {
+        let mut b = TaskSetBuilder::new();
+        let t = b.task_decl(TaskSpec::periodic("t", ms(100))).unwrap();
+        b.version_decl(t, VersionSpec::new("slow", ms(50))).unwrap();
+        b.version_decl(t, VersionSpec::new("fast", ms(10))).unwrap();
+        let ts = b.build().unwrap();
+        assert!((utilisation_of(&ts, t, WcetAssumption::MaxVersion) - 0.5).abs() < 1e-9);
+        assert!((utilisation_of(&ts, t, WcetAssumption::MinVersion) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn liu_layland_classics() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-3);
+        // n -> inf: ln 2.
+        assert!((liu_layland_bound(10_000) - std::f64::consts::LN_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rm_test_example() {
+        // U = 0.7 < LL(3) = 0.7798 -> schedulable.
+        assert!(rm_utilisation_test(
+            &set(&[(10, 2), (20, 5), (40, 10)]),
+            WcetAssumption::MaxVersion
+        ));
+        // U = 0.9 > LL(3).
+        assert!(!rm_utilisation_test(
+            &set(&[(10, 3), (20, 6), (40, 12)]),
+            WcetAssumption::MaxVersion
+        ));
+    }
+
+    #[test]
+    fn edf_test_boundary() {
+        assert!(edf_utilisation_test(
+            &set(&[(10, 5), (20, 10)]),
+            WcetAssumption::MaxVersion
+        ));
+        assert!(!edf_utilisation_test(
+            &set(&[(10, 5), (20, 11)]),
+            WcetAssumption::MaxVersion
+        ));
+    }
+
+    #[test]
+    fn gfb_test() {
+        // 4 tasks of U=0.5 on 2 cores: U=2.0, umax=0.5;
+        // bound = 2 - 1*0.5 = 1.5 -> fails.
+        let heavy = set(&[(10, 5), (10, 5), (10, 5), (10, 5)]);
+        assert!(!gfb_global_edf_test(&heavy, 2, WcetAssumption::MaxVersion));
+        // 4 tasks of U=0.3 on 2 cores: U=1.2 <= 2 - 0.3 = 1.7 -> passes.
+        let light = set(&[(10, 3), (10, 3), (10, 3), (10, 3)]);
+        assert!(gfb_global_edf_test(&light, 2, WcetAssumption::MaxVersion));
+    }
+}

@@ -1,0 +1,22 @@
+//! # yasmin-baselines
+//!
+//! The comparison systems of the YASMIN evaluation:
+//!
+//! * [`mollison`] — a faithful model of Mollison & Anderson's userspace
+//!   G-EDF library (the Figure 2 baseline): global TAS-locked ready
+//!   queue, O(n) release scanning, per-job allocation, no dedicated
+//!   scheduler core — measured with real threads;
+//! * [`cyclictest`] — the Table 2 latency measurement: a real host loop,
+//!   measured engine overhead, and the calibrated per-kernel simulation;
+//! * [`stress`] — real stressor threads mirroring
+//!   `stress-ng -C 8 -c 8 -T 8 -y 8`.
+
+#![warn(missing_docs)]
+
+pub mod cyclictest;
+pub mod mollison;
+pub mod stress;
+
+pub use cyclictest::{measure_engine_overhead, run_real, simulate, CyclictestConfig, Variant};
+pub use mollison::{measure_overhead, MollisonOverhead, MollisonParams};
+pub use stress::StressRunner;

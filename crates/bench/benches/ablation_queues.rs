@@ -1,0 +1,88 @@
+//! Ablation A2 — ready-queue behaviour: push/pop cost at different queue
+//! depths, and a full dispatch round of the engine in global vs
+//! partitioned mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use yasmin_core::config::{Config, MappingScheme};
+use yasmin_core::ids::{JobId, TaskId};
+use yasmin_core::priority::{Priority, PriorityPolicy};
+use yasmin_core::time::{Duration, Instant};
+use yasmin_sched::{Job, OnlineEngine, ReadyQueue};
+use yasmin_taskgen::taskset::{build_independent, build_partitioned, IndependentSetParams};
+
+fn job(id: u64, prio: u64) -> Job {
+    Job {
+        id: JobId::new(id),
+        task: TaskId::new((id % 64) as u32),
+        seq: id,
+        release: Instant::ZERO,
+        graph_release: Instant::ZERO,
+        abs_deadline: Instant::ZERO + Duration::from_millis(prio),
+        priority: Priority::new(prio),
+        preempted: false,
+    }
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queues/push_pop");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for depth in [16usize, 256, 4096] {
+        group.bench_function(format!("depth{depth}"), |b| {
+            let mut q = ReadyQueue::with_capacity(depth + 1);
+            for i in 0..depth as u64 {
+                q.push(job(i, i * 7 % 1000)).expect("fits");
+            }
+            let mut next = depth as u64;
+            b.iter(|| {
+                q.push(job(next, next * 13 % 1000)).expect("fits");
+                next += 1;
+                std::hint::black_box(q.pop());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispatch_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queues/engine_tick_mapping");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let params = IndependentSetParams {
+        n: 60,
+        total_utilisation: 1.5,
+        seed: 5,
+        ..IndependentSetParams::default()
+    };
+    for (label, mapping) in [("global", MappingScheme::Global), ("partitioned", MappingScheme::Partitioned)] {
+        let ts = match mapping {
+            MappingScheme::Global => build_independent(&params).expect("set"),
+            MappingScheme::Partitioned => build_partitioned(&params, 2).expect("set"),
+        };
+        let ts = Arc::new(ts);
+        group.bench_function(label, |b| {
+            let config = Config::builder()
+                .workers(2)
+                .mapping(mapping)
+                .priority(PriorityPolicy::EarliestDeadlineFirst)
+                .max_pending_jobs(8192)
+                .build()
+                .expect("config");
+            let mut engine = OnlineEngine::new(Arc::clone(&ts), config).expect("engine");
+            let _ = engine.start(Instant::ZERO).expect("start");
+            let tick = engine.tick_period();
+            let mut now = Instant::ZERO;
+            b.iter(|| {
+                now += tick;
+                std::hint::black_box(engine.on_tick(now));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_ops, bench_dispatch_round);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation A3 — the §3.2 version-selection policies: per-dispatch
+//! ranking cost of each policy on the drone's multi-version tasks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use yasmin_core::config::{SelectCtx, VersionPolicy};
+use yasmin_core::energy::BatteryLevel;
+use yasmin_sched::rank_versions;
+use yasmin_taskgen::drone::{self, VersionRestriction};
+
+fn bench_policies(c: &mut Criterion) {
+    let workload = drone::build(VersionRestriction::Both).expect("workload");
+    let detect = &workload.taskset.tasks()[workload.tasks.detect.index()];
+    let policies: Vec<(&str, VersionPolicy)> = vec![
+        ("shortest_wcet", VersionPolicy::ShortestWcet),
+        ("energy", VersionPolicy::Energy),
+        (
+            "tradeoff_70_30",
+            VersionPolicy::EnergyTimeTradeoff { time_weight: 700 },
+        ),
+        ("mode", VersionPolicy::Mode),
+        ("permission", VersionPolicy::Permission),
+        (
+            "user_defined",
+            VersionPolicy::UserDefined(Arc::new(|_, _, cands| {
+                cands.iter().map(|(id, _)| *id).collect()
+            })),
+        ),
+    ];
+    let mut group = c.benchmark_group("select/rank_versions");
+    group.sample_size(50);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let ctx = SelectCtx {
+        battery: BatteryLevel::from_percent(60),
+        ..SelectCtx::default()
+    };
+    for (label, policy) in policies {
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(rank_versions(&policy, &ctx, detect)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmark behind Figure 2: the cost of one scheduling
+//! interaction in YASMIN (a real engine tick) vs the Mollison & Anderson
+//! baseline (a locked release-scan + queue op), at small and large task
+//! counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use yasmin_core::config::Config;
+use yasmin_core::priority::PriorityPolicy;
+use yasmin_core::time::Instant;
+use yasmin_sched::OnlineEngine;
+use yasmin_taskgen::taskset::{build_independent, IndependentSetParams};
+
+fn engine_for(n: usize) -> OnlineEngine {
+    let ts = build_independent(&IndependentSetParams {
+        n,
+        total_utilisation: 1.5,
+        seed: 1,
+        ..IndependentSetParams::default()
+    })
+    .expect("valid set");
+    let config = Config::builder()
+        .workers(2)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    OnlineEngine::new(Arc::new(ts), config).expect("valid engine")
+}
+
+fn bench_yasmin_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/yasmin_tick");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for n in [20usize, 120] {
+        group.bench_function(format!("n{n}"), |b| {
+            let mut engine = engine_for(n);
+            let _ = engine.start(Instant::ZERO).expect("starts");
+            let mut now = Instant::ZERO;
+            let tick = engine.tick_period();
+            b.iter(|| {
+                now += tick;
+                std::hint::black_box(engine.on_tick(now));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mollison_op(c: &mut Criterion) {
+    use yasmin_baselines::mollison::{measure_overhead, MollisonParams};
+    use yasmin_taskgen::taskset::generate_params;
+    let mut group = c.benchmark_group("fig2/mollison_trial");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for n in [20usize, 120] {
+        let tasks = generate_params(&IndependentSetParams {
+            n,
+            total_utilisation: 1.5,
+            seed: 1,
+            ..IndependentSetParams::default()
+        })
+        .expect("feasible");
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(measure_overhead(
+                    &tasks,
+                    &MollisonParams {
+                        workers: 2,
+                        time_scale: 50,
+                        trial: std::time::Duration::from_millis(5),
+                    },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_yasmin_tick, bench_mollison_op);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmark behind Figure 4: one simulated mission second of
+//! the drone workload per configuration class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use yasmin_bench::fig4::{run_one, Fig4Params};
+use yasmin_core::config::MappingScheme;
+use yasmin_core::priority::PriorityPolicy;
+use yasmin_core::time::Duration;
+use yasmin_taskgen::VersionRestriction;
+
+fn bench_drone_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/drone_mission_1s");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let p = Fig4Params {
+        mission: Duration::from_secs(1),
+        ..Fig4Params::default()
+    };
+    for restriction in VersionRestriction::ALL {
+        group.bench_function(format!("G-EDF-{}", restriction.label()), |b| {
+            b.iter(|| {
+                std::hint::black_box(run_one(
+                    MappingScheme::Global,
+                    PriorityPolicy::EarliestDeadlineFirst,
+                    restriction,
+                    &p,
+                ))
+            });
+        });
+    }
+    group.bench_function("P-DM-both", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_one(
+                MappingScheme::Partitioned,
+                PriorityPolicy::DeadlineMonotonic,
+                VersionRestriction::Both,
+                &p,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drone_configs);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark behind Table 2: the per-sample cost of the kernel
+//! latency models and of the real engine handling a cyclictest-shaped
+//! tick.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use yasmin_baselines::cyclictest::{measure_engine_overhead, CyclictestConfig};
+use yasmin_sim::{KernelKind, KernelModel};
+
+fn bench_kernel_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/kernel_sample");
+    group.sample_size(50);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in [
+        KernelKind::PreemptRt,
+        KernelKind::LitmusGsnEdf,
+        KernelKind::LitmusPres,
+    ] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            let mut m = KernelModel::new(kind, 7);
+            b.iter(|| std::hint::black_box(m.sample_latency(1.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/engine_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("cyclictest_shaped_100_rounds", |b| {
+        let cfg = CyclictestConfig::default();
+        b.iter(|| std::hint::black_box(measure_engine_overhead(&cfg, 100)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_models, bench_engine_overhead);
+criterion_main!(benches);

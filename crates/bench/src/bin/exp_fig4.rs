@@ -1,0 +1,75 @@
+//! Regenerates **Figure 4**: scheduling exploration for the drone
+//! Search & Rescue use-case — frame processing time and deadline misses
+//! for {G-EDF, G-DM, P-EDF, P-DM} × {CPU-only, GPU-only, both}.
+//!
+//! Usage: `cargo run -p yasmin-bench --release --bin exp_fig4 [--quick] [--graph]`
+
+use yasmin_bench::fig4::{render, run, Fig4Params};
+use yasmin_taskgen::drone::{self, VersionRestriction};
+
+fn print_graph() {
+    let w = drone::build(VersionRestriction::Both).expect("workload builds");
+    println!("## Figure 3b — SAR application task graph\n");
+    for t in w.taskset.tasks() {
+        let spec = t.spec();
+        let period = if spec.period().is_zero() {
+            "data-driven".to_string()
+        } else {
+            format!("T={}", spec.period())
+        };
+        println!("* {} ({period})", spec.name());
+        for v in t.versions() {
+            let accel = v
+                .accel()
+                .map_or(String::new(), |a| format!(" [accel {a}]"));
+            println!("    - {}: C={}{accel}", v.name(), v.wcet());
+        }
+    }
+    println!("\nEdges:");
+    for e in w.taskset.edges() {
+        let src = w.taskset.task(e.src).unwrap().spec().name().to_string();
+        let dst = w.taskset.task(e.dst).unwrap().spec().name().to_string();
+        println!("* {src} -> {dst}");
+    }
+    println!();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--graph") {
+        print_graph();
+    }
+    let params = if quick {
+        Fig4Params::quick()
+    } else {
+        Fig4Params::default()
+    };
+    eprintln!(
+        "fig4: {}s mission, {}% secure frames, {} workers + scheduler core…",
+        params.mission.as_secs_f64(),
+        params.secure_pct,
+        params.workers
+    );
+    let rows = run(&params);
+    println!("## Figure 4 — drone scheduling exploration\n");
+    let table = render(&rows);
+    println!("{table}");
+    println!(
+        "Paper shape: GPU-including configurations shorten frame processing;\n\
+         CPU-only and GPU-only miss deadlines in the same proportion (the\n\
+         secure/AES frames); only the multi-version 'both' configurations\n\
+         eliminate the misses; partitioned variants trail global slightly."
+    );
+    yasmin_bench::write_result("fig4.md", &table);
+
+    let mut csv = String::from(
+        "config,frames,avg_frame_ms,max_frame_ms,frame_misses,fc_misses,miss_ratio\n",
+    );
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{:.2},{:.2},{},{},{:.4}\n",
+            r.label, r.frames, r.avg_frame_ms, r.max_frame_ms, r.frame_misses, r.fc_misses, r.miss_ratio
+        ));
+    }
+    yasmin_bench::write_result("fig4.csv", &csv);
+}

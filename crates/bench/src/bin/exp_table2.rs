@@ -1,0 +1,38 @@
+//! Regenerates **Table 2**: cyclictest latency comparison between YASMIN,
+//! Linux+PREEMPT_RT and LitmusRT under stress-ng load.
+//!
+//! Usage: `cargo run -p yasmin-bench --release --bin exp_table2 [--quick]`
+
+use yasmin_bench::table2::{render, run, Table2Params};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        Table2Params::quick()
+    } else {
+        Table2Params::default()
+    };
+    eprintln!(
+        "table2: cyclictest -t {} -i {} -l {} under full stress; measuring engine overhead…",
+        params.cyclictest.threads,
+        params.cyclictest.interval.as_micros(),
+        params.cyclictest.loops
+    );
+    let rows = run(&params);
+    println!("## Table 2 — latency comparison (µs, <min, max, avg>)\n");
+    let table = render(&rows);
+    println!("{table}");
+    println!(
+        "Paper reference: PREEMPT_RT YASMIN <90,1481,500> RTapps <176,1550,463>;\n\
+         LitmusRT YASMIN <67,318,170> RTapps <33,222,74> GSN-EDF <35,247,84>\n\
+         P-RES <988,1206,1027>."
+    );
+    yasmin_bench::write_result("table2.md", &table);
+
+    let mut csv = String::from("os,version,min_us,max_us,avg_us\n");
+    for r in &rows {
+        let (min, max, avg) = r.latency.as_micros_triple();
+        csv.push_str(&format!("{},{},{min:.1},{max:.1},{avg:.1}\n", r.os, r.version));
+    }
+    yasmin_bench::write_result("table2.csv", &csv);
+}

@@ -1,0 +1,247 @@
+//! Experiment E1/E2 — Figure 2: scheduling overhead, YASMIN vs the
+//! Mollison & Anderson userspace G-EDF library.
+//!
+//! Protocol (§4.1): DRS-generated task sets, n ∈ [20, 120], total
+//! utilisation ∈ [0.2, 2.0], 2 and 3 worker cores (YASMIN's scheduler
+//! thread gets the remaining big core). The YASMIN overhead is the
+//! *measured wall-clock cost of real engine calls* inside the simulator;
+//! the baseline overhead is *measured on real contending threads* against
+//! the modelled library. Figure 2a buckets by task count, Figure 2b by
+//! utilisation.
+
+use std::sync::Arc;
+use yasmin_core::config::Config;
+use yasmin_core::priority::PriorityPolicy;
+use yasmin_core::stats::Samples;
+use yasmin_core::time::Duration;
+use yasmin_baselines::mollison::{measure_overhead, MollisonParams};
+use yasmin_sim::{SimConfig, Simulation};
+use yasmin_taskgen::taskset::{generate_params, IndependentSetParams};
+use yasmin_taskgen::GeneratedTask;
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Fig2Params {
+    /// Task counts (paper: 20..120).
+    pub task_counts: Vec<usize>,
+    /// Worker-core counts (paper: 2 and 3).
+    pub cores: Vec<usize>,
+    /// Total utilisations (paper: [0.2, 2.0]).
+    pub utilisations: Vec<f64>,
+    /// Random seeds per configuration (paper: 5).
+    pub seeds: u64,
+    /// Simulated horizon per YASMIN run.
+    pub sim_horizon: Duration,
+    /// Wall-clock trial length per baseline run.
+    pub ma_trial: std::time::Duration,
+}
+
+impl Default for Fig2Params {
+    fn default() -> Self {
+        Fig2Params {
+            task_counts: vec![20, 40, 60, 80, 100, 120],
+            cores: vec![2, 3],
+            utilisations: vec![0.2, 0.65, 1.1, 1.55, 2.0],
+            seeds: 2,
+            sim_horizon: Duration::from_secs(1),
+            ma_trial: std::time::Duration::from_millis(60),
+        }
+    }
+}
+
+impl Fig2Params {
+    /// A fast variant for tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig2Params {
+            task_counts: vec![20, 60],
+            cores: vec![2],
+            utilisations: vec![0.5, 1.5],
+            seeds: 1,
+            sim_horizon: Duration::from_millis(300),
+            ma_trial: std::time::Duration::from_millis(30),
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct Fig2Cell {
+    /// Worker cores.
+    pub cores: usize,
+    /// Task count.
+    pub n: usize,
+    /// Total utilisation requested.
+    pub utilisation: f64,
+    /// Seed used.
+    pub seed: u64,
+    /// YASMIN per-engine-call overhead (ns samples).
+    pub yasmin_ns: Samples,
+    /// Baseline per-op overhead (ns samples).
+    pub mollison_ns: Samples,
+}
+
+/// Aggregated row (one bucket of Figure 2a or 2b).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig2Row {
+    /// Bucket key (task count for 2a, utilisation×100 for 2b).
+    pub key: u64,
+    /// Worker cores.
+    pub cores: usize,
+    /// YASMIN average overhead, µs.
+    pub yasmin_avg_us: f64,
+    /// YASMIN maximum overhead, µs.
+    pub yasmin_max_us: f64,
+    /// Baseline average overhead, µs.
+    pub ma_avg_us: f64,
+    /// Baseline maximum overhead, µs.
+    pub ma_max_us: f64,
+}
+
+fn yasmin_overhead(tasks: &[GeneratedTask], cores: usize, horizon: Duration, seed: u64) -> Samples {
+    // Rebuild the same parameters as a periodic task set for the engine.
+    let mut b = yasmin_core::graph::TaskSetBuilder::new();
+    for g in tasks {
+        let t = b
+            .task_decl(yasmin_core::task::TaskSpec::periodic(&g.name, g.period))
+            .expect("valid spec");
+        b.version_decl(t, yasmin_core::version::VersionSpec::new(&g.name, g.wcet))
+            .expect("valid version");
+    }
+    let ts = Arc::new(b.build().expect("valid set"));
+    let config = Config::builder()
+        .workers(cores)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    let mut sim = SimConfig::uniform(cores, horizon);
+    sim.measure_engine_time = true;
+    sim.seed = seed;
+    let result = Simulation::new(ts, config, sim)
+        .expect("valid simulation")
+        .run()
+        .expect("run succeeds");
+    result.sched_overhead_ns
+}
+
+/// Runs the full sweep.
+#[must_use]
+pub fn run_cells(p: &Fig2Params) -> Vec<Fig2Cell> {
+    let mut cells = Vec::new();
+    for &cores in &p.cores {
+        for &n in &p.task_counts {
+            for &u in &p.utilisations {
+                for seed in 0..p.seeds {
+                    let gen = IndependentSetParams {
+                        n,
+                        total_utilisation: u,
+                        cap: 1.0,
+                        seed: seed
+                            .wrapping_add((n as u64) << 32)
+                            .wrapping_add((u * 100.0) as u64),
+                        ..IndependentSetParams::default()
+                    };
+                    let tasks = generate_params(&gen).expect("feasible DRS request");
+                    let yasmin_ns = yasmin_overhead(&tasks, cores, p.sim_horizon, gen.seed);
+                    let ma = measure_overhead(
+                        &tasks,
+                        &MollisonParams {
+                            workers: cores,
+                            time_scale: 50,
+                            trial: p.ma_trial,
+                        },
+                    );
+                    cells.push(Fig2Cell {
+                        cores,
+                        n,
+                        utilisation: u,
+                        seed,
+                        yasmin_ns,
+                        mollison_ns: ma.per_op_ns,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn aggregate<K: Fn(&Fig2Cell) -> u64>(cells: &[Fig2Cell], key: K) -> Vec<Fig2Row> {
+    let mut buckets: std::collections::BTreeMap<(usize, u64), (Samples, Samples)> =
+        std::collections::BTreeMap::new();
+    for c in cells {
+        let entry = buckets
+            .entry((c.cores, key(c)))
+            .or_insert_with(|| (Samples::new(), Samples::new()));
+        for v in c.yasmin_ns.values() {
+            entry.0.record(*v);
+        }
+        for v in c.mollison_ns.values() {
+            entry.1.record(*v);
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|((cores, key), (y, m))| Fig2Row {
+            key,
+            cores,
+            yasmin_avg_us: y.mean().unwrap_or(0.0) / 1e3,
+            yasmin_max_us: y.max().unwrap_or(0) as f64 / 1e3,
+            ma_avg_us: m.mean().unwrap_or(0.0) / 1e3,
+            ma_max_us: m.max().unwrap_or(0) as f64 / 1e3,
+        })
+        .collect()
+}
+
+/// Figure 2a: overhead by number of tasks.
+#[must_use]
+pub fn by_task_count(cells: &[Fig2Cell]) -> Vec<Fig2Row> {
+    aggregate(cells, |c| c.n as u64)
+}
+
+/// Figure 2b: overhead by utilisation (key = U × 100).
+#[must_use]
+pub fn by_utilisation(cells: &[Fig2Cell]) -> Vec<Fig2Row> {
+    aggregate(cells, |c| (c.utilisation * 100.0).round() as u64)
+}
+
+/// Renders rows as a markdown table.
+#[must_use]
+pub fn render(rows: &[Fig2Row], key_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "| cores | {key_name} | YASMIN avg (us) | YASMIN max (us) | M&A avg (us) | M&A max (us) |\n"
+    ));
+    out.push_str("|---|---|---|---|---|---|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+            r.cores, r.key, r.yasmin_avg_us, r.yasmin_max_us, r.ma_avg_us, r.ma_max_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_rows() {
+        let cells = run_cells(&Fig2Params::quick());
+        assert_eq!(cells.len(), 2 * 2); // 2 ns × 2 us × 1 seed × 1 core cfg
+        let rows_a = by_task_count(&cells);
+        assert_eq!(rows_a.len(), 2);
+        let rows_b = by_utilisation(&cells);
+        assert_eq!(rows_b.len(), 2);
+        for r in rows_a.iter().chain(&rows_b) {
+            assert!(r.yasmin_avg_us > 0.0);
+            assert!(r.ma_avg_us > 0.0);
+            assert!(r.yasmin_max_us >= r.yasmin_avg_us);
+            assert!(r.ma_max_us >= r.ma_avg_us);
+        }
+        let table = render(&rows_a, "tasks");
+        assert!(table.contains("| 2 | 20 |"));
+    }
+}

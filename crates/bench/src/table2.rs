@@ -1,0 +1,187 @@
+//! Experiment E3 — Table 2: cyclictest latency under YASMIN,
+//! Linux+PREEMPT_RT and LitmusRT.
+//!
+//! Rows exactly as the paper prints them: for each kernel, the YASMIN-
+//! managed cyclictest and the stock tool, under stress-ng-level load.
+//! The YASMIN rows combine the calibrated kernel wake-up model with the
+//! *measured* cost of the real scheduling engine handling the
+//! cyclictest-shaped task set (see `yasmin_baselines::cyclictest`).
+
+use yasmin_baselines::cyclictest::{
+    measure_engine_overhead, simulate, CyclictestConfig, Variant,
+};
+use yasmin_core::stats::Summary;
+use yasmin_sim::{KernelKind, StressProfile};
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Kernel ("OS" column).
+    pub os: &'static str,
+    /// cyclictest version column.
+    pub version: String,
+    /// Latency summary (ns inside; print µs).
+    pub latency: Summary,
+}
+
+/// Parameters of the run.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Params {
+    /// cyclictest invocation (paper: 6 threads, 10 ms, 10 000 loops).
+    pub cyclictest: CyclictestConfig,
+    /// Engine-overhead calibration iterations.
+    pub engine_iters: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Table2Params {
+    fn default() -> Self {
+        Table2Params {
+            cyclictest: CyclictestConfig::default(),
+            engine_iters: 2_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Table2Params {
+    /// A fast variant for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Table2Params {
+            cyclictest: CyclictestConfig {
+                threads: 6,
+                interval: yasmin_core::time::Duration::from_millis(10),
+                loops: 1_000,
+            },
+            engine_iters: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// Regenerates all Table 2 rows.
+#[must_use]
+pub fn run(p: &Table2Params) -> Vec<Table2Row> {
+    // stress-ng -C 8 -c 8 -T 8 -y 8 saturates the Odroid's 8 cores.
+    let stress = StressProfile::PAPER.intensity(8);
+    let engine_cost = measure_engine_overhead(&p.cyclictest, p.engine_iters);
+
+    let mut rows = Vec::new();
+    // Linux + PREEMPT_RT.
+    for (variant, label) in [(Variant::Yasmin, "YASMIN"), (Variant::Native, "RTapps")] {
+        rows.push(Table2Row {
+            os: "Linux+PREEMPT_RT 4.14.134-rt63",
+            version: label.to_string(),
+            latency: simulate(
+                KernelKind::PreemptRt,
+                variant,
+                &p.cyclictest,
+                stress,
+                &engine_cost,
+                p.seed,
+            ),
+        });
+    }
+    // LitmusRT 4.9.30: YASMIN, mainline cyclictest, the litmus-shipped
+    // GSN-EDF variant, and the P-RES reservation plugin.
+    rows.push(Table2Row {
+        os: "LitmusRT 4.9.30",
+        version: "YASMIN".into(),
+        latency: simulate(
+            KernelKind::LitmusGsnEdf,
+            Variant::Yasmin,
+            &p.cyclictest,
+            stress,
+            &engine_cost,
+            p.seed ^ 1,
+        ),
+    });
+    rows.push(Table2Row {
+        os: "LitmusRT 4.9.30",
+        version: "RTapps".into(),
+        latency: simulate(
+            KernelKind::LitmusGsnEdf,
+            Variant::Native,
+            &p.cyclictest,
+            stress,
+            &engine_cost,
+            p.seed ^ 2,
+        ),
+    });
+    rows.push(Table2Row {
+        os: "LitmusRT 4.9.30",
+        version: "litmus+GSN-EDF".into(),
+        latency: simulate(
+            KernelKind::LitmusGsnEdf,
+            Variant::Native,
+            &p.cyclictest,
+            stress,
+            &engine_cost,
+            p.seed ^ 3,
+        ),
+    });
+    rows.push(Table2Row {
+        os: "LitmusRT 4.9.30",
+        version: "litmus+P-RES".into(),
+        latency: simulate(
+            KernelKind::LitmusPres,
+            Variant::Native,
+            &p.cyclictest,
+            stress,
+            &engine_cost,
+            p.seed ^ 4,
+        ),
+    });
+    rows
+}
+
+/// Renders the rows as a markdown table in the paper's format.
+#[must_use]
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::from("| OS | cyclictest version | latency <min, max, avg> (us) |\n");
+    out.push_str("|---|---|---|\n");
+    for r in rows {
+        let (min, max, avg) = r.latency.as_micros_triple();
+        out.push_str(&format!(
+            "| {} | {} | <{:.0}, {:.0}, {:.0}> |\n",
+            r.os, r.version, min, max, avg
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_paper_shape() {
+        let rows = run(&Table2Params::quick());
+        assert_eq!(rows.len(), 6);
+        let get = |os: &str, v: &str| {
+            rows.iter()
+                .find(|r| r.os.contains(os) && r.version == v)
+                .map(|r| r.latency.as_micros_triple())
+                .unwrap()
+        };
+        let rt_y = get("PREEMPT_RT", "YASMIN");
+        let rt_n = get("PREEMPT_RT", "RTapps");
+        let li_y = get("Litmus", "YASMIN");
+        let li_n = get("Litmus", "RTapps");
+        let pres = get("Litmus", "litmus+P-RES");
+        // Shape checks straight from the paper:
+        // (1) on PREEMPT_RT, YASMIN's min is lower, avg slightly higher;
+        assert!(rt_y.0 < rt_n.0, "{rt_y:?} vs {rt_n:?}");
+        assert!(rt_y.2 > rt_n.2);
+        // (2) on LitmusRT, YASMIN costs more across the board;
+        assert!(li_y.2 > li_n.2);
+        // (3) LitmusRT latencies are far below PREEMPT_RT's;
+        assert!(li_n.2 < rt_n.2 / 3.0);
+        // (4) P-RES is the slowest row by far.
+        assert!(pres.2 > li_n.2 * 5.0);
+        let table = render(&rows);
+        assert!(table.contains("litmus+P-RES"));
+    }
+}

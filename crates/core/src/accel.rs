@@ -1,0 +1,74 @@
+//! Hardware accelerator declarations.
+//!
+//! "Hardware accelerators can be declared with `hwaccel_decl` and linked to
+//! a task version with `hwaccel_use`. The scheduler is therefore aware of
+//! accelerator usage, and can apply smart strategy to select a version at
+//! runtime" (§3.1).
+
+use crate::energy::Power;
+use crate::ids::AccelId;
+
+/// A declared hardware accelerator (GPU, DSP, FPGA region, …).
+///
+/// Accelerators are scarce, mutually exclusive resources: "there is
+/// typically only 1 GPU. If multiple tasks need to access an accelerator
+/// then they might need to wait for the resource to become available"
+/// (§3.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccelSpec {
+    id: AccelId,
+    name: String,
+    active_power: Power,
+}
+
+impl AccelSpec {
+    /// Creates an accelerator description.
+    #[must_use]
+    pub fn new(id: AccelId, name: impl Into<String>) -> Self {
+        AccelSpec {
+            id,
+            name: name.into(),
+            active_power: Power::ZERO,
+        }
+    }
+
+    /// Sets the power drawn while the accelerator is busy (for the energy
+    /// model of the simulator).
+    #[must_use]
+    pub fn with_active_power(mut self, power: Power) -> Self {
+        self.active_power = power;
+        self
+    }
+
+    /// The accelerator identifier.
+    #[must_use]
+    pub const fn id(&self) -> AccelId {
+        self.id
+    }
+
+    /// The accelerator name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Power drawn while busy.
+    #[must_use]
+    pub const fn active_power(&self) -> Power {
+        self.active_power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accel_spec_fields() {
+        let a = AccelSpec::new(AccelId::new(0), "mali-gpu")
+            .with_active_power(Power::from_watts(2));
+        assert_eq!(a.id(), AccelId::new(0));
+        assert_eq!(a.name(), "mali-gpu");
+        assert_eq!(a.active_power().as_milliwatts(), 2_000);
+    }
+}

@@ -1,0 +1,105 @@
+//! FIFO channel declarations connecting causally dependent tasks.
+//!
+//! The paper declares channels with the `channel_decl(CID, datatype, size)`
+//! macro and wires them with `channel_connect(src, dst, CID)` (§3.1). A
+//! channel of capacity zero expresses a pure precedence dependency without
+//! data exchange (Listing 2 line 3).
+//!
+//! This module holds the *static description*; the executable typed FIFO
+//! lives in `yasmin-rt`, and the simulator tracks channel occupancy as
+//! token counts.
+
+use crate::ids::{ChannelId, TaskId};
+
+/// Static description of a FIFO channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelSpec {
+    id: ChannelId,
+    name: String,
+    capacity: usize,
+    elem_bytes: usize,
+}
+
+impl ChannelSpec {
+    /// Creates a channel holding up to `capacity` items of `elem_bytes`
+    /// each. A zero capacity declares a dependency without data exchange.
+    #[must_use]
+    pub fn new(id: ChannelId, name: impl Into<String>, capacity: usize, elem_bytes: usize) -> Self {
+        ChannelSpec {
+            id,
+            name: name.into(),
+            capacity,
+            elem_bytes,
+        }
+    }
+
+    /// The channel identifier.
+    #[must_use]
+    pub const fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The channel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of buffered items (0 = precedence only).
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Size of one item in bytes.
+    #[must_use]
+    pub const fn elem_bytes(&self) -> usize {
+        self.elem_bytes
+    }
+
+    /// `true` if the channel only expresses precedence (capacity 0).
+    #[must_use]
+    pub const fn is_precedence_only(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Total buffer footprint in bytes.
+    #[must_use]
+    pub const fn buffer_bytes(&self) -> usize {
+        self.capacity * self.elem_bytes
+    }
+}
+
+/// A directed connection `src → dst` over a channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Producing task.
+    pub src: TaskId,
+    /// Consuming task.
+    pub dst: TaskId,
+    /// The channel carrying the data (or the precedence token).
+    pub channel: ChannelId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_spec_fields() {
+        let c = ChannelSpec::new(ChannelId::new(2), "rj", 2, 4);
+        assert_eq!(c.id(), ChannelId::new(2));
+        assert_eq!(c.name(), "rj");
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.elem_bytes(), 4);
+        assert_eq!(c.buffer_bytes(), 8);
+        assert!(!c.is_precedence_only());
+    }
+
+    #[test]
+    fn zero_capacity_is_precedence_only() {
+        let c = ChannelSpec::new(ChannelId::new(0), "fl", 0, 1);
+        assert!(c.is_precedence_only());
+        assert_eq!(c.buffer_bytes(), 0);
+    }
+}

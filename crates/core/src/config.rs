@@ -1,0 +1,594 @@
+//! Middleware configuration.
+//!
+//! The paper configures YASMIN through a C header of pre-processor
+//! definitions — mapping scheme, priority assignment, version selection,
+//! locking and waiting strategy, worker count — fixed for the whole binary
+//! (§3.1). Here the same knobs live in a validated [`Config`] value built
+//! once and frozen before `start()`; switching policy means building a new
+//! `Config`, the Rust analogue of recompiling with a new header.
+
+use crate::energy::BatteryLevel;
+use crate::error::{Error, Result};
+use crate::ids::{TaskId, VersionId};
+use crate::priority::PriorityPolicy;
+use crate::time::Duration;
+use crate::version::{ExecMode, VersionSpec};
+use std::fmt;
+use std::sync::Arc;
+
+/// Global vs partitioned mapping of tasks to workers (`MAPPING_SCHEME`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum MappingScheme {
+    /// All tasks may run on any worker; one shared ready queue (Fig. 1a).
+    #[default]
+    Global,
+    /// Every task is pinned to a worker; per-worker ready queues (Fig. 1b).
+    Partitioned,
+}
+
+impl MappingScheme {
+    /// Short label for experiment tables ("G" / "P").
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            MappingScheme::Global => "G",
+            MappingScheme::Partitioned => "P",
+        }
+    }
+}
+
+/// On-line scheduling vs off-line (table-driven) dispatch (§3.3 / §3.4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SchedulerClass {
+    /// A scheduler thread activates and dispatches jobs at run time.
+    #[default]
+    Online,
+    /// An on-line dispatcher follows a pre-computed time table (Fig. 1c).
+    Offline,
+}
+
+/// Lock implementation used by the middleware internals (§3.5 "Locking").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LockChoice {
+    /// OS/GLibC-backed locks: better energy, kernel calls are hard to
+    /// analyse for WCET.
+    #[default]
+    Posix,
+    /// Lock-free/queue-based spinlocks (Mellor-Crummey & Scott): superior
+    /// for static WCET analysis, higher energy.
+    LockFree,
+}
+
+/// Waiting strategy between activations (§3.5 "Waiting").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum WaitChoice {
+    /// Sleep in the kernel (default; hardly timing-analysable).
+    #[default]
+    Sleep,
+    /// Busy-spin on the clock: precise overhead analysis, wastes energy.
+    Spin,
+}
+
+/// Context handed to version-selection policies at each dispatch.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectCtx {
+    /// Remaining battery, from the configured battery source.
+    pub battery: BatteryLevel,
+    /// Current execution mode.
+    pub mode: ExecMode,
+    /// Currently granted permission bits.
+    pub permissions: crate::version::PermMask,
+}
+
+impl Default for SelectCtx {
+    fn default() -> Self {
+        SelectCtx {
+            battery: BatteryLevel::FULL,
+            mode: ExecMode::NORMAL,
+            permissions: crate::version::PermMask::ALL,
+        }
+    }
+}
+
+/// Signature of a user-defined version selector (§3.2, option 5): given
+/// the selection context and the candidate versions (id + spec), return
+/// the preferred candidates, most preferred first.
+pub type UserSelectFn =
+    dyn Fn(&SelectCtx, TaskId, &[(VersionId, &VersionSpec)]) -> Vec<VersionId> + Send + Sync;
+
+/// Signature of the battery-status callback (§3.2/§3.6): YASMIN never
+/// reads the battery itself; the user supplies the platform-dependent
+/// probe.
+pub type BatteryFn = dyn Fn() -> BatteryLevel + Send + Sync;
+
+/// Which version-selection policy runs at dispatch (`VERSION_SELECTION`).
+///
+/// Exactly one policy is active per configuration, matching the paper's
+/// "only one method is effectively used at runtime, but switching is
+/// possible at compile time" (§3.2).
+#[derive(Clone, Default)]
+pub enum VersionPolicy {
+    /// Prefer the version with the shortest WCET (ties: lowest energy).
+    /// This is what Figure 4's "both, scheduler decides" exploration uses.
+    #[default]
+    ShortestWcet,
+    /// Prefer the most capable version whose `energy_budget` fits the
+    /// current battery level (option 1).
+    Energy,
+    /// Minimise `w·time + (1000−w)·energy` with weight `w` in permille
+    /// (option 2).
+    EnergyTimeTradeoff {
+        /// Weight of time in permille; 1000 = pure time, 0 = pure energy.
+        time_weight: u16,
+    },
+    /// Only versions whose mode mask contains the current mode (option 3).
+    Mode,
+    /// Only versions whose permission mask intersects the granted
+    /// permissions (option 4).
+    Permission,
+    /// A user-supplied ranking function (option 5).
+    UserDefined(Arc<UserSelectFn>),
+}
+
+impl fmt::Debug for VersionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VersionPolicy::ShortestWcet => f.write_str("ShortestWcet"),
+            VersionPolicy::Energy => f.write_str("Energy"),
+            VersionPolicy::EnergyTimeTradeoff { time_weight } => {
+                write!(f, "EnergyTimeTradeoff {{ time_weight: {time_weight} }}")
+            }
+            VersionPolicy::Mode => f.write_str("Mode"),
+            VersionPolicy::Permission => f.write_str("Permission"),
+            VersionPolicy::UserDefined(_) => f.write_str("UserDefined(..)"),
+        }
+    }
+}
+
+impl VersionPolicy {
+    /// Short label for experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            VersionPolicy::ShortestWcet => "wcet",
+            VersionPolicy::Energy => "energy",
+            VersionPolicy::EnergyTimeTradeoff { .. } => "tradeoff",
+            VersionPolicy::Mode => "mode",
+            VersionPolicy::Permission => "perm",
+            VersionPolicy::UserDefined(_) => "user",
+        }
+    }
+}
+
+/// The full middleware configuration (the paper's `config.h`).
+///
+/// # Examples
+///
+/// ```
+/// use yasmin_core::config::{Config, MappingScheme};
+/// use yasmin_core::priority::PriorityPolicy;
+///
+/// let cfg = Config::builder()
+///     .workers(2)
+///     .mapping(MappingScheme::Global)
+///     .priority(PriorityPolicy::EarliestDeadlineFirst)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.workers(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Config {
+    workers: usize,
+    mapping: MappingScheme,
+    scheduler_class: SchedulerClass,
+    priority: PriorityPolicy,
+    version_policy: VersionPolicy,
+    locking: LockChoice,
+    waiting: WaitChoice,
+    preemption: bool,
+    tick_override: Option<Duration>,
+    max_pending_jobs: usize,
+    battery_source: Option<Arc<BatteryFn>>,
+    initial_mode: ExecMode,
+}
+
+impl Config {
+    /// Starts building a configuration.
+    #[must_use]
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+
+    /// Number of worker threads / virtual CPUs (`THREADS_SIZE`).
+    #[must_use]
+    pub const fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Global or partitioned mapping.
+    #[must_use]
+    pub const fn mapping(&self) -> MappingScheme {
+        self.mapping
+    }
+
+    /// On-line or off-line scheduling class.
+    #[must_use]
+    pub const fn scheduler_class(&self) -> SchedulerClass {
+        self.scheduler_class
+    }
+
+    /// The priority assignment policy.
+    #[must_use]
+    pub const fn priority(&self) -> PriorityPolicy {
+        self.priority
+    }
+
+    /// The version-selection policy.
+    #[must_use]
+    pub const fn version_policy(&self) -> &VersionPolicy {
+        &self.version_policy
+    }
+
+    /// The lock implementation choice.
+    #[must_use]
+    pub const fn locking(&self) -> LockChoice {
+        self.locking
+    }
+
+    /// The waiting strategy choice.
+    #[must_use]
+    pub const fn waiting(&self) -> WaitChoice {
+        self.waiting
+    }
+
+    /// Whether preemption is enabled (on-line scheduling only, §3.5).
+    #[must_use]
+    pub const fn preemption(&self) -> bool {
+        self.preemption
+    }
+
+    /// A fixed scheduler-tick period overriding the gcd of task periods.
+    #[must_use]
+    pub const fn tick_override(&self) -> Option<Duration> {
+        self.tick_override
+    }
+
+    /// Bound on simultaneously pending (released, unfinished) jobs; sizes
+    /// the pre-allocated ready queues.
+    #[must_use]
+    pub const fn max_pending_jobs(&self) -> usize {
+        self.max_pending_jobs
+    }
+
+    /// The battery probe, if configured.
+    #[must_use]
+    pub fn battery_source(&self) -> Option<&Arc<BatteryFn>> {
+        self.battery_source.as_ref()
+    }
+
+    /// Reads the battery through the configured probe (full if none).
+    #[must_use]
+    pub fn read_battery(&self) -> BatteryLevel {
+        self.battery_source
+            .as_ref()
+            .map_or(BatteryLevel::FULL, |f| f())
+    }
+
+    /// The execution mode the system starts in.
+    #[must_use]
+    pub const fn initial_mode(&self) -> ExecMode {
+        self.initial_mode
+    }
+
+    /// A configuration label like `G-EDF` used in experiment tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.scheduler_class {
+            SchedulerClass::Online => {
+                format!("{}-{}", self.mapping.label(), self.priority.label())
+            }
+            SchedulerClass::Offline => "OFF".to_string(),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::builder().build().expect("default config is valid")
+    }
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Config")
+            .field("workers", &self.workers)
+            .field("mapping", &self.mapping)
+            .field("scheduler_class", &self.scheduler_class)
+            .field("priority", &self.priority)
+            .field("version_policy", &self.version_policy)
+            .field("locking", &self.locking)
+            .field("waiting", &self.waiting)
+            .field("preemption", &self.preemption)
+            .field("tick_override", &self.tick_override)
+            .field("max_pending_jobs", &self.max_pending_jobs)
+            .field("battery_source", &self.battery_source.as_ref().map(|_| ".."))
+            .field("initial_mode", &self.initial_mode)
+            .finish()
+    }
+}
+
+/// Builder for [`Config`].
+#[derive(Clone)]
+pub struct ConfigBuilder {
+    workers: usize,
+    mapping: MappingScheme,
+    scheduler_class: SchedulerClass,
+    priority: PriorityPolicy,
+    version_policy: VersionPolicy,
+    locking: LockChoice,
+    waiting: WaitChoice,
+    preemption: bool,
+    tick_override: Option<Duration>,
+    max_pending_jobs: usize,
+    battery_source: Option<Arc<BatteryFn>>,
+    initial_mode: ExecMode,
+}
+
+impl fmt::Debug for ConfigBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConfigBuilder")
+            .field("workers", &self.workers)
+            .field("mapping", &self.mapping)
+            .field("priority", &self.priority)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ConfigBuilder {
+    fn default() -> Self {
+        ConfigBuilder {
+            workers: 1,
+            mapping: MappingScheme::default(),
+            scheduler_class: SchedulerClass::default(),
+            priority: PriorityPolicy::default(),
+            version_policy: VersionPolicy::default(),
+            locking: LockChoice::default(),
+            waiting: WaitChoice::default(),
+            preemption: true,
+            tick_override: None,
+            max_pending_jobs: 1024,
+            battery_source: None,
+            initial_mode: ExecMode::NORMAL,
+        }
+    }
+}
+
+impl ConfigBuilder {
+    /// Sets the number of worker threads (virtual CPUs).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets global or partitioned mapping.
+    #[must_use]
+    pub fn mapping(mut self, m: MappingScheme) -> Self {
+        self.mapping = m;
+        self
+    }
+
+    /// Sets on-line or off-line scheduling.
+    #[must_use]
+    pub fn scheduler_class(mut self, c: SchedulerClass) -> Self {
+        self.scheduler_class = c;
+        self
+    }
+
+    /// Sets the priority assignment policy.
+    #[must_use]
+    pub fn priority(mut self, p: PriorityPolicy) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the version-selection policy.
+    #[must_use]
+    pub fn version_policy(mut self, v: VersionPolicy) -> Self {
+        self.version_policy = v;
+        self
+    }
+
+    /// Sets the lock implementation.
+    #[must_use]
+    pub fn locking(mut self, l: LockChoice) -> Self {
+        self.locking = l;
+        self
+    }
+
+    /// Sets the waiting strategy.
+    #[must_use]
+    pub fn waiting(mut self, w: WaitChoice) -> Self {
+        self.waiting = w;
+        self
+    }
+
+    /// Enables or disables preemption.
+    #[must_use]
+    pub fn preemption(mut self, on: bool) -> Self {
+        self.preemption = on;
+        self
+    }
+
+    /// Overrides the scheduler-tick period (otherwise gcd of periods).
+    #[must_use]
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick_override = Some(tick);
+        self
+    }
+
+    /// Sets the bound on pending jobs (ready-queue capacity).
+    #[must_use]
+    pub fn max_pending_jobs(mut self, n: usize) -> Self {
+        self.max_pending_jobs = n;
+        self
+    }
+
+    /// Installs the platform-dependent battery probe.
+    #[must_use]
+    pub fn battery_source(mut self, f: impl Fn() -> BatteryLevel + Send + Sync + 'static) -> Self {
+        self.battery_source = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets the initial execution mode.
+    #[must_use]
+    pub fn initial_mode(mut self, m: ExecMode) -> Self {
+        self.initial_mode = m;
+        self
+    }
+
+    /// Validates and freezes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the combination is inconsistent
+    /// (zero workers, zero queue capacity, zero tick override,
+    /// preemption with off-line scheduling — the paper supports
+    /// "pre-emption with on-line scheduling policies only", §3.5).
+    pub fn build(self) -> Result<Config> {
+        if self.workers == 0 {
+            return Err(Error::InvalidConfig("at least one worker is required".into()));
+        }
+        if self.max_pending_jobs == 0 {
+            return Err(Error::InvalidConfig("max_pending_jobs must be positive".into()));
+        }
+        if let Some(t) = self.tick_override {
+            if t.is_zero() {
+                return Err(Error::InvalidConfig("tick override must be positive".into()));
+            }
+        }
+        if self.scheduler_class == SchedulerClass::Offline && self.preemption {
+            return Err(Error::InvalidConfig(
+                "preemption is supported with on-line scheduling policies only".into(),
+            ));
+        }
+        Ok(Config {
+            workers: self.workers,
+            mapping: self.mapping,
+            scheduler_class: self.scheduler_class,
+            priority: self.priority,
+            version_policy: self.version_policy,
+            locking: self.locking,
+            waiting: self.waiting,
+            preemption: self.preemption,
+            tick_override: self.tick_override,
+            max_pending_jobs: self.max_pending_jobs,
+            battery_source: self.battery_source,
+            initial_mode: self.initial_mode,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = Config::default();
+        assert_eq!(c.workers(), 1);
+        assert_eq!(c.mapping(), MappingScheme::Global);
+        assert!(c.preemption());
+        assert_eq!(c.read_battery(), BatteryLevel::FULL);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let c = Config::builder()
+            .workers(3)
+            .mapping(MappingScheme::Partitioned)
+            .scheduler_class(SchedulerClass::Online)
+            .priority(PriorityPolicy::RateMonotonic)
+            .version_policy(VersionPolicy::Energy)
+            .locking(LockChoice::LockFree)
+            .waiting(WaitChoice::Spin)
+            .preemption(false)
+            .tick(Duration::from_millis(1))
+            .max_pending_jobs(64)
+            .initial_mode(ExecMode::new(1))
+            .battery_source(|| BatteryLevel::from_percent(50))
+            .build()
+            .unwrap();
+        assert_eq!(c.workers(), 3);
+        assert_eq!(c.mapping(), MappingScheme::Partitioned);
+        assert_eq!(c.priority(), PriorityPolicy::RateMonotonic);
+        assert_eq!(c.version_policy().label(), "energy");
+        assert_eq!(c.locking(), LockChoice::LockFree);
+        assert_eq!(c.waiting(), WaitChoice::Spin);
+        assert!(!c.preemption());
+        assert_eq!(c.tick_override(), Some(Duration::from_millis(1)));
+        assert_eq!(c.max_pending_jobs(), 64);
+        assert_eq!(c.initial_mode(), ExecMode::new(1));
+        assert_eq!(c.read_battery(), BatteryLevel::from_percent(50));
+        assert_eq!(c.label(), "P-RM");
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(matches!(
+            Config::builder().workers(0).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn offline_with_preemption_rejected() {
+        let r = Config::builder()
+            .scheduler_class(SchedulerClass::Offline)
+            .preemption(true)
+            .build();
+        assert!(matches!(r, Err(Error::InvalidConfig(_))));
+        // And without preemption it is fine.
+        assert!(Config::builder()
+            .scheduler_class(SchedulerClass::Offline)
+            .preemption(false)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_tick_rejected() {
+        assert!(matches!(
+            Config::builder().tick(Duration::ZERO).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn labels() {
+        let c = Config::builder()
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap();
+        assert_eq!(c.label(), "G-EDF");
+        let c = Config::builder()
+            .scheduler_class(SchedulerClass::Offline)
+            .preemption(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.label(), "OFF");
+    }
+
+    #[test]
+    fn version_policy_debug_and_labels() {
+        assert_eq!(format!("{:?}", VersionPolicy::ShortestWcet), "ShortestWcet");
+        let p = VersionPolicy::UserDefined(Arc::new(|_, _, _| Vec::new()));
+        assert_eq!(format!("{p:?}"), "UserDefined(..)");
+        assert_eq!(p.label(), "user");
+        assert_eq!(
+            VersionPolicy::EnergyTimeTradeoff { time_weight: 700 }.label(),
+            "tradeoff"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Energy and power quantities for version selection and the platform
+//! energy model.
+//!
+//! Multi-version tasks expose distinct energy behaviour (§2), and one of the
+//! version-selection policies picks a version "depending on the current
+//! energy capacity of the platform" (§3.2). Quantities are integer-backed:
+//! [`Power`] in milliwatts, [`Energy`] in microjoules, and the battery state
+//! [`BatteryLevel`] in permille of full charge.
+
+use crate::time::Duration;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Electrical power in milliwatts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Power(u64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0);
+
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub const fn from_milliwatts(mw: u64) -> Self {
+        Power(mw)
+    }
+
+    /// Creates a power from whole watts.
+    #[must_use]
+    pub const fn from_watts(w: u64) -> Self {
+        Power(w * 1_000)
+    }
+
+    /// The value in milliwatts.
+    #[must_use]
+    pub const fn as_milliwatts(self) -> u64 {
+        self.0
+    }
+
+    /// Energy consumed by drawing this power for `d`.
+    ///
+    /// `mW × ns = 10⁻³ J/s × 10⁻⁹ s = picojoule`, converted to microjoules
+    /// with 128-bit intermediates so no realistic value overflows.
+    #[must_use]
+    pub fn energy_over(self, d: Duration) -> Energy {
+        let picojoules = u128::from(self.0) * u128::from(d.as_nanos());
+        Energy(u64::try_from(picojoules / 1_000_000).unwrap_or(u64::MAX))
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Debug for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}mW", self.0)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}mW", self.0)
+    }
+}
+
+/// An amount of energy in microjoules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Energy(u64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0);
+
+    /// Creates an energy from microjoules.
+    #[must_use]
+    pub const fn from_microjoules(uj: u64) -> Self {
+        Energy(uj)
+    }
+
+    /// Creates an energy from millijoules.
+    #[must_use]
+    pub const fn from_millijoules(mj: u64) -> Self {
+        Energy(mj * 1_000)
+    }
+
+    /// The value in microjoules.
+    #[must_use]
+    pub const fn as_microjoules(self) -> u64 {
+        self.0
+    }
+
+    /// The value in fractional millijoules (reporting only).
+    #[must_use]
+    pub fn as_millijoules_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Energy) -> Energy {
+        Energy(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}uJ", self.0)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}uJ", self.0)
+    }
+}
+
+/// Remaining battery charge, expressed in permille (‰) of full capacity.
+///
+/// The paper's energy-based version selection calls a user function that
+/// "request\[s\] the platform-dependent battery status" (§3.2); that function
+/// returns this type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatteryLevel(u16);
+
+impl BatteryLevel {
+    /// A full battery (1000‰).
+    pub const FULL: BatteryLevel = BatteryLevel(1000);
+    /// An empty battery (0‰).
+    pub const EMPTY: BatteryLevel = BatteryLevel(0);
+
+    /// Creates a battery level, clamped to `0..=1000` permille.
+    #[must_use]
+    pub const fn from_permille(pm: u16) -> Self {
+        BatteryLevel(if pm > 1000 { 1000 } else { pm })
+    }
+
+    /// Creates a battery level from a percentage, clamped to `0..=100`.
+    #[must_use]
+    pub const fn from_percent(pct: u8) -> Self {
+        let pct = if pct > 100 { 100 } else { pct };
+        BatteryLevel(pct as u16 * 10)
+    }
+
+    /// The level in permille of full charge.
+    #[must_use]
+    pub const fn as_permille(self) -> u16 {
+        self.0
+    }
+
+    /// The level as a fraction in `[0, 1]`.
+    #[must_use]
+    pub fn as_fraction(self) -> f64 {
+        f64::from(self.0) / 1000.0
+    }
+}
+
+impl Default for BatteryLevel {
+    fn default() -> Self {
+        BatteryLevel::FULL
+    }
+}
+
+impl fmt::Debug for BatteryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}%", self.0 / 10, self.0 % 10)
+    }
+}
+
+impl fmt::Display for BatteryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}%", self.0 / 10, self.0 % 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        // 2 W for 1 ms = 2 mJ = 2000 uJ.
+        let e = Power::from_watts(2).energy_over(Duration::from_millis(1));
+        assert_eq!(e, Energy::from_microjoules(2_000));
+    }
+
+    #[test]
+    fn tiny_energies_truncate_to_zero() {
+        // 1 mW for 1 ns = 1 pJ, below microjoule resolution.
+        let e = Power::from_milliwatts(1).energy_over(Duration::from_nanos(1));
+        assert_eq!(e, Energy::ZERO);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let total: Energy = (0..4).map(|_| Energy::from_microjoules(25)).sum();
+        assert_eq!(total, Energy::from_microjoules(100));
+        let mut e = Energy::ZERO;
+        e += Energy::from_millijoules(1);
+        assert_eq!(e.as_microjoules(), 1_000);
+    }
+
+    #[test]
+    fn battery_clamps() {
+        assert_eq!(BatteryLevel::from_permille(1500), BatteryLevel::FULL);
+        assert_eq!(BatteryLevel::from_percent(250).as_permille(), 1000);
+        assert_eq!(BatteryLevel::from_percent(42).as_permille(), 420);
+    }
+
+    #[test]
+    fn battery_fraction_and_display() {
+        let b = BatteryLevel::from_permille(123);
+        assert!((b.as_fraction() - 0.123).abs() < 1e-9);
+        assert_eq!(b.to_string(), "12.3%");
+    }
+}

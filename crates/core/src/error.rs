@@ -1,0 +1,130 @@
+//! Error types for the YASMIN middleware.
+
+use crate::ids::{AccelId, ChannelId, TaskId, VersionId, WorkerId};
+use std::fmt;
+
+/// Errors produced while declaring, validating or running a task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A task id does not exist in the task set.
+    UnknownTask(TaskId),
+    /// A version id does not exist for the given task.
+    UnknownVersion(TaskId, VersionId),
+    /// An accelerator id was never declared.
+    UnknownAccel(AccelId),
+    /// A channel id was never declared.
+    UnknownChannel(ChannelId),
+    /// A worker id is outside the configured worker range.
+    UnknownWorker(WorkerId),
+    /// A recurring (periodic/sporadic) task was declared with a zero period.
+    ZeroPeriod(TaskId),
+    /// A task has no version to execute.
+    NoVersions(TaskId),
+    /// A constrained deadline exceeds the period.
+    DeadlineExceedsPeriod(TaskId),
+    /// The task graph contains a cycle (YASMIN requires a DAG, §2).
+    GraphCycle {
+        /// A task participating in the cycle.
+        task: TaskId,
+    },
+    /// A channel was connected more than once.
+    ChannelAlreadyConnected(ChannelId),
+    /// A channel is used by a task but was never connected.
+    ChannelNotConnected(ChannelId),
+    /// A non-root task of a graph carries its own activation period.
+    ///
+    /// "Only the root nodes need to have a period attached" (§3.3); giving
+    /// inner nodes a period is almost always a mis-declaration.
+    InnerNodeWithPeriod(TaskId),
+    /// Partitioned mapping requires every task to carry a target worker.
+    MissingPartition(TaskId),
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// An operation requires the schedule to be stopped.
+    ///
+    /// "It is only possible to alter the task set while the schedule is not
+    /// running" (§3.1).
+    ScheduleRunning,
+    /// An operation requires the schedule to be running.
+    ScheduleNotRunning,
+    /// A bounded capacity (queue, channel, table) would be exceeded.
+    CapacityExceeded {
+        /// What overflowed.
+        what: &'static str,
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// The offline scheduler could not build a feasible table.
+    Infeasible(String),
+    /// An OS interaction failed (affinity, locking memory, priorities…).
+    Os(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTask(t) => write!(f, "unknown task {t}"),
+            Error::UnknownVersion(t, v) => write!(f, "unknown version {v} of task {t}"),
+            Error::UnknownAccel(a) => write!(f, "unknown hardware accelerator {a}"),
+            Error::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+            Error::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            Error::ZeroPeriod(t) => write!(f, "recurring task {t} has a zero period"),
+            Error::NoVersions(t) => write!(f, "task {t} has no declared version"),
+            Error::DeadlineExceedsPeriod(t) => {
+                write!(f, "constrained deadline of task {t} exceeds its period")
+            }
+            Error::GraphCycle { task } => {
+                write!(f, "task graph is not acyclic (cycle through {task})")
+            }
+            Error::ChannelAlreadyConnected(c) => write!(f, "channel {c} connected twice"),
+            Error::ChannelNotConnected(c) => write!(f, "channel {c} was never connected"),
+            Error::InnerNodeWithPeriod(t) => {
+                write!(f, "non-root graph task {t} must not declare its own period")
+            }
+            Error::MissingPartition(t) => {
+                write!(f, "partitioned mapping but task {t} has no target worker")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::ScheduleRunning => write!(f, "operation requires a stopped schedule"),
+            Error::ScheduleNotRunning => write!(f, "operation requires a running schedule"),
+            Error::CapacityExceeded { what, capacity } => {
+                write!(f, "capacity of {what} exceeded (bound {capacity})")
+            }
+            Error::Infeasible(msg) => write!(f, "no feasible offline schedule: {msg}"),
+            Error::Os(msg) => write!(f, "os interaction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::UnknownTask(TaskId::new(3));
+        assert_eq!(e.to_string(), "unknown task T3");
+        let e = Error::CapacityExceeded {
+            what: "ready queue",
+            capacity: 8,
+        };
+        assert_eq!(e.to_string(), "capacity of ready queue exceeded (bound 8)");
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<Error>();
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Error::ScheduleRunning).is_empty());
+    }
+}

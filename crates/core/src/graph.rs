@@ -1,0 +1,680 @@
+//! Task sets and DAG task graphs.
+//!
+//! [`TaskSetBuilder`] mirrors the declaration half of the paper's API
+//! (Table 1): `task_decl`, `version_decl`, `hwaccel_decl`, `hwaccel_use`,
+//! `channel_decl`, `channel_connect`. [`TaskSetBuilder::build`] validates
+//! the whole declaration (acyclicity, deadline schemes, channel wiring) and
+//! freezes it into an immutable [`TaskSet`] that the scheduler consumes.
+
+use crate::accel::AccelSpec;
+use crate::channel::{ChannelSpec, Edge};
+use crate::error::{Error, Result};
+use crate::ids::{AccelId, ChannelId, TaskId, VersionId};
+use crate::task::{Task, TaskSpec};
+use crate::time::{gcd_all, lcm_all, Duration};
+use crate::version::VersionSpec;
+
+/// An immutable, validated set of tasks, versions, accelerators and
+/// channels.
+///
+/// # Examples
+///
+/// The diamond graph from the paper's Listing 2:
+///
+/// ```
+/// use yasmin_core::graph::TaskSetBuilder;
+/// use yasmin_core::task::TaskSpec;
+/// use yasmin_core::time::Duration;
+/// use yasmin_core::version::VersionSpec;
+///
+/// # fn main() -> Result<(), yasmin_core::error::Error> {
+/// let mut b = TaskSetBuilder::new();
+/// let fork = b.task_decl(TaskSpec::periodic("fork", Duration::from_millis(250)))?;
+/// let left = b.task_decl(TaskSpec::graph_node("left"))?;
+/// let right = b.task_decl(TaskSpec::graph_node("right"))?;
+/// let join = b.task_decl(TaskSpec::graph_node("join"))?;
+/// for t in [fork, left, right, join] {
+///     b.version_decl(t, VersionSpec::new("v1", Duration::from_micros(100)))?;
+/// }
+/// let fl = b.channel_decl("fl", 0, 1);
+/// let fr = b.channel_decl("fr", 1, 8);
+/// let lj = b.channel_decl("lj", 1, 4);
+/// let rj = b.channel_decl("rj", 2, 4);
+/// b.channel_connect(fork, left, fl)?;
+/// b.channel_connect(fork, right, fr)?;
+/// b.channel_connect(left, join, lj)?;
+/// b.channel_connect(right, join, rj)?;
+/// let set = b.build()?;
+/// assert_eq!(set.roots().count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+    accels: Vec<AccelSpec>,
+    channels: Vec<ChannelSpec>,
+    edges: Vec<Edge>,
+    /// `preds[t]` = indices into `edges` entering task `t`.
+    preds: Vec<Vec<usize>>,
+    /// `succs[t]` = indices into `edges` leaving task `t`.
+    succs: Vec<Vec<usize>>,
+    topo: Vec<TaskId>,
+}
+
+impl TaskSet {
+    /// All tasks, indexable by [`TaskId`].
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the set has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTask`] if out of range.
+    pub fn task(&self, id: TaskId) -> Result<&Task> {
+        self.tasks.get(id.index()).ok_or(Error::UnknownTask(id))
+    }
+
+    /// All declared accelerators.
+    #[must_use]
+    pub fn accels(&self) -> &[AccelSpec] {
+        &self.accels
+    }
+
+    /// The accelerator with the given id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownAccel`] if out of range.
+    pub fn accel(&self, id: AccelId) -> Result<&AccelSpec> {
+        self.accels.get(id.index()).ok_or(Error::UnknownAccel(id))
+    }
+
+    /// All declared channels.
+    #[must_use]
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
+    }
+
+    /// The channel with the given id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownChannel`] if out of range.
+    pub fn channel(&self, id: ChannelId) -> Result<&ChannelSpec> {
+        self.channels
+            .get(id.index())
+            .ok_or(Error::UnknownChannel(id))
+    }
+
+    /// All graph edges.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edges entering `t` (its data dependencies).
+    pub fn in_edges(&self, t: TaskId) -> impl Iterator<Item = &Edge> {
+        self.preds
+            .get(t.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// Edges leaving `t`.
+    pub fn out_edges(&self, t: TaskId) -> impl Iterator<Item = &Edge> {
+        self.succs
+            .get(t.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// Number of incoming edges of `t`.
+    #[must_use]
+    pub fn in_degree(&self, t: TaskId) -> usize {
+        self.preds.get(t.index()).map_or(0, Vec::len)
+    }
+
+    /// Tasks without incoming edges — the graph roots, which carry the
+    /// activation pattern (§3.3).
+    pub fn roots(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter().filter(|t| self.in_degree(t.id()) == 0)
+    }
+
+    /// Inner graph nodes (tasks with at least one predecessor).
+    pub fn inner_nodes(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter().filter(|t| self.in_degree(t.id()) > 0)
+    }
+
+    /// A topological ordering of all tasks (roots first).
+    #[must_use]
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// The root task whose graph (reachable successors) contains `t`.
+    ///
+    /// For a forest of DAGs every task belongs to exactly one weakly
+    /// connected component; this returns the smallest-id root of that
+    /// component.
+    #[must_use]
+    pub fn component_root(&self, t: TaskId) -> TaskId {
+        // Walk predecessors until a root; for joins pick the smallest.
+        let mut current = t;
+        loop {
+            let mut best: Option<TaskId> = None;
+            for e in self.in_edges(current) {
+                best = Some(match best {
+                    None => e.src,
+                    Some(b) => b.min(e.src),
+                });
+            }
+            match best {
+                None => return current,
+                Some(p) => current = p,
+            }
+        }
+    }
+
+    /// GCD of all recurring-task periods — the scheduler thread's
+    /// activation period (§3.3). `None` if there is no recurring task.
+    #[must_use]
+    pub fn scheduler_tick(&self) -> Option<Duration> {
+        gcd_all(
+            self.tasks
+                .iter()
+                .filter(|t| t.spec().kind().is_recurring())
+                .map(|t| t.spec().period()),
+        )
+    }
+
+    /// LCM of all recurring-task periods (the hyperperiod). `None` if
+    /// there is no recurring task.
+    #[must_use]
+    pub fn hyperperiod(&self) -> Option<Duration> {
+        lcm_all(
+            self.tasks
+                .iter()
+                .filter(|t| t.spec().kind().is_recurring())
+                .map(|t| t.spec().period()),
+        )
+    }
+
+    /// Total utilisation using each task's largest-WCET version; inner
+    /// graph nodes inherit the period of their component root.
+    #[must_use]
+    pub fn total_utilization_max(&self) -> f64 {
+        self.tasks
+            .iter()
+            .filter_map(|t| {
+                let period = self.effective_period(t.id())?;
+                if period.is_zero() {
+                    return None;
+                }
+                Some(t.max_wcet().as_nanos() as f64 / period.as_nanos() as f64)
+            })
+            .sum()
+    }
+
+    /// The activation period governing `t`: its own period for roots, the
+    /// component root's period for inner nodes ("the whole graph is
+    /// considered sporadic or periodic", §2). `None` for aperiodic roots.
+    #[must_use]
+    pub fn effective_period(&self, t: TaskId) -> Option<Duration> {
+        let root = self.component_root(t);
+        let spec = self.tasks.get(root.index())?.spec();
+        if spec.kind().is_recurring() {
+            Some(spec.period())
+        } else {
+            None
+        }
+    }
+
+    /// The relative deadline governing `t`: its own if declared, otherwise
+    /// the component root's (graph-level deadline, §2).
+    #[must_use]
+    pub fn effective_deadline(&self, t: TaskId) -> Duration {
+        let own = self.tasks[t.index()].spec().relative_deadline();
+        if own != Duration::MAX {
+            return own;
+        }
+        let root = self.component_root(t);
+        self.tasks[root.index()].spec().relative_deadline()
+    }
+
+    /// All tasks reachable from `root` (including it), in topological
+    /// order.
+    #[must_use]
+    pub fn component_of(&self, root: TaskId) -> Vec<TaskId> {
+        let mut member = vec![false; self.tasks.len()];
+        member[root.index()] = true;
+        for &t in &self.topo {
+            if member[t.index()] {
+                for e in self.out_edges(t) {
+                    member[e.dst.index()] = true;
+                }
+            }
+        }
+        self.topo
+            .iter()
+            .copied()
+            .filter(|t| member[t.index()])
+            .collect()
+    }
+}
+
+/// Fluent builder mirroring the paper's declaration API (Table 1).
+#[derive(Debug, Default)]
+pub struct TaskSetBuilder {
+    tasks: Vec<Task>,
+    accels: Vec<AccelSpec>,
+    channels: Vec<ChannelSpec>,
+    edges: Vec<Edge>,
+    connected: Vec<bool>,
+}
+
+impl TaskSetBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        TaskSetBuilder::default()
+    }
+
+    /// Declares a task (`yas_task_decl`).
+    ///
+    /// # Errors
+    ///
+    /// Returns spec-validation errors such as [`Error::ZeroPeriod`].
+    pub fn task_decl(&mut self, spec: TaskSpec) -> Result<TaskId> {
+        let id = TaskId::new(u32::try_from(self.tasks.len()).expect("< 2^32 tasks"));
+        spec.validate(id)?;
+        self.tasks.push(Task::new(id, spec));
+        Ok(id)
+    }
+
+    /// Adds a version to a task (`yas_version_decl`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTask`] or [`Error::UnknownAccel`] if the version
+    /// references an undeclared accelerator.
+    pub fn version_decl(&mut self, task: TaskId, version: VersionSpec) -> Result<VersionId> {
+        if let Some(a) = version.accel() {
+            if a.index() >= self.accels.len() {
+                return Err(Error::UnknownAccel(a));
+            }
+        }
+        let t = self
+            .tasks
+            .get_mut(task.index())
+            .ok_or(Error::UnknownTask(task))?;
+        Ok(t.push_version(version))
+    }
+
+    /// Declares a hardware accelerator (`yas_hwaccel_decl`).
+    pub fn hwaccel_decl(&mut self, name: impl Into<String>) -> AccelId {
+        let id = AccelId::new(u16::try_from(self.accels.len()).expect("< 65536 accels"));
+        self.accels.push(AccelSpec::new(id, name));
+        id
+    }
+
+    /// Declares an accelerator with a power figure for the energy model.
+    pub fn hwaccel_decl_with_power(
+        &mut self,
+        name: impl Into<String>,
+        power: crate::energy::Power,
+    ) -> AccelId {
+        let id = AccelId::new(u16::try_from(self.accels.len()).expect("< 65536 accels"));
+        self.accels
+            .push(AccelSpec::new(id, name).with_active_power(power));
+        id
+    }
+
+    /// Links an accelerator to a task version (`yas_hwaccel_use`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTask`], [`Error::UnknownVersion`] or
+    /// [`Error::UnknownAccel`].
+    pub fn hwaccel_use(&mut self, task: TaskId, version: VersionId, accel: AccelId) -> Result<()> {
+        if accel.index() >= self.accels.len() {
+            return Err(Error::UnknownAccel(accel));
+        }
+        let t = self
+            .tasks
+            .get_mut(task.index())
+            .ok_or(Error::UnknownTask(task))?;
+        t.bind_accel(version, accel)
+    }
+
+    /// Declares a FIFO channel (`yas_channel_decl`). `capacity == 0`
+    /// declares a pure precedence dependency.
+    pub fn channel_decl(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        elem_bytes: usize,
+    ) -> ChannelId {
+        let id = ChannelId::new(u32::try_from(self.channels.len()).expect("< 2^32 channels"));
+        self.channels
+            .push(ChannelSpec::new(id, name, capacity, elem_bytes));
+        self.connected.push(false);
+        id
+    }
+
+    /// Connects `src → dst` through `channel` (`yas_channel_connect`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTask`], [`Error::UnknownChannel`], or
+    /// [`Error::ChannelAlreadyConnected`] — each channel wires exactly one
+    /// producer/consumer pair.
+    pub fn channel_connect(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        channel: ChannelId,
+    ) -> Result<()> {
+        if src.index() >= self.tasks.len() {
+            return Err(Error::UnknownTask(src));
+        }
+        if dst.index() >= self.tasks.len() {
+            return Err(Error::UnknownTask(dst));
+        }
+        let flag = self
+            .connected
+            .get_mut(channel.index())
+            .ok_or(Error::UnknownChannel(channel))?;
+        if *flag {
+            return Err(Error::ChannelAlreadyConnected(channel));
+        }
+        *flag = true;
+        self.edges.push(Edge { src, dst, channel });
+        Ok(())
+    }
+
+    /// Number of tasks declared so far.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Validates the declaration and freezes it.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoVersions`] — a task without any version;
+    /// * [`Error::GraphCycle`] — the connections are not acyclic;
+    /// * [`Error::ChannelNotConnected`] — a declared but unwired channel;
+    /// * [`Error::InnerNodeWithPeriod`] — an inner graph node carrying its
+    ///   own activation period.
+    pub fn build(self) -> Result<TaskSet> {
+        let n = self.tasks.len();
+        for t in &self.tasks {
+            if t.versions().is_empty() {
+                return Err(Error::NoVersions(t.id()));
+            }
+        }
+        for (i, c) in self.connected.iter().enumerate() {
+            if !*c {
+                return Err(Error::ChannelNotConnected(ChannelId::new(i as u32)));
+            }
+        }
+
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            preds[e.dst.index()].push(i);
+            succs[e.src.index()].push(i);
+        }
+
+        // Inner nodes must not declare their own activation period.
+        for t in &self.tasks {
+            if !preds[t.id().index()].is_empty() && t.spec().kind().is_recurring() {
+                return Err(Error::InnerNodeWithPeriod(t.id()));
+            }
+        }
+
+        // Kahn's algorithm: detects cycles and yields the topo order.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            topo.push(TaskId::new(i as u32));
+            for &ei in &succs[i] {
+                let d = self.edges[ei].dst.index();
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        if topo.len() != n {
+            let culprit = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| TaskId::new(i as u32))
+                .unwrap_or_default();
+            return Err(Error::GraphCycle { task: culprit });
+        }
+
+        Ok(TaskSet {
+            tasks: self.tasks,
+            accels: self.accels,
+            channels: self.channels,
+            edges: self.edges,
+            preds,
+            succs,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::VersionSpec;
+
+    fn simple_version() -> VersionSpec {
+        VersionSpec::new("v", Duration::from_micros(100))
+    }
+
+    fn diamond() -> TaskSet {
+        let mut b = TaskSetBuilder::new();
+        let fork = b
+            .task_decl(TaskSpec::periodic("fork", Duration::from_millis(250)))
+            .unwrap();
+        let left = b.task_decl(TaskSpec::graph_node("left")).unwrap();
+        let right = b.task_decl(TaskSpec::graph_node("right")).unwrap();
+        let join = b.task_decl(TaskSpec::graph_node("join")).unwrap();
+        for t in [fork, left, right, join] {
+            b.version_decl(t, simple_version()).unwrap();
+        }
+        let fl = b.channel_decl("fl", 0, 1);
+        let fr = b.channel_decl("fr", 1, 8);
+        let lj = b.channel_decl("lj", 1, 4);
+        let rj = b.channel_decl("rj", 2, 4);
+        b.channel_connect(fork, left, fl).unwrap();
+        b.channel_connect(fork, right, fr).unwrap();
+        b.channel_connect(left, join, lj).unwrap();
+        b.channel_connect(right, join, rj).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let s = diamond();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.roots().count(), 1);
+        assert_eq!(s.inner_nodes().count(), 3);
+        assert_eq!(s.in_degree(TaskId::new(3)), 2);
+        assert_eq!(s.out_edges(TaskId::new(0)).count(), 2);
+        let topo = s.topological_order();
+        assert_eq!(topo[0], TaskId::new(0));
+        assert_eq!(topo[3], TaskId::new(3));
+    }
+
+    #[test]
+    fn component_root_and_effective_period() {
+        let s = diamond();
+        for t in 0..4 {
+            assert_eq!(s.component_root(TaskId::new(t)), TaskId::new(0));
+            assert_eq!(
+                s.effective_period(TaskId::new(t)),
+                Some(Duration::from_millis(250))
+            );
+            assert_eq!(
+                s.effective_deadline(TaskId::new(t)),
+                Duration::from_millis(250)
+            );
+        }
+        assert_eq!(s.component_of(TaskId::new(0)).len(), 4);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut b = TaskSetBuilder::new();
+        let a = b.task_decl(TaskSpec::graph_node("a")).unwrap();
+        let c = b.task_decl(TaskSpec::graph_node("c")).unwrap();
+        b.version_decl(a, simple_version()).unwrap();
+        b.version_decl(c, simple_version()).unwrap();
+        let ch1 = b.channel_decl("x", 1, 1);
+        let ch2 = b.channel_decl("y", 1, 1);
+        b.channel_connect(a, c, ch1).unwrap();
+        b.channel_connect(c, a, ch2).unwrap();
+        assert!(matches!(b.build(), Err(Error::GraphCycle { .. })));
+    }
+
+    #[test]
+    fn missing_version_rejected() {
+        let mut b = TaskSetBuilder::new();
+        b.task_decl(TaskSpec::periodic("t", Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(b.build().unwrap_err(), Error::NoVersions(TaskId::new(0)));
+    }
+
+    #[test]
+    fn unconnected_channel_rejected() {
+        let mut b = TaskSetBuilder::new();
+        let t = b
+            .task_decl(TaskSpec::periodic("t", Duration::from_millis(1)))
+            .unwrap();
+        b.version_decl(t, simple_version()).unwrap();
+        b.channel_decl("dangling", 1, 1);
+        assert_eq!(
+            b.build().unwrap_err(),
+            Error::ChannelNotConnected(ChannelId::new(0))
+        );
+    }
+
+    #[test]
+    fn double_connect_rejected() {
+        let mut b = TaskSetBuilder::new();
+        let a = b
+            .task_decl(TaskSpec::periodic("a", Duration::from_millis(1)))
+            .unwrap();
+        let c = b.task_decl(TaskSpec::graph_node("c")).unwrap();
+        b.version_decl(a, simple_version()).unwrap();
+        b.version_decl(c, simple_version()).unwrap();
+        let ch = b.channel_decl("x", 1, 1);
+        b.channel_connect(a, c, ch).unwrap();
+        assert_eq!(
+            b.channel_connect(a, c, ch).unwrap_err(),
+            Error::ChannelAlreadyConnected(ch)
+        );
+    }
+
+    #[test]
+    fn inner_node_with_period_rejected() {
+        let mut b = TaskSetBuilder::new();
+        let a = b
+            .task_decl(TaskSpec::periodic("a", Duration::from_millis(1)))
+            .unwrap();
+        let c = b
+            .task_decl(TaskSpec::periodic("c", Duration::from_millis(2)))
+            .unwrap();
+        b.version_decl(a, simple_version()).unwrap();
+        b.version_decl(c, simple_version()).unwrap();
+        let ch = b.channel_decl("x", 1, 1);
+        b.channel_connect(a, c, ch).unwrap();
+        assert_eq!(b.build().unwrap_err(), Error::InnerNodeWithPeriod(c));
+    }
+
+    #[test]
+    fn accel_use_binds_version() {
+        let mut b = TaskSetBuilder::new();
+        let t = b
+            .task_decl(TaskSpec::periodic("t", Duration::from_millis(10)))
+            .unwrap();
+        let gpu = b.hwaccel_decl("gpu");
+        let v = b.version_decl(t, simple_version()).unwrap();
+        b.hwaccel_use(t, v, gpu).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.task(t).unwrap().version(v).unwrap().accel(), Some(gpu));
+        assert_eq!(s.accel(gpu).unwrap().name(), "gpu");
+    }
+
+    #[test]
+    fn version_with_undeclared_accel_rejected() {
+        let mut b = TaskSetBuilder::new();
+        let t = b
+            .task_decl(TaskSpec::periodic("t", Duration::from_millis(10)))
+            .unwrap();
+        let v = simple_version().with_accel(AccelId::new(5));
+        assert_eq!(
+            b.version_decl(t, v).unwrap_err(),
+            Error::UnknownAccel(AccelId::new(5))
+        );
+    }
+
+    #[test]
+    fn tick_and_hyperperiod() {
+        let mut b = TaskSetBuilder::new();
+        for (n, ms) in [("a", 10u64), ("b", 25), ("c", 4)] {
+            let t = b
+                .task_decl(TaskSpec::periodic(n, Duration::from_millis(ms)))
+                .unwrap();
+            b.version_decl(t, simple_version()).unwrap();
+        }
+        let s = b.build().unwrap();
+        assert_eq!(s.scheduler_tick(), Some(Duration::from_millis(1)));
+        assert_eq!(s.hyperperiod(), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut b = TaskSetBuilder::new();
+        let t = b
+            .task_decl(TaskSpec::periodic("solo", Duration::from_millis(5)))
+            .unwrap();
+        b.version_decl(t, simple_version()).unwrap();
+        let s = b.build().unwrap();
+        assert!(s.edges().is_empty());
+        assert_eq!(s.component_root(t), t);
+        assert_eq!(s.roots().count(), 1);
+    }
+
+    #[test]
+    fn utilization_accounts_inner_nodes() {
+        let s = diamond();
+        // 4 nodes, each 100us WCET, period 250ms -> 4 * 0.0004 = 0.0016.
+        let u = s.total_utilization_max();
+        assert!((u - 0.0016).abs() < 1e-9, "u = {u}");
+    }
+}

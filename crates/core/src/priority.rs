@@ -1,0 +1,146 @@
+//! Priorities and priority-assignment policies.
+//!
+//! YASMIN "supports static and dynamic priority assignments following task
+//! periods (rate monotonic), deadlines (deadline monotonic, earliest
+//! deadline first) or any statically user-defined priorities" (§3.3).
+//!
+//! Convention: **numerically smaller means more urgent**. This makes
+//! deadline-derived priorities (EDF, DM) and period-derived priorities (RM)
+//! directly comparable without inversion.
+
+use crate::time::{Duration, Instant};
+use std::fmt;
+
+/// A scheduling priority; smaller values are more urgent.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u64);
+
+impl Priority {
+    /// The most urgent priority.
+    pub const HIGHEST: Priority = Priority(0);
+    /// The least urgent priority.
+    pub const LOWEST: Priority = Priority(u64::MAX);
+
+    /// Creates a priority from a raw urgency value (smaller = more urgent).
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Priority(raw)
+    }
+
+    /// Rate-monotonic priority: urgency equals the task period.
+    #[must_use]
+    pub const fn rate_monotonic(period: Duration) -> Self {
+        Priority(period.as_nanos())
+    }
+
+    /// Deadline-monotonic priority: urgency equals the relative deadline.
+    #[must_use]
+    pub const fn deadline_monotonic(relative_deadline: Duration) -> Self {
+        Priority(relative_deadline.as_nanos())
+    }
+
+    /// EDF job priority: urgency equals the absolute deadline.
+    #[must_use]
+    pub const fn earliest_deadline(abs_deadline: Instant) -> Self {
+        Priority(abs_deadline.as_nanos())
+    }
+
+    /// The raw urgency value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if `self` is strictly more urgent than `other`.
+    #[must_use]
+    pub const fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Debug for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio({})", self.0)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// How priorities are assigned to tasks/jobs (`PRIORITY_ASSIGNMENT` in the
+/// paper's configuration header).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PriorityPolicy {
+    /// Static, by period: shorter period = more urgent.
+    RateMonotonic,
+    /// Static, by relative deadline: shorter deadline = more urgent.
+    #[default]
+    DeadlineMonotonic,
+    /// Dynamic, by absolute deadline of the current job (EDF).
+    EarliestDeadlineFirst,
+    /// Static priorities supplied by the user on each task declaration.
+    UserDefined,
+}
+
+impl PriorityPolicy {
+    /// `true` for policies whose priority is fixed per task.
+    #[must_use]
+    pub const fn is_static(self) -> bool {
+        !matches!(self, PriorityPolicy::EarliestDeadlineFirst)
+    }
+
+    /// Short display label used in experiment tables ("EDF", "DM", …).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            PriorityPolicy::RateMonotonic => "RM",
+            PriorityPolicy::DeadlineMonotonic => "DM",
+            PriorityPolicy::EarliestDeadlineFirst => "EDF",
+            PriorityPolicy::UserDefined => "USER",
+        }
+    }
+}
+
+impl fmt::Display for PriorityPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_is_more_urgent() {
+        assert!(Priority::HIGHEST.is_higher_than(Priority::LOWEST));
+        assert!(Priority::new(10).is_higher_than(Priority::new(11)));
+        assert!(!Priority::new(10).is_higher_than(Priority::new(10)));
+        assert!(Priority::new(5) < Priority::new(9));
+    }
+
+    #[test]
+    fn rm_orders_by_period() {
+        let fast = Priority::rate_monotonic(Duration::from_millis(10));
+        let slow = Priority::rate_monotonic(Duration::from_millis(500));
+        assert!(fast.is_higher_than(slow));
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline() {
+        let early = Priority::earliest_deadline(Instant::from_nanos(1_000));
+        let late = Priority::earliest_deadline(Instant::from_nanos(2_000));
+        assert!(early.is_higher_than(late));
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(PriorityPolicy::EarliestDeadlineFirst.label(), "EDF");
+        assert_eq!(PriorityPolicy::RateMonotonic.to_string(), "RM");
+        assert!(PriorityPolicy::RateMonotonic.is_static());
+        assert!(!PriorityPolicy::EarliestDeadlineFirst.is_static());
+    }
+}

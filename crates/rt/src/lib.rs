@@ -1,0 +1,19 @@
+//! # yasmin-rt
+//!
+//! The real-thread POSIX runtime of YASMIN: a dedicated scheduler thread
+//! driving the shared scheduling engine at the gcd tick, worker threads
+//! ("virtual CPUs") pinned to cores executing registered task bodies, and
+//! the OS plumbing the paper relies on (affinity, `mlockall`,
+//! `SCHED_FIFO`).
+//!
+//! * [`runtime`] — [`runtime::RuntimeBuilder`] / [`runtime::Runtime`],
+//!   mirroring the paper's `init`/`start`/`stop`/`cleanup` lifecycle;
+//! * [`os`] — best-effort real-time OS setup (feature `os-rt`, on by
+//!   default; degrades gracefully in unprivileged containers).
+
+#![warn(missing_docs)]
+
+pub mod os;
+pub mod runtime;
+
+pub use runtime::{JobCtx, RtJobRecord, Runtime, RuntimeBuilder, RuntimeReport, TaskBody};

@@ -1,0 +1,171 @@
+//! OS interactions of the runtime (§3.3/§3.5): core pinning, memory
+//! locking, real-time priorities.
+//!
+//! These are exactly the calls the paper relies on —
+//! `pthread_setaffinity_np`, `mlockall`, `SCHED_FIFO` — none of which
+//! `std` exposes, hence the `libc` dependency behind the default `os-rt`
+//! feature. Every call degrades gracefully: unprivileged containers
+//! return an [`Error::Os`] which callers may log and ignore, matching the
+//! middleware's best-effort stance on COTS systems.
+
+use yasmin_core::error::{Error, Result};
+
+/// Pins the calling thread to `core` (zero-based).
+///
+/// # Errors
+///
+/// [`Error::Os`] when the kernel rejects the affinity call (out-of-range
+/// core, restricted cpuset) or the feature is disabled.
+#[cfg(feature = "os-rt")]
+pub fn pin_current_thread(core: usize) -> Result<()> {
+    if core >= libc::CPU_SETSIZE as usize {
+        return Err(Error::Os(format!(
+            "core {core} exceeds CPU_SETSIZE ({})",
+            libc::CPU_SETSIZE
+        )));
+    }
+    // SAFETY: CPU_SET/CPU_ZERO manipulate a plain stack value; the index
+    // is bounds-checked above; pthread_setaffinity_np reads it for the
+    // calling thread only.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        libc::CPU_SET(core, &mut set);
+        let rc = libc::pthread_setaffinity_np(
+            libc::pthread_self(),
+            std::mem::size_of::<libc::cpu_set_t>(),
+            &set,
+        );
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(Error::Os(format!("pthread_setaffinity_np({core}) failed: {rc}")))
+        }
+    }
+}
+
+/// Pins the calling thread to `core` — no-op stub without `os-rt`.
+///
+/// # Errors
+///
+/// Always [`Error::Os`] (feature disabled).
+#[cfg(not(feature = "os-rt"))]
+pub fn pin_current_thread(core: usize) -> Result<()> {
+    let _ = core;
+    Err(Error::Os("os-rt feature disabled".into()))
+}
+
+/// Locks current and future pages in memory (`mlockall(MCL_CURRENT |
+/// MCL_FUTURE)`) — the paper's protection against page faults (§3.5).
+///
+/// # Errors
+///
+/// [`Error::Os`] when the kernel refuses (usually `RLIMIT_MEMLOCK`).
+#[cfg(feature = "os-rt")]
+pub fn lock_all_memory() -> Result<()> {
+    // SAFETY: mlockall takes flags only and affects the whole process.
+    let rc = unsafe { libc::mlockall(libc::MCL_CURRENT | libc::MCL_FUTURE) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(Error::Os("mlockall failed (RLIMIT_MEMLOCK?)".into()))
+    }
+}
+
+/// Locks memory — no-op stub without `os-rt`.
+///
+/// # Errors
+///
+/// Always [`Error::Os`] (feature disabled).
+#[cfg(not(feature = "os-rt"))]
+pub fn lock_all_memory() -> Result<()> {
+    Err(Error::Os("os-rt feature disabled".into()))
+}
+
+/// Gives the calling thread a `SCHED_FIFO` priority (1–99; higher wins).
+///
+/// # Errors
+///
+/// [`Error::Os`] when unprivileged (no `CAP_SYS_NICE`).
+#[cfg(feature = "os-rt")]
+pub fn set_fifo_priority(priority: i32) -> Result<()> {
+    // SAFETY: sched_param is a plain struct passed by pointer.
+    unsafe {
+        let param = libc::sched_param {
+            sched_priority: priority.clamp(1, 99),
+        };
+        let rc = libc::pthread_setschedparam(libc::pthread_self(), libc::SCHED_FIFO, &param);
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(Error::Os(format!("SCHED_FIFO({priority}) refused: {rc}")))
+        }
+    }
+}
+
+/// Sets a FIFO priority — no-op stub without `os-rt`.
+///
+/// # Errors
+///
+/// Always [`Error::Os`] (feature disabled).
+#[cfg(not(feature = "os-rt"))]
+pub fn set_fifo_priority(priority: i32) -> Result<()> {
+    let _ = priority;
+    Err(Error::Os("os-rt feature disabled".into()))
+}
+
+/// Number of cores visible to this process.
+#[must_use]
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies the full shielded-worker setup best-effort: pin to `core`,
+/// set FIFO priority. Returns the list of failures (empty = full RT
+/// setup achieved).
+#[must_use]
+pub fn setup_rt_thread(core: usize, priority: i32) -> Vec<Error> {
+    let mut failures = Vec::new();
+    if let Err(e) = pin_current_thread(core) {
+        failures.push(e);
+    }
+    if let Err(e) = set_fifo_priority(priority) {
+        failures.push(e);
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cores_positive() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn pin_to_core_zero_usually_works() {
+        // Core 0 exists everywhere; in restricted cpusets this may fail,
+        // which is also an accepted outcome.
+        match pin_current_thread(0) {
+            Ok(()) => {}
+            Err(Error::Os(_)) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn pin_to_absurd_core_fails() {
+        assert!(pin_current_thread(100_000).is_err());
+    }
+
+    #[test]
+    fn best_effort_setup_reports() {
+        // Either full success or a list of Os errors; never panics.
+        let failures = setup_rt_thread(0, 50);
+        for f in failures {
+            assert!(matches!(f, Error::Os(_)));
+        }
+    }
+}

@@ -1,0 +1,628 @@
+//! The real-thread YASMIN runtime (Fig. 1a/1b brought to life).
+//!
+//! One **scheduler thread** owns the scheduling engine, wakes at the gcd
+//! tick (§3.3), processes completion notifications from workers between
+//! ticks, and pushes dispatches into per-worker mailboxes. **Worker
+//! threads** ("virtual CPUs") are pinned to cores best-effort and execute
+//! registered version bodies to completion.
+//!
+//! Substitution note (DESIGN.md): the paper preempts workers with POSIX
+//! signals and a hand-written `swapcontext`. Safe Rust cannot hijack a
+//! thread asynchronously, so this runtime schedules **non-preemptively at
+//! job boundaries** — configurations must set `preemption(false)`;
+//! preemptive behaviour is exercised in the simulator, which drives the
+//! same engine.
+//!
+//! Data channels: the engine tracks *activation tokens*; the actual data
+//! travels through `yasmin_sync::spsc` endpoints captured inside the task
+//! closures (the Rust analogue of the paper's macro-generated static
+//! FIFO buffers — see `examples/quickstart.rs`).
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use yasmin_core::config::Config;
+use yasmin_core::error::{Error, Result};
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::{TaskId, VersionId, WorkerId};
+use yasmin_core::time::{Clock, Instant, MonotonicClock};
+use yasmin_sched::{Action, EngineStats, Job, OnlineEngine};
+use yasmin_sync::wait::{wait_until, WaitMode};
+
+/// Context handed to a task body for each job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobCtx {
+    /// The job being executed.
+    pub job: Job,
+    /// The version selected by the scheduler.
+    pub version: VersionId,
+    /// The worker (virtual CPU) executing it.
+    pub worker: WorkerId,
+}
+
+/// A task-version body: the user function of `version_decl`.
+pub type TaskBody = Arc<dyn Fn(&JobCtx) + Send + Sync>;
+
+/// One completed job, as observed by the runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct RtJobRecord {
+    /// The job.
+    pub job: Job,
+    /// Version executed.
+    pub version: VersionId,
+    /// Worker that ran it.
+    pub worker: WorkerId,
+    /// When the body started.
+    pub started: Instant,
+    /// When the body returned.
+    pub completed: Instant,
+}
+
+impl RtJobRecord {
+    /// Dispatch latency: body start − release.
+    #[must_use]
+    pub fn start_latency(&self) -> yasmin_core::time::Duration {
+        self.started.saturating_since(self.job.release)
+    }
+
+    /// Response time: completion − release.
+    #[must_use]
+    pub fn response_time(&self) -> yasmin_core::time::Duration {
+        self.completed.saturating_since(self.job.release)
+    }
+
+    /// `true` if the job completed past its deadline.
+    #[must_use]
+    pub fn missed(&self) -> bool {
+        self.job.abs_deadline != Instant::MAX && self.completed > self.job.abs_deadline
+    }
+}
+
+/// Final report returned by [`Runtime::cleanup`].
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Every completed job.
+    pub records: Vec<RtJobRecord>,
+    /// Engine counters.
+    pub engine_stats: EngineStats,
+}
+
+enum WorkerMsg {
+    Run {
+        job: Job,
+        version: VersionId,
+        body: TaskBody,
+    },
+    Exit,
+}
+
+struct Completion {
+    worker: WorkerId,
+    job: Job,
+    version: VersionId,
+    started: Instant,
+    completed: Instant,
+}
+
+enum Cmd {
+    Activate(TaskId),
+    Stop,
+    Shutdown,
+}
+
+/// Builder mirroring the paper's init/declare phase.
+pub struct RuntimeBuilder {
+    taskset: Arc<TaskSet>,
+    config: Config,
+    bodies: HashMap<(TaskId, VersionId), TaskBody>,
+    pin_offset: usize,
+    lock_memory: bool,
+}
+
+impl RuntimeBuilder {
+    /// Starts building a runtime for `taskset` under `config`.
+    #[must_use]
+    pub fn new(taskset: Arc<TaskSet>, config: Config) -> Self {
+        RuntimeBuilder {
+            taskset,
+            config,
+            bodies: HashMap::new(),
+            pin_offset: 0,
+            lock_memory: false,
+        }
+    }
+
+    /// Registers the executable body of `(task, version)`.
+    #[must_use]
+    pub fn body(
+        mut self,
+        task: TaskId,
+        version: VersionId,
+        f: impl Fn(&JobCtx) + Send + Sync + 'static,
+    ) -> Self {
+        self.bodies.insert((task, version), Arc::new(f));
+        self
+    }
+
+    /// Pins worker *w* to core `offset + w` (scheduler thread to
+    /// `offset + workers`), best-effort.
+    #[must_use]
+    pub fn pin_cores_from(mut self, offset: usize) -> Self {
+        self.pin_offset = offset;
+        self
+    }
+
+    /// Calls `mlockall` at start (best-effort, §3.5).
+    #[must_use]
+    pub fn lock_memory(mut self) -> Self {
+        self.lock_memory = true;
+        self
+    }
+
+    /// Validates and spawns all threads; the schedule is *not* running
+    /// when the engine's schedule starts (immediately on spawn).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidConfig`] when preemption is enabled (see module
+    ///   docs) or a version has no registered body;
+    /// * engine construction errors (partition validation etc.).
+    pub fn build(self) -> Result<Runtime> {
+        if self.config.preemption() {
+            return Err(Error::InvalidConfig(
+                "the thread runtime schedules non-preemptively at job boundaries; \
+                 build the Config with .preemption(false) (the simulator exercises \
+                 preemptive configurations)"
+                    .into(),
+            ));
+        }
+        for t in self.taskset.tasks() {
+            for (vi, _) in t.versions().iter().enumerate() {
+                let key = (t.id(), VersionId::new(vi as u16));
+                if !self.bodies.contains_key(&key) {
+                    return Err(Error::InvalidConfig(format!(
+                        "no body registered for task {} version v{vi}",
+                        t.id()
+                    )));
+                }
+            }
+        }
+        let engine = OnlineEngine::new(Arc::clone(&self.taskset), self.config.clone())?;
+        if self.lock_memory {
+            // Best-effort; containers commonly deny it.
+            let _ = crate::os::lock_all_memory();
+        }
+        Runtime::spawn(self, engine)
+    }
+}
+
+/// The running middleware: scheduler thread + pinned workers.
+pub struct Runtime {
+    cmd_tx: Sender<Cmd>,
+    scheduler: Option<std::thread::JoinHandle<RuntimeReport>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    worker_tx: Vec<Sender<WorkerMsg>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.worker_tx.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    fn spawn(builder: RuntimeBuilder, mut engine: OnlineEngine) -> Result<Self> {
+        let workers_n = builder.config.workers();
+        let wait_mode = match builder.config.waiting() {
+            yasmin_core::config::WaitChoice::Sleep => WaitMode::HybridSpin { spin_window_us: 200 },
+            yasmin_core::config::WaitChoice::Spin => WaitMode::Spin,
+        };
+        let clock = Arc::new(MonotonicClock::new());
+        let (done_tx, done_rx) = bounded::<Completion>(builder.config.max_pending_jobs());
+        let (cmd_tx, cmd_rx) = bounded::<Cmd>(64);
+
+        // Worker threads.
+        let mut worker_tx = Vec::with_capacity(workers_n);
+        let mut workers = Vec::with_capacity(workers_n);
+        for w in 0..workers_n {
+            let (tx, rx) = bounded::<WorkerMsg>(builder.config.max_pending_jobs());
+            worker_tx.push(tx);
+            let done_tx = done_tx.clone();
+            let clock = Arc::clone(&clock);
+            let core = builder.pin_offset + w;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("yasmin-worker-{w}"))
+                    .spawn(move || {
+                        let _ = crate::os::pin_current_thread(core);
+                        worker_main(&rx, &done_tx, &clock, WorkerId::new(w as u16));
+                    })
+                    .map_err(|e| Error::Os(format!("spawning worker {w}: {e}")))?,
+            );
+        }
+
+        // Scheduler thread.
+        let bodies = builder.bodies;
+        let sched_core = builder.pin_offset + workers_n;
+        let worker_tx_sched = worker_tx.clone();
+        let tick = engine.tick_period();
+        let scheduler = std::thread::Builder::new()
+            .name("yasmin-scheduler".into())
+            .spawn(move || {
+                let _ = crate::os::pin_current_thread(sched_core);
+                scheduler_main(
+                    &mut engine,
+                    &bodies,
+                    &worker_tx_sched,
+                    &done_rx,
+                    &cmd_rx,
+                    &clock,
+                    tick,
+                    wait_mode,
+                )
+            })
+            .map_err(|e| Error::Os(format!("spawning scheduler: {e}")))?;
+
+        Ok(Runtime {
+            cmd_tx,
+            scheduler: Some(scheduler),
+            workers,
+            worker_tx,
+        })
+    }
+
+    /// Activates an aperiodic or sporadic task (the paper's
+    /// `yas_task_activate`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ScheduleNotRunning`] when the scheduler thread is gone.
+    pub fn activate(&self, task: TaskId) -> Result<()> {
+        self.cmd_tx
+            .send(Cmd::Activate(task))
+            .map_err(|_| Error::ScheduleNotRunning)
+    }
+
+    /// Stops releasing new periodic jobs; in-flight jobs drain (the
+    /// paper's `yas_stop`).
+    pub fn stop(&self) {
+        let _ = self.cmd_tx.send(Cmd::Stop);
+    }
+
+    /// Waits for all worker threads to finish and closes (the paper's
+    /// `yas_cleanup`), returning the run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a runtime thread panicked.
+    #[must_use]
+    pub fn cleanup(mut self) -> RuntimeReport {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        let report = self
+            .scheduler
+            .take()
+            .expect("cleanup runs once")
+            .join()
+            .expect("scheduler thread panicked");
+        for tx in &self.worker_tx {
+            let _ = tx.send(WorkerMsg::Exit);
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        report
+    }
+}
+
+fn worker_main(
+    rx: &Receiver<WorkerMsg>,
+    done_tx: &Sender<Completion>,
+    clock: &Arc<MonotonicClock>,
+    me: WorkerId,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Exit => break,
+            WorkerMsg::Run { job, version, body } => {
+                let started = clock.now();
+                let ctx = JobCtx {
+                    job,
+                    version,
+                    worker: me,
+                };
+                body(&ctx);
+                let completed = clock.now();
+                if done_tx
+                    .send(Completion {
+                        worker: me,
+                        job,
+                        version,
+                        started,
+                        completed,
+                    })
+                    .is_err()
+                {
+                    break; // scheduler gone
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scheduler_main(
+    engine: &mut OnlineEngine,
+    bodies: &HashMap<(TaskId, VersionId), TaskBody>,
+    worker_tx: &[Sender<WorkerMsg>],
+    done_rx: &Receiver<Completion>,
+    cmd_rx: &Receiver<Cmd>,
+    clock: &Arc<MonotonicClock>,
+    tick: yasmin_core::time::Duration,
+    wait_mode: WaitMode,
+) -> RuntimeReport {
+    let epoch = std::time::Instant::now();
+    let to_std = |t: Instant| epoch + std::time::Duration::from_nanos(t.as_nanos());
+
+    let mut records: Vec<RtJobRecord> = Vec::new();
+    let mut shutting_down = false;
+
+    let dispatch = |actions: Vec<Action>| {
+        for a in actions {
+            if let Action::Dispatch {
+                worker,
+                job,
+                version,
+            } = a
+            {
+                let body = Arc::clone(&bodies[&(job.task, version)]);
+                // Bounded mailbox: a full mailbox is a protocol bug since
+                // the engine never double-books a worker.
+                worker_tx[worker.index()]
+                    .send(WorkerMsg::Run { job, version, body })
+                    .expect("worker mailbox closed");
+            }
+            // Preempt/Boost cannot occur: preemption is disabled.
+        }
+    };
+
+    let actions = engine.start(clock.now()).expect("fresh engine starts");
+    dispatch(actions);
+    let mut next_tick = clock.now() + tick;
+
+    loop {
+        // Drain commands.
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            match cmd {
+                Cmd::Activate(task) => {
+                    let now = clock.now();
+                    if let Ok(actions) = engine.activate(task, now) {
+                        dispatch(actions);
+                    }
+                }
+                Cmd::Stop => engine.stop(),
+                Cmd::Shutdown => shutting_down = true,
+            }
+        }
+        if shutting_down && engine.is_idle() {
+            break;
+        }
+
+        // Wait for a completion until the next tick; handle whichever
+        // comes first.
+        let now = clock.now();
+        let timeout: std::time::Duration = if next_tick > now {
+            (next_tick - now).into()
+        } else {
+            std::time::Duration::ZERO
+        };
+        match done_rx.recv_timeout(timeout) {
+            Ok(c) => {
+                let actions = engine
+                    .on_job_completed(c.worker, c.job.id, c.completed)
+                    .expect("completion protocol upheld");
+                records.push(RtJobRecord {
+                    job: c.job,
+                    version: c.version,
+                    worker: c.worker,
+                    started: c.started,
+                    completed: c.completed,
+                });
+                dispatch(actions);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Tick edge: wait precisely (spin window), then release.
+                let _ = wait_until(wait_mode, to_std(next_tick));
+                let now = clock.now();
+                let actions = engine.on_tick(now);
+                dispatch(actions);
+                while next_tick <= now {
+                    next_tick += tick;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    RuntimeReport {
+        records,
+        engine_stats: engine.stats().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use yasmin_core::graph::TaskSetBuilder;
+    use yasmin_core::priority::PriorityPolicy;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::time::Duration;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn config(workers: usize) -> Config {
+        Config::builder()
+            .workers(workers)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .preemption(false)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn periodic_task_fires_repeatedly() {
+        let mut b = TaskSetBuilder::new();
+        let t = b.task_decl(TaskSpec::periodic("tick", ms(5))).unwrap();
+        let v = b
+            .version_decl(t, VersionSpec::new("v", Duration::from_micros(100)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let count = Arc::new(AtomicU32::new(0));
+        let c2 = Arc::clone(&count);
+        let rt = RuntimeBuilder::new(ts, config(1))
+            .body(t, v, move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            })
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        rt.stop();
+        let report = rt.cleanup();
+        let n = count.load(Ordering::SeqCst);
+        // 60ms / 5ms = 12 expected; tolerate scheduling slack.
+        assert!(n >= 6, "only {n} activations");
+        assert_eq!(report.records.len() as u32, n);
+        assert_eq!(report.engine_stats.completed as u32, n);
+    }
+
+    #[test]
+    fn preemptive_config_rejected() {
+        let mut b = TaskSetBuilder::new();
+        let t = b.task_decl(TaskSpec::periodic("t", ms(5))).unwrap();
+        let v = b
+            .version_decl(t, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder().workers(1).build().unwrap(); // preemption on
+        let r = RuntimeBuilder::new(ts, cfg).body(t, v, |_| {}).build();
+        assert!(matches!(r, Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn missing_body_rejected() {
+        let mut b = TaskSetBuilder::new();
+        let t = b.task_decl(TaskSpec::periodic("t", ms(5))).unwrap();
+        b.version_decl(t, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let r = RuntimeBuilder::new(ts, config(1)).build();
+        assert!(matches!(r, Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn dag_data_flows_through_spsc() {
+        // fork -> join with a real typed channel captured in the bodies.
+        let mut b = TaskSetBuilder::new();
+        let fork = b.task_decl(TaskSpec::periodic("fork", ms(5))).unwrap();
+        let join = b.task_decl(TaskSpec::graph_node("join")).unwrap();
+        let vf = b
+            .version_decl(fork, VersionSpec::new("f", Duration::from_micros(50)))
+            .unwrap();
+        let vj = b
+            .version_decl(join, VersionSpec::new("j", Duration::from_micros(50)))
+            .unwrap();
+        let ch = b.channel_decl("c", 8, 8);
+        b.channel_connect(fork, join, ch).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+
+        let (tx, rx) = yasmin_sync::spsc::channel::<u64>(8);
+        let tx = std::sync::Mutex::new(tx);
+        let rx = std::sync::Mutex::new(rx);
+        let sum = Arc::new(AtomicU32::new(0));
+        let sum2 = Arc::clone(&sum);
+
+        let rt = RuntimeBuilder::new(ts, config(2))
+            .body(fork, vf, move |ctx| {
+                let _ = tx.lock().unwrap().push(ctx.job.seq);
+            })
+            .body(join, vj, move |_| {
+                if let Some(v) = rx.lock().unwrap().pop() {
+                    sum2.fetch_add(v as u32 + 1, Ordering::SeqCst);
+                }
+            })
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        rt.stop();
+        let report = rt.cleanup();
+        assert!(sum.load(Ordering::SeqCst) > 0, "join never saw data");
+        // Join jobs inherit the graph deadline and release.
+        let join_rec = report
+            .records
+            .iter()
+            .find(|r| r.job.task == join)
+            .expect("join ran");
+        assert!(join_rec.job.graph_release <= join_rec.job.release);
+    }
+
+    #[test]
+    fn aperiodic_activation_runs_once() {
+        let mut b = TaskSetBuilder::new();
+        let p = b.task_decl(TaskSpec::periodic("p", ms(5))).unwrap();
+        let a = b.task_decl(TaskSpec::aperiodic("a")).unwrap();
+        let vp = b
+            .version_decl(p, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let va = b
+            .version_decl(a, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let hits = Arc::new(AtomicU32::new(0));
+        let h2 = Arc::clone(&hits);
+        let rt = RuntimeBuilder::new(ts, config(2))
+            .body(p, vp, |_| {})
+            .body(a, va, move |_| {
+                h2.fetch_add(1, Ordering::SeqCst);
+            })
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        rt.activate(a).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        rt.stop();
+        let _ = rt.cleanup();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn latency_is_sane() {
+        // Wake-up latency on this host should be far below one period.
+        let mut b = TaskSetBuilder::new();
+        let t = b.task_decl(TaskSpec::periodic("t", ms(10))).unwrap();
+        let v = b
+            .version_decl(t, VersionSpec::new("v", Duration::from_micros(20)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let rt = RuntimeBuilder::new(ts, config(1))
+            .body(t, v, |_| {})
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        rt.stop();
+        let report = rt.cleanup();
+        assert!(report.records.len() >= 3);
+        for r in &report.records {
+            assert!(
+                r.start_latency() < ms(10),
+                "latency {} exceeds the period",
+                r.start_latency()
+            );
+            assert!(!r.missed(), "missed deadline in an idle host run");
+        }
+    }
+}

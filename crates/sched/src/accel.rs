@@ -1,0 +1,205 @@
+//! Run-time arbitration of hardware accelerators.
+//!
+//! "Because accelerator usage is declared to our scheduler using the API
+//! call `hwaccel_use`, it can detect that the targeted accelerator is
+//! busy, and that it is preferable to use another task version targeting a
+//! free one" (§3.2). When no free-resource version exists and the blocked
+//! job is more urgent than the holder, the engine applies the Priority
+//! Inheritance Protocol and requeues the job.
+//!
+//! Per the paper's stated limitation, an accelerator is considered busy
+//! from the beginning of the version's initial CPU part to the end of its
+//! final CPU part — i.e. for the job's whole execution.
+
+use yasmin_core::error::{Error, Result};
+use yasmin_core::ids::{AccelId, JobId, WorkerId};
+use yasmin_core::priority::Priority;
+
+/// State of one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelState {
+    /// The job currently occupying the accelerator, with the worker it
+    /// runs on and its (possibly boosted) priority.
+    pub holder: Option<AccelHolder>,
+}
+
+/// Who currently holds an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelHolder {
+    /// The occupying job.
+    pub job: JobId,
+    /// The worker executing that job.
+    pub worker: WorkerId,
+    /// The holder's current effective priority (after any PIP boost).
+    pub priority: Priority,
+}
+
+/// Tracks which accelerators are busy and applies PIP bookkeeping.
+#[derive(Debug)]
+pub struct AccelManager {
+    states: Vec<AccelState>,
+    boosts: u64,
+}
+
+impl AccelManager {
+    /// Creates a manager for `count` declared accelerators.
+    #[must_use]
+    pub fn new(count: usize) -> Self {
+        AccelManager {
+            states: vec![AccelState { holder: None }; count],
+            boosts: 0,
+        }
+    }
+
+    /// `true` if `accel` is currently free.
+    #[must_use]
+    pub fn is_free(&self, accel: AccelId) -> bool {
+        self.states
+            .get(accel.index())
+            .is_some_and(|s| s.holder.is_none())
+    }
+
+    /// The holder of `accel`, if busy.
+    #[must_use]
+    pub fn holder(&self, accel: AccelId) -> Option<AccelHolder> {
+        self.states.get(accel.index()).and_then(|s| s.holder)
+    }
+
+    /// Marks `accel` as acquired by `job` on `worker`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownAccel`] for an undeclared id; returns an error of
+    /// kind [`Error::InvalidConfig`] if the accelerator is already busy
+    /// (an engine invariant violation).
+    pub fn acquire(
+        &mut self,
+        accel: AccelId,
+        job: JobId,
+        worker: WorkerId,
+        priority: Priority,
+    ) -> Result<()> {
+        let s = self
+            .states
+            .get_mut(accel.index())
+            .ok_or(Error::UnknownAccel(accel))?;
+        if s.holder.is_some() {
+            return Err(Error::InvalidConfig(format!(
+                "accelerator {accel} acquired while busy"
+            )));
+        }
+        s.holder = Some(AccelHolder {
+            job,
+            worker,
+            priority,
+        });
+        Ok(())
+    }
+
+    /// Releases `accel` if `job` holds it (idempotent otherwise).
+    pub fn release(&mut self, accel: AccelId, job: JobId) {
+        if let Some(s) = self.states.get_mut(accel.index()) {
+            if s.holder.is_some_and(|h| h.job == job) {
+                s.holder = None;
+            }
+        }
+    }
+
+    /// Applies priority inheritance: if `blocked_priority` is more urgent
+    /// than the holder's current priority, the holder is boosted to it.
+    /// Returns the holder (with its *new* priority) when a boost happened.
+    pub fn boost_holder(
+        &mut self,
+        accel: AccelId,
+        blocked_priority: Priority,
+    ) -> Option<AccelHolder> {
+        let s = self.states.get_mut(accel.index())?;
+        let h = s.holder.as_mut()?;
+        if blocked_priority.is_higher_than(h.priority) {
+            h.priority = blocked_priority;
+            self.boosts += 1;
+            Some(*h)
+        } else {
+            None
+        }
+    }
+
+    /// Number of PIP boosts applied so far.
+    #[must_use]
+    pub fn boost_count(&self) -> u64 {
+        self.boosts
+    }
+
+    /// Number of managed accelerators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if no accelerators are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut m = AccelManager::new(1);
+        let gpu = AccelId::new(0);
+        assert!(m.is_free(gpu));
+        m.acquire(gpu, JobId::new(1), WorkerId::new(0), Priority::new(50))
+            .unwrap();
+        assert!(!m.is_free(gpu));
+        assert_eq!(m.holder(gpu).unwrap().job, JobId::new(1));
+        // Double acquire is an invariant violation.
+        assert!(m
+            .acquire(gpu, JobId::new(2), WorkerId::new(1), Priority::new(10))
+            .is_err());
+        // Release by a non-holder is ignored.
+        m.release(gpu, JobId::new(2));
+        assert!(!m.is_free(gpu));
+        m.release(gpu, JobId::new(1));
+        assert!(m.is_free(gpu));
+    }
+
+    #[test]
+    fn unknown_accel_rejected() {
+        let mut m = AccelManager::new(1);
+        assert!(matches!(
+            m.acquire(AccelId::new(9), JobId::new(1), WorkerId::new(0), Priority::new(1)),
+            Err(Error::UnknownAccel(_))
+        ));
+        assert!(!m.is_free(AccelId::new(9)));
+    }
+
+    #[test]
+    fn pip_boost_only_when_more_urgent() {
+        let mut m = AccelManager::new(1);
+        let gpu = AccelId::new(0);
+        m.acquire(gpu, JobId::new(1), WorkerId::new(0), Priority::new(100))
+            .unwrap();
+        // A less urgent waiter does not boost.
+        assert!(m.boost_holder(gpu, Priority::new(200)).is_none());
+        assert_eq!(m.boost_count(), 0);
+        // A more urgent waiter boosts the holder to its priority.
+        let boosted = m.boost_holder(gpu, Priority::new(10)).unwrap();
+        assert_eq!(boosted.priority, Priority::new(10));
+        assert_eq!(m.holder(gpu).unwrap().priority, Priority::new(10));
+        assert_eq!(m.boost_count(), 1);
+        // Boosting is monotone: an in-between priority does nothing.
+        assert!(m.boost_holder(gpu, Priority::new(50)).is_none());
+    }
+
+    #[test]
+    fn boost_free_accel_is_none() {
+        let mut m = AccelManager::new(2);
+        assert!(m.boost_holder(AccelId::new(1), Priority::HIGHEST).is_none());
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,1149 @@
+//! The on-line scheduling engine (global & partitioned, Fig. 1a/1b).
+//!
+//! The engine is *pure scheduling logic*: it owns the ready queues, the
+//! release bookkeeping, the DAG activation tokens and the accelerator
+//! state, but it has no threads and no clock. Drivers feed it events —
+//! the scheduler-thread tick, job completions, explicit activations — and
+//! execute the [`Action`]s it returns. The discrete-event simulator
+//! (`yasmin-sim`) and the real-thread runtime (`yasmin-rt`) drive the same
+//! engine, so experiments exercise production scheduling code.
+//!
+//! Design notes mirrored from the paper:
+//!
+//! * the scheduler activates periodic jobs only at tick boundaries, with
+//!   the tick equal to the gcd of all task periods (§3.3);
+//! * preemption is a scheduler decision relayed to workers (§3.5) — here
+//!   an [`Action::Preempt`] that the driver applies;
+//! * jobs never migrate once dispatched; tasks may (§3.3 limitation);
+//! * a job holding an accelerator is never preempted — combined with the
+//!   PIP boost of §3.2 this prevents accelerator-deadlock and chained
+//!   inversions (our design decision, documented in DESIGN.md).
+
+use crate::accel::AccelManager;
+use crate::job::Job;
+use crate::queue::ReadyQueue;
+use crate::select::rank_versions;
+use std::sync::Arc;
+use yasmin_core::config::{Config, MappingScheme, SelectCtx};
+use yasmin_core::error::{Error, Result};
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::{AccelId, JobId, TaskId, VersionId, WorkerId};
+use yasmin_core::priority::{Priority, PriorityPolicy};
+use yasmin_core::task::ActivationKind;
+use yasmin_core::time::{Duration, Instant};
+use yasmin_core::version::{ExecMode, PermMask};
+
+/// A scheduling decision for the driver to carry out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Start (or resume) `job` on `worker` using `version`.
+    Dispatch {
+        /// Target worker.
+        worker: WorkerId,
+        /// The job to run.
+        job: Job,
+        /// The selected version.
+        version: VersionId,
+    },
+    /// Pause the job currently running on `worker`; the engine has already
+    /// re-queued it and will re-dispatch it later.
+    Preempt {
+        /// The worker to interrupt.
+        worker: WorkerId,
+        /// The job being paused.
+        job: JobId,
+    },
+    /// Raise the effective priority of `job` on `worker` (Priority
+    /// Inheritance after accelerator contention, §3.2).
+    Boost {
+        /// Worker running the boosted holder.
+        worker: WorkerId,
+        /// The boosted job.
+        job: JobId,
+        /// Its new effective priority.
+        priority: Priority,
+    },
+}
+
+/// What currently occupies a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningJob {
+    /// The job.
+    pub job: Job,
+    /// The version being executed.
+    pub version: VersionId,
+    /// The accelerator held, if the version uses one.
+    pub accel: Option<AccelId>,
+    /// Current effective priority (base, or PIP-boosted).
+    pub effective_priority: Priority,
+}
+
+/// Counters the engine maintains for overhead analysis (Fig. 2 uses the
+/// queue-operation and preemption counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs released into ready queues.
+    pub released: u64,
+    /// Dispatch actions emitted.
+    pub dispatched: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Preemptions performed.
+    pub preempted: u64,
+    /// PIP boosts applied.
+    pub pip_boosts: u64,
+    /// Times a ready job had to be skipped because every eligible version
+    /// targeted a busy accelerator (it stays ready).
+    pub blocked_skips: u64,
+    /// Sporadic activations violating the minimum inter-arrival time.
+    pub sporadic_violations: u64,
+    /// Token pushes that exceeded a channel's declared capacity.
+    pub channel_overflows: u64,
+    /// High-water mark over all ready queues.
+    pub max_ready: usize,
+}
+
+enum VersionChoice {
+    Run(VersionId, Option<AccelId>),
+    /// All eligible versions target busy accelerators (the wishes).
+    Blocked(Vec<AccelId>),
+    /// The selection policy filtered out every version.
+    NoEligible,
+}
+
+/// The on-line scheduler state machine.
+#[derive(Debug)]
+pub struct OnlineEngine {
+    taskset: Arc<TaskSet>,
+    config: Config,
+    queues: Vec<ReadyQueue>,
+    running: Vec<Option<RunningJob>>,
+    accels: AccelManager,
+    /// Activation tokens per graph edge.
+    tokens: Vec<u64>,
+    /// Graph release carried by the tokens of each edge (FIFO of one: with
+    /// unit-rate firing the front instance's release is enough).
+    token_release: Vec<Vec<Instant>>,
+    /// Next periodic release per task (`None` = not auto-released).
+    next_release: Vec<Option<Instant>>,
+    /// Last activation per task (sporadic inter-arrival check).
+    last_activation: Vec<Option<Instant>>,
+    /// Per-task activation counter.
+    activation_seq: Vec<u64>,
+    static_priority: Vec<Priority>,
+    job_counter: u64,
+    tick: Duration,
+    started: bool,
+    stopping: bool,
+    mode: ExecMode,
+    permissions: PermMask,
+    stats: EngineStats,
+}
+
+impl OnlineEngine {
+    /// Builds an engine for `taskset` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidConfig`] if the task set has no tick source
+    ///   (no recurring task and no tick override);
+    /// * [`Error::MissingPartition`] / [`Error::UnknownWorker`] if
+    ///   partitioned mapping lacks or exceeds worker assignments.
+    pub fn new(taskset: Arc<TaskSet>, config: Config) -> Result<Self> {
+        let workers = config.workers();
+        if config.mapping() == MappingScheme::Partitioned {
+            for t in taskset.tasks() {
+                match t.spec().assigned_worker() {
+                    None => return Err(Error::MissingPartition(t.id())),
+                    Some(w) if w.index() >= workers => return Err(Error::UnknownWorker(w)),
+                    Some(_) => {}
+                }
+            }
+        }
+        let tick = match config.tick_override() {
+            Some(t) => t,
+            None => taskset.scheduler_tick().ok_or_else(|| {
+                Error::InvalidConfig(
+                    "no recurring task: provide a tick override to drive the scheduler".into(),
+                )
+            })?,
+        };
+        let n_queues = match config.mapping() {
+            MappingScheme::Global => 1,
+            MappingScheme::Partitioned => workers,
+        };
+        let queues = (0..n_queues)
+            .map(|_| ReadyQueue::with_capacity(config.max_pending_jobs()))
+            .collect();
+        let n = taskset.len();
+        let static_priority = taskset
+            .tasks()
+            .iter()
+            .map(|t| Self::static_priority_of(&taskset, config.priority(), t.id()))
+            .collect();
+        let mode = config.initial_mode();
+        Ok(OnlineEngine {
+            accels: AccelManager::new(taskset.accels().len()),
+            tokens: vec![0; taskset.edges().len()],
+            token_release: vec![Vec::new(); taskset.edges().len()],
+            next_release: vec![None; n],
+            last_activation: vec![None; n],
+            activation_seq: vec![0; n],
+            static_priority,
+            job_counter: 0,
+            tick,
+            started: false,
+            stopping: false,
+            mode,
+            permissions: PermMask::ALL,
+            stats: EngineStats::default(),
+            queues,
+            running: vec![None; workers],
+            taskset,
+            config,
+        })
+    }
+
+    fn static_priority_of(ts: &TaskSet, policy: PriorityPolicy, t: TaskId) -> Priority {
+        let task = &ts.tasks()[t.index()];
+        match policy {
+            PriorityPolicy::RateMonotonic => ts
+                .effective_period(t)
+                .map_or(Priority::LOWEST, Priority::rate_monotonic),
+            PriorityPolicy::DeadlineMonotonic => {
+                let d = ts.effective_deadline(t);
+                if d == Duration::MAX {
+                    Priority::LOWEST
+                } else {
+                    Priority::deadline_monotonic(d)
+                }
+            }
+            PriorityPolicy::EarliestDeadlineFirst => Priority::LOWEST, // per-job
+            PriorityPolicy::UserDefined => {
+                task.spec().static_priority().unwrap_or(Priority::LOWEST)
+            }
+        }
+    }
+
+    /// The scheduler-thread period (gcd of task periods, or the override).
+    #[must_use]
+    pub fn tick_period(&self) -> Duration {
+        self.tick
+    }
+
+    /// The task set this engine schedules.
+    #[must_use]
+    pub fn taskset(&self) -> &TaskSet {
+        &self.taskset
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Switches the execution mode (mode-based version selection, §3.2).
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The current execution mode.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Replaces the granted permission mask (permission-based selection).
+    pub fn set_permissions(&mut self, perms: PermMask) {
+        self.permissions = perms;
+    }
+
+    /// Engine counters.
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// What `worker` is currently executing.
+    #[must_use]
+    pub fn running(&self, worker: WorkerId) -> Option<&RunningJob> {
+        self.running.get(worker.index()).and_then(Option::as_ref)
+    }
+
+    /// Total jobs currently ready (not running).
+    #[must_use]
+    pub fn ready_len(&self) -> usize {
+        self.queues.iter().map(ReadyQueue::len).sum()
+    }
+
+    /// `true` once every queue is empty and every worker idle — the drain
+    /// condition after [`OnlineEngine::stop`].
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.ready_len() == 0 && self.running.iter().all(Option::is_none)
+    }
+
+    /// `true` if `start` has been called and `stop` has not.
+    #[must_use]
+    pub fn is_started(&self) -> bool {
+        self.started && !self.stopping
+    }
+
+    /// Starts the schedule at `now` (the paper's `yas_start`): arms the
+    /// periodic release bookkeeping and performs the first release round.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ScheduleRunning`] if already started.
+    pub fn start(&mut self, now: Instant) -> Result<Vec<Action>> {
+        if self.started && !self.stopping {
+            return Err(Error::ScheduleRunning);
+        }
+        self.started = true;
+        self.stopping = false;
+        for t in self.taskset.tasks() {
+            let id = t.id();
+            let is_root = self.taskset.in_degree(id) == 0;
+            if is_root && t.spec().kind() == ActivationKind::Periodic {
+                self.next_release[id.index()] = Some(now + t.spec().release_offset());
+            }
+        }
+        Ok(self.on_tick(now))
+    }
+
+    /// Stops releasing new periodic jobs; already-released jobs drain
+    /// (the paper's `yas_stop`).
+    pub fn stop(&mut self) {
+        self.stopping = true;
+        for r in &mut self.next_release {
+            *r = None;
+        }
+    }
+
+    /// One scheduler-thread activation at time `now`: releases every
+    /// periodic job due by `now`, then dispatches/preempts.
+    pub fn on_tick(&mut self, now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for i in 0..self.next_release.len() {
+            while let Some(r) = self.next_release[i] {
+                if r > now {
+                    break;
+                }
+                let task = TaskId::new(i as u32);
+                let period = self.taskset.tasks()[i].spec().period();
+                self.next_release[i] = Some(r + period);
+                self.release_job(task, r, r, &mut actions);
+            }
+        }
+        self.dispatch_round(now, &mut actions);
+        actions
+    }
+
+    /// Explicit activation (the paper's `yas_task_activate`): sporadic
+    /// arrivals and user-triggered aperiodic jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTask`]; [`Error::InvalidConfig`] for periodic tasks
+    /// (those are released by the scheduler itself).
+    pub fn activate(&mut self, task: TaskId, now: Instant) -> Result<Vec<Action>> {
+        let t = self.taskset.task(task)?;
+        match t.spec().kind() {
+            ActivationKind::Periodic => {
+                return Err(Error::InvalidConfig(format!(
+                    "periodic task {task} is released by the scheduler, not task_activate"
+                )))
+            }
+            ActivationKind::Sporadic => {
+                if let Some(last) = self.last_activation[task.index()] {
+                    if now.saturating_since(last) < t.spec().period() {
+                        self.stats.sporadic_violations += 1;
+                    }
+                }
+            }
+            ActivationKind::Aperiodic => {}
+        }
+        let mut actions = Vec::new();
+        self.release_job(task, now, now, &mut actions);
+        self.dispatch_round(now, &mut actions);
+        Ok(actions)
+    }
+
+    /// Notification that `job` finished on `worker` at `now`. Frees the
+    /// worker and any held accelerator, fires DAG successors, then
+    /// dispatches.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if `worker` is not running `job` — a
+    /// driver protocol violation.
+    pub fn on_job_completed(
+        &mut self,
+        worker: WorkerId,
+        job: JobId,
+        now: Instant,
+    ) -> Result<Vec<Action>> {
+        let slot = self
+            .running
+            .get_mut(worker.index())
+            .ok_or(Error::UnknownWorker(worker))?;
+        let running = slot.take().ok_or_else(|| {
+            Error::InvalidConfig(format!("worker {worker} completed {job} while idle"))
+        })?;
+        if running.job.id != job {
+            let actual = running.job.id;
+            *slot = Some(running);
+            return Err(Error::InvalidConfig(format!(
+                "worker {worker} completed {job} but runs {actual}"
+            )));
+        }
+        self.stats.completed += 1;
+        if let Some(a) = running.accel {
+            self.accels.release(a, job);
+        }
+
+        let mut actions = Vec::new();
+        self.fire_successors(running.job.task, running.job.graph_release, &mut actions);
+        self.dispatch_round(now, &mut actions);
+        Ok(actions)
+    }
+
+    /// Pushes one token per outgoing edge of `task` and releases any
+    /// successor whose inputs are all present (§3.3: inner nodes are
+    /// "automatically activated by the scheduler, once all required
+    /// incoming data are present in their input channels").
+    fn fire_successors(&mut self, task: TaskId, graph_release: Instant, actions: &mut Vec<Action>) {
+        let edge_idx: Vec<usize> = self
+            .taskset
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.src == task)
+            .map(|(i, _)| i)
+            .collect();
+        let mut successors: Vec<TaskId> = Vec::new();
+        for i in edge_idx {
+            self.tokens[i] += 1;
+            self.token_release[i].push(graph_release);
+            let cap = self.taskset.channels()[self.taskset.edges()[i].channel.index()].capacity();
+            if cap > 0 && self.tokens[i] as usize > cap {
+                self.stats.channel_overflows += 1;
+            }
+            let dst = self.taskset.edges()[i].dst;
+            if !successors.contains(&dst) {
+                successors.push(dst);
+            }
+        }
+        for dst in successors {
+            loop {
+                let in_edges: Vec<usize> = self
+                    .taskset
+                    .edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.dst == dst)
+                    .map(|(i, _)| i)
+                    .collect();
+                if in_edges.iter().any(|&i| self.tokens[i] == 0) {
+                    break;
+                }
+                // Consume one token per input; the graph release of the
+                // new job is the *oldest* input instance (join semantics).
+                let mut release = Instant::ZERO;
+                for &i in &in_edges {
+                    self.tokens[i] -= 1;
+                    let r = self.token_release[i].remove(0);
+                    release = release.max(r);
+                }
+                let mut sub = Vec::new();
+                self.release_job(dst, release, release, &mut sub);
+                // Inner releases share the graph release; patch the jobs.
+                actions.append(&mut sub);
+            }
+        }
+    }
+
+    fn release_job(
+        &mut self,
+        task: TaskId,
+        release: Instant,
+        graph_release: Instant,
+        _actions: &mut [Action],
+    ) {
+        let seq = self.activation_seq[task.index()];
+        self.activation_seq[task.index()] += 1;
+        self.last_activation[task.index()] = Some(release);
+        let rel_deadline = self.taskset.effective_deadline(task);
+        let abs_deadline = if rel_deadline == Duration::MAX {
+            Instant::MAX
+        } else {
+            graph_release + rel_deadline
+        };
+        let priority = match self.config.priority() {
+            PriorityPolicy::EarliestDeadlineFirst => Priority::earliest_deadline(abs_deadline),
+            _ => self.static_priority[task.index()],
+        };
+        let job = Job {
+            id: JobId::new(self.job_counter),
+            task,
+            seq,
+            release,
+            graph_release,
+            abs_deadline,
+            priority,
+            preempted: false,
+        };
+        self.job_counter += 1;
+        let qi = self.queue_index(task);
+        if self.queues[qi].push(job).is_err() {
+            // A sizing error; surfaced through the stats rather than
+            // panicking mid-schedule.
+            self.stats.channel_overflows += 1;
+        } else {
+            self.stats.released += 1;
+        }
+        self.stats.max_ready = self.stats.max_ready.max(self.ready_len());
+    }
+
+    fn queue_index(&self, task: TaskId) -> usize {
+        match self.config.mapping() {
+            MappingScheme::Global => 0,
+            MappingScheme::Partitioned => self.taskset.tasks()[task.index()]
+                .spec()
+                .assigned_worker()
+                .expect("validated at construction")
+                .index(),
+        }
+    }
+
+    fn select_ctx(&self) -> SelectCtx {
+        SelectCtx {
+            battery: self.config.read_battery(),
+            mode: self.mode,
+            permissions: self.permissions,
+        }
+    }
+
+    fn choose_version(&self, task: TaskId) -> VersionChoice {
+        let ctx = self.select_ctx();
+        let t = &self.taskset.tasks()[task.index()];
+        let ranked = rank_versions(self.config.version_policy(), &ctx, t);
+        if ranked.is_empty() {
+            return VersionChoice::NoEligible;
+        }
+        let mut busy_wishes = Vec::new();
+        for v in ranked {
+            match t.versions()[v.index()].accel() {
+                None => return VersionChoice::Run(v, None),
+                Some(a) if self.accels.is_free(a) => return VersionChoice::Run(v, Some(a)),
+                Some(a) => {
+                    if !busy_wishes.contains(&a) {
+                        busy_wishes.push(a);
+                    }
+                }
+            }
+        }
+        VersionChoice::Blocked(busy_wishes)
+    }
+
+    fn start_job(
+        &mut self,
+        worker: WorkerId,
+        job: Job,
+        version: VersionId,
+        accel: Option<AccelId>,
+        actions: &mut Vec<Action>,
+    ) {
+        if let Some(a) = accel {
+            self.accels
+                .acquire(a, job.id, worker, job.priority)
+                .expect("choose_version verified the accelerator is free");
+        }
+        self.running[worker.index()] = Some(RunningJob {
+            job,
+            version,
+            accel,
+            effective_priority: job.priority,
+        });
+        self.stats.dispatched += 1;
+        actions.push(Action::Dispatch {
+            worker,
+            job,
+            version,
+        });
+    }
+
+    /// Applies PIP to every busy accelerator the blocked job wanted.
+    fn apply_pip(&mut self, blocked: &Job, wishes: &[AccelId], actions: &mut Vec<Action>) {
+        for &a in wishes {
+            if let Some(holder) = self.accels.boost_holder(a, blocked.priority) {
+                if let Some(r) = self.running[holder.worker.index()].as_mut() {
+                    if r.job.id == holder.job {
+                        r.effective_priority = holder.priority;
+                    }
+                }
+                self.stats.pip_boosts += 1;
+                actions.push(Action::Boost {
+                    worker: holder.worker,
+                    job: holder.job,
+                    priority: holder.priority,
+                });
+            }
+        }
+        self.stats.blocked_skips += 1;
+    }
+
+    fn workers_fed_by(&self, queue_idx: usize) -> std::ops::Range<usize> {
+        match self.config.mapping() {
+            MappingScheme::Global => 0..self.running.len(),
+            MappingScheme::Partitioned => queue_idx..queue_idx + 1,
+        }
+    }
+
+    fn dispatch_round(&mut self, _now: Instant, actions: &mut Vec<Action>) {
+        for qi in 0..self.queues.len() {
+            self.fill_idle_workers(qi, actions);
+            if self.config.preemption() {
+                self.preempt_round(qi, actions);
+            }
+        }
+    }
+
+    fn fill_idle_workers(&mut self, qi: usize, actions: &mut Vec<Action>) {
+        let mut blocked: Vec<Job> = Vec::new();
+        loop {
+            let idle = self
+                .workers_fed_by(qi)
+                .find(|&w| self.running[w].is_none());
+            let Some(w) = idle else { break };
+            let Some(job) = self.queues[qi].pop() else { break };
+            match self.choose_version(job.task) {
+                VersionChoice::Run(v, a) => {
+                    self.start_job(WorkerId::new(w as u16), job, v, a, actions);
+                }
+                VersionChoice::Blocked(wishes) => {
+                    self.apply_pip(&job, &wishes, actions);
+                    blocked.push(job);
+                }
+                VersionChoice::NoEligible => {
+                    self.stats.blocked_skips += 1;
+                    blocked.push(job);
+                }
+            }
+        }
+        for j in blocked {
+            let _ = self.queues[qi].push(j);
+        }
+    }
+
+    fn preempt_round(&mut self, qi: usize, actions: &mut Vec<Action>) {
+        let mut blocked: Vec<Job> = Vec::new();
+        while let Some(top) = self.queues[qi].peek().copied() {
+            // Least-urgent preemptable running job fed by this queue;
+            // accelerator holders are not preemptable.
+            let victim = self
+                .workers_fed_by(qi)
+                .filter_map(|w| {
+                    self.running[w]
+                        .as_ref()
+                        .filter(|r| r.accel.is_none())
+                        .map(|r| (w, r.effective_priority))
+                })
+                .max_by_key(|&(w, p)| (p, w));
+            let Some((w, victim_prio)) = victim else { break };
+            if !top.priority.is_higher_than(victim_prio) {
+                break;
+            }
+            match self.choose_version(top.task) {
+                VersionChoice::Run(v, a) => {
+                    let job = self.queues[qi].pop().expect("peeked job present");
+                    let mut old = self.running[w].take().expect("victim present").job;
+                    old.preempted = true;
+                    actions.push(Action::Preempt {
+                        worker: WorkerId::new(w as u16),
+                        job: old.id,
+                    });
+                    self.stats.preempted += 1;
+                    let _ = self.queues[qi].push(old);
+                    self.start_job(WorkerId::new(w as u16), job, v, a, actions);
+                }
+                VersionChoice::Blocked(wishes) => {
+                    let job = self.queues[qi].pop().expect("peeked job present");
+                    self.apply_pip(&job, &wishes, actions);
+                    blocked.push(job);
+                }
+                VersionChoice::NoEligible => {
+                    let job = self.queues[qi].pop().expect("peeked job present");
+                    self.stats.blocked_skips += 1;
+                    blocked.push(job);
+                }
+            }
+        }
+        for j in blocked {
+            let _ = self.queues[qi].push(j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasmin_core::config::VersionPolicy;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn at(v: u64) -> Instant {
+        Instant::from_nanos(v * 1_000_000)
+    }
+
+    fn two_task_set() -> Arc<TaskSet> {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let a = b.task_decl(TaskSpec::periodic("a", ms(10))).unwrap();
+        let c = b.task_decl(TaskSpec::periodic("c", ms(20))).unwrap();
+        b.version_decl(a, VersionSpec::new("a", ms(2))).unwrap();
+        b.version_decl(c, VersionSpec::new("c", ms(5))).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn edf_config(workers: usize) -> Config {
+        Config::builder()
+            .workers(workers)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tick_is_gcd_of_periods() {
+        let e = OnlineEngine::new(two_task_set(), edf_config(1)).unwrap();
+        assert_eq!(e.tick_period(), ms(10));
+    }
+
+    #[test]
+    fn start_releases_and_dispatches_by_deadline_order() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(1)).unwrap();
+        let actions = e.start(Instant::ZERO).unwrap();
+        // Both release at 0; EDF picks the 10ms-deadline task first on the
+        // single worker.
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Dispatch { worker, job, .. } => {
+                assert_eq!(*worker, WorkerId::new(0));
+                assert_eq!(job.task, TaskId::new(0));
+                assert_eq!(job.abs_deadline, at(10));
+            }
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+        assert_eq!(e.ready_len(), 1);
+        assert_eq!(e.stats().released, 2);
+    }
+
+    #[test]
+    fn completion_dispatches_next() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(1)).unwrap();
+        let a0 = e.start(Instant::ZERO).unwrap();
+        let first = match &a0[0] {
+            Action::Dispatch { job, .. } => job.id,
+            _ => unreachable!(),
+        };
+        let a1 = e.on_job_completed(WorkerId::new(0), first, at(2)).unwrap();
+        assert_eq!(a1.len(), 1);
+        match &a1[0] {
+            Action::Dispatch { job, .. } => assert_eq!(job.task, TaskId::new(1)),
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+        assert!(e.running(WorkerId::new(0)).is_some());
+        assert_eq!(e.ready_len(), 0);
+    }
+
+    #[test]
+    fn wrong_completion_is_protocol_error() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(1)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        assert!(e
+            .on_job_completed(WorkerId::new(0), JobId::new(999), at(1))
+            .is_err());
+        assert!(e
+            .on_job_completed(WorkerId::new(1), JobId::new(0), at(1))
+            .is_err());
+    }
+
+    #[test]
+    fn periodic_rereleases_on_tick() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        // Finish both first jobs.
+        let r0 = e.running(WorkerId::new(0)).unwrap().job.id;
+        let r1 = e.running(WorkerId::new(1)).unwrap().job.id;
+        let _ = e.on_job_completed(WorkerId::new(0), r0, at(2)).unwrap();
+        let _ = e.on_job_completed(WorkerId::new(1), r1, at(5)).unwrap();
+        // Tick at 10ms: only task a (period 10) re-releases.
+        let acts = e.on_tick(at(10));
+        assert_eq!(acts.len(), 1);
+        match &acts[0] {
+            Action::Dispatch { job, .. } => {
+                assert_eq!(job.task, TaskId::new(0));
+                assert_eq!(job.seq, 1);
+                assert_eq!(job.release, at(10));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Tick at 20ms: task a again + task c.
+        let r0 = e.running(WorkerId::new(0)).unwrap().job.id;
+        let _ = e.on_job_completed(WorkerId::new(0), r0, at(12)).unwrap();
+        let acts = e.on_tick(at(20));
+        assert_eq!(acts.len(), 2);
+        assert_eq!(e.stats().released, 5);
+    }
+
+    #[test]
+    fn preemption_on_more_urgent_release() {
+        // One worker; long low-urgency job running, then an urgent one
+        // arrives at the next tick.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let slow = b
+            .task_decl(TaskSpec::periodic("slow", ms(100)))
+            .unwrap();
+        let fast = b
+            .task_decl(
+                TaskSpec::periodic("fast", ms(100))
+                    .with_release_offset(ms(10))
+                    .with_constrained_deadline(ms(20)),
+            )
+            .unwrap();
+        b.version_decl(slow, VersionSpec::new("s", ms(50))).unwrap();
+        b.version_decl(fast, VersionSpec::new("f", ms(5))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let mut e = OnlineEngine::new(ts, edf_config(1)).unwrap();
+        let a0 = e.start(Instant::ZERO).unwrap();
+        assert_eq!(a0.len(), 1); // slow dispatched
+        let acts = e.on_tick(at(10));
+        // fast (deadline 30ms) preempts slow (deadline 100ms).
+        assert!(matches!(acts[0], Action::Preempt { .. }), "{acts:?}");
+        match &acts[1] {
+            Action::Dispatch { job, .. } => assert_eq!(job.task, fast),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.stats().preempted, 1);
+        // The preempted job is ready again, marked preempted.
+        assert_eq!(e.ready_len(), 1);
+        // Completing fast resumes slow.
+        let fast_id = e.running(WorkerId::new(0)).unwrap().job.id;
+        let acts = e.on_job_completed(WorkerId::new(0), fast_id, at(15)).unwrap();
+        match &acts[0] {
+            Action::Dispatch { job, .. } => {
+                assert_eq!(job.task, slow);
+                assert!(job.preempted);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_preemption_when_disabled() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let slow = b.task_decl(TaskSpec::periodic("slow", ms(100))).unwrap();
+        let fast = b
+            .task_decl(
+                TaskSpec::periodic("fast", ms(100))
+                    .with_release_offset(ms(10))
+                    .with_constrained_deadline(ms(20)),
+            )
+            .unwrap();
+        b.version_decl(slow, VersionSpec::new("s", ms(50))).unwrap();
+        b.version_decl(fast, VersionSpec::new("f", ms(5))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder()
+            .workers(1)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .preemption(false)
+            .build()
+            .unwrap();
+        let mut e = OnlineEngine::new(ts, cfg).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let acts = e.on_tick(at(10));
+        assert!(acts.is_empty(), "{acts:?}");
+        assert_eq!(e.stats().preempted, 0);
+    }
+
+    #[test]
+    fn partitioned_requires_assignments() {
+        let cfg = Config::builder()
+            .workers(2)
+            .mapping(MappingScheme::Partitioned)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            OnlineEngine::new(two_task_set(), cfg),
+            Err(Error::MissingPartition(_))
+        ));
+    }
+
+    #[test]
+    fn partitioned_respects_assignment() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let a = b
+            .task_decl(TaskSpec::periodic("a", ms(10)).on_worker(WorkerId::new(1)))
+            .unwrap();
+        b.version_decl(a, VersionSpec::new("a", ms(1))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder()
+            .workers(2)
+            .mapping(MappingScheme::Partitioned)
+            .build()
+            .unwrap();
+        let mut e = OnlineEngine::new(ts, cfg).unwrap();
+        let acts = e.start(Instant::ZERO).unwrap();
+        match &acts[0] {
+            Action::Dispatch { worker, .. } => assert_eq!(*worker, WorkerId::new(1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(e.running(WorkerId::new(0)).is_none());
+    }
+
+    #[test]
+    fn dag_successors_fire_after_completion() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let fork = b.task_decl(TaskSpec::periodic("fork", ms(100))).unwrap();
+        let left = b.task_decl(TaskSpec::graph_node("left")).unwrap();
+        let right = b.task_decl(TaskSpec::graph_node("right")).unwrap();
+        let join = b.task_decl(TaskSpec::graph_node("join")).unwrap();
+        for t in [fork, left, right, join] {
+            b.version_decl(t, VersionSpec::new("v", ms(1))).unwrap();
+        }
+        let c1 = b.channel_decl("fl", 1, 1);
+        let c2 = b.channel_decl("fr", 1, 1);
+        let c3 = b.channel_decl("lj", 1, 1);
+        let c4 = b.channel_decl("rj", 1, 1);
+        b.channel_connect(fork, left, c1).unwrap();
+        b.channel_connect(fork, right, c2).unwrap();
+        b.channel_connect(left, join, c3).unwrap();
+        b.channel_connect(right, join, c4).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let mut e = OnlineEngine::new(ts, edf_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let fork_id = e.running(WorkerId::new(0)).unwrap().job.id;
+        let acts = e.on_job_completed(WorkerId::new(0), fork_id, at(1)).unwrap();
+        // left and right both released and dispatched on the two workers.
+        let dispatched: Vec<TaskId> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Dispatch { job, .. } => Some(job.task),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dispatched.len(), 2);
+        assert!(dispatched.contains(&left) && dispatched.contains(&right));
+        // Join waits for both.
+        let left_id = e.running(WorkerId::new(0)).unwrap().job.id;
+        let acts = e.on_job_completed(WorkerId::new(0), left_id, at(2)).unwrap();
+        assert!(acts.is_empty(), "join must wait for right: {acts:?}");
+        let right_id = e.running(WorkerId::new(1)).unwrap().job.id;
+        let acts = e
+            .on_job_completed(WorkerId::new(1), right_id, at(3))
+            .unwrap();
+        let join_dispatch = acts.iter().any(|a| {
+            matches!(a, Action::Dispatch { job, .. } if job.task == join)
+        });
+        assert!(join_dispatch, "{acts:?}");
+        // Graph-level deadline: join inherits fork's release + 100ms.
+        let j = e.running(WorkerId::new(0)).unwrap().job;
+        assert_eq!(j.abs_deadline, at(100));
+        assert_eq!(j.graph_release, Instant::ZERO);
+    }
+
+    #[test]
+    fn accel_contention_uses_cpu_fallback_and_pip() {
+        // Two tasks, both with GPU + CPU versions; one GPU.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let gpu = b.hwaccel_decl("gpu");
+        let t1 = b.task_decl(TaskSpec::periodic("t1", ms(100))).unwrap();
+        let t2 = b
+            .task_decl(TaskSpec::periodic("t2", ms(100)).with_constrained_deadline(ms(50)))
+            .unwrap();
+        b.version_decl(t1, VersionSpec::new("gpu", ms(10)).with_accel(gpu))
+            .unwrap();
+        b.version_decl(t1, VersionSpec::new("cpu", ms(30))).unwrap();
+        b.version_decl(t2, VersionSpec::new("gpu", ms(10)).with_accel(gpu))
+            .unwrap();
+        b.version_decl(t2, VersionSpec::new("cpu", ms(30))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let mut e = OnlineEngine::new(ts, edf_config(2)).unwrap();
+        let acts = e.start(Instant::ZERO).unwrap();
+        // t2 (tighter deadline) gets the GPU; t1 falls back to CPU.
+        let mut gpu_user = None;
+        let mut cpu_user = None;
+        for a in &acts {
+            if let Action::Dispatch { job, version, .. } = a {
+                if version.index() == 0 {
+                    gpu_user = Some(job.task);
+                } else {
+                    cpu_user = Some(job.task);
+                }
+            }
+        }
+        assert_eq!(gpu_user, Some(t2));
+        assert_eq!(cpu_user, Some(t1));
+    }
+
+    #[test]
+    fn gpu_only_task_blocks_and_boosts() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let gpu = b.hwaccel_decl("gpu");
+        // Low-urgency holder (long deadline), urgent GPU-only task later.
+        let hold = b.task_decl(TaskSpec::periodic("hold", ms(200))).unwrap();
+        let urgent = b
+            .task_decl(
+                TaskSpec::periodic("urgent", ms(200))
+                    .with_release_offset(ms(10))
+                    .with_constrained_deadline(ms(30)),
+            )
+            .unwrap();
+        b.version_decl(hold, VersionSpec::new("gpu", ms(50)).with_accel(gpu))
+            .unwrap();
+        b.version_decl(urgent, VersionSpec::new("gpu", ms(5)).with_accel(gpu))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let mut e = OnlineEngine::new(ts, edf_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let acts = e.on_tick(at(10));
+        // urgent is blocked on the GPU -> PIP boost of the holder.
+        let boost = acts.iter().find_map(|a| match a {
+            Action::Boost { priority, .. } => Some(*priority),
+            _ => None,
+        });
+        assert_eq!(boost, Some(Priority::earliest_deadline(at(40))));
+        assert_eq!(e.stats().pip_boosts, 1);
+        assert_eq!(e.ready_len(), 1, "urgent stays ready");
+        // Holder's effective priority is boosted.
+        let holder = e.running(WorkerId::new(0)).unwrap();
+        assert_eq!(holder.effective_priority, Priority::earliest_deadline(at(40)));
+        // When the holder finishes, urgent gets the GPU.
+        let hold_id = holder.job.id;
+        let acts = e.on_job_completed(WorkerId::new(0), hold_id, at(50)).unwrap();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Dispatch { job, .. } if job.task == urgent
+        )));
+    }
+
+    #[test]
+    fn accel_holder_not_preempted() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let gpu = b.hwaccel_decl("gpu");
+        let hold = b.task_decl(TaskSpec::periodic("hold", ms(200))).unwrap();
+        let urgent = b
+            .task_decl(
+                TaskSpec::periodic("urgent", ms(200))
+                    .with_release_offset(ms(10))
+                    .with_constrained_deadline(ms(20)),
+            )
+            .unwrap();
+        b.version_decl(hold, VersionSpec::new("gpu", ms(100)).with_accel(gpu))
+            .unwrap();
+        b.version_decl(urgent, VersionSpec::new("cpu", ms(5))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let mut e = OnlineEngine::new(ts, edf_config(1)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let acts = e.on_tick(at(10));
+        // The only worker runs the GPU holder; urgent must NOT preempt it.
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Preempt { .. })),
+            "{acts:?}"
+        );
+        assert_eq!(e.ready_len(), 1);
+    }
+
+    #[test]
+    fn aperiodic_activation() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let p = b.task_decl(TaskSpec::periodic("p", ms(10))).unwrap();
+        let a = b.task_decl(TaskSpec::aperiodic("a")).unwrap();
+        b.version_decl(p, VersionSpec::new("p", ms(1))).unwrap();
+        b.version_decl(a, VersionSpec::new("a", ms(1))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let mut e = OnlineEngine::new(ts, edf_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let acts = e.activate(a, at(3)).unwrap();
+        assert!(acts.iter().any(|x| matches!(
+            x,
+            Action::Dispatch { job, .. } if job.task == a
+        )));
+        // Periodic tasks cannot be activated by hand.
+        assert!(e.activate(p, at(4)).is_err());
+    }
+
+    #[test]
+    fn sporadic_min_interarrival_violation_counted() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let s = b.task_decl(TaskSpec::sporadic("s", ms(10))).unwrap();
+        b.version_decl(s, VersionSpec::new("s", ms(1))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder()
+            .workers(1)
+            .tick(ms(10))
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap();
+        let mut e = OnlineEngine::new(ts, cfg).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let _ = e.activate(s, at(0)).unwrap();
+        let _ = e.activate(s, at(5)).unwrap(); // violates T=10
+        assert_eq!(e.stats().sporadic_violations, 1);
+        let _ = e.activate(s, at(20)).unwrap();
+        assert_eq!(e.stats().sporadic_violations, 1);
+    }
+
+    #[test]
+    fn stop_drains() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        e.stop();
+        let acts = e.on_tick(at(10));
+        assert!(acts.is_empty(), "no releases after stop: {acts:?}");
+        assert!(!e.is_idle());
+        let r0 = e.running(WorkerId::new(0)).unwrap().job.id;
+        let r1 = e.running(WorkerId::new(1)).unwrap().job.id;
+        let _ = e.on_job_completed(WorkerId::new(0), r0, at(11)).unwrap();
+        let _ = e.on_job_completed(WorkerId::new(1), r1, at(12)).unwrap();
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn double_start_rejected_until_stop() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(1)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        assert!(matches!(e.start(at(1)), Err(Error::ScheduleRunning)));
+        e.stop();
+        // Multi-mode scheduling: resume after stop (§3.1).
+        assert!(e.start(at(100)).is_ok());
+    }
+
+    #[test]
+    fn shortest_wcet_policy_picks_gpu_when_free() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let gpu = b.hwaccel_decl("gpu");
+        let t = b.task_decl(TaskSpec::periodic("t", ms(100))).unwrap();
+        b.version_decl(t, VersionSpec::new("cpu", ms(30))).unwrap();
+        b.version_decl(t, VersionSpec::new("gpu", ms(10)).with_accel(gpu))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder()
+            .workers(1)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .version_policy(VersionPolicy::ShortestWcet)
+            .build()
+            .unwrap();
+        let mut e = OnlineEngine::new(ts, cfg).unwrap();
+        let acts = e.start(Instant::ZERO).unwrap();
+        match &acts[0] {
+            Action::Dispatch { version, .. } => assert_eq!(version.index(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

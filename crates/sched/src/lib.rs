@@ -1,0 +1,40 @@
+//! # yasmin-sched
+//!
+//! The scheduling engine of YASMIN (Rouxel, Altmeyer & Grelck,
+//! Middleware 2021): pure scheduling logic with no threads and no clock,
+//! driven by events and answering with actions. Both the discrete-event
+//! simulator (`yasmin-sim`) and the real-thread runtime (`yasmin-rt`)
+//! drive this same engine.
+//!
+//! * [`job`] — jobs (task activations) and their queue ordering;
+//! * [`queue`] — bounded priority-ordered ready queues (Fig. 1a/1b);
+//! * [`select`] — the multi-version selection engine (§3.2): energy,
+//!   energy/time trade-off, mode, permission mask, user-defined, and the
+//!   shortest-WCET default;
+//! * [`accel`] — accelerator arbitration with Priority Inheritance;
+//! * [`engine`] — the on-line global/partitioned scheduler (§3.3);
+//! * [`offline`] — off-line table synthesis, validation, and the run-time
+//!   dispatcher (§3.4, Fig. 1c);
+//! * [`server`] — polling/deferrable aperiodic servers (the paper's §7
+//!   future-work item, implemented).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod engine;
+pub mod job;
+pub mod offline;
+pub mod queue;
+pub mod select;
+pub mod server;
+
+pub use accel::AccelManager;
+pub use engine::{Action, EngineStats, OnlineEngine, RunningJob};
+pub use job::Job;
+pub use offline::{
+    synthesize, synthesize_strict, OfflineDispatcher, ScheduleTable, SynthesisOptions,
+};
+pub use queue::ReadyQueue;
+pub use server::{AperiodicServer, ServerKind};
+pub use select::rank_versions;

@@ -1,0 +1,219 @@
+//! Priority-ordered ready queues.
+//!
+//! With global scheduling "all worker threads share a common ready queue,
+//! whereas with partitioned scheduling each worker thread has its own
+//! ready queue" (§3.3, Fig. 1a/1b). The queue is a binary heap over
+//! [`Job::queue_key`] with a fixed capacity decided at `start()` — no
+//! allocation on the hot path.
+
+use crate::job::Job;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use yasmin_core::error::{Error, Result};
+use yasmin_core::ids::JobId;
+
+/// A bounded, priority-ordered job queue (smaller priority value pops
+/// first; ties broken by release time, then job id).
+#[derive(Debug)]
+pub struct ReadyQueue {
+    heap: BinaryHeap<Reverse<OrderedJob>>,
+    capacity: usize,
+    pushes: u64,
+    pops: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OrderedJob(Job);
+
+impl Ord for OrderedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.queue_key().cmp(&other.0.queue_key())
+    }
+}
+
+impl PartialOrd for OrderedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl ReadyQueue {
+    /// Creates a queue bounded to `capacity` pending jobs, pre-allocating
+    /// the backing storage.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ReadyQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            capacity,
+            pushes: 0,
+            pops: 0,
+        }
+    }
+
+    /// Inserts a job.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CapacityExceeded`] when the bound would be crossed — a
+    /// sizing error, not a runtime condition to paper over.
+    pub fn push(&mut self, job: Job) -> Result<()> {
+        if self.heap.len() >= self.capacity {
+            return Err(Error::CapacityExceeded {
+                what: "ready queue",
+                capacity: self.capacity,
+            });
+        }
+        self.heap.push(Reverse(OrderedJob(job)));
+        self.pushes += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the most urgent job.
+    pub fn pop(&mut self) -> Option<Job> {
+        let j = self.heap.pop().map(|Reverse(OrderedJob(j))| j);
+        if j.is_some() {
+            self.pops += 1;
+        }
+        j
+    }
+
+    /// The most urgent job without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&Job> {
+        self.heap.peek().map(|Reverse(OrderedJob(j))| j)
+    }
+
+    /// Removes a specific job (linear scan; used when cancelling).
+    pub fn remove(&mut self, id: JobId) -> Option<Job> {
+        let mut found = None;
+        let items: Vec<_> = std::mem::take(&mut self.heap).into_vec();
+        for Reverse(OrderedJob(j)) in items {
+            if j.id == id && found.is_none() {
+                found = Some(j);
+            } else {
+                self.heap.push(Reverse(OrderedJob(j)));
+            }
+        }
+        found
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The configured bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total pushes since creation (overhead accounting).
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total pops since creation (overhead accounting).
+    #[must_use]
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Iterates over queued jobs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Job> {
+        self.heap.iter().map(|Reverse(OrderedJob(j))| j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasmin_core::ids::TaskId;
+    use yasmin_core::priority::Priority;
+    use yasmin_core::time::{Duration, Instant};
+
+    fn job(id: u64, prio: u64) -> Job {
+        Job {
+            id: JobId::new(id),
+            task: TaskId::new(id as u32),
+            seq: 0,
+            release: Instant::ZERO,
+            graph_release: Instant::ZERO,
+            abs_deadline: Instant::ZERO + Duration::from_millis(1),
+            priority: Priority::new(prio),
+            preempted: false,
+        }
+    }
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut q = ReadyQueue::with_capacity(8);
+        q.push(job(1, 30)).unwrap();
+        q.push(job(2, 10)).unwrap();
+        q.push(job(3, 20)).unwrap();
+        assert_eq!(q.peek().unwrap().id, JobId::new(2));
+        assert_eq!(q.pop().unwrap().priority, Priority::new(10));
+        assert_eq!(q.pop().unwrap().priority, Priority::new(20));
+        assert_eq!(q.pop().unwrap().priority, Priority::new(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_priority_breaks_ties_deterministically() {
+        let mut q = ReadyQueue::with_capacity(8);
+        q.push(job(5, 10)).unwrap();
+        q.push(job(2, 10)).unwrap();
+        // Same priority & release: lower JobId first.
+        assert_eq!(q.pop().unwrap().id, JobId::new(2));
+        assert_eq!(q.pop().unwrap().id, JobId::new(5));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = ReadyQueue::with_capacity(2);
+        q.push(job(1, 1)).unwrap();
+        q.push(job(2, 2)).unwrap();
+        assert!(matches!(
+            q.push(job(3, 3)),
+            Err(Error::CapacityExceeded { capacity: 2, .. })
+        ));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn remove_specific_job() {
+        let mut q = ReadyQueue::with_capacity(8);
+        for i in 1..=4 {
+            q.push(job(i, i)).unwrap();
+        }
+        let removed = q.remove(JobId::new(3)).unwrap();
+        assert_eq!(removed.id, JobId::new(3));
+        assert_eq!(q.len(), 3);
+        assert!(q.remove(JobId::new(99)).is_none());
+        // Remaining order intact.
+        assert_eq!(q.pop().unwrap().id, JobId::new(1));
+        assert_eq!(q.pop().unwrap().id, JobId::new(2));
+        assert_eq!(q.pop().unwrap().id, JobId::new(4));
+    }
+
+    #[test]
+    fn op_counters() {
+        let mut q = ReadyQueue::with_capacity(4);
+        q.push(job(1, 1)).unwrap();
+        q.push(job(2, 2)).unwrap();
+        let _ = q.pop();
+        assert_eq!(q.pushes(), 2);
+        assert_eq!(q.pops(), 1);
+        let _ = q.pop();
+        let _ = q.pop(); // empty pop does not count
+        assert_eq!(q.pops(), 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! The version-selection engine.
+//!
+//! At each dispatch YASMIN picks which version of a task to run. Five
+//! policies are supported (§3.2): energy capacity, energy/time trade-off,
+//! execution mode, permission bit-mask, and a user-defined function —
+//! plus the shortest-WCET default that the drone exploration of Figure 4
+//! uses when "we … left the scheduler decide which one to execute".
+//!
+//! [`rank_versions`] returns *all* eligible versions ordered by
+//! preference; the dispatcher then takes the first whose hardware
+//! resources are free, which is how multi-version tasks sidestep
+//! accelerator congestion.
+
+use yasmin_core::config::{SelectCtx, VersionPolicy};
+use yasmin_core::ids::VersionId;
+use yasmin_core::task::Task;
+use yasmin_core::version::VersionSpec;
+
+/// Ranks the versions of `task` under `policy`, most preferred first.
+/// Versions that a policy deems ineligible (budget exceeded, wrong mode,
+/// missing permission) are filtered out entirely.
+///
+/// An empty result means *no version may run right now*; the dispatcher
+/// treats the job as blocked.
+#[must_use]
+pub fn rank_versions(policy: &VersionPolicy, ctx: &SelectCtx, task: &Task) -> Vec<VersionId> {
+    let candidates: Vec<(VersionId, &VersionSpec)> = task
+        .versions()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (VersionId::new(i as u16), v))
+        .collect();
+
+    match policy {
+        VersionPolicy::ShortestWcet => {
+            let mut c = candidates;
+            c.sort_by_key(|(id, v)| (v.wcet(), v.energy(), *id));
+            c.into_iter().map(|(id, _)| id).collect()
+        }
+        VersionPolicy::Energy => {
+            // Affordable versions first, the most capable (highest budget)
+            // leading; an exhausted battery falls back to the cheapest
+            // version so the task can still run.
+            let battery = ctx.battery;
+            let budget_of = |v: &VersionSpec| {
+                v.props()
+                    .energy_budget
+                    .map_or(0, |e| e.as_microjoules())
+            };
+            // Interpret budgets against the battery fraction with 25 %
+            // headroom: the most demanding version stays affordable until
+            // the battery drops below 80 %, then versions shed in budget
+            // order — a graceful-degradation curve rather than a
+            // knife-edge at exactly full charge.
+            let max_budget = candidates
+                .iter()
+                .map(|(_, v)| budget_of(v))
+                .max()
+                .unwrap_or(0);
+            let affordable_limit =
+                (u128::from(max_budget) * u128::from(battery.as_permille()) / 800) as u64;
+            let mut affordable: Vec<_> = candidates
+                .iter()
+                .filter(|(_, v)| budget_of(v) <= affordable_limit)
+                .map(|&(id, v)| (id, v))
+                .collect();
+            affordable.sort_by_key(|(id, v)| (std::cmp::Reverse(budget_of(v)), *id));
+            if affordable.is_empty() {
+                // Battery too low for every declared budget: degrade to
+                // the single cheapest version.
+                let mut c = candidates;
+                c.sort_by_key(|(id, v)| (budget_of(v), *id));
+                c.truncate(1);
+                return c.into_iter().map(|(id, _)| id).collect();
+            }
+            affordable.into_iter().map(|(id, _)| id).collect()
+        }
+        VersionPolicy::EnergyTimeTradeoff { time_weight } => {
+            let w = u64::from(*time_weight).min(1000);
+            let max_t = candidates
+                .iter()
+                .map(|(_, v)| v.wcet().as_nanos())
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            let max_e = candidates
+                .iter()
+                .map(|(_, v)| v.energy().as_microjoules())
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            // Normalised weighted cost in permille; integer arithmetic for
+            // determinism.
+            let cost = |v: &VersionSpec| {
+                let t = v.wcet().as_nanos() * 1000 / max_t;
+                let e = v.energy().as_microjoules() * 1000 / max_e;
+                w * t + (1000 - w) * e
+            };
+            let mut c = candidates;
+            c.sort_by_key(|(id, v)| (cost(v), *id));
+            c.into_iter().map(|(id, _)| id).collect()
+        }
+        VersionPolicy::Mode => {
+            let mut c: Vec<_> = candidates
+                .into_iter()
+                .filter(|(_, v)| v.props().modes.contains(ctx.mode))
+                .collect();
+            c.sort_by_key(|(id, v)| (v.wcet(), *id));
+            c.into_iter().map(|(id, _)| id).collect()
+        }
+        VersionPolicy::Permission => {
+            let mut c: Vec<_> = candidates
+                .into_iter()
+                .filter(|(_, v)| v.props().permissions.intersects(ctx.permissions))
+                .collect();
+            c.sort_by_key(|(id, v)| (v.wcet(), *id));
+            c.into_iter().map(|(id, _)| id).collect()
+        }
+        VersionPolicy::UserDefined(f) => f(ctx, task.id(), &candidates),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use yasmin_core::energy::{BatteryLevel, Energy};
+    use yasmin_core::ids::TaskId;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::time::Duration;
+    use yasmin_core::version::{ExecMode, ModeMask, PermMask};
+
+    fn two_version_task() -> Task {
+        let mut t = Task::new(
+            TaskId::new(0),
+            TaskSpec::periodic("left", Duration::from_millis(250)),
+        );
+        // v0: cheap & slow (CPU); v1: hungry & fast (accelerator-ish).
+        t.push_version(
+            VersionSpec::new("v1", Duration::from_millis(80))
+                .with_energy(Energy::from_millijoules(5))
+                .with_energy_budget(Energy::from_millijoules(5)),
+        );
+        t.push_version(
+            VersionSpec::new("v2", Duration::from_millis(30))
+                .with_energy(Energy::from_millijoules(12))
+                .with_energy_budget(Energy::from_millijoules(12)),
+        );
+        t
+    }
+
+    #[test]
+    fn shortest_wcet_prefers_fastest() {
+        let t = two_version_task();
+        let r = rank_versions(&VersionPolicy::ShortestWcet, &SelectCtx::default(), &t);
+        assert_eq!(r, vec![VersionId::new(1), VersionId::new(0)]);
+    }
+
+    #[test]
+    fn energy_full_battery_prefers_most_capable() {
+        let t = two_version_task();
+        let ctx = SelectCtx {
+            battery: BatteryLevel::FULL,
+            ..SelectCtx::default()
+        };
+        let r = rank_versions(&VersionPolicy::Energy, &ctx, &t);
+        assert_eq!(r[0], VersionId::new(1), "full battery affords the 12mJ version");
+    }
+
+    #[test]
+    fn energy_low_battery_degrades() {
+        let t = two_version_task();
+        let ctx = SelectCtx {
+            battery: BatteryLevel::from_percent(30),
+            ..SelectCtx::default()
+        };
+        // Affordable limit = 12mJ * 0.30 = 3.6mJ < both budgets -> degrade
+        // to the cheapest version only.
+        let r = rank_versions(&VersionPolicy::Energy, &ctx, &t);
+        assert_eq!(r, vec![VersionId::new(0)]);
+    }
+
+    #[test]
+    fn energy_mid_battery_keeps_affordable() {
+        let t = two_version_task();
+        let ctx = SelectCtx {
+            battery: BatteryLevel::from_percent(50),
+            ..SelectCtx::default()
+        };
+        // Limit = 6mJ: only the 5mJ version is affordable.
+        let r = rank_versions(&VersionPolicy::Energy, &ctx, &t);
+        assert_eq!(r, vec![VersionId::new(0)]);
+    }
+
+    #[test]
+    fn tradeoff_pure_time_equals_shortest_wcet() {
+        let t = two_version_task();
+        let r = rank_versions(
+            &VersionPolicy::EnergyTimeTradeoff { time_weight: 1000 },
+            &SelectCtx::default(),
+            &t,
+        );
+        assert_eq!(r[0], VersionId::new(1));
+    }
+
+    #[test]
+    fn tradeoff_pure_energy_prefers_cheapest() {
+        let t = two_version_task();
+        let r = rank_versions(
+            &VersionPolicy::EnergyTimeTradeoff { time_weight: 0 },
+            &SelectCtx::default(),
+            &t,
+        );
+        assert_eq!(r[0], VersionId::new(0));
+    }
+
+    #[test]
+    fn mode_filters_by_current_mode() {
+        let mut t = Task::new(
+            TaskId::new(0),
+            TaskSpec::periodic("enc", Duration::from_millis(500)),
+        );
+        t.push_version(
+            VersionSpec::new("plain", Duration::from_millis(3))
+                .with_modes(ModeMask::only(ExecMode::NORMAL)),
+        );
+        t.push_version(
+            VersionSpec::new("aes", Duration::from_millis(100))
+                .with_modes(ModeMask::only(ExecMode::new(1))),
+        );
+        let normal = SelectCtx::default();
+        assert_eq!(
+            rank_versions(&VersionPolicy::Mode, &normal, &t),
+            vec![VersionId::new(0)]
+        );
+        let secure = SelectCtx {
+            mode: ExecMode::new(1),
+            ..SelectCtx::default()
+        };
+        assert_eq!(
+            rank_versions(&VersionPolicy::Mode, &secure, &t),
+            vec![VersionId::new(1)]
+        );
+    }
+
+    #[test]
+    fn permission_filters_by_mask() {
+        let mut t = Task::new(
+            TaskId::new(0),
+            TaskSpec::periodic("p", Duration::from_millis(10)),
+        );
+        t.push_version(
+            VersionSpec::new("a", Duration::from_millis(1))
+                .with_permissions(PermMask::from_bits(0b01)),
+        );
+        t.push_version(
+            VersionSpec::new("b", Duration::from_millis(2))
+                .with_permissions(PermMask::from_bits(0b10)),
+        );
+        let ctx = SelectCtx {
+            permissions: PermMask::from_bits(0b10),
+            ..SelectCtx::default()
+        };
+        assert_eq!(
+            rank_versions(&VersionPolicy::Permission, &ctx, &t),
+            vec![VersionId::new(1)]
+        );
+        let none = SelectCtx {
+            permissions: PermMask::NONE,
+            ..SelectCtx::default()
+        };
+        assert!(rank_versions(&VersionPolicy::Permission, &none, &t).is_empty());
+    }
+
+    #[test]
+    fn user_defined_controls_order() {
+        let t = two_version_task();
+        let policy = VersionPolicy::UserDefined(Arc::new(|_, _, cands| {
+            // Reverse declaration order.
+            cands.iter().rev().map(|(id, _)| *id).collect()
+        }));
+        let r = rank_versions(&policy, &SelectCtx::default(), &t);
+        assert_eq!(r, vec![VersionId::new(1), VersionId::new(0)]);
+    }
+}

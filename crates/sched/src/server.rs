@@ -1,0 +1,216 @@
+//! Aperiodic servers — the paper's first future-work item (§7):
+//! "improve the management of real-time tasks with arbitrary activation
+//! patterns by using recurring servers, e.g. [Ghazalie & Baker 1995]".
+//!
+//! A server reserves `(budget C_s, period T_s)` of processor time for
+//! aperiodic work so it can be accounted for like one more periodic task
+//! in any schedulability analysis, while aperiodic jobs get bounded
+//! service. Two classic disciplines:
+//!
+//! * **Polling server** — budget exists only at replenishment instants;
+//!   if no aperiodic work is pending, the budget is lost immediately.
+//! * **Deferrable server** — the budget persists through the period
+//!   (bandwidth-preserving), replenished to full every `T_s`.
+//!
+//! [`AperiodicServer`] is pure accounting: the driver asks how much
+//! budget is available at `now`, reports consumption, and the server
+//! tracks replenishments. This composes with the engine by modelling the
+//! server as a periodic task whose job "body" serves the aperiodic
+//! queue.
+
+use yasmin_core::time::{Duration, Instant};
+
+/// Which replenishment discipline the server follows.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ServerKind {
+    /// Budget is lost if unused when the server is polled.
+    Polling,
+    /// Budget persists until consumed or replenished (deferrable).
+    Deferrable,
+}
+
+/// Budget accounting for one aperiodic server.
+#[derive(Clone, Debug)]
+pub struct AperiodicServer {
+    kind: ServerKind,
+    capacity: Duration,
+    period: Duration,
+    budget: Duration,
+    next_replenish: Instant,
+    served: Duration,
+    replenishments: u64,
+}
+
+impl AperiodicServer {
+    /// Creates a server with full initial budget, first replenishment at
+    /// `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `period` is zero, or `capacity > period`.
+    #[must_use]
+    pub fn new(kind: ServerKind, capacity: Duration, period: Duration) -> Self {
+        assert!(!capacity.is_zero(), "server capacity must be positive");
+        assert!(!period.is_zero(), "server period must be positive");
+        assert!(capacity <= period, "capacity cannot exceed the period");
+        AperiodicServer {
+            kind,
+            capacity,
+            period,
+            budget: capacity,
+            next_replenish: Instant::ZERO + period,
+            served: Duration::ZERO,
+            replenishments: 0,
+        }
+    }
+
+    /// The discipline.
+    #[must_use]
+    pub fn kind(&self) -> ServerKind {
+        self.kind
+    }
+
+    /// The reserved budget per period.
+    #[must_use]
+    pub fn capacity(&self) -> Duration {
+        self.capacity
+    }
+
+    /// The replenishment period (also the server's RM/DM period when
+    /// folded into the task set).
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// The server's utilisation `C_s / T_s`.
+    #[must_use]
+    pub fn utilisation(&self) -> f64 {
+        self.capacity.as_nanos() as f64 / self.period.as_nanos() as f64
+    }
+
+    /// Advances the accounting to `now`, applying any replenishments
+    /// that are due, and returns the budget available for aperiodic
+    /// service.
+    pub fn available_at(&mut self, now: Instant) -> Duration {
+        while self.next_replenish <= now {
+            self.budget = self.capacity;
+            self.next_replenish += self.period;
+            self.replenishments += 1;
+        }
+        self.budget
+    }
+
+    /// Serves aperiodic work for up to `demand` at `now`; returns how
+    /// much was actually granted (bounded by the available budget).
+    pub fn serve(&mut self, now: Instant, demand: Duration) -> Duration {
+        let available = self.available_at(now);
+        let granted = demand.min(available);
+        self.budget -= granted;
+        self.served += granted;
+        granted
+    }
+
+    /// For a polling server: called when the server is activated and
+    /// finds no pending work — the remaining budget is discarded
+    /// ("budget exists only at the instants the server polls").
+    pub fn poll_idle(&mut self, now: Instant) {
+        let _ = self.available_at(now);
+        if self.kind == ServerKind::Polling {
+            self.budget = Duration::ZERO;
+        }
+    }
+
+    /// Total aperiodic time served so far.
+    #[must_use]
+    pub fn total_served(&self) -> Duration {
+        self.served
+    }
+
+    /// Replenishments applied so far.
+    #[must_use]
+    pub fn replenishment_count(&self) -> u64 {
+        self.replenishments
+    }
+
+    /// Worst-case response-time bound for an aperiodic job of execution
+    /// time `c` arriving at the worst instant, assuming the server runs
+    /// at top priority: the job may wait one full period before service
+    /// starts (just-missed replenishment) and needs `⌈c/C_s⌉` periods of
+    /// budget.
+    #[must_use]
+    pub fn response_bound(&self, c: Duration) -> Duration {
+        let full_periods = c.as_nanos().div_ceil(self.capacity.as_nanos());
+        self.period * full_periods + self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn at(v: u64) -> Instant {
+        Instant::ZERO + ms(v)
+    }
+
+    #[test]
+    fn deferrable_budget_persists() {
+        let mut s = AperiodicServer::new(ServerKind::Deferrable, ms(2), ms(10));
+        assert_eq!(s.available_at(at(0)), ms(2));
+        // Nothing served; budget still there late in the period.
+        assert_eq!(s.available_at(at(9)), ms(2));
+        assert_eq!(s.serve(at(9), ms(1)), ms(1));
+        assert_eq!(s.available_at(at(9)), ms(1));
+        // Replenished to full at t=10.
+        assert_eq!(s.available_at(at(10)), ms(2));
+        assert_eq!(s.replenishment_count(), 1);
+    }
+
+    #[test]
+    fn polling_budget_is_lost_when_idle() {
+        let mut s = AperiodicServer::new(ServerKind::Polling, ms(2), ms(10));
+        s.poll_idle(at(0));
+        assert_eq!(s.available_at(at(5)), Duration::ZERO, "discarded");
+        // Back at the next replenishment.
+        assert_eq!(s.available_at(at(10)), ms(2));
+    }
+
+    #[test]
+    fn service_is_budget_bounded() {
+        let mut s = AperiodicServer::new(ServerKind::Deferrable, ms(3), ms(10));
+        assert_eq!(s.serve(at(1), ms(5)), ms(3), "capped at the budget");
+        assert_eq!(s.serve(at(2), ms(5)), Duration::ZERO, "exhausted");
+        // Next period: more budget.
+        assert_eq!(s.serve(at(11), ms(5)), ms(3));
+        assert_eq!(s.total_served(), ms(6));
+    }
+
+    #[test]
+    fn multiple_missed_replenishments_catch_up() {
+        let mut s = AperiodicServer::new(ServerKind::Deferrable, ms(2), ms(10));
+        let _ = s.serve(at(0), ms(2));
+        // Jump far ahead: budget refilled (once, not accumulated).
+        assert_eq!(s.available_at(at(55)), ms(2));
+        assert_eq!(s.replenishment_count(), 5);
+    }
+
+    #[test]
+    fn utilisation_and_bounds() {
+        let s = AperiodicServer::new(ServerKind::Deferrable, ms(2), ms(10));
+        assert!((s.utilisation() - 0.2).abs() < 1e-12);
+        // c = 5ms needs ceil(5/2)=3 periods + 1 waiting = 40ms.
+        assert_eq!(s.response_bound(ms(5)), ms(40));
+        // Tiny job: 1 period of service + 1 waiting.
+        assert_eq!(s.response_bound(ms(1)), ms(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity cannot exceed")]
+    fn capacity_over_period_rejected() {
+        let _ = AperiodicServer::new(ServerKind::Polling, ms(11), ms(10));
+    }
+}

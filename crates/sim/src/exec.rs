@@ -1,0 +1,123 @@
+//! Execution-time models: how long a job actually runs relative to its
+//! declared WCET.
+//!
+//! WCETs are upper bounds; real executions finish earlier. The Figure 4
+//! experiment's deadline-miss ratios depend on this spread, so the model
+//! is explicit and seeded.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use yasmin_core::time::Duration;
+
+/// How actual execution times are drawn from the WCET.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecModel {
+    /// Every job runs for exactly its WCET (worst case, deterministic).
+    Wcet,
+    /// Uniform in `[min_pct, max_pct]` percent of the WCET.
+    UniformPct {
+        /// Lower bound, percent of WCET (≥ 1).
+        min_pct: u32,
+        /// Upper bound, percent of WCET (≤ 100 for sound WCETs).
+        max_pct: u32,
+    },
+}
+
+impl Default for ExecModel {
+    fn default() -> Self {
+        // A common empirical spread: 60–100 % of WCET.
+        ExecModel::UniformPct {
+            min_pct: 60,
+            max_pct: 100,
+        }
+    }
+}
+
+/// A seeded sampler for an [`ExecModel`].
+#[derive(Debug)]
+pub struct ExecSampler {
+    model: ExecModel,
+    rng: StdRng,
+}
+
+impl ExecSampler {
+    /// Creates a sampler with its own deterministic stream.
+    #[must_use]
+    pub fn new(model: ExecModel, seed: u64) -> Self {
+        ExecSampler {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the execution time of one job with the given WCET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `UniformPct` model has `min_pct == 0` or an inverted
+    /// range.
+    pub fn sample(&mut self, wcet: Duration) -> Duration {
+        match self.model {
+            ExecModel::Wcet => wcet,
+            ExecModel::UniformPct { min_pct, max_pct } => {
+                assert!(
+                    min_pct > 0 && min_pct <= max_pct,
+                    "UniformPct needs 0 < min <= max"
+                );
+                let pct = self.rng.random_range(min_pct..=max_pct);
+                let ns = (u128::from(wcet.as_nanos()) * u128::from(pct) / 100) as u64;
+                Duration::from_nanos(ns.max(1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wcet_model_is_identity() {
+        let mut s = ExecSampler::new(ExecModel::Wcet, 0);
+        let w = Duration::from_millis(7);
+        assert_eq!(s.sample(w), w);
+    }
+
+    #[test]
+    fn uniform_pct_within_bounds() {
+        let mut s = ExecSampler::new(
+            ExecModel::UniformPct {
+                min_pct: 60,
+                max_pct: 100,
+            },
+            1,
+        );
+        let w = Duration::from_millis(100);
+        for _ in 0..200 {
+            let e = s.sample(w);
+            assert!(e >= Duration::from_millis(60) && e <= w, "e = {e}");
+        }
+    }
+
+    #[test]
+    fn never_zero() {
+        let mut s = ExecSampler::new(
+            ExecModel::UniformPct {
+                min_pct: 1,
+                max_pct: 1,
+            },
+            2,
+        );
+        assert!(s.sample(Duration::from_nanos(10)).as_nanos() >= 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = Duration::from_millis(10);
+        let mut a = ExecSampler::new(ExecModel::default(), 42);
+        let mut b = ExecSampler::new(ExecModel::default(), 42);
+        for _ in 0..50 {
+            assert_eq!(a.sample(w), b.sample(w));
+        }
+    }
+}

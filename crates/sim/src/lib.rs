@@ -1,0 +1,33 @@
+//! # yasmin-sim
+//!
+//! Discrete-event simulation of COTS heterogeneous platforms for the
+//! YASMIN evaluation. The simulator drives the *real* scheduling engine
+//! (`yasmin-sched`) with virtual time, so every experiment exercises
+//! production scheduling code on a modelled platform:
+//!
+//! * [`engine`] — the DES driver ([`engine::Simulation`]): event queue,
+//!   modelled workers with per-core speeds, preemption progress tracking,
+//!   measured + modelled overheads, energy accounting;
+//! * [`exec`] — execution-time models (WCET, uniform fraction);
+//! * [`kernel`] — wake-up-latency models of the kernels in Table 2
+//!   (vanilla Linux, PREEMPT_RT, LitmusRT GSN-EDF / P-RES);
+//! * [`stress`] — the stress-ng-like interference profile;
+//! * [`trace`] — per-job records and result aggregation;
+//! * [`render`] — ASCII Gantt charts and Chrome-trace export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod exec;
+pub mod kernel;
+pub mod render;
+pub mod stress;
+pub mod trace;
+
+pub use engine::{OverheadModel, SimConfig, Simulation};
+pub use exec::{ExecModel, ExecSampler};
+pub use kernel::{KernelKind, KernelModel, KernelParams};
+pub use stress::StressProfile;
+pub use render::{ascii_gantt, chrome_trace, task_report};
+pub use trace::{JobRecord, SimResult};

@@ -1,0 +1,184 @@
+//! Trace rendering: ASCII Gantt charts and Chrome-trace JSON export.
+//!
+//! Turns a [`SimResult`] into something a human
+//! (or `chrome://tracing` / Perfetto) can look at when exploring
+//! scheduling behaviour — the visual half of the paper's design-space
+//! exploration story.
+
+use crate::trace::SimResult;
+use std::fmt::Write as _;
+use yasmin_core::graph::TaskSet;
+use yasmin_core::time::{Duration, Instant};
+
+/// Renders a per-worker ASCII Gantt chart of the first `window` of the
+/// simulation, `columns` characters wide. Each record paints the span
+/// `first_start..completion` with the first letter of the task name
+/// (`.` = idle, `*` = several jobs per cell).
+#[must_use]
+pub fn ascii_gantt(result: &SimResult, ts: &TaskSet, window: Duration, columns: usize) -> String {
+    let columns = columns.max(10);
+    let workers = result.worker_busy.len();
+    let ns_per_col = (window.as_nanos() / columns as u64).max(1);
+    let mut rows: Vec<Vec<char>> = vec![vec!['.'; columns]; workers];
+    for r in &result.records {
+        if r.first_start >= Instant::ZERO + window {
+            continue;
+        }
+        let start_col = (r.first_start.as_nanos() / ns_per_col) as usize;
+        let end_col = ((r.completion.as_nanos().saturating_sub(1)) / ns_per_col) as usize;
+        let letter = ts.tasks()[r.task.index()]
+            .spec()
+            .name()
+            .chars()
+            .next()
+            .unwrap_or('?');
+        let row = &mut rows[r.worker.index()];
+        for cell in row
+            .iter_mut()
+            .take(end_col.min(columns - 1) + 1)
+            .skip(start_col.min(columns - 1))
+        {
+            *cell = if *cell == '.' { letter } else { '*' };
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "time: 0 .. {window} ({ns_per_col} ns/col)");
+    for (w, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "W{w} |{}|", row.iter().collect::<String>());
+    }
+    out
+}
+
+/// Exports the records as Chrome-trace JSON (one complete event per job,
+/// `pid` 0, `tid` = worker). Load in `chrome://tracing` or Perfetto.
+#[must_use]
+pub fn chrome_trace(result: &SimResult, ts: &TaskSet) -> String {
+    let mut out = String::from("[");
+    for (i, r) in result.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = ts.tasks()[r.task.index()].spec().name();
+        let start_us = r.first_start.as_nanos() as f64 / 1e3;
+        let dur_us = r.completion.saturating_since(r.first_start).as_nanos() as f64 / 1e3;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}#{}\",\"cat\":\"job\",\"ph\":\"X\",\
+             \"ts\":{start_us:.3},\"dur\":{dur_us:.3},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"version\":{},\"missed\":{}}}}}",
+            r.seq,
+            r.worker.index(),
+            r.version.index(),
+            r.missed()
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// A compact per-task textual report (count, response times, misses).
+#[must_use]
+pub fn task_report(result: &SimResult, ts: &TaskSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>12} {:>12} {:>12} {:>7}",
+        "task", "jobs", "min resp", "avg resp", "max resp", "misses"
+    );
+    for t in ts.tasks() {
+        let s = result.response_times(t.id());
+        if s.count() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>12} {:>12} {:>12} {:>7}",
+            t.spec().name(),
+            s.count(),
+            Duration::from_nanos(s.min().unwrap_or(0)).to_string(),
+            Duration::from_nanos(s.mean().unwrap_or(0.0) as u64).to_string(),
+            Duration::from_nanos(s.max().unwrap_or(0)).to_string(),
+            result.miss_count(t.id()),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+    use std::sync::Arc;
+    use yasmin_core::config::Config;
+    use yasmin_core::graph::TaskSetBuilder;
+    use yasmin_core::priority::PriorityPolicy;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::version::VersionSpec;
+
+    fn run() -> (SimResult, TaskSet) {
+        let mut b = TaskSetBuilder::new();
+        let a = b
+            .task_decl(TaskSpec::periodic("alpha", Duration::from_millis(10)))
+            .unwrap();
+        let c = b
+            .task_decl(TaskSpec::periodic("beta", Duration::from_millis(20)))
+            .unwrap();
+        b.version_decl(a, VersionSpec::new("v", Duration::from_millis(2)))
+            .unwrap();
+        b.version_decl(c, VersionSpec::new("v", Duration::from_millis(4)))
+            .unwrap();
+        let ts = b.build().unwrap();
+        let config = Config::builder()
+            .workers(2)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap();
+        let result = Simulation::new(
+            Arc::new(ts.clone()),
+            config,
+            SimConfig::uniform(2, Duration::from_millis(60)),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        (result, ts)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_worker() {
+        let (result, ts) = run();
+        let g = ascii_gantt(&result, &ts, Duration::from_millis(60), 60);
+        assert_eq!(g.lines().count(), 3); // header + 2 workers
+        assert!(g.contains("W0 |"));
+        assert!(g.contains('a'), "alpha should appear: {g}");
+    }
+
+    #[test]
+    fn chrome_trace_is_json_shaped() {
+        let (result, ts) = run();
+        let j = chrome_trace(&result, &ts);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("alpha#0"));
+        // Events equal completed records.
+        assert_eq!(j.matches("\"cat\":\"job\"").count(), result.records.len());
+    }
+
+    #[test]
+    fn task_report_lists_all_tasks() {
+        let (result, ts) = run();
+        let rep = task_report(&result, &ts);
+        assert!(rep.contains("alpha"));
+        assert!(rep.contains("beta"));
+        assert!(rep.contains("misses"));
+    }
+
+    #[test]
+    fn empty_result_renders() {
+        let (mut result, ts) = run();
+        result.records.clear();
+        let g = ascii_gantt(&result, &ts, Duration::from_millis(10), 20);
+        assert!(g.contains("...."));
+        assert_eq!(chrome_trace(&result, &ts), "[]");
+    }
+}

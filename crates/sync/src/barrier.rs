@@ -1,0 +1,162 @@
+//! A sense-reversing spin barrier.
+//!
+//! Part of the "synchronisation primitives, i.e. mutex locks and barriers"
+//! YASMIN implements internally (§3.5). The sense-reversing construction
+//! (Mellor-Crummey & Scott 1991, alg. 7) reuses a single barrier object
+//! across episodes without re-initialisation, and every participant spins
+//! on one shared word flipped once per episode — bounded and analysable.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Shared {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    participants: usize,
+}
+
+/// One participant's handle to a sense-reversing barrier.
+///
+/// Handles are created together via [`SpinBarrier::new`] and distributed
+/// to the participating threads; each carries its private local sense.
+///
+/// # Examples
+///
+/// ```
+/// use yasmin_sync::barrier::SpinBarrier;
+///
+/// let mut handles = SpinBarrier::new(2);
+/// let mut other = handles.pop().unwrap();
+/// let t = std::thread::spawn(move || {
+///     other.wait();
+/// });
+/// handles[0].wait();
+/// t.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct SpinBarrier {
+    shared: Arc<Shared>,
+    local_sense: bool,
+}
+
+impl SpinBarrier {
+    /// Creates `participants` linked handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    #[must_use]
+    pub fn new(participants: usize) -> Vec<SpinBarrier> {
+        assert!(participants > 0, "a barrier needs at least one participant");
+        let shared = Arc::new(Shared {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            participants,
+        });
+        (0..participants)
+            .map(|_| SpinBarrier {
+                shared: Arc::clone(&shared),
+                local_sense: false,
+            })
+            .collect()
+    }
+
+    /// Blocks (spinning) until all participants have called `wait` for the
+    /// current episode. Returns `true` for exactly one participant per
+    /// episode (the last to arrive), mirroring
+    /// [`std::sync::Barrier::wait`]'s leader flag.
+    pub fn wait(&mut self) -> bool {
+        self.local_sense = !self.local_sense;
+        let arrived = self.shared.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.shared.participants {
+            self.shared.count.store(0, Ordering::Relaxed);
+            self.shared.sense.store(self.local_sense, Ordering::Release);
+            true
+        } else {
+            while self.shared.sense.load(Ordering::Acquire) != self.local_sense {
+                std::hint::spin_loop();
+            }
+            false
+        }
+    }
+
+    /// Number of participants.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.shared.participants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let mut h = SpinBarrier::new(1);
+        assert!(h[0].wait());
+        assert!(h[0].wait());
+    }
+
+    #[test]
+    fn synchronises_phases() {
+        const THREADS: usize = 4;
+        const EPISODES: usize = 200;
+        let phase = Arc::new(AtomicUsize::new(0));
+        let handles = SpinBarrier::new(THREADS);
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                let phase = Arc::clone(&phase);
+                std::thread::spawn(move || {
+                    for episode in 0..EPISODES {
+                        // Everyone must observe the phase of this episode,
+                        // proving nobody raced ahead through the barrier.
+                        assert_eq!(phase.load(Ordering::SeqCst), episode);
+                        if h.wait() {
+                            phase.fetch_add(1, Ordering::SeqCst);
+                        }
+                        h.wait();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), EPISODES);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        const THREADS: usize = 8;
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles = SpinBarrier::new(THREADS);
+        let threads: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        if h.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "participant")]
+    fn zero_participants_panics() {
+        let _ = SpinBarrier::new(0);
+    }
+}

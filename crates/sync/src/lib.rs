@@ -1,0 +1,38 @@
+//! # yasmin-sync
+//!
+//! Synchronisation substrate for the YASMIN middleware (§3.5 of Rouxel,
+//! Altmeyer & Grelck, Middleware 2021):
+//!
+//! * [`ticket`] — FIFO ticket spinlock;
+//! * [`mcs`] — Mellor-Crummey & Scott queue lock (the paper's "lock-free
+//!   algorithms from \[27\]" option);
+//! * [`lock`] — [`lock::YasminLock`], run-time selectable between the
+//!   POSIX-backed and the lock-free implementation;
+//! * [`pip`] — a priority-tracking mutex for the Priority Inheritance
+//!   Protocol applied on accelerator contention (§3.2);
+//! * [`barrier`] — sense-reversing spin barrier;
+//! * [`spsc`] — bounded wait-free SPSC FIFO ring backing the task
+//!   channels;
+//! * [`wait`] — sleep vs spin waiting strategies.
+//!
+//! This is the only crate in the workspace that uses `unsafe` code; every
+//! unsafe block carries its justification, and the stress tests exercise
+//! mutual exclusion and FIFO invariants under real contention.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod lock;
+pub mod mcs;
+pub mod pip;
+pub mod spsc;
+pub mod ticket;
+pub mod wait;
+
+pub use barrier::SpinBarrier;
+pub use lock::{LockKind, YasminLock};
+pub use mcs::McsLock;
+pub use pip::PipMutex;
+pub use spsc::{channel as spsc_channel, Consumer, Producer};
+pub use ticket::TicketLock;
+pub use wait::{wait_for, wait_until, WaitMode};

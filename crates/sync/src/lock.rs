@@ -1,0 +1,157 @@
+//! A unified lock selectable between the OS-backed and lock-free
+//! implementations.
+//!
+//! "Internally we implement synchronisation primitives … in two different
+//! manners: a first implementation uses the POSIX API implemented in the
+//! kernel and GLibC. A second implementation relies on lock-free
+//! algorithms … It is possible to select one of the two options at compile
+//! time using the configuration file" (§3.5). [`YasminLock`] makes the
+//! choice a constructor argument; both variants expose one guard type so
+//! call sites are oblivious.
+
+use crate::mcs::{McsGuard, McsLock};
+use parking_lot::{Mutex, MutexGuard};
+
+/// Which lock implementation backs a [`YasminLock`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LockKind {
+    /// OS/futex-backed mutex (the paper's POSIX/GLibC option): better
+    /// energy behaviour, kernel calls are hard to bound for WCET.
+    #[default]
+    Posix,
+    /// MCS queue spinlock (the paper's lock-free option): analysable
+    /// bounded spinning, higher energy draw.
+    LockFree,
+}
+
+/// A mutual-exclusion lock whose implementation is chosen at run time.
+///
+/// # Examples
+///
+/// ```
+/// use yasmin_sync::lock::{LockKind, YasminLock};
+///
+/// for kind in [LockKind::Posix, LockKind::LockFree] {
+///     let lock = YasminLock::new(kind, 0u32);
+///     *lock.lock() += 1;
+///     assert_eq!(*lock.lock(), 1);
+/// }
+/// ```
+#[derive(Debug)]
+pub enum YasminLock<T> {
+    /// OS-backed variant.
+    Posix(Mutex<T>),
+    /// MCS spinlock variant.
+    LockFree(McsLock<T>),
+}
+
+impl<T> YasminLock<T> {
+    /// Creates a lock of the given kind around `value`.
+    #[must_use]
+    pub fn new(kind: LockKind, value: T) -> Self {
+        match kind {
+            LockKind::Posix => YasminLock::Posix(Mutex::new(value)),
+            LockKind::LockFree => YasminLock::LockFree(McsLock::new(value)),
+        }
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> YasminGuard<'_, T> {
+        match self {
+            YasminLock::Posix(m) => YasminGuard::Posix(m.lock()),
+            YasminLock::LockFree(m) => YasminGuard::LockFree(m.lock()),
+        }
+    }
+
+    /// Tries to acquire the lock without waiting.
+    pub fn try_lock(&self) -> Option<YasminGuard<'_, T>> {
+        match self {
+            YasminLock::Posix(m) => m.try_lock().map(YasminGuard::Posix),
+            YasminLock::LockFree(m) => m.try_lock().map(YasminGuard::LockFree),
+        }
+    }
+
+    /// The kind backing this lock.
+    #[must_use]
+    pub fn kind(&self) -> LockKind {
+        match self {
+            YasminLock::Posix(_) => LockKind::Posix,
+            YasminLock::LockFree(_) => LockKind::LockFree,
+        }
+    }
+}
+
+/// Guard for [`YasminLock`]; releases on drop.
+#[derive(Debug)]
+pub enum YasminGuard<'a, T> {
+    /// Guard of the OS-backed variant.
+    Posix(MutexGuard<'a, T>),
+    /// Guard of the MCS variant.
+    LockFree(McsGuard<'a, T>),
+}
+
+impl<T> std::ops::Deref for YasminGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self {
+            YasminGuard::Posix(g) => g,
+            YasminGuard::LockFree(g) => g,
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for YasminGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match self {
+            YasminGuard::Posix(g) => &mut *g,
+            YasminGuard::LockFree(g) => &mut *g,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn both_kinds_exclude() {
+        for kind in [LockKind::Posix, LockKind::LockFree] {
+            let lock = Arc::new(YasminLock::new(kind, 0u64));
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    let lock = Arc::clone(&lock);
+                    std::thread::spawn(move || {
+                        for _ in 0..5_000 {
+                            *lock.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(*lock.lock(), 20_000, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn kind_is_reported() {
+        assert_eq!(YasminLock::new(LockKind::Posix, ()).kind(), LockKind::Posix);
+        assert_eq!(
+            YasminLock::new(LockKind::LockFree, ()).kind(),
+            LockKind::LockFree
+        );
+    }
+
+    #[test]
+    fn try_lock_both_kinds() {
+        for kind in [LockKind::Posix, LockKind::LockFree] {
+            let lock = YasminLock::new(kind, 5);
+            let g = lock.lock();
+            assert!(lock.try_lock().is_none());
+            drop(g);
+            assert_eq!(*lock.try_lock().unwrap(), 5);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Waiting strategies: kernel sleep vs busy spin.
+//!
+//! YASMIN offers "the option to configure the waiting strategy in two
+//! ways: 1. sleep (default): calls some kernel code, which is hardly
+//! timing-analysable, 2. spinlock: enable a more precise overhead analysis
+//! at the cost of potential energy waste" (§3.5). The scheduler thread and
+//! idle workers wait for their next activation through this module.
+
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+/// How a thread waits for a point in time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum WaitMode {
+    /// Sleep in the kernel, waking close to (but not before) the target.
+    #[default]
+    Sleep,
+    /// Busy-spin on the clock until the target: precise, energy-hungry.
+    Spin,
+    /// Sleep until shortly before the target, then spin the rest — the
+    /// usual compromise used by cyclictest-style measurement loops.
+    HybridSpin {
+        /// How long before the target to switch from sleeping to spinning.
+        spin_window_us: u32,
+    },
+}
+
+/// Blocks the calling thread until `deadline` (a [`std::time::Instant`]),
+/// using the given strategy. Returns the observed wake-up lateness.
+///
+/// Returns [`StdDuration::ZERO`] if `deadline` already passed.
+pub fn wait_until(mode: WaitMode, deadline: StdInstant) -> StdDuration {
+    match mode {
+        WaitMode::Sleep => {
+            let now = StdInstant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+        }
+        WaitMode::Spin => {
+            while StdInstant::now() < deadline {
+                std::hint::spin_loop();
+            }
+        }
+        WaitMode::HybridSpin { spin_window_us } => {
+            let window = StdDuration::from_micros(u64::from(spin_window_us));
+            let now = StdInstant::now();
+            if deadline > now + window {
+                std::thread::sleep(deadline - now - window);
+            }
+            while StdInstant::now() < deadline {
+                std::hint::spin_loop();
+            }
+        }
+    }
+    StdInstant::now().saturating_duration_since(deadline)
+}
+
+/// Blocks for `d` from now using the given strategy; returns lateness.
+pub fn wait_for(mode: WaitMode, d: StdDuration) -> StdDuration {
+    wait_until(mode, StdInstant::now() + d)
+}
+
+/// Exponential backoff for contended retry loops (spin a few times, then
+/// yield). Bounded: never sleeps, so worst-case per-step cost is small.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// A fresh backoff.
+    #[must_use]
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Performs one backoff step.
+    pub fn snooze(&mut self) {
+        if self.step < 6 {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        self.step = (self.step + 1).min(16);
+    }
+
+    /// Resets to the initial (cheapest) step.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_reaches_deadline() {
+        let start = StdInstant::now();
+        let late = wait_for(WaitMode::Sleep, StdDuration::from_millis(5));
+        assert!(start.elapsed() >= StdDuration::from_millis(5));
+        // Lateness is non-negative by construction.
+        assert!(late >= StdDuration::ZERO);
+    }
+
+    #[test]
+    fn spin_reaches_deadline_precisely() {
+        let start = StdInstant::now();
+        let late = wait_for(WaitMode::Spin, StdDuration::from_micros(200));
+        assert!(start.elapsed() >= StdDuration::from_micros(200));
+        // Spinning should overshoot far less than a scheduler quantum.
+        assert!(late < StdDuration::from_millis(50));
+    }
+
+    #[test]
+    fn hybrid_reaches_deadline() {
+        let start = StdInstant::now();
+        wait_for(
+            WaitMode::HybridSpin { spin_window_us: 100 },
+            StdDuration::from_millis(2),
+        );
+        assert!(start.elapsed() >= StdDuration::from_millis(2));
+    }
+
+    #[test]
+    fn past_deadline_returns_immediately() {
+        let past = StdInstant::now() - StdDuration::from_millis(1);
+        for mode in [
+            WaitMode::Sleep,
+            WaitMode::Spin,
+            WaitMode::HybridSpin { spin_window_us: 10 },
+        ] {
+            let late = wait_until(mode, past);
+            assert!(late >= StdDuration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn backoff_progresses() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+        b.reset();
+        b.snooze();
+    }
+}

@@ -1,0 +1,170 @@
+//! Random layered DAG generation for graph-based task models.
+//!
+//! YASMIN supports "tasks grouped into graphs with precedence
+//! constraints" (§2); this generator produces layered DAGs (fork-join
+//! friendly, always acyclic by construction) to exercise the graph
+//! activation machinery in tests and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use yasmin_core::error::Result;
+use yasmin_core::graph::{TaskSet, TaskSetBuilder};
+use yasmin_core::task::TaskSpec;
+use yasmin_core::time::Duration;
+use yasmin_core::version::VersionSpec;
+
+/// Parameters of a random layered DAG.
+#[derive(Clone, Debug)]
+pub struct DagParams {
+    /// Number of layers (≥ 1); layer 0 is the single root.
+    pub layers: usize,
+    /// Maximum width of the inner layers.
+    pub max_width: usize,
+    /// Probability (0–100) of an edge between consecutive-layer pairs, on
+    /// top of the guaranteed connectivity edge per node.
+    pub extra_edge_pct: u8,
+    /// The graph period (the root's activation period).
+    pub period: Duration,
+    /// WCET range for every node, in microseconds.
+    pub wcet_us: (u64, u64),
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        DagParams {
+            layers: 4,
+            max_width: 4,
+            extra_edge_pct: 30,
+            period: Duration::from_millis(100),
+            wcet_us: (100, 2_000),
+            seed: 0,
+        }
+    }
+}
+
+/// Generates one layered DAG task set: a single periodic root, then
+/// `layers − 1` layers of inner nodes, each connected to at least one
+/// node of the previous layer (so every node is reachable from the root).
+///
+/// # Errors
+///
+/// Builder validation errors (never expected for valid parameters).
+///
+/// # Panics
+///
+/// Panics if `layers == 0` or `max_width == 0` or an empty WCET range.
+pub fn build_dag(p: &DagParams) -> Result<TaskSet> {
+    assert!(p.layers >= 1, "need at least one layer");
+    assert!(p.max_width >= 1, "need positive width");
+    assert!(p.wcet_us.0 > 0 && p.wcet_us.0 <= p.wcet_us.1, "bad wcet range");
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut b = TaskSetBuilder::new();
+
+    let wcet = |rng: &mut StdRng| {
+        Duration::from_micros(rng.random_range(p.wcet_us.0..=p.wcet_us.1))
+    };
+
+    let root = b.task_decl(TaskSpec::periodic("dag-root", p.period))?;
+    let w0 = wcet(&mut rng);
+    b.version_decl(root, VersionSpec::new("root-v0", w0))?;
+
+    let mut prev_layer = vec![root];
+    let mut chan = 0usize;
+    for layer in 1..p.layers {
+        let width = rng.random_range(1..=p.max_width);
+        let mut this_layer = Vec::with_capacity(width);
+        for i in 0..width {
+            let t = b.task_decl(TaskSpec::graph_node(format!("dag-{layer}-{i}")))?;
+            let w = wcet(&mut rng);
+            b.version_decl(t, VersionSpec::new(format!("dag-{layer}-{i}-v0"), w))?;
+            // Guaranteed edge from a random node of the previous layer.
+            let src = prev_layer[rng.random_range(0..prev_layer.len())];
+            let c = b.channel_decl(format!("c{chan}"), 1, 8);
+            chan += 1;
+            b.channel_connect(src, t, c)?;
+            // Extra edges.
+            for &src in &prev_layer {
+                if rng.random_range(0..100u8) < p.extra_edge_pct {
+                    // Skip duplicates of the guaranteed edge.
+                    let c = b.channel_decl(format!("c{chan}"), 1, 8);
+                    chan += 1;
+                    if b.channel_connect(src, t, c).is_err() {
+                        // Never happens: fresh channel each time.
+                    }
+                }
+            }
+            this_layer.push(t);
+        }
+        prev_layer = this_layer;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_is_connected_and_acyclic() {
+        for seed in 0..20 {
+            let p = DagParams {
+                seed,
+                ..DagParams::default()
+            };
+            let ts = build_dag(&p).unwrap(); // build() validates acyclicity
+            assert_eq!(ts.roots().count(), 1);
+            let root = ts.roots().next().unwrap().id();
+            // Everything reachable from the root.
+            assert_eq!(ts.component_of(root).len(), ts.len());
+        }
+    }
+
+    #[test]
+    fn inner_nodes_inherit_root_period() {
+        let ts = build_dag(&DagParams::default()).unwrap();
+        for t in ts.tasks() {
+            assert_eq!(
+                ts.effective_period(t.id()),
+                Some(Duration::from_millis(100))
+            );
+        }
+    }
+
+    #[test]
+    fn single_layer_is_just_the_root() {
+        let p = DagParams {
+            layers: 1,
+            ..DagParams::default()
+        };
+        let ts = build_dag(&p).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert!(ts.edges().is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = DagParams {
+            seed: 11,
+            ..DagParams::default()
+        };
+        let a = build_dag(&p).unwrap();
+        let b = build_dag(&p).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edges().len(), b.edges().len());
+    }
+
+    #[test]
+    fn wcets_within_range() {
+        let p = DagParams {
+            wcet_us: (500, 600),
+            ..DagParams::default()
+        };
+        let ts = build_dag(&p).unwrap();
+        for t in ts.tasks() {
+            let w = t.versions()[0].wcet();
+            assert!(w >= Duration::from_micros(500) && w <= Duration::from_micros(600));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! A textual task-set format — the entry point of the paper's
+//! coordination tool-chain.
+//!
+//! YASMIN "is part of a more comprehensive endeavour … application
+//! components, their functional interplay, timing properties and
+//! requirements can be specified in a high-level coordination DSL" whose
+//! compiler emits the middleware declarations (§1). This module provides
+//! the equivalent front door: a small line-oriented format parsed into a
+//! validated [`TaskSet`], so workloads can live in files instead of code.
+//!
+//! # Format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! accel  gpu
+//! task   fetch    periodic 500ms
+//! task   fc       sporadic 10ms deadline=8ms offset=1ms worker=0 prio=7
+//! task   detect   node
+//! version detect  gpu-impl wcet=130ms accel=gpu energy=780mJ budget=780mJ
+//! version detect  cpu-impl wcet=230ms
+//! channel frames  cap=2 elem=64
+//! connect fetch detect frames
+//! ```
+//!
+//! Durations accept `ns`, `us`, `ms`, `s`; energies accept `uJ`, `mJ`.
+
+use std::collections::HashMap;
+use yasmin_core::energy::Energy;
+use yasmin_core::error::{Error, Result};
+use yasmin_core::graph::{TaskSet, TaskSetBuilder};
+use yasmin_core::ids::{AccelId, ChannelId, TaskId, WorkerId};
+use yasmin_core::priority::Priority;
+use yasmin_core::task::TaskSpec;
+use yasmin_core::time::Duration;
+use yasmin_core::version::VersionSpec;
+
+fn parse_err(line_no: usize, msg: impl std::fmt::Display) -> Error {
+    Error::InvalidConfig(format!("taskset dsl line {line_no}: {msg}"))
+}
+
+/// Parses a duration literal like `130ms`, `44us`, `2s`, `800ns`.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] on malformed input.
+pub fn parse_duration(s: &str) -> Result<Duration> {
+    let (num, unit) = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .map(|i| s.split_at(i))
+        .ok_or_else(|| Error::InvalidConfig(format!("duration `{s}` is missing a unit")))?;
+    let value: u64 = num
+        .parse()
+        .map_err(|_| Error::InvalidConfig(format!("bad duration value `{num}`")))?;
+    match unit {
+        "ns" => Ok(Duration::from_nanos(value)),
+        "us" => Ok(Duration::from_micros(value)),
+        "ms" => Ok(Duration::from_millis(value)),
+        "s" => Ok(Duration::from_secs(value)),
+        other => Err(Error::InvalidConfig(format!("unknown time unit `{other}`"))),
+    }
+}
+
+/// Parses an energy literal like `780mJ` or `120uJ`.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] on malformed input.
+pub fn parse_energy(s: &str) -> Result<Energy> {
+    let (num, unit) = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .map(|i| s.split_at(i))
+        .ok_or_else(|| Error::InvalidConfig(format!("energy `{s}` is missing a unit")))?;
+    let value: u64 = num
+        .parse()
+        .map_err(|_| Error::InvalidConfig(format!("bad energy value `{num}`")))?;
+    match unit {
+        "uJ" => Ok(Energy::from_microjoules(value)),
+        "mJ" => Ok(Energy::from_millijoules(value)),
+        other => Err(Error::InvalidConfig(format!("unknown energy unit `{other}`"))),
+    }
+}
+
+fn kv_args(parts: &[&str]) -> HashMap<String, String> {
+    parts
+        .iter()
+        .filter_map(|p| p.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Parses the textual format into a validated [`TaskSet`].
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] with a line number for syntax problems, plus
+/// every builder validation error (unknown names, cycles, …).
+pub fn parse_taskset(input: &str) -> Result<TaskSet> {
+    let mut b = TaskSetBuilder::new();
+    let mut tasks: HashMap<String, TaskId> = HashMap::new();
+    let mut accels: HashMap<String, AccelId> = HashMap::new();
+    let mut channels: HashMap<String, ChannelId> = HashMap::new();
+
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "accel" => {
+                let name = *parts
+                    .get(1)
+                    .ok_or_else(|| parse_err(line_no, "accel needs a name"))?;
+                let id = b.hwaccel_decl(name);
+                accels.insert(name.to_string(), id);
+            }
+            "task" => {
+                let name = *parts
+                    .get(1)
+                    .ok_or_else(|| parse_err(line_no, "task needs a name"))?;
+                let kind = *parts
+                    .get(2)
+                    .ok_or_else(|| parse_err(line_no, "task needs a kind"))?;
+                let mut spec = match kind {
+                    "periodic" | "sporadic" => {
+                        let period = parse_duration(parts.get(3).ok_or_else(|| {
+                            parse_err(line_no, "recurring task needs a period")
+                        })?)?;
+                        if kind == "periodic" {
+                            TaskSpec::periodic(name, period)
+                        } else {
+                            TaskSpec::sporadic(name, period)
+                        }
+                    }
+                    "aperiodic" => TaskSpec::aperiodic(name),
+                    "node" => TaskSpec::graph_node(name),
+                    other => return Err(parse_err(line_no, format!("unknown kind `{other}`"))),
+                };
+                for (k, v) in kv_args(&parts[3..]) {
+                    match k.as_str() {
+                        "deadline" => spec = spec.with_constrained_deadline(parse_duration(&v)?),
+                        "arbitrary_deadline" => {
+                            spec = spec.with_arbitrary_deadline(parse_duration(&v)?);
+                        }
+                        "offset" => spec = spec.with_release_offset(parse_duration(&v)?),
+                        "worker" => {
+                            let w: u16 = v
+                                .parse()
+                                .map_err(|_| parse_err(line_no, "bad worker index"))?;
+                            spec = spec.on_worker(WorkerId::new(w));
+                        }
+                        "prio" => {
+                            let p: u64 =
+                                v.parse().map_err(|_| parse_err(line_no, "bad priority"))?;
+                            spec = spec.with_priority(Priority::new(p));
+                        }
+                        other => {
+                            return Err(parse_err(line_no, format!("unknown task arg `{other}`")))
+                        }
+                    }
+                }
+                let id = b.task_decl(spec)?;
+                tasks.insert(name.to_string(), id);
+            }
+            "version" => {
+                let task_name = *parts
+                    .get(1)
+                    .ok_or_else(|| parse_err(line_no, "version needs a task"))?;
+                let vname = *parts
+                    .get(2)
+                    .ok_or_else(|| parse_err(line_no, "version needs a name"))?;
+                let args = kv_args(&parts[3..]);
+                let wcet = parse_duration(
+                    args.get("wcet")
+                        .ok_or_else(|| parse_err(line_no, "version needs wcet=<dur>"))?,
+                )?;
+                let mut v = VersionSpec::new(vname, wcet);
+                if let Some(e) = args.get("energy") {
+                    v = v.with_energy(parse_energy(e)?);
+                }
+                if let Some(e) = args.get("budget") {
+                    v = v.with_energy_budget(parse_energy(e)?);
+                }
+                if let Some(a) = args.get("accel") {
+                    let id = accels
+                        .get(a)
+                        .ok_or_else(|| parse_err(line_no, format!("unknown accel `{a}`")))?;
+                    v = v.with_accel(*id);
+                }
+                let task = tasks
+                    .get(task_name)
+                    .ok_or_else(|| parse_err(line_no, format!("unknown task `{task_name}`")))?;
+                b.version_decl(*task, v)?;
+            }
+            "channel" => {
+                let name = *parts
+                    .get(1)
+                    .ok_or_else(|| parse_err(line_no, "channel needs a name"))?;
+                let args = kv_args(&parts[2..]);
+                let cap: usize = args
+                    .get("cap")
+                    .ok_or_else(|| parse_err(line_no, "channel needs cap=<n>"))?
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "bad channel capacity"))?;
+                let elem: usize = args
+                    .get("elem")
+                    .map_or(Ok(0), |v| v.parse())
+                    .map_err(|_| parse_err(line_no, "bad channel elem size"))?;
+                let id = b.channel_decl(name, cap, elem);
+                channels.insert(name.to_string(), id);
+            }
+            "connect" => {
+                let src = *parts
+                    .get(1)
+                    .ok_or_else(|| parse_err(line_no, "connect needs src dst channel"))?;
+                let dst = *parts
+                    .get(2)
+                    .ok_or_else(|| parse_err(line_no, "connect needs src dst channel"))?;
+                let ch = *parts
+                    .get(3)
+                    .ok_or_else(|| parse_err(line_no, "connect needs src dst channel"))?;
+                let src = tasks
+                    .get(src)
+                    .ok_or_else(|| parse_err(line_no, format!("unknown task `{src}`")))?;
+                let dst = tasks
+                    .get(dst)
+                    .ok_or_else(|| parse_err(line_no, format!("unknown task `{dst}`")))?;
+                let ch = channels
+                    .get(ch)
+                    .ok_or_else(|| parse_err(line_no, format!("unknown channel `{ch}`")))?;
+                b.channel_connect(*src, *dst, *ch)?;
+            }
+            other => return Err(parse_err(line_no, format!("unknown directive `{other}`"))),
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIAMOND: &str = r"
+        # the paper's diamond example
+        accel   qrng
+        task    fork  periodic 250ms
+        task    left  node
+        task    right node
+        task    join  node
+        version fork  f  wcet=60us
+        version left  v1 wcet=90us budget=5mJ
+        version left  v2 wcet=30us budget=11mJ accel=qrng
+        version right r  wcet=80us energy=120uJ
+        version join  j  wcet=50us
+        channel fl cap=2 elem=0
+        channel fr cap=2 elem=8
+        channel lj cap=2 elem=4
+        channel rj cap=4 elem=4
+        connect fork left  fl
+        connect fork right fr
+        connect left join  lj
+        connect right join rj
+    ";
+
+    #[test]
+    fn parses_the_diamond() {
+        let ts = parse_taskset(DIAMOND).unwrap();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.roots().count(), 1);
+        assert_eq!(ts.accels().len(), 1);
+        assert_eq!(ts.channels().len(), 4);
+        let left = &ts.tasks()[1];
+        assert_eq!(left.versions().len(), 2);
+        assert_eq!(left.versions()[1].accel(), Some(AccelId::new(0)));
+        assert_eq!(
+            left.versions()[1].props().energy_budget,
+            Some(Energy::from_millijoules(11))
+        );
+    }
+
+    #[test]
+    fn task_attributes_parse() {
+        let ts = parse_taskset(
+            "task t periodic 10ms deadline=8ms offset=1ms worker=1 prio=3\nversion t v wcet=1ms",
+        )
+        .unwrap();
+        let spec = ts.tasks()[0].spec();
+        assert_eq!(spec.relative_deadline(), Duration::from_millis(8));
+        assert_eq!(spec.release_offset(), Duration::from_millis(1));
+        assert_eq!(spec.assigned_worker(), Some(WorkerId::new(1)));
+        assert_eq!(spec.static_priority(), Some(Priority::new(3)));
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(parse_duration("5ns").unwrap(), Duration::from_nanos(5));
+        assert_eq!(parse_duration("5us").unwrap(), Duration::from_micros(5));
+        assert_eq!(parse_duration("5ms").unwrap(), Duration::from_millis(5));
+        assert_eq!(parse_duration("5s").unwrap(), Duration::from_secs(5));
+        assert!(parse_duration("5").is_err());
+        assert!(parse_duration("ms").is_err());
+        assert!(parse_duration("5h").is_err());
+    }
+
+    #[test]
+    fn energy_units() {
+        assert_eq!(parse_energy("7uJ").unwrap().as_microjoules(), 7);
+        assert_eq!(parse_energy("7mJ").unwrap().as_microjoules(), 7_000);
+        assert!(parse_energy("7J").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_taskset("task a periodic 10ms\nversion b v wcet=1ms").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_taskset("frobnicate x").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn builder_validation_still_applies() {
+        // Unconnected channel is caught by the builder.
+        let err = parse_taskset(
+            "task a periodic 10ms\nversion a v wcet=1ms\nchannel c cap=1 elem=1",
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::ChannelNotConnected(_)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let ts = parse_taskset("\n# nothing\n  \ntask a periodic 5ms # trailing\nversion a v wcet=1ms\n").unwrap();
+        assert_eq!(ts.len(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # yasmin-taskgen
+//!
+//! Workload generation for the YASMIN evaluation:
+//!
+//! * [`mod@drs`] — the Dirichlet-Rescale utilisation generator the paper's
+//!   Figure 2 experiment uses (Griffin, Bate & Davis 2020);
+//! * [`mod@uunifast`] — the classical UUniFast / UUniFast-Discard baselines;
+//! * [`periods`] — period grids, log-uniform periods, WCETs, deadlines;
+//! * [`taskset`] — assembly into validated `TaskSet`s, including
+//!   worst-fit-decreasing partitioning;
+//! * [`dag`] — random layered DAGs for the graph-based task model;
+//! * [`drone`] — the Search & Rescue drone application of §5/Figure 3b;
+//! * [`dsl`] — a textual task-set format (the coordination-DSL front door
+//!   the paper's tool-chain feeds into YASMIN).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod drone;
+pub mod dsl;
+pub mod drs;
+pub mod periods;
+pub mod taskset;
+pub mod uunifast;
+
+pub use dag::{build_dag, DagParams};
+pub use dsl::parse_taskset;
+pub use drone::{DroneWorkload, VersionRestriction};
+pub use drs::{drs, drs_bounded, DrsError};
+pub use taskset::{
+    assign_worst_fit, build_independent, build_partitioned, generate_params, GeneratedTask,
+    IndependentSetParams,
+};
+pub use uunifast::{uunifast, uunifast_discard};

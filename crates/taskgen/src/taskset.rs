@@ -1,0 +1,252 @@
+//! Assembling generated parameters into concrete [`TaskSet`]s.
+//!
+//! The Figure 2 experiment generates independent sporadic task sets via
+//! DRS and runs them under YASMIN and the Mollison & Anderson library
+//! (§4.1); [`build_independent`] produces exactly that shape. For
+//! partitioned configurations, [`assign_worst_fit`] packs tasks onto
+//! workers with worst-fit-decreasing by utilisation.
+
+use crate::drs::{drs, DrsError};
+use crate::periods::{periods, wcets_from_utilisation, PeriodModel};
+use yasmin_core::error::Result;
+use yasmin_core::graph::{TaskSet, TaskSetBuilder};
+use yasmin_core::ids::WorkerId;
+use yasmin_core::task::TaskSpec;
+use yasmin_core::time::Duration;
+use yasmin_core::version::VersionSpec;
+
+/// Parameters of a generated independent task set.
+#[derive(Clone, Debug)]
+pub struct IndependentSetParams {
+    /// Number of tasks.
+    pub n: usize,
+    /// Total utilisation (may exceed 1 for multicore).
+    pub total_utilisation: f64,
+    /// Per-task utilisation cap (1.0 = any single core can host it).
+    pub cap: f64,
+    /// Period model.
+    pub periods: PeriodModel,
+    /// Random seed (drives both DRS and the period draw).
+    pub seed: u64,
+    /// Whether tasks are periodic (`false` = sporadic with the period as
+    /// minimum inter-arrival, as in the paper's task model).
+    pub periodic: bool,
+}
+
+impl Default for IndependentSetParams {
+    fn default() -> Self {
+        IndependentSetParams {
+            n: 20,
+            total_utilisation: 1.0,
+            cap: 1.0,
+            periods: PeriodModel::Grid(crate::periods::GRID_1S),
+            seed: 0,
+            periodic: true,
+        }
+    }
+}
+
+/// Generated parameters before conversion to a [`TaskSet`] (exposed so
+/// baselines that do not use the YASMIN task model can reuse them).
+#[derive(Clone, Debug)]
+pub struct GeneratedTask {
+    /// Task name (`tN`).
+    pub name: String,
+    /// Utilisation.
+    pub utilisation: f64,
+    /// Period / minimum inter-arrival.
+    pub period: Duration,
+    /// Worst-case execution time (`U·T`).
+    pub wcet: Duration,
+}
+
+/// Draws the raw parameter list for an independent set.
+///
+/// # Errors
+///
+/// Propagates [`DrsError`] for infeasible utilisation requests.
+pub fn generate_params(p: &IndependentSetParams) -> std::result::Result<Vec<GeneratedTask>, DrsError> {
+    let utils = drs(p.n, p.total_utilisation, p.cap, p.seed)?;
+    let ts = periods(p.n, p.periods, p.seed.wrapping_add(0x9e37_79b9));
+    let cs = wcets_from_utilisation(&utils, &ts);
+    Ok(utils
+        .into_iter()
+        .zip(ts)
+        .zip(cs)
+        .enumerate()
+        .map(|(i, ((u, t), c))| GeneratedTask {
+            name: format!("t{i}"),
+            utilisation: u,
+            period: t,
+            wcet: c,
+        })
+        .collect())
+}
+
+/// Builds an independent (edge-free) task set with one version per task.
+///
+/// # Errors
+///
+/// Utilisation-generation errors are surfaced as
+/// [`yasmin_core::error::Error::InvalidConfig`]; builder validation errors
+/// pass through.
+pub fn build_independent(p: &IndependentSetParams) -> Result<TaskSet> {
+    let params = generate_params(p)
+        .map_err(|e| yasmin_core::error::Error::InvalidConfig(e.to_string()))?;
+    let mut b = TaskSetBuilder::new();
+    for g in &params {
+        let spec = if p.periodic {
+            TaskSpec::periodic(&g.name, g.period)
+        } else {
+            TaskSpec::sporadic(&g.name, g.period)
+        };
+        let id = b.task_decl(spec)?;
+        b.version_decl(id, VersionSpec::new(format!("{}-v0", g.name), g.wcet))?;
+    }
+    b.build()
+}
+
+/// Worst-fit-decreasing partitioning by utilisation: returns, for each
+/// task index, the worker it is assigned to. Balances load, which is the
+/// standard heuristic for partitioned EDF/DM experiments.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+#[must_use]
+pub fn assign_worst_fit(utilisations: &[f64], workers: usize) -> Vec<WorkerId> {
+    assert!(workers > 0, "need at least one worker");
+    let mut order: Vec<usize> = (0..utilisations.len()).collect();
+    order.sort_by(|&a, &b| {
+        utilisations[b]
+            .partial_cmp(&utilisations[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut load = vec![0.0f64; workers];
+    let mut out = vec![WorkerId::new(0); utilisations.len()];
+    for i in order {
+        let (w, _) = load
+            .iter()
+            .enumerate()
+            .min_by(|(wa, la), (wb, lb)| {
+                la.partial_cmp(lb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(wa.cmp(wb))
+            })
+            .expect("workers > 0");
+        out[i] = WorkerId::new(w as u16);
+        load[w] += utilisations[i];
+    }
+    out
+}
+
+/// Re-builds `set`-like parameters into a partitioned task set: same
+/// tasks, each pinned by worst-fit-decreasing.
+///
+/// # Errors
+///
+/// Same as [`build_independent`].
+pub fn build_partitioned(p: &IndependentSetParams, workers: usize) -> Result<TaskSet> {
+    let params = generate_params(p)
+        .map_err(|e| yasmin_core::error::Error::InvalidConfig(e.to_string()))?;
+    let utils: Vec<f64> = params.iter().map(|g| g.utilisation).collect();
+    let assign = assign_worst_fit(&utils, workers);
+    let mut b = TaskSetBuilder::new();
+    for (g, w) in params.iter().zip(assign) {
+        let spec = if p.periodic {
+            TaskSpec::periodic(&g.name, g.period).on_worker(w)
+        } else {
+            TaskSpec::sporadic(&g.name, g.period).on_worker(w)
+        };
+        let id = b.task_decl(spec)?;
+        b.version_decl(id, VersionSpec::new(format!("{}-v0", g.name), g.wcet))?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_set_shape() {
+        let p = IndependentSetParams {
+            n: 30,
+            total_utilisation: 1.6,
+            seed: 3,
+            ..IndependentSetParams::default()
+        };
+        let ts = build_independent(&p).unwrap();
+        assert_eq!(ts.len(), 30);
+        assert!(ts.edges().is_empty());
+        let u = ts.total_utilization_max();
+        assert!((u - 1.6).abs() < 1e-3, "u = {u}");
+    }
+
+    #[test]
+    fn sporadic_flag_respected() {
+        let p = IndependentSetParams {
+            n: 5,
+            periodic: false,
+            ..IndependentSetParams::default()
+        };
+        let ts = build_independent(&p).unwrap();
+        for t in ts.tasks() {
+            assert_eq!(t.spec().kind(), yasmin_core::task::ActivationKind::Sporadic);
+        }
+    }
+
+    #[test]
+    fn infeasible_utilisation_rejected() {
+        let p = IndependentSetParams {
+            n: 2,
+            total_utilisation: 5.0,
+            ..IndependentSetParams::default()
+        };
+        assert!(build_independent(&p).is_err());
+    }
+
+    #[test]
+    fn worst_fit_balances() {
+        let utils = [0.9, 0.8, 0.2, 0.1, 0.5, 0.5];
+        let assign = assign_worst_fit(&utils, 3);
+        let mut load = [0.0; 3];
+        for (u, w) in utils.iter().zip(&assign) {
+            load[w.index()] += u;
+        }
+        let max = load.iter().cloned().fold(f64::MIN, f64::max);
+        let min = load.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.55, "unbalanced: {load:?}");
+    }
+
+    #[test]
+    fn partitioned_build_assigns_everyone() {
+        let p = IndependentSetParams {
+            n: 12,
+            total_utilisation: 1.5,
+            seed: 9,
+            ..IndependentSetParams::default()
+        };
+        let ts = build_partitioned(&p, 2).unwrap();
+        for t in ts.tasks() {
+            let w = t.spec().assigned_worker().expect("assigned");
+            assert!(w.index() < 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let p = IndependentSetParams {
+            n: 10,
+            seed: 42,
+            ..IndependentSetParams::default()
+        };
+        let a = generate_params(&p).unwrap();
+        let b = generate_params(&p).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.period, y.period);
+            assert_eq!(x.wcet, y.wcet);
+        }
+    }
+}

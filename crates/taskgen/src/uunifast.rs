@@ -1,0 +1,116 @@
+//! The UUniFast and UUniFast-Discard utilisation generators.
+//!
+//! UUniFast (Bini & Buttazzo 2005) draws task-utilisation vectors that sum
+//! to a target `U`, uniformly over the (unbounded) simplex. It is the
+//! classical baseline the DRS paper \[20\] improves on; we provide both so
+//! the experiment harness can cross-check generator bias.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draws `n` utilisations summing to `total`, uniformly over the simplex.
+///
+/// Individual values may exceed 1 when `total > 1`; use
+/// [`uunifast_discard`] to reject such vectors for multiprocessor
+/// experiments.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total` is not finite-positive.
+#[must_use]
+pub fn uunifast(n: usize, total: f64, seed: u64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(total > 0.0 && total.is_finite(), "utilisation must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    uunifast_with(&mut rng, n, total)
+}
+
+/// [`uunifast`] drawing from a caller-provided generator.
+#[must_use]
+pub fn uunifast_with(rng: &mut StdRng, n: usize, total: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let r: f64 = rng.random_range(0.0..1.0);
+        let next = sum * r.powf(1.0 / (n - i) as f64);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    out
+}
+
+/// UUniFast-Discard (Davis & Burns 2009): redraws until every utilisation
+/// is at most `cap` (typically 1.0). Returns `None` after `max_tries`
+/// failed draws — callers should treat that as an infeasible request
+/// (`total > n·cap` can never succeed).
+#[must_use]
+pub fn uunifast_discard(
+    n: usize,
+    total: f64,
+    cap: f64,
+    seed: u64,
+    max_tries: usize,
+) -> Option<Vec<f64>> {
+    if total > cap * n as f64 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..max_tries {
+        let v = uunifast_with(&mut rng, n, total);
+        if v.iter().all(|&u| u <= cap) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sums_to(v: &[f64], total: f64) {
+        let s: f64 = v.iter().sum();
+        assert!((s - total).abs() < 1e-9, "sum {s} != {total}");
+    }
+
+    #[test]
+    fn sums_to_target() {
+        for seed in 0..20 {
+            let v = uunifast(10, 0.8, seed);
+            assert_eq!(v.len(), 10);
+            assert_sums_to(&v, 0.8);
+            assert!(v.iter().all(|&u| u >= 0.0));
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let v = uunifast(1, 0.5, 7);
+        assert_eq!(v, vec![0.5]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uunifast(5, 1.5, 42), uunifast(5, 1.5, 42));
+        assert_ne!(uunifast(5, 1.5, 42), uunifast(5, 1.5, 43));
+    }
+
+    #[test]
+    fn discard_respects_cap() {
+        let v = uunifast_discard(4, 2.0, 1.0, 3, 1000).unwrap();
+        assert_sums_to(&v, 2.0);
+        assert!(v.iter().all(|&u| u <= 1.0));
+    }
+
+    #[test]
+    fn discard_rejects_impossible() {
+        assert!(uunifast_discard(2, 3.0, 1.0, 1, 100).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        let _ = uunifast(0, 1.0, 0);
+    }
+}

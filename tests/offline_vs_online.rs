@@ -1,0 +1,124 @@
+//! Consistency between off-line table scheduling and on-line scheduling
+//! of the same task sets.
+
+use std::sync::Arc;
+use yasmin::prelude::*;
+use yasmin::sched::offline::{
+    synthesize, synthesize_strict, OfflineDispatcher, SynthesisOptions,
+};
+use yasmin::sim::ExecModel;
+use yasmin::taskgen::dag::{build_dag, DagParams};
+use yasmin::taskgen::taskset::{build_independent, IndependentSetParams};
+
+#[test]
+fn strict_table_sets_also_pass_online_edf() {
+    // If the off-line EDF list scheduler fits everything on m workers,
+    // on-line global EDF on the same m workers must not miss either
+    // (it dominates the non-preemptive table).
+    let mut checked = 0;
+    for seed in 0..25 {
+        let ts = build_independent(&IndependentSetParams {
+            n: 6,
+            total_utilisation: 0.8,
+            cap: 0.4,
+            seed,
+            ..IndependentSetParams::default()
+        })
+        .unwrap();
+        let Ok(table) = synthesize_strict(&ts, 2, SynthesisOptions::default()) else {
+            continue;
+        };
+        table.validate(&ts).unwrap();
+        checked += 1;
+        let config = Config::builder()
+            .workers(2)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .max_pending_jobs(8192)
+            .build()
+            .unwrap();
+        let horizon = ts.hyperperiod().unwrap() * 2;
+        let mut sim = SimConfig::uniform(2, horizon);
+        sim.exec = ExecModel::Wcet;
+        let result = Simulation::new(Arc::new(ts), config, sim)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(result.total_misses(), 0, "seed {seed}");
+    }
+    assert!(checked >= 8, "too few feasible tables: {checked}");
+}
+
+#[test]
+fn tables_validate_on_random_dags() {
+    for seed in 0..25 {
+        let ts = build_dag(&DagParams {
+            layers: 4,
+            max_width: 3,
+            period: Duration::from_millis(200),
+            seed,
+            ..DagParams::default()
+        })
+        .unwrap();
+        let table = synthesize(&ts, 2, SynthesisOptions::default()).unwrap();
+        table.validate(&ts).expect("structurally valid table");
+        // Every node instance appears exactly once per hyperperiod.
+        assert_eq!(table.all_entries().count(), ts.len());
+    }
+}
+
+#[test]
+fn dispatcher_instances_count_up_across_cycles() {
+    let ts = build_independent(&IndependentSetParams {
+        n: 3,
+        total_utilisation: 0.5,
+        seed: 9,
+        ..IndependentSetParams::default()
+    })
+    .unwrap();
+    let table = Arc::new(synthesize_strict(&ts, 1, SynthesisOptions::default()).unwrap());
+    let per_cycle = table.entries(WorkerId::new(0)).len();
+    let mut d = OfflineDispatcher::new(table);
+    let mut starts = Vec::new();
+    for _ in 0..3 * per_cycle {
+        let slot = d.next_slot(WorkerId::new(0)).unwrap();
+        starts.push(slot.start);
+    }
+    // Monotone non-decreasing starts across hyperperiod wraps.
+    for pair in starts.windows(2) {
+        assert!(pair[1] >= pair[0], "dispatcher went backwards: {starts:?}");
+    }
+}
+
+#[test]
+fn offline_version_preselection_shrinks_gpu_usage() {
+    // A task with GPU+CPU versions: MinWcet picks the GPU version,
+    // CpuOnly avoids it; both produce valid tables.
+    let mut b = TaskSetBuilder::new();
+    let gpu = b.hwaccel_decl("gpu");
+    let t = b
+        .task_decl(TaskSpec::periodic("t", Duration::from_millis(50)))
+        .unwrap();
+    let vg = b
+        .version_decl(t, VersionSpec::new("g", Duration::from_millis(5)))
+        .unwrap();
+    b.hwaccel_use(t, vg, gpu).unwrap();
+    b.version_decl(t, VersionSpec::new("c", Duration::from_millis(12)))
+        .unwrap();
+    let ts = b.build().unwrap();
+
+    let min_wcet = synthesize_strict(&ts, 1, SynthesisOptions::default()).unwrap();
+    assert_eq!(min_wcet.all_entries().next().unwrap().version, vg);
+
+    let cpu_only = synthesize_strict(
+        &ts,
+        1,
+        SynthesisOptions {
+            version_choice: yasmin::sched::offline::OfflineVersionChoice::CpuOnly,
+            ..SynthesisOptions::default()
+        },
+    )
+    .unwrap();
+    assert_ne!(cpu_only.all_entries().next().unwrap().version, vg);
+    min_wcet.validate(&ts).unwrap();
+    cpu_only.validate(&ts).unwrap();
+}

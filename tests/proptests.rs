@@ -1,0 +1,159 @@
+//! Property-based tests over the workspace invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use yasmin::prelude::*;
+use yasmin::sim::ExecModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DRS: the drawn vector sums to the target and respects the cap.
+    #[test]
+    fn drs_invariants(n in 1usize..40, total_pct in 1u32..100, seed in any::<u64>()) {
+        let cap = 1.0;
+        let total = f64::from(total_pct) / 100.0 * n as f64 * cap;
+        let total = total.max(1e-6);
+        let v = yasmin::taskgen::drs(n, total, cap, seed).unwrap();
+        prop_assert_eq!(v.len(), n);
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-6, "sum {} != {}", sum, total);
+        for u in v {
+            prop_assert!((0.0..=cap + 1e-9).contains(&u));
+        }
+    }
+
+    /// UUniFast: non-negative and exact-sum.
+    #[test]
+    fn uunifast_invariants(n in 1usize..50, total_milli in 1u32..3000, seed in any::<u64>()) {
+        let total = f64::from(total_milli) / 1000.0;
+        let v = yasmin::taskgen::uunifast(n, total, seed);
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&u| u >= 0.0));
+    }
+
+    /// gcd/lcm: divisibility and bounds.
+    #[test]
+    fn gcd_lcm_laws(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        use yasmin::core::time::{gcd, lcm};
+        let da = Duration::from_nanos(a);
+        let db = Duration::from_nanos(b);
+        let g = gcd(da, db);
+        let l = lcm(da, db);
+        prop_assert_eq!(a % g.as_nanos(), 0);
+        prop_assert_eq!(b % g.as_nanos(), 0);
+        prop_assert_eq!(l.as_nanos() % a, 0);
+        prop_assert_eq!(l.as_nanos() % b, 0);
+        // gcd * lcm == a * b for u64-safe ranges.
+        prop_assert_eq!(
+            u128::from(g.as_nanos()) * u128::from(l.as_nanos()),
+            u128::from(a) * u128::from(b)
+        );
+    }
+
+    /// Ready queue pops exactly the sorted order of what was pushed.
+    #[test]
+    fn ready_queue_is_a_priority_queue(prios in prop::collection::vec(0u64..1000, 1..64)) {
+        use yasmin::sched::{Job, ReadyQueue};
+        let mut q = ReadyQueue::with_capacity(prios.len());
+        for (i, p) in prios.iter().enumerate() {
+            let job = Job {
+                id: JobId::new(i as u64),
+                task: TaskId::new(i as u32),
+                seq: 0,
+                release: Instant::ZERO,
+                graph_release: Instant::ZERO,
+                abs_deadline: Instant::MAX,
+                priority: Priority::new(*p),
+                preempted: false,
+            };
+            q.push(job).unwrap();
+        }
+        let mut popped = Vec::new();
+        while let Some(j) = q.pop() {
+            popped.push(j.priority.raw());
+        }
+        let mut expected = prios.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// SPSC ring: output sequence equals input sequence, whatever the
+    /// interleaving of pushes and pops.
+    #[test]
+    fn spsc_fifo_order(ops in prop::collection::vec(any::<bool>(), 1..200), cap in 1usize..16) {
+        let (mut tx, mut rx) = yasmin::sync::spsc::channel::<u32>(cap);
+        let mut next_in = 0u32;
+        let mut next_out = 0u32;
+        for push in ops {
+            if push {
+                if tx.push(next_in).is_ok() {
+                    next_in += 1;
+                }
+            } else if let Some(v) = rx.pop() {
+                prop_assert_eq!(v, next_out);
+                next_out += 1;
+            }
+        }
+        while let Some(v) = rx.pop() {
+            prop_assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        prop_assert_eq!(next_out, next_in);
+    }
+
+    /// EDF optimality on one core: any implicit-deadline periodic set
+    /// with U <= 1 runs without misses in the zero-overhead simulator.
+    #[test]
+    fn edf_uniprocessor_optimality(
+        n in 1usize..6,
+        util_pct in 10u32..100,
+        seed in 0u64..1000,
+    ) {
+        let params = yasmin::taskgen::taskset::IndependentSetParams {
+            n,
+            total_utilisation: f64::from(util_pct) / 100.0,
+            cap: 1.0,
+            seed,
+            ..Default::default()
+        };
+        let ts = yasmin::taskgen::taskset::build_independent(&params).unwrap();
+        let horizon = ts.hyperperiod().unwrap().min(Duration::from_secs(4)) * 2;
+        let config = Config::builder()
+            .workers(1)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .max_pending_jobs(16384)
+            .build()
+            .unwrap();
+        let mut sim = SimConfig::uniform(1, horizon);
+        sim.exec = ExecModel::Wcet;
+        let result = Simulation::new(Arc::new(ts), config, sim).unwrap().run().unwrap();
+        prop_assert_eq!(result.total_misses(), 0, "EDF with U <= 1 missed");
+    }
+
+    /// Off-line tables synthesised from random independent sets always
+    /// validate structurally.
+    #[test]
+    fn offline_tables_always_validate(n in 1usize..8, util_pct in 10u32..90, seed in 0u64..500) {
+        use yasmin::sched::offline::{synthesize, SynthesisOptions};
+        let params = yasmin::taskgen::taskset::IndependentSetParams {
+            n,
+            total_utilisation: f64::from(util_pct) / 100.0,
+            seed,
+            ..Default::default()
+        };
+        let ts = yasmin::taskgen::taskset::build_independent(&params).unwrap();
+        let table = synthesize(&ts, 2, SynthesisOptions::default()).unwrap();
+        prop_assert!(table.validate(&ts).is_ok());
+    }
+
+    /// Battery levels clamp and order consistently.
+    #[test]
+    fn battery_monotone(a in 0u16..2000, b in 0u16..2000) {
+        let la = BatteryLevel::from_permille(a);
+        let lb = BatteryLevel::from_permille(b);
+        prop_assert_eq!(la <= lb, a.min(1000) <= b.min(1000));
+        prop_assert!(la.as_fraction() <= 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Cross-validation: whenever an analysis declares a task set
+//! schedulable, the simulator — running the real engine with zero
+//! overheads and WCET-exact execution — must observe zero deadline
+//! misses.
+
+use std::sync::Arc;
+use yasmin::analysis::{self, WcetAssumption};
+use yasmin::prelude::*;
+use yasmin::sim::ExecModel;
+use yasmin::taskgen::taskset::{build_independent, build_partitioned, IndependentSetParams};
+
+fn simulate(
+    ts: Arc<TaskSet>,
+    workers: usize,
+    mapping: MappingScheme,
+    priority: PriorityPolicy,
+    horizon: Duration,
+) -> usize {
+    let config = Config::builder()
+        .workers(workers)
+        .mapping(mapping)
+        .priority(priority)
+        .max_pending_jobs(16384)
+        .build()
+        .unwrap();
+    let mut sim = SimConfig::uniform(workers, horizon);
+    sim.exec = ExecModel::Wcet;
+    let result = Simulation::new(ts, config, sim).unwrap().run().unwrap();
+    result.total_misses()
+}
+
+fn horizon_for(ts: &TaskSet) -> Duration {
+    // Two hyperperiods bound the steady state for synchronous releases.
+    ts.hyperperiod().unwrap() * 2
+}
+
+#[test]
+fn rta_schedulable_implies_no_misses_under_dm() {
+    let mut checked = 0;
+    for seed in 0..20 {
+        let ts = build_independent(&IndependentSetParams {
+            n: 6,
+            total_utilisation: 0.75,
+            seed,
+            ..IndependentSetParams::default()
+        })
+        .unwrap();
+        if !analysis::schedulable(&ts, PriorityPolicy::DeadlineMonotonic, WcetAssumption::MaxVersion)
+        {
+            continue;
+        }
+        checked += 1;
+        let horizon = horizon_for(&ts);
+        let misses = simulate(
+            Arc::new(ts),
+            1,
+            MappingScheme::Global,
+            PriorityPolicy::DeadlineMonotonic,
+            horizon,
+        );
+        assert_eq!(misses, 0, "RTA said schedulable (seed {seed})");
+    }
+    assert!(checked >= 5, "too few schedulable sets sampled: {checked}");
+}
+
+#[test]
+fn edf_demand_test_implies_no_misses() {
+    let mut checked = 0;
+    for seed in 100..120 {
+        let ts = build_independent(&IndependentSetParams {
+            n: 8,
+            total_utilisation: 0.95,
+            seed,
+            ..IndependentSetParams::default()
+        })
+        .unwrap();
+        if !analysis::edf_schedulable(&ts, WcetAssumption::MaxVersion) {
+            continue;
+        }
+        checked += 1;
+        let horizon = horizon_for(&ts);
+        let misses = simulate(
+            Arc::new(ts),
+            1,
+            MappingScheme::Global,
+            PriorityPolicy::EarliestDeadlineFirst,
+            horizon,
+        );
+        assert_eq!(misses, 0, "EDF demand test said schedulable (seed {seed})");
+    }
+    assert!(checked >= 10, "too few schedulable sets sampled: {checked}");
+}
+
+#[test]
+fn gfb_test_implies_no_misses_under_global_edf() {
+    let mut checked = 0;
+    for seed in 200..230 {
+        let ts = build_independent(&IndependentSetParams {
+            n: 10,
+            total_utilisation: 1.2,
+            cap: 0.4,
+            seed,
+            ..IndependentSetParams::default()
+        })
+        .unwrap();
+        if !analysis::gfb_global_edf_test(&ts, 2, WcetAssumption::MaxVersion) {
+            continue;
+        }
+        checked += 1;
+        let horizon = horizon_for(&ts);
+        let misses = simulate(
+            Arc::new(ts),
+            2,
+            MappingScheme::Global,
+            PriorityPolicy::EarliestDeadlineFirst,
+            horizon,
+        );
+        assert_eq!(misses, 0, "GFB said schedulable (seed {seed})");
+    }
+    assert!(checked >= 10, "too few schedulable sets sampled: {checked}");
+}
+
+#[test]
+fn partitioned_rta_implies_no_misses() {
+    let mut checked = 0;
+    for seed in 300..330 {
+        let ts = build_partitioned(
+            &IndependentSetParams {
+                n: 8,
+                total_utilisation: 1.2,
+                cap: 0.6,
+                seed,
+                ..IndependentSetParams::default()
+            },
+            2,
+        )
+        .unwrap();
+        let rts = analysis::rta::partitioned_response_times(
+            &ts,
+            2,
+            PriorityPolicy::DeadlineMonotonic,
+            WcetAssumption::MaxVersion,
+        );
+        if !rts.iter().all(|(_, r)| r.schedulable()) {
+            continue;
+        }
+        checked += 1;
+        let horizon = horizon_for(&ts);
+        let misses = simulate(
+            Arc::new(ts),
+            2,
+            MappingScheme::Partitioned,
+            PriorityPolicy::DeadlineMonotonic,
+            horizon,
+        );
+        assert_eq!(misses, 0, "partitioned RTA said schedulable (seed {seed})");
+    }
+    assert!(checked >= 5, "too few schedulable sets sampled: {checked}");
+}
+
+#[test]
+fn overload_produces_misses() {
+    // Sanity for the whole chain: a set with U > m must miss under any
+    // policy.
+    let ts = build_independent(&IndependentSetParams {
+        n: 6,
+        total_utilisation: 1.8,
+        seed: 1,
+        ..IndependentSetParams::default()
+    })
+    .unwrap();
+    let horizon = horizon_for(&ts);
+    let misses = simulate(
+        Arc::new(ts),
+        1,
+        MappingScheme::Global,
+        PriorityPolicy::EarliestDeadlineFirst,
+        horizon,
+    );
+    assert!(misses > 0);
+}
