@@ -225,7 +225,12 @@ mod tests {
         b.version_decl(t, VersionSpec::new("v", ms(1))).unwrap();
         let ts = b.build().unwrap();
         assert_eq!(
-            blocking_term(&ts, PriorityPolicy::RateMonotonic, t, WcetAssumption::MaxVersion),
+            blocking_term(
+                &ts,
+                PriorityPolicy::RateMonotonic,
+                t,
+                WcetAssumption::MaxVersion
+            ),
             Duration::ZERO
         );
     }
@@ -265,7 +270,12 @@ mod tests {
         b.hwaccel_use(lo, v, dsp).unwrap();
         let ts = b.build().unwrap();
         assert_eq!(
-            blocking_term(&ts, PriorityPolicy::RateMonotonic, hi, WcetAssumption::MaxVersion),
+            blocking_term(
+                &ts,
+                PriorityPolicy::RateMonotonic,
+                hi,
+                WcetAssumption::MaxVersion
+            ),
             Duration::ZERO
         );
     }

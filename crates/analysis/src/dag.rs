@@ -94,7 +94,12 @@ mod tests {
         for (t, w) in [(fork, 10), (a, 30), (c, 20), (join, 10)] {
             b.version_decl(t, VersionSpec::new("v", ms(w))).unwrap();
         }
-        for (s, d, n) in [(fork, a, "x"), (fork, c, "y"), (a, join, "z"), (c, join, "w")] {
+        for (s, d, n) in [
+            (fork, a, "x"),
+            (fork, c, "y"),
+            (a, join, "z"),
+            (c, join, "w"),
+        ] {
             let ch = b.channel_decl(n, 1, 1);
             b.channel_connect(s, d, ch).unwrap();
         }
@@ -113,9 +118,15 @@ mod tests {
     fn graham_bounds() {
         let (ts, root) = diamond();
         // m=1: 50 + 20 = 70 (serialisation).
-        assert_eq!(graham_bound(&ts, root, 1, WcetAssumption::MaxVersion), ms(70));
+        assert_eq!(
+            graham_bound(&ts, root, 1, WcetAssumption::MaxVersion),
+            ms(70)
+        );
         // m=2: 50 + 10 = 60.
-        assert_eq!(graham_bound(&ts, root, 2, WcetAssumption::MaxVersion), ms(60));
+        assert_eq!(
+            graham_bound(&ts, root, 2, WcetAssumption::MaxVersion),
+            ms(60)
+        );
         // m large: approaches the critical path (50 + 20/100 = 50.2ms).
         assert_eq!(
             graham_bound(&ts, root, 100, WcetAssumption::MaxVersion),

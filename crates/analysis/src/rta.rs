@@ -169,11 +169,7 @@ fn response_times_filtered(
         let members: Vec<TaskId> = ts
             .tasks()
             .iter()
-            .filter(|t| {
-                t.spec()
-                    .assigned_worker()
-                    .is_some_and(|a| a.index() == w)
-            })
+            .filter(|t| t.spec().assigned_worker().is_some_and(|a| a.index() == w))
             .map(|t| t.id())
             .collect();
         for &t in &members {
@@ -267,7 +263,11 @@ mod tests {
         // 5 + ceil(14/7)*3 + ceil(14/12)*3 = 5+6+6 = 17 ->
         // 5 + 9 + 6 = 20 -> 5 + 9 + 6 = 20 fixpoint.
         let ts = set(&[(7, 3), (12, 3), (20, 5)]);
-        let r = response_times(&ts, PriorityPolicy::RateMonotonic, WcetAssumption::MaxVersion);
+        let r = response_times(
+            &ts,
+            PriorityPolicy::RateMonotonic,
+            WcetAssumption::MaxVersion,
+        );
         assert_eq!(r[0].wcrt, Some(ms(3)));
         assert_eq!(r[1].wcrt, Some(ms(6)));
         assert_eq!(r[2].wcrt, Some(ms(20)));
@@ -277,11 +277,19 @@ mod tests {
     #[test]
     fn unschedulable_diverges() {
         let ts = set(&[(10, 6), (15, 6)]);
-        let r = response_times(&ts, PriorityPolicy::RateMonotonic, WcetAssumption::MaxVersion);
+        let r = response_times(
+            &ts,
+            PriorityPolicy::RateMonotonic,
+            WcetAssumption::MaxVersion,
+        );
         assert!(r[0].schedulable());
         assert!(!r[1].schedulable());
         assert_eq!(r[1].wcrt, None);
-        assert!(!schedulable(&ts, PriorityPolicy::RateMonotonic, WcetAssumption::MaxVersion));
+        assert!(!schedulable(
+            &ts,
+            PriorityPolicy::RateMonotonic,
+            WcetAssumption::MaxVersion
+        ));
     }
 
     #[test]
@@ -296,7 +304,11 @@ mod tests {
             .unwrap();
         b.version_decl(t1, VersionSpec::new("v", ms(3))).unwrap();
         let ts = b.build().unwrap();
-        let r = response_times(&ts, PriorityPolicy::DeadlineMonotonic, WcetAssumption::MaxVersion);
+        let r = response_times(
+            &ts,
+            PriorityPolicy::DeadlineMonotonic,
+            WcetAssumption::MaxVersion,
+        );
         assert_eq!(r[1].wcrt, Some(ms(3)), "tight-deadline task runs first");
         assert_eq!(r[0].wcrt, Some(ms(8)));
     }
@@ -305,14 +317,21 @@ mod tests {
     #[should_panic(expected = "static")]
     fn edf_rejected() {
         let ts = set(&[(10, 1)]);
-        let _ = response_times(&ts, PriorityPolicy::EarliestDeadlineFirst, WcetAssumption::MaxVersion);
+        let _ = response_times(
+            &ts,
+            PriorityPolicy::EarliestDeadlineFirst,
+            WcetAssumption::MaxVersion,
+        );
     }
 
     #[test]
     fn partitioned_isolates_workers() {
         let mut b = TaskSetBuilder::new();
         // Worker 0: two heavy tasks; worker 1: one light task.
-        for (i, (t, c, w)) in [(10u64, 6u64, 0u16), (15, 6, 0), (10, 1, 1)].iter().enumerate() {
+        for (i, (t, c, w)) in [(10u64, 6u64, 0u16), (15, 6, 0), (10, 1, 1)]
+            .iter()
+            .enumerate()
+        {
             let id = b
                 .task_decl(
                     TaskSpec::periodic(format!("t{i}"), ms(*t))

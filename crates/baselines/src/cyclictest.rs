@@ -238,10 +238,8 @@ pub fn run_real(cfg: &CyclictestConfig) -> Summary {
                 let mut s = Summary::new();
                 let mut next = std::time::Instant::now() + interval;
                 for _ in 0..loops {
-                    let late = yasmin_sync::wait::wait_until(
-                        yasmin_sync::wait::WaitMode::Sleep,
-                        next,
-                    );
+                    let late =
+                        yasmin_sync::wait::wait_until(yasmin_sync::wait::WaitMode::Sleep, next);
                     s.record(u64::try_from(late.as_nanos()).unwrap_or(u64::MAX));
                     next += interval;
                 }

@@ -161,7 +161,10 @@ pub fn measure_overhead(tasks: &[GeneratedTask], params: &MollisonParams) -> Mol
         }
         jobs_run += jobs;
     }
-    MollisonOverhead { per_op_ns, jobs_run }
+    MollisonOverhead {
+        per_op_ns,
+        jobs_run,
+    }
 }
 
 fn worker_loop(shared: &MaShared) -> (Samples, u64) {
@@ -184,7 +187,9 @@ fn worker_loop(shared: &MaShared) -> (Samples, u64) {
                     task: i,
                     exec_ns: inner.exec_ns[i] / shared.time_scale.max(1),
                 });
-                inner.heap.push(Reverse((job.abs_deadline_ns, inner.seq, job)));
+                inner
+                    .heap
+                    .push(Reverse((job.abs_deadline_ns, inner.seq, job)));
                 inner.next_release_ns[i] += inner.period_ns[i];
             }
         }

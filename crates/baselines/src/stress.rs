@@ -109,7 +109,9 @@ fn cpu_stressor(stop: &AtomicBool, iters: &AtomicU64) {
     let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
     while !stop.load(Ordering::Relaxed) {
         for _ in 0..4096 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x ^= x >> 29;
         }
         std::hint::black_box(x);

@@ -57,7 +57,10 @@ fn bench_dispatch_round(c: &mut Criterion) {
         seed: 5,
         ..IndependentSetParams::default()
     };
-    for (label, mapping) in [("global", MappingScheme::Global), ("partitioned", MappingScheme::Partitioned)] {
+    for (label, mapping) in [
+        ("global", MappingScheme::Global),
+        ("partitioned", MappingScheme::Partitioned),
+    ] {
         let ts = match mapping {
             MappingScheme::Global => build_independent(&params).expect("set"),
             MappingScheme::Partitioned => build_partitioned(&params, 2).expect("set"),

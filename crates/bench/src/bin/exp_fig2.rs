@@ -40,7 +40,8 @@ fn main() {
     yasmin_bench::write_result("fig2a.md", &table_a);
     yasmin_bench::write_result("fig2b.md", &table_b);
 
-    let mut csv = String::from("figure,cores,key,yasmin_avg_us,yasmin_max_us,ma_avg_us,ma_max_us\n");
+    let mut csv =
+        String::from("figure,cores,key,yasmin_avg_us,yasmin_max_us,ma_avg_us,ma_max_us\n");
     for r in &rows_a {
         csv.push_str(&format!(
             "2a,{},{},{:.3},{:.3},{:.3},{:.3}\n",

@@ -19,9 +19,7 @@ fn print_graph() {
         };
         println!("* {} ({period})", spec.name());
         for v in t.versions() {
-            let accel = v
-                .accel()
-                .map_or(String::new(), |a| format!(" [accel {a}]"));
+            let accel = v.accel().map_or(String::new(), |a| format!(" [accel {a}]"));
             println!("    - {}: C={}{accel}", v.name(), v.wcet());
         }
     }
@@ -62,13 +60,18 @@ fn main() {
     );
     yasmin_bench::write_result("fig4.md", &table);
 
-    let mut csv = String::from(
-        "config,frames,avg_frame_ms,max_frame_ms,frame_misses,fc_misses,miss_ratio\n",
-    );
+    let mut csv =
+        String::from("config,frames,avg_frame_ms,max_frame_ms,frame_misses,fc_misses,miss_ratio\n");
     for r in &rows {
         csv.push_str(&format!(
             "{},{},{:.2},{:.2},{},{},{:.4}\n",
-            r.label, r.frames, r.avg_frame_ms, r.max_frame_ms, r.frame_misses, r.fc_misses, r.miss_ratio
+            r.label,
+            r.frames,
+            r.avg_frame_ms,
+            r.max_frame_ms,
+            r.frame_misses,
+            r.fc_misses,
+            r.miss_ratio
         ));
     }
     yasmin_bench::write_result("fig4.csv", &csv);

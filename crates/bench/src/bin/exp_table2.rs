@@ -32,7 +32,10 @@ fn main() {
     let mut csv = String::from("os,version,min_us,max_us,avg_us\n");
     for r in &rows {
         let (min, max, avg) = r.latency.as_micros_triple();
-        csv.push_str(&format!("{},{},{min:.1},{max:.1},{avg:.1}\n", r.os, r.version));
+        csv.push_str(&format!(
+            "{},{},{min:.1},{max:.1},{avg:.1}\n",
+            r.os, r.version
+        ));
     }
     yasmin_bench::write_result("table2.csv", &csv);
 }

@@ -10,11 +10,11 @@
 //! utilisation.
 
 use std::sync::Arc;
+use yasmin_baselines::mollison::{measure_overhead, MollisonParams};
 use yasmin_core::config::Config;
 use yasmin_core::priority::PriorityPolicy;
 use yasmin_core::stats::Samples;
 use yasmin_core::time::Duration;
-use yasmin_baselines::mollison::{measure_overhead, MollisonParams};
 use yasmin_sim::{SimConfig, Simulation};
 use yasmin_taskgen::taskset::{generate_params, IndependentSetParams};
 use yasmin_taskgen::GeneratedTask;

@@ -18,7 +18,7 @@ use yasmin_core::platform::PlatformSpec;
 use yasmin_core::priority::PriorityPolicy;
 use yasmin_core::time::Duration;
 use yasmin_core::version::ExecMode;
-use yasmin_sim::{ExecModel, SimConfig, Simulation, SimResult};
+use yasmin_sim::{ExecModel, SimConfig, SimResult, Simulation};
 use yasmin_taskgen::drone::{self, VersionRestriction, FRAME_PERIOD, SECURE_MODE};
 
 /// Parameters of the exploration.
@@ -84,7 +84,11 @@ fn mode_schedule(p: &Fig4Params) -> Vec<(Duration, ExecMode)> {
     (0..frames)
         .map(|k| {
             let secure = rng.random_range(0..100u32) < p.secure_pct;
-            let mode = if secure { SECURE_MODE } else { ExecMode::NORMAL };
+            let mode = if secure {
+                SECURE_MODE
+            } else {
+                ExecMode::NORMAL
+            };
             (FRAME_PERIOD * k, mode)
         })
         .collect()
@@ -212,7 +216,13 @@ pub fn render(rows: &[Fig4Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "| {} | {} | {:.1} | {:.1} | {} | {} | {:.3} |\n",
-            r.label, r.frames, r.avg_frame_ms, r.max_frame_ms, r.frame_misses, r.fc_misses, r.miss_ratio
+            r.label,
+            r.frames,
+            r.avg_frame_ms,
+            r.max_frame_ms,
+            r.frame_misses,
+            r.fc_misses,
+            r.miss_ratio
         ));
     }
     out

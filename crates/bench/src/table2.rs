@@ -7,9 +7,7 @@
 //! *measured* cost of the real scheduling engine handling the
 //! cyclictest-shaped task set (see `yasmin_baselines::cyclictest`).
 
-use yasmin_baselines::cyclictest::{
-    measure_engine_overhead, simulate, CyclictestConfig, Variant,
-};
+use yasmin_baselines::cyclictest::{measure_engine_overhead, simulate, CyclictestConfig, Variant};
 use yasmin_core::stats::Summary;
 use yasmin_sim::{KernelKind, StressProfile};
 

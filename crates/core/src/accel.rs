@@ -65,8 +65,7 @@ mod tests {
 
     #[test]
     fn accel_spec_fields() {
-        let a = AccelSpec::new(AccelId::new(0), "mali-gpu")
-            .with_active_power(Power::from_watts(2));
+        let a = AccelSpec::new(AccelId::new(0), "mali-gpu").with_active_power(Power::from_watts(2));
         assert_eq!(a.id(), AccelId::new(0));
         assert_eq!(a.name(), "mali-gpu");
         assert_eq!(a.active_power().as_milliwatts(), 2_000);

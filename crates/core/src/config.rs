@@ -311,7 +311,10 @@ impl fmt::Debug for Config {
             .field("preemption", &self.preemption)
             .field("tick_override", &self.tick_override)
             .field("max_pending_jobs", &self.max_pending_jobs)
-            .field("battery_source", &self.battery_source.as_ref().map(|_| ".."))
+            .field(
+                "battery_source",
+                &self.battery_source.as_ref().map(|_| ".."),
+            )
             .field("initial_mode", &self.initial_mode)
             .finish()
     }
@@ -458,14 +461,20 @@ impl ConfigBuilder {
     /// "pre-emption with on-line scheduling policies only", §3.5).
     pub fn build(self) -> Result<Config> {
         if self.workers == 0 {
-            return Err(Error::InvalidConfig("at least one worker is required".into()));
+            return Err(Error::InvalidConfig(
+                "at least one worker is required".into(),
+            ));
         }
         if self.max_pending_jobs == 0 {
-            return Err(Error::InvalidConfig("max_pending_jobs must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "max_pending_jobs must be positive".into(),
+            ));
         }
         if let Some(t) = self.tick_override {
             if t.is_zero() {
-                return Err(Error::InvalidConfig("tick override must be positive".into()));
+                return Err(Error::InvalidConfig(
+                    "tick override must be positive".into(),
+                ));
             }
         }
         if self.scheduler_class == SchedulerClass::Offline && self.preemption {

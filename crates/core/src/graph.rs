@@ -386,12 +386,7 @@ impl TaskSetBuilder {
     /// [`Error::UnknownTask`], [`Error::UnknownChannel`], or
     /// [`Error::ChannelAlreadyConnected`] — each channel wires exactly one
     /// producer/consumer pair.
-    pub fn channel_connect(
-        &mut self,
-        src: TaskId,
-        dst: TaskId,
-        channel: ChannelId,
-    ) -> Result<()> {
+    pub fn channel_connect(&mut self, src: TaskId, dst: TaskId, channel: ChannelId) -> Result<()> {
         if src.index() >= self.tasks.len() {
             return Err(Error::UnknownTask(src));
         }
@@ -454,7 +449,8 @@ impl TaskSetBuilder {
 
         // Kahn's algorithm: detects cycles and yields the topo order.
         let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
-        let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut topo = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             topo.push(TaskId::new(i as u32));

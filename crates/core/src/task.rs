@@ -423,10 +423,14 @@ mod tests {
 
     #[test]
     fn task_version_management() {
-        let mut t = Task::new(TaskId::new(0), TaskSpec::periodic("d", Duration::from_millis(500)));
+        let mut t = Task::new(
+            TaskId::new(0),
+            TaskSpec::periodic("d", Duration::from_millis(500)),
+        );
         let v0 = t.push_version(VersionSpec::new("gpu", Duration::from_millis(130)));
         let v1 = t.push_version(
-            VersionSpec::new("cpu", Duration::from_millis(230)).with_energy(Energy::from_millijoules(9)),
+            VersionSpec::new("cpu", Duration::from_millis(230))
+                .with_energy(Energy::from_millijoules(9)),
         );
         assert_eq!(v0, VersionId::new(0));
         assert_eq!(v1, VersionId::new(1));
@@ -440,7 +444,10 @@ mod tests {
 
     #[test]
     fn accel_binding() {
-        let mut t = Task::new(TaskId::new(0), TaskSpec::periodic("d", Duration::from_millis(500)));
+        let mut t = Task::new(
+            TaskId::new(0),
+            TaskSpec::periodic("d", Duration::from_millis(500)),
+        );
         let v = t.push_version(VersionSpec::new("gpu", Duration::from_millis(130)));
         t.bind_accel(v, AccelId::new(0)).unwrap();
         assert_eq!(t.version(v).unwrap().accel(), Some(AccelId::new(0)));
@@ -451,7 +458,10 @@ mod tests {
 
     #[test]
     fn display_mentions_name_and_id() {
-        let t = Task::new(TaskId::new(4), TaskSpec::periodic("fetch", Duration::from_millis(500)));
+        let t = Task::new(
+            TaskId::new(4),
+            TaskSpec::periodic("fetch", Duration::from_millis(500)),
+        );
         let s = t.to_string();
         assert!(s.contains("fetch") && s.contains("T4"));
     }

@@ -541,7 +541,10 @@ mod tests {
         let t = Instant::from_nanos(1_000);
         let t2 = t + Duration::from_nanos(500);
         assert_eq!(t2 - t, Duration::from_nanos(500));
-        assert_eq!(t2.saturating_since(Instant::from_nanos(2_000)), Duration::ZERO);
+        assert_eq!(
+            t2.saturating_since(Instant::from_nanos(2_000)),
+            Duration::ZERO
+        );
         assert_eq!(t.saturating_sub(Duration::from_nanos(5_000)), Instant::ZERO);
     }
 

@@ -344,10 +344,7 @@ mod tests {
         assert_eq!(v.name(), "enc-aes");
         assert_eq!(v.wcet(), Duration::from_millis(100));
         assert_eq!(v.energy().as_microjoules(), 12_000);
-        assert_eq!(
-            v.props().energy_budget,
-            Some(Energy::from_millijoules(15))
-        );
+        assert_eq!(v.props().energy_budget, Some(Energy::from_millijoules(15)));
         assert!(v.props().modes.contains(ExecMode::new(1)));
         assert!(!v.props().modes.contains(ExecMode::NORMAL));
         assert!(v.accel().is_none());
@@ -355,8 +352,8 @@ mod tests {
 
     #[test]
     fn accel_version() {
-        let v = VersionSpec::new("detect-gpu", Duration::from_millis(130))
-            .with_accel(AccelId::new(0));
+        let v =
+            VersionSpec::new("detect-gpu", Duration::from_millis(130)).with_accel(AccelId::new(0));
         assert_eq!(v.accel(), Some(AccelId::new(0)));
     }
 

@@ -16,7 +16,7 @@ use yasmin_core::error::{Error, Result};
 ///
 /// [`Error::Os`] when the kernel rejects the affinity call (out-of-range
 /// core, restricted cpuset) or the feature is disabled.
-#[cfg(feature = "os-rt")]
+#[cfg(all(feature = "os-rt", target_os = "linux"))]
 pub fn pin_current_thread(core: usize) -> Result<()> {
     if core >= libc::CPU_SETSIZE as usize {
         return Err(Error::Os(format!(
@@ -39,20 +39,22 @@ pub fn pin_current_thread(core: usize) -> Result<()> {
         if rc == 0 {
             Ok(())
         } else {
-            Err(Error::Os(format!("pthread_setaffinity_np({core}) failed: {rc}")))
+            Err(Error::Os(format!(
+                "pthread_setaffinity_np({core}) failed: {rc}"
+            )))
         }
     }
 }
 
-/// Pins the calling thread to `core` — no-op stub without `os-rt`.
+/// Pins the calling thread to `core` — no-op stub without `os-rt` on Linux.
 ///
 /// # Errors
 ///
-/// Always [`Error::Os`] (feature disabled).
-#[cfg(not(feature = "os-rt"))]
+/// Always [`Error::Os`] (feature disabled or non-Linux host).
+#[cfg(not(all(feature = "os-rt", target_os = "linux")))]
 pub fn pin_current_thread(core: usize) -> Result<()> {
     let _ = core;
-    Err(Error::Os("os-rt feature disabled".into()))
+    Err(Error::Os("os-rt disabled or non-Linux host".into()))
 }
 
 /// Locks current and future pages in memory (`mlockall(MCL_CURRENT |
@@ -61,7 +63,7 @@ pub fn pin_current_thread(core: usize) -> Result<()> {
 /// # Errors
 ///
 /// [`Error::Os`] when the kernel refuses (usually `RLIMIT_MEMLOCK`).
-#[cfg(feature = "os-rt")]
+#[cfg(all(feature = "os-rt", target_os = "linux"))]
 pub fn lock_all_memory() -> Result<()> {
     // SAFETY: mlockall takes flags only and affects the whole process.
     let rc = unsafe { libc::mlockall(libc::MCL_CURRENT | libc::MCL_FUTURE) };
@@ -72,14 +74,14 @@ pub fn lock_all_memory() -> Result<()> {
     }
 }
 
-/// Locks memory — no-op stub without `os-rt`.
+/// Locks memory — no-op stub without `os-rt` on Linux.
 ///
 /// # Errors
 ///
-/// Always [`Error::Os`] (feature disabled).
-#[cfg(not(feature = "os-rt"))]
+/// Always [`Error::Os`] (feature disabled or non-Linux host).
+#[cfg(not(all(feature = "os-rt", target_os = "linux")))]
 pub fn lock_all_memory() -> Result<()> {
-    Err(Error::Os("os-rt feature disabled".into()))
+    Err(Error::Os("os-rt disabled or non-Linux host".into()))
 }
 
 /// Gives the calling thread a `SCHED_FIFO` priority (1–99; higher wins).
@@ -87,7 +89,7 @@ pub fn lock_all_memory() -> Result<()> {
 /// # Errors
 ///
 /// [`Error::Os`] when unprivileged (no `CAP_SYS_NICE`).
-#[cfg(feature = "os-rt")]
+#[cfg(all(feature = "os-rt", target_os = "linux"))]
 pub fn set_fifo_priority(priority: i32) -> Result<()> {
     // SAFETY: sched_param is a plain struct passed by pointer.
     unsafe {
@@ -103,15 +105,15 @@ pub fn set_fifo_priority(priority: i32) -> Result<()> {
     }
 }
 
-/// Sets a FIFO priority — no-op stub without `os-rt`.
+/// Sets a FIFO priority — no-op stub without `os-rt` on Linux.
 ///
 /// # Errors
 ///
-/// Always [`Error::Os`] (feature disabled).
-#[cfg(not(feature = "os-rt"))]
+/// Always [`Error::Os`] (feature disabled or non-Linux host).
+#[cfg(not(all(feature = "os-rt", target_os = "linux")))]
 pub fn set_fifo_priority(priority: i32) -> Result<()> {
     let _ = priority;
-    Err(Error::Os("os-rt feature disabled".into()))
+    Err(Error::Os("os-rt disabled or non-Linux host".into()))
 }
 
 /// Number of cores visible to this process.

@@ -216,7 +216,9 @@ impl Runtime {
     fn spawn(builder: RuntimeBuilder, mut engine: OnlineEngine) -> Result<Self> {
         let workers_n = builder.config.workers();
         let wait_mode = match builder.config.waiting() {
-            yasmin_core::config::WaitChoice::Sleep => WaitMode::HybridSpin { spin_window_us: 200 },
+            yasmin_core::config::WaitChoice::Sleep => WaitMode::HybridSpin {
+                spin_window_us: 200,
+            },
             yasmin_core::config::WaitChoice::Spin => WaitMode::Spin,
         };
         let clock = Arc::new(MonotonicClock::new());

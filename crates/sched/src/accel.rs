@@ -171,7 +171,12 @@ mod tests {
     fn unknown_accel_rejected() {
         let mut m = AccelManager::new(1);
         assert!(matches!(
-            m.acquire(AccelId::new(9), JobId::new(1), WorkerId::new(0), Priority::new(1)),
+            m.acquire(
+                AccelId::new(9),
+                JobId::new(1),
+                WorkerId::new(0),
+                Priority::new(1)
+            ),
             Err(Error::UnknownAccel(_))
         ));
         assert!(!m.is_free(AccelId::new(9)));

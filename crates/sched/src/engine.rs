@@ -613,11 +613,11 @@ impl OnlineEngine {
     fn fill_idle_workers(&mut self, qi: usize, actions: &mut Vec<Action>) {
         let mut blocked: Vec<Job> = Vec::new();
         loop {
-            let idle = self
-                .workers_fed_by(qi)
-                .find(|&w| self.running[w].is_none());
+            let idle = self.workers_fed_by(qi).find(|&w| self.running[w].is_none());
             let Some(w) = idle else { break };
-            let Some(job) = self.queues[qi].pop() else { break };
+            let Some(job) = self.queues[qi].pop() else {
+                break;
+            };
             match self.choose_version(job.task) {
                 VersionChoice::Run(v, a) => {
                     self.start_job(WorkerId::new(w as u16), job, v, a, actions);
@@ -651,7 +651,9 @@ impl OnlineEngine {
                         .map(|r| (w, r.effective_priority))
                 })
                 .max_by_key(|&(w, p)| (p, w));
-            let Some((w, victim_prio)) = victim else { break };
+            let Some((w, victim_prio)) = victim else {
+                break;
+            };
             if !top.priority.is_higher_than(victim_prio) {
                 break;
             }
@@ -806,9 +808,7 @@ mod tests {
         // One worker; long low-urgency job running, then an urgent one
         // arrives at the next tick.
         let mut b = yasmin_core::graph::TaskSetBuilder::new();
-        let slow = b
-            .task_decl(TaskSpec::periodic("slow", ms(100)))
-            .unwrap();
+        let slow = b.task_decl(TaskSpec::periodic("slow", ms(100))).unwrap();
         let fast = b
             .task_decl(
                 TaskSpec::periodic("fast", ms(100))
@@ -834,7 +834,9 @@ mod tests {
         assert_eq!(e.ready_len(), 1);
         // Completing fast resumes slow.
         let fast_id = e.running(WorkerId::new(0)).unwrap().job.id;
-        let acts = e.on_job_completed(WorkerId::new(0), fast_id, at(15)).unwrap();
+        let acts = e
+            .on_job_completed(WorkerId::new(0), fast_id, at(15))
+            .unwrap();
         match &acts[0] {
             Action::Dispatch { job, .. } => {
                 assert_eq!(job.task, slow);
@@ -928,7 +930,9 @@ mod tests {
         let mut e = OnlineEngine::new(ts, edf_config(2)).unwrap();
         let _ = e.start(Instant::ZERO).unwrap();
         let fork_id = e.running(WorkerId::new(0)).unwrap().job.id;
-        let acts = e.on_job_completed(WorkerId::new(0), fork_id, at(1)).unwrap();
+        let acts = e
+            .on_job_completed(WorkerId::new(0), fork_id, at(1))
+            .unwrap();
         // left and right both released and dispatched on the two workers.
         let dispatched: Vec<TaskId> = acts
             .iter()
@@ -941,15 +945,17 @@ mod tests {
         assert!(dispatched.contains(&left) && dispatched.contains(&right));
         // Join waits for both.
         let left_id = e.running(WorkerId::new(0)).unwrap().job.id;
-        let acts = e.on_job_completed(WorkerId::new(0), left_id, at(2)).unwrap();
+        let acts = e
+            .on_job_completed(WorkerId::new(0), left_id, at(2))
+            .unwrap();
         assert!(acts.is_empty(), "join must wait for right: {acts:?}");
         let right_id = e.running(WorkerId::new(1)).unwrap().job.id;
         let acts = e
             .on_job_completed(WorkerId::new(1), right_id, at(3))
             .unwrap();
-        let join_dispatch = acts.iter().any(|a| {
-            matches!(a, Action::Dispatch { job, .. } if job.task == join)
-        });
+        let join_dispatch = acts
+            .iter()
+            .any(|a| matches!(a, Action::Dispatch { job, .. } if job.task == join));
         assert!(join_dispatch, "{acts:?}");
         // Graph-level deadline: join inherits fork's release + 100ms.
         let j = e.running(WorkerId::new(0)).unwrap().job;
@@ -1022,10 +1028,15 @@ mod tests {
         assert_eq!(e.ready_len(), 1, "urgent stays ready");
         // Holder's effective priority is boosted.
         let holder = e.running(WorkerId::new(0)).unwrap();
-        assert_eq!(holder.effective_priority, Priority::earliest_deadline(at(40)));
+        assert_eq!(
+            holder.effective_priority,
+            Priority::earliest_deadline(at(40))
+        );
         // When the holder finishes, urgent gets the GPU.
         let hold_id = holder.job.id;
-        let acts = e.on_job_completed(WorkerId::new(0), hold_id, at(50)).unwrap();
+        let acts = e
+            .on_job_completed(WorkerId::new(0), hold_id, at(50))
+            .unwrap();
         assert!(acts.iter().any(|a| matches!(
             a,
             Action::Dispatch { job, .. } if job.task == urgent
@@ -1046,7 +1057,8 @@ mod tests {
             .unwrap();
         b.version_decl(hold, VersionSpec::new("gpu", ms(100)).with_accel(gpu))
             .unwrap();
-        b.version_decl(urgent, VersionSpec::new("cpu", ms(5))).unwrap();
+        b.version_decl(urgent, VersionSpec::new("cpu", ms(5)))
+            .unwrap();
         let ts = Arc::new(b.build().unwrap());
         let mut e = OnlineEngine::new(ts, edf_config(1)).unwrap();
         let _ = e.start(Instant::ZERO).unwrap();

@@ -36,5 +36,5 @@ pub use offline::{
     synthesize, synthesize_strict, OfflineDispatcher, ScheduleTable, SynthesisOptions,
 };
 pub use queue::ReadyQueue;
-pub use server::{AperiodicServer, ServerKind};
 pub use select::rank_versions;
+pub use server::{AperiodicServer, ServerKind};

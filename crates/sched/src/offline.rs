@@ -177,14 +177,10 @@ impl ScheduleTable {
         }
         // Precedence: same-instance src finish <= dst start.
         for edge in ts.edges() {
-            let srcs: Vec<&TableEntry> = self
-                .all_entries()
-                .filter(|e| e.task == edge.src)
-                .collect();
-            let dsts: Vec<&TableEntry> = self
-                .all_entries()
-                .filter(|e| e.task == edge.dst)
-                .collect();
+            let srcs: Vec<&TableEntry> =
+                self.all_entries().filter(|e| e.task == edge.src).collect();
+            let dsts: Vec<&TableEntry> =
+                self.all_entries().filter(|e| e.task == edge.dst).collect();
             for d in &dsts {
                 if let Some(s) = srcs.iter().find(|s| s.instance == d.instance) {
                     if d.start < s.finish() {
@@ -224,7 +220,9 @@ struct PendingJob {
 ///   hyperperiod), or partitioned synthesis lacks assignments.
 pub fn synthesize(ts: &TaskSet, workers: usize, opts: SynthesisOptions) -> Result<ScheduleTable> {
     if workers == 0 {
-        return Err(Error::InvalidConfig("offline synthesis needs workers".into()));
+        return Err(Error::InvalidConfig(
+            "offline synthesis needs workers".into(),
+        ));
     }
     let horizon = ts
         .hyperperiod()
@@ -252,10 +250,7 @@ pub fn synthesize(ts: &TaskSet, workers: usize, opts: SynthesisOptions) -> Resul
             };
             // Component nodes in topological order: preds already indexed.
             for &node in &component {
-                let preds: Vec<usize> = ts
-                    .in_edges(node)
-                    .map(|e| index_of[&(e.src, k)])
-                    .collect();
+                let preds: Vec<usize> = ts.in_edges(node).map(|e| index_of[&(e.src, k)]).collect();
                 let idx = jobs.len();
                 jobs.push(PendingJob {
                     task: node,
@@ -477,12 +472,8 @@ impl OfflineDispatcher {
         }
         let per_cycle = entries.len() as u64;
         let e = &entries[self.cursor[wi]];
-        let shift = Duration::from_nanos(
-            self.table
-                .horizon
-                .as_nanos()
-                .saturating_mul(self.cycle[wi]),
-        );
+        let shift =
+            Duration::from_nanos(self.table.horizon.as_nanos().saturating_mul(self.cycle[wi]));
         let slot = DispatchSlot {
             start: e.start + shift,
             duration: e.duration,
@@ -595,10 +586,8 @@ mod tests {
         let table = synthesize_strict(&ts, 2, SynthesisOptions::default()).unwrap();
         table.validate(&ts).unwrap();
         // Despite two workers, GPU use must serialise.
-        let mut spans: Vec<(Instant, Instant)> = table
-            .all_entries()
-            .map(|e| (e.start, e.finish()))
-            .collect();
+        let mut spans: Vec<(Instant, Instant)> =
+            table.all_entries().map(|e| (e.start, e.finish())).collect();
         spans.sort();
         assert!(spans[1].0 >= spans[0].1);
     }

@@ -42,11 +42,8 @@ pub fn rank_versions(policy: &VersionPolicy, ctx: &SelectCtx, task: &Task) -> Ve
             // leading; an exhausted battery falls back to the cheapest
             // version so the task can still run.
             let battery = ctx.battery;
-            let budget_of = |v: &VersionSpec| {
-                v.props()
-                    .energy_budget
-                    .map_or(0, |e| e.as_microjoules())
-            };
+            let budget_of =
+                |v: &VersionSpec| v.props().energy_budget.map_or(0, |e| e.as_microjoules());
             // Interpret budgets against the battery fraction with 25 %
             // headroom: the most demanding version stays affordable until
             // the battery drops below 80 %, then versions shed in budget
@@ -164,7 +161,11 @@ mod tests {
             ..SelectCtx::default()
         };
         let r = rank_versions(&VersionPolicy::Energy, &ctx, &t);
-        assert_eq!(r[0], VersionId::new(1), "full battery affords the 12mJ version");
+        assert_eq!(
+            r[0],
+            VersionId::new(1),
+            "full battery affords the 12mJ version"
+        );
     }
 
     #[test]

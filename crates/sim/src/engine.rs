@@ -289,10 +289,15 @@ impl Simulation {
         }
         let remaining = if fresh {
             let d = self.exec.sample(wcet);
-            self.progress.get_mut(&job.id).expect("just inserted").remaining_ref = Some(d);
+            self.progress
+                .get_mut(&job.id)
+                .expect("just inserted")
+                .remaining_ref = Some(d);
             d
         } else {
-            self.progress[&job.id].remaining_ref.expect("resumed job has remaining")
+            self.progress[&job.id]
+                .remaining_ref
+                .expect("resumed job has remaining")
         };
 
         // Wake-up latency (kernel model) applies to fresh starts; resumes
@@ -306,7 +311,10 @@ impl Simulation {
             delay += self.cfg.overheads.context_switch;
         }
         let start = now + delay;
-        let p = self.progress.get_mut(&job.id).expect("progress entry exists");
+        let p = self
+            .progress
+            .get_mut(&job.id)
+            .expect("progress entry exists");
         if p.first_start.is_none() {
             p.first_start = Some(start);
         }
@@ -320,11 +328,14 @@ impl Simulation {
             start,
             remaining_ref: remaining,
         });
-        self.push_event(finish, Ev::Finish {
-            worker,
-            job: job.id,
-            gen,
-        });
+        self.push_event(
+            finish,
+            Ev::Finish {
+                worker,
+                job: job.id,
+                gen,
+            },
+        );
     }
 
     fn apply_preempt(&mut self, now: Instant, worker: WorkerId, job: JobId) {
@@ -404,7 +415,6 @@ impl Simulation {
 
         // Start the schedule and arm the tick train.
         let actions = {
-            
             if self.cfg.measure_engine_time {
                 let t0 = std::time::Instant::now();
                 let a = self.engine.start(Instant::ZERO)?;
@@ -462,9 +472,8 @@ impl Simulation {
                     self.on_finish(now, worker, job, gen)?;
                 }
                 Ev::Sporadic { task } => {
-                    let actions = self.timed(|e| {
-                        e.activate(task, now).expect("sporadic task is activatable")
-                    });
+                    let actions = self
+                        .timed(|e| e.activate(task, now).expect("sporadic task is activatable"));
                     self.apply_actions(now, actions);
                     let next = now + sporadic_period[&task];
                     if next < horizon {
@@ -547,7 +556,8 @@ mod tests {
             let t = b
                 .task_decl(TaskSpec::periodic(format!("t{i}"), ms(period_ms)))
                 .unwrap();
-            b.version_decl(t, VersionSpec::new("v", ms(wcet_ms))).unwrap();
+            b.version_decl(t, VersionSpec::new("v", ms(wcet_ms)))
+                .unwrap();
         }
         Arc::new(b.build().unwrap())
     }
@@ -652,14 +662,10 @@ mod tests {
         // Long job preempted by short periodic urgent task; total work
         // must be conserved (response = own work + interference).
         let mut b = TaskSetBuilder::new();
-        let long = b
-            .task_decl(TaskSpec::periodic("long", ms(100)))
-            .unwrap();
+        let long = b.task_decl(TaskSpec::periodic("long", ms(100))).unwrap();
         b.version_decl(long, VersionSpec::new("l", ms(40))).unwrap();
         let short = b
-            .task_decl(
-                TaskSpec::periodic("short", ms(20)).with_constrained_deadline(ms(5)),
-            )
+            .task_decl(TaskSpec::periodic("short", ms(20)).with_constrained_deadline(ms(5)))
             .unwrap();
         b.version_decl(short, VersionSpec::new("s", ms(2))).unwrap();
         let ts = Arc::new(b.build().unwrap());

@@ -130,7 +130,11 @@ impl KernelModel {
     /// studies).
     #[must_use]
     pub fn with_params(kind: KernelKind, params: KernelParams, seed: u64) -> Self {
-        KernelModel { kind, params, rng: StdRng::seed_from_u64(seed) }
+        KernelModel {
+            kind,
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The modelled kernel.

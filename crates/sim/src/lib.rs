@@ -28,6 +28,6 @@ pub mod trace;
 pub use engine::{OverheadModel, SimConfig, Simulation};
 pub use exec::{ExecModel, ExecSampler};
 pub use kernel::{KernelKind, KernelModel, KernelParams};
-pub use stress::StressProfile;
 pub use render::{ascii_gantt, chrome_trace, task_report};
+pub use stress::StressProfile;
 pub use trace::{JobRecord, SimResult};

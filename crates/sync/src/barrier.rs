@@ -74,8 +74,9 @@ impl SpinBarrier {
             self.shared.sense.store(self.local_sense, Ordering::Release);
             true
         } else {
+            let mut backoff = crate::wait::Backoff::new();
             while self.shared.sense.load(Ordering::Acquire) != self.local_sense {
-                std::hint::spin_loop();
+                backoff.snooze();
             }
             false
         }

@@ -93,8 +93,9 @@ impl<T> McsLock<T> {
             // its successor), so the node is alive.
             unsafe {
                 (*prev).next.store(node, Ordering::Release);
+                let mut backoff = crate::wait::Backoff::new();
                 while (*node).locked.load(Ordering::Acquire) {
-                    std::hint::spin_loop();
+                    backoff.snooze();
                 }
             }
         }
@@ -181,12 +182,13 @@ impl<T> Drop for McsGuard<'_, T> {
                     return;
                 }
                 // A successor is in the middle of enqueueing; wait for it.
+                let mut backoff = crate::wait::Backoff::new();
                 loop {
                     next = (*node).next.load(Ordering::Acquire);
                     if !next.is_null() {
                         break;
                     }
-                    std::hint::spin_loop();
+                    backoff.snooze();
                 }
             }
             (*next).locked.store(false, Ordering::Release);

@@ -129,7 +129,9 @@ impl<T: Send> Producer<T> {
         unsafe {
             (*slot.get()).write(value);
         }
-        self.ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.ring
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -177,7 +179,9 @@ impl<T: Send> Consumer<T> {
         // SAFETY: the slot is inside [head, tail), initialised by the
         // producer and not yet consumed; we are the only consumer.
         let value = unsafe { (*slot.get()).assume_init_read() };
-        self.ring.head.store(head.wrapping_add(1), Ordering::Release);
+        self.ring
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 
@@ -237,22 +241,28 @@ mod tests {
     fn cross_thread_transfer_preserves_order() {
         let (mut tx, mut rx) = channel::<u64>(16);
         let producer = std::thread::spawn(move || {
+            let mut backoff = crate::wait::Backoff::new();
             for i in 0..100_000u64 {
                 loop {
                     match tx.push(i) {
-                        Ok(()) => break,
-                        Err(Full(_)) => std::hint::spin_loop(),
+                        Ok(()) => {
+                            backoff.reset();
+                            break;
+                        }
+                        Err(Full(_)) => backoff.snooze(),
                     }
                 }
             }
         });
         let mut expected = 0u64;
+        let mut backoff = crate::wait::Backoff::new();
         while expected < 100_000 {
             if let Some(v) = rx.pop() {
                 assert_eq!(v, expected);
                 expected += 1;
+                backoff.reset();
             } else {
-                std::hint::spin_loop();
+                backoff.snooze();
             }
         }
         producer.join().unwrap();

@@ -43,10 +43,18 @@ impl<T> TicketLock<T> {
     }
 
     /// Acquires the lock, spinning in ticket order.
+    ///
+    /// The wait backs off from pure spinning to `yield_now` so that,
+    /// under the default time-sharing policies, a waiter does not burn
+    /// its whole timeslice starving the holder on hosts with fewer
+    /// cores than contenders. (Under `SCHED_FIFO`, `yield_now` only
+    /// rotates within the same priority level; priority assignment
+    /// must keep holder and waiters comparable.)
     pub fn lock(&self) -> TicketGuard<'_, T> {
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = crate::wait::Backoff::new();
         while self.now_serving.load(Ordering::Acquire) != ticket {
-            std::hint::spin_loop();
+            backoff.snooze();
         }
         TicketGuard { lock: self }
     }

@@ -80,10 +80,10 @@ impl Backoff {
             for _ in 0..(1u32 << self.step) {
                 std::hint::spin_loop();
             }
+            self.step += 1;
         } else {
             std::thread::yield_now();
         }
-        self.step = (self.step + 1).min(16);
     }
 
     /// Resets to the initial (cheapest) step.
@@ -118,7 +118,9 @@ mod tests {
     fn hybrid_reaches_deadline() {
         let start = StdInstant::now();
         wait_for(
-            WaitMode::HybridSpin { spin_window_us: 100 },
+            WaitMode::HybridSpin {
+                spin_window_us: 100,
+            },
             StdDuration::from_millis(2),
         );
         assert!(start.elapsed() >= StdDuration::from_millis(2));

@@ -58,13 +58,15 @@ impl Default for DagParams {
 pub fn build_dag(p: &DagParams) -> Result<TaskSet> {
     assert!(p.layers >= 1, "need at least one layer");
     assert!(p.max_width >= 1, "need positive width");
-    assert!(p.wcet_us.0 > 0 && p.wcet_us.0 <= p.wcet_us.1, "bad wcet range");
+    assert!(
+        p.wcet_us.0 > 0 && p.wcet_us.0 <= p.wcet_us.1,
+        "bad wcet range"
+    );
     let mut rng = StdRng::seed_from_u64(p.seed);
     let mut b = TaskSetBuilder::new();
 
-    let wcet = |rng: &mut StdRng| {
-        Duration::from_micros(rng.random_range(p.wcet_us.0..=p.wcet_us.1))
-    };
+    let wcet =
+        |rng: &mut StdRng| Duration::from_micros(rng.random_range(p.wcet_us.0..=p.wcet_us.1));
 
     let root = b.task_decl(TaskSpec::periodic("dag-root", p.period))?;
     let w0 = wcet(&mut rng);

@@ -196,24 +196,18 @@ fn build_inner(restriction: VersionRestriction, workers: Option<usize>) -> Resul
         if restriction != VersionRestriction::CpuOnly {
             let v = b.version_decl(
                 task,
-                VersionSpec::new(
-                    format!("{name}-gpu"),
-                    Duration::from_millis(gpu_ms),
-                )
-                .with_energy(Energy::from_millijoules(gpu_ms * 6))
-                .with_energy_budget(Energy::from_millijoules(gpu_ms * 6)),
+                VersionSpec::new(format!("{name}-gpu"), Duration::from_millis(gpu_ms))
+                    .with_energy(Energy::from_millijoules(gpu_ms * 6))
+                    .with_energy_budget(Energy::from_millijoules(gpu_ms * 6)),
             )?;
             b.hwaccel_use(task, v, gpu)?;
         }
         if restriction != VersionRestriction::GpuOnly {
             b.version_decl(
                 task,
-                VersionSpec::new(
-                    format!("{name}-cpu"),
-                    Duration::from_millis(cpu_ms),
-                )
-                .with_energy(Energy::from_millijoules(cpu_ms * 2))
-                .with_energy_budget(Energy::from_millijoules(cpu_ms * 2)),
+                VersionSpec::new(format!("{name}-cpu"), Duration::from_millis(cpu_ms))
+                    .with_energy(Energy::from_millijoules(cpu_ms * 2))
+                    .with_energy_budget(Energy::from_millijoules(cpu_ms * 2)),
             )?;
         }
     }

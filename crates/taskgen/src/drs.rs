@@ -38,7 +38,11 @@ pub enum DrsError {
 impl std::fmt::Display for DrsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DrsError::Infeasible { total, lo_sum, hi_sum } => write!(
+            DrsError::Infeasible {
+                total,
+                lo_sum,
+                hi_sum,
+            } => write!(
                 f,
                 "no utilisation vector sums to {total} within bounds [{lo_sum}, {hi_sum}]"
             ),
@@ -65,12 +69,7 @@ pub fn drs(n: usize, total: f64, cap: f64, seed: u64) -> Result<Vec<f64>, DrsErr
 ///
 /// [`DrsError::BadBounds`] on mismatched lengths, [`DrsError::Infeasible`]
 /// when the constrained simplex is empty.
-pub fn drs_bounded(
-    lo: &[f64],
-    hi: &[f64],
-    total: f64,
-    seed: u64,
-) -> Result<Vec<f64>, DrsError> {
+pub fn drs_bounded(lo: &[f64], hi: &[f64], total: f64, seed: u64) -> Result<Vec<f64>, DrsError> {
     if lo.len() != hi.len() || lo.is_empty() {
         return Err(DrsError::BadBounds);
     }
@@ -155,12 +154,10 @@ pub fn drs_bounded(
     let drift: f64 = budget - x.iter().sum::<f64>();
     if drift.abs() > EPS {
         // Put the drift on the coordinate with most headroom.
-        let (i, _) = caps
-            .iter()
-            .zip(&x)
-            .map(|(c, v)| c - v)
-            .enumerate()
-            .fold((0, f64::MIN), |acc, (i, h)| if h > acc.1 { (i, h) } else { acc });
+        let (i, _) = caps.iter().zip(&x).map(|(c, v)| c - v).enumerate().fold(
+            (0, f64::MIN),
+            |acc, (i, h)| if h > acc.1 { (i, h) } else { acc },
+        );
         x[i] = (x[i] + drift).clamp(0.0, caps[i]);
     }
 
@@ -225,7 +222,10 @@ mod tests {
 
     #[test]
     fn bad_bounds_detected() {
-        assert_eq!(drs_bounded(&[0.0], &[1.0, 1.0], 0.5, 0), Err(DrsError::BadBounds));
+        assert_eq!(
+            drs_bounded(&[0.0], &[1.0, 1.0], 0.5, 0),
+            Err(DrsError::BadBounds)
+        );
         assert_eq!(drs_bounded(&[], &[], 0.5, 0), Err(DrsError::BadBounds));
         assert_eq!(
             drs_bounded(&[0.5], &[0.2], 0.3, 0),

@@ -76,7 +76,9 @@ pub fn parse_energy(s: &str) -> Result<Energy> {
     match unit {
         "uJ" => Ok(Energy::from_microjoules(value)),
         "mJ" => Ok(Energy::from_millijoules(value)),
-        other => Err(Error::InvalidConfig(format!("unknown energy unit `{other}`"))),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown energy unit `{other}`"
+        ))),
     }
 }
 
@@ -124,9 +126,10 @@ pub fn parse_taskset(input: &str) -> Result<TaskSet> {
                     .ok_or_else(|| parse_err(line_no, "task needs a kind"))?;
                 let mut spec = match kind {
                     "periodic" | "sporadic" => {
-                        let period = parse_duration(parts.get(3).ok_or_else(|| {
-                            parse_err(line_no, "recurring task needs a period")
-                        })?)?;
+                        let period =
+                            parse_duration(parts.get(3).ok_or_else(|| {
+                                parse_err(line_no, "recurring task needs a period")
+                            })?)?;
                         if kind == "periodic" {
                             TaskSpec::periodic(name, period)
                         } else {
@@ -321,16 +324,18 @@ mod tests {
     #[test]
     fn builder_validation_still_applies() {
         // Unconnected channel is caught by the builder.
-        let err = parse_taskset(
-            "task a periodic 10ms\nversion a v wcet=1ms\nchannel c cap=1 elem=1",
-        )
-        .unwrap_err();
+        let err =
+            parse_taskset("task a periodic 10ms\nversion a v wcet=1ms\nchannel c cap=1 elem=1")
+                .unwrap_err();
         assert!(matches!(err, Error::ChannelNotConnected(_)));
     }
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let ts = parse_taskset("\n# nothing\n  \ntask a periodic 5ms # trailing\nversion a v wcet=1ms\n").unwrap();
+        let ts = parse_taskset(
+            "\n# nothing\n  \ntask a periodic 5ms # trailing\nversion a v wcet=1ms\n",
+        )
+        .unwrap();
         assert_eq!(ts.len(), 1);
     }
 }

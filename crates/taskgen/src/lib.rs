@@ -18,16 +18,16 @@
 
 pub mod dag;
 pub mod drone;
-pub mod dsl;
 pub mod drs;
+pub mod dsl;
 pub mod periods;
 pub mod taskset;
 pub mod uunifast;
 
 pub use dag::{build_dag, DagParams};
-pub use dsl::parse_taskset;
 pub use drone::{DroneWorkload, VersionRestriction};
 pub use drs::{drs, drs_bounded, DrsError};
+pub use dsl::parse_taskset;
 pub use taskset::{
     assign_worst_fit, build_independent, build_partitioned, generate_params, GeneratedTask,
     IndependentSetParams,

@@ -86,11 +86,7 @@ pub fn wcets_from_utilisation(utils: &[f64], periods: &[Duration]) -> Vec<Durati
 /// `[0,1]` — the standard way to generate constrained-deadline task sets
 /// without making them trivially infeasible.
 #[must_use]
-pub fn constrained_deadlines(
-    wcets: &[Duration],
-    periods: &[Duration],
-    seed: u64,
-) -> Vec<Duration> {
+pub fn constrained_deadlines(wcets: &[Duration], periods: &[Duration], seed: u64) -> Vec<Duration> {
     let mut rng = StdRng::seed_from_u64(seed);
     wcets
         .iter()
@@ -123,7 +119,10 @@ mod tests {
             assert!(*t >= Duration::from_millis(10) && *t <= Duration::from_millis(1000));
         }
         // Log-uniform: roughly half the mass below sqrt(10*1000) = 100ms.
-        let below = p.iter().filter(|t| **t <= Duration::from_millis(100)).count();
+        let below = p
+            .iter()
+            .filter(|t| **t <= Duration::from_millis(100))
+            .count();
         assert!((30..=70).contains(&below), "below = {below}");
     }
 

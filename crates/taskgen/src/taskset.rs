@@ -65,7 +65,9 @@ pub struct GeneratedTask {
 /// # Errors
 ///
 /// Propagates [`DrsError`] for infeasible utilisation requests.
-pub fn generate_params(p: &IndependentSetParams) -> std::result::Result<Vec<GeneratedTask>, DrsError> {
+pub fn generate_params(
+    p: &IndependentSetParams,
+) -> std::result::Result<Vec<GeneratedTask>, DrsError> {
     let utils = drs(p.n, p.total_utilisation, p.cap, p.seed)?;
     let ts = periods(p.n, p.periods, p.seed.wrapping_add(0x9e37_79b9));
     let cs = wcets_from_utilisation(&utils, &ts);
@@ -91,8 +93,8 @@ pub fn generate_params(p: &IndependentSetParams) -> std::result::Result<Vec<Gene
 /// [`yasmin_core::error::Error::InvalidConfig`]; builder validation errors
 /// pass through.
 pub fn build_independent(p: &IndependentSetParams) -> Result<TaskSet> {
-    let params = generate_params(p)
-        .map_err(|e| yasmin_core::error::Error::InvalidConfig(e.to_string()))?;
+    let params =
+        generate_params(p).map_err(|e| yasmin_core::error::Error::InvalidConfig(e.to_string()))?;
     let mut b = TaskSetBuilder::new();
     for g in &params {
         let spec = if p.periodic {
@@ -148,8 +150,8 @@ pub fn assign_worst_fit(utilisations: &[f64], workers: usize) -> Vec<WorkerId> {
 ///
 /// Same as [`build_independent`].
 pub fn build_partitioned(p: &IndependentSetParams, workers: usize) -> Result<TaskSet> {
-    let params = generate_params(p)
-        .map_err(|e| yasmin_core::error::Error::InvalidConfig(e.to_string()))?;
+    let params =
+        generate_params(p).map_err(|e| yasmin_core::error::Error::InvalidConfig(e.to_string()))?;
     let utils: Vec<f64> = params.iter().map(|g| g.utilisation).collect();
     let assign = assign_worst_fit(&utils, workers);
     let mut b = TaskSetBuilder::new();

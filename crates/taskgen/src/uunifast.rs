@@ -20,7 +20,10 @@ use rand::{RngExt, SeedableRng};
 #[must_use]
 pub fn uunifast(n: usize, total: f64, seed: u64) -> Vec<f64> {
     assert!(n > 0, "need at least one task");
-    assert!(total > 0.0 && total.is_finite(), "utilisation must be positive");
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "utilisation must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     uunifast_with(&mut rng, n, total)
 }

@@ -45,7 +45,11 @@ fn main() -> Result<(), yasmin::Error> {
     let frames = mission / drone::FRAME_PERIOD;
     let mode_schedule: Vec<(Duration, ExecMode)> = (0..frames)
         .map(|k| {
-            let mode = if k % 3 == 2 { SECURE_MODE } else { ExecMode::NORMAL };
+            let mode = if k % 3 == 2 {
+                SECURE_MODE
+            } else {
+                ExecMode::NORMAL
+            };
             (drone::FRAME_PERIOD * k, mode)
         })
         .collect();
@@ -69,7 +73,12 @@ fn main() -> Result<(), yasmin::Error> {
         "\nframes processed : {}",
         result.records_of(workload.tasks.send).count()
     );
-    println!("frame time (ms)  : min {:.1}  max {:.1}  avg {:.1}", min / 1e3, max / 1e3, avg / 1e3);
+    println!(
+        "frame time (ms)  : min {:.1}  max {:.1}  avg {:.1}",
+        min / 1e3,
+        max / 1e3,
+        avg / 1e3
+    );
 
     // Which versions did the scheduler pick?
     for (task, name) in [
@@ -85,7 +94,14 @@ fn main() -> Result<(), yasmin::Error> {
         let detail: Vec<String> = by_version
             .iter()
             .map(|(v, n)| {
-                let vname = workload.taskset.task(task).unwrap().version(*v).unwrap().name().to_string();
+                let vname = workload
+                    .taskset
+                    .task(task)
+                    .unwrap()
+                    .version(*v)
+                    .unwrap()
+                    .name()
+                    .to_string();
                 format!("{vname}×{n}")
             })
             .collect();
@@ -103,6 +119,9 @@ fn main() -> Result<(), yasmin::Error> {
         "total deadline misses : {} (multi-version 'both' absorbs the AES frames)",
         result.total_misses()
     );
-    println!("modelled energy       : {:.1} J", result.energy.as_millijoules_f64() / 1e3);
+    println!(
+        "modelled energy       : {:.1} J",
+        result.energy.as_millijoules_f64() / 1e3
+    );
     Ok(())
 }

@@ -32,7 +32,10 @@ fn main() -> Result<(), yasmin::Error> {
         VersionSpec::new("vision-gpu", Duration::from_millis(6)),
     )?;
     b.hwaccel_use(vision, vg, gpu)?;
-    b.version_decl(vision, VersionSpec::new("vision-cpu", Duration::from_millis(14)))?;
+    b.version_decl(
+        vision,
+        VersionSpec::new("vision-cpu", Duration::from_millis(14)),
+    )?;
 
     let ts = b.build()?;
     println!(

@@ -24,9 +24,7 @@ fn main() -> Result<(), yasmin::Error> {
         .priority(PriorityPolicy::EarliestDeadlineFirst)
         .version_policy(VersionPolicy::Energy)
         .preemption(false) // thread runtime schedules at job boundaries
-        .battery_source(move || {
-            BatteryLevel::from_permille(battery_probe.load(Ordering::Relaxed))
-        })
+        .battery_source(move || BatteryLevel::from_permille(battery_probe.load(Ordering::Relaxed)))
         .build()?;
 
     // ----- Listing 2: task, version, channel declarations -------------

@@ -20,6 +20,7 @@
 //! | [`taskgen`] | DRS/UUniFast generators, DAGs, the drone SAR workload |
 //! | [`analysis`] | RTA, EDF demand bound, G-EDF tests, DAG bounds |
 //! | [`baselines`] | Mollison & Anderson library, cyclictest, stress-ng analogue |
+//! | [`bench`] | experiment harness for the paper's figures and tables |
 //!
 //! ## Quick start
 //!
@@ -61,6 +62,7 @@
 
 pub use yasmin_analysis as analysis;
 pub use yasmin_baselines as baselines;
+pub use yasmin_bench as bench;
 pub use yasmin_core as core;
 pub use yasmin_rt as rt;
 pub use yasmin_sched as sched;

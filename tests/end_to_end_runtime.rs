@@ -172,15 +172,14 @@ fn stop_drains_inflight_jobs() {
         .unwrap();
     let ts = Arc::new(b.build().unwrap());
     let rt = RuntimeBuilder::new(ts, base_config(1))
-        .body(t, v, |_| std::thread::sleep(std::time::Duration::from_millis(5)))
+        .body(t, v, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(5))
+        })
         .build()
         .unwrap();
     std::thread::sleep(std::time::Duration::from_millis(22));
     rt.stop();
     let report = rt.cleanup(); // must not hang and must keep the records
     assert!(!report.records.is_empty());
-    assert_eq!(
-        report.engine_stats.completed,
-        report.records.len() as u64
-    );
+    assert_eq!(report.engine_stats.completed, report.records.len() as u64);
 }

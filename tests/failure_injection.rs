@@ -54,9 +54,7 @@ fn accel_starvation_triggers_pip_and_eventual_service() {
     let mut b = TaskSetBuilder::new();
     let gpu = b.hwaccel_decl("gpu");
     let hog = b.task_decl(TaskSpec::periodic("hog", ms(100))).unwrap();
-    let vh = b
-        .version_decl(hog, VersionSpec::new("h", ms(40)))
-        .unwrap();
+    let vh = b.version_decl(hog, VersionSpec::new("h", ms(40))).unwrap();
     b.hwaccel_use(hog, vh, gpu).unwrap();
     let urgent = b
         .task_decl(
@@ -121,20 +119,12 @@ fn sporadic_violation_counting_via_engine() {
     let s = b.task_decl(TaskSpec::sporadic("s", ms(10))).unwrap();
     b.version_decl(s, VersionSpec::new("v", ms(1))).unwrap();
     let ts = Arc::new(b.build().unwrap());
-    let config = Config::builder()
-        .workers(1)
-        .tick(ms(10))
-        .build()
-        .unwrap();
+    let config = Config::builder().workers(1).tick(ms(10)).build().unwrap();
     let mut engine = OnlineEngine::new(ts, config).unwrap();
     let _ = engine.start(Instant::ZERO).unwrap();
     let _ = engine.activate(s, Instant::from_nanos(0)).unwrap();
-    let _ = engine
-        .activate(s, Instant::from_nanos(3_000_000))
-        .unwrap();
-    let _ = engine
-        .activate(s, Instant::from_nanos(20_000_000))
-        .unwrap();
+    let _ = engine.activate(s, Instant::from_nanos(3_000_000)).unwrap();
+    let _ = engine.activate(s, Instant::from_nanos(20_000_000)).unwrap();
     assert_eq!(engine.stats().sporadic_violations, 1);
 }
 
@@ -149,9 +139,7 @@ fn gpu_only_task_with_no_cpu_version_waits_but_completes() {
         let t = b
             .task_decl(TaskSpec::periodic(format!("g{i}"), ms(100)))
             .unwrap();
-        let v = b
-            .version_decl(t, VersionSpec::new("v", ms(20)))
-            .unwrap();
+        let v = b.version_decl(t, VersionSpec::new("v", ms(20))).unwrap();
         b.hwaccel_use(t, v, gpu).unwrap();
         tasks.push(t);
     }

@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 use yasmin::prelude::*;
-use yasmin::sched::offline::{
-    synthesize, synthesize_strict, OfflineDispatcher, SynthesisOptions,
-};
+use yasmin::sched::offline::{synthesize, synthesize_strict, OfflineDispatcher, SynthesisOptions};
 use yasmin::sim::ExecModel;
 use yasmin::taskgen::dag::{build_dag, DagParams};
 use yasmin::taskgen::taskset::{build_independent, IndependentSetParams};

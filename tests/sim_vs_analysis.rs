@@ -45,8 +45,11 @@ fn rta_schedulable_implies_no_misses_under_dm() {
             ..IndependentSetParams::default()
         })
         .unwrap();
-        if !analysis::schedulable(&ts, PriorityPolicy::DeadlineMonotonic, WcetAssumption::MaxVersion)
-        {
+        if !analysis::schedulable(
+            &ts,
+            PriorityPolicy::DeadlineMonotonic,
+            WcetAssumption::MaxVersion,
+        ) {
             continue;
         }
         checked += 1;

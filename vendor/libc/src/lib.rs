@@ -1,0 +1,154 @@
+//! Vendored stand-in for the `libc` crate.
+//!
+//! Declares exactly the Linux glibc/musl bindings the YASMIN runtime
+//! uses for its real-time setup: CPU affinity (`cpu_set_t`,
+//! `pthread_setaffinity_np`), memory locking (`mlockall`) and
+//! `SCHED_FIFO` priorities (`pthread_setschedparam`). Types, constants
+//! and signatures mirror the real `libc` crate for `*-linux-gnu`
+//! targets, so swapping the real crate back in is a manifest-only
+//! change. The crate is empty off Linux; callers gate on
+//! `cfg(target_os = "linux")`.
+
+#![warn(missing_docs)]
+#![allow(non_camel_case_types)]
+// The CPU_* helpers keep the C macro names, as the real crate does.
+#![allow(non_snake_case)]
+
+#[cfg(target_os = "linux")]
+mod linux {
+    /// C `int`.
+    pub type c_int = i32;
+    /// C `unsigned long`.
+    pub type c_ulong = u64;
+    /// C `size_t`.
+    pub type size_t = usize;
+    /// POSIX thread handle.
+    pub type pthread_t = c_ulong;
+
+    /// Number of CPUs representable in a [`cpu_set_t`].
+    pub const CPU_SETSIZE: c_int = 1024;
+
+    /// Linux CPU affinity mask (1024 bits).
+    #[repr(C)]
+    #[derive(Copy, Clone, Debug)]
+    pub struct cpu_set_t {
+        bits: [u64; CPU_SETSIZE as usize / 64],
+    }
+
+    /// Clears every CPU in `set` (the `CPU_ZERO` macro).
+    ///
+    /// # Safety
+    ///
+    /// Not actually unsafe; marked so to match the real crate's
+    /// signature.
+    pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+        set.bits = [0; CPU_SETSIZE as usize / 64];
+    }
+
+    /// Adds `cpu` to `set` (the `CPU_SET` macro). Out-of-range CPUs are
+    /// ignored, as in glibc.
+    ///
+    /// # Safety
+    ///
+    /// Not actually unsafe; marked so to match the real crate's
+    /// signature.
+    pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+        let idx = cpu / 64;
+        if idx < set.bits.len() {
+            set.bits[idx] |= 1 << (cpu % 64);
+        }
+    }
+
+    /// Returns whether `cpu` is in `set` (the `CPU_ISSET` macro).
+    ///
+    /// # Safety
+    ///
+    /// Not actually unsafe; marked so to match the real crate's
+    /// signature.
+    pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+        let idx = cpu / 64;
+        idx < set.bits.len() && set.bits[idx] & (1 << (cpu % 64)) != 0
+    }
+
+    /// `mlockall` flag: lock currently mapped pages.
+    pub const MCL_CURRENT: c_int = 1;
+    /// `mlockall` flag: lock pages mapped in the future.
+    pub const MCL_FUTURE: c_int = 2;
+    /// Fixed-priority FIFO scheduling policy.
+    pub const SCHED_FIFO: c_int = 1;
+
+    /// Scheduling parameters for `pthread_setschedparam`.
+    #[repr(C)]
+    #[derive(Copy, Clone, Debug)]
+    pub struct sched_param {
+        /// Static priority (1–99 for `SCHED_FIFO`).
+        pub sched_priority: c_int,
+    }
+
+    extern "C" {
+        /// Handle of the calling thread.
+        pub fn pthread_self() -> pthread_t;
+        /// Restricts `thread` to the CPUs in `cpuset`.
+        pub fn pthread_setaffinity_np(
+            thread: pthread_t,
+            cpusetsize: size_t,
+            cpuset: *const cpu_set_t,
+        ) -> c_int;
+        /// Locks the process address space into RAM.
+        pub fn mlockall(flags: c_int) -> c_int;
+        /// Sets `thread`'s scheduling policy and parameters.
+        pub fn pthread_setschedparam(
+            thread: pthread_t,
+            policy: c_int,
+            param: *const sched_param,
+        ) -> c_int;
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_macros_roundtrip() {
+        // SAFETY: the CPU_* helpers only touch the passed-in value.
+        unsafe {
+            let mut set: cpu_set_t = std::mem::zeroed();
+            CPU_ZERO(&mut set);
+            assert!(!CPU_ISSET(0, &set));
+            CPU_SET(0, &mut set);
+            CPU_SET(63, &mut set);
+            CPU_SET(64, &mut set);
+            assert!(CPU_ISSET(0, &set));
+            assert!(CPU_ISSET(63, &set));
+            assert!(CPU_ISSET(64, &set));
+            assert!(!CPU_ISSET(1, &set));
+            // Out of range: ignored, not UB.
+            CPU_SET(1_000_000, &mut set);
+        }
+    }
+
+    #[test]
+    fn pthread_self_is_nonzero() {
+        // SAFETY: pthread_self has no preconditions.
+        let me = unsafe { pthread_self() };
+        assert_ne!(me, 0);
+    }
+
+    #[test]
+    fn affinity_call_links_and_runs() {
+        // SAFETY: set is a valid zeroed mask with CPU 0 set; the call
+        // only affects the calling thread.
+        unsafe {
+            let mut set: cpu_set_t = std::mem::zeroed();
+            CPU_ZERO(&mut set);
+            CPU_SET(0, &mut set);
+            // May fail in restricted cpusets; linking and not crashing
+            // is the contract under test.
+            let _ = pthread_setaffinity_np(pthread_self(), std::mem::size_of::<cpu_set_t>(), &set);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! `proptest!` macro over functions whose arguments are drawn from
+//! strategies (`lo..hi` integer ranges, `any::<T>()`,
+//! `prop::collection::vec`), `ProptestConfig::with_cases`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions. Inputs are drawn from a
+//! deterministic per-test RNG (seeded from the test name and case
+//! index) so failures reproduce exactly; there is no shrinking — the
+//! failing case prints its inputs via the assertion message instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies; re-exported for custom strategies.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic RNG for one (test, case) pair.
+#[must_use]
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index, so every
+    // test explores a distinct but fully reproducible input stream.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Something that can generate values for a test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Marker strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy producing any value of `T` (uniform over the type).
+#[must_use]
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.random_unit()
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::RngExt;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Vectors of `element` values with length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each function runs `cases` times with
+/// arguments freshly drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strategy),+ ) $body
+            )*
+        }
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 1usize..40, x in any::<u64>()) {
+            prop_assert!((1..40).contains(&n));
+            let _ = x;
+        }
+
+        #[test]
+        fn vectors_respect_len(v in prop::collection::vec(0u64..10, 1..64)) {
+            prop_assert!(!v.is_empty() && v.len() < 64);
+            prop_assert!(v.iter().all(|&e| e < 10), "bad elem in {:?}", v);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        use rand::RngCore;
+        let mut a = crate::test_rng("t", 3);
+        let mut b = crate::test_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
