@@ -1,0 +1,22 @@
+//! Dispatch hot-path latency experiment: runs the steady-state
+//! tick/complete loop of [`yasmin_bench::hotpath`] and writes
+//! `results/BENCH_PR2.json` with before/after p50/p99 per entry point.
+//!
+//! The "before" section is the latency recorded on the pre-optimisation
+//! engine (PR 1 seed state, same host class); regenerate the "after"
+//! section with `cargo run --release -p yasmin-bench --bin exp_hotpath`.
+
+use yasmin_bench::hotpath::{self, HotpathParams};
+
+fn main() {
+    let p = HotpathParams::default();
+    eprintln!(
+        "hotpath: {} tasks, {} workers, {} iters (+{} warm-up)",
+        p.tasks, p.workers, p.iters, p.warmup
+    );
+    let report = hotpath::run(&p);
+    let json = hotpath::render_json(&report, hotpath::recorded_baseline().as_ref());
+    println!("{json}");
+    yasmin_bench::write_result("BENCH_PR2.json", &json);
+    eprintln!("wrote results/BENCH_PR2.json");
+}

@@ -17,6 +17,7 @@
 
 pub mod fig2;
 pub mod fig4;
+pub mod hotpath;
 pub mod table2;
 
 use std::io::Write;

@@ -70,7 +70,10 @@ pub enum WaitChoice {
 }
 
 /// Context handed to version-selection policies at each dispatch.
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` lets rank caches detect that the context is unchanged
+/// since the last dispatch and skip re-ranking entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SelectCtx {
     /// Remaining battery, from the configured battery source.
     pub battery: BatteryLevel,

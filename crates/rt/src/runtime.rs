@@ -26,7 +26,7 @@ use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{TaskId, VersionId, WorkerId};
 use yasmin_core::time::{Clock, Instant, MonotonicClock};
-use yasmin_sched::{Action, EngineStats, Job, OnlineEngine};
+use yasmin_sched::{Action, ActionSink, EngineStats, Job, OnlineEngine};
 use yasmin_sync::wait::{wait_until, WaitMode};
 
 /// Context handed to a task body for each job.
@@ -370,8 +370,11 @@ fn scheduler_main(
     let mut records: Vec<RtJobRecord> = Vec::new();
     let mut shutting_down = false;
 
-    let dispatch = |actions: Vec<Action>| {
-        for a in actions {
+    // One reusable sink for every engine interaction: the scheduler
+    // thread's steady-state loop performs no allocation for actions.
+    let mut sink = ActionSink::new();
+    let dispatch = |sink: &ActionSink| {
+        for &a in sink.as_slice() {
             if let Action::Dispatch {
                 worker,
                 job,
@@ -389,8 +392,10 @@ fn scheduler_main(
         }
     };
 
-    let actions = engine.start(clock.now()).expect("fresh engine starts");
-    dispatch(actions);
+    engine
+        .start_into(clock.now(), &mut sink)
+        .expect("fresh engine starts");
+    dispatch(&sink);
     let mut next_tick = clock.now() + tick;
 
     loop {
@@ -399,8 +404,9 @@ fn scheduler_main(
             match cmd {
                 Cmd::Activate(task) => {
                     let now = clock.now();
-                    if let Ok(actions) = engine.activate(task, now) {
-                        dispatch(actions);
+                    sink.clear();
+                    if engine.activate_into(task, now, &mut sink).is_ok() {
+                        dispatch(&sink);
                     }
                 }
                 Cmd::Stop => engine.stop(),
@@ -421,8 +427,9 @@ fn scheduler_main(
         };
         match done_rx.recv_timeout(timeout) {
             Ok(c) => {
-                let actions = engine
-                    .on_job_completed(c.worker, c.job.id, c.completed)
+                sink.clear();
+                engine
+                    .on_job_completed_into(c.worker, c.job.id, c.completed, &mut sink)
                     .expect("completion protocol upheld");
                 records.push(RtJobRecord {
                     job: c.job,
@@ -431,14 +438,15 @@ fn scheduler_main(
                     started: c.started,
                     completed: c.completed,
                 });
-                dispatch(actions);
+                dispatch(&sink);
             }
             Err(RecvTimeoutError::Timeout) => {
                 // Tick edge: wait precisely (spin window), then release.
                 let _ = wait_until(wait_mode, to_std(next_tick));
                 let now = clock.now();
-                let actions = engine.on_tick(now);
-                dispatch(actions);
+                sink.clear();
+                engine.on_tick_into(now, &mut sink);
+                dispatch(&sink);
                 while next_tick <= now {
                     next_tick += tick;
                 }

@@ -22,9 +22,11 @@
 use crate::accel::AccelManager;
 use crate::job::Job;
 use crate::queue::ReadyQueue;
-use crate::select::rank_versions;
+use crate::select::{rank_versions_into, RankBuf};
+use crate::sink::ActionSink;
 use std::sync::Arc;
-use yasmin_core::config::{Config, MappingScheme, SelectCtx};
+use yasmin_core::config::{Config, MappingScheme, SelectCtx, VersionPolicy};
+use yasmin_core::energy::BatteryLevel;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{AccelId, JobId, TaskId, VersionId, WorkerId};
@@ -34,7 +36,7 @@ use yasmin_core::time::{Duration, Instant};
 use yasmin_core::version::{ExecMode, PermMask};
 
 /// A scheduling decision for the driver to carry out.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
     /// Start (or resume) `job` on `worker` using `version`.
     Dispatch {
@@ -105,10 +107,19 @@ pub struct EngineStats {
 
 enum VersionChoice {
     Run(VersionId, Option<AccelId>),
-    /// All eligible versions target busy accelerators (the wishes).
-    Blocked(Vec<AccelId>),
+    /// All eligible versions target busy accelerators; the wished-for
+    /// accelerators are left in the engine's `wish_buf` scratch.
+    Blocked,
     /// The selection policy filtered out every version.
     NoEligible,
+}
+
+/// Cached ranking of one task's versions under the engine's current
+/// selection context.
+#[derive(Debug, Default)]
+struct RankEntry {
+    valid: bool,
+    ids: Vec<VersionId>,
 }
 
 /// The on-line scheduler state machine.
@@ -124,8 +135,13 @@ pub struct OnlineEngine {
     /// Graph release carried by the tokens of each edge (FIFO of one: with
     /// unit-rate firing the front instance's release is enough).
     token_release: Vec<Vec<Instant>>,
-    /// Next periodic release per task (`None` = not auto-released).
-    next_release: Vec<Option<Instant>>,
+    /// Next periodic release per task (`Instant::MAX` = not
+    /// auto-released). Dense: the release scan is branch-predictable and
+    /// cache-linear, which beats a timer heap at realistic task counts.
+    next_release: Vec<Instant>,
+    /// Minimum over `next_release`: ticks strictly before this instant
+    /// skip the release scan entirely (O(1) idle ticks).
+    next_wake: Instant,
     /// Last activation per task (sporadic inter-arrival check).
     last_activation: Vec<Option<Instant>>,
     /// Per-task activation counter.
@@ -138,6 +154,29 @@ pub struct OnlineEngine {
     mode: ExecMode,
     permissions: PermMask,
     stats: EngineStats,
+    /// Per-task outgoing / incoming edge indices, precomputed so DAG
+    /// token firing never scans (or collects) the edge list.
+    out_edges: Vec<Vec<usize>>,
+    in_edges: Vec<Vec<usize>>,
+    /// Per-task version ranking memo; entries are recomputed lazily when
+    /// `cache_ctx` (mode, permissions, battery) changes.
+    rank_cache: Vec<RankEntry>,
+    /// The selection context the cache entries were ranked under.
+    cache_ctx: SelectCtx,
+    /// Ranking scratch (in-place sort storage).
+    rank_buf: RankBuf,
+    /// `false` for user-defined policies, whose rankings never cache.
+    policy_cacheable: bool,
+    /// Whether the active policy reads the battery (Energy or
+    /// user-defined); others skip the probe and key the cache off a
+    /// constant battery so a drifting probe cannot thrash it.
+    policy_uses_battery: bool,
+    /// Busy accelerators wished for by the last `Blocked` choice.
+    wish_buf: Vec<AccelId>,
+    /// Jobs popped but unable to run this round (returned to the queue).
+    blocked_buf: Vec<Job>,
+    /// Distinct successor tasks of the job that just completed.
+    successor_buf: Vec<TaskId>,
 }
 
 impl OnlineEngine {
@@ -182,11 +221,45 @@ impl OnlineEngine {
             .map(|t| Self::static_priority_of(&taskset, config.priority(), t.id()))
             .collect();
         let mode = config.initial_mode();
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, e) in taskset.edges().iter().enumerate() {
+            out_edges[e.src.index()].push(i);
+            in_edges[e.dst.index()].push(i);
+        }
+        let max_versions = taskset
+            .tasks()
+            .iter()
+            .map(|t| t.versions().len())
+            .max()
+            .unwrap_or(0);
+        let rank_cache = taskset
+            .tasks()
+            .iter()
+            .map(|t| RankEntry {
+                valid: false,
+                ids: Vec::with_capacity(t.versions().len()),
+            })
+            .collect();
+        let policy_uses_battery = matches!(
+            config.version_policy(),
+            VersionPolicy::Energy | VersionPolicy::UserDefined(_)
+        );
+        let cache_ctx = SelectCtx {
+            battery: if policy_uses_battery {
+                config.read_battery()
+            } else {
+                BatteryLevel::FULL
+            },
+            mode,
+            permissions: PermMask::ALL,
+        };
         Ok(OnlineEngine {
             accels: AccelManager::new(taskset.accels().len()),
             tokens: vec![0; taskset.edges().len()],
             token_release: vec![Vec::new(); taskset.edges().len()],
-            next_release: vec![None; n],
+            next_release: vec![Instant::MAX; n],
+            next_wake: Instant::MAX,
             last_activation: vec![None; n],
             activation_seq: vec![0; n],
             static_priority,
@@ -197,6 +270,16 @@ impl OnlineEngine {
             mode,
             permissions: PermMask::ALL,
             stats: EngineStats::default(),
+            out_edges,
+            in_edges,
+            rank_cache,
+            cache_ctx,
+            rank_buf: RankBuf::with_capacity(max_versions),
+            policy_cacheable: !matches!(config.version_policy(), VersionPolicy::UserDefined(_)),
+            policy_uses_battery,
+            wish_buf: Vec::with_capacity(taskset.accels().len()),
+            blocked_buf: Vec::with_capacity(config.max_pending_jobs().min(64)),
+            successor_buf: Vec::with_capacity(n),
             queues,
             running: vec![None; workers],
             taskset,
@@ -293,23 +376,41 @@ impl OnlineEngine {
     /// Starts the schedule at `now` (the paper's `yas_start`): arms the
     /// periodic release bookkeeping and performs the first release round.
     ///
+    /// Allocating wrapper over [`OnlineEngine::start_into`].
+    ///
     /// # Errors
     ///
     /// [`Error::ScheduleRunning`] if already started.
     pub fn start(&mut self, now: Instant) -> Result<Vec<Action>> {
+        let mut sink = ActionSink::new();
+        self.start_into(now, &mut sink)?;
+        Ok(sink.into_vec())
+    }
+
+    /// [`OnlineEngine::start`], appending the resulting actions to a
+    /// caller-owned reusable sink instead of allocating a `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ScheduleRunning`] if already started.
+    pub fn start_into(&mut self, now: Instant, sink: &mut ActionSink) -> Result<()> {
         if self.started && !self.stopping {
             return Err(Error::ScheduleRunning);
         }
         self.started = true;
         self.stopping = false;
+        self.next_wake = Instant::MAX;
         for t in self.taskset.tasks() {
             let id = t.id();
             let is_root = self.taskset.in_degree(id) == 0;
             if is_root && t.spec().kind() == ActivationKind::Periodic {
-                self.next_release[id.index()] = Some(now + t.spec().release_offset());
+                let r = now + t.spec().release_offset();
+                self.next_release[id.index()] = r;
+                self.next_wake = self.next_wake.min(r);
             }
         }
-        Ok(self.on_tick(now))
+        self.on_tick_into(now, sink);
+        Ok(())
     }
 
     /// Stops releasing new periodic jobs; already-released jobs drain
@@ -317,37 +418,73 @@ impl OnlineEngine {
     pub fn stop(&mut self) {
         self.stopping = true;
         for r in &mut self.next_release {
-            *r = None;
+            *r = Instant::MAX;
         }
+        self.next_wake = Instant::MAX;
     }
 
     /// One scheduler-thread activation at time `now`: releases every
     /// periodic job due by `now`, then dispatches/preempts.
+    ///
+    /// Allocating wrapper over [`OnlineEngine::on_tick_into`].
     pub fn on_tick(&mut self, now: Instant) -> Vec<Action> {
-        let mut actions = Vec::new();
-        for i in 0..self.next_release.len() {
-            while let Some(r) = self.next_release[i] {
-                if r > now {
-                    break;
+        let mut sink = ActionSink::new();
+        self.on_tick_into(now, &mut sink);
+        sink.into_vec()
+    }
+
+    /// [`OnlineEngine::on_tick`], appending the resulting actions to a
+    /// caller-owned reusable sink. With a warmed-up sink this path
+    /// performs no heap allocation in steady state.
+    pub fn on_tick_into(&mut self, now: Instant, sink: &mut ActionSink) {
+        if now >= self.next_wake {
+            let mut wake = Instant::MAX;
+            for i in 0..self.next_release.len() {
+                let mut r = self.next_release[i];
+                if r <= now {
+                    let task = TaskId::new(i as u32);
+                    let period = self.taskset.tasks()[i].spec().period();
+                    while r <= now {
+                        self.release_job(task, r, r);
+                        r += period;
+                    }
+                    self.next_release[i] = r;
                 }
-                let task = TaskId::new(i as u32);
-                let period = self.taskset.tasks()[i].spec().period();
-                self.next_release[i] = Some(r + period);
-                self.release_job(task, r, r, &mut actions);
+                wake = wake.min(r);
             }
+            self.next_wake = wake;
         }
-        self.dispatch_round(now, &mut actions);
-        actions
+        self.dispatch_round(now, sink);
     }
 
     /// Explicit activation (the paper's `yas_task_activate`): sporadic
     /// arrivals and user-triggered aperiodic jobs.
+    ///
+    /// Allocating wrapper over [`OnlineEngine::activate_into`].
     ///
     /// # Errors
     ///
     /// [`Error::UnknownTask`]; [`Error::InvalidConfig`] for periodic tasks
     /// (those are released by the scheduler itself).
     pub fn activate(&mut self, task: TaskId, now: Instant) -> Result<Vec<Action>> {
+        let mut sink = ActionSink::new();
+        self.activate_into(task, now, &mut sink)?;
+        Ok(sink.into_vec())
+    }
+
+    /// [`OnlineEngine::activate`], appending the resulting actions to a
+    /// caller-owned reusable sink.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTask`]; [`Error::InvalidConfig`] for periodic tasks
+    /// (those are released by the scheduler itself).
+    pub fn activate_into(
+        &mut self,
+        task: TaskId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
         let t = self.taskset.task(task)?;
         match t.spec().kind() {
             ActivationKind::Periodic => {
@@ -364,15 +501,16 @@ impl OnlineEngine {
             }
             ActivationKind::Aperiodic => {}
         }
-        let mut actions = Vec::new();
-        self.release_job(task, now, now, &mut actions);
-        self.dispatch_round(now, &mut actions);
-        Ok(actions)
+        self.release_job(task, now, now);
+        self.dispatch_round(now, sink);
+        Ok(())
     }
 
     /// Notification that `job` finished on `worker` at `now`. Frees the
     /// worker and any held accelerator, fires DAG successors, then
     /// dispatches.
+    ///
+    /// Allocating wrapper over [`OnlineEngine::on_job_completed_into`].
     ///
     /// # Errors
     ///
@@ -384,6 +522,26 @@ impl OnlineEngine {
         job: JobId,
         now: Instant,
     ) -> Result<Vec<Action>> {
+        let mut sink = ActionSink::new();
+        self.on_job_completed_into(worker, job, now, &mut sink)?;
+        Ok(sink.into_vec())
+    }
+
+    /// [`OnlineEngine::on_job_completed`], appending the resulting
+    /// actions to a caller-owned reusable sink. With a warmed-up sink
+    /// this path performs no heap allocation in steady state.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if `worker` is not running `job` — a
+    /// driver protocol violation.
+    pub fn on_job_completed_into(
+        &mut self,
+        worker: WorkerId,
+        job: JobId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
         let slot = self
             .running
             .get_mut(worker.index())
@@ -403,27 +561,22 @@ impl OnlineEngine {
             self.accels.release(a, job);
         }
 
-        let mut actions = Vec::new();
-        self.fire_successors(running.job.task, running.job.graph_release, &mut actions);
-        self.dispatch_round(now, &mut actions);
-        Ok(actions)
+        self.fire_successors(running.job.task, running.job.graph_release);
+        self.dispatch_round(now, sink);
+        Ok(())
     }
 
     /// Pushes one token per outgoing edge of `task` and releases any
     /// successor whose inputs are all present (§3.3: inner nodes are
     /// "automatically activated by the scheduler, once all required
-    /// incoming data are present in their input channels").
-    fn fire_successors(&mut self, task: TaskId, graph_release: Instant, actions: &mut Vec<Action>) {
-        let edge_idx: Vec<usize> = self
-            .taskset
-            .edges()
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.src == task)
-            .map(|(i, _)| i)
-            .collect();
-        let mut successors: Vec<TaskId> = Vec::new();
-        for i in edge_idx {
+    /// incoming data are present in their input channels"). Edge
+    /// adjacency is precomputed at construction and the successor set
+    /// lives in a reusable scratch, so firing allocates nothing.
+    fn fire_successors(&mut self, task: TaskId, graph_release: Instant) {
+        let mut successors = std::mem::take(&mut self.successor_buf);
+        successors.clear();
+        for k in 0..self.out_edges[task.index()].len() {
+            let i = self.out_edges[task.index()][k];
             self.tokens[i] += 1;
             self.token_release[i].push(graph_release);
             let cap = self.taskset.channels()[self.taskset.edges()[i].channel.index()].capacity();
@@ -435,42 +588,29 @@ impl OnlineEngine {
                 successors.push(dst);
             }
         }
-        for dst in successors {
+        for &dst in &successors {
             loop {
-                let in_edges: Vec<usize> = self
-                    .taskset
-                    .edges()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.dst == dst)
-                    .map(|(i, _)| i)
-                    .collect();
-                if in_edges.iter().any(|&i| self.tokens[i] == 0) {
+                let n_in = self.in_edges[dst.index()].len();
+                let all_present = (0..n_in).all(|k| self.tokens[self.in_edges[dst.index()][k]] > 0);
+                if !all_present {
                     break;
                 }
                 // Consume one token per input; the graph release of the
                 // new job is the *oldest* input instance (join semantics).
                 let mut release = Instant::ZERO;
-                for &i in &in_edges {
+                for k in 0..n_in {
+                    let i = self.in_edges[dst.index()][k];
                     self.tokens[i] -= 1;
                     let r = self.token_release[i].remove(0);
                     release = release.max(r);
                 }
-                let mut sub = Vec::new();
-                self.release_job(dst, release, release, &mut sub);
-                // Inner releases share the graph release; patch the jobs.
-                actions.append(&mut sub);
+                self.release_job(dst, release, release);
             }
         }
+        self.successor_buf = successors;
     }
 
-    fn release_job(
-        &mut self,
-        task: TaskId,
-        release: Instant,
-        graph_release: Instant,
-        _actions: &mut [Action],
-    ) {
+    fn release_job(&mut self, task: TaskId, release: Instant, graph_release: Instant) {
         let seq = self.activation_seq[task.index()];
         self.activation_seq[task.index()] += 1;
         self.last_activation[task.index()] = Some(release);
@@ -519,32 +659,71 @@ impl OnlineEngine {
 
     fn select_ctx(&self) -> SelectCtx {
         SelectCtx {
-            battery: self.config.read_battery(),
+            // Battery-independent policies get a constant placeholder:
+            // probing the battery on every dispatch would both cost a
+            // callback and, with a drifting probe, invalidate the rank
+            // cache on every call for no behavioural reason.
+            battery: if self.policy_uses_battery {
+                self.config.read_battery()
+            } else {
+                BatteryLevel::FULL
+            },
             mode: self.mode,
             permissions: self.permissions,
         }
     }
 
-    fn choose_version(&self, task: TaskId) -> VersionChoice {
+    /// Ensures the rank cache entry for `task` is valid under the
+    /// current selection context, recomputing it lazily. The whole cache
+    /// is invalidated whenever the context (mode, permissions, battery)
+    /// changes; user-defined policies are never cached since the
+    /// callback may be stateful.
+    #[inline]
+    fn refresh_rank_cache(&mut self, task: TaskId) {
         let ctx = self.select_ctx();
-        let t = &self.taskset.tasks()[task.index()];
-        let ranked = rank_versions(self.config.version_policy(), &ctx, t);
-        if ranked.is_empty() {
+        let ti = task.index();
+        if ctx == self.cache_ctx {
+            if self.policy_cacheable && self.rank_cache[ti].valid {
+                return; // steady-state fast path
+            }
+        } else {
+            for e in &mut self.rank_cache {
+                e.valid = false;
+            }
+            self.cache_ctx = ctx;
+        }
+        rank_versions_into(
+            self.config.version_policy(),
+            &ctx,
+            &self.taskset.tasks()[ti],
+            &mut self.rank_buf,
+        );
+        let entry = &mut self.rank_cache[ti];
+        entry.ids.clear();
+        entry.ids.extend_from_slice(self.rank_buf.as_slice());
+        entry.valid = self.policy_cacheable;
+    }
+
+    fn choose_version(&mut self, task: TaskId) -> VersionChoice {
+        self.refresh_rank_cache(task);
+        let ti = task.index();
+        if self.rank_cache[ti].ids.is_empty() {
             return VersionChoice::NoEligible;
         }
-        let mut busy_wishes = Vec::new();
-        for v in ranked {
+        self.wish_buf.clear();
+        let t = &self.taskset.tasks()[ti];
+        for &v in &self.rank_cache[ti].ids {
             match t.versions()[v.index()].accel() {
                 None => return VersionChoice::Run(v, None),
                 Some(a) if self.accels.is_free(a) => return VersionChoice::Run(v, Some(a)),
                 Some(a) => {
-                    if !busy_wishes.contains(&a) {
-                        busy_wishes.push(a);
+                    if !self.wish_buf.contains(&a) {
+                        self.wish_buf.push(a);
                     }
                 }
             }
         }
-        VersionChoice::Blocked(busy_wishes)
+        VersionChoice::Blocked
     }
 
     fn start_job(
@@ -553,7 +732,7 @@ impl OnlineEngine {
         job: Job,
         version: VersionId,
         accel: Option<AccelId>,
-        actions: &mut Vec<Action>,
+        actions: &mut ActionSink,
     ) {
         if let Some(a) = accel {
             self.accels
@@ -575,7 +754,7 @@ impl OnlineEngine {
     }
 
     /// Applies PIP to every busy accelerator the blocked job wanted.
-    fn apply_pip(&mut self, blocked: &Job, wishes: &[AccelId], actions: &mut Vec<Action>) {
+    fn apply_pip(&mut self, blocked: &Job, wishes: &[AccelId], actions: &mut ActionSink) {
         for &a in wishes {
             if let Some(holder) = self.accels.boost_holder(a, blocked.priority) {
                 if let Some(r) = self.running[holder.worker.index()].as_mut() {
@@ -601,7 +780,7 @@ impl OnlineEngine {
         }
     }
 
-    fn dispatch_round(&mut self, _now: Instant, actions: &mut Vec<Action>) {
+    fn dispatch_round(&mut self, _now: Instant, actions: &mut ActionSink) {
         for qi in 0..self.queues.len() {
             self.fill_idle_workers(qi, actions);
             if self.config.preemption() {
@@ -610,8 +789,9 @@ impl OnlineEngine {
         }
     }
 
-    fn fill_idle_workers(&mut self, qi: usize, actions: &mut Vec<Action>) {
-        let mut blocked: Vec<Job> = Vec::new();
+    fn fill_idle_workers(&mut self, qi: usize, actions: &mut ActionSink) {
+        let mut blocked = std::mem::take(&mut self.blocked_buf);
+        blocked.clear();
         loop {
             let idle = self.workers_fed_by(qi).find(|&w| self.running[w].is_none());
             let Some(w) = idle else { break };
@@ -622,8 +802,10 @@ impl OnlineEngine {
                 VersionChoice::Run(v, a) => {
                     self.start_job(WorkerId::new(w as u16), job, v, a, actions);
                 }
-                VersionChoice::Blocked(wishes) => {
+                VersionChoice::Blocked => {
+                    let wishes = std::mem::take(&mut self.wish_buf);
                     self.apply_pip(&job, &wishes, actions);
+                    self.wish_buf = wishes;
                     blocked.push(job);
                 }
                 VersionChoice::NoEligible => {
@@ -632,13 +814,15 @@ impl OnlineEngine {
                 }
             }
         }
-        for j in blocked {
+        for j in blocked.drain(..) {
             let _ = self.queues[qi].push(j);
         }
+        self.blocked_buf = blocked;
     }
 
-    fn preempt_round(&mut self, qi: usize, actions: &mut Vec<Action>) {
-        let mut blocked: Vec<Job> = Vec::new();
+    fn preempt_round(&mut self, qi: usize, actions: &mut ActionSink) {
+        let mut blocked = std::mem::take(&mut self.blocked_buf);
+        blocked.clear();
         while let Some(top) = self.queues[qi].peek().copied() {
             // Least-urgent preemptable running job fed by this queue;
             // accelerator holders are not preemptable.
@@ -670,9 +854,11 @@ impl OnlineEngine {
                     let _ = self.queues[qi].push(old);
                     self.start_job(WorkerId::new(w as u16), job, v, a, actions);
                 }
-                VersionChoice::Blocked(wishes) => {
+                VersionChoice::Blocked => {
                     let job = self.queues[qi].pop().expect("peeked job present");
+                    let wishes = std::mem::take(&mut self.wish_buf);
                     self.apply_pip(&job, &wishes, actions);
+                    self.wish_buf = wishes;
                     blocked.push(job);
                 }
                 VersionChoice::NoEligible => {
@@ -682,9 +868,10 @@ impl OnlineEngine {
                 }
             }
         }
-        for j in blocked {
+        for j in blocked.drain(..) {
             let _ = self.queues[qi].push(j);
         }
+        self.blocked_buf = blocked;
     }
 }
 
@@ -1134,6 +1321,121 @@ mod tests {
         e.stop();
         // Multi-mode scheduling: resume after stop (§3.1).
         assert!(e.start(at(100)).is_ok());
+    }
+
+    #[test]
+    fn rank_cache_invalidated_on_mode_switch() {
+        // Mode policy: the cached ranking must be recomputed when the
+        // execution mode changes, or the wrong version would dispatch.
+        use yasmin_core::version::ModeMask;
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let t = b.task_decl(TaskSpec::periodic("enc", ms(10))).unwrap();
+        b.version_decl(
+            t,
+            VersionSpec::new("plain", ms(1)).with_modes(ModeMask::only(ExecMode::NORMAL)),
+        )
+        .unwrap();
+        b.version_decl(
+            t,
+            VersionSpec::new("secure", ms(2)).with_modes(ModeMask::only(ExecMode::new(1))),
+        )
+        .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder()
+            .workers(1)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .version_policy(VersionPolicy::Mode)
+            .build()
+            .unwrap();
+        let mut e = OnlineEngine::new(ts, cfg).unwrap();
+        let acts = e.start(Instant::ZERO).unwrap();
+        match &acts[0] {
+            Action::Dispatch { version, .. } => assert_eq!(version.index(), 0),
+            other => panic!("{other:?}"),
+        }
+        let id = e.running(WorkerId::new(0)).unwrap().job.id;
+        let _ = e.on_job_completed(WorkerId::new(0), id, at(1)).unwrap();
+        // Switch mode; the next release must pick the secure version.
+        e.set_mode(ExecMode::new(1));
+        let acts = e.on_tick(at(10));
+        match &acts[0] {
+            Action::Dispatch { version, .. } => {
+                assert_eq!(version.index(), 1, "cache must refresh on mode switch")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn energy_policy_tracks_battery_probe_through_cache() {
+        // The rank cache must refresh when the probe's reading changes —
+        // and only the Energy (and user-defined) policies pay the probe.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use yasmin_core::energy::{BatteryLevel, Energy};
+        let level = Arc::new(AtomicU32::new(1000));
+        let probe = Arc::clone(&level);
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let t = b.task_decl(TaskSpec::periodic("t", ms(10))).unwrap();
+        b.version_decl(
+            t,
+            VersionSpec::new("cheap", ms(2))
+                .with_energy(Energy::from_millijoules(5))
+                .with_energy_budget(Energy::from_millijoules(5)),
+        )
+        .unwrap();
+        b.version_decl(
+            t,
+            VersionSpec::new("hungry", ms(1))
+                .with_energy(Energy::from_millijoules(12))
+                .with_energy_budget(Energy::from_millijoules(12)),
+        )
+        .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder()
+            .workers(1)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .version_policy(VersionPolicy::Energy)
+            .battery_source(move || {
+                BatteryLevel::from_permille(probe.load(Ordering::Relaxed) as u16)
+            })
+            .build()
+            .unwrap();
+        let mut e = OnlineEngine::new(ts, cfg).unwrap();
+        let acts = e.start(Instant::ZERO).unwrap();
+        match &acts[0] {
+            Action::Dispatch { version, .. } => {
+                assert_eq!(version.index(), 1, "full battery affords hungry")
+            }
+            other => panic!("{other:?}"),
+        }
+        let id = e.running(WorkerId::new(0)).unwrap().job.id;
+        let _ = e.on_job_completed(WorkerId::new(0), id, at(1)).unwrap();
+        // Battery collapses; the next dispatch must degrade.
+        level.store(100, Ordering::Relaxed);
+        let acts = e.on_tick(at(10));
+        match &acts[0] {
+            Action::Dispatch { version, .. } => {
+                assert_eq!(version.index(), 0, "cache must refresh on battery change")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn into_api_appends_without_clearing() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(2)).unwrap();
+        let mut sink = crate::sink::ActionSink::new();
+        e.start_into(Instant::ZERO, &mut sink).unwrap();
+        let after_start = sink.len();
+        assert_eq!(after_start, 2, "both tasks dispatch on two workers");
+        // A completion appended into the same sink keeps prior actions.
+        let id = e.running(WorkerId::new(0)).unwrap().job.id;
+        e.on_job_completed_into(WorkerId::new(0), id, at(2), &mut sink)
+            .unwrap();
+        assert!(sink.len() >= after_start);
+        sink.clear();
+        e.on_tick_into(at(10), &mut sink);
+        assert_eq!(sink.len(), 1, "task a re-releases and dispatches");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod offline;
 pub mod queue;
 pub mod select;
 pub mod server;
+pub mod sink;
 
 pub use accel::AccelManager;
 pub use engine::{Action, EngineStats, OnlineEngine, RunningJob};
@@ -36,5 +37,6 @@ pub use offline::{
     synthesize, synthesize_strict, OfflineDispatcher, ScheduleTable, SynthesisOptions,
 };
 pub use queue::ReadyQueue;
-pub use select::rank_versions;
+pub use select::{rank_versions, rank_versions_into, RankBuf};
 pub use server::{AperiodicServer, ServerKind};
+pub use sink::ActionSink;

@@ -5,6 +5,12 @@
 //! ready queue" (§3.3, Fig. 1a/1b). The queue is a binary heap over
 //! [`Job::queue_key`] with a fixed capacity decided at `start()` — no
 //! allocation on the hot path.
+//!
+//! Cancellation uses *tombstones* (lazy deletion): [`ReadyQueue::remove`]
+//! marks the job id dead in O(n) scan time without disturbing the heap,
+//! and [`ReadyQueue::pop`]/[`ReadyQueue::peek`] discard dead entries as
+//! they surface — amortised O(log n) per pop, instead of the former
+//! whole-heap rebuild (O(n log n)) on every removal.
 
 use crate::job::Job;
 use std::cmp::Reverse;
@@ -17,6 +23,8 @@ use yasmin_core::ids::JobId;
 #[derive(Debug)]
 pub struct ReadyQueue {
     heap: BinaryHeap<Reverse<OrderedJob>>,
+    /// Ids removed but still physically present in `heap` (lazy delete).
+    tombstones: Vec<JobId>,
     capacity: usize,
     pushes: u64,
     pops: u64,
@@ -44,6 +52,7 @@ impl ReadyQueue {
     pub fn with_capacity(capacity: usize) -> Self {
         ReadyQueue {
             heap: BinaryHeap::with_capacity(capacity),
+            tombstones: Vec::new(),
             capacity,
             pushes: 0,
             pops: 0,
@@ -56,57 +65,118 @@ impl ReadyQueue {
     ///
     /// [`Error::CapacityExceeded`] when the bound would be crossed — a
     /// sizing error, not a runtime condition to paper over.
+    #[inline]
     pub fn push(&mut self, job: Job) -> Result<()> {
-        if self.heap.len() >= self.capacity {
+        if self.len() >= self.capacity {
             return Err(Error::CapacityExceeded {
                 what: "ready queue",
                 capacity: self.capacity,
             });
+        }
+        if !self.tombstones.is_empty()
+            && (self.heap.len() >= self.capacity || self.tombstones.contains(&job.id))
+        {
+            // Compact (rare) when dead entries would either grow the
+            // pre-allocated heap past its bound, or when the pushed id
+            // matches a tombstone — re-pushing a previously removed id
+            // must not let the tombstone swallow the new live entry.
+            self.compact();
         }
         self.heap.push(Reverse(OrderedJob(job)));
         self.pushes += 1;
         Ok(())
     }
 
-    /// Removes and returns the most urgent job.
+    /// Removes and returns the most urgent job, discarding tombstoned
+    /// entries as they surface (amortised O(log n)).
+    #[inline]
     pub fn pop(&mut self) -> Option<Job> {
-        let j = self.heap.pop().map(|Reverse(OrderedJob(j))| j);
-        if j.is_some() {
-            self.pops += 1;
+        if self.tombstones.is_empty() {
+            // Fast path: no pending lazy deletions.
+            let j = self.heap.pop().map(|Reverse(OrderedJob(j))| j);
+            if j.is_some() {
+                self.pops += 1;
+            }
+            return j;
         }
-        j
+        while let Some(Reverse(OrderedJob(j))) = self.heap.pop() {
+            if self.clear_tombstone(j.id) {
+                continue;
+            }
+            self.pops += 1;
+            return Some(j);
+        }
+        None
     }
 
-    /// The most urgent job without removing it.
+    /// The most urgent job without removing it. Takes `&mut self` to
+    /// purge tombstoned entries off the top of the heap.
+    #[inline]
     #[must_use]
-    pub fn peek(&self) -> Option<&Job> {
+    pub fn peek(&mut self) -> Option<&Job> {
+        if !self.tombstones.is_empty() {
+            while let Some(Reverse(OrderedJob(j))) = self.heap.peek() {
+                if self.tombstones.contains(&j.id) {
+                    let Some(Reverse(OrderedJob(dead))) = self.heap.pop() else {
+                        unreachable!("peek returned Some")
+                    };
+                    self.clear_tombstone(dead.id);
+                } else {
+                    break;
+                }
+            }
+        }
         self.heap.peek().map(|Reverse(OrderedJob(j))| j)
     }
 
-    /// Removes a specific job (linear scan; used when cancelling).
+    /// Removes a specific job by tombstoning it: the heap entry stays in
+    /// place and is discarded when it reaches the top (used when
+    /// cancelling).
     pub fn remove(&mut self, id: JobId) -> Option<Job> {
-        let mut found = None;
-        let items: Vec<_> = std::mem::take(&mut self.heap).into_vec();
-        for Reverse(OrderedJob(j)) in items {
-            if j.id == id && found.is_none() {
-                found = Some(j);
-            } else {
-                self.heap.push(Reverse(OrderedJob(j)));
-            }
+        if self.tombstones.contains(&id) {
+            return None;
+        }
+        let found = self
+            .heap
+            .iter()
+            .map(|Reverse(OrderedJob(j))| j)
+            .find(|j| j.id == id)
+            .copied();
+        if found.is_some() {
+            self.tombstones.push(id);
         }
         found
     }
 
-    /// Number of queued jobs.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.heap.len()
+    /// Drops `id` from the tombstone list; `true` if it was present.
+    fn clear_tombstone(&mut self, id: JobId) -> bool {
+        if let Some(pos) = self.tombstones.iter().position(|&t| t == id) {
+            self.tombstones.swap_remove(pos);
+            true
+        } else {
+            false
+        }
     }
 
-    /// `true` if no jobs are queued.
+    /// Rebuilds the heap without its tombstoned entries (rare: only when
+    /// dead entries block a push at the physical capacity bound).
+    fn compact(&mut self) {
+        let mut items = std::mem::take(&mut self.heap).into_vec();
+        items.retain(|Reverse(OrderedJob(j))| !self.tombstones.contains(&j.id));
+        self.tombstones.clear();
+        self.heap = BinaryHeap::from(items);
+    }
+
+    /// Number of queued (live) jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.tombstones.len()
+    }
+
+    /// `true` if no live jobs are queued.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// The configured bound.
@@ -127,9 +197,12 @@ impl ReadyQueue {
         self.pops
     }
 
-    /// Iterates over queued jobs in arbitrary order.
+    /// Iterates over live queued jobs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = &Job> {
-        self.heap.iter().map(|Reverse(OrderedJob(j))| j)
+        self.heap
+            .iter()
+            .map(|Reverse(OrderedJob(j))| j)
+            .filter(|j| !self.tombstones.contains(&j.id))
     }
 }
 
@@ -202,6 +275,76 @@ mod tests {
         assert_eq!(q.pop().unwrap().id, JobId::new(1));
         assert_eq!(q.pop().unwrap().id, JobId::new(2));
         assert_eq!(q.pop().unwrap().id, JobId::new(4));
+    }
+
+    #[test]
+    fn pop_after_remove_preserves_order() {
+        // Tombstoned entries must never surface from pop/peek, and the
+        // surviving order must match a queue that never held them.
+        let mut q = ReadyQueue::with_capacity(16);
+        for i in 1..=8 {
+            q.push(job(i, i)).unwrap();
+        }
+        assert!(q.remove(JobId::new(1)).is_some()); // current top
+        assert!(q.remove(JobId::new(5)).is_some()); // mid-heap
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.peek().unwrap().id, JobId::new(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|j| j.id.raw()).collect();
+        assert_eq!(order, vec![2, 3, 4, 6, 7, 8]);
+        assert!(q.is_empty());
+        // Removing an already-removed id is a no-op.
+        assert!(q.remove(JobId::new(5)).is_none());
+    }
+
+    #[test]
+    fn interleaved_remove_push_pop() {
+        let mut q = ReadyQueue::with_capacity(8);
+        q.push(job(1, 10)).unwrap();
+        q.push(job(2, 20)).unwrap();
+        q.push(job(3, 30)).unwrap();
+        assert_eq!(q.remove(JobId::new(2)).unwrap().id, JobId::new(2));
+        // A new, more urgent job after the removal.
+        q.push(job(4, 5)).unwrap();
+        assert_eq!(q.pop().unwrap().id, JobId::new(4));
+        assert_eq!(q.pop().unwrap().id, JobId::new(1));
+        assert_eq!(q.pop().unwrap().id, JobId::new(3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_after_remove_of_same_id_is_live() {
+        // Re-pushing an id that was removed must not be swallowed by the
+        // stale tombstone, nor may the dead pre-remove entry resurface.
+        let mut q = ReadyQueue::with_capacity(8);
+        q.push(job(5, 30)).unwrap();
+        q.push(job(1, 20)).unwrap();
+        assert_eq!(q.remove(JobId::new(5)).unwrap().priority, Priority::new(30));
+        // Same id, now more urgent than job 1.
+        q.push(job(5, 10)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek().unwrap().priority, Priority::new(10));
+        assert_eq!(q.pop().unwrap().priority, Priority::new(10));
+        assert_eq!(q.pop().unwrap().id, JobId::new(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tombstones_free_capacity_for_pushes() {
+        // Removed jobs must not count against the bound, even while
+        // their dead entries still sit in the heap.
+        let mut q = ReadyQueue::with_capacity(2);
+        q.push(job(1, 1)).unwrap();
+        q.push(job(2, 2)).unwrap();
+        assert!(q.remove(JobId::new(2)).is_some());
+        assert_eq!(q.len(), 1);
+        q.push(job(3, 3)).unwrap(); // forces compaction, not growth
+        assert!(matches!(
+            q.push(job(4, 4)),
+            Err(Error::CapacityExceeded { capacity: 2, .. })
+        ));
+        assert_eq!(q.pop().unwrap().id, JobId::new(1));
+        assert_eq!(q.pop().unwrap().id, JobId::new(3));
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -16,26 +16,93 @@ use yasmin_core::ids::VersionId;
 use yasmin_core::task::Task;
 use yasmin_core::version::VersionSpec;
 
-/// Ranks the versions of `task` under `policy`, most preferred first.
-/// Versions that a policy deems ineligible (budget exceeded, wrong mode,
-/// missing permission) are filtered out entirely.
+/// Reusable output + scratch storage for [`rank_versions_into`].
 ///
-/// An empty result means *no version may run right now*; the dispatcher
-/// treats the job as blocked.
-#[must_use]
-pub fn rank_versions(policy: &VersionPolicy, ctx: &SelectCtx, task: &Task) -> Vec<VersionId> {
-    let candidates: Vec<(VersionId, &VersionSpec)> = task
-        .versions()
-        .iter()
-        .enumerate()
-        .map(|(i, v)| (VersionId::new(i as u16), v))
-        .collect();
+/// A `RankBuf` amortises the working memory of version ranking: after a
+/// warm-up call per task arity, ranking with the built-in policies
+/// performs **zero heap allocations** — the sort runs in-place
+/// (`sort_unstable_by_key`) over a retained scratch vector. The
+/// dispatcher keeps one per engine (plus a per-task result cache) so
+/// the dispatch hot path never touches the allocator.
+#[derive(Debug, Default, Clone)]
+pub struct RankBuf {
+    /// Ranked version ids, most preferred first.
+    ids: Vec<VersionId>,
+    /// Sort scratch: (primary key, secondary key, id).
+    scratch: Vec<(u64, u64, VersionId)>,
+}
+
+impl RankBuf {
+    /// An empty buffer; storage grows on first use and is then retained.
+    #[must_use]
+    pub fn new() -> Self {
+        RankBuf::default()
+    }
+
+    /// A buffer pre-sized for tasks with up to `n` versions.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        RankBuf {
+            ids: Vec::with_capacity(n),
+            scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// The ranked ids from the most recent [`rank_versions_into`] call.
+    #[must_use]
+    pub fn as_slice(&self) -> &[VersionId] {
+        &self.ids
+    }
+
+    /// Number of ranked versions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the last ranking produced no eligible version.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Sorts the scratch keys and copies the ids into `self.ids`.
+    fn commit_sorted(&mut self) {
+        // `sort_unstable` is in-place (the stable sort allocates); the
+        // id tiebreaker makes the order total, so instability is moot.
+        self.scratch.sort_unstable();
+        self.ids.clear();
+        self.ids.extend(self.scratch.iter().map(|&(_, _, id)| id));
+    }
+}
+
+/// Ranks the versions of `task` under `policy` into `buf`, most
+/// preferred first. Versions that a policy deems ineligible (budget
+/// exceeded, wrong mode, missing permission) are filtered out entirely;
+/// an empty result means *no version may run right now* and the
+/// dispatcher treats the job as blocked.
+///
+/// Built-in policies allocate nothing once `buf` has warmed up to the
+/// task's version count. [`VersionPolicy::UserDefined`] is the
+/// exception: the callback contract returns a fresh `Vec` and receives
+/// a freshly built candidate slice, so it allocates per call — user
+/// policies are also never result-cached by the engine, since the
+/// function may be stateful.
+pub fn rank_versions_into(policy: &VersionPolicy, ctx: &SelectCtx, task: &Task, buf: &mut RankBuf) {
+    let versions = task.versions();
+    buf.ids.clear();
+    buf.scratch.clear();
 
     match policy {
         VersionPolicy::ShortestWcet => {
-            let mut c = candidates;
-            c.sort_by_key(|(id, v)| (v.wcet(), v.energy(), *id));
-            c.into_iter().map(|(id, _)| id).collect()
+            for (i, v) in versions.iter().enumerate() {
+                buf.scratch.push((
+                    v.wcet().as_nanos(),
+                    v.energy().as_microjoules(),
+                    VersionId::new(i as u16),
+                ));
+            }
+            buf.commit_sorted();
         }
         VersionPolicy::Energy => {
             // Affordable versions first, the most capable (highest budget)
@@ -49,72 +116,93 @@ pub fn rank_versions(policy: &VersionPolicy, ctx: &SelectCtx, task: &Task) -> Ve
             // the battery drops below 80 %, then versions shed in budget
             // order — a graceful-degradation curve rather than a
             // knife-edge at exactly full charge.
-            let max_budget = candidates
-                .iter()
-                .map(|(_, v)| budget_of(v))
-                .max()
-                .unwrap_or(0);
+            let max_budget = versions.iter().map(budget_of).max().unwrap_or(0);
             let affordable_limit =
                 (u128::from(max_budget) * u128::from(battery.as_permille()) / 800) as u64;
-            let mut affordable: Vec<_> = candidates
-                .iter()
-                .filter(|(_, v)| budget_of(v) <= affordable_limit)
-                .map(|&(id, v)| (id, v))
-                .collect();
-            affordable.sort_by_key(|(id, v)| (std::cmp::Reverse(budget_of(v)), *id));
-            if affordable.is_empty() {
+            for (i, v) in versions.iter().enumerate() {
+                let b = budget_of(v);
+                if b <= affordable_limit {
+                    // Descending budget via a complemented key.
+                    buf.scratch
+                        .push((u64::MAX - b, 0, VersionId::new(i as u16)));
+                }
+            }
+            if buf.scratch.is_empty() {
                 // Battery too low for every declared budget: degrade to
                 // the single cheapest version.
-                let mut c = candidates;
-                c.sort_by_key(|(id, v)| (budget_of(v), *id));
-                c.truncate(1);
-                return c.into_iter().map(|(id, _)| id).collect();
+                let cheapest = versions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (budget_of(v), VersionId::new(i as u16)))
+                    .min();
+                if let Some((_, id)) = cheapest {
+                    buf.ids.push(id);
+                }
+                return;
             }
-            affordable.into_iter().map(|(id, _)| id).collect()
+            buf.commit_sorted();
         }
         VersionPolicy::EnergyTimeTradeoff { time_weight } => {
             let w = u64::from(*time_weight).min(1000);
-            let max_t = candidates
+            let max_t = versions
                 .iter()
-                .map(|(_, v)| v.wcet().as_nanos())
+                .map(|v| v.wcet().as_nanos())
                 .max()
                 .unwrap_or(1)
                 .max(1);
-            let max_e = candidates
+            let max_e = versions
                 .iter()
-                .map(|(_, v)| v.energy().as_microjoules())
+                .map(|v| v.energy().as_microjoules())
                 .max()
                 .unwrap_or(1)
                 .max(1);
             // Normalised weighted cost in permille; integer arithmetic for
             // determinism.
-            let cost = |v: &VersionSpec| {
+            for (i, v) in versions.iter().enumerate() {
                 let t = v.wcet().as_nanos() * 1000 / max_t;
                 let e = v.energy().as_microjoules() * 1000 / max_e;
-                w * t + (1000 - w) * e
-            };
-            let mut c = candidates;
-            c.sort_by_key(|(id, v)| (cost(v), *id));
-            c.into_iter().map(|(id, _)| id).collect()
+                let cost = w * t + (1000 - w) * e;
+                buf.scratch.push((cost, 0, VersionId::new(i as u16)));
+            }
+            buf.commit_sorted();
         }
         VersionPolicy::Mode => {
-            let mut c: Vec<_> = candidates
-                .into_iter()
-                .filter(|(_, v)| v.props().modes.contains(ctx.mode))
-                .collect();
-            c.sort_by_key(|(id, v)| (v.wcet(), *id));
-            c.into_iter().map(|(id, _)| id).collect()
+            for (i, v) in versions.iter().enumerate() {
+                if v.props().modes.contains(ctx.mode) {
+                    buf.scratch
+                        .push((v.wcet().as_nanos(), 0, VersionId::new(i as u16)));
+                }
+            }
+            buf.commit_sorted();
         }
         VersionPolicy::Permission => {
-            let mut c: Vec<_> = candidates
-                .into_iter()
-                .filter(|(_, v)| v.props().permissions.intersects(ctx.permissions))
-                .collect();
-            c.sort_by_key(|(id, v)| (v.wcet(), *id));
-            c.into_iter().map(|(id, _)| id).collect()
+            for (i, v) in versions.iter().enumerate() {
+                if v.props().permissions.intersects(ctx.permissions) {
+                    buf.scratch
+                        .push((v.wcet().as_nanos(), 0, VersionId::new(i as u16)));
+                }
+            }
+            buf.commit_sorted();
         }
-        VersionPolicy::UserDefined(f) => f(ctx, task.id(), &candidates),
+        VersionPolicy::UserDefined(f) => {
+            let candidates: Vec<(VersionId, &VersionSpec)> = versions
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (VersionId::new(i as u16), v))
+                .collect();
+            buf.ids = f(ctx, task.id(), &candidates);
+        }
     }
+}
+
+/// Ranks the versions of `task` under `policy`, most preferred first,
+/// returning a fresh `Vec`. Thin allocating wrapper over
+/// [`rank_versions_into`] — hot paths should hold a [`RankBuf`] instead.
+#[must_use]
+pub fn rank_versions(policy: &VersionPolicy, ctx: &SelectCtx, task: &Task) -> Vec<VersionId> {
+    let mut buf = RankBuf::with_capacity(task.versions().len());
+    rank_versions_into(policy, ctx, task, &mut buf);
+    buf.ids
 }
 
 #[cfg(test)]
@@ -271,6 +359,48 @@ mod tests {
             ..SelectCtx::default()
         };
         assert!(rank_versions(&VersionPolicy::Permission, &none, &t).is_empty());
+    }
+
+    #[test]
+    fn into_variant_matches_wrapper_and_reuses_storage() {
+        let t = two_version_task();
+        let mut buf = RankBuf::with_capacity(2);
+        for policy in [
+            VersionPolicy::ShortestWcet,
+            VersionPolicy::Energy,
+            VersionPolicy::EnergyTimeTradeoff { time_weight: 300 },
+        ] {
+            let ctx = SelectCtx::default();
+            rank_versions_into(&policy, &ctx, &t, &mut buf);
+            assert_eq!(
+                buf.as_slice(),
+                rank_versions(&policy, &ctx, &t).as_slice(),
+                "policy {policy:?} diverged"
+            );
+        }
+        // Storage is retained across calls.
+        let ptr = buf.as_slice().as_ptr();
+        rank_versions_into(
+            &VersionPolicy::ShortestWcet,
+            &SelectCtx::default(),
+            &t,
+            &mut buf,
+        );
+        assert_eq!(buf.as_slice().as_ptr(), ptr, "ids storage reused");
+        assert_eq!(buf.len(), 2);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn degraded_energy_ranking_into_matches_wrapper() {
+        let t = two_version_task();
+        let ctx = SelectCtx {
+            battery: BatteryLevel::from_percent(10),
+            ..SelectCtx::default()
+        };
+        let mut buf = RankBuf::new();
+        rank_versions_into(&VersionPolicy::Energy, &ctx, &t, &mut buf);
+        assert_eq!(buf.as_slice(), &[VersionId::new(0)]);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::kernel::{KernelKind, KernelModel};
 use crate::stress::StressProfile;
 use crate::trace::{JobRecord, SimResult};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use yasmin_core::config::Config;
 use yasmin_core::energy::Energy;
@@ -33,7 +33,7 @@ use yasmin_core::platform::PlatformSpec;
 use yasmin_core::stats::Samples;
 use yasmin_core::task::ActivationKind;
 use yasmin_core::time::{Duration, Instant};
-use yasmin_sched::{Action, Job, OnlineEngine};
+use yasmin_sched::{Action, ActionSink, Job, OnlineEngine};
 
 /// Modelled fixed costs of scheduler interactions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,6 +143,9 @@ impl PartialOrd for QItem {
 #[derive(Debug, Clone, Copy)]
 struct Slice {
     job: JobId,
+    /// Slab handle of the job's in-flight state.
+    slot: SlotRef,
+    task: TaskId,
     version: VersionId,
     start: Instant,
     /// Remaining reference-time work at slice start.
@@ -157,6 +160,90 @@ struct JobProgress {
     accel_busy: Duration,
 }
 
+/// Generation-checked handle into the [`JobSlab`]: a stale handle (its
+/// slot was freed and re-used) is detected instead of silently reading
+/// another job's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotRef {
+    idx: u32,
+    gen: u32,
+}
+
+#[derive(Debug, Clone)]
+struct JobSlot {
+    gen: u32,
+    occupied: bool,
+    job: Job,
+    progress: JobProgress,
+}
+
+/// A free-list slab holding every in-flight (dispatched or preempted)
+/// job. Replaces the former `HashMap<JobId, …>` pair on the per-event
+/// hot path: slot access is a bounds-checked array index plus a
+/// generation check, and steady-state operation allocates nothing once
+/// the slab has grown to the peak in-flight count.
+#[derive(Debug, Default)]
+struct JobSlab {
+    slots: Vec<JobSlot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl JobSlab {
+    fn insert(&mut self, job: Job) -> SlotRef {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(!slot.occupied);
+            slot.occupied = true;
+            slot.job = job;
+            slot.progress = JobProgress::default();
+            SlotRef { idx, gen: slot.gen }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab bounded by pending jobs");
+            self.slots.push(JobSlot {
+                gen: 0,
+                occupied: true,
+                job,
+                progress: JobProgress::default(),
+            });
+            SlotRef { idx, gen: 0 }
+        }
+    }
+
+    fn get_mut(&mut self, r: SlotRef) -> &mut JobSlot {
+        let slot = &mut self.slots[r.idx as usize];
+        assert!(
+            slot.occupied && slot.gen == r.gen,
+            "stale slab handle: slot {} gen {} vs handle gen {}",
+            r.idx,
+            slot.gen,
+            r.gen
+        );
+        slot
+    }
+
+    /// Frees the slot, returning its contents; the generation bump
+    /// invalidates any outstanding handle to it.
+    fn remove(&mut self, r: SlotRef) -> (Job, JobProgress) {
+        let slot = self.get_mut(r);
+        slot.occupied = false;
+        slot.gen = slot.gen.wrapping_add(1);
+        let out = (slot.job, std::mem::take(&mut slot.progress));
+        self.free.push(r.idx);
+        self.live -= 1;
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn iter_jobs(&self) -> impl Iterator<Item = &Job> {
+        self.slots.iter().filter(|s| s.occupied).map(|s| &s.job)
+    }
+}
+
 /// The discrete-event simulator.
 #[derive(Debug)]
 pub struct Simulation {
@@ -169,8 +256,16 @@ pub struct Simulation {
     stress_intensity: f64,
     slices: Vec<Option<Slice>>,
     gens: Vec<u64>,
-    progress: HashMap<JobId, JobProgress>,
-    jobs: HashMap<JobId, Job>,
+    /// In-flight job state (dispatched or preempted), slab-allocated.
+    slab: JobSlab,
+    /// Preempted jobs waiting for re-dispatch: (id, slab handle).
+    suspended: Vec<(JobId, SlotRef)>,
+    /// Reusable action buffer passed to every engine interaction.
+    sink: ActionSink,
+    /// Sporadic root tasks and their release offsets, precomputed.
+    sporadic_roots: Vec<(TaskId, Duration)>,
+    /// Minimum inter-arrival per task index (ZERO for non-sporadic).
+    sporadic_period: Vec<Duration>,
     records: Vec<JobRecord>,
     overhead_ns: Samples,
     worker_busy: Vec<Duration>,
@@ -201,14 +296,31 @@ impl Simulation {
         let engine = OnlineEngine::new(taskset, config)?;
         let tick = engine.tick_period();
         let stress_intensity = sim.stress.intensity(sim.platform.core_count());
+        // Sporadic bookkeeping is fixed by the task set: build it once
+        // here instead of on every `run()` (released at the minimum
+        // inter-arrival — the worst-case law the Fig. 2 harness wants).
+        let ts = engine.taskset();
+        let mut sporadic_roots = Vec::new();
+        let mut sporadic_period = vec![Duration::ZERO; ts.len()];
+        for t in ts.tasks() {
+            if t.spec().kind() == ActivationKind::Sporadic {
+                sporadic_period[t.id().index()] = t.spec().period();
+                if ts.in_degree(t.id()) == 0 {
+                    sporadic_roots.push((t.id(), t.spec().release_offset()));
+                }
+            }
+        }
         Ok(Simulation {
             exec: ExecSampler::new(sim.exec, sim.seed ^ 0xE5E5),
             kernel: sim.kernel.map(|k| KernelModel::new(k, sim.seed ^ 0x5EED)),
             stress_intensity,
             slices: vec![None; workers],
             gens: vec![0; workers],
-            progress: HashMap::new(),
-            jobs: HashMap::new(),
+            slab: JobSlab::default(),
+            suspended: Vec::new(),
+            sink: ActionSink::with_capacity(workers * 2),
+            sporadic_roots,
+            sporadic_period,
             records: Vec::new(),
             overhead_ns: Samples::new(),
             worker_busy: vec![Duration::ZERO; workers],
@@ -249,20 +361,19 @@ impl Simulation {
         wall.scale(num, den)
     }
 
-    fn timed<F: FnOnce(&mut OnlineEngine) -> Vec<Action>>(&mut self, f: F) -> Vec<Action> {
+    fn timed<F: FnOnce(&mut OnlineEngine)>(&mut self, f: F) {
         if self.cfg.measure_engine_time {
             let t0 = std::time::Instant::now();
-            let actions = f(&mut self.engine);
+            f(&mut self.engine);
             self.overhead_ns
                 .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-            actions
         } else {
-            f(&mut self.engine)
+            f(&mut self.engine);
         }
     }
 
-    fn apply_actions(&mut self, now: Instant, actions: Vec<Action>) {
-        for a in actions {
+    fn apply_actions(&mut self, now: Instant, actions: &ActionSink) {
+        for &a in actions.as_slice() {
             match a {
                 Action::Dispatch {
                     worker,
@@ -277,27 +388,31 @@ impl Simulation {
         }
     }
 
+    /// Finds (and detaches) the slab handle of a previously preempted
+    /// job awaiting re-dispatch.
+    fn take_suspended(&mut self, job: JobId) -> Option<SlotRef> {
+        let pos = self.suspended.iter().position(|&(id, _)| id == job)?;
+        Some(self.suspended.swap_remove(pos).1)
+    }
+
     fn apply_dispatch(&mut self, now: Instant, worker: WorkerId, job: Job, version: VersionId) {
         let task = &self.engine.taskset().tasks()[job.task.index()];
         let wcet = task.versions()[version.index()].wcet();
-        self.jobs.insert(job.id, job);
-        let entry = self.progress.entry(job.id).or_default();
-        let fresh = entry.remaining_ref.is_none();
-        if fresh {
-            // Sample actual execution demand once per job.
-            entry.remaining_ref = Some(Duration::ZERO); // placeholder, set below
-        }
-        let remaining = if fresh {
-            let d = self.exec.sample(wcet);
-            self.progress
-                .get_mut(&job.id)
-                .expect("just inserted")
-                .remaining_ref = Some(d);
-            d
-        } else {
-            self.progress[&job.id]
-                .remaining_ref
-                .expect("resumed job has remaining")
+        // A job the engine has preempted before carries a slab slot with
+        // its remaining work; anything else is a fresh start whose
+        // execution demand is sampled once.
+        let (slot, remaining, fresh) = match self.take_suspended(job.id) {
+            Some(slot) => {
+                let remaining = self.slab.get_mut(slot).progress.remaining_ref;
+                let remaining = remaining.expect("resumed job has remaining");
+                (slot, remaining, false)
+            }
+            None => {
+                let slot = self.slab.insert(job);
+                let d = self.exec.sample(wcet);
+                self.slab.get_mut(slot).progress.remaining_ref = Some(d);
+                (slot, d, true)
+            }
         };
 
         // Wake-up latency (kernel model) applies to fresh starts; resumes
@@ -311,10 +426,7 @@ impl Simulation {
             delay += self.cfg.overheads.context_switch;
         }
         let start = now + delay;
-        let p = self
-            .progress
-            .get_mut(&job.id)
-            .expect("progress entry exists");
+        let p = &mut self.slab.get_mut(slot).progress;
         if p.first_start.is_none() {
             p.first_start = Some(start);
         }
@@ -324,6 +436,8 @@ impl Simulation {
         let gen = self.gens[worker.index()];
         self.slices[worker.index()] = Some(Slice {
             job: job.id,
+            slot,
+            task: job.task,
             version,
             start,
             remaining_ref: remaining,
@@ -351,20 +465,18 @@ impl Simulation {
         let done_ref = self.ref_work(worker, elapsed).min(slice.remaining_ref);
         let busy = elapsed.min(self.wall_time(worker, slice.remaining_ref));
         self.worker_busy[worker.index()] += busy;
-        let p = self.progress.entry(slice.job).or_default();
+        let p = &mut self.slab.get_mut(slice.slot).progress;
         p.remaining_ref = Some(slice.remaining_ref - done_ref);
         p.preemptions += 1;
-        self.account_accel(slice.version, job, elapsed);
+        self.suspended.push((slice.job, slice.slot));
+        self.account_accel(&slice, elapsed);
     }
 
-    fn account_accel(&mut self, version: VersionId, job: JobId, busy: Duration) {
-        let Some(j) = self.jobs.get(&job) else { return };
-        let task = &self.engine.taskset().tasks()[j.task.index()];
-        if let Some(a) = task.versions()[version.index()].accel() {
+    fn account_accel(&mut self, slice: &Slice, busy: Duration) {
+        let task = &self.engine.taskset().tasks()[slice.task.index()];
+        if let Some(a) = task.versions()[slice.version.index()].accel() {
             self.accel_busy[a.index()] += busy;
-            if let Some(p) = self.progress.get_mut(&job) {
-                p.accel_busy += busy;
-            }
+            self.slab.get_mut(slice.slot).progress.accel_busy += busy;
         }
     }
 
@@ -378,10 +490,10 @@ impl Simulation {
         debug_assert_eq!(slice.job, job);
         let wall = now.saturating_since(slice.start);
         self.worker_busy[worker.index()] += wall;
-        self.account_accel(slice.version, job, wall);
+        self.account_accel(&slice, wall);
 
-        let j = self.jobs.remove(&job).expect("dispatched job is tracked");
-        let p = self.progress.remove(&job).unwrap_or_default();
+        let (j, p) = self.slab.remove(slice.slot);
+        debug_assert_eq!(j.id, job, "slab slot tracks the finished job");
         self.records.push(JobRecord {
             job,
             task: j.task,
@@ -396,11 +508,14 @@ impl Simulation {
             preemptions: p.preemptions,
         });
 
-        let actions = self.timed(|e| {
-            e.on_job_completed(worker, job, now)
-                .expect("driver protocol upheld")
+        let mut sink = std::mem::take(&mut self.sink);
+        sink.clear();
+        self.timed(|e| {
+            e.on_job_completed_into(worker, job, now, &mut sink)
+                .expect("driver protocol upheld");
         });
-        self.apply_actions(now, actions);
+        self.apply_actions(now, &sink);
+        self.sink = sink;
         Ok(())
     }
 
@@ -414,43 +529,28 @@ impl Simulation {
         let horizon = Instant::ZERO + self.cfg.horizon;
 
         // Start the schedule and arm the tick train.
-        let actions = {
-            if self.cfg.measure_engine_time {
-                let t0 = std::time::Instant::now();
-                let a = self.engine.start(Instant::ZERO)?;
-                self.overhead_ns
-                    .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                a
-            } else {
-                self.engine.start(Instant::ZERO)?
-            }
-        };
-        self.apply_actions(Instant::ZERO, actions);
+        let mut sink = std::mem::take(&mut self.sink);
+        if self.cfg.measure_engine_time {
+            let t0 = std::time::Instant::now();
+            self.engine.start_into(Instant::ZERO, &mut sink)?;
+            self.overhead_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        } else {
+            self.engine.start_into(Instant::ZERO, &mut sink)?;
+        }
+        self.apply_actions(Instant::ZERO, &sink);
+        self.sink = sink;
         self.push_event(Instant::ZERO + self.tick, Ev::Tick);
 
-        // Arm sporadic roots (released at their minimum inter-arrival —
-        // the worst-case law, which is also what the Fig. 2 harness
-        // wants).
-        let sporadics: Vec<(TaskId, Duration, Duration)> = self
-            .engine
-            .taskset()
-            .tasks()
-            .iter()
-            .filter(|t| {
-                t.spec().kind() == ActivationKind::Sporadic
-                    && self.engine.taskset().in_degree(t.id()) == 0
-            })
-            .map(|t| (t.id(), t.spec().release_offset(), t.spec().period()))
-            .collect();
-        for (t, offset, _) in &sporadics {
-            self.push_event(Instant::ZERO + *offset, Ev::Sporadic { task: *t });
+        // Arm the sporadic roots (precomputed in `new`).
+        for i in 0..self.sporadic_roots.len() {
+            let (t, offset) = self.sporadic_roots[i];
+            self.push_event(Instant::ZERO + offset, Ev::Sporadic { task: t });
         }
         let mode_schedule = std::mem::take(&mut self.cfg.mode_schedule);
         for (offset, mode) in mode_schedule {
             self.push_event(Instant::ZERO + offset, Ev::ModeSwitch { mode });
         }
-        let sporadic_period: HashMap<TaskId, Duration> =
-            sporadics.iter().map(|(t, _, p)| (*t, *p)).collect();
 
         while let Some(Reverse(item)) = self.queue.pop() {
             let now = Instant::from_nanos(item.time);
@@ -459,8 +559,11 @@ impl Simulation {
             }
             match item.ev {
                 Ev::Tick => {
-                    let actions = self.timed(|e| e.on_tick(now));
-                    self.apply_actions(now, actions);
+                    let mut sink = std::mem::take(&mut self.sink);
+                    sink.clear();
+                    self.timed(|e| e.on_tick_into(now, &mut sink));
+                    self.apply_actions(now, &sink);
+                    self.sink = sink;
                     let next = now + self.tick;
                     // The horizon is exclusive for new releases, so runs
                     // over [0, horizon) release exactly horizon/T jobs.
@@ -472,10 +575,15 @@ impl Simulation {
                     self.on_finish(now, worker, job, gen)?;
                 }
                 Ev::Sporadic { task } => {
-                    let actions = self
-                        .timed(|e| e.activate(task, now).expect("sporadic task is activatable"));
-                    self.apply_actions(now, actions);
-                    let next = now + sporadic_period[&task];
+                    let mut sink = std::mem::take(&mut self.sink);
+                    sink.clear();
+                    self.timed(|e| {
+                        e.activate_into(task, now, &mut sink)
+                            .expect("sporadic task is activatable");
+                    });
+                    self.apply_actions(now, &sink);
+                    self.sink = sink;
+                    let next = now + self.sporadic_period[task.index()];
                     if next < horizon {
                         self.push_event(next, Ev::Sporadic { task });
                     }
@@ -510,10 +618,10 @@ impl Simulation {
         }
 
         // Unfinished jobs: anything still tracked.
-        let unfinished = self.jobs.len() + self.engine.ready_len();
+        let unfinished = self.slab.len() + self.engine.ready_len();
         let unfinished_missed = self
-            .jobs
-            .values()
+            .slab
+            .iter_jobs()
             .filter(|j| j.deadline_missed_at(horizon))
             .count();
 
