@@ -1,0 +1,96 @@
+//! The CI perf-regression gate (PR 3).
+//!
+//! Two checks, both on p50 medians of the dispatch hot path:
+//!
+//! 1. **Cross-file**: `results/BENCH_PR3.json` against the recorded
+//!    `results/BENCH_PR2.json` baseline — fails past +25% (override
+//!    with `PERF_GATE_MAX_REGRESSION_PCT`). Meaningful when both files
+//!    were measured on the same host: in CI this check runs on the
+//!    *committed* pair (both recorded on the reference host), locally
+//!    after regenerating `BENCH_PR3.json` in place.
+//! 2. **Same-host**: within one `BENCH_PR3.json`, the mailbox-fed
+//!    sharded path must stay within +100% of the direct path. Both
+//!    sides come from the same process on the same machine, so this
+//!    bound is valid on any hardware — CI re-measures on the runner and
+//!    gates the fresh file with this check only.
+//!
+//! Modes: no argument runs both checks; `--cross-file-only` /
+//! `--same-host-only` select one (what the two CI steps use).
+//!
+//! Usage: `cargo run --release -p yasmin-bench --bin perf_gate`
+//! (run `exp_hotpath` first if `results/BENCH_PR3.json` is missing).
+
+use yasmin_bench::compare::{gate_mailbox_overhead, gate_p50, GateCheck};
+
+const DEFAULT_MAX_REGRESSION_PCT: u64 = 25;
+const MAX_MAILBOX_OVERHEAD_PCT: u64 = 100;
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {path}: {e}");
+            eprintln!(
+                "perf_gate: run `cargo run --release -p yasmin-bench --bin exp_hotpath` first"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn report(title: &str, checks: &Result<Vec<GateCheck>, String>) -> bool {
+    match checks {
+        Ok(checks) => {
+            println!("{title}");
+            let mut failed = false;
+            for c in checks {
+                println!("  {c}");
+                failed |= c.regressed;
+            }
+            failed
+        }
+        Err(msg) => {
+            eprintln!("perf_gate: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let (cross_file, same_host) = match mode.as_str() {
+        "" => (true, true),
+        "--cross-file-only" => (true, false),
+        "--same-host-only" => (false, true),
+        other => {
+            eprintln!("perf_gate: unknown argument {other}");
+            std::process::exit(2);
+        }
+    };
+    let pct = std::env::var("PERF_GATE_MAX_REGRESSION_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_MAX_REGRESSION_PCT);
+    let current = read("results/BENCH_PR3.json");
+    let mut failed = false;
+    if cross_file {
+        let baseline = read("results/BENCH_PR2.json");
+        failed |= report(
+            &format!("perf_gate: p50 medians, BENCH_PR3 vs BENCH_PR2 (limit +{pct}%)"),
+            &gate_p50(&baseline, &current, pct),
+        );
+    }
+    if same_host {
+        failed |= report(
+            &format!(
+                "perf_gate: mailbox-feed vs direct, same host (limit +{MAX_MAILBOX_OVERHEAD_PCT}%)"
+            ),
+            &gate_mailbox_overhead(&current, MAX_MAILBOX_OVERHEAD_PCT),
+        );
+    }
+    if failed {
+        eprintln!("perf_gate: FAIL — dispatch-path p50 regressed past the gate");
+        std::process::exit(1);
+    }
+    println!("perf_gate: PASS");
+}

@@ -1,0 +1,226 @@
+//! Comparison of recorded hotpath benchmark JSONs — the CI
+//! perf-regression gate (PR 3).
+//!
+//! The workspace vendors no JSON library, and the `BENCH_PR*.json`
+//! format is our own (flat, one section per line, emitted by
+//! [`crate::hotpath`]), so extraction is a small scanner rather than a
+//! parser: find the section key, then the entry key after it, then the
+//! first `"p50_ns":` integer after that.
+
+/// The brace-balanced JSON object following `"key"` in `s`, or `None`
+/// when the key (or its object) is absent. Bounding every lookup to the
+/// owning object keeps a missing entry from silently matching the same
+/// key in a *later* section.
+fn object_at<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let at = s.find(&format!("\"{key}\""))?;
+    let rest = &s[at..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts `section.entry.p50_ns` from a hotpath benchmark JSON.
+///
+/// Returns `None` when the section/entry/field is absent.
+#[must_use]
+pub fn extract_p50(json: &str, section: &str, entry: &str) -> Option<u64> {
+    let entry_obj = object_at(object_at(json, section)?, entry)?;
+    let field = entry_obj.find("\"p50_ns\":")?;
+    let digits: String = entry_obj[field + "\"p50_ns\":".len()..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Outcome of one gated comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateCheck {
+    /// `section.entry` compared (e.g. `after.on_tick`).
+    pub what: String,
+    /// Baseline median, ns.
+    pub baseline_p50_ns: u64,
+    /// Current median, ns.
+    pub current_p50_ns: u64,
+    /// `true` when the current median exceeds the allowed regression.
+    pub regressed: bool,
+}
+
+impl std::fmt::Display for GateCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<28} baseline {:>6} ns  current {:>6} ns  {}",
+            self.what,
+            self.baseline_p50_ns,
+            self.current_p50_ns,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
+/// Compares the `after` p50 medians of two hotpath JSONs, flagging any
+/// entry whose current median exceeds the baseline by more than
+/// `max_regression_pct` percent.
+///
+/// # Errors
+///
+/// A message naming the first entry missing from either JSON (a format
+/// drift — the gate must fail loudly, not silently pass).
+pub fn gate_p50(
+    baseline_json: &str,
+    current_json: &str,
+    max_regression_pct: u64,
+) -> Result<Vec<GateCheck>, String> {
+    let entries = ["on_tick", "on_job_completed"];
+    let mut checks = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let b = extract_p50(baseline_json, "after", entry)
+            .ok_or_else(|| format!("baseline JSON lacks after.{entry}.p50_ns"))?;
+        let c = extract_p50(current_json, "after", entry)
+            .ok_or_else(|| format!("current JSON lacks after.{entry}.p50_ns"))?;
+        // b * (100 + pct) / 100, in integer arithmetic.
+        let limit = b.saturating_mul(100 + max_regression_pct) / 100;
+        checks.push(GateCheck {
+            what: format!("after.{entry}"),
+            baseline_p50_ns: b,
+            current_p50_ns: c,
+            regressed: c > limit,
+        });
+    }
+    Ok(checks)
+}
+
+/// Same-host sanity gate: within one `BENCH_PR3.json`, the mailbox-fed
+/// sharded path may cost at most `max_overhead_pct` percent over the
+/// direct path for each entry point. Both sides are measured in the
+/// same process on the same host, so — unlike the cross-file check —
+/// this bound is immune to runner-vs-reference-host speed differences;
+/// it catches a lock, allocation or O(n) scan slipping into the
+/// mailbox feed itself.
+///
+/// # Errors
+///
+/// A message naming the first entry missing from the JSON.
+pub fn gate_mailbox_overhead(
+    current_json: &str,
+    max_overhead_pct: u64,
+) -> Result<Vec<GateCheck>, String> {
+    let entries = ["on_tick", "on_job_completed"];
+    let mut checks = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let direct = extract_p50(current_json, "after", entry)
+            .ok_or_else(|| format!("current JSON lacks after.{entry}.p50_ns"))?;
+        let fed = extract_p50(current_json, "mailbox_feed", entry)
+            .ok_or_else(|| format!("current JSON lacks mailbox_feed.{entry}.p50_ns"))?;
+        let limit = direct.saturating_mul(100 + max_overhead_pct) / 100;
+        checks.push(GateCheck {
+            what: format!("mailbox_feed.{entry}"),
+            baseline_p50_ns: direct,
+            current_p50_ns: fed,
+            regressed: fed > limit,
+        });
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "bench": "hotpath",
+  "after": {"on_tick": {"p50_ns": 140, "p99_ns": 646}, "on_job_completed": {"p50_ns": 190, "p99_ns": 294}},
+  "dispatches": 22000
+}"#;
+
+    #[test]
+    fn extracts_nested_p50() {
+        assert_eq!(extract_p50(BASE, "after", "on_tick"), Some(140));
+        assert_eq!(extract_p50(BASE, "after", "on_job_completed"), Some(190));
+        assert_eq!(extract_p50(BASE, "after", "missing"), None);
+        assert_eq!(extract_p50(BASE, "before", "on_tick"), None);
+    }
+
+    #[test]
+    fn missing_entry_does_not_read_the_next_section() {
+        // "after" lacks on_tick here; the lookup must NOT fall through
+        // to mailbox_feed.on_tick.
+        let json = r#"{
+  "after": {"on_job_completed": {"p50_ns": 190}},
+  "mailbox_feed": {"on_tick": {"p50_ns": 141}, "on_job_completed": {"p50_ns": 213}}
+}"#;
+        assert_eq!(extract_p50(json, "after", "on_tick"), None);
+        assert_eq!(extract_p50(json, "after", "on_job_completed"), Some(190));
+        assert_eq!(extract_p50(json, "mailbox_feed", "on_tick"), Some(141));
+    }
+
+    #[test]
+    fn extraction_skips_earlier_sections() {
+        let json = r#"{
+  "pr2_baseline": {"on_tick": {"p50_ns": 999}},
+  "after": {"on_tick": {"p50_ns": 100}}
+}"#;
+        assert_eq!(extract_p50(json, "after", "on_tick"), Some(100));
+        assert_eq!(extract_p50(json, "pr2_baseline", "on_tick"), Some(999));
+    }
+
+    #[test]
+    fn gate_passes_within_threshold() {
+        let current = BASE.replace("\"p50_ns\": 140", "\"p50_ns\": 170");
+        let checks = gate_p50(BASE, &current, 25).unwrap();
+        assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
+    }
+
+    #[test]
+    fn gate_fails_past_threshold() {
+        let current = BASE.replace("\"p50_ns\": 190", "\"p50_ns\": 260");
+        let checks = gate_p50(BASE, &current, 25).unwrap();
+        let bad: Vec<_> = checks.iter().filter(|c| c.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].what, "after.on_job_completed");
+        assert!(bad[0].to_string().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn gate_errors_on_format_drift() {
+        assert!(gate_p50(BASE, "{}", 25).is_err());
+        assert!(gate_p50("{}", BASE, 25).is_err());
+    }
+
+    const PR3: &str = r#"{
+  "bench": "hotpath",
+  "after": {"on_tick": {"p50_ns": 160}, "on_job_completed": {"p50_ns": 190}},
+  "mailbox_feed": {"on_tick": {"p50_ns": 140}, "on_job_completed": {"p50_ns": 210}}
+}"#;
+
+    #[test]
+    fn mailbox_overhead_gate_passes_within_bound() {
+        let checks = gate_mailbox_overhead(PR3, 100).unwrap();
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
+    }
+
+    #[test]
+    fn mailbox_overhead_gate_fails_past_bound() {
+        let slow = PR3.replace("\"p50_ns\": 210", "\"p50_ns\": 500");
+        let checks = gate_mailbox_overhead(&slow, 100).unwrap();
+        let bad: Vec<_> = checks.iter().filter(|c| c.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].what, "mailbox_feed.on_job_completed");
+        assert!(gate_mailbox_overhead("{}", 100).is_err());
+    }
+}

@@ -14,13 +14,14 @@
 
 use std::sync::Arc;
 use std::time::Instant as WallInstant;
-use yasmin_core::config::Config;
+use yasmin_core::config::{Config, MappingScheme};
 use yasmin_core::ids::JobId;
 use yasmin_core::priority::PriorityPolicy;
 use yasmin_core::stats::Samples;
 use yasmin_core::time::Instant;
-use yasmin_sched::{Action, ActionSink, OnlineEngine};
-use yasmin_taskgen::taskset::{build_independent, IndependentSetParams};
+use yasmin_sched::{Action, ActionSink, EngineShard, OnlineEngine, ShardCmd};
+use yasmin_sync::mailbox::{mailbox, MailboxReceiver, MailboxSender};
+use yasmin_taskgen::taskset::{build_independent, build_partitioned, IndependentSetParams};
 
 /// Parameters of the steady-state loop.
 #[derive(Debug, Clone, Copy)]
@@ -116,6 +117,20 @@ fn engine_for(p: &HotpathParams) -> OnlineEngine {
     OnlineEngine::new(Arc::new(ts), config).expect("valid engine")
 }
 
+/// Replays the engine's actions onto a per-worker `running` model —
+/// the minimal driver bookkeeping every steady-state measurement loop
+/// (and the zero-alloc harness) needs to know which job to complete
+/// next.
+pub fn track_actions(running: &mut [Option<JobId>], actions: &[Action]) {
+    for a in actions {
+        match *a {
+            Action::Dispatch { worker, job, .. } => running[worker.index()] = Some(job.id),
+            Action::Preempt { worker, .. } => running[worker.index()] = None,
+            Action::Boost { .. } => {}
+        }
+    }
+}
+
 /// Runs the steady-state loop and collects per-call latencies.
 ///
 /// Drives the `*_into` sink API — the zero-allocation path a production
@@ -125,22 +140,11 @@ pub fn run(p: &HotpathParams) -> HotpathReport {
     let mut engine = engine_for(p);
     let mut running: Vec<Option<JobId>> = vec![None; p.workers];
     let mut sink = ActionSink::with_capacity(256);
-    let track = |running: &mut Vec<Option<JobId>>, actions: &[Action]| {
-        for a in actions {
-            match a {
-                Action::Dispatch { worker, job, .. } => {
-                    running[worker.index()] = Some(job.id);
-                }
-                Action::Preempt { worker, .. } => running[worker.index()] = None,
-                Action::Boost { .. } => {}
-            }
-        }
-    };
 
     engine
         .start_into(Instant::ZERO, &mut sink)
         .expect("fresh engine starts");
-    track(&mut running, sink.as_slice());
+    track_actions(&mut running, sink.as_slice());
     let tick = engine.tick_period();
     let mut now = Instant::ZERO;
     let mut tick_ns = Samples::with_capacity(p.iters as usize);
@@ -164,7 +168,7 @@ pub fn run(p: &HotpathParams) -> HotpathReport {
                 if measuring {
                     completion_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
                 }
-                track(&mut running, sink.as_slice());
+                track_actions(&mut running, sink.as_slice());
             }
         }
         now += tick;
@@ -175,7 +179,7 @@ pub fn run(p: &HotpathParams) -> HotpathReport {
         if measuring {
             tick_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
         }
-        track(&mut running, sink.as_slice());
+        track_actions(&mut running, sink.as_slice());
     }
 
     HotpathReport {
@@ -183,6 +187,130 @@ pub fn run(p: &HotpathParams) -> HotpathReport {
         tick: LatencyStats::from_samples(&mut tick_ns),
         completion: LatencyStats::from_samples(&mut completion_ns),
         dispatches: engine.stats().dispatched - dispatched_before_measure,
+    }
+}
+
+/// Runs the steady-state loop against the **sharded** engine, feeding
+/// every interaction through the lock-free command mailbox: each
+/// completion/tick is pushed as a [`ShardCmd`] into the shard's mailbox
+/// lane, drained by the owner and applied via the zero-alloc sink path.
+/// The samples therefore measure the *mailbox-feed dispatch latency* —
+/// ring push + drain + engine call — the per-command cost a per-core
+/// scheduler thread pays in the sharded runtime.
+///
+/// # Panics
+///
+/// Panics on engine/taskset construction failure (parameter bug).
+#[must_use]
+pub fn run_sharded(p: &HotpathParams) -> HotpathReport {
+    let ts = Arc::new(
+        build_partitioned(
+            &IndependentSetParams {
+                n: p.tasks,
+                total_utilisation: p.total_utilisation,
+                seed: p.seed,
+                ..IndependentSetParams::default()
+            },
+            p.workers,
+        )
+        .expect("valid taskset"),
+    );
+    let config = Config::builder()
+        .workers(p.workers)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut feeds: Vec<_> = (0..p.workers)
+        .map(|_| mailbox::<ShardCmd>(1, 256))
+        .collect();
+    let mut running: Vec<Option<JobId>> = vec![None; p.workers];
+    let mut sink = ActionSink::with_capacity(256);
+
+    let mut dispatched_before_measure = 0;
+    for shard in &mut shards {
+        shard
+            .start_into(Instant::ZERO, &mut sink)
+            .expect("fresh shard starts");
+        dispatched_before_measure += shard.stats().dispatched;
+    }
+    track_actions(&mut running, sink.as_slice());
+    let tick = shards[0].tick_period();
+    let mut now = Instant::ZERO;
+    let mut tick_ns = Samples::with_capacity(p.iters as usize);
+    let mut completion_ns = Samples::with_capacity(p.iters as usize);
+
+    for i in 0..(p.warmup + p.iters) {
+        let measuring = i >= p.warmup;
+        let mid = now + tick.scale(1, 2);
+        for (w, shard) in shards.iter_mut().enumerate() {
+            if let Some(job) = running[w].take() {
+                let worker = yasmin_core::ids::WorkerId::new(w as u16);
+                let cmd = ShardCmd::JobCompleted {
+                    worker,
+                    job,
+                    at: mid,
+                };
+                feed_one(
+                    shard,
+                    &mut feeds[w],
+                    cmd,
+                    &mut sink,
+                    &mut completion_ns,
+                    measuring,
+                );
+                track_actions(&mut running, sink.as_slice());
+            }
+        }
+        now += tick;
+        for (w, shard) in shards.iter_mut().enumerate() {
+            let cmd = ShardCmd::Tick { at: now };
+            feed_one(
+                shard,
+                &mut feeds[w],
+                cmd,
+                &mut sink,
+                &mut tick_ns,
+                measuring,
+            );
+            track_actions(&mut running, sink.as_slice());
+        }
+    }
+
+    let dispatches: u64 = shards.iter().map(|s| s.stats().dispatched).sum();
+    HotpathReport {
+        params: *p,
+        tick: LatencyStats::from_samples(&mut tick_ns),
+        completion: LatencyStats::from_samples(&mut completion_ns),
+        dispatches: dispatches - dispatched_before_measure,
+    }
+}
+
+/// One mailbox-feed round: push `cmd` into the shard's lane, drain the
+/// mailbox as the owner, apply via the sink — timed end to end.
+fn feed_one(
+    shard: &mut EngineShard,
+    feed: &mut (Vec<MailboxSender<ShardCmd>>, MailboxReceiver<ShardCmd>),
+    cmd: ShardCmd,
+    sink: &mut ActionSink,
+    samples: &mut Samples,
+    measuring: bool,
+) {
+    let (txs, rx) = feed;
+    sink.clear();
+    let t0 = WallInstant::now();
+    txs[0].send(cmd).expect("mailbox lane sized for the loop");
+    while let Some(cmd) = rx.try_recv() {
+        shard
+            .process_into(cmd, sink)
+            .expect("driver protocol upheld");
+    }
+    let dt = t0.elapsed();
+    if measuring {
+        samples.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
     }
 }
 
@@ -214,6 +342,79 @@ pub fn recorded_baseline() -> Option<HotpathReport> {
         },
         dispatches: 22_000,
     })
+}
+
+/// The direct-path latency recorded by PR 2 (`results/BENCH_PR2.json`,
+/// "after" section) on the reference host — the baseline the PR 3 CI
+/// perf gate regresses against.
+#[must_use]
+pub fn recorded_pr2() -> Option<HotpathReport> {
+    Some(HotpathReport {
+        params: HotpathParams::default(),
+        tick: LatencyStats {
+            p50_ns: 140,
+            p99_ns: 646,
+            mean_ns: 160.9,
+            max_ns: 18_688,
+            count: 10_000,
+        },
+        completion: LatencyStats {
+            p50_ns: 190,
+            p99_ns: 294,
+            mean_ns: 201.1,
+            max_ns: 44_803,
+            count: 20_000,
+        },
+        dispatches: 22_000,
+    })
+}
+
+/// Renders the PR 3 record: the direct-path report (comparable 1:1 with
+/// PR 2's "after" numbers), the sharded mailbox-feed report, and the
+/// recorded PR 2 baseline. The CI perf gate (`perf_gate`) compares the
+/// "after" p50 medians of `BENCH_PR3.json` against `BENCH_PR2.json`.
+#[must_use]
+pub fn render_json_pr3(
+    direct: &HotpathReport,
+    sharded: &HotpathReport,
+    pr2: Option<&HotpathReport>,
+) -> String {
+    let mut out = String::from("{\n  \"bench\": \"hotpath\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"tasks\": {}, \"workers\": {}, \"total_utilisation\": {}, \"seed\": {}, \"iters\": {}}},\n",
+        direct.params.tasks,
+        direct.params.workers,
+        direct.params.total_utilisation,
+        direct.params.seed,
+        direct.params.iters
+    ));
+    out.push_str(
+        "  \"note\": \"'pr2_baseline' is the recorded reference-host direct-path latency \
+         (PR 2); 'after' is the same loop on this host (best of three runs by p50 sum); \
+         'mailbox_feed' times the sharded path end to end: command push into the \
+         lock-free mailbox, owner drain, dispatch via the sink (one sample per command, \
+         per shard)\",\n",
+    );
+    if let Some(b) = pr2 {
+        out.push_str(&format!(
+            "  \"pr2_baseline\": {{\"on_tick\": {}, \"on_job_completed\": {}}},\n",
+            b.tick.json(),
+            b.completion.json()
+        ));
+    }
+    out.push_str(&format!(
+        "  \"after\": {{\"on_tick\": {}, \"on_job_completed\": {}}},\n",
+        direct.tick.json(),
+        direct.completion.json()
+    ));
+    out.push_str(&format!(
+        "  \"mailbox_feed\": {{\"on_tick\": {}, \"on_job_completed\": {}, \"dispatches\": {}}},\n",
+        sharded.tick.json(),
+        sharded.completion.json(),
+        sharded.dispatches
+    ));
+    out.push_str(&format!("  \"dispatches\": {}\n}}\n", direct.dispatches));
+    out
 }
 
 /// Renders the report (plus an optional recorded baseline) as JSON.
@@ -270,5 +471,25 @@ mod tests {
         let json = render_json(&r, None);
         assert!(json.contains("\"after\""));
         assert!(!json.contains("\"before\""));
+    }
+
+    #[test]
+    fn sharded_mailbox_loop_runs_and_reports() {
+        let p = HotpathParams {
+            tasks: 8,
+            iters: 50,
+            warmup: 10,
+            ..HotpathParams::default()
+        };
+        let direct = run(&p);
+        let sharded = run_sharded(&p);
+        // One tick command per shard per iteration.
+        assert_eq!(sharded.tick.count, 50 * p.workers);
+        assert!(sharded.completion.count > 0);
+        assert!(sharded.dispatches > 0);
+        let json = render_json_pr3(&direct, &sharded, recorded_pr2().as_ref());
+        assert!(json.contains("\"pr2_baseline\""));
+        assert!(json.contains("\"after\""));
+        assert!(json.contains("\"mailbox_feed\""));
     }
 }

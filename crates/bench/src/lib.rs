@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod fig2;
 pub mod fig4;
 pub mod hotpath;

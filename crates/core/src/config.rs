@@ -193,6 +193,7 @@ pub struct Config {
     max_pending_jobs: usize,
     battery_source: Option<Arc<BatteryFn>>,
     initial_mode: ExecMode,
+    sharded_dispatch: bool,
 }
 
 impl Config {
@@ -283,6 +284,15 @@ impl Config {
         self.initial_mode
     }
 
+    /// Whether drivers should run one independent engine shard per
+    /// worker (partitioned mapping only) instead of a single shared
+    /// engine owner. Sharded dispatch is the opt-in for the per-core
+    /// scheduler threads and the multi-threaded simulation driver.
+    #[must_use]
+    pub const fn sharded_dispatch(&self) -> bool {
+        self.sharded_dispatch
+    }
+
     /// A configuration label like `G-EDF` used in experiment tables.
     #[must_use]
     pub fn label(&self) -> String {
@@ -319,6 +329,7 @@ impl fmt::Debug for Config {
                 &self.battery_source.as_ref().map(|_| ".."),
             )
             .field("initial_mode", &self.initial_mode)
+            .field("sharded_dispatch", &self.sharded_dispatch)
             .finish()
     }
 }
@@ -338,6 +349,7 @@ pub struct ConfigBuilder {
     max_pending_jobs: usize,
     battery_source: Option<Arc<BatteryFn>>,
     initial_mode: ExecMode,
+    sharded_dispatch: bool,
 }
 
 impl fmt::Debug for ConfigBuilder {
@@ -365,6 +377,7 @@ impl Default for ConfigBuilder {
             max_pending_jobs: 1024,
             battery_source: None,
             initial_mode: ExecMode::NORMAL,
+            sharded_dispatch: false,
         }
     }
 }
@@ -454,6 +467,16 @@ impl ConfigBuilder {
         self
     }
 
+    /// Opts into per-worker engine sharding (requires
+    /// [`MappingScheme::Partitioned`]): each worker owns an independent
+    /// engine shard fed through a lock-free command mailbox, enabling
+    /// one scheduler thread per core.
+    #[must_use]
+    pub fn sharded_dispatch(mut self, on: bool) -> Self {
+        self.sharded_dispatch = on;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -485,6 +508,11 @@ impl ConfigBuilder {
                 "preemption is supported with on-line scheduling policies only".into(),
             ));
         }
+        if self.sharded_dispatch && self.mapping != MappingScheme::Partitioned {
+            return Err(Error::InvalidConfig(
+                "sharded dispatch needs per-worker ready queues: use partitioned mapping".into(),
+            ));
+        }
         Ok(Config {
             workers: self.workers,
             mapping: self.mapping,
@@ -498,6 +526,7 @@ impl ConfigBuilder {
             max_pending_jobs: self.max_pending_jobs,
             battery_source: self.battery_source,
             initial_mode: self.initial_mode,
+            sharded_dispatch: self.sharded_dispatch,
         })
     }
 }
@@ -567,6 +596,22 @@ mod tests {
             .preemption(false)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn sharded_dispatch_requires_partitioned() {
+        assert!(matches!(
+            Config::builder().sharded_dispatch(true).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+        let c = Config::builder()
+            .workers(2)
+            .mapping(MappingScheme::Partitioned)
+            .sharded_dispatch(true)
+            .build()
+            .unwrap();
+        assert!(c.sharded_dispatch());
+        assert!(!Config::default().sharded_dispatch());
     }
 
     #[test]

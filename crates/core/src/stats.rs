@@ -155,6 +155,16 @@ impl Samples {
         self.record(d.as_nanos());
     }
 
+    /// Appends every observation of `other` (used when merging
+    /// per-shard results into one aggregate).
+    pub fn merge(&mut self, other: &Samples) {
+        if other.values.is_empty() {
+            return;
+        }
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
+
     /// Number of observations.
     #[must_use]
     pub fn count(&self) -> usize {
@@ -309,6 +319,17 @@ mod tests {
         assert_eq!(s.min(), Some(1));
         assert_eq!(s.max(), Some(100));
         assert!((s.mean().unwrap() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_merge_appends() {
+        let mut a: Samples = [10u64, 30].into_iter().collect();
+        let b: Samples = [20u64].into_iter().collect();
+        a.merge(&b);
+        a.merge(&Samples::new());
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(50), Some(20));
+        assert_eq!(a.max(), Some(30));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!
 //! * [`runtime`] — [`runtime::RuntimeBuilder`] / [`runtime::Runtime`],
 //!   mirroring the paper's `init`/`start`/`stop`/`cleanup` lifecycle;
+//! * [`sharded`] — the per-core sharded runtime: one scheduler thread
+//!   per worker, each owning an independent engine shard fed through
+//!   the lock-free command mailbox (partitioned mapping);
 //! * [`os`] — best-effort real-time OS setup (feature `os-rt`, on by
 //!   default; degrades gracefully in unprivileged containers).
 
@@ -15,5 +18,7 @@
 
 pub mod os;
 pub mod runtime;
+pub mod sharded;
 
 pub use runtime::{JobCtx, RtJobRecord, Runtime, RuntimeBuilder, RuntimeReport, TaskBody};
+pub use sharded::{ShardedRuntime, ShardedRuntimeBuilder};

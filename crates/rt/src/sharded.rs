@@ -1,0 +1,637 @@
+//! The sharded real-thread runtime: **one scheduler thread per core**.
+//!
+//! The classic [`crate::runtime::Runtime`] owns one scheduler thread for
+//! the whole engine. Under partitioned mapping the engine state splits
+//! into independent per-worker shards ([`EngineShard`]), so this runtime
+//! spawns a *pair* of threads per core — the worker, and the scheduler
+//! thread owning that worker's shard — and connects them with lock-free
+//! queues only:
+//!
+//! * **downstream** (scheduler → worker): a wait-free SPSC ring carrying
+//!   dispatches;
+//! * **upstream** (everyone → scheduler): the MPSC command mailbox of
+//!   `yasmin_sync::mailbox` with one lane for the worker's completion
+//!   hand-backs and one lane for control commands
+//!   (activate/stop/shutdown) — the `Activate`/`JobCompleted` command
+//!   flow of the sharded design, with ticks generated locally by each
+//!   scheduler thread at the shared gcd period.
+//!
+//! Scheduling decisions run through the same zero-allocation
+//! [`ActionSink`] path as the single-owner runtime. Like that runtime,
+//! shards schedule **non-preemptively at job boundaries**
+//! (`preemption(false)`); preemptive sharded configurations are
+//! exercised by the multi-threaded simulator driver (`yasmin_sim::par`).
+
+use crate::runtime::{JobCtx, RtJobRecord, RuntimeReport, TaskBody};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use yasmin_core::config::{Config, WaitChoice};
+use yasmin_core::error::{Error, Result};
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::{TaskId, VersionId, WorkerId};
+use yasmin_core::time::{Clock, Instant, MonotonicClock};
+use yasmin_sched::{Action, ActionSink, EngineShard, EngineStats, Job};
+use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
+use yasmin_sync::spsc;
+use yasmin_sync::wait::Backoff;
+
+/// Lane indices of each shard's command mailbox.
+const LANE_WORKER: usize = 0;
+const LANE_CONTROL: usize = 1;
+
+enum WorkerMsg {
+    Run {
+        job: Job,
+        version: VersionId,
+        body: TaskBody,
+    },
+    Exit,
+}
+
+/// Commands flowing into a shard's scheduler thread.
+enum ShardMsg {
+    /// The shard's worker finished a job (the `JobCompleted` command).
+    Done {
+        job: Job,
+        version: VersionId,
+        started: Instant,
+        completed: Instant,
+    },
+    /// Explicit activation of a task owned by the shard.
+    Activate(TaskId),
+    /// Stop releasing periodic jobs.
+    Stop,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Builder for the sharded runtime, mirroring
+/// [`crate::runtime::RuntimeBuilder`].
+pub struct ShardedRuntimeBuilder {
+    taskset: Arc<TaskSet>,
+    config: Config,
+    bodies: HashMap<(TaskId, VersionId), TaskBody>,
+    pin_offset: usize,
+    lock_memory: bool,
+}
+
+impl ShardedRuntimeBuilder {
+    /// Starts building a sharded runtime for `taskset` under `config`.
+    ///
+    /// `config` must use partitioned mapping with
+    /// `Config::sharded_dispatch(true)` and `preemption(false)`.
+    #[must_use]
+    pub fn new(taskset: Arc<TaskSet>, config: Config) -> Self {
+        ShardedRuntimeBuilder {
+            taskset,
+            config,
+            bodies: HashMap::new(),
+            pin_offset: 0,
+            lock_memory: false,
+        }
+    }
+
+    /// Registers the executable body of `(task, version)`.
+    #[must_use]
+    pub fn body(
+        mut self,
+        task: TaskId,
+        version: VersionId,
+        f: impl Fn(&JobCtx) + Send + Sync + 'static,
+    ) -> Self {
+        self.bodies.insert((task, version), Arc::new(f));
+        self
+    }
+
+    /// Pins worker *w* — and its shard's scheduler thread — to core
+    /// `offset + w`, best-effort.
+    #[must_use]
+    pub fn pin_cores_from(mut self, offset: usize) -> Self {
+        self.pin_offset = offset;
+        self
+    }
+
+    /// Calls `mlockall` at start (best-effort, §3.5).
+    #[must_use]
+    pub fn lock_memory(mut self) -> Self {
+        self.lock_memory = true;
+        self
+    }
+
+    /// Validates the sharding contract and spawns all threads; the
+    /// schedule starts immediately.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidConfig`] when preemption is enabled, sharded
+    ///   dispatch is not opted into, a version has no registered body,
+    ///   or the task set violates the sharding contract
+    ///   ([`yasmin_sched::validate_sharding`]);
+    /// * engine construction errors (partition validation etc.).
+    pub fn build(self) -> Result<ShardedRuntime> {
+        if self.config.preemption() {
+            return Err(Error::InvalidConfig(
+                "the sharded thread runtime schedules non-preemptively at job \
+                 boundaries; build the Config with .preemption(false)"
+                    .into(),
+            ));
+        }
+        for t in self.taskset.tasks() {
+            for (vi, _) in t.versions().iter().enumerate() {
+                let key = (t.id(), VersionId::new(vi as u16));
+                if !self.bodies.contains_key(&key) {
+                    return Err(Error::InvalidConfig(format!(
+                        "no body registered for task {} version v{vi}",
+                        t.id()
+                    )));
+                }
+            }
+        }
+        let shards = EngineShard::build_all(&self.taskset, &self.config)?;
+        if self.lock_memory {
+            // Best-effort; containers commonly deny it.
+            let _ = crate::os::lock_all_memory();
+        }
+        ShardedRuntime::spawn(self, shards)
+    }
+}
+
+/// The running sharded middleware: per-core scheduler threads + workers.
+pub struct ShardedRuntime {
+    taskset: Arc<TaskSet>,
+    /// One control sender per shard (lane [`LANE_CONTROL`]); behind a
+    /// mutex because mailbox lanes are single-producer while this handle
+    /// is `&self`-shared.
+    control: Mutex<Vec<MailboxSender<ShardMsg>>>,
+    schedulers: Vec<std::thread::JoinHandle<(Vec<RtJobRecord>, EngineStats)>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("shards", &self.schedulers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Sends `msg` into a mailbox lane, backing off while it is full.
+fn send_with_backoff(tx: &mut MailboxSender<ShardMsg>, mut msg: ShardMsg) {
+    let mut backoff = Backoff::new();
+    loop {
+        match tx.send(msg) {
+            Ok(()) => return,
+            Err(MailboxFull(v)) => {
+                msg = v;
+                backoff.snooze();
+            }
+        }
+    }
+}
+
+impl ShardedRuntime {
+    fn spawn(builder: ShardedRuntimeBuilder, shards: Vec<EngineShard>) -> Result<Self> {
+        let clock = Arc::new(MonotonicClock::new());
+        let cap = builder.config.max_pending_jobs();
+        let waiting = builder.config.waiting();
+        let mut control = Vec::with_capacity(shards.len());
+        let mut schedulers = Vec::with_capacity(shards.len());
+        let mut workers = Vec::with_capacity(shards.len());
+
+        for shard in shards {
+            let w = shard.worker();
+            let core = builder.pin_offset + w.index();
+            let (to_worker, from_sched) = spsc::channel::<WorkerMsg>(cap);
+            let (mut lanes, mailbox_rx) = mailbox::<ShardMsg>(2, cap.max(64));
+            let control_tx = lanes.remove(LANE_CONTROL);
+            let worker_tx = lanes.remove(LANE_WORKER);
+            control.push(control_tx);
+
+            let worker_clock = Arc::clone(&clock);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("yasmin-worker-{w}"))
+                    .spawn(move || {
+                        let _ = crate::os::pin_current_thread(core);
+                        shard_worker_main(from_sched, worker_tx, &worker_clock, w, waiting);
+                    })
+                    .map_err(|e| Error::Os(format!("spawning worker {w}: {e}")))?,
+            );
+
+            let bodies = builder.bodies.clone();
+            let sched_clock = Arc::clone(&clock);
+            schedulers.push(
+                std::thread::Builder::new()
+                    .name(format!("yasmin-shard-sched-{w}"))
+                    .spawn(move || {
+                        let _ = crate::os::pin_current_thread(core);
+                        shard_scheduler_main(
+                            shard,
+                            &bodies,
+                            to_worker,
+                            mailbox_rx,
+                            &sched_clock,
+                            waiting,
+                        )
+                    })
+                    .map_err(|e| Error::Os(format!("spawning shard scheduler {w}: {e}")))?,
+            );
+        }
+
+        Ok(ShardedRuntime {
+            taskset: builder.taskset,
+            control: Mutex::new(control),
+            schedulers,
+            workers,
+        })
+    }
+
+    /// Activates an aperiodic or sporadic task on its owning shard (the
+    /// paper's `yas_task_activate`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTask`] / [`Error::MissingPartition`] when the
+    /// task does not exist or has no worker assignment.
+    pub fn activate(&self, task: TaskId) -> Result<()> {
+        let t = self.taskset.task(task)?;
+        let w = t
+            .spec()
+            .assigned_worker()
+            .ok_or(Error::MissingPartition(task))?;
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        send_with_backoff(&mut control[w.index()], ShardMsg::Activate(task));
+        Ok(())
+    }
+
+    /// Stops releasing new periodic jobs on every shard; in-flight jobs
+    /// drain (the paper's `yas_stop`).
+    pub fn stop(&self) {
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        for tx in control.iter_mut() {
+            send_with_backoff(tx, ShardMsg::Stop);
+        }
+    }
+
+    /// Drains every shard, joins all threads and returns the merged run
+    /// report (the paper's `yas_cleanup`). Records are ordered by
+    /// completion time across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a runtime thread panicked.
+    #[must_use]
+    pub fn cleanup(mut self) -> RuntimeReport {
+        {
+            let mut control = self.control.lock().expect("control mutex poisoned");
+            for tx in control.iter_mut() {
+                send_with_backoff(tx, ShardMsg::Shutdown);
+            }
+        }
+        let mut records = Vec::new();
+        let mut engine_stats = EngineStats::default();
+        for s in self.schedulers.drain(..) {
+            let (recs, stats) = s.join().expect("shard scheduler thread panicked");
+            records.extend(recs);
+            engine_stats.merge(&stats);
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        records.sort_by_key(|r| (r.completed, r.job.task, r.job.seq));
+        RuntimeReport {
+            records,
+            engine_stats,
+        }
+    }
+}
+
+fn shard_worker_main(
+    mut rx: spsc::Consumer<WorkerMsg>,
+    mut done_tx: MailboxSender<ShardMsg>,
+    clock: &Arc<MonotonicClock>,
+    me: WorkerId,
+    waiting: WaitChoice,
+) {
+    let mut backoff = Backoff::new();
+    let mut idle_polls = 0u32;
+    loop {
+        match rx.pop() {
+            Some(WorkerMsg::Exit) => break,
+            Some(WorkerMsg::Run { job, version, body }) => {
+                backoff.reset();
+                idle_polls = 0;
+                let started = clock.now();
+                let ctx = JobCtx {
+                    job,
+                    version,
+                    worker: me,
+                };
+                body(&ctx);
+                let completed = clock.now();
+                send_with_backoff(
+                    &mut done_tx,
+                    ShardMsg::Done {
+                        job,
+                        version,
+                        started,
+                        completed,
+                    },
+                );
+            }
+            None => {
+                idle_polls += 1;
+                // Under the sleep strategy an idle worker naps in short
+                // slices instead of burning its core.
+                if waiting == WaitChoice::Sleep && idle_polls > 64 {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+fn shard_scheduler_main(
+    mut shard: EngineShard,
+    bodies: &HashMap<(TaskId, VersionId), TaskBody>,
+    mut to_worker: spsc::Producer<WorkerMsg>,
+    mut rx: MailboxReceiver<ShardMsg>,
+    clock: &Arc<MonotonicClock>,
+    waiting: WaitChoice,
+) -> (Vec<RtJobRecord>, EngineStats) {
+    let worker = shard.worker();
+    let tick = shard.tick_period();
+    let mut records: Vec<RtJobRecord> = Vec::new();
+    let mut shutting_down = false;
+
+    // One reusable sink: the steady-state loop allocates nothing for
+    // actions. Dispatches go straight into the worker's SPSC ring.
+    let mut sink = ActionSink::new();
+    let dispatch = |sink: &ActionSink, to_worker: &mut spsc::Producer<WorkerMsg>| {
+        for &a in sink.as_slice() {
+            if let Action::Dispatch { job, version, .. } = a {
+                let body = Arc::clone(&bodies[&(job.task, version)]);
+                let mut msg = WorkerMsg::Run { job, version, body };
+                let mut backoff = Backoff::new();
+                // The ring is sized for max_pending_jobs, so a full ring
+                // only means the worker is momentarily behind.
+                while let Err(yasmin_sync::spsc::Full(v)) = to_worker.push(msg) {
+                    msg = v;
+                    backoff.snooze();
+                }
+            }
+            // Boost actions are priority bookkeeping only; preemption is
+            // disabled, so Preempt cannot occur.
+        }
+    };
+
+    shard
+        .start_into(clock.now(), &mut sink)
+        .expect("fresh shard starts");
+    dispatch(&sink, &mut to_worker);
+    let mut next_tick = clock.now() + tick;
+
+    loop {
+        // Drain the mailbox (completions + control), zero-alloc path.
+        let mut drained_any = false;
+        while let Some(msg) = rx.try_recv() {
+            drained_any = true;
+            match msg {
+                ShardMsg::Done {
+                    job,
+                    version,
+                    started,
+                    completed,
+                } => {
+                    sink.clear();
+                    shard
+                        .on_job_completed_into(worker, job.id, completed, &mut sink)
+                        .expect("completion protocol upheld");
+                    records.push(RtJobRecord {
+                        job,
+                        version,
+                        worker,
+                        started,
+                        completed,
+                    });
+                    dispatch(&sink, &mut to_worker);
+                }
+                ShardMsg::Activate(task) => {
+                    sink.clear();
+                    if shard.activate_into(task, clock.now(), &mut sink).is_ok() {
+                        dispatch(&sink, &mut to_worker);
+                    }
+                }
+                ShardMsg::Stop => shard.stop(),
+                ShardMsg::Shutdown => shutting_down = true,
+            }
+        }
+        if shutting_down && shard.is_idle() {
+            break;
+        }
+
+        // Tick edge, generated locally by this shard's owner.
+        let now = clock.now();
+        if now >= next_tick {
+            sink.clear();
+            shard.on_tick_into(now, &mut sink);
+            dispatch(&sink, &mut to_worker);
+            while next_tick <= now {
+                next_tick += tick;
+            }
+            continue;
+        }
+        if !drained_any {
+            // Idle until the next tick or the next mailbox command; the
+            // sleep strategy naps in short slices so completions are
+            // still picked up promptly.
+            match waiting {
+                WaitChoice::Sleep => {
+                    let remaining: std::time::Duration = (next_tick - now).into();
+                    std::thread::sleep(remaining.min(std::time::Duration::from_micros(200)));
+                }
+                WaitChoice::Spin => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    // Release the worker.
+    let mut msg = WorkerMsg::Exit;
+    let mut backoff = Backoff::new();
+    while let Err(yasmin_sync::spsc::Full(v)) = to_worker.push(msg) {
+        msg = v;
+        backoff.snooze();
+    }
+    (records, shard.stats().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use yasmin_core::config::MappingScheme;
+    use yasmin_core::graph::TaskSetBuilder;
+    use yasmin_core::priority::PriorityPolicy;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::time::Duration;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn sharded_config(workers: usize) -> Config {
+        Config::builder()
+            .workers(workers)
+            .mapping(MappingScheme::Partitioned)
+            .sharded_dispatch(true)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .preemption(false)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn per_shard_periodic_tasks_fire_on_both_workers() {
+        let mut b = TaskSetBuilder::new();
+        let mut ids = Vec::new();
+        for w in 0..2u16 {
+            let t = b
+                .task_decl(TaskSpec::periodic(format!("t{w}"), ms(5)).on_worker(WorkerId::new(w)))
+                .unwrap();
+            let v = b
+                .version_decl(t, VersionSpec::new("v", Duration::from_micros(100)))
+                .unwrap();
+            ids.push((t, v));
+        }
+        let ts = Arc::new(b.build().unwrap());
+        let counts: Vec<Arc<AtomicU32>> = (0..2).map(|_| Arc::new(AtomicU32::new(0))).collect();
+        let mut builder = ShardedRuntimeBuilder::new(ts, sharded_config(2));
+        for (w, (t, v)) in ids.iter().enumerate() {
+            let c = Arc::clone(&counts[w]);
+            builder = builder.body(*t, *v, move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let rt = builder.build().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        rt.stop();
+        let report = rt.cleanup();
+        for (w, c) in counts.iter().enumerate() {
+            let n = c.load(Ordering::SeqCst);
+            assert!(n >= 4, "worker {w} only ran {n} jobs");
+        }
+        assert_eq!(
+            report.records.len() as u32,
+            counts.iter().map(|c| c.load(Ordering::SeqCst)).sum::<u32>()
+        );
+        assert_eq!(report.engine_stats.completed, report.records.len() as u64);
+        // Every record names the worker its task was pinned to.
+        for r in &report.records {
+            assert_eq!(
+                r.worker.index(),
+                r.job.task.index(),
+                "task w pinned to worker w"
+            );
+        }
+    }
+
+    #[test]
+    fn activation_routes_to_the_owning_shard() {
+        let mut b = TaskSetBuilder::new();
+        let p = b
+            .task_decl(TaskSpec::periodic("p", ms(5)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        let vp = b
+            .version_decl(p, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let a = b
+            .task_decl(TaskSpec::aperiodic("a").on_worker(WorkerId::new(1)))
+            .unwrap();
+        let va = b
+            .version_decl(a, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let hits = Arc::new(AtomicU32::new(0));
+        let h2 = Arc::clone(&hits);
+        let on = Arc::new(AtomicU32::new(u32::MAX));
+        let on2 = Arc::clone(&on);
+        let rt = ShardedRuntimeBuilder::new(ts, sharded_config(2))
+            .body(p, vp, |_| {})
+            .body(a, va, move |ctx| {
+                h2.fetch_add(1, Ordering::SeqCst);
+                on2.store(u32::from(ctx.worker.raw()), Ordering::SeqCst);
+            })
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        rt.activate(a).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        rt.stop();
+        let _ = rt.cleanup();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(on.load(Ordering::SeqCst), 1, "ran on its assigned worker");
+    }
+
+    #[test]
+    fn preemptive_or_unsharded_config_rejected() {
+        let mut b = TaskSetBuilder::new();
+        let t = b
+            .task_decl(TaskSpec::periodic("t", ms(5)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        let v = b
+            .version_decl(t, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let preemptive = Config::builder()
+            .workers(1)
+            .mapping(MappingScheme::Partitioned)
+            .sharded_dispatch(true)
+            .build()
+            .unwrap();
+        assert!(ShardedRuntimeBuilder::new(Arc::clone(&ts), preemptive)
+            .body(t, v, |_| {})
+            .build()
+            .is_err());
+        let unsharded = Config::builder()
+            .workers(1)
+            .mapping(MappingScheme::Partitioned)
+            .preemption(false)
+            .build()
+            .unwrap();
+        assert!(ShardedRuntimeBuilder::new(ts, unsharded)
+            .body(t, v, |_| {})
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn latency_is_sane_per_shard() {
+        let mut b = TaskSetBuilder::new();
+        let t = b
+            .task_decl(TaskSpec::periodic("t", ms(10)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        let v = b
+            .version_decl(t, VersionSpec::new("v", Duration::from_micros(20)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let rt = ShardedRuntimeBuilder::new(ts, sharded_config(1))
+            .body(t, v, |_| {})
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        rt.stop();
+        let report = rt.cleanup();
+        assert!(report.records.len() >= 3);
+        for r in &report.records {
+            assert!(
+                r.start_latency() < ms(10),
+                "latency {} exceeds the period",
+                r.start_latency()
+            );
+            assert!(!r.missed(), "missed deadline in an idle host run");
+        }
+    }
+}

@@ -105,6 +105,25 @@ pub struct EngineStats {
     pub max_ready: usize,
 }
 
+impl EngineStats {
+    /// Accumulates another engine's counters into this one — used to
+    /// aggregate per-shard stats into a whole-system view. Every counter
+    /// sums; `max_ready` sums too (each shard's high-water mark is over
+    /// its own queue, so the sum is a conservative bound on the global
+    /// concurrent ready count, not an observed maximum).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.released += other.released;
+        self.dispatched += other.dispatched;
+        self.completed += other.completed;
+        self.preempted += other.preempted;
+        self.pip_boosts += other.pip_boosts;
+        self.blocked_skips += other.blocked_skips;
+        self.sporadic_violations += other.sporadic_violations;
+        self.channel_overflows += other.channel_overflows;
+        self.max_ready += other.max_ready;
+    }
+}
+
 enum VersionChoice {
     Run(VersionId, Option<AccelId>),
     /// All eligible versions target busy accelerators; the wished-for
@@ -177,6 +196,12 @@ pub struct OnlineEngine {
     blocked_buf: Vec<Job>,
     /// Distinct successor tasks of the job that just completed.
     successor_buf: Vec<TaskId>,
+    /// `Some(w)`: this engine is the *shard* owning only worker `w`
+    /// (partitioned mapping). It holds exactly one queue and one running
+    /// slot, releases only tasks assigned to `w`, and still reports the
+    /// global `WorkerId` in every action. `None`: the classic
+    /// single-owner engine over all workers.
+    shard: Option<WorkerId>,
 }
 
 impl OnlineEngine {
@@ -189,6 +214,35 @@ impl OnlineEngine {
     /// * [`Error::MissingPartition`] / [`Error::UnknownWorker`] if
     ///   partitioned mapping lacks or exceeds worker assignments.
     pub fn new(taskset: Arc<TaskSet>, config: Config) -> Result<Self> {
+        Self::new_inner(taskset, config, None)
+    }
+
+    /// Builds the *shard* of the engine owning only `worker`: one ready
+    /// queue, one running slot, releases restricted to tasks assigned to
+    /// `worker`. Used through [`crate::shard::EngineShard`], which also
+    /// validates that the task set partitions cleanly across shards.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::new`], plus [`Error::InvalidConfig`] unless
+    /// the mapping is partitioned and `worker` exists.
+    pub(crate) fn new_shard(
+        taskset: Arc<TaskSet>,
+        config: Config,
+        worker: WorkerId,
+    ) -> Result<Self> {
+        if config.mapping() != MappingScheme::Partitioned {
+            return Err(Error::InvalidConfig(
+                "engine shards exist under partitioned mapping only".into(),
+            ));
+        }
+        if worker.index() >= config.workers() {
+            return Err(Error::UnknownWorker(worker));
+        }
+        Self::new_inner(taskset, config, Some(worker))
+    }
+
+    fn new_inner(taskset: Arc<TaskSet>, config: Config, shard: Option<WorkerId>) -> Result<Self> {
         let workers = config.workers();
         if config.mapping() == MappingScheme::Partitioned {
             for t in taskset.tasks() {
@@ -207,10 +261,12 @@ impl OnlineEngine {
                 )
             })?,
         };
-        let n_queues = match config.mapping() {
-            MappingScheme::Global => 1,
-            MappingScheme::Partitioned => workers,
+        let n_queues = match (shard, config.mapping()) {
+            (Some(_), _) => 1,
+            (None, MappingScheme::Global) => 1,
+            (None, MappingScheme::Partitioned) => workers,
         };
+        let n_slots = if shard.is_some() { 1 } else { workers };
         let queues = (0..n_queues)
             .map(|_| ReadyQueue::with_capacity(config.max_pending_jobs()))
             .collect();
@@ -263,7 +319,9 @@ impl OnlineEngine {
             last_activation: vec![None; n],
             activation_seq: vec![0; n],
             static_priority,
-            job_counter: 0,
+            // Shards stamp their worker index into the id's high bits so
+            // job ids stay unique across concurrently-numbering shards.
+            job_counter: shard.map_or(0, |w| (w.index() as u64) << 48),
             tick,
             started: false,
             stopping: false,
@@ -281,7 +339,8 @@ impl OnlineEngine {
             blocked_buf: Vec::with_capacity(config.max_pending_jobs().min(64)),
             successor_buf: Vec::with_capacity(n),
             queues,
-            running: vec![None; workers],
+            running: vec![None; n_slots],
+            shard,
             taskset,
             config,
         })
@@ -348,10 +407,56 @@ impl OnlineEngine {
         &self.stats
     }
 
+    /// The worker this engine is a shard of, `None` for the whole-system
+    /// single-owner engine.
+    #[must_use]
+    pub fn shard_worker(&self) -> Option<WorkerId> {
+        self.shard
+    }
+
+    /// The `running`-slot index serving `worker`, `None` when this
+    /// engine does not own that worker (foreign shard / out of range).
+    fn slot_of(&self, worker: WorkerId) -> Option<usize> {
+        match self.shard {
+            None => (worker.index() < self.running.len()).then(|| worker.index()),
+            Some(w) => (worker == w).then_some(0),
+        }
+    }
+
+    /// The global worker id served by running-slot `slot`.
+    fn worker_of_slot(&self, slot: usize) -> WorkerId {
+        match self.shard {
+            None => WorkerId::new(slot as u16),
+            Some(w) => w,
+        }
+    }
+
+    /// `true` when this engine releases jobs of `task` (always, unless a
+    /// shard not owning the task's assigned worker).
+    fn owns_task(&self, task: TaskId) -> bool {
+        match self.shard {
+            None => true,
+            Some(w) => self.taskset.tasks()[task.index()].spec().assigned_worker() == Some(w),
+        }
+    }
+
     /// What `worker` is currently executing.
     #[must_use]
     pub fn running(&self, worker: WorkerId) -> Option<&RunningJob> {
-        self.running.get(worker.index()).and_then(Option::as_ref)
+        let slot = self.slot_of(worker)?;
+        self.running[slot].as_ref()
+    }
+
+    /// The most urgent ready job **without** mutating any queue — the
+    /// immutable counterpart of the internal (tombstone-purging) peek,
+    /// suitable for cross-thread introspection of a shard. O(n) over
+    /// ready jobs; see [`ReadyQueue::peek_hint`] for the contract.
+    #[must_use]
+    pub fn most_urgent_hint(&self) -> Option<&Job> {
+        self.queues
+            .iter()
+            .filter_map(ReadyQueue::peek_hint)
+            .min_by_key(|j| j.queue_key())
     }
 
     /// Total jobs currently ready (not running).
@@ -402,6 +507,9 @@ impl OnlineEngine {
         self.next_wake = Instant::MAX;
         for t in self.taskset.tasks() {
             let id = t.id();
+            if !self.owns_task(id) {
+                continue;
+            }
             let is_root = self.taskset.in_degree(id) == 0;
             if is_root && t.spec().kind() == ActivationKind::Periodic {
                 let r = now + t.spec().release_offset();
@@ -486,6 +594,11 @@ impl OnlineEngine {
         sink: &mut ActionSink,
     ) -> Result<()> {
         let t = self.taskset.task(task)?;
+        if !self.owns_task(task) {
+            return Err(Error::InvalidConfig(format!(
+                "task {task} is not assigned to this engine shard"
+            )));
+        }
         match t.spec().kind() {
             ActivationKind::Periodic => {
                 return Err(Error::InvalidConfig(format!(
@@ -543,8 +656,8 @@ impl OnlineEngine {
         sink: &mut ActionSink,
     ) -> Result<()> {
         let slot = self
-            .running
-            .get_mut(worker.index())
+            .slot_of(worker)
+            .and_then(|s| self.running.get_mut(s))
             .ok_or(Error::UnknownWorker(worker))?;
         let running = slot.take().ok_or_else(|| {
             Error::InvalidConfig(format!("worker {worker} completed {job} while idle"))
@@ -647,6 +760,10 @@ impl OnlineEngine {
     }
 
     fn queue_index(&self, task: TaskId) -> usize {
+        if self.shard.is_some() {
+            debug_assert!(self.owns_task(task), "shard released a foreign task");
+            return 0;
+        }
         match self.config.mapping() {
             MappingScheme::Global => 0,
             MappingScheme::Partitioned => self.taskset.tasks()[task.index()]
@@ -739,7 +856,8 @@ impl OnlineEngine {
                 .acquire(a, job.id, worker, job.priority)
                 .expect("choose_version verified the accelerator is free");
         }
-        self.running[worker.index()] = Some(RunningJob {
+        let slot = self.slot_of(worker).expect("dispatch targets owned worker");
+        self.running[slot] = Some(RunningJob {
             job,
             version,
             accel,
@@ -757,7 +875,10 @@ impl OnlineEngine {
     fn apply_pip(&mut self, blocked: &Job, wishes: &[AccelId], actions: &mut ActionSink) {
         for &a in wishes {
             if let Some(holder) = self.accels.boost_holder(a, blocked.priority) {
-                if let Some(r) = self.running[holder.worker.index()].as_mut() {
+                if let Some(r) = self
+                    .slot_of(holder.worker)
+                    .and_then(|s| self.running[s].as_mut())
+                {
                     if r.job.id == holder.job {
                         r.effective_priority = holder.priority;
                     }
@@ -800,7 +921,8 @@ impl OnlineEngine {
             };
             match self.choose_version(job.task) {
                 VersionChoice::Run(v, a) => {
-                    self.start_job(WorkerId::new(w as u16), job, v, a, actions);
+                    let worker = self.worker_of_slot(w);
+                    self.start_job(worker, job, v, a, actions);
                 }
                 VersionChoice::Blocked => {
                     let wishes = std::mem::take(&mut self.wish_buf);
@@ -846,13 +968,14 @@ impl OnlineEngine {
                     let job = self.queues[qi].pop().expect("peeked job present");
                     let mut old = self.running[w].take().expect("victim present").job;
                     old.preempted = true;
+                    let worker = self.worker_of_slot(w);
                     actions.push(Action::Preempt {
-                        worker: WorkerId::new(w as u16),
+                        worker,
                         job: old.id,
                     });
                     self.stats.preempted += 1;
                     let _ = self.queues[qi].push(old);
-                    self.start_job(WorkerId::new(w as u16), job, v, a, actions);
+                    self.start_job(worker, job, v, a, actions);
                 }
                 VersionChoice::Blocked => {
                     let job = self.queues[qi].pop().expect("peeked job present");

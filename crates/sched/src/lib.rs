@@ -13,6 +13,9 @@
 //!   shortest-WCET default;
 //! * [`accel`] — accelerator arbitration with Priority Inheritance;
 //! * [`engine`] — the on-line global/partitioned scheduler (§3.3);
+//! * [`shard`] — per-worker engine shards for partitioned mapping: one
+//!   independent scheduler state per worker, fed through the lock-free
+//!   command mailbox (`yasmin_sync::mailbox`);
 //! * [`offline`] — off-line table synthesis, validation, and the run-time
 //!   dispatcher (§3.4, Fig. 1c);
 //! * [`server`] — polling/deferrable aperiodic servers (the paper's §7
@@ -28,6 +31,7 @@ pub mod offline;
 pub mod queue;
 pub mod select;
 pub mod server;
+pub mod shard;
 pub mod sink;
 
 pub use accel::AccelManager;
@@ -39,4 +43,5 @@ pub use offline::{
 pub use queue::ReadyQueue;
 pub use select::{rank_versions, rank_versions_into, RankBuf};
 pub use server::{AperiodicServer, ServerKind};
+pub use shard::{validate_sharding, EngineShard, ShardCmd};
 pub use sink::ActionSink;

@@ -129,6 +129,20 @@ impl ReadyQueue {
         self.heap.peek().map(|Reverse(OrderedJob(j))| j)
     }
 
+    /// The most urgent live job **without** mutating the queue.
+    ///
+    /// [`ReadyQueue::peek`] takes `&mut self` because it purges
+    /// tombstoned entries off the top of the heap as a side effect —
+    /// that contract leaks into APIs (like the engine shards) that want
+    /// to inspect a queue through a shared reference. `peek_hint` is the
+    /// immutable alternative: it scans the live entries in O(n) instead
+    /// of compacting, so it is for introspection (telemetry, work
+    /// stealing candidates), not the dispatch hot path.
+    #[must_use]
+    pub fn peek_hint(&self) -> Option<&Job> {
+        self.iter().min_by_key(|j| j.queue_key())
+    }
+
     /// Removes a specific job by tombstoning it: the heap entry stays in
     /// place and is discarded when it reaches the top (used when
     /// cancelling).
@@ -294,6 +308,21 @@ mod tests {
         assert!(q.is_empty());
         // Removing an already-removed id is a no-op.
         assert!(q.remove(JobId::new(5)).is_none());
+    }
+
+    #[test]
+    fn peek_hint_is_immutable_and_skips_tombstones() {
+        let mut q = ReadyQueue::with_capacity(8);
+        q.push(job(1, 10)).unwrap();
+        q.push(job(2, 20)).unwrap();
+        q.push(job(3, 30)).unwrap();
+        assert!(q.remove(JobId::new(1)).is_some()); // tombstone the top
+        let hint = |q: &ReadyQueue| q.peek_hint().map(|j| j.id);
+        assert_eq!(hint(&q), Some(JobId::new(2)), "hint skips the dead top");
+        assert_eq!(hint(&q), Some(JobId::new(2)), "no compaction side effect");
+        // peek (mutable) agrees with the hint.
+        assert_eq!(q.peek().map(|j| j.id), Some(JobId::new(2)));
+        assert!(ReadyQueue::with_capacity(2).peek_hint().is_none());
     }
 
     #[test]

@@ -1,0 +1,623 @@
+//! Per-worker engine shards (partitioned mapping, PR 3).
+//!
+//! Under [`MappingScheme::Partitioned`] every worker already has its own
+//! ready queue (Fig. 1b) — yet the classic [`OnlineEngine`] funnels all
+//! of them through one owner, capping the system at a single scheduler
+//! thread. An [`EngineShard`] is the slice of the engine belonging to
+//! exactly one worker: its own [`crate::ReadyQueue`], running slot, rank
+//! cache and scratch buffers, with **zero mutable state shared between
+//! shards** (the task set is shared immutably through an `Arc`). One
+//! scheduler thread per core can then drive its shard independently,
+//! fed through the lock-free command mailbox in `yasmin-sync`.
+//!
+//! The sharding contract, enforced by [`EngineShard::build_all`]:
+//!
+//! * the configuration opts in via `Config::sharded_dispatch` (which
+//!   itself requires partitioned mapping);
+//! * every DAG edge stays within one worker — a cross-shard edge would
+//!   make two shards race on the edge's activation tokens (routing
+//!   cross-shard activations through the mailbox is the work-stealing
+//!   follow-up, see ROADMAP);
+//! * every accelerator is referenced by the tasks of at most one worker
+//!   — otherwise two shards would arbitrate the same device without
+//!   seeing each other's holders.
+//!
+//! Job ids are stamped with the shard's worker index in their high bits,
+//! so ids stay unique across shards numbering concurrently; per-task
+//! sequence numbers (`Job::seq`) are identical to the single-owner
+//! engine's, which is what trace cross-checks compare on.
+
+use crate::engine::{EngineStats, OnlineEngine, RunningJob};
+use crate::job::Job;
+use crate::sink::ActionSink;
+use std::sync::Arc;
+use yasmin_core::config::{Config, MappingScheme};
+use yasmin_core::error::{Error, Result};
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::{JobId, TaskId, WorkerId};
+use yasmin_core::time::{Duration, Instant};
+use yasmin_core::version::ExecMode;
+
+/// A command fed to an [`EngineShard`] by its mailbox producers.
+///
+/// Each variant carries the (driver-supplied) time it takes effect, so a
+/// shard owner can drain several producers and process commands in a
+/// deterministic time order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardCmd {
+    /// Explicit activation of a sporadic/aperiodic task owned by the
+    /// shard (the paper's `yas_task_activate`).
+    Activate {
+        /// The task to activate.
+        task: TaskId,
+        /// Activation time.
+        at: Instant,
+    },
+    /// A worker finished a job the shard dispatched.
+    JobCompleted {
+        /// The worker that ran the job (must be the shard's worker).
+        worker: WorkerId,
+        /// The completed job.
+        job: JobId,
+        /// Completion time.
+        at: Instant,
+    },
+    /// A scheduler-thread tick: release periodic jobs due by `at`.
+    Tick {
+        /// The tick instant.
+        at: Instant,
+    },
+    /// Stop releasing periodic jobs; in-flight work drains.
+    Stop,
+}
+
+impl ShardCmd {
+    /// The simulated/driver time the command takes effect, if it
+    /// carries one (`Stop` is timeless).
+    #[must_use]
+    pub fn at(&self) -> Option<Instant> {
+        match *self {
+            ShardCmd::Activate { at, .. }
+            | ShardCmd::JobCompleted { at, .. }
+            | ShardCmd::Tick { at } => Some(at),
+            ShardCmd::Stop => None,
+        }
+    }
+}
+
+/// The independent slice of the scheduling engine owned by one worker.
+///
+/// Construction goes through [`EngineShard::build_all`], which validates
+/// the sharding contract for the whole task set. All scheduling entry
+/// points mirror [`OnlineEngine`]'s zero-allocation `*_into` API and
+/// report the shard's **global** [`WorkerId`] in every action.
+#[derive(Debug)]
+pub struct EngineShard {
+    engine: OnlineEngine,
+    worker: WorkerId,
+}
+
+/// Checks the sharding contract for `taskset` under `config`; see the
+/// module docs for the three rules.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] naming the violated rule; partition errors
+/// ([`Error::MissingPartition`] / [`Error::UnknownWorker`]) as in
+/// [`OnlineEngine::new`].
+pub fn validate_sharding(taskset: &TaskSet, config: &Config) -> Result<()> {
+    if !config.sharded_dispatch() {
+        return Err(Error::InvalidConfig(
+            "enable Config::sharded_dispatch to build engine shards".into(),
+        ));
+    }
+    debug_assert_eq!(config.mapping(), MappingScheme::Partitioned);
+    let assigned = |t: TaskId| -> Result<WorkerId> {
+        match taskset.tasks()[t.index()].spec().assigned_worker() {
+            None => Err(Error::MissingPartition(t)),
+            Some(w) if w.index() >= config.workers() => Err(Error::UnknownWorker(w)),
+            Some(w) => Ok(w),
+        }
+    };
+    for e in taskset.edges() {
+        let (ws, wd) = (assigned(e.src)?, assigned(e.dst)?);
+        if ws != wd {
+            return Err(Error::InvalidConfig(format!(
+                "edge {} -> {} crosses shards (workers {ws} and {wd}): cross-shard \
+                 DAG edges would race on activation tokens",
+                e.src, e.dst
+            )));
+        }
+    }
+    let mut accel_owner = vec![None; taskset.accels().len()];
+    for t in taskset.tasks() {
+        let w = assigned(t.id())?;
+        for v in t.versions() {
+            if let Some(a) = v.accel() {
+                match accel_owner[a.index()] {
+                    None => accel_owner[a.index()] = Some(w),
+                    Some(prev) if prev == w => {}
+                    Some(prev) => {
+                        return Err(Error::InvalidConfig(format!(
+                            "accelerator {a} is used from workers {prev} and {w}: \
+                             shards arbitrate accelerators independently"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl EngineShard {
+    /// Builds one shard per worker, validating the sharding contract
+    /// once for the whole set. The returned vector is indexed by worker.
+    ///
+    /// # Errors
+    ///
+    /// See [`validate_sharding`] and [`OnlineEngine::new`].
+    pub fn build_all(taskset: &Arc<TaskSet>, config: &Config) -> Result<Vec<EngineShard>> {
+        validate_sharding(taskset, config)?;
+        (0..config.workers())
+            .map(|w| {
+                let worker = WorkerId::new(w as u16);
+                Ok(EngineShard {
+                    engine: OnlineEngine::new_shard(Arc::clone(taskset), config.clone(), worker)?,
+                    worker,
+                })
+            })
+            .collect()
+    }
+
+    /// The worker this shard owns.
+    #[must_use]
+    pub fn worker(&self) -> WorkerId {
+        self.worker
+    }
+
+    /// Applies one mailbox command, appending resulting actions to
+    /// `sink` (which is **not** cleared — the caller batches).
+    ///
+    /// # Errors
+    ///
+    /// The underlying engine call's errors — e.g. a `JobCompleted` for a
+    /// foreign worker, or an `Activate` of a task the shard does not
+    /// own. Those are driver protocol violations, not runtime
+    /// conditions.
+    pub fn process_into(&mut self, cmd: ShardCmd, sink: &mut ActionSink) -> Result<()> {
+        match cmd {
+            ShardCmd::Activate { task, at } => self.engine.activate_into(task, at, sink),
+            ShardCmd::JobCompleted { worker, job, at } => {
+                self.engine.on_job_completed_into(worker, job, at, sink)
+            }
+            ShardCmd::Tick { at } => {
+                self.engine.on_tick_into(at, sink);
+                Ok(())
+            }
+            ShardCmd::Stop => {
+                self.engine.stop();
+                Ok(())
+            }
+        }
+    }
+
+    /// Starts the shard's schedule at `now`; see
+    /// [`OnlineEngine::start_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ScheduleRunning`] if already started.
+    pub fn start_into(&mut self, now: Instant, sink: &mut ActionSink) -> Result<()> {
+        self.engine.start_into(now, sink)
+    }
+
+    /// One scheduler tick; see [`OnlineEngine::on_tick_into`].
+    pub fn on_tick_into(&mut self, now: Instant, sink: &mut ActionSink) {
+        self.engine.on_tick_into(now, sink);
+    }
+
+    /// Explicit activation; see [`OnlineEngine::activate_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::activate_into`], plus a protocol error when
+    /// the task is not assigned to this shard's worker.
+    pub fn activate_into(
+        &mut self,
+        task: TaskId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.engine.activate_into(task, now, sink)
+    }
+
+    /// Completion hand-back; see [`OnlineEngine::on_job_completed_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::on_job_completed_into`]; `worker` must be this
+    /// shard's worker.
+    pub fn on_job_completed_into(
+        &mut self,
+        worker: WorkerId,
+        job: JobId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.engine.on_job_completed_into(worker, job, now, sink)
+    }
+
+    /// Stops releasing periodic jobs; in-flight work drains.
+    pub fn stop(&mut self) {
+        self.engine.stop();
+    }
+
+    /// Switches the execution mode (shard-local; a driver broadcasting a
+    /// mode switch sends it to every shard).
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.engine.set_mode(mode);
+    }
+
+    /// The scheduler-thread period (identical across shards: gcd over
+    /// the *whole* task set, so shard ticks stay aligned).
+    #[must_use]
+    pub fn tick_period(&self) -> Duration {
+        self.engine.tick_period()
+    }
+
+    /// The shared (immutable) task set.
+    #[must_use]
+    pub fn taskset(&self) -> &TaskSet {
+        self.engine.taskset()
+    }
+
+    /// Shard counters (merge with [`EngineStats::merge`] for a global
+    /// view).
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        self.engine.stats()
+    }
+
+    /// What the shard's worker is currently executing.
+    #[must_use]
+    pub fn running(&self) -> Option<&RunningJob> {
+        self.engine.running(self.worker)
+    }
+
+    /// Ready (not running) jobs queued in this shard.
+    #[must_use]
+    pub fn ready_len(&self) -> usize {
+        self.engine.ready_len()
+    }
+
+    /// `true` when the queue is empty and the worker idle.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.engine.is_idle()
+    }
+
+    /// The most urgent ready job without mutating the queue — safe to
+    /// call through a shared reference (telemetry, future work-stealing
+    /// probes); see [`crate::ReadyQueue::peek_hint`] for why the exact
+    /// peek needs `&mut`.
+    #[must_use]
+    pub fn peek_hint(&self) -> Option<&Job> {
+        self.engine.most_urgent_hint()
+    }
+
+    /// Unwraps the inner shard-view engine, for drivers that embed the
+    /// shard in their own event loop (the simulator does this).
+    #[must_use]
+    pub fn into_inner(self) -> OnlineEngine {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Action;
+    use yasmin_core::priority::PriorityPolicy;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn at(v: u64) -> Instant {
+        Instant::from_nanos(v * 1_000_000)
+    }
+
+    fn partitioned_config(workers: usize) -> Config {
+        Config::builder()
+            .workers(workers)
+            .mapping(MappingScheme::Partitioned)
+            .sharded_dispatch(true)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap()
+    }
+
+    /// Two workers, two tasks each.
+    fn two_worker_set() -> Arc<TaskSet> {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        for (name, period, w) in [("a0", 10, 0), ("a1", 20, 0), ("b0", 10, 1), ("b1", 40, 1)] {
+            let t = b
+                .task_decl(TaskSpec::periodic(name, ms(period)).on_worker(WorkerId::new(w)))
+                .unwrap();
+            b.version_decl(t, VersionSpec::new(name, ms(2))).unwrap();
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn build_all_yields_one_shard_per_worker() {
+        let shards = EngineShard::build_all(&two_worker_set(), &partitioned_config(2)).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].worker(), WorkerId::new(0));
+        assert_eq!(shards[1].worker(), WorkerId::new(1));
+        assert_eq!(shards[0].tick_period(), shards[1].tick_period());
+    }
+
+    #[test]
+    fn requires_sharded_dispatch_opt_in() {
+        let cfg = Config::builder()
+            .workers(2)
+            .mapping(MappingScheme::Partitioned)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            EngineShard::build_all(&two_worker_set(), &cfg),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn shards_release_only_their_own_tasks_with_global_worker_ids() {
+        let ts = two_worker_set();
+        let mut shards = EngineShard::build_all(&ts, &partitioned_config(2)).unwrap();
+        let mut sink = ActionSink::new();
+        for shard in &mut shards {
+            sink.clear();
+            shard.start_into(Instant::ZERO, &mut sink).unwrap();
+            assert_eq!(sink.len(), 1, "one dispatch per shard worker");
+            match sink.as_slice()[0] {
+                Action::Dispatch { worker, job, .. } => {
+                    assert_eq!(worker, shard.worker(), "global id in actions");
+                    assert_eq!(
+                        ts.tasks()[job.task.index()].spec().assigned_worker(),
+                        Some(shard.worker())
+                    );
+                }
+                other => panic!("{other:?}"),
+            }
+            assert_eq!(shard.ready_len(), 1, "second own task queued");
+        }
+    }
+
+    #[test]
+    fn job_ids_are_disjoint_across_shards() {
+        let ts = two_worker_set();
+        let mut shards = EngineShard::build_all(&ts, &partitioned_config(2)).unwrap();
+        let mut sink = ActionSink::new();
+        let mut ids = Vec::new();
+        for shard in &mut shards {
+            sink.clear();
+            shard.start_into(Instant::ZERO, &mut sink).unwrap();
+            ids.push(shard.running().unwrap().job.id);
+        }
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(ids[1].raw() >> 48, 1, "shard index in the high bits");
+    }
+
+    #[test]
+    fn foreign_completion_and_activation_rejected() {
+        let ts = two_worker_set();
+        let mut shards = EngineShard::build_all(&ts, &partitioned_config(2)).unwrap();
+        let mut sink = ActionSink::new();
+        shards[0].start_into(Instant::ZERO, &mut sink).unwrap();
+        let job = shards[0].running().unwrap().job.id;
+        // Completion reported by the wrong worker id.
+        assert!(shards[0]
+            .on_job_completed_into(WorkerId::new(1), job, at(1), &mut sink)
+            .is_err());
+        // Activation of a task owned by the other shard.
+        let foreign = ts
+            .tasks()
+            .iter()
+            .find(|t| t.spec().assigned_worker() == Some(WorkerId::new(1)))
+            .unwrap()
+            .id();
+        assert!(shards[0].activate_into(foreign, at(1), &mut sink).is_err());
+    }
+
+    #[test]
+    fn process_into_drives_the_full_cycle() {
+        let ts = two_worker_set();
+        let mut shards = EngineShard::build_all(&ts, &partitioned_config(2)).unwrap();
+        let shard = &mut shards[0];
+        let mut sink = ActionSink::new();
+        shard.start_into(Instant::ZERO, &mut sink).unwrap();
+        let first = shard.running().unwrap().job;
+        sink.clear();
+        shard
+            .process_into(
+                ShardCmd::JobCompleted {
+                    worker: shard.worker(),
+                    job: first.id,
+                    at: at(2),
+                },
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(sink.len(), 1, "next own task dispatches");
+        sink.clear();
+        shard
+            .process_into(ShardCmd::Tick { at: at(10) }, &mut sink)
+            .unwrap();
+        assert_eq!(shard.stats().released, 3, "period-10 task re-released");
+        shard.process_into(ShardCmd::Stop, &mut sink).unwrap();
+        sink.clear();
+        shard
+            .process_into(ShardCmd::Tick { at: at(20) }, &mut sink)
+            .unwrap();
+        assert_eq!(shard.stats().released, 3, "no releases after stop");
+        assert_eq!(ShardCmd::Stop.at(), None);
+        assert_eq!(ShardCmd::Tick { at: at(20) }.at(), Some(at(20)));
+    }
+
+    #[test]
+    fn cross_shard_edge_rejected() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let src = b
+            .task_decl(TaskSpec::periodic("src", ms(10)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        let dst = b
+            .task_decl(TaskSpec::graph_node("dst").on_worker(WorkerId::new(1)))
+            .unwrap();
+        b.version_decl(src, VersionSpec::new("s", ms(1))).unwrap();
+        b.version_decl(dst, VersionSpec::new("d", ms(1))).unwrap();
+        let c = b.channel_decl("c", 1, 1);
+        b.channel_connect(src, dst, c).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let err = EngineShard::build_all(&ts, &partitioned_config(2));
+        assert!(matches!(err, Err(Error::InvalidConfig(msg)) if msg.contains("crosses shards")));
+    }
+
+    #[test]
+    fn cross_shard_accelerator_rejected() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let gpu = b.hwaccel_decl("gpu");
+        for w in 0..2u16 {
+            let t = b
+                .task_decl(TaskSpec::periodic(format!("t{w}"), ms(10)).on_worker(WorkerId::new(w)))
+                .unwrap();
+            b.version_decl(t, VersionSpec::new("g", ms(1)).with_accel(gpu))
+                .unwrap();
+        }
+        let ts = Arc::new(b.build().unwrap());
+        let err = EngineShard::build_all(&ts, &partitioned_config(2));
+        assert!(matches!(err, Err(Error::InvalidConfig(msg)) if msg.contains("accelerator")));
+    }
+
+    #[test]
+    fn intra_shard_dag_fires_locally() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let w = WorkerId::new(1);
+        let src = b
+            .task_decl(TaskSpec::periodic("src", ms(10)).on_worker(w))
+            .unwrap();
+        let dst = b
+            .task_decl(TaskSpec::graph_node("dst").on_worker(w))
+            .unwrap();
+        b.version_decl(src, VersionSpec::new("s", ms(1))).unwrap();
+        b.version_decl(dst, VersionSpec::new("d", ms(1))).unwrap();
+        let c = b.channel_decl("c", 1, 1);
+        b.channel_connect(src, dst, c).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let mut shards = EngineShard::build_all(&ts, &partitioned_config(2)).unwrap();
+        let shard = &mut shards[1];
+        let mut sink = ActionSink::new();
+        shard.start_into(Instant::ZERO, &mut sink).unwrap();
+        let s = shard.running().unwrap().job.id;
+        sink.clear();
+        shard.on_job_completed_into(w, s, at(1), &mut sink).unwrap();
+        assert!(
+            sink.as_slice()
+                .iter()
+                .any(|a| matches!(a, Action::Dispatch { job, .. } if job.task == dst)),
+            "successor fires inside the shard: {:?}",
+            sink.as_slice()
+        );
+        // Shard 0 owns nothing: starting it dispatches nothing.
+        let mut empty_sink = ActionSink::new();
+        shards[0]
+            .start_into(Instant::ZERO, &mut empty_sink)
+            .unwrap();
+        assert!(empty_sink.is_empty());
+        assert!(shards[0].is_idle());
+        assert!(shards[0].peek_hint().is_none());
+    }
+
+    #[test]
+    fn shard_matches_single_owner_dispatch_order() {
+        // The load-bearing equivalence: per worker, the shard emits the
+        // same (task, seq, version) dispatch sequence as the single-owner
+        // partitioned engine driven identically.
+        let ts = two_worker_set();
+        let sharded_cfg = partitioned_config(2);
+        let single_cfg = Config::builder()
+            .workers(2)
+            .mapping(MappingScheme::Partitioned)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap();
+        let mut single = OnlineEngine::new(Arc::clone(&ts), single_cfg).unwrap();
+        let mut shards = EngineShard::build_all(&ts, &sharded_cfg).unwrap();
+
+        // Drive both for 8 ticks, completing everything mid-tick.
+        let mut single_log: Vec<(u16, u32, u64)> = Vec::new();
+        let mut shard_log: Vec<(u16, u32, u64)> = Vec::new();
+        let log_actions = |log: &mut Vec<(u16, u32, u64)>, actions: &[Action]| {
+            for a in actions {
+                if let Action::Dispatch { worker, job, .. } = a {
+                    log.push((worker.raw(), job.task.raw(), job.seq));
+                }
+            }
+        };
+        let mut sink = ActionSink::new();
+        single.start_into(Instant::ZERO, &mut sink).unwrap();
+        log_actions(&mut single_log, sink.as_slice());
+        for shard in &mut shards {
+            sink.clear();
+            shard.start_into(Instant::ZERO, &mut sink).unwrap();
+            log_actions(&mut shard_log, sink.as_slice());
+        }
+        for tick in 1..=8u64 {
+            let mid = at(tick * 10 - 5);
+            for w in 0..2u16 {
+                let worker = WorkerId::new(w);
+                if let Some(r) = single.running(worker) {
+                    let id = r.job.id;
+                    sink.clear();
+                    single
+                        .on_job_completed_into(worker, id, mid, &mut sink)
+                        .unwrap();
+                    log_actions(&mut single_log, sink.as_slice());
+                }
+                if let Some(r) = shards[w as usize].running() {
+                    let id = r.job.id;
+                    sink.clear();
+                    shards[w as usize]
+                        .on_job_completed_into(worker, id, mid, &mut sink)
+                        .unwrap();
+                    log_actions(&mut shard_log, sink.as_slice());
+                }
+            }
+            sink.clear();
+            single.on_tick_into(at(tick * 10), &mut sink);
+            log_actions(&mut single_log, sink.as_slice());
+            for shard in &mut shards {
+                sink.clear();
+                shard.on_tick_into(at(tick * 10), &mut sink);
+                log_actions(&mut shard_log, sink.as_slice());
+            }
+        }
+        // Compare per-worker subsequences (global interleaving across
+        // workers is driver-defined, not engine-defined).
+        for w in 0..2u16 {
+            let s: Vec<_> = single_log.iter().filter(|e| e.0 == w).collect();
+            let p: Vec<_> = shard_log.iter().filter(|e| e.0 == w).collect();
+            assert_eq!(s, p, "worker {w} dispatch sequence diverged");
+        }
+        let mut merged = EngineStats::default();
+        for shard in &shards {
+            merged.merge(shard.stats());
+        }
+        assert_eq!(merged.released, single.stats().released);
+        assert_eq!(merged.dispatched, single.stats().dispatched);
+        assert_eq!(merged.completed, single.stats().completed);
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::exec::{ExecModel, ExecSampler};
 use crate::kernel::{KernelKind, KernelModel};
+use crate::par::ShardFeed;
 use crate::stress::StressProfile;
 use crate::trace::{JobRecord, SimResult};
 use std::cmp::Reverse;
@@ -33,7 +34,7 @@ use yasmin_core::platform::PlatformSpec;
 use yasmin_core::stats::Samples;
 use yasmin_core::task::ActivationKind;
 use yasmin_core::time::{Duration, Instant};
-use yasmin_sched::{Action, ActionSink, Job, OnlineEngine};
+use yasmin_sched::{Action, ActionSink, Job, OnlineEngine, ShardCmd};
 
 /// Modelled fixed costs of scheduler interactions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -271,6 +272,12 @@ pub struct Simulation {
     worker_busy: Vec<Duration>,
     accel_busy: Vec<Duration>,
     tick: Duration,
+    /// `Some(w)`: this simulation drives the engine *shard* of worker
+    /// `w` (multi-threaded partitioned driver). Sporadic roots are then
+    /// fed externally through the mailbox instead of self-generated, and
+    /// energy/idle accounting covers only worker `w` so per-shard
+    /// results sum to the whole-system result.
+    shard: Option<WorkerId>,
 }
 
 impl Simulation {
@@ -282,6 +289,20 @@ impl Simulation {
     /// [`Error::InvalidConfig`] if the platform has fewer cores than
     /// workers, plus any engine construction error.
     pub fn new(taskset: Arc<TaskSet>, config: Config, sim: SimConfig) -> Result<Self> {
+        let engine = OnlineEngine::new(taskset, config)?;
+        Self::from_engine(engine, sim)
+    }
+
+    /// Builds a simulation around an already-constructed engine — the
+    /// whole-system engine, or one shard of it (the multi-threaded
+    /// driver in [`crate::par`] hands each shard thread its own).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if the platform has fewer cores than
+    /// workers.
+    pub(crate) fn from_engine(engine: OnlineEngine, sim: SimConfig) -> Result<Self> {
+        let config = engine.config();
         if config.workers() > sim.platform.core_count() {
             return Err(Error::InvalidConfig(format!(
                 "{} workers need {} cores but platform {} has {}",
@@ -292,8 +313,8 @@ impl Simulation {
             )));
         }
         let workers = config.workers();
-        let accels = taskset.accels().len();
-        let engine = OnlineEngine::new(taskset, config)?;
+        let shard = engine.shard_worker();
+        let accels = engine.taskset().accels().len();
         let tick = engine.tick_period();
         let stress_intensity = sim.stress.intensity(sim.platform.core_count());
         // Sporadic bookkeeping is fixed by the task set: build it once
@@ -328,6 +349,7 @@ impl Simulation {
             queue: BinaryHeap::new(),
             seq: 0,
             tick,
+            shard,
             engine,
             cfg: sim,
         })
@@ -525,7 +547,62 @@ impl Simulation {
     ///
     /// Engine errors (protocol violations) — not expected in normal
     /// operation.
-    pub fn run(mut self) -> Result<SimResult> {
+    pub fn run(self) -> Result<SimResult> {
+        self.run_with_feed(None)
+    }
+
+    /// Processes one externally-fed command at its carried time.
+    /// Commands past the horizon are drained but not simulated (the
+    /// producers must be unblocked even when the run is over).
+    fn apply_external(&mut self, cmd: ShardCmd, horizon: Instant) -> Result<()> {
+        match cmd {
+            ShardCmd::Activate { task, at } => {
+                if at > horizon {
+                    return Ok(());
+                }
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                self.timed(|e| {
+                    e.activate_into(task, at, &mut sink)
+                        .expect("fed task is activatable on this shard");
+                });
+                self.apply_actions(at, &sink);
+                self.sink = sink;
+                Ok(())
+            }
+            ShardCmd::Tick { at } => {
+                if at > horizon {
+                    return Ok(());
+                }
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                self.timed(|e| e.on_tick_into(at, &mut sink));
+                self.apply_actions(at, &sink);
+                self.sink = sink;
+                Ok(())
+            }
+            ShardCmd::Stop => {
+                self.engine.stop();
+                Ok(())
+            }
+            ShardCmd::JobCompleted { .. } => Err(Error::InvalidConfig(
+                "the simulator generates completions internally; an external \
+                 JobCompleted command is a driver bug"
+                    .into(),
+            )),
+        }
+    }
+
+    /// [`Simulation::run`] with an optional external command feed — the
+    /// multi-threaded partitioned driver ([`crate::par`]) hands each
+    /// shard a mailbox-backed feed delivering its sporadic activations.
+    ///
+    /// The merge is deterministic regardless of producer thread timing:
+    /// each mailbox lane delivers commands in non-decreasing time order,
+    /// the feed blocks until every open lane has revealed its next
+    /// command (the watermark), and an external command at time *t* is
+    /// processed before any local event at the same *t*.
+    pub(crate) fn run_with_feed(mut self, mut feed: Option<ShardFeed>) -> Result<SimResult> {
         let horizon = Instant::ZERO + self.cfg.horizon;
 
         // Start the schedule and arm the tick train.
@@ -542,21 +619,41 @@ impl Simulation {
         self.sink = sink;
         self.push_event(Instant::ZERO + self.tick, Ev::Tick);
 
-        // Arm the sporadic roots (precomputed in `new`).
-        for i in 0..self.sporadic_roots.len() {
-            let (t, offset) = self.sporadic_roots[i];
-            self.push_event(Instant::ZERO + offset, Ev::Sporadic { task: t });
+        // Arm the sporadic roots (precomputed in `new`) — unless the
+        // external feed is the activation source.
+        if feed.is_none() {
+            for i in 0..self.sporadic_roots.len() {
+                let (t, offset) = self.sporadic_roots[i];
+                self.push_event(Instant::ZERO + offset, Ev::Sporadic { task: t });
+            }
         }
         let mode_schedule = std::mem::take(&mut self.cfg.mode_schedule);
         for (offset, mode) in mode_schedule {
             self.push_event(Instant::ZERO + offset, Ev::ModeSwitch { mode });
         }
 
-        while let Some(Reverse(item)) = self.queue.pop() {
-            let now = Instant::from_nanos(item.time);
-            if now > horizon {
+        loop {
+            // Next local event, unless the run is over (the first local
+            // event past the horizon ends it, matching the single-feed
+            // `run` semantics — nothing later can be earlier).
+            let local_t = self
+                .queue
+                .peek()
+                .map(|Reverse(item)| item.time)
+                .filter(|&t| Instant::from_nanos(t) <= horizon);
+            if let Some(f) = feed.as_mut() {
+                if let Some(cmd) = f.pop_if_at_or_before(local_t) {
+                    self.apply_external(cmd, horizon)?;
+                    continue;
+                }
+            }
+            if local_t.is_none() {
                 break;
             }
+            let Some(Reverse(item)) = self.queue.pop() else {
+                break;
+            };
+            let now = Instant::from_nanos(item.time);
             match item.ev {
                 Ev::Tick => {
                     let mut sink = std::mem::take(&mut self.sink);
@@ -604,9 +701,14 @@ impl Simulation {
         }
 
         // Energy model: busy at active power, idle at idle power, accels
-        // at their active power.
+        // at their active power. A shard accounts only its own worker
+        // (busy *and* idle), so per-shard energies sum to the
+        // whole-system figure without double-counting idle cores.
         let mut energy = Energy::ZERO;
         for (w, busy) in self.worker_busy.iter().enumerate() {
+            if self.shard.is_some_and(|sw| sw.index() != w) {
+                continue;
+            }
             let class = self.cfg.platform.class_of(CoreId::new(w as u16));
             let idle = self.cfg.horizon.saturating_sub(*busy);
             energy += class.active_power().energy_over(*busy);

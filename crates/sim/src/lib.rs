@@ -11,6 +11,10 @@
 //! * [`exec`] — execution-time models (WCET, uniform fraction);
 //! * [`kernel`] — wake-up-latency models of the kernels in Table 2
 //!   (vanilla Linux, PREEMPT_RT, LitmusRT GSN-EDF / P-RES);
+//! * [`par`] — the multi-threaded partitioned driver: one simulation
+//!   thread per engine shard, fed by producer threads through the
+//!   lock-free command mailbox, with results identical to the
+//!   single-threaded [`engine::Simulation`];
 //! * [`stress`] — the stress-ng-like interference profile;
 //! * [`trace`] — per-job records and result aggregation;
 //! * [`render`] — ASCII Gantt charts and Chrome-trace export.
@@ -21,6 +25,7 @@
 pub mod engine;
 pub mod exec;
 pub mod kernel;
+pub mod par;
 pub mod render;
 pub mod stress;
 pub mod trace;
@@ -28,6 +33,7 @@ pub mod trace;
 pub use engine::{OverheadModel, SimConfig, Simulation};
 pub use exec::{ExecModel, ExecSampler};
 pub use kernel::{KernelKind, KernelModel, KernelParams};
+pub use par::{run_partitioned_parallel, ParSimOptions};
 pub use render::{ascii_gantt, chrome_trace, task_report};
 pub use stress::StressProfile;
 pub use trace::{JobRecord, SimResult};

@@ -1,0 +1,429 @@
+//! Multi-threaded partitioned simulation driver (PR 3).
+//!
+//! Runs one simulation thread per engine shard — each owning the
+//! independent per-worker scheduler state of
+//! [`yasmin_sched::EngineShard`] — while **N producer threads** feed
+//! sporadic activations through the lock-free command mailbox
+//! (`yasmin_sync::mailbox`, one SPSC lane per producer per shard). This
+//! exercises the exact concurrency topology of the sharded real-time
+//! runtime: multiple producers racing into a mailbox drained by a single
+//! shard owner.
+//!
+//! ## Determinism
+//!
+//! The result is **bit-identical to the single-threaded
+//! [`crate::Simulation`]** for the same partitioned task set (modulo
+//! shard-stamped job ids), no matter how the OS schedules the threads:
+//!
+//! * shards share no mutable state, so cross-shard thread timing cannot
+//!   matter;
+//! * each producer sends its commands in non-decreasing simulated time,
+//!   so a lane's head is the lane's minimum;
+//! * a shard processes a command only once every still-open lane has
+//!   revealed its next command (the *watermark*), merging lanes and
+//!   local events in simulated-time order — external commands win ties;
+//! * randomised execution-time and kernel models sample in dispatch
+//!   order, which is a global order the shards don't share: exact trace
+//!   equality therefore holds for the deterministic models
+//!   ([`crate::ExecModel::Wcet`], no kernel model). Each shard seeds its
+//!   samplers from `seed ^ worker` so randomised runs are still
+//!   per-shard deterministic.
+//!
+//! One caveat bounds the equality claim: when a **sporadic activation
+//! coincides exactly** with another event of the same shard (e.g. its
+//! offset lands on the tick grid), the single-threaded simulator breaks
+//! the tie by event *insertion order* — a history-dependent global
+//! sequence the mailbox merge cannot observe — while this driver
+//! applies its own fixed rule (external command first). Both drivers
+//! remain individually deterministic, but their traces may then differ
+//! at the tied instant. Keep sporadic offsets off the tick/finish grid
+//! (any sub-tick offset does it) when cross-checking traces; shard-local
+//! ties (tick vs completion) are unaffected because each shard replays
+//! the single-owner engine's own insertion order.
+
+use crate::engine::{SimConfig, Simulation};
+use crate::trace::SimResult;
+use std::sync::Arc;
+use yasmin_core::config::Config;
+use yasmin_core::error::{Error, Result};
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::TaskId;
+use yasmin_core::task::ActivationKind;
+use yasmin_core::time::{Duration, Instant};
+use yasmin_sched::{EngineShard, ShardCmd};
+use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
+use yasmin_sync::wait::Backoff;
+
+/// Options of the multi-threaded driver.
+#[derive(Debug, Clone, Copy)]
+pub struct ParSimOptions {
+    /// Producer threads feeding activations (≥ 1). Sporadic root tasks
+    /// are distributed over producers round-robin by task index.
+    pub producers: usize,
+    /// Floor on each mailbox lane's capacity. Lanes are sized to hold
+    /// their producer's entire schedule for the shard (computed up
+    /// front), so producers never block mid-schedule — a producer
+    /// stalled on one shard's full lane while another shard waits on
+    /// that producer's open-but-empty lane would deadlock the
+    /// conservative watermark merge.
+    pub lane_capacity: usize,
+}
+
+impl Default for ParSimOptions {
+    fn default() -> Self {
+        ParSimOptions {
+            producers: 4,
+            lane_capacity: 64,
+        }
+    }
+}
+
+/// The external command source of one shard simulation: a mailbox
+/// receiver whose lanes each deliver commands in non-decreasing time.
+#[derive(Debug)]
+pub(crate) struct ShardFeed {
+    rx: MailboxReceiver<ShardCmd>,
+    exhausted: bool,
+}
+
+impl ShardFeed {
+    pub(crate) fn new(rx: MailboxReceiver<ShardCmd>) -> Self {
+        ShardFeed {
+            rx,
+            exhausted: false,
+        }
+    }
+
+    /// The effective time of a command, in nanoseconds (timeless
+    /// commands act immediately).
+    fn time_of(cmd: &ShardCmd) -> u64 {
+        cmd.at().map_or(0, Instant::as_nanos)
+    }
+
+    /// Pops the earliest pending command if it is due at or before
+    /// `local` (`None` = no local event pending, pop unconditionally).
+    ///
+    /// Blocks (bounded spin: every producer pushes a finite schedule and
+    /// closes its lane) until the earliest pending time is *known* —
+    /// i.e. no lane is simultaneously open and empty. Ties across lanes
+    /// break by lane index, so the pop order is a pure function of the
+    /// lane contents.
+    pub(crate) fn pop_if_at_or_before(&mut self, local: Option<u64>) -> Option<ShardCmd> {
+        if self.exhausted {
+            return None;
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            let mut min: Option<(u64, usize)> = None;
+            let mut must_wait = false;
+            for i in 0..self.rx.lane_count() {
+                match self.rx.peek_lane(i) {
+                    Some(cmd) => {
+                        let t = Self::time_of(cmd);
+                        if min.is_none_or(|(mt, _)| t < mt) {
+                            min = Some((t, i));
+                        }
+                    }
+                    None => {
+                        if self.rx.lane_open(i) {
+                            must_wait = true;
+                        }
+                    }
+                }
+            }
+            if must_wait {
+                backoff.snooze();
+                continue;
+            }
+            return match min {
+                None => {
+                    self.exhausted = true;
+                    None
+                }
+                Some((t, lane)) => {
+                    if local.is_some_and(|lt| t > lt) {
+                        None // the local event comes first
+                    } else {
+                        Some(self.rx.pop_lane(lane).expect("peeked lane head present"))
+                    }
+                }
+            };
+        }
+    }
+}
+
+/// The per-producer activation schedule: every sporadic root task is
+/// released at its minimum inter-arrival from its offset — the same law
+/// the single-threaded simulator applies: the offset release happens
+/// whenever `offset <= horizon` (the single-threaded driver arms it
+/// unconditionally and its event filter is inclusive), re-releases only
+/// while strictly before the horizon — and assigned to producer
+/// `task.index() % producers`. Each list is (time, task), time-ordered.
+fn producer_schedules(
+    taskset: &TaskSet,
+    producers: usize,
+    horizon: Duration,
+) -> Vec<Vec<(Instant, TaskId)>> {
+    let end = Instant::ZERO + horizon;
+    let mut schedules = vec![Vec::new(); producers];
+    for t in taskset.tasks() {
+        if t.spec().kind() != ActivationKind::Sporadic || taskset.in_degree(t.id()) != 0 {
+            continue;
+        }
+        let schedule = &mut schedules[t.id().index() % producers];
+        let period = t.spec().period();
+        let first = Instant::ZERO + t.spec().release_offset();
+        if first <= end {
+            schedule.push((first, t.id()));
+        }
+        let mut at = first + period;
+        while at < end {
+            schedule.push((at, t.id()));
+            at += period;
+        }
+    }
+    for s in &mut schedules {
+        s.sort_by_key(|&(at, task)| (at, task));
+    }
+    schedules
+}
+
+/// Runs `schedule` into the per-shard senders, retrying full lanes with
+/// backoff, then drops the senders (closing this producer's lanes).
+fn producer_main(
+    schedule: Vec<(Instant, TaskId)>,
+    mut senders: Vec<MailboxSender<ShardCmd>>,
+    owner: &[usize],
+) {
+    let mut backoff = Backoff::new();
+    for (at, task) in schedule {
+        let mut cmd = ShardCmd::Activate { task, at };
+        loop {
+            match senders[owner[task.index()]].send(cmd) {
+                Ok(()) => {
+                    backoff.reset();
+                    break;
+                }
+                Err(MailboxFull(v)) => {
+                    cmd = v;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+/// Sums per-shard results into the whole-system result. Records are
+/// ordered by (completion, task, seq) — a deterministic total order,
+/// since each (task, seq) completes exactly once.
+fn merge_results(results: Vec<SimResult>, workers: usize) -> SimResult {
+    let mut merged = SimResult {
+        records: Vec::new(),
+        unfinished: 0,
+        unfinished_missed: 0,
+        engine_stats: yasmin_sched::EngineStats::default(),
+        horizon: Instant::ZERO,
+        sched_overhead_ns: yasmin_core::stats::Samples::new(),
+        worker_busy: vec![Duration::ZERO; workers],
+        energy: yasmin_core::energy::Energy::ZERO,
+    };
+    for r in results {
+        merged.records.extend(r.records);
+        merged.unfinished += r.unfinished;
+        merged.unfinished_missed += r.unfinished_missed;
+        merged.engine_stats.merge(&r.engine_stats);
+        merged.horizon = r.horizon;
+        merged.sched_overhead_ns.merge(&r.sched_overhead_ns);
+        for (w, busy) in r.worker_busy.iter().enumerate() {
+            merged.worker_busy[w] += *busy;
+        }
+        merged.energy += r.energy;
+    }
+    merged
+        .records
+        .sort_by_key(|r| (r.completion, r.task, r.seq));
+    merged
+}
+
+/// Runs a partitioned task set with **one simulation thread per worker
+/// shard** and [`ParSimOptions::producers`] producer threads feeding
+/// sporadic activations through per-shard command mailboxes.
+///
+/// `config` must opt in via `Config::sharded_dispatch(true)`; the task
+/// set must satisfy the sharding contract (no cross-shard DAG edges or
+/// accelerators — see [`yasmin_sched::validate_sharding`]).
+///
+/// # Errors
+///
+/// Sharding-contract violations, engine construction errors, or a shard
+/// simulation failing (driver protocol violation).
+///
+/// # Panics
+///
+/// Panics if a shard or producer thread itself panicked.
+pub fn run_partitioned_parallel(
+    taskset: Arc<TaskSet>,
+    config: Config,
+    sim: SimConfig,
+    opts: ParSimOptions,
+) -> Result<SimResult> {
+    if opts.producers == 0 {
+        return Err(Error::InvalidConfig(
+            "the parallel driver needs at least one producer thread".into(),
+        ));
+    }
+    let workers = config.workers();
+    let shards = EngineShard::build_all(&taskset, &config)?;
+    let schedules = producer_schedules(&taskset, opts.producers, sim.horizon);
+    // Task -> owning shard, for producer routing.
+    let owner: Vec<usize> = taskset
+        .tasks()
+        .iter()
+        .map(|t| {
+            t.spec()
+                .assigned_worker()
+                .expect("validated by build_all")
+                .index()
+        })
+        .collect();
+
+    // A lane must be able to hold its producer's *entire* schedule for
+    // that shard: with bounded lanes, a producer blocked pushing into
+    // one shard's full lane while another shard spins on that
+    // producer's still-open-but-empty lane is a cross-shard deadlock
+    // (the watermark wait is conservative). The schedules are
+    // precomputed, so exact sizing costs nothing; `opts.lane_capacity`
+    // only sets the floor.
+    let mut per_lane = vec![vec![0usize; opts.producers]; workers];
+    for (p, schedule) in schedules.iter().enumerate() {
+        for &(_, task) in schedule {
+            per_lane[owner[task.index()]][p] += 1;
+        }
+    }
+
+    // One mailbox per shard, one lane per producer; re-group the senders
+    // by producer so each producer thread owns one sender per shard.
+    let mut receivers = Vec::with_capacity(workers);
+    let mut by_producer: Vec<Vec<MailboxSender<ShardCmd>>> = (0..opts.producers)
+        .map(|_| Vec::with_capacity(workers))
+        .collect();
+    for lanes in &per_lane {
+        let cap = lanes
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(opts.lane_capacity);
+        let (senders, rx) = mailbox::<ShardCmd>(opts.producers, cap);
+        receivers.push(rx);
+        for (p, tx) in senders.into_iter().enumerate() {
+            by_producer[p].push(tx);
+        }
+    }
+
+    let results: Vec<Result<SimResult>> = std::thread::scope(|scope| {
+        let owner = &owner;
+        let mut shard_handles = Vec::with_capacity(workers);
+        for (shard, rx) in shards.into_iter().zip(receivers) {
+            let worker = shard.worker();
+            let mut cfg = sim.clone();
+            // Per-shard sampler streams: deterministic given (seed,
+            // worker), independent across shards.
+            cfg.seed ^= u64::from(worker.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("yasmin-sim-shard-{worker}"))
+                    .spawn_scoped(scope, move || {
+                        Simulation::from_engine(shard.into_inner(), cfg)?
+                            .run_with_feed(Some(ShardFeed::new(rx)))
+                    })
+                    .expect("spawning shard simulation thread"),
+            );
+        }
+        let mut producer_handles = Vec::with_capacity(opts.producers);
+        for (schedule, senders) in schedules.into_iter().zip(by_producer) {
+            producer_handles.push(
+                std::thread::Builder::new()
+                    .name("yasmin-sim-producer".into())
+                    .spawn_scoped(scope, move || producer_main(schedule, senders, owner))
+                    .expect("spawning producer thread"),
+            );
+        }
+        for p in producer_handles {
+            p.join().expect("producer thread panicked");
+        }
+        shard_handles
+            .into_iter()
+            .map(|h| h.join().expect("shard simulation thread panicked"))
+            .collect()
+    });
+    let results: Result<Vec<SimResult>> = results.into_iter().collect();
+    Ok(merge_results(results?, workers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasmin_core::config::MappingScheme;
+    use yasmin_core::ids::WorkerId;
+    use yasmin_core::priority::PriorityPolicy;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn producer_schedules_cover_the_horizon() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        for i in 0..3u16 {
+            let t = b
+                .task_decl(
+                    TaskSpec::sporadic(format!("s{i}"), ms(10))
+                        .with_release_offset(ms(1))
+                        .on_worker(WorkerId::new(0)),
+                )
+                .unwrap();
+            b.version_decl(t, VersionSpec::new("v", ms(1))).unwrap();
+        }
+        let ts = b.build().unwrap();
+        let schedules = producer_schedules(&ts, 2, ms(50));
+        let total: usize = schedules.iter().map(Vec::len).sum();
+        // Each task activates at 1, 11, 21, 31, 41 -> 5 each.
+        assert_eq!(total, 15);
+        // Round-robin: producer 0 gets tasks 0 and 2, producer 1 task 1.
+        assert_eq!(schedules[0].len(), 10);
+        assert_eq!(schedules[1].len(), 5);
+        for s in &schedules {
+            assert!(s.windows(2).all(|w| w[0].0 <= w[1].0), "time-ordered");
+        }
+    }
+
+    #[test]
+    fn zero_producers_rejected() {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let t = b
+            .task_decl(TaskSpec::periodic("t", ms(10)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        b.version_decl(t, VersionSpec::new("v", ms(1))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder()
+            .workers(1)
+            .mapping(MappingScheme::Partitioned)
+            .sharded_dispatch(true)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap();
+        let err = run_partitioned_parallel(
+            ts,
+            cfg,
+            SimConfig::uniform(1, ms(50)),
+            ParSimOptions {
+                producers: 0,
+                lane_capacity: 8,
+            },
+        );
+        assert!(err.is_err());
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`barrier`] — sense-reversing spin barrier;
 //! * [`spsc`] — bounded wait-free SPSC FIFO ring backing the task
 //!   channels;
+//! * [`mod@mailbox`] — lock-free MPSC command mailbox (one SPSC lane
+//!   per producer, single owner) feeding the sharded per-worker
+//!   scheduler;
 //! * [`wait`] — sleep vs spin waiting strategies.
 //!
 //! This is the only crate in the workspace that uses `unsafe` code; every
@@ -23,6 +26,7 @@
 
 pub mod barrier;
 pub mod lock;
+pub mod mailbox;
 pub mod mcs;
 pub mod pip;
 pub mod spsc;
@@ -31,6 +35,7 @@ pub mod wait;
 
 pub use barrier::SpinBarrier;
 pub use lock::{LockKind, YasminLock};
+pub use mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 pub use mcs::McsLock;
 pub use pip::PipMutex;
 pub use spsc::{channel as spsc_channel, Consumer, Producer};

@@ -1,0 +1,420 @@
+//! A lock-free multi-producer / single-consumer **command mailbox**.
+//!
+//! The sharded scheduler (one engine shard per worker, PR 3) needs a
+//! feed path that lets several producers — worker threads handing back
+//! completions, control threads injecting activations, external tick
+//! sources — deliver commands to a single shard owner without any lock
+//! on the hot path. Rather than a CAS-looping MPMC queue, the mailbox
+//! composes the existing wait-free [`crate::spsc`] ring: **one SPSC lane
+//! per producer**, drained by the single owner. Every `send` and every
+//! `recv` therefore completes in a bounded number of steps (no retry
+//! loops under contention), which keeps the path WCET-analysable — the
+//! same argument the paper makes for its FIFO channels (§3.5).
+//!
+//! Properties:
+//!
+//! * **per-lane FIFO**: commands from one producer arrive in order;
+//!   cross-lane order is decided by the consumer (round-robin in
+//!   [`MailboxReceiver::try_recv`], or caller-driven via the per-lane
+//!   API for deterministic merges);
+//! * **O(1) emptiness**: a shared counter tracks pending commands so an
+//!   idle owner does not scan all lanes to discover there is nothing to
+//!   do (the counter is advisory — it may transiently over-count while
+//!   a `send` is in flight, but never under-counts);
+//! * **close semantics**: dropping (or [`MailboxSender::close`]-ing) a
+//!   sender marks its lane closed; the owner can distinguish "lane empty
+//!   for now" from "lane will never produce again", which is what a
+//!   deterministic merge needs for its watermark;
+//! * **no allocation after construction**: lanes are fixed-capacity
+//!   rings created up front.
+
+use crate::spsc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned by [`MailboxSender::send`] when the sender's lane is
+/// full (the owner is not draining fast enough — back-pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MailboxFull<T>(pub T);
+
+impl<T> std::fmt::Display for MailboxFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("mailbox lane is full")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for MailboxFull<T> {}
+
+struct LaneShared {
+    pending: Arc<AtomicUsize>,
+    closed: Arc<AtomicBool>,
+}
+
+/// Creates a command mailbox with `lanes` producers, each backed by a
+/// private SPSC ring of `lane_capacity` slots.
+///
+/// Returns one [`MailboxSender`] per lane plus the single
+/// [`MailboxReceiver`]. Senders are `Send` and are meant to be moved to
+/// their producer threads; each is single-producer (it owns its lane).
+///
+/// # Panics
+///
+/// Panics if `lanes` or `lane_capacity` is zero.
+#[must_use]
+pub fn mailbox<T: Send>(
+    lanes: usize,
+    lane_capacity: usize,
+) -> (Vec<MailboxSender<T>>, MailboxReceiver<T>) {
+    assert!(lanes > 0, "mailbox needs at least one lane");
+    let pending = Arc::new(AtomicUsize::new(0));
+    let mut senders = Vec::with_capacity(lanes);
+    let mut receivers = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        let (tx, rx) = spsc::channel::<T>(lane_capacity);
+        let closed = Arc::new(AtomicBool::new(false));
+        senders.push(MailboxSender {
+            lane: tx,
+            shared: LaneShared {
+                pending: Arc::clone(&pending),
+                closed: Arc::clone(&closed),
+            },
+        });
+        receivers.push(Lane { rx, closed });
+    }
+    (
+        senders,
+        MailboxReceiver {
+            lanes: receivers,
+            next: 0,
+            pending,
+        },
+    )
+}
+
+/// The producing endpoint of one mailbox lane (single producer).
+pub struct MailboxSender<T> {
+    lane: spsc::Producer<T>,
+    shared: LaneShared,
+}
+
+impl<T: Send> std::fmt::Debug for MailboxSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MailboxSender")
+            .field("buffered", &self.lane.len())
+            .field("closed", &self.shared.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send> MailboxSender<T> {
+    /// Enqueues `cmd` on this producer's lane.
+    ///
+    /// # Errors
+    ///
+    /// [`MailboxFull`] returning the command when the lane has no room;
+    /// the producer should back off and retry (the owner drains).
+    pub fn send(&mut self, cmd: T) -> Result<(), MailboxFull<T>> {
+        // Count *before* the push: the counter must never under-count,
+        // or an owner could believe the mailbox empty while a command is
+        // already visible in a lane.
+        self.shared.pending.fetch_add(1, Ordering::Release);
+        match self.lane.push(cmd) {
+            Ok(()) => Ok(()),
+            Err(spsc::Full(v)) => {
+                self.shared.pending.fetch_sub(1, Ordering::Release);
+                Err(MailboxFull(v))
+            }
+        }
+    }
+
+    /// Commands currently buffered in this lane.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lane.len()
+    }
+
+    /// `true` when this lane holds no commands.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lane.is_empty()
+    }
+
+    /// The fixed per-lane capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lane.capacity()
+    }
+
+    /// Marks the lane closed: the owner will drain what is buffered and
+    /// then treat the lane as finished. Dropping the sender closes the
+    /// lane too; `close` exists for making the hand-off explicit.
+    pub fn close(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Drop for MailboxSender<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+struct Lane<T> {
+    rx: spsc::Consumer<T>,
+    closed: Arc<AtomicBool>,
+}
+
+/// The single consuming endpoint of a mailbox (the shard owner).
+pub struct MailboxReceiver<T> {
+    lanes: Vec<Lane<T>>,
+    next: usize,
+    pending: Arc<AtomicUsize>,
+}
+
+impl<T> std::fmt::Debug for MailboxReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MailboxReceiver")
+            .field("lanes", &self.lanes.len())
+            .field("pending", &self.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send> MailboxReceiver<T> {
+    /// Removes and returns one command, scanning lanes round-robin from
+    /// just past the lane served last (so a chatty producer cannot
+    /// starve the others). Returns `None` when every lane is empty.
+    #[must_use]
+    pub fn try_recv(&mut self) -> Option<T> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None; // O(1) idle fast path
+        }
+        let n = self.lanes.len();
+        for k in 0..n {
+            let i = (self.next + k) % n;
+            if let Some(cmd) = self.lanes[i].rx.pop() {
+                self.pending.fetch_sub(1, Ordering::Release);
+                self.next = (i + 1) % n;
+                return Some(cmd);
+            }
+        }
+        None
+    }
+
+    /// Commands pending across all lanes. Advisory: may transiently
+    /// over-count while a `send` is mid-flight, never under-counts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// `true` when no command is pending (subject to the same advisory
+    /// caveat as [`MailboxReceiver::len`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lanes (producers) this mailbox was built with.
+    #[must_use]
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` while lane `i`'s producer may still send (its sender has
+    /// not been dropped or closed). Buffered commands may remain even
+    /// after the lane closes; drain with [`MailboxReceiver::pop_lane`].
+    #[must_use]
+    pub fn lane_open(&self, i: usize) -> bool {
+        !self.lanes[i].closed.load(Ordering::Acquire)
+    }
+
+    /// The oldest command buffered in lane `i` without consuming it —
+    /// the primitive a deterministic k-way merge needs to pick the next
+    /// lane by timestamp.
+    #[must_use]
+    pub fn peek_lane(&self, i: usize) -> Option<&T> {
+        self.lanes[i].rx.peek()
+    }
+
+    /// Removes the oldest command of lane `i` specifically.
+    #[must_use]
+    pub fn pop_lane(&mut self, i: usize) -> Option<T> {
+        let cmd = self.lanes[i].rx.pop();
+        if cmd.is_some() {
+            self.pending.fetch_sub(1, Ordering::Release);
+        }
+        cmd
+    }
+
+    /// `true` once every lane is closed *and* fully drained: no command
+    /// is buffered and none can ever arrive.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.lanes
+            .iter()
+            .all(|l| l.closed.load(Ordering::Acquire) && l.rx.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wait::Backoff;
+
+    #[test]
+    fn round_robin_serves_all_lanes() {
+        let (mut txs, mut rx) = mailbox::<u32>(3, 4);
+        for (i, tx) in txs.iter_mut().enumerate() {
+            tx.send(i as u32 * 10).unwrap();
+            tx.send(i as u32 * 10 + 1).unwrap();
+        }
+        assert_eq!(rx.len(), 6);
+        // One command per lane per round, lane order 0,1,2.
+        assert_eq!(rx.try_recv(), Some(0));
+        assert_eq!(rx.try_recv(), Some(10));
+        assert_eq!(rx.try_recv(), Some(20));
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(11));
+        assert_eq!(rx.try_recv(), Some(21));
+        assert_eq!(rx.try_recv(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn full_lane_rejects_and_returns_command() {
+        let (mut txs, mut rx) = mailbox::<u8>(1, 2);
+        txs[0].send(1).unwrap();
+        txs[0].send(2).unwrap();
+        assert_eq!(txs[0].send(3), Err(MailboxFull(3)));
+        assert_eq!(rx.len(), 2, "failed send must not leak into the count");
+        assert_eq!(rx.try_recv(), Some(1));
+        txs[0].send(3).unwrap();
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), Some(3));
+    }
+
+    #[test]
+    fn close_and_drop_finish_lanes() {
+        let (mut txs, mut rx) = mailbox::<u8>(2, 4);
+        txs[0].send(7).unwrap();
+        txs[0].close();
+        assert!(!rx.lane_open(0));
+        assert!(rx.lane_open(1));
+        assert!(!rx.is_finished(), "lane 0 still holds a command");
+        assert_eq!(rx.try_recv(), Some(7));
+        drop(txs);
+        assert!(rx.is_finished());
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn per_lane_peek_and_pop_support_merging() {
+        let (mut txs, mut rx) = mailbox::<u64>(2, 8);
+        txs[0].send(5).unwrap();
+        txs[0].send(9).unwrap();
+        txs[1].send(3).unwrap();
+        // Merge by minimum head value.
+        assert_eq!(rx.peek_lane(0), Some(&5));
+        assert_eq!(rx.peek_lane(1), Some(&3));
+        assert_eq!(rx.pop_lane(1), Some(3));
+        assert_eq!(rx.peek_lane(1), None);
+        assert_eq!(rx.pop_lane(0), Some(5));
+        assert_eq!(rx.pop_lane(0), Some(9));
+        assert_eq!(rx.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_preserve_lane_fifo_and_lose_nothing() {
+        const PER_LANE: u64 = 20_000;
+        const LANES: usize = 3;
+        let (txs, mut rx) = mailbox::<(usize, u64)>(LANES, 16);
+        let producers: Vec<_> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(lane, mut tx)| {
+                std::thread::spawn(move || {
+                    let mut backoff = Backoff::new();
+                    for i in 0..PER_LANE {
+                        let mut cmd = (lane, i);
+                        loop {
+                            match tx.send(cmd) {
+                                Ok(()) => {
+                                    backoff.reset();
+                                    break;
+                                }
+                                Err(MailboxFull(v)) => {
+                                    cmd = v;
+                                    backoff.snooze();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut seen = [0u64; LANES];
+        let mut total = 0u64;
+        let mut backoff = Backoff::new();
+        while total < PER_LANE * LANES as u64 {
+            match rx.try_recv() {
+                Some((lane, i)) => {
+                    assert_eq!(i, seen[lane], "lane {lane} out of order");
+                    seen[lane] += 1;
+                    total += 1;
+                    backoff.reset();
+                }
+                None => backoff.snooze(),
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert!(rx.is_finished());
+        assert_eq!(seen, [PER_LANE; LANES]);
+    }
+
+    #[test]
+    fn drain_while_closing_races_cleanly() {
+        // A producer that closes mid-stream: the consumer must see every
+        // command sent before the close, then observe the lane finished.
+        let (mut txs, mut rx) = mailbox::<u64>(1, 8);
+        let mut tx = txs.pop().unwrap();
+        let producer = std::thread::spawn(move || {
+            let mut backoff = Backoff::new();
+            for i in 0..1_000u64 {
+                let mut cmd = i;
+                while let Err(MailboxFull(v)) = tx.send(cmd) {
+                    cmd = v;
+                    backoff.snooze();
+                }
+            }
+            // tx dropped here -> lane closes.
+        });
+        let mut expected = 0u64;
+        let mut backoff = Backoff::new();
+        loop {
+            match rx.try_recv() {
+                Some(v) => {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                    backoff.reset();
+                }
+                None => {
+                    if rx.is_finished() {
+                        break;
+                    }
+                    backoff.snooze();
+                }
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(expected, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_panics() {
+        let _ = mailbox::<u8>(0, 4);
+    }
+}

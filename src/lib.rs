@@ -20,7 +20,7 @@
 //! | [`taskgen`] | DRS/UUniFast generators, DAGs, the drone SAR workload |
 //! | [`analysis`] | RTA, EDF demand bound, G-EDF tests, DAG bounds |
 //! | [`baselines`] | Mollison & Anderson library, cyclictest, stress-ng analogue |
-//! | [`bench`] | experiment harness for the paper's figures and tables |
+//! | [`mod@bench`] | experiment harness for the paper's figures and tables |
 //!
 //! ## Quick start
 //!

@@ -2,24 +2,36 @@
 //!
 //! A counting global allocator wraps the system allocator; after a
 //! warm-up phase (rank caches fill, scratch buffers and the action sink
-//! grow to their high-water marks) the test drives 10 000 further
-//! steady-state scheduler interactions — `on_tick_into` plus a
-//! completion/dispatch cycle per worker — and asserts the allocation
-//! counter did not move at all.
+//! grow to their high-water marks) each scenario drives 10 000 further
+//! steady-state scheduler interactions and asserts the allocation
+//! counter did not move at all. Three scenarios cover the paths the
+//! ROADMAP names:
+//!
+//! 1. **independent / global** — the EDF tick/complete loop of PR 2;
+//! 2. **DAG firing** — fork → (left, right) → join released through the
+//!    engine's token machinery on every cycle;
+//! 3. **partitioned / sharded** — per-worker [`EngineShard`]s fed
+//!    through the lock-free command mailbox, i.e. the full sharded
+//!    dispatch path of PR 3 including the mailbox push and drain.
 //!
 //! Runs without the libtest harness (`harness = false` in Cargo.toml)
 //! so no other thread can touch the allocator during the measured
-//! window.
+//! windows.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use yasmin_core::config::Config;
+use yasmin_bench::hotpath::track_actions as track;
+use yasmin_core::config::{Config, MappingScheme};
+use yasmin_core::graph::TaskSetBuilder;
 use yasmin_core::ids::{JobId, WorkerId};
 use yasmin_core::priority::PriorityPolicy;
-use yasmin_core::time::Instant;
-use yasmin_sched::{Action, ActionSink, OnlineEngine};
-use yasmin_taskgen::taskset::{build_independent, IndependentSetParams};
+use yasmin_core::task::TaskSpec;
+use yasmin_core::time::{Duration, Instant};
+use yasmin_core::version::VersionSpec;
+use yasmin_sched::{ActionSink, EngineShard, OnlineEngine, ShardCmd};
+use yasmin_sync::mailbox::{mailbox, MailboxReceiver, MailboxSender};
+use yasmin_taskgen::taskset::{build_independent, build_partitioned, IndependentSetParams};
 
 struct CountingAlloc;
 
@@ -49,21 +61,32 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-fn track(running: &mut [Option<JobId>], actions: &[Action]) {
-    for a in actions {
-        match *a {
-            Action::Dispatch { worker, job, .. } => running[worker.index()] = Some(job.id),
-            Action::Preempt { worker, .. } => running[worker.index()] = None,
-            Action::Boost { .. } => {}
-        }
+const WARMUP: u32 = 1_000;
+const STEADY: u32 = 10_000;
+
+/// Runs `iter` WARMUP times unmeasured, then STEADY times measured, and
+/// asserts zero allocations across the measured window.
+fn assert_zero_alloc(name: &str, mut iter: impl FnMut()) {
+    for _ in 0..WARMUP {
+        iter();
     }
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for _ in 0..STEADY {
+        iter();
+    }
+    let delta = ALLOC_CALLS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "{name}: dispatch hot path allocated {delta} times across {STEADY} \
+         steady-state iterations"
+    );
+    println!("zero_alloc[{name}]: OK — 0 allocations across {STEADY} steady-state iterations");
 }
 
-fn main() {
+/// Scenario 1: EDF over independent tasks, global mapping (the PR 2
+/// coverage).
+fn independent_global() {
     const WORKERS: usize = 2;
-    const WARMUP: u32 = 1_000;
-    const STEADY: u32 = 10_000;
-
     let ts = build_independent(&IndependentSetParams {
         n: 64,
         total_utilisation: 1.5,
@@ -88,48 +111,187 @@ fn main() {
     let tick = engine.tick_period();
     let mut now = Instant::ZERO;
 
-    let steady_iter = |engine: &mut OnlineEngine,
-                       sink: &mut ActionSink,
-                       running: &mut [Option<JobId>],
-                       now: &mut Instant| {
-        let mid = *now + tick.scale(1, 2);
+    assert_zero_alloc("independent-global", || {
+        let mid = now + tick.scale(1, 2);
         for w in 0..WORKERS {
             if let Some(job) = running[w].take() {
                 sink.clear();
                 engine
-                    .on_job_completed_into(WorkerId::new(w as u16), job, mid, sink)
+                    .on_job_completed_into(WorkerId::new(w as u16), job, mid, &mut sink)
                     .expect("completion protocol upheld");
-                track(running, sink.as_slice());
+                track(&mut running, sink.as_slice());
             }
         }
-        *now += tick;
+        now += tick;
         sink.clear();
-        engine.on_tick_into(*now, sink);
-        track(running, sink.as_slice());
-    };
-
-    for _ in 0..WARMUP {
-        steady_iter(&mut engine, &mut sink, &mut running, &mut now);
-    }
-
-    let before = ALLOC_CALLS.load(Ordering::SeqCst);
-    for _ in 0..STEADY {
-        steady_iter(&mut engine, &mut sink, &mut running, &mut now);
-    }
-    let delta = ALLOC_CALLS.load(Ordering::SeqCst) - before;
-
+        engine.on_tick_into(now, &mut sink);
+        track(&mut running, sink.as_slice());
+    });
     assert!(
         engine.stats().dispatched > u64::from(WARMUP),
         "loop must actually dispatch (got {})",
         engine.stats().dispatched
     );
-    assert_eq!(
-        delta, 0,
-        "dispatch hot path allocated {delta} times across {STEADY} steady-state iterations"
+}
+
+/// Scenario 2: a fork → (left, right) → join DAG fired every period —
+/// token pushes, join release and successor dispatch must all run on
+/// pre-grown storage.
+fn dag_firing() {
+    const WORKERS: usize = 2;
+    let mut b = TaskSetBuilder::new();
+    let fork = b
+        .task_decl(TaskSpec::periodic("fork", Duration::from_millis(10)))
+        .unwrap();
+    let left = b.task_decl(TaskSpec::graph_node("left")).unwrap();
+    let right = b.task_decl(TaskSpec::graph_node("right")).unwrap();
+    let join = b.task_decl(TaskSpec::graph_node("join")).unwrap();
+    for t in [fork, left, right, join] {
+        b.version_decl(t, VersionSpec::new("v", Duration::from_millis(1)))
+            .unwrap();
+    }
+    let c1 = b.channel_decl("fl", 1, 1);
+    let c2 = b.channel_decl("fr", 1, 1);
+    let c3 = b.channel_decl("lj", 1, 1);
+    let c4 = b.channel_decl("rj", 1, 1);
+    b.channel_connect(fork, left, c1).unwrap();
+    b.channel_connect(fork, right, c2).unwrap();
+    b.channel_connect(left, join, c3).unwrap();
+    b.channel_connect(right, join, c4).unwrap();
+    let ts = Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(WORKERS)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(256)
+        .build()
+        .expect("valid config");
+    let mut engine = OnlineEngine::new(ts, config).expect("valid engine");
+    let mut sink = ActionSink::with_capacity(64);
+    let mut running: Vec<Option<JobId>> = vec![None; WORKERS];
+
+    engine
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh engine starts");
+    track(&mut running, sink.as_slice());
+    let tick = engine.tick_period();
+    let step = tick.scale(1, 16);
+    let mut now = Instant::ZERO;
+
+    assert_zero_alloc("dag-firing", || {
+        // Drain the whole graph instance: every completion may fire
+        // successors, which dispatch immediately.
+        let mut sub = now + step;
+        loop {
+            let mut any = false;
+            for w in 0..WORKERS {
+                if let Some(job) = running[w].take() {
+                    sink.clear();
+                    engine
+                        .on_job_completed_into(WorkerId::new(w as u16), job, sub, &mut sink)
+                        .expect("completion protocol upheld");
+                    track(&mut running, sink.as_slice());
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            sub += step;
+        }
+        now += tick;
+        sink.clear();
+        engine.on_tick_into(now, &mut sink);
+        track(&mut running, sink.as_slice());
+    });
+    // 4 jobs per period: the DAG must really have fired.
+    assert!(
+        engine.stats().completed > u64::from(4 * WARMUP),
+        "DAG loop must complete all nodes (got {})",
+        engine.stats().completed
     );
-    println!(
-        "zero_alloc: OK — 0 allocations across {STEADY} steady-state iterations \
-         ({} dispatches total)",
-        engine.stats().dispatched
+}
+
+type Feed = (Vec<MailboxSender<ShardCmd>>, MailboxReceiver<ShardCmd>);
+
+/// Scenario 3: partitioned mapping with one [`EngineShard`] per worker,
+/// every interaction fed as a [`ShardCmd`] through the lock-free
+/// mailbox — the sharded dispatch path must be allocation-free
+/// *including* the mailbox push and drain.
+fn partitioned_sharded_mailbox() {
+    const WORKERS: usize = 2;
+    let ts = Arc::new(
+        build_partitioned(
+            &IndependentSetParams {
+                n: 64,
+                total_utilisation: 1.5,
+                seed: 42,
+                ..IndependentSetParams::default()
+            },
+            WORKERS,
+        )
+        .expect("valid taskset"),
     );
+    let config = Config::builder()
+        .workers(WORKERS)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut feeds: Vec<Feed> = (0..WORKERS).map(|_| mailbox::<ShardCmd>(1, 64)).collect();
+    let mut sink = ActionSink::with_capacity(256);
+    let mut running: Vec<Option<JobId>> = vec![None; WORKERS];
+
+    for shard in &mut shards {
+        shard
+            .start_into(Instant::ZERO, &mut sink)
+            .expect("fresh shard starts");
+    }
+    track(&mut running, sink.as_slice());
+    let tick = shards[0].tick_period();
+    let mut now = Instant::ZERO;
+
+    let feed = |shard: &mut EngineShard, feed: &mut Feed, cmd: ShardCmd, sink: &mut ActionSink| {
+        let (txs, rx) = feed;
+        txs[0].send(cmd).expect("lane sized for the loop");
+        sink.clear();
+        while let Some(cmd) = rx.try_recv() {
+            shard
+                .process_into(cmd, sink)
+                .expect("driver protocol upheld");
+        }
+    };
+
+    assert_zero_alloc("partitioned-sharded-mailbox", || {
+        let mid = now + tick.scale(1, 2);
+        for (w, shard) in shards.iter_mut().enumerate() {
+            if let Some(job) = running[w].take() {
+                let cmd = ShardCmd::JobCompleted {
+                    worker: WorkerId::new(w as u16),
+                    job,
+                    at: mid,
+                };
+                feed(shard, &mut feeds[w], cmd, &mut sink);
+                track(&mut running, sink.as_slice());
+            }
+        }
+        now += tick;
+        for (w, shard) in shards.iter_mut().enumerate() {
+            feed(shard, &mut feeds[w], ShardCmd::Tick { at: now }, &mut sink);
+            track(&mut running, sink.as_slice());
+        }
+    });
+    let dispatched: u64 = shards.iter().map(|s| s.stats().dispatched).sum();
+    assert!(
+        dispatched > u64::from(WARMUP),
+        "sharded loop must actually dispatch (got {dispatched})"
+    );
+}
+
+fn main() {
+    independent_global();
+    dag_firing();
+    partitioned_sharded_mailbox();
 }
