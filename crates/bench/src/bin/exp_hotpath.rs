@@ -1,17 +1,24 @@
 //! Dispatch hot-path latency experiment: runs the steady-state
-//! tick/complete loop of [`yasmin_bench::hotpath`] twice — against the
-//! single-owner engine (comparable 1:1 with the PR 2 record) and
-//! against the sharded engine fed through the lock-free command mailbox
-//! — and writes `results/BENCH_PR3.json` with both, alongside the
-//! recorded PR 2 baseline.
+//! tick/complete loop of [`yasmin_bench::hotpath`] against the
+//! single-owner engine (comparable 1:1 with the PR 2/PR 3 records) and
+//! against the sharded engine fed through the lock-free command
+//! mailbox, plus the two PR 4 sections — a **remove-heavy** queue loop
+//! (remove-then-pop vs pop alone on a full 1024-job queue, the index
+//! heap's asymptotics check) and a **bursty-completion** loop (one
+//! batched `on_jobs_completed_into` per cycle vs sequential
+//! per-completion calls) — and writes `results/BENCH_PR4.json` with all
+//! of them, alongside the recorded PR 2 and PR 3 baselines.
 //!
-//! Each loop runs three times and the run with the lowest p50 sum is
-//! kept: the per-run medians are stable, but host noise (other tenants,
-//! frequency drift) shifts whole runs, and the minimum is the standard
-//! robust estimator for "what the code costs when the host is quiet".
+//! Each engine loop runs three times and the run with the lowest p50
+//! sum is kept: the per-run medians are stable, but host noise (other
+//! tenants, frequency drift) shifts whole runs, and the minimum is the
+//! standard robust estimator for "what the code costs when the host is
+//! quiet".
 //!
 //! The CI perf gate (`perf_gate`) compares this file's `after` medians
-//! against `results/BENCH_PR2.json` and fails on >25% regression.
+//! against the **best** recorded baseline per entry point
+//! (`BENCH_PR2.json` / `BENCH_PR3.json`) and bounds the same-host
+//! ratios: mailbox-feed overhead, remove-vs-pop, batched-vs-sequential.
 
 use yasmin_bench::hotpath::{self, HotpathParams, HotpathReport};
 
@@ -27,6 +34,9 @@ fn best_of(n: u32, mut run: impl FnMut() -> HotpathReport) -> HotpathReport {
     best
 }
 
+const REMOVE_HEAVY_N: usize = 1024;
+const BURST_WORKERS: usize = 8;
+
 fn main() {
     let p = HotpathParams::default();
     eprintln!(
@@ -36,8 +46,21 @@ fn main() {
     let direct = best_of(3, || hotpath::run(&p));
     eprintln!("hotpath: direct path done, running mailbox-fed sharded path");
     let sharded = best_of(3, || hotpath::run_sharded(&p));
-    let json = hotpath::render_json_pr3(&direct, &sharded, hotpath::recorded_pr2().as_ref());
+    eprintln!("hotpath: sharded path done, running remove-heavy queue loop (n = {REMOVE_HEAVY_N})");
+    let remove_heavy = hotpath::run_remove_heavy(REMOVE_HEAVY_N, p.iters, p.warmup);
+    eprintln!(
+        "hotpath: remove-heavy done, running bursty-completion loop ({BURST_WORKERS} workers)"
+    );
+    let burst = hotpath::run_burst(&p, BURST_WORKERS);
+    let json = hotpath::render_json_pr4(
+        &direct,
+        &sharded,
+        &remove_heavy,
+        &burst,
+        hotpath::recorded_pr2().as_ref(),
+        hotpath::recorded_pr3().as_ref(),
+    );
     println!("{json}");
-    yasmin_bench::write_result("BENCH_PR3.json", &json);
-    eprintln!("wrote results/BENCH_PR3.json");
+    yasmin_bench::write_result("BENCH_PR4.json", &json);
+    eprintln!("wrote results/BENCH_PR4.json");
 }

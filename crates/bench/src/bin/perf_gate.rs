@@ -1,29 +1,38 @@
-//! The CI perf-regression gate (PR 3).
+//! The CI perf-regression gate (PR 3, re-pointed by PR 4).
 //!
-//! Two checks, both on p50 medians of the dispatch hot path:
+//! Checks on p50 medians of the dispatch hot path:
 //!
-//! 1. **Cross-file**: `results/BENCH_PR3.json` against the recorded
-//!    `results/BENCH_PR2.json` baseline — fails past +25% (override
-//!    with `PERF_GATE_MAX_REGRESSION_PCT`). Meaningful when both files
-//!    were measured on the same host: in CI this check runs on the
-//!    *committed* pair (both recorded on the reference host), locally
-//!    after regenerating `BENCH_PR3.json` in place.
-//! 2. **Same-host**: within one `BENCH_PR3.json`, the mailbox-fed
-//!    sharded path must stay within +100% of the direct path. Both
-//!    sides come from the same process on the same machine, so this
-//!    bound is valid on any hardware — CI re-measures on the runner and
-//!    gates the fresh file with this check only.
+//! 1. **Cross-file**: `results/BENCH_PR4.json` against the **best**
+//!    recorded baseline per entry point across `results/BENCH_PR2.json`
+//!    and `results/BENCH_PR3.json` — fails past +25% (override with
+//!    `PERF_GATE_MAX_REGRESSION_PCT`). A PR can therefore not regress
+//!    against the fastest ancestor while beating the slowest. Meaningful
+//!    when the files were measured on the same host: in CI this check
+//!    runs on the *committed* trio (all recorded on the reference host),
+//!    locally after regenerating `BENCH_PR4.json` in place.
+//! 2. **Same-host**, within one `BENCH_PR4.json` (both sides measured
+//!    in the same process, so valid on any hardware):
+//!    * the mailbox-fed sharded path within +100% of the direct path;
+//!    * `remove_heavy.remove_then_pop` within 2× of `remove_heavy.pop`
+//!      — the index-heap asymptotics bound: a removal at n = 1024 costs
+//!      no more than a pop, i.e. no O(n) scan hides on the path;
+//!    * `burst.batched` within +25% of `burst.sequential` — the batch
+//!      completion API must never cost more than per-completion calls
+//!      (it runs one dispatch round instead of one per completion).
 //!
 //! Modes: no argument runs both checks; `--cross-file-only` /
 //! `--same-host-only` select one (what the two CI steps use).
 //!
 //! Usage: `cargo run --release -p yasmin-bench --bin perf_gate`
-//! (run `exp_hotpath` first if `results/BENCH_PR3.json` is missing).
+//! (run `exp_hotpath` first if `results/BENCH_PR4.json` is missing).
 
-use yasmin_bench::compare::{gate_mailbox_overhead, gate_p50, GateCheck};
+use yasmin_bench::compare::{gate_mailbox_overhead, gate_p50_vs_best, gate_ratio, GateCheck};
 
 const DEFAULT_MAX_REGRESSION_PCT: u64 = 25;
 const MAX_MAILBOX_OVERHEAD_PCT: u64 = 100;
+/// remove-then-pop ≤ 2× pop: +100% over the denominator.
+const MAX_REMOVE_OVER_POP_PCT: u64 = 100;
+const MAX_BATCH_OVER_SEQUENTIAL_PCT: u64 = 25;
 
 fn read(path: &str) -> String {
     match std::fs::read_to_string(path) {
@@ -71,13 +80,14 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_MAX_REGRESSION_PCT);
-    let current = read("results/BENCH_PR3.json");
+    let current = read("results/BENCH_PR4.json");
     let mut failed = false;
     if cross_file {
-        let baseline = read("results/BENCH_PR2.json");
+        let pr2 = read("results/BENCH_PR2.json");
+        let pr3 = read("results/BENCH_PR3.json");
         failed |= report(
-            &format!("perf_gate: p50 medians, BENCH_PR3 vs BENCH_PR2 (limit +{pct}%)"),
-            &gate_p50(&baseline, &current, pct),
+            &format!("perf_gate: p50 medians, BENCH_PR4 vs best of BENCH_PR2/PR3 (limit +{pct}%)"),
+            &gate_p50_vs_best(&[("PR2", &pr2), ("PR3", &pr3)], &current, pct),
         );
     }
     if same_host {
@@ -86,6 +96,32 @@ fn main() {
                 "perf_gate: mailbox-feed vs direct, same host (limit +{MAX_MAILBOX_OVERHEAD_PCT}%)"
             ),
             &gate_mailbox_overhead(&current, MAX_MAILBOX_OVERHEAD_PCT),
+        );
+        failed |= report(
+            &format!(
+                "perf_gate: remove-then-pop vs pop at n=1024, same host \
+                 (limit +{MAX_REMOVE_OVER_POP_PCT}%)"
+            ),
+            &gate_ratio(
+                &current,
+                ("remove_heavy", "remove_then_pop"),
+                ("remove_heavy", "pop"),
+                MAX_REMOVE_OVER_POP_PCT,
+            )
+            .map(|c| vec![c]),
+        );
+        failed |= report(
+            &format!(
+                "perf_gate: batched vs sequential completion bursts, same host \
+                 (limit +{MAX_BATCH_OVER_SEQUENTIAL_PCT}%)"
+            ),
+            &gate_ratio(
+                &current,
+                ("burst", "batched"),
+                ("burst", "sequential"),
+                MAX_BATCH_OVER_SEQUENTIAL_PCT,
+            )
+            .map(|c| vec![c]),
         );
     }
     if failed {

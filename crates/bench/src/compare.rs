@@ -72,36 +72,77 @@ impl std::fmt::Display for GateCheck {
     }
 }
 
-/// Compares the `after` p50 medians of two hotpath JSONs, flagging any
-/// entry whose current median exceeds the baseline by more than
-/// `max_regression_pct` percent.
+/// Compares the current JSON's `after` p50 medians against the **best**
+/// (minimum) recorded baseline per entry point across several baseline
+/// JSONs — so a PR cannot claim a win against the slowest ancestor
+/// while regressing on the fastest. `baselines` pairs a display name
+/// with the file's contents.
 ///
 /// # Errors
 ///
-/// A message naming the first entry missing from either JSON (a format
+/// A message naming the first entry missing from any JSON (a format
 /// drift — the gate must fail loudly, not silently pass).
-pub fn gate_p50(
-    baseline_json: &str,
+pub fn gate_p50_vs_best(
+    baselines: &[(&str, &str)],
     current_json: &str,
     max_regression_pct: u64,
 ) -> Result<Vec<GateCheck>, String> {
+    if baselines.is_empty() {
+        return Err("gate_p50_vs_best needs at least one baseline".into());
+    }
     let entries = ["on_tick", "on_job_completed"];
     let mut checks = Vec::with_capacity(entries.len());
     for entry in entries {
-        let b = extract_p50(baseline_json, "after", entry)
-            .ok_or_else(|| format!("baseline JSON lacks after.{entry}.p50_ns"))?;
+        let mut best: Option<(u64, &str)> = None;
+        for (name, json) in baselines {
+            let b = extract_p50(json, "after", entry)
+                .ok_or_else(|| format!("baseline {name} lacks after.{entry}.p50_ns"))?;
+            if best.is_none_or(|(v, _)| b < v) {
+                best = Some((b, name));
+            }
+        }
+        let (b, name) = best.expect("baselines is non-empty");
         let c = extract_p50(current_json, "after", entry)
             .ok_or_else(|| format!("current JSON lacks after.{entry}.p50_ns"))?;
-        // b * (100 + pct) / 100, in integer arithmetic.
         let limit = b.saturating_mul(100 + max_regression_pct) / 100;
         checks.push(GateCheck {
-            what: format!("after.{entry}"),
+            what: format!("after.{entry} (best: {name})"),
             baseline_p50_ns: b,
             current_p50_ns: c,
             regressed: c > limit,
         });
     }
     Ok(checks)
+}
+
+/// Same-host ratio gate between two p50 medians of ONE json: the
+/// numerator (`num_section.num_entry`) may exceed the denominator
+/// (`den_section.den_entry`) by at most `max_over_pct` percent. Both
+/// sides come from the same process on the same machine, so the bound
+/// is valid on any hardware — this is how the remove-heavy
+/// (remove-then-pop ≤ 2× pop) and burst (batched ≤ sequential + slack)
+/// invariants are enforced in CI.
+///
+/// # Errors
+///
+/// A message naming the missing entry.
+pub fn gate_ratio(
+    json: &str,
+    num: (&str, &str),
+    den: (&str, &str),
+    max_over_pct: u64,
+) -> Result<GateCheck, String> {
+    let n = extract_p50(json, num.0, num.1)
+        .ok_or_else(|| format!("JSON lacks {}.{}.p50_ns", num.0, num.1))?;
+    let d = extract_p50(json, den.0, den.1)
+        .ok_or_else(|| format!("JSON lacks {}.{}.p50_ns", den.0, den.1))?;
+    let limit = d.saturating_mul(100 + max_over_pct) / 100;
+    Ok(GateCheck {
+        what: format!("{}.{} vs {}.{}", num.0, num.1, den.0, den.1),
+        baseline_p50_ns: d,
+        current_p50_ns: n,
+        regressed: n > limit,
+    })
 }
 
 /// Same-host sanity gate: within one `BENCH_PR3.json`, the mailbox-fed
@@ -181,24 +222,24 @@ mod tests {
     #[test]
     fn gate_passes_within_threshold() {
         let current = BASE.replace("\"p50_ns\": 140", "\"p50_ns\": 170");
-        let checks = gate_p50(BASE, &current, 25).unwrap();
+        let checks = gate_p50_vs_best(&[("BASE", BASE)], &current, 25).unwrap();
         assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
     }
 
     #[test]
     fn gate_fails_past_threshold() {
         let current = BASE.replace("\"p50_ns\": 190", "\"p50_ns\": 260");
-        let checks = gate_p50(BASE, &current, 25).unwrap();
+        let checks = gate_p50_vs_best(&[("BASE", BASE)], &current, 25).unwrap();
         let bad: Vec<_> = checks.iter().filter(|c| c.regressed).collect();
         assert_eq!(bad.len(), 1);
-        assert_eq!(bad[0].what, "after.on_job_completed");
+        assert_eq!(bad[0].what, "after.on_job_completed (best: BASE)");
         assert!(bad[0].to_string().contains("REGRESSED"));
     }
 
     #[test]
     fn gate_errors_on_format_drift() {
-        assert!(gate_p50(BASE, "{}", 25).is_err());
-        assert!(gate_p50("{}", BASE, 25).is_err());
+        assert!(gate_p50_vs_best(&[("BASE", BASE)], "{}", 25).is_err());
+        assert!(gate_p50_vs_best(&[("bad", "{}")], BASE, 25).is_err());
     }
 
     const PR3: &str = r#"{
@@ -206,6 +247,58 @@ mod tests {
   "after": {"on_tick": {"p50_ns": 160}, "on_job_completed": {"p50_ns": 190}},
   "mailbox_feed": {"on_tick": {"p50_ns": 140}, "on_job_completed": {"p50_ns": 210}}
 }"#;
+
+    #[test]
+    fn best_baseline_gate_takes_the_minimum() {
+        // PR2 has the faster on_tick, PR3 the faster on_job_completed:
+        // the gate must compare against each entry's best.
+        let pr2 = r#"{"after": {"on_tick": {"p50_ns": 100}, "on_job_completed": {"p50_ns": 300}}}"#;
+        let pr3 = r#"{"after": {"on_tick": {"p50_ns": 200}, "on_job_completed": {"p50_ns": 150}}}"#;
+        let current =
+            r#"{"after": {"on_tick": {"p50_ns": 110}, "on_job_completed": {"p50_ns": 160}}}"#;
+        let checks = gate_p50_vs_best(&[("PR2", pr2), ("PR3", pr3)], current, 25).unwrap();
+        assert_eq!(checks[0].baseline_p50_ns, 100);
+        assert!(checks[0].what.contains("PR2"));
+        assert_eq!(checks[1].baseline_p50_ns, 150);
+        assert!(checks[1].what.contains("PR3"));
+        assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
+        // Regressing past the best (but not the worst) baseline fails.
+        let slow =
+            r#"{"after": {"on_tick": {"p50_ns": 180}, "on_job_completed": {"p50_ns": 160}}}"#;
+        let checks = gate_p50_vs_best(&[("PR2", pr2), ("PR3", pr3)], slow, 25).unwrap();
+        assert!(checks[0].regressed, "{checks:?}");
+        assert!(gate_p50_vs_best(&[], current, 25).is_err());
+        assert!(gate_p50_vs_best(&[("PR2", "{}")], current, 25).is_err());
+    }
+
+    #[test]
+    fn ratio_gate_bounds_numerator_over_denominator() {
+        let json = r#"{
+  "remove_heavy": {"pop": {"p50_ns": 100}, "remove_then_pop": {"p50_ns": 180}, "n": 1024},
+  "burst": {"sequential": {"p50_ns": 900}, "batched": {"p50_ns": 700}, "workers": 8}
+}"#;
+        let rh = gate_ratio(
+            json,
+            ("remove_heavy", "remove_then_pop"),
+            ("remove_heavy", "pop"),
+            100,
+        )
+        .unwrap();
+        assert!(!rh.regressed, "{rh:?}");
+        let b = gate_ratio(json, ("burst", "batched"), ("burst", "sequential"), 25).unwrap();
+        assert!(!b.regressed, "{b:?}");
+        // Past the bound -> regressed.
+        let slow = json.replace("\"p50_ns\": 180", "\"p50_ns\": 260");
+        let rh = gate_ratio(
+            &slow,
+            ("remove_heavy", "remove_then_pop"),
+            ("remove_heavy", "pop"),
+            100,
+        )
+        .unwrap();
+        assert!(rh.regressed, "{rh:?}");
+        assert!(gate_ratio(json, ("missing", "x"), ("burst", "batched"), 10).is_err());
+    }
 
     #[test]
     fn mailbox_overhead_gate_passes_within_bound() {

@@ -15,11 +15,11 @@
 use std::sync::Arc;
 use std::time::Instant as WallInstant;
 use yasmin_core::config::{Config, MappingScheme};
-use yasmin_core::ids::JobId;
-use yasmin_core::priority::PriorityPolicy;
+use yasmin_core::ids::{JobId, TaskId, WorkerId};
+use yasmin_core::priority::{Priority, PriorityPolicy};
 use yasmin_core::stats::Samples;
-use yasmin_core::time::Instant;
-use yasmin_sched::{Action, ActionSink, EngineShard, OnlineEngine, ShardCmd};
+use yasmin_core::time::{Duration, Instant};
+use yasmin_sched::{Action, ActionSink, EngineShard, Job, OnlineEngine, ReadyQueue, ShardCmd};
 use yasmin_sync::mailbox::{mailbox, MailboxReceiver, MailboxSender};
 use yasmin_taskgen::taskset::{build_independent, build_partitioned, IndependentSetParams};
 
@@ -314,6 +314,189 @@ fn feed_one(
     }
 }
 
+/// The remove-heavy queue measurement: `remove`-then-`pop` against
+/// `pop` alone on a full [`ReadyQueue`] — the asymptotic check behind
+/// the PR 4 index heap (the former tombstone queue scanned O(n) per
+/// removal, so `remove_then_pop` blew past any constant multiple of
+/// `pop` at n = 1024).
+#[derive(Debug, Clone)]
+pub struct RemoveHeavyReport {
+    /// Live queue size held throughout the measurement.
+    pub n: usize,
+    /// Latency of one `pop` (the job is pushed back untimed).
+    pub pop: LatencyStats,
+    /// Latency of one mid-queue `remove` followed by one `pop` (both
+    /// jobs pushed back untimed).
+    pub remove_then_pop: LatencyStats,
+}
+
+fn queue_job(id: u64, prio: u64) -> Job {
+    Job {
+        id: JobId::new(id),
+        task: TaskId::new(id as u32),
+        seq: 0,
+        release: Instant::ZERO,
+        graph_release: Instant::ZERO,
+        abs_deadline: Instant::ZERO + Duration::from_millis(1),
+        priority: Priority::new(prio),
+        preempted: false,
+    }
+}
+
+/// Runs the remove-heavy queue loops at a steady live size of `n`.
+///
+/// The acceptance bound the perf gate enforces: `remove_then_pop` p50
+/// within 2× of `pop` p50 — i.e. a removal costs no more than a pop,
+/// with no size-dependent scan on any path.
+#[must_use]
+pub fn run_remove_heavy(n: usize, iters: u32, warmup: u32) -> RemoveHeavyReport {
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+    let mut rng = Lcg(0x243F_6A88_85A3_08D3);
+    fn fill(q: &mut ReadyQueue, n: usize, rng: &mut Lcg) {
+        for id in 0..n as u64 {
+            q.push(queue_job(id, rng.next() % 1024))
+                .expect("sized for n");
+        }
+    }
+
+    let mut pop_ns = Samples::with_capacity(iters as usize);
+    let mut q = ReadyQueue::with_capacity(n);
+    fill(&mut q, n, &mut rng);
+    for i in 0..(warmup + iters) {
+        let t0 = WallInstant::now();
+        let j = q.pop().expect("queue stays full");
+        let dt = t0.elapsed();
+        q.push(j).expect("push back below capacity");
+        if i >= warmup {
+            pop_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    let mut remove_ns = Samples::with_capacity(iters as usize);
+    let mut q = ReadyQueue::with_capacity(n);
+    fill(&mut q, n, &mut rng);
+    for i in 0..(warmup + iters) {
+        // Ids 0..n stay live across iterations (everything is pushed
+        // back), so any id in range is a valid mid-queue victim.
+        let victim = JobId::new(rng.next() % n as u64);
+        let t0 = WallInstant::now();
+        let removed = q.remove(victim).expect("victim is live");
+        let popped = q.pop().expect("queue non-empty");
+        let dt = t0.elapsed();
+        q.push(removed).expect("push back below capacity");
+        q.push(popped).expect("push back below capacity");
+        if i >= warmup {
+            remove_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    RemoveHeavyReport {
+        n,
+        pop: LatencyStats::from_samples(&mut pop_ns),
+        remove_then_pop: LatencyStats::from_samples(&mut remove_ns),
+    }
+}
+
+/// The bursty-completion measurement: per cycle, every busy worker's
+/// completion retired either **sequentially** (one
+/// `on_job_completed_into` — and thus one dispatch round — per worker)
+/// or **batched** (one `on_jobs_completed_into` for the whole burst,
+/// one dispatch round total). One sample = the whole per-cycle
+/// completion phase, so the two series are directly comparable.
+#[derive(Debug, Clone)]
+pub struct BurstReport {
+    /// Workers completing per cycle.
+    pub workers: usize,
+    /// Per-burst latency of the sequential per-completion path.
+    pub sequential: LatencyStats,
+    /// Per-burst latency of the batch API.
+    pub batched: LatencyStats,
+}
+
+fn burst_engine(p: &HotpathParams, workers: usize) -> OnlineEngine {
+    let ts = build_independent(&IndependentSetParams {
+        n: p.tasks,
+        // Enough demand to keep every worker busy each cycle.
+        total_utilisation: workers as f64 * 0.75,
+        seed: p.seed,
+        ..IndependentSetParams::default()
+    })
+    .expect("valid taskset");
+    let config = Config::builder()
+        .workers(workers)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    OnlineEngine::new(Arc::new(ts), config).expect("valid engine")
+}
+
+/// Runs the bursty-completion loops with `workers` workers completing
+/// each cycle.
+#[must_use]
+pub fn run_burst(p: &HotpathParams, workers: usize) -> BurstReport {
+    let run_variant = |batched: bool| -> LatencyStats {
+        let mut engine = burst_engine(p, workers);
+        let mut running: Vec<Option<JobId>> = vec![None; workers];
+        let mut batch: Vec<(WorkerId, JobId)> = Vec::with_capacity(workers);
+        let mut sink = ActionSink::with_capacity(256);
+        engine
+            .start_into(Instant::ZERO, &mut sink)
+            .expect("fresh engine starts");
+        track_actions(&mut running, sink.as_slice());
+        let tick = engine.tick_period();
+        let mut now = Instant::ZERO;
+        let mut samples = Samples::with_capacity(p.iters as usize);
+        for i in 0..(p.warmup + p.iters) {
+            let mid = now + tick.scale(1, 2);
+            batch.clear();
+            for (w, slot) in running.iter_mut().enumerate() {
+                if let Some(job) = slot.take() {
+                    batch.push((WorkerId::new(w as u16), job));
+                }
+            }
+            sink.clear();
+            let t0 = WallInstant::now();
+            if batched {
+                engine
+                    .on_jobs_completed_into(&batch, mid, &mut sink)
+                    .expect("completion protocol upheld");
+            } else {
+                for &(w, job) in &batch {
+                    engine
+                        .on_job_completed_into(w, job, mid, &mut sink)
+                        .expect("completion protocol upheld");
+                }
+            }
+            let dt = t0.elapsed();
+            if i >= p.warmup {
+                samples.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+            }
+            track_actions(&mut running, sink.as_slice());
+            now += tick;
+            sink.clear();
+            engine.on_tick_into(now, &mut sink);
+            track_actions(&mut running, sink.as_slice());
+        }
+        LatencyStats::from_samples(&mut samples)
+    };
+
+    BurstReport {
+        workers,
+        sequential: run_variant(false),
+        batched: run_variant(true),
+    }
+}
+
 /// The dispatch-path latency recorded at the seed state (PR 1, before
 /// the zero-allocation refactor) on the reference host, with the
 /// default parameters. `exp_hotpath` embeds it as the `before` section
@@ -369,15 +552,48 @@ pub fn recorded_pr2() -> Option<HotpathReport> {
     })
 }
 
-/// Renders the PR 3 record: the direct-path report (comparable 1:1 with
-/// PR 2's "after" numbers), the sharded mailbox-feed report, and the
-/// recorded PR 2 baseline. The CI perf gate (`perf_gate`) compares the
-/// "after" p50 medians of `BENCH_PR3.json` against `BENCH_PR2.json`.
+/// The direct-path latency recorded by PR 3 (`results/BENCH_PR3.json`,
+/// "after" section) on the reference host — together with
+/// [`recorded_pr2`] it forms the *best recorded baseline* the PR 4 CI
+/// perf gate regresses against (per entry point, the better of the
+/// two).
 #[must_use]
-pub fn render_json_pr3(
+pub fn recorded_pr3() -> Option<HotpathReport> {
+    Some(HotpathReport {
+        params: HotpathParams::default(),
+        tick: LatencyStats {
+            p50_ns: 160,
+            p99_ns: 675,
+            mean_ns: 164.9,
+            max_ns: 11_017,
+            count: 10_000,
+        },
+        completion: LatencyStats {
+            p50_ns: 188,
+            p99_ns: 251,
+            mean_ns: 196.6,
+            max_ns: 28_014,
+            count: 20_000,
+        },
+        dispatches: 22_000,
+    })
+}
+
+/// Renders the PR 4 record: the direct-path report (comparable 1:1 with
+/// the PR 2/PR 3 "after" sections), the sharded mailbox-feed report,
+/// the remove-heavy queue section and the bursty-completion section,
+/// alongside the recorded PR 2 and PR 3 baselines. The CI perf gate
+/// (`perf_gate`) compares the "after" p50 medians against the **best**
+/// recorded baseline per entry point and bounds the same-host ratios
+/// (mailbox overhead, remove-vs-pop, batched-vs-sequential bursts).
+#[must_use]
+pub fn render_json_pr4(
     direct: &HotpathReport,
     sharded: &HotpathReport,
+    remove_heavy: &RemoveHeavyReport,
+    burst: &BurstReport,
     pr2: Option<&HotpathReport>,
+    pr3: Option<&HotpathReport>,
 ) -> String {
     let mut out = String::from("{\n  \"bench\": \"hotpath\",\n");
     out.push_str(&format!(
@@ -389,15 +605,24 @@ pub fn render_json_pr3(
         direct.params.iters
     ));
     out.push_str(
-        "  \"note\": \"'pr2_baseline' is the recorded reference-host direct-path latency \
-         (PR 2); 'after' is the same loop on this host (best of three runs by p50 sum); \
-         'mailbox_feed' times the sharded path end to end: command push into the \
-         lock-free mailbox, owner drain, dispatch via the sink (one sample per command, \
-         per shard)\",\n",
+        "  \"note\": \"'pr2_baseline'/'pr3_baseline' are the recorded reference-host \
+         direct-path latencies; 'after' is the same loop on this host (best of three \
+         runs by p50 sum); 'mailbox_feed' times the sharded path end to end; \
+         'remove_heavy' compares remove-then-pop against pop alone on a full queue \
+         (index-heap asymptotics check, same host); 'burst' compares retiring one \
+         cycle's completions through the batch API against sequential per-completion \
+         calls (one sample per burst, same host)\",\n",
     );
     if let Some(b) = pr2 {
         out.push_str(&format!(
             "  \"pr2_baseline\": {{\"on_tick\": {}, \"on_job_completed\": {}}},\n",
+            b.tick.json(),
+            b.completion.json()
+        ));
+    }
+    if let Some(b) = pr3 {
+        out.push_str(&format!(
+            "  \"pr3_baseline\": {{\"on_tick\": {}, \"on_job_completed\": {}}},\n",
             b.tick.json(),
             b.completion.json()
         ));
@@ -412,6 +637,18 @@ pub fn render_json_pr3(
         sharded.tick.json(),
         sharded.completion.json(),
         sharded.dispatches
+    ));
+    out.push_str(&format!(
+        "  \"remove_heavy\": {{\"pop\": {}, \"remove_then_pop\": {}, \"n\": {}}},\n",
+        remove_heavy.pop.json(),
+        remove_heavy.remove_then_pop.json(),
+        remove_heavy.n
+    ));
+    out.push_str(&format!(
+        "  \"burst\": {{\"sequential\": {}, \"batched\": {}, \"workers\": {}}},\n",
+        burst.sequential.json(),
+        burst.batched.json(),
+        burst.workers
     ));
     out.push_str(&format!("  \"dispatches\": {}\n}}\n", direct.dispatches));
     out
@@ -481,15 +718,65 @@ mod tests {
             warmup: 10,
             ..HotpathParams::default()
         };
-        let direct = run(&p);
         let sharded = run_sharded(&p);
         // One tick command per shard per iteration.
         assert_eq!(sharded.tick.count, 50 * p.workers);
         assert!(sharded.completion.count > 0);
         assert!(sharded.dispatches > 0);
-        let json = render_json_pr3(&direct, &sharded, recorded_pr2().as_ref());
-        assert!(json.contains("\"pr2_baseline\""));
-        assert!(json.contains("\"after\""));
-        assert!(json.contains("\"mailbox_feed\""));
+    }
+
+    #[test]
+    fn remove_heavy_loop_runs_and_reports() {
+        let r = run_remove_heavy(64, 200, 50);
+        assert_eq!(r.n, 64);
+        assert_eq!(r.pop.count, 200);
+        assert_eq!(r.remove_then_pop.count, 200);
+        assert!(r.pop.p50_ns > 0 || r.pop.max_ns > 0);
+    }
+
+    #[test]
+    fn burst_loop_runs_and_reports() {
+        let p = HotpathParams {
+            tasks: 16,
+            iters: 50,
+            warmup: 10,
+            ..HotpathParams::default()
+        };
+        let r = run_burst(&p, 4);
+        assert_eq!(r.workers, 4);
+        assert_eq!(r.batched.count, 50);
+        assert_eq!(r.sequential.count, 50);
+    }
+
+    #[test]
+    fn pr4_json_has_every_section() {
+        let p = HotpathParams {
+            tasks: 8,
+            iters: 20,
+            warmup: 5,
+            ..HotpathParams::default()
+        };
+        let direct = run(&p);
+        let sharded = run_sharded(&p);
+        let rh = run_remove_heavy(32, 50, 10);
+        let burst = run_burst(&p, 2);
+        let json = render_json_pr4(
+            &direct,
+            &sharded,
+            &rh,
+            &burst,
+            recorded_pr2().as_ref(),
+            recorded_pr3().as_ref(),
+        );
+        for section in [
+            "\"pr2_baseline\"",
+            "\"pr3_baseline\"",
+            "\"after\"",
+            "\"mailbox_feed\"",
+            "\"remove_heavy\"",
+            "\"burst\"",
+        ] {
+            assert!(json.contains(section), "missing {section}: {json}");
+        }
     }
 }

@@ -373,6 +373,11 @@ fn scheduler_main(
     // One reusable sink for every engine interaction: the scheduler
     // thread's steady-state loop performs no allocation for actions.
     let mut sink = ActionSink::new();
+    // Completions pending at one wake are retired together through the
+    // engine's batch API: N workers finishing close together cost one
+    // dispatch round, not N.
+    let mut done_batch: Vec<(WorkerId, yasmin_core::ids::JobId)> =
+        Vec::with_capacity(worker_tx.len().max(4));
     let dispatch = |sink: &ActionSink| {
         for &a in sink.as_slice() {
             if let Action::Dispatch {
@@ -426,18 +431,30 @@ fn scheduler_main(
             std::time::Duration::ZERO
         };
         match done_rx.recv_timeout(timeout) {
-            Ok(c) => {
+            Ok(first) => {
+                done_batch.clear();
+                let mut last_completed = first.completed;
+                let mut book = |c: Completion, batch: &mut Vec<(WorkerId, _)>| {
+                    batch.push((c.worker, c.job.id));
+                    records.push(RtJobRecord {
+                        job: c.job,
+                        version: c.version,
+                        worker: c.worker,
+                        started: c.started,
+                        completed: c.completed,
+                    });
+                };
+                book(first, &mut done_batch);
+                // Coalesce the burst: every completion already pending
+                // joins this batch and the single dispatch round below.
+                while let Ok(c) = done_rx.try_recv() {
+                    last_completed = last_completed.max(c.completed);
+                    book(c, &mut done_batch);
+                }
                 sink.clear();
                 engine
-                    .on_job_completed_into(c.worker, c.job.id, c.completed, &mut sink)
+                    .on_jobs_completed_into(&done_batch, last_completed, &mut sink)
                     .expect("completion protocol upheld");
-                records.push(RtJobRecord {
-                    job: c.job,
-                    version: c.version,
-                    worker: c.worker,
-                    started: c.started,
-                    completed: c.completed,
-                });
                 dispatch(&sink);
             }
             Err(RecvTimeoutError::Timeout) => {

@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use yasmin_core::config::{Config, WaitChoice};
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
-use yasmin_core::ids::{TaskId, VersionId, WorkerId};
+use yasmin_core::ids::{JobId, TaskId, VersionId, WorkerId};
 use yasmin_core::time::{Clock, Instant, MonotonicClock};
 use yasmin_sched::{Action, ActionSink, EngineShard, EngineStats, Job};
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
@@ -369,6 +369,12 @@ fn shard_scheduler_main(
     // One reusable sink: the steady-state loop allocates nothing for
     // actions. Dispatches go straight into the worker's SPSC ring.
     let mut sink = ActionSink::new();
+    // Completions found pending in one mailbox drain, retired through
+    // the engine's batch API so the whole burst pays a single dispatch
+    // round (with today's one-worker shards the burst is at most one;
+    // the coalescing is load-bearing once shards serve stolen work).
+    let mut done_batch: Vec<(WorkerId, JobId)> = Vec::with_capacity(8);
+    let mut last_done = Instant::ZERO;
     let dispatch = |sink: &ActionSink, to_worker: &mut spsc::Producer<WorkerMsg>| {
         for &a in sink.as_slice() {
             if let Action::Dispatch { job, version, .. } = a {
@@ -395,9 +401,24 @@ fn shard_scheduler_main(
 
     loop {
         // Drain the mailbox (completions + control), zero-alloc path.
+        // Pending completions coalesce; a control command first flushes
+        // them, so command effects stay ordered as received.
         let mut drained_any = false;
-        while let Some(msg) = rx.try_recv() {
-            drained_any = true;
+        debug_assert!(done_batch.is_empty());
+        loop {
+            let msg = rx.try_recv();
+            if msg.is_some() {
+                drained_any = true;
+            }
+            if !done_batch.is_empty() && !matches!(msg, Some(ShardMsg::Done { .. })) {
+                sink.clear();
+                shard
+                    .on_jobs_completed_into(&done_batch, last_done, &mut sink)
+                    .expect("completion protocol upheld");
+                done_batch.clear();
+                dispatch(&sink, &mut to_worker);
+            }
+            let Some(msg) = msg else { break };
             match msg {
                 ShardMsg::Done {
                     job,
@@ -405,10 +426,12 @@ fn shard_scheduler_main(
                     started,
                     completed,
                 } => {
-                    sink.clear();
-                    shard
-                        .on_job_completed_into(worker, job.id, completed, &mut sink)
-                        .expect("completion protocol upheld");
+                    done_batch.push((worker, job.id));
+                    // Max, not overwrite: once shards serve stolen work
+                    // the mailbox merges lanes, and a batch's dispatch
+                    // round must not run at a timestamp earlier than a
+                    // completion it retires.
+                    last_done = last_done.max(completed);
                     records.push(RtJobRecord {
                         job,
                         version,
@@ -416,7 +439,6 @@ fn shard_scheduler_main(
                         started,
                         completed,
                     });
-                    dispatch(&sink, &mut to_worker);
                 }
                 ShardMsg::Activate(task) => {
                     sink.clear();

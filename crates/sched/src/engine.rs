@@ -134,11 +134,13 @@ enum VersionChoice {
 }
 
 /// Cached ranking of one task's versions under the engine's current
-/// selection context.
+/// selection context. Each ranked id carries the version's (constant)
+/// accelerator binding, so the dispatch loop never chases back into the
+/// task-spec structs.
 #[derive(Debug, Default)]
 struct RankEntry {
     valid: bool,
-    ids: Vec<VersionId>,
+    ids: Vec<(VersionId, Option<AccelId>)>,
 }
 
 /// The on-line scheduler state machine.
@@ -158,6 +160,15 @@ pub struct OnlineEngine {
     /// auto-released). Dense: the release scan is branch-predictable and
     /// cache-linear, which beats a timer heap at realistic task counts.
     next_release: Vec<Instant>,
+    /// Per-task period, dense — the release loop re-arms without
+    /// chasing into the task-spec structs.
+    period: Vec<Duration>,
+    /// Per-task effective relative deadline, dense (constant per task
+    /// set; `Duration::MAX` = unconstrained).
+    rel_deadline: Vec<Duration>,
+    /// Per-task ready-queue slot, dense (0 under global mapping and in
+    /// shards; the assigned worker's index under partitioned mapping).
+    queue_of: Vec<u32>,
     /// Minimum over `next_release`: ticks strictly before this instant
     /// skip the release scan entirely (O(1) idle ticks).
     next_wake: Instant,
@@ -297,6 +308,22 @@ impl OnlineEngine {
                 ids: Vec::with_capacity(t.versions().len()),
             })
             .collect();
+        let period = taskset.tasks().iter().map(|t| t.spec().period()).collect();
+        let rel_deadline = taskset
+            .tasks()
+            .iter()
+            .map(|t| taskset.effective_deadline(t.id()))
+            .collect();
+        let queue_of = taskset
+            .tasks()
+            .iter()
+            .map(|t| match (shard, config.mapping()) {
+                (Some(_), _) | (None, MappingScheme::Global) => 0,
+                (None, MappingScheme::Partitioned) => {
+                    t.spec().assigned_worker().expect("validated above").index() as u32
+                }
+            })
+            .collect();
         let policy_uses_battery = matches!(
             config.version_policy(),
             VersionPolicy::Energy | VersionPolicy::UserDefined(_)
@@ -315,6 +342,9 @@ impl OnlineEngine {
             tokens: vec![0; taskset.edges().len()],
             token_release: vec![Vec::new(); taskset.edges().len()],
             next_release: vec![Instant::MAX; n],
+            period,
+            rel_deadline,
+            queue_of,
             next_wake: Instant::MAX,
             last_activation: vec![None; n],
             activation_seq: vec![0; n],
@@ -447,10 +477,9 @@ impl OnlineEngine {
         self.running[slot].as_ref()
     }
 
-    /// The most urgent ready job **without** mutating any queue — the
-    /// immutable counterpart of the internal (tombstone-purging) peek,
-    /// suitable for cross-thread introspection of a shard. O(n) over
-    /// ready jobs; see [`ReadyQueue::peek_hint`] for the contract.
+    /// The most urgent ready job, through a shared reference — O(1) per
+    /// queue since [`ReadyQueue::peek`] is index-tracked; suitable for
+    /// telemetry and work-stealing probes of a shard.
     #[must_use]
     pub fn most_urgent_hint(&self) -> Option<&Job> {
         self.queues
@@ -551,7 +580,7 @@ impl OnlineEngine {
                 let mut r = self.next_release[i];
                 if r <= now {
                     let task = TaskId::new(i as u32);
-                    let period = self.taskset.tasks()[i].spec().period();
+                    let period = self.period[i];
                     while r <= now {
                         self.release_job(task, r, r);
                         r += period;
@@ -655,6 +684,74 @@ impl OnlineEngine {
         now: Instant,
         sink: &mut ActionSink,
     ) -> Result<()> {
+        self.retire_job(worker, job)?;
+        self.dispatch_round(now, sink);
+        Ok(())
+    }
+
+    /// Batched completion hand-back: retires **every** `(worker, job)`
+    /// pair — freeing the workers and any held accelerators, firing DAG
+    /// successors — and only then runs a *single* selection/dispatch
+    /// round, instead of one round per completion. When completions
+    /// arrive in bursts (a mailbox drain finding several pending, the
+    /// simulator retiring same-timestamp finishes), this amortises the
+    /// dispatch round across the burst and lets the round see the whole
+    /// burst's released successors before placing jobs on workers.
+    ///
+    /// Allocating wrapper: [`OnlineEngine::on_jobs_completed`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownWorker`] / [`Error::InvalidConfig`] on the first
+    /// entry violating the completion protocol. Entries before the
+    /// offending one are already retired and are dispatched for (the
+    /// engine stays consistent); entries after it are untouched.
+    pub fn on_jobs_completed_into(
+        &mut self,
+        completions: &[(WorkerId, JobId)],
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        let mut retired = 0usize;
+        let mut first_err = None;
+        for &(worker, job) in completions {
+            match self.retire_job(worker, job) {
+                Ok(()) => retired += 1,
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if retired > 0 {
+            self.dispatch_round(now, sink);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// [`OnlineEngine::on_jobs_completed_into`], returning a fresh
+    /// `Vec` instead of appending to a caller-owned sink.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::on_jobs_completed_into`].
+    pub fn on_jobs_completed(
+        &mut self,
+        completions: &[(WorkerId, JobId)],
+        now: Instant,
+    ) -> Result<Vec<Action>> {
+        let mut sink = ActionSink::new();
+        let res = self.on_jobs_completed_into(completions, now, &mut sink);
+        res.map(|()| sink.into_vec())
+    }
+
+    /// Validates and books one completion — frees the worker slot,
+    /// releases any held accelerator, fires DAG successors — without
+    /// running a dispatch round (the caller batches that).
+    fn retire_job(&mut self, worker: WorkerId, job: JobId) -> Result<()> {
         let slot = self
             .slot_of(worker)
             .and_then(|s| self.running.get_mut(s))
@@ -673,9 +770,7 @@ impl OnlineEngine {
         if let Some(a) = running.accel {
             self.accels.release(a, job);
         }
-
         self.fire_successors(running.job.task, running.job.graph_release);
-        self.dispatch_round(now, sink);
         Ok(())
     }
 
@@ -727,7 +822,7 @@ impl OnlineEngine {
         let seq = self.activation_seq[task.index()];
         self.activation_seq[task.index()] += 1;
         self.last_activation[task.index()] = Some(release);
-        let rel_deadline = self.taskset.effective_deadline(task);
+        let rel_deadline = self.rel_deadline[task.index()];
         let abs_deadline = if rel_deadline == Duration::MAX {
             Instant::MAX
         } else {
@@ -762,16 +857,8 @@ impl OnlineEngine {
     fn queue_index(&self, task: TaskId) -> usize {
         if self.shard.is_some() {
             debug_assert!(self.owns_task(task), "shard released a foreign task");
-            return 0;
         }
-        match self.config.mapping() {
-            MappingScheme::Global => 0,
-            MappingScheme::Partitioned => self.taskset.tasks()[task.index()]
-                .spec()
-                .assigned_worker()
-                .expect("validated at construction")
-                .index(),
-        }
+        self.queue_of[task.index()] as usize
     }
 
     fn select_ctx(&self) -> SelectCtx {
@@ -809,15 +896,21 @@ impl OnlineEngine {
             }
             self.cache_ctx = ctx;
         }
+        let task_ref = &self.taskset.tasks()[ti];
         rank_versions_into(
             self.config.version_policy(),
             &ctx,
-            &self.taskset.tasks()[ti],
+            task_ref,
             &mut self.rank_buf,
         );
         let entry = &mut self.rank_cache[ti];
         entry.ids.clear();
-        entry.ids.extend_from_slice(self.rank_buf.as_slice());
+        entry.ids.extend(
+            self.rank_buf
+                .as_slice()
+                .iter()
+                .map(|&v| (v, task_ref.versions()[v.index()].accel())),
+        );
         entry.valid = self.policy_cacheable;
     }
 
@@ -828,9 +921,8 @@ impl OnlineEngine {
             return VersionChoice::NoEligible;
         }
         self.wish_buf.clear();
-        let t = &self.taskset.tasks()[ti];
-        for &v in &self.rank_cache[ti].ids {
-            match t.versions()[v.index()].accel() {
+        for &(v, accel) in &self.rank_cache[ti].ids {
+            match accel {
                 None => return VersionChoice::Run(v, None),
                 Some(a) if self.accels.is_free(a) => return VersionChoice::Run(v, Some(a)),
                 Some(a) => {
@@ -945,7 +1037,10 @@ impl OnlineEngine {
     fn preempt_round(&mut self, qi: usize, actions: &mut ActionSink) {
         let mut blocked = std::mem::take(&mut self.blocked_buf);
         blocked.clear();
-        while let Some(top) = self.queues[qi].peek().copied() {
+        // The no-preempt fast path compares priorities only, through the
+        // heap root's key — the queued job's payload is read just when a
+        // preemption actually proceeds.
+        while let Some(top_priority) = self.queues[qi].peek_priority() {
             // Least-urgent preemptable running job fed by this queue;
             // accelerator holders are not preemptable.
             let victim = self
@@ -960,9 +1055,10 @@ impl OnlineEngine {
             let Some((w, victim_prio)) = victim else {
                 break;
             };
-            if !top.priority.is_higher_than(victim_prio) {
+            if !top_priority.is_higher_than(victim_prio) {
                 break;
             }
+            let top = *self.queues[qi].peek().expect("priority was peeked");
             match self.choose_version(top.task) {
                 VersionChoice::Run(v, a) => {
                     let job = self.queues[qi].pop().expect("peeked job present");
@@ -1071,6 +1167,79 @@ mod tests {
         }
         assert!(e.running(WorkerId::new(0)).is_some());
         assert_eq!(e.ready_len(), 0);
+    }
+
+    #[test]
+    fn batch_completion_retires_all_then_dispatches_once() {
+        // fork -> (left, right) -> join: completing left and right in
+        // ONE batch must fire the join inside the same call — the single
+        // dispatch round runs after every completion retired.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let fork = b.task_decl(TaskSpec::periodic("fork", ms(100))).unwrap();
+        let left = b.task_decl(TaskSpec::graph_node("left")).unwrap();
+        let right = b.task_decl(TaskSpec::graph_node("right")).unwrap();
+        let join = b.task_decl(TaskSpec::graph_node("join")).unwrap();
+        for t in [fork, left, right, join] {
+            b.version_decl(t, VersionSpec::new("v", ms(1))).unwrap();
+        }
+        let c1 = b.channel_decl("fl", 1, 1);
+        let c2 = b.channel_decl("fr", 1, 1);
+        let c3 = b.channel_decl("lj", 1, 1);
+        let c4 = b.channel_decl("rj", 1, 1);
+        b.channel_connect(fork, left, c1).unwrap();
+        b.channel_connect(fork, right, c2).unwrap();
+        b.channel_connect(left, join, c3).unwrap();
+        b.channel_connect(right, join, c4).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let mut e = OnlineEngine::new(ts, edf_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let fork_id = e.running(WorkerId::new(0)).unwrap().job.id;
+        let _ = e
+            .on_job_completed(WorkerId::new(0), fork_id, at(1))
+            .unwrap();
+        let batch = [
+            (
+                WorkerId::new(0),
+                e.running(WorkerId::new(0)).unwrap().job.id,
+            ),
+            (
+                WorkerId::new(1),
+                e.running(WorkerId::new(1)).unwrap().job.id,
+            ),
+        ];
+        let acts = e.on_jobs_completed(&batch, at(2)).unwrap();
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::Dispatch { job, .. } if job.task == join)),
+            "join fires within the batch call: {acts:?}"
+        );
+        assert_eq!(e.stats().completed, 3);
+    }
+
+    #[test]
+    fn batch_completion_error_keeps_retired_prefix() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let good = e.running(WorkerId::new(0)).unwrap().job.id;
+        let batch = [
+            (WorkerId::new(0), good),
+            (WorkerId::new(1), JobId::new(999)), // protocol violation
+        ];
+        let err = e.on_jobs_completed(&batch, at(1));
+        assert!(err.is_err());
+        // The valid prefix was retired (worker 0 freed, completion
+        // counted); the offender's worker still runs its job.
+        assert_eq!(e.stats().completed, 1);
+        assert!(e.running(WorkerId::new(1)).is_some());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let acts = e.on_jobs_completed(&[], at(1)).unwrap();
+        assert!(acts.is_empty());
+        assert_eq!(e.stats().completed, 0);
     }
 
     #[test]

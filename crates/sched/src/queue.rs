@@ -2,64 +2,250 @@
 //!
 //! With global scheduling "all worker threads share a common ready queue,
 //! whereas with partitioned scheduling each worker thread has its own
-//! ready queue" (§3.3, Fig. 1a/1b). The queue is a binary heap over
-//! [`Job::queue_key`] with a fixed capacity decided at `start()` — no
-//! allocation on the hot path.
+//! ready queue" (§3.3, Fig. 1a/1b). The queue is an **index-tracked
+//! 4-ary heap** over [`Job::queue_key`] with a fixed capacity decided at
+//! `start()` — no allocation on any path after construction. Heap
+//! entries carry the job payload inline next to a back-pointer into the
+//! index slab, so every sift level is one array read, one array write
+//! and one direct slab update — no hashing anywhere on the sift path.
 //!
-//! Cancellation uses *tombstones* (lazy deletion): [`ReadyQueue::remove`]
-//! marks the job id dead in O(n) scan time without disturbing the heap,
-//! and [`ReadyQueue::pop`]/[`ReadyQueue::peek`] discard dead entries as
-//! they surface — amortised O(log n) per pop, instead of the former
-//! whole-heap rebuild (O(n log n)) on every removal.
+//! Every heap entry is tracked by an open-addressed index slab at most
+//! half full, keyed by a Fibonacci (multiplicative) hash of the job id
+//! (engines number jobs sequentially — shards stamp their shard index
+//! into the high bits — so masking raw low bits would pile the live
+//! window into one long occupied run and make probe scans O(queue);
+//! the multiplicative spread keeps runs O(1) expected). The slab stores
+//! the full [`JobId`] next to the heap position, so a lookup is
+//! generation-checked: a colliding foreign id probes on instead of
+//! aliasing. Deletion uses backward-shift compaction (no probe
+//! tombstones), keeping lookups O(1) expected forever — there is no
+//! lazy-delete state anywhere, so `len()` is exact,
+//! [`ReadyQueue::peek`] takes `&self`, and removal never scans.
+//!
+//! | operation | cost |
+//! |-----------|------|
+//! | [`ReadyQueue::push`]   | O(log n) sift-up, O(1) index insert |
+//! | [`ReadyQueue::pop`]    | O(log n) sift-down, O(1) index delete |
+//! | [`ReadyQueue::remove`] | O(log n) sift from the tracked position |
+//! | [`ReadyQueue::peek`] / [`ReadyQueue::peek_hint`] | O(1), `&self` |
+//!
+//! Earlier revisions used a `BinaryHeap` with tombstoned lazy deletion:
+//! `remove` was an O(n) scan, `peek` needed `&mut self` to purge dead
+//! entries, and a `compact()` rebuild guarded the capacity bound. The
+//! index heap removes all three caveats; cheap `remove` + shared-ref
+//! `peek` are also what work stealing needs to probe a victim queue.
 
 use crate::job::Job;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::ids::JobId;
+use yasmin_core::priority::Priority;
+
+/// Heap arity: 4 halves the depth of a binary heap for the queue sizes
+/// the engine runs (dozens to a few thousand ready jobs), and the
+/// four-child minimum scan stays within one cache line of `Job`s.
+const D: usize = 4;
+
+/// Marker for an unoccupied index-slab slot.
+const EMPTY: u32 = u32::MAX;
+
+/// One slot of the open-addressed id → heap-position index.
+#[derive(Debug, Clone, Copy)]
+struct IndexSlot {
+    /// Full id stored for the generation check: a probe matches only on
+    /// id equality, never on the hashed home slot alone.
+    id: JobId,
+    /// Position in the heap array, or [`EMPTY`].
+    pos: u32,
+}
+
+/// One heap entry: the job plus a back-pointer to its index-slab slot,
+/// so sift moves update the slab by direct indexing — no hashing or
+/// probing anywhere on the sift path.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    job: Job,
+    /// The index-slab slot tracking this entry.
+    islot: u32,
+}
 
 /// A bounded, priority-ordered job queue (smaller priority value pops
 /// first; ties broken by release time, then job id).
 #[derive(Debug)]
 pub struct ReadyQueue {
-    heap: BinaryHeap<Reverse<OrderedJob>>,
-    /// Ids removed but still physically present in `heap` (lazy delete).
-    tombstones: Vec<JobId>,
+    /// 4-ary min-heap over [`Job::queue_key`]; `heap.len()` is the exact
+    /// live count.
+    heap: Vec<HeapEntry>,
+    /// Open-addressed index over the heap, ≥ 2× capacity and a power of
+    /// two, so a free slot always terminates a probe.
+    index: Vec<IndexSlot>,
+    /// `index.len() - 1`, for masked probing.
+    mask: usize,
     capacity: usize,
     pushes: u64,
     pops: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct OrderedJob(Job);
-
-impl Ord for OrderedJob {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.queue_key().cmp(&other.0.queue_key())
-    }
-}
-
-impl PartialOrd for OrderedJob {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 impl ReadyQueue {
     /// Creates a queue bounded to `capacity` pending jobs, pre-allocating
-    /// the backing storage.
+    /// the backing storage (heap array and index slab).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(1) * 2).next_power_of_two();
         ReadyQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            tombstones: Vec::new(),
+            heap: Vec::with_capacity(capacity),
+            index: vec![
+                IndexSlot {
+                    id: JobId::new(0),
+                    pos: EMPTY,
+                };
+                slots
+            ],
+            mask: slots - 1,
             capacity,
             pushes: 0,
             pops: 0,
         }
     }
 
-    /// Inserts a job.
+    /// The index-slab slot an id probes from: a Fibonacci hash (the
+    /// golden-ratio multiplier's high bits), so the sequential ids the
+    /// engine mints scatter uniformly instead of forming one contiguous
+    /// occupied run whose probe scans would grow with the queue.
+    #[inline]
+    fn home(&self, id: JobId) -> usize {
+        let h = id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.mask
+    }
+
+    /// The slab slot holding `id`, or `None`.
+    #[inline]
+    fn index_lookup(&self, id: JobId) -> Option<usize> {
+        let mut i = self.home(id);
+        loop {
+            let slot = self.index[i];
+            if slot.pos == EMPTY {
+                return None;
+            }
+            if slot.id == id {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Records `id` at heap position `pos` (id must not be present);
+    /// returns the slab slot chosen.
+    #[inline]
+    fn index_insert(&mut self, id: JobId, pos: u32) -> u32 {
+        let mut i = self.home(id);
+        while self.index[i].pos != EMPTY {
+            debug_assert_ne!(self.index[i].id, id, "duplicate live job id");
+            i = (i + 1) & self.mask;
+        }
+        self.index[i] = IndexSlot { id, pos };
+        i as u32
+    }
+
+    /// Deletes slab slot `i` by backward-shift compaction: entries in
+    /// the probe chain whose home precedes the freed slot move back (the
+    /// slab never accumulates probe tombstones), and each moved entry's
+    /// heap back-pointer is re-aimed at its new slot.
+    fn index_delete(&mut self, mut i: usize) {
+        loop {
+            self.index[i].pos = EMPTY;
+            let mut j = i;
+            loop {
+                j = (j + 1) & self.mask;
+                if self.index[j].pos == EMPTY {
+                    return;
+                }
+                let h = self.home(self.index[j].id);
+                // Keep the entry where it is iff its home lies cyclically
+                // in (i, j]; otherwise it belongs at or before the hole.
+                let stays = (j.wrapping_sub(h) & self.mask) < (j.wrapping_sub(i) & self.mask);
+                if !stays {
+                    self.index[i] = self.index[j];
+                    self.heap[self.index[i].pos as usize].islot = i as u32;
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Moves the entry at `pos` up towards the root until the heap
+    /// property holds; every shifted entry's slab slot is updated by
+    /// direct indexing (no hashing on the sift path).
+    fn sift_up(&mut self, mut pos: usize) {
+        let entry = self.heap[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / D;
+            let pe = self.heap[parent];
+            if pe.job.queue_key() <= entry.job.queue_key() {
+                break;
+            }
+            self.heap[pos] = pe;
+            self.index[pe.islot as usize].pos = pos as u32;
+            pos = parent;
+        }
+        self.heap[pos] = entry;
+        self.index[entry.islot as usize].pos = pos as u32;
+    }
+
+    /// Moves the entry at `pos` down towards the leaves until the heap
+    /// property holds.
+    fn sift_down(&mut self, mut pos: usize) {
+        let entry = self.heap[pos];
+        let n = self.heap.len();
+        loop {
+            let first = pos * D + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            let mut best_key = self.heap[first].job.queue_key();
+            for c in (first + 1)..(first + D).min(n) {
+                let k = self.heap[c].job.queue_key();
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if entry.job.queue_key() <= best_key {
+                break;
+            }
+            let ce = self.heap[best];
+            self.heap[pos] = ce;
+            self.index[ce.islot as usize].pos = pos as u32;
+            pos = best;
+        }
+        self.heap[pos] = entry;
+        self.index[entry.islot as usize].pos = pos as u32;
+    }
+
+    /// Detaches and returns the job at heap position `pos`, restoring
+    /// the heap property around the hole.
+    fn remove_at(&mut self, pos: usize) -> Job {
+        let entry = self.heap[pos];
+        self.index_delete(entry.islot as usize);
+        let last = self.heap.pop().expect("pos is in bounds");
+        if pos < self.heap.len() {
+            self.heap[pos] = last;
+            self.index[last.islot as usize].pos = pos as u32;
+            // The filler came from a leaf: it may be out of order in
+            // either direction relative to its new neighbourhood.
+            if pos > 0 && last.job.queue_key() < self.heap[(pos - 1) / D].job.queue_key() {
+                self.sift_up(pos);
+            } else {
+                self.sift_down(pos);
+            }
+        }
+        entry.job
+    }
+
+    /// Inserts a job. Live job ids must be unique per queue (the engine
+    /// numbers jobs monotonically, so this holds by construction; an id
+    /// may be re-pushed after its previous instance left the queue).
     ///
     /// # Errors
     ///
@@ -67,130 +253,76 @@ impl ReadyQueue {
     /// sizing error, not a runtime condition to paper over.
     #[inline]
     pub fn push(&mut self, job: Job) -> Result<()> {
-        if self.len() >= self.capacity {
+        if self.heap.len() >= self.capacity {
             return Err(Error::CapacityExceeded {
                 what: "ready queue",
                 capacity: self.capacity,
             });
         }
-        if !self.tombstones.is_empty()
-            && (self.heap.len() >= self.capacity || self.tombstones.contains(&job.id))
-        {
-            // Compact (rare) when dead entries would either grow the
-            // pre-allocated heap past its bound, or when the pushed id
-            // matches a tombstone — re-pushing a previously removed id
-            // must not let the tombstone swallow the new live entry.
-            self.compact();
-        }
-        self.heap.push(Reverse(OrderedJob(job)));
+        let pos = self.heap.len();
+        let islot = self.index_insert(job.id, pos as u32);
+        self.heap.push(HeapEntry { job, islot });
+        self.sift_up(pos);
         self.pushes += 1;
         Ok(())
     }
 
-    /// Removes and returns the most urgent job, discarding tombstoned
-    /// entries as they surface (amortised O(log n)).
+    /// Removes and returns the most urgent job (O(log n)).
     #[inline]
     pub fn pop(&mut self) -> Option<Job> {
-        if self.tombstones.is_empty() {
-            // Fast path: no pending lazy deletions.
-            let j = self.heap.pop().map(|Reverse(OrderedJob(j))| j);
-            if j.is_some() {
-                self.pops += 1;
-            }
-            return j;
-        }
-        while let Some(Reverse(OrderedJob(j))) = self.heap.pop() {
-            if self.clear_tombstone(j.id) {
-                continue;
-            }
-            self.pops += 1;
-            return Some(j);
-        }
-        None
-    }
-
-    /// The most urgent job without removing it. Takes `&mut self` to
-    /// purge tombstoned entries off the top of the heap.
-    #[inline]
-    #[must_use]
-    pub fn peek(&mut self) -> Option<&Job> {
-        if !self.tombstones.is_empty() {
-            while let Some(Reverse(OrderedJob(j))) = self.heap.peek() {
-                if self.tombstones.contains(&j.id) {
-                    let Some(Reverse(OrderedJob(dead))) = self.heap.pop() else {
-                        unreachable!("peek returned Some")
-                    };
-                    self.clear_tombstone(dead.id);
-                } else {
-                    break;
-                }
-            }
-        }
-        self.heap.peek().map(|Reverse(OrderedJob(j))| j)
-    }
-
-    /// The most urgent live job **without** mutating the queue.
-    ///
-    /// [`ReadyQueue::peek`] takes `&mut self` because it purges
-    /// tombstoned entries off the top of the heap as a side effect —
-    /// that contract leaks into APIs (like the engine shards) that want
-    /// to inspect a queue through a shared reference. `peek_hint` is the
-    /// immutable alternative: it scans the live entries in O(n) instead
-    /// of compacting, so it is for introspection (telemetry, work
-    /// stealing candidates), not the dispatch hot path.
-    #[must_use]
-    pub fn peek_hint(&self) -> Option<&Job> {
-        self.iter().min_by_key(|j| j.queue_key())
-    }
-
-    /// Removes a specific job by tombstoning it: the heap entry stays in
-    /// place and is discarded when it reaches the top (used when
-    /// cancelling).
-    pub fn remove(&mut self, id: JobId) -> Option<Job> {
-        if self.tombstones.contains(&id) {
+        if self.heap.is_empty() {
             return None;
         }
-        let found = self
-            .heap
-            .iter()
-            .map(|Reverse(OrderedJob(j))| j)
-            .find(|j| j.id == id)
-            .copied();
-        if found.is_some() {
-            self.tombstones.push(id);
-        }
-        found
+        self.pops += 1;
+        Some(self.remove_at(0))
     }
 
-    /// Drops `id` from the tombstone list; `true` if it was present.
-    fn clear_tombstone(&mut self, id: JobId) -> bool {
-        if let Some(pos) = self.tombstones.iter().position(|&t| t == id) {
-            self.tombstones.swap_remove(pos);
-            true
-        } else {
-            false
-        }
+    /// The most urgent job without removing it — O(1), through a shared
+    /// reference, with no side effect.
+    #[inline]
+    #[must_use]
+    pub fn peek(&self) -> Option<&Job> {
+        self.heap.first().map(|e| &e.job)
     }
 
-    /// Rebuilds the heap without its tombstoned entries (rare: only when
-    /// dead entries block a push at the physical capacity bound).
-    fn compact(&mut self) {
-        let mut items = std::mem::take(&mut self.heap).into_vec();
-        items.retain(|Reverse(OrderedJob(j))| !self.tombstones.contains(&j.id));
-        self.tombstones.clear();
-        self.heap = BinaryHeap::from(items);
+    /// The most urgent job's priority — what the dispatch paths that
+    /// only compare urgency (the preemption check) need, without
+    /// copying the whole job out.
+    #[inline]
+    #[must_use]
+    pub fn peek_priority(&self) -> Option<Priority> {
+        self.heap.first().map(|e| e.job.priority)
     }
 
-    /// Number of queued (live) jobs.
+    /// Alias of [`ReadyQueue::peek`], kept for the callers (telemetry,
+    /// work-stealing probes) that adopted it while `peek` still needed
+    /// `&mut self` to purge lazily-deleted entries. Both are now O(1)
+    /// and side-effect-free.
+    #[inline]
+    #[must_use]
+    pub fn peek_hint(&self) -> Option<&Job> {
+        self.peek()
+    }
+
+    /// Removes a specific job in O(log n): the index locates its heap
+    /// position, the last leaf fills the hole and sifts into place
+    /// (used when cancelling, and by work stealing on victim queues).
+    pub fn remove(&mut self, id: JobId) -> Option<Job> {
+        let slot = self.index_lookup(id)?;
+        let pos = self.index[slot].pos as usize;
+        Some(self.remove_at(pos))
+    }
+
+    /// Number of queued jobs (exact — there is no lazy-delete debt).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.tombstones.len()
+        self.heap.len()
     }
 
-    /// `true` if no live jobs are queued.
+    /// `true` if no jobs are queued.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.heap.is_empty()
     }
 
     /// The configured bound.
@@ -211,12 +343,9 @@ impl ReadyQueue {
         self.pops
     }
 
-    /// Iterates over live queued jobs in arbitrary order.
+    /// Iterates over queued jobs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = &Job> {
-        self.heap
-            .iter()
-            .map(|Reverse(OrderedJob(j))| j)
-            .filter(|j| !self.tombstones.contains(&j.id))
+        self.heap.iter().map(|e| &e.job)
     }
 }
 
@@ -293,7 +422,7 @@ mod tests {
 
     #[test]
     fn pop_after_remove_preserves_order() {
-        // Tombstoned entries must never surface from pop/peek, and the
+        // Removed entries must never surface from pop/peek, and the
         // surviving order must match a queue that never held them.
         let mut q = ReadyQueue::with_capacity(16);
         for i in 1..=8 {
@@ -311,16 +440,15 @@ mod tests {
     }
 
     #[test]
-    fn peek_hint_is_immutable_and_skips_tombstones() {
+    fn peek_is_immutable_and_exact() {
         let mut q = ReadyQueue::with_capacity(8);
         q.push(job(1, 10)).unwrap();
         q.push(job(2, 20)).unwrap();
         q.push(job(3, 30)).unwrap();
-        assert!(q.remove(JobId::new(1)).is_some()); // tombstone the top
+        assert!(q.remove(JobId::new(1)).is_some()); // remove the top
         let hint = |q: &ReadyQueue| q.peek_hint().map(|j| j.id);
-        assert_eq!(hint(&q), Some(JobId::new(2)), "hint skips the dead top");
-        assert_eq!(hint(&q), Some(JobId::new(2)), "no compaction side effect");
-        // peek (mutable) agrees with the hint.
+        assert_eq!(hint(&q), Some(JobId::new(2)), "peek sees the live top");
+        assert_eq!(hint(&q), Some(JobId::new(2)), "no side effect");
         assert_eq!(q.peek().map(|j| j.id), Some(JobId::new(2)));
         assert!(ReadyQueue::with_capacity(2).peek_hint().is_none());
     }
@@ -342,8 +470,8 @@ mod tests {
 
     #[test]
     fn push_after_remove_of_same_id_is_live() {
-        // Re-pushing an id that was removed must not be swallowed by the
-        // stale tombstone, nor may the dead pre-remove entry resurface.
+        // Re-pushing an id after its previous instance was removed must
+        // enqueue the new instance under its new key.
         let mut q = ReadyQueue::with_capacity(8);
         q.push(job(5, 30)).unwrap();
         q.push(job(1, 20)).unwrap();
@@ -358,15 +486,15 @@ mod tests {
     }
 
     #[test]
-    fn tombstones_free_capacity_for_pushes() {
-        // Removed jobs must not count against the bound, even while
-        // their dead entries still sit in the heap.
+    fn removal_frees_capacity_for_pushes() {
+        // Removed jobs free their slot immediately — the bound is on
+        // live jobs and the index holds no lazy-delete debt.
         let mut q = ReadyQueue::with_capacity(2);
         q.push(job(1, 1)).unwrap();
         q.push(job(2, 2)).unwrap();
         assert!(q.remove(JobId::new(2)).is_some());
         assert_eq!(q.len(), 1);
-        q.push(job(3, 3)).unwrap(); // forces compaction, not growth
+        q.push(job(3, 3)).unwrap();
         assert!(matches!(
             q.push(job(4, 4)),
             Err(Error::CapacityExceeded { capacity: 2, .. })
@@ -387,5 +515,91 @@ mod tests {
         let _ = q.pop();
         let _ = q.pop(); // empty pop does not count
         assert_eq!(q.pops(), 2);
+    }
+
+    #[test]
+    fn index_survives_colliding_homes() {
+        // Three ids hashing to the same home slot of the 8-slot slab:
+        // the full-id check and linear probing must keep them distinct,
+        // and backward shift must keep the probe chain unbroken through
+        // removals.
+        let mask = 7usize; // (4.max(1) * 2).next_power_of_two() - 1
+        let home = |id: u64| ((id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & mask;
+        let mut colliders = vec![0u64];
+        let mut id = 1u64;
+        while colliders.len() < 3 {
+            if home(id) == home(0) {
+                colliders.push(id);
+            }
+            id += 1;
+        }
+        let mut q = ReadyQueue::with_capacity(4);
+        for (i, &c) in colliders.iter().enumerate() {
+            q.push(job(c, 10 * (i as u64 + 1))).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        // Remove the middle collider; its probe-chain successor must
+        // still resolve.
+        assert_eq!(
+            q.remove(JobId::new(colliders[1])).unwrap().priority,
+            Priority::new(20)
+        );
+        assert_eq!(
+            q.remove(JobId::new(colliders[2])).unwrap().priority,
+            Priority::new(30)
+        );
+        assert_eq!(q.pop().unwrap().id, JobId::new(colliders[0]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn churn_with_interleaved_removes_stays_consistent() {
+        // Deterministic churn: push/remove/pop across several index
+        // wrap-arounds; every op's result is cross-checked against a
+        // naive model. Also the shape Miri runs in CI.
+        let mut q = ReadyQueue::with_capacity(16);
+        let mut model: Vec<Job> = Vec::new();
+        let mut next_id = 0u64;
+        let mut state = 0x9E37_79B9u64;
+        for _ in 0..400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match state % 4 {
+                0 | 1 => {
+                    if model.len() < 16 {
+                        let j = job(next_id, (state >> 8) % 5);
+                        next_id += 1;
+                        q.push(j).unwrap();
+                        model.push(j);
+                    }
+                }
+                2 => {
+                    let expect = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, j)| j.queue_key())
+                        .map(|(i, _)| i);
+                    let got = q.pop();
+                    match expect {
+                        Some(i) => assert_eq!(got.unwrap(), model.remove(i)),
+                        None => assert!(got.is_none()),
+                    }
+                }
+                3 => {
+                    if !model.is_empty() {
+                        let i = (state >> 16) as usize % model.len();
+                        let id = model[i].id;
+                        assert_eq!(q.remove(id).unwrap(), model.remove(i));
+                    }
+                }
+                _ => unreachable!(),
+            }
+            assert_eq!(q.len(), model.len());
+            assert_eq!(
+                q.peek().copied(),
+                model.iter().min_by_key(|j| j.queue_key()).copied()
+            );
+        }
     }
 }

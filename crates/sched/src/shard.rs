@@ -248,6 +248,24 @@ impl EngineShard {
         self.engine.on_job_completed_into(worker, job, now, sink)
     }
 
+    /// Batched completion hand-back: a mailbox drain that finds several
+    /// pending `JobCompleted` commands coalesces them into one call, so
+    /// the shard pays a single dispatch round for the whole burst; see
+    /// [`OnlineEngine::on_jobs_completed_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::on_jobs_completed_into`]; every worker in the
+    /// batch must be this shard's worker.
+    pub fn on_jobs_completed_into(
+        &mut self,
+        completions: &[(WorkerId, JobId)],
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.engine.on_jobs_completed_into(completions, now, sink)
+    }
+
     /// Stops releasing periodic jobs; in-flight work drains.
     pub fn stop(&mut self) {
         self.engine.stop();
@@ -297,10 +315,9 @@ impl EngineShard {
         self.engine.is_idle()
     }
 
-    /// The most urgent ready job without mutating the queue — safe to
-    /// call through a shared reference (telemetry, future work-stealing
-    /// probes); see [`crate::ReadyQueue::peek_hint`] for why the exact
-    /// peek needs `&mut`.
+    /// The most urgent ready job, O(1) through a shared reference
+    /// (telemetry, future work-stealing probes) — the index-tracked
+    /// [`crate::ReadyQueue`] peeks without any side effect.
     #[must_use]
     pub fn peek_hint(&self) -> Option<&Job> {
         self.engine.most_urgent_hint()
@@ -466,6 +483,26 @@ mod tests {
         assert_eq!(shard.stats().released, 3, "no releases after stop");
         assert_eq!(ShardCmd::Stop.at(), None);
         assert_eq!(ShardCmd::Tick { at: at(20) }.at(), Some(at(20)));
+    }
+
+    #[test]
+    fn batched_completion_matches_sequential_on_a_shard() {
+        let ts = two_worker_set();
+        let mut shards = EngineShard::build_all(&ts, &partitioned_config(2)).unwrap();
+        let shard = &mut shards[0];
+        let mut sink = ActionSink::new();
+        shard.start_into(Instant::ZERO, &mut sink).unwrap();
+        let first = shard.running().unwrap().job.id;
+        sink.clear();
+        shard
+            .on_jobs_completed_into(&[(shard.worker(), first)], at(2), &mut sink)
+            .unwrap();
+        assert_eq!(sink.len(), 1, "next own task dispatches from the batch");
+        // A batch naming a foreign worker is a protocol error.
+        let second = shard.running().unwrap().job.id;
+        assert!(shard
+            .on_jobs_completed_into(&[(WorkerId::new(1), second)], at(3), &mut sink)
+            .is_err());
     }
 
     #[test]

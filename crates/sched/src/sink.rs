@@ -16,6 +16,20 @@ use crate::engine::Action;
 /// not clear it), so a driver may batch several engine calls into one
 /// sink and apply the actions once. Call [`ActionSink::clear`] between
 /// interactions to reuse the storage.
+///
+/// ## Batch-completion contract
+///
+/// `OnlineEngine::on_jobs_completed_into` retires **all** completions
+/// of a burst before its single dispatch round, and the actions of
+/// that round land in the sink **in one contiguous run** at the end:
+/// every `Dispatch`/`Preempt`/`Boost` appended by the batch call
+/// already accounts for the whole burst (freed workers, released
+/// accelerators, fired DAG successors). A driver must therefore apply
+/// a sink's actions only *after* the engine call that appended them
+/// returns — never interleave application with further completions of
+/// the same burst — and must not assume one action run per completion:
+/// a batch of N completions may append anywhere from zero to more than
+/// N actions, in selection order, not completion order.
 #[derive(Debug, Default, Clone)]
 pub struct ActionSink {
     actions: Vec<Action>,

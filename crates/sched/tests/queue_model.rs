@@ -1,8 +1,9 @@
-//! Property test: [`ReadyQueue`] (binary heap + tombstone lazy delete)
-//! against a naive sorted-`Vec` reference model, under random
-//! push/pop/remove sequences. Catches ordering bugs the unit tests'
-//! hand-picked sequences would miss — in particular interactions
-//! between tombstoned entries and later pushes/pops.
+//! Property test: [`ReadyQueue`] (index-tracked 4-ary heap) against a
+//! naive sorted-`Vec` reference model, under random push/pop/remove
+//! sequences. Catches ordering bugs the unit tests' hand-picked
+//! sequences would miss — in particular mid-heap removals repairing the
+//! heap and the id → position index through sifts, and (in the
+//! at-capacity variant) the exact `len()` accounting at the bound.
 
 use proptest::prelude::*;
 use yasmin_core::ids::{JobId, TaskId};
@@ -93,6 +94,63 @@ proptest! {
             prop_assert_eq!(q.peek().copied(), m.peek());
         }
         // Drain both fully: the complete surviving order must agree.
+        loop {
+            let (a, b) = (q.pop(), m.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Interleaved `remove`/`push`/`pop` **at capacity**: a tiny bound
+    /// keeps the queue pinned against its limit, so pushes regularly hit
+    /// `CapacityExceeded` and removals must free exactly one slot — the
+    /// accounting is exact (no lazy-delete debt to subtract).
+    #[test]
+    fn ready_queue_matches_reference_model_at_capacity(ops in prop::collection::vec(0u64..(1u64 << 62), 16..200)) {
+        const CAP: usize = 8;
+        let mut q = ReadyQueue::with_capacity(CAP);
+        let mut m = ModelQueue::default();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op % 4 {
+                0 | 1 => {
+                    let j = job(next_id, (op >> 2) % 8, (op >> 5) % 4);
+                    next_id += 1;
+                    let res = q.push(j);
+                    if m.jobs.len() < CAP {
+                        prop_assert!(res.is_ok());
+                        m.push(j);
+                    } else {
+                        prop_assert!(res.is_err(), "push past the bound must fail");
+                    }
+                }
+                2 => {
+                    prop_assert_eq!(q.pop(), m.pop());
+                }
+                3 => {
+                    let target = if m.jobs.is_empty() || op & (1 << 40) != 0 {
+                        JobId::new(next_id + 1_000)
+                    } else {
+                        m.jobs[((op >> 2) as usize) % m.jobs.len()].id
+                    };
+                    let removed = q.remove(target);
+                    prop_assert_eq!(removed, m.remove(target));
+                    if removed.is_some() && m.jobs.len() == CAP - 1 {
+                        // A removal at the bound frees exactly one slot.
+                        let j = job(next_id, (op >> 3) % 8, 0);
+                        next_id += 1;
+                        prop_assert!(q.push(j).is_ok());
+                        m.push(j);
+                    }
+                }
+                _ => unreachable!(),
+            }
+            prop_assert_eq!(q.len(), m.jobs.len());
+            prop_assert_eq!(q.is_empty(), m.jobs.is_empty());
+            prop_assert_eq!(q.peek().copied(), m.peek());
+        }
         loop {
             let (a, b) = (q.pop(), m.pop());
             prop_assert_eq!(a, b);

@@ -263,6 +263,8 @@ pub struct Simulation {
     suspended: Vec<(JobId, SlotRef)>,
     /// Reusable action buffer passed to every engine interaction.
     sink: ActionSink,
+    /// Same-timestamp completions gathered for one batched engine call.
+    finish_batch: Vec<(WorkerId, JobId)>,
     /// Sporadic root tasks and their release offsets, precomputed.
     sporadic_roots: Vec<(TaskId, Duration)>,
     /// Minimum inter-arrival per task index (ZERO for non-sporadic).
@@ -340,6 +342,7 @@ impl Simulation {
             slab: JobSlab::default(),
             suspended: Vec::new(),
             sink: ActionSink::with_capacity(workers * 2),
+            finish_batch: Vec::with_capacity(workers),
             sporadic_roots,
             sporadic_period,
             records: Vec::new(),
@@ -502,9 +505,20 @@ impl Simulation {
         }
     }
 
-    fn on_finish(&mut self, now: Instant, worker: WorkerId, job: JobId, gen: u64) -> Result<()> {
+    /// Books one finish event — worker busy time, accelerator time, the
+    /// job record — and returns the completion pair for the engine
+    /// call, which the event loop batches across same-timestamp
+    /// finishes. Returns `None` for a stale event (the slice was
+    /// preempted after this finish was scheduled).
+    fn settle_finish(
+        &mut self,
+        now: Instant,
+        worker: WorkerId,
+        job: JobId,
+        gen: u64,
+    ) -> Option<(WorkerId, JobId)> {
         if self.gens[worker.index()] != gen {
-            return Ok(()); // stale event from before a preemption
+            return None; // stale event from before a preemption
         }
         let slice = self.slices[worker.index()]
             .take()
@@ -529,16 +543,7 @@ impl Simulation {
             worker,
             preemptions: p.preemptions,
         });
-
-        let mut sink = std::mem::take(&mut self.sink);
-        sink.clear();
-        self.timed(|e| {
-            e.on_job_completed_into(worker, job, now, &mut sink)
-                .expect("driver protocol upheld");
-        });
-        self.apply_actions(now, &sink);
-        self.sink = sink;
-        Ok(())
+        Some((worker, job))
     }
 
     /// Runs the simulation to the horizon and aggregates the result.
@@ -669,7 +674,47 @@ impl Simulation {
                     }
                 }
                 Ev::Finish { worker, job, gen } => {
-                    self.on_finish(now, worker, job, gen)?;
+                    let mut batch = std::mem::take(&mut self.finish_batch);
+                    batch.clear();
+                    if let Some(c) = self.settle_finish(now, worker, job, gen) {
+                        batch.push(c);
+                    }
+                    // Coalesce the consecutive run of same-timestamp
+                    // finishes at the head of the event queue into one
+                    // batched engine call — a burst of completions pays
+                    // a single dispatch round. Only the Finish prefix is
+                    // absorbed, so ordering against ticks and arrivals
+                    // at the same instant is unchanged.
+                    loop {
+                        let more = matches!(
+                            self.queue.peek(),
+                            Some(Reverse(n))
+                                if n.time == item.time && matches!(n.ev, Ev::Finish { .. })
+                        );
+                        if !more {
+                            break;
+                        }
+                        let Some(Reverse(next)) = self.queue.pop() else {
+                            break;
+                        };
+                        let Ev::Finish { worker, job, gen } = next.ev else {
+                            unreachable!("peek matched a finish event")
+                        };
+                        if let Some(c) = self.settle_finish(now, worker, job, gen) {
+                            batch.push(c);
+                        }
+                    }
+                    if !batch.is_empty() {
+                        let mut sink = std::mem::take(&mut self.sink);
+                        sink.clear();
+                        self.timed(|e| {
+                            e.on_jobs_completed_into(&batch, now, &mut sink)
+                                .expect("driver protocol upheld");
+                        });
+                        self.apply_actions(now, &sink);
+                        self.sink = sink;
+                    }
+                    self.finish_batch = batch;
                 }
                 Ev::Sporadic { task } => {
                     let mut sink = std::mem::take(&mut self.sink);

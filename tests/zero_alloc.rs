@@ -4,7 +4,7 @@
 //! warm-up phase (rank caches fill, scratch buffers and the action sink
 //! grow to their high-water marks) each scenario drives 10 000 further
 //! steady-state scheduler interactions and asserts the allocation
-//! counter did not move at all. Three scenarios cover the paths the
+//! counter did not move at all. Five scenarios cover the paths the
 //! ROADMAP names:
 //!
 //! 1. **independent / global** — the EDF tick/complete loop of PR 2;
@@ -12,7 +12,13 @@
 //!    engine's token machinery on every cycle;
 //! 3. **partitioned / sharded** — per-worker [`EngineShard`]s fed
 //!    through the lock-free command mailbox, i.e. the full sharded
-//!    dispatch path of PR 3 including the mailbox push and drain.
+//!    dispatch path of PR 3 including the mailbox push and drain;
+//! 4. **accelerator contention / PIP** — a GPU-only urgent task blocks
+//!    on the held accelerator every cycle, boosting the holder (the
+//!    Boost action, wish scratch and blocked-job re-queue paths);
+//! 5. **burst completion** — every worker's completion retired through
+//!    one `on_jobs_completed_into` batch per cycle (PR 4), including
+//!    the caller-side reusable batch buffer.
 //!
 //! Runs without the libtest harness (`harness = false` in Cargo.toml)
 //! so no other thread can touch the allocator during the measured
@@ -290,8 +296,139 @@ fn partitioned_sharded_mailbox() {
     );
 }
 
+/// Scenario 4: accelerator contention with PIP boosts. A GPU holder
+/// with a lax deadline and a GPU-only urgent task releasing mid-period
+/// onto an idle second worker: every cycle the urgent job pops, finds
+/// the accelerator busy, stays ready, and boosts the holder — Boost
+/// actions, the accelerator wish scratch and the blocked-job re-queue
+/// must all run on pre-grown storage.
+fn accel_contention_pip() {
+    let p = Duration::from_millis(40);
+    let mut b = TaskSetBuilder::new();
+    let gpu = b.hwaccel_decl("gpu");
+    let hold = b.task_decl(TaskSpec::periodic("hold", p)).unwrap();
+    let urgent = b
+        .task_decl(
+            TaskSpec::periodic("urgent", p)
+                .with_release_offset(p.scale(1, 4))
+                .with_constrained_deadline(p.scale(1, 4)),
+        )
+        .unwrap();
+    b.version_decl(hold, VersionSpec::new("gpu", p.scale(1, 8)).with_accel(gpu))
+        .unwrap();
+    b.version_decl(
+        urgent,
+        VersionSpec::new("gpu", p.scale(1, 8)).with_accel(gpu),
+    )
+    .unwrap();
+    let ts = Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(2)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(64)
+        .build()
+        .expect("valid config");
+    let mut engine = OnlineEngine::new(ts, config).expect("valid engine");
+    let mut sink = ActionSink::with_capacity(64);
+    let w0 = WorkerId::new(0);
+
+    engine
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh engine starts");
+    let mut now = Instant::ZERO;
+
+    assert_zero_alloc("accel-contention-pip", || {
+        // Urgent releases while the holder owns the GPU: blocked + boost.
+        sink.clear();
+        engine.on_tick_into(now + p.scale(1, 4), &mut sink);
+        // Holder completes: urgent takes the GPU...
+        let holder = engine.running(w0).expect("holder runs").job.id;
+        sink.clear();
+        engine
+            .on_job_completed_into(w0, holder, now + p.scale(1, 2), &mut sink)
+            .expect("completion protocol upheld");
+        // ...and completes before the next period's holder release.
+        let u = engine.running(w0).expect("urgent runs").job.id;
+        sink.clear();
+        engine
+            .on_job_completed_into(w0, u, now + p.scale(3, 4), &mut sink)
+            .expect("completion protocol upheld");
+        now += p;
+        sink.clear();
+        engine.on_tick_into(now, &mut sink);
+    });
+    assert!(
+        engine.stats().pip_boosts > u64::from(WARMUP),
+        "every cycle must boost the holder (got {})",
+        engine.stats().pip_boosts
+    );
+    assert!(
+        engine.stats().blocked_skips > u64::from(WARMUP),
+        "urgent must block on the busy accelerator (got {})",
+        engine.stats().blocked_skips
+    );
+}
+
+/// Scenario 5: bursty completions through the batch API — all workers'
+/// completions of a cycle retired by ONE `on_jobs_completed_into` call
+/// (a single dispatch round per burst), with the caller-side batch
+/// buffer reused across cycles.
+fn burst_batch_completion() {
+    const WORKERS: usize = 4;
+    let ts = build_independent(&IndependentSetParams {
+        n: 64,
+        total_utilisation: 3.0,
+        seed: 42,
+        ..IndependentSetParams::default()
+    })
+    .expect("valid taskset");
+    let config = Config::builder()
+        .workers(WORKERS)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    let mut engine = OnlineEngine::new(Arc::new(ts), config).expect("valid engine");
+    let mut sink = ActionSink::with_capacity(256);
+    let mut running: Vec<Option<JobId>> = vec![None; WORKERS];
+    let mut batch: Vec<(WorkerId, JobId)> = Vec::with_capacity(WORKERS);
+
+    engine
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh engine starts");
+    track(&mut running, sink.as_slice());
+    let tick = engine.tick_period();
+    let mut now = Instant::ZERO;
+
+    assert_zero_alloc("burst-batch-completion", || {
+        let mid = now + tick.scale(1, 2);
+        batch.clear();
+        for (w, slot) in running.iter_mut().enumerate() {
+            if let Some(job) = slot.take() {
+                batch.push((WorkerId::new(w as u16), job));
+            }
+        }
+        sink.clear();
+        engine
+            .on_jobs_completed_into(&batch, mid, &mut sink)
+            .expect("completion protocol upheld");
+        track(&mut running, sink.as_slice());
+        now += tick;
+        sink.clear();
+        engine.on_tick_into(now, &mut sink);
+        track(&mut running, sink.as_slice());
+    });
+    assert!(
+        engine.stats().completed > u64::from(WARMUP),
+        "burst loop must retire batches (got {})",
+        engine.stats().completed
+    );
+}
+
 fn main() {
     independent_global();
     dag_firing();
     partitioned_sharded_mailbox();
+    accel_contention_pip();
+    burst_batch_completion();
 }
