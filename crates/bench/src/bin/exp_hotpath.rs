@@ -1,13 +1,15 @@
 //! Dispatch hot-path latency experiment: runs the steady-state
 //! tick/complete loop of [`yasmin_bench::hotpath`] against the
-//! single-owner engine (comparable 1:1 with the PR 2/PR 3 records) and
+//! single-owner engine (comparable 1:1 with the PR 2/3/4 records) and
 //! against the sharded engine fed through the lock-free command
-//! mailbox, plus the two PR 4 sections — a **remove-heavy** queue loop
-//! (remove-then-pop vs pop alone on a full 1024-job queue, the index
-//! heap's asymptotics check) and a **bursty-completion** loop (one
-//! batched `on_jobs_completed_into` per cycle vs sequential
-//! per-completion calls) — and writes `results/BENCH_PR4.json` with all
-//! of them, alongside the recorded PR 2 and PR 3 baselines.
+//! mailbox, the two PR 4 sections — a **remove-heavy** queue loop and a
+//! **bursty-completion** loop — plus the two PR 5 sections: the
+//! **steal** loop (the full work-stealing cycle — probe, O(log n)
+//! detach, thief adoption — against a local completion-pop dispatch on
+//! the same loaded shard) and the **cross-activation** loop (same-shard
+//! DAG successor firing against the outbox-routed `CrossActivate`
+//! path). Writes `results/BENCH_PR5.json` with all of them, alongside
+//! the recorded PR 2, PR 3 and PR 4 baselines.
 //!
 //! Each engine loop runs three times and the run with the lowest p50
 //! sum is kept: the per-run medians are stable, but host noise (other
@@ -17,8 +19,9 @@
 //!
 //! The CI perf gate (`perf_gate`) compares this file's `after` medians
 //! against the **best** recorded baseline per entry point
-//! (`BENCH_PR2.json` / `BENCH_PR3.json`) and bounds the same-host
-//! ratios: mailbox-feed overhead, remove-vs-pop, batched-vs-sequential.
+//! (`BENCH_PR2.json` / `BENCH_PR3.json` / `BENCH_PR4.json`) and bounds
+//! the same-host ratios: mailbox-feed overhead, remove-vs-pop,
+//! batched-vs-sequential, steal-vs-local-pop, routed-vs-local-fire.
 
 use yasmin_bench::hotpath::{self, HotpathParams, HotpathReport};
 
@@ -36,6 +39,7 @@ fn best_of(n: u32, mut run: impl FnMut() -> HotpathReport) -> HotpathReport {
 
 const REMOVE_HEAVY_N: usize = 1024;
 const BURST_WORKERS: usize = 8;
+const STEAL_N: usize = 256;
 
 fn main() {
     let p = HotpathParams::default();
@@ -52,15 +56,22 @@ fn main() {
         "hotpath: remove-heavy done, running bursty-completion loop ({BURST_WORKERS} workers)"
     );
     let burst = hotpath::run_burst(&p, BURST_WORKERS);
-    let json = hotpath::render_json_pr4(
+    eprintln!("hotpath: burst done, running steal loop (victim queue ~{STEAL_N})");
+    let steal = hotpath::run_steal(STEAL_N, p.iters, p.warmup);
+    eprintln!("hotpath: steal done, running cross-activation loop");
+    let crossact = hotpath::run_cross_activation(p.iters, p.warmup);
+    let json = hotpath::render_json_pr5(
         &direct,
         &sharded,
         &remove_heavy,
         &burst,
+        &steal,
+        &crossact,
         hotpath::recorded_pr2().as_ref(),
         hotpath::recorded_pr3().as_ref(),
+        hotpath::recorded_pr4().as_ref(),
     );
     println!("{json}");
-    yasmin_bench::write_result("BENCH_PR4.json", &json);
-    eprintln!("wrote results/BENCH_PR4.json");
+    yasmin_bench::write_result("BENCH_PR5.json", &json);
+    eprintln!("wrote results/BENCH_PR5.json");
 }

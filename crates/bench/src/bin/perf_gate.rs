@@ -1,16 +1,17 @@
-//! The CI perf-regression gate (PR 3, re-pointed by PR 4).
+//! The CI perf-regression gate (PR 3, re-pointed by PR 4 and PR 5).
 //!
 //! Checks on p50 medians of the dispatch hot path:
 //!
-//! 1. **Cross-file**: `results/BENCH_PR4.json` against the **best**
-//!    recorded baseline per entry point across `results/BENCH_PR2.json`
-//!    and `results/BENCH_PR3.json` — fails past +25% (override with
-//!    `PERF_GATE_MAX_REGRESSION_PCT`). A PR can therefore not regress
-//!    against the fastest ancestor while beating the slowest. Meaningful
-//!    when the files were measured on the same host: in CI this check
-//!    runs on the *committed* trio (all recorded on the reference host),
-//!    locally after regenerating `BENCH_PR4.json` in place.
-//! 2. **Same-host**, within one `BENCH_PR4.json` (both sides measured
+//! 1. **Cross-file**: `results/BENCH_PR5.json` against the **best**
+//!    recorded baseline per entry point across `results/BENCH_PR2.json`,
+//!    `results/BENCH_PR3.json` and `results/BENCH_PR4.json` — fails past
+//!    +25% (override with `PERF_GATE_MAX_REGRESSION_PCT`). A PR can
+//!    therefore not regress against the fastest ancestor while beating
+//!    the slowest. Meaningful when the files were measured on the same
+//!    host: in CI this check runs on the *committed* records (all from
+//!    the reference host), locally after regenerating `BENCH_PR5.json`
+//!    in place.
+//! 2. **Same-host**, within one `BENCH_PR5.json` (both sides measured
 //!    in the same process, so valid on any hardware):
 //!    * the mailbox-fed sharded path within +100% of the direct path;
 //!    * `remove_heavy.remove_then_pop` within 2× of `remove_heavy.pop`
@@ -18,13 +19,21 @@
 //!      no more than a pop, i.e. no O(n) scan hides on the path;
 //!    * `burst.batched` within +25% of `burst.sequential` — the batch
 //!      completion API must never cost more than per-completion calls
-//!      (it runs one dispatch round instead of one per completion).
+//!      (it runs one dispatch round instead of one per completion);
+//!    * `steal.steal_cycle` within 2× of `steal.local_pop` — the full
+//!      work-stealing hand-off (O(1) probe + O(log n) detach + thief
+//!      adoption) costs no more than twice a local dispatch, i.e. no
+//!      scan or lock hides on the migration path;
+//!    * `cross_activation.routed` within 3× of
+//!      `cross_activation.local_fire` — completion + outbox drain + the
+//!      destination's `CrossActivate` round is two engine rounds plus
+//!      routing, bounded against the single local round.
 //!
 //! Modes: no argument runs both checks; `--cross-file-only` /
 //! `--same-host-only` select one (what the two CI steps use).
 //!
 //! Usage: `cargo run --release -p yasmin-bench --bin perf_gate`
-//! (run `exp_hotpath` first if `results/BENCH_PR4.json` is missing).
+//! (run `exp_hotpath` first if `results/BENCH_PR5.json` is missing).
 
 use yasmin_bench::compare::{gate_mailbox_overhead, gate_p50_vs_best, gate_ratio, GateCheck};
 
@@ -33,6 +42,10 @@ const MAX_MAILBOX_OVERHEAD_PCT: u64 = 100;
 /// remove-then-pop ≤ 2× pop: +100% over the denominator.
 const MAX_REMOVE_OVER_POP_PCT: u64 = 100;
 const MAX_BATCH_OVER_SEQUENTIAL_PCT: u64 = 25;
+/// steal cycle ≤ 2× local pop: +100% over the denominator.
+const MAX_STEAL_OVER_LOCAL_PCT: u64 = 100;
+/// routed cross-shard activation ≤ 3× local firing.
+const MAX_ROUTED_OVER_LOCAL_PCT: u64 = 200;
 
 fn read(path: &str) -> String {
     match std::fs::read_to_string(path) {
@@ -80,14 +93,21 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_MAX_REGRESSION_PCT);
-    let current = read("results/BENCH_PR4.json");
+    let current = read("results/BENCH_PR5.json");
     let mut failed = false;
     if cross_file {
         let pr2 = read("results/BENCH_PR2.json");
         let pr3 = read("results/BENCH_PR3.json");
+        let pr4 = read("results/BENCH_PR4.json");
         failed |= report(
-            &format!("perf_gate: p50 medians, BENCH_PR4 vs best of BENCH_PR2/PR3 (limit +{pct}%)"),
-            &gate_p50_vs_best(&[("PR2", &pr2), ("PR3", &pr3)], &current, pct),
+            &format!(
+                "perf_gate: p50 medians, BENCH_PR5 vs best of BENCH_PR2/PR3/PR4 (limit +{pct}%)"
+            ),
+            &gate_p50_vs_best(
+                &[("PR2", &pr2), ("PR3", &pr3), ("PR4", &pr4)],
+                &current,
+                pct,
+            ),
         );
     }
     if same_host {
@@ -120,6 +140,32 @@ fn main() {
                 ("burst", "batched"),
                 ("burst", "sequential"),
                 MAX_BATCH_OVER_SEQUENTIAL_PCT,
+            )
+            .map(|c| vec![c]),
+        );
+        failed |= report(
+            &format!(
+                "perf_gate: steal cycle vs local pop dispatch, same host \
+                 (limit +{MAX_STEAL_OVER_LOCAL_PCT}%)"
+            ),
+            &gate_ratio(
+                &current,
+                ("steal", "steal_cycle"),
+                ("steal", "local_pop"),
+                MAX_STEAL_OVER_LOCAL_PCT,
+            )
+            .map(|c| vec![c]),
+        );
+        failed |= report(
+            &format!(
+                "perf_gate: routed cross-shard activation vs local DAG firing, same \
+                 host (limit +{MAX_ROUTED_OVER_LOCAL_PCT}%)"
+            ),
+            &gate_ratio(
+                &current,
+                ("cross_activation", "routed"),
+                ("cross_activation", "local_fire"),
+                MAX_ROUTED_OVER_LOCAL_PCT,
             )
             .map(|c| vec![c]),
         );

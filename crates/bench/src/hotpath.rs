@@ -497,6 +497,264 @@ pub fn run_burst(p: &HotpathParams, workers: usize) -> BurstReport {
     }
 }
 
+/// The steal-path measurement (PR 5): the full work-stealing hand-off
+/// — O(1) `try_steal` probe, O(log n) `release_stolen` detach, thief
+/// `adopt_stolen` with its dispatch round — against a plain local
+/// dispatch (completion pops the most urgent job onto the worker), on
+/// a victim queue held at a steady size. Both sides run in the same
+/// process, so the ratio is host-independent: the perf gate bounds the
+/// steal cycle at 2× the local pop path.
+#[derive(Debug, Clone)]
+pub struct StealReport {
+    /// Steady live size of the victim's ready queue.
+    pub n: usize,
+    /// Latency of a local completion→pop→dispatch on the victim.
+    pub local_pop: LatencyStats,
+    /// Latency of the full steal cycle (probe + detach + adopt).
+    pub steal_cycle: LatencyStats,
+}
+
+/// Runs the steal-path loops with the victim queue held at `n_tasks`
+/// (minus the job parked on the victim's worker).
+///
+/// # Panics
+///
+/// Panics on engine/taskset construction failure (parameter bug).
+#[must_use]
+pub fn run_steal(n_tasks: usize, iters: u32, warmup: u32) -> StealReport {
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::time::Instant as SimInstant;
+    let mut b = yasmin_core::graph::TaskSetBuilder::new();
+    let mut tasks = Vec::with_capacity(n_tasks);
+    for i in 0..n_tasks {
+        let t = b
+            .task_decl(TaskSpec::aperiodic(format!("a{i}")).on_worker(WorkerId::new(0)))
+            .unwrap();
+        b.version_decl(
+            t,
+            yasmin_core::version::VersionSpec::new("v", Duration::from_millis(1)),
+        )
+        .unwrap();
+        tasks.push(t);
+    }
+    let ts = std::sync::Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(2)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .preemption(false)
+        .tick(Duration::from_millis(1_000))
+        .max_pending_jobs(n_tasks + 8)
+        .build()
+        .unwrap();
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut thief = shards.pop().unwrap();
+    let mut victim = shards.pop().unwrap();
+    let mut sink = ActionSink::with_capacity(64);
+    victim.start_into(SimInstant::ZERO, &mut sink).unwrap();
+    thief.start_into(SimInstant::ZERO, &mut sink).unwrap();
+    // Fill the victim: the first activation parks on its worker, the
+    // rest hold the queue at its steady size.
+    for &t in &tasks {
+        victim
+            .activate_into(t, SimInstant::ZERO, &mut sink)
+            .unwrap();
+    }
+    let w0 = WorkerId::new(0);
+    let w1 = WorkerId::new(1);
+    let mut now = SimInstant::ZERO;
+    let step = Duration::from_micros(1);
+    let mut local_ns = Samples::with_capacity(iters as usize);
+    let mut steal_ns = Samples::with_capacity(iters as usize);
+
+    for i in 0..(warmup + iters) {
+        let measuring = i >= warmup;
+        now += step;
+        // Timed steal cycle: probe, detach, adopt (thief dispatches).
+        sink.clear();
+        let t0 = WallInstant::now();
+        let hint = victim.try_steal().expect("victim queue is loaded");
+        let job = victim.release_stolen(hint).expect("hint is fresh");
+        thief
+            .adopt_stolen(job, now, &mut sink)
+            .expect("thief is idle");
+        let dt = t0.elapsed();
+        if measuring {
+            steal_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+        // Untimed: retire the stolen job and refill the victim queue.
+        sink.clear();
+        thief
+            .on_job_completed_into(w1, job.id, now, &mut sink)
+            .expect("completion protocol upheld");
+        sink.clear();
+        victim.activate_into(job.task, now, &mut sink).unwrap();
+        // Timed local comparator: completion pops the most urgent job
+        // onto the victim's own worker.
+        let running = victim.running().expect("victim worker busy").job;
+        sink.clear();
+        let t0 = WallInstant::now();
+        victim
+            .on_job_completed_into(w0, running.id, now, &mut sink)
+            .expect("completion protocol upheld");
+        let dt = t0.elapsed();
+        if measuring {
+            local_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+        sink.clear();
+        victim.activate_into(running.task, now, &mut sink).unwrap();
+    }
+    assert!(victim.stats().donated >= u64::from(iters));
+    StealReport {
+        n: n_tasks.saturating_sub(1),
+        local_pop: LatencyStats::from_samples(&mut local_ns),
+        steal_cycle: LatencyStats::from_samples(&mut steal_ns),
+    }
+}
+
+/// The cross-shard activation measurement (PR 5): a completion whose
+/// DAG successor lives on the same shard (fires locally in the same
+/// engine call) against one whose successor lives on a foreign shard —
+/// completion, outbox drain, and the destination shard's
+/// `CrossActivate` round, end to end. Same process, host-independent
+/// ratio.
+#[derive(Debug, Clone)]
+pub struct CrossActReport {
+    /// Completion + local successor firing + dispatch, one shard.
+    pub local_fire: LatencyStats,
+    /// Completion + outbox drain + routed `CrossActivate` + dispatch.
+    pub routed: LatencyStats,
+}
+
+fn pipeline_set(dst_worker: u16) -> std::sync::Arc<yasmin_core::graph::TaskSet> {
+    use yasmin_core::task::TaskSpec;
+    let mut b = yasmin_core::graph::TaskSetBuilder::new();
+    let src = b
+        .task_decl(TaskSpec::periodic("src", Duration::from_millis(10)).on_worker(WorkerId::new(0)))
+        .unwrap();
+    let dst = b
+        .task_decl(TaskSpec::graph_node("dst").on_worker(WorkerId::new(dst_worker)))
+        .unwrap();
+    b.version_decl(
+        src,
+        yasmin_core::version::VersionSpec::new("s", Duration::from_millis(1)),
+    )
+    .unwrap();
+    b.version_decl(
+        dst,
+        yasmin_core::version::VersionSpec::new("d", Duration::from_millis(1)),
+    )
+    .unwrap();
+    let c = b.channel_decl("c", 1, 8);
+    b.channel_connect(src, dst, c).unwrap();
+    std::sync::Arc::new(b.build().unwrap())
+}
+
+/// Runs the cross-shard-activation loops.
+///
+/// # Panics
+///
+/// Panics on engine/taskset construction failure (parameter bug).
+#[must_use]
+pub fn run_cross_activation(iters: u32, warmup: u32) -> CrossActReport {
+    use yasmin_core::time::Instant as SimInstant;
+    let config = Config::builder()
+        .workers(2)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .preemption(false)
+        .max_pending_jobs(64)
+        .build()
+        .unwrap();
+    let w0 = WorkerId::new(0);
+    let w1 = WorkerId::new(1);
+    let tick = Duration::from_millis(10);
+    let mut sink = ActionSink::with_capacity(64);
+
+    // Local variant: both DAG nodes on worker 0's shard.
+    let ts = pipeline_set(0);
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut local = shards.remove(0);
+    local.start_into(SimInstant::ZERO, &mut sink).unwrap();
+    let mut now = SimInstant::ZERO;
+    let mut local_ns = Samples::with_capacity(iters as usize);
+    for i in 0..(warmup + iters) {
+        let src_job = local.running().expect("src runs").job.id;
+        let mid = now + tick.scale(1, 4);
+        sink.clear();
+        let t0 = WallInstant::now();
+        local
+            .on_job_completed_into(w0, src_job, mid, &mut sink)
+            .expect("completion protocol upheld");
+        let dt = t0.elapsed();
+        if i >= warmup {
+            local_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+        // Untimed: retire the successor, advance to the next period.
+        let dst_job = local.running().expect("dst dispatched").job.id;
+        sink.clear();
+        local
+            .on_job_completed_into(w0, dst_job, now + tick.scale(1, 2), &mut sink)
+            .expect("completion protocol upheld");
+        now += tick;
+        sink.clear();
+        local.on_tick_into(now, &mut sink);
+    }
+
+    // Routed variant: the successor lives on worker 1's shard.
+    let ts = pipeline_set(1);
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut dst_shard = shards.remove(1);
+    let mut src_shard = shards.remove(0);
+    src_shard.start_into(SimInstant::ZERO, &mut sink).unwrap();
+    dst_shard.start_into(SimInstant::ZERO, &mut sink).unwrap();
+    let mut outbox: Vec<yasmin_sched::RemoteActivation> = Vec::with_capacity(4);
+    let mut now = SimInstant::ZERO;
+    let mut routed_ns = Samples::with_capacity(iters as usize);
+    for i in 0..(warmup + iters) {
+        let src_job = src_shard.running().expect("src runs").job.id;
+        let mid = now + tick.scale(1, 4);
+        sink.clear();
+        let t0 = WallInstant::now();
+        src_shard
+            .on_job_completed_into(w0, src_job, mid, &mut sink)
+            .expect("completion protocol upheld");
+        src_shard.drain_outbox_into(&mut outbox);
+        for ra in outbox.drain(..) {
+            dst_shard
+                .process_into(
+                    ShardCmd::CrossActivate {
+                        edge: ra.edge,
+                        graph_release: ra.graph_release,
+                        at: mid,
+                    },
+                    &mut sink,
+                )
+                .expect("token routed to the owning shard");
+        }
+        let dt = t0.elapsed();
+        if i >= warmup {
+            routed_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+        let dst_job = dst_shard.running().expect("dst dispatched").job.id;
+        sink.clear();
+        dst_shard
+            .on_job_completed_into(w1, dst_job, now + tick.scale(1, 2), &mut sink)
+            .expect("completion protocol upheld");
+        now += tick;
+        sink.clear();
+        src_shard.on_tick_into(now, &mut sink);
+        dst_shard.on_tick_into(now, &mut sink);
+    }
+
+    CrossActReport {
+        local_fire: LatencyStats::from_samples(&mut local_ns),
+        routed: LatencyStats::from_samples(&mut routed_ns),
+    }
+}
+
 /// The dispatch-path latency recorded at the seed state (PR 1, before
 /// the zero-allocation refactor) on the reference host, with the
 /// default parameters. `exp_hotpath` embeds it as the `before` section
@@ -579,21 +837,54 @@ pub fn recorded_pr3() -> Option<HotpathReport> {
     })
 }
 
-/// Renders the PR 4 record: the direct-path report (comparable 1:1 with
-/// the PR 2/PR 3 "after" sections), the sharded mailbox-feed report,
-/// the remove-heavy queue section and the bursty-completion section,
-/// alongside the recorded PR 2 and PR 3 baselines. The CI perf gate
-/// (`perf_gate`) compares the "after" p50 medians against the **best**
-/// recorded baseline per entry point and bounds the same-host ratios
-/// (mailbox overhead, remove-vs-pop, batched-vs-sequential bursts).
+/// The direct-path latency recorded by PR 4 (`results/BENCH_PR4.json`,
+/// "after" section) on the reference host — with [`recorded_pr2`] and
+/// [`recorded_pr3`] it forms the *best recorded baseline* the PR 5 CI
+/// perf gate regresses against (per entry point, the best of the
+/// three).
 #[must_use]
-pub fn render_json_pr4(
+pub fn recorded_pr4() -> Option<HotpathReport> {
+    Some(HotpathReport {
+        params: HotpathParams::default(),
+        tick: LatencyStats {
+            p50_ns: 171,
+            p99_ns: 652,
+            mean_ns: 187.2,
+            max_ns: 17_767,
+            count: 10_000,
+        },
+        completion: LatencyStats {
+            p50_ns: 235,
+            p99_ns: 349,
+            mean_ns: 247.2,
+            max_ns: 28_968,
+            count: 20_000,
+        },
+        dispatches: 22_000,
+    })
+}
+
+/// Renders the PR 5 record: everything the PR 4 record carried, plus
+/// the **steal** section (local completion-pop dispatch vs the full
+/// steal cycle) and the **cross-activation** section (same-shard DAG
+/// firing vs outbox-routed `CrossActivate`), alongside the recorded
+/// PR 2/3/4 baselines. The CI perf gate compares the "after" p50
+/// medians against the best recorded baseline per entry point and
+/// bounds the same-host ratios (mailbox overhead, remove-vs-pop,
+/// batched-vs-sequential, steal ≤ 2× local pop, routed ≤ 3× local
+/// fire).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn render_json_pr5(
     direct: &HotpathReport,
     sharded: &HotpathReport,
     remove_heavy: &RemoveHeavyReport,
     burst: &BurstReport,
+    steal: &StealReport,
+    crossact: &CrossActReport,
     pr2: Option<&HotpathReport>,
     pr3: Option<&HotpathReport>,
+    pr4: Option<&HotpathReport>,
 ) -> String {
     let mut out = String::from("{\n  \"bench\": \"hotpath\",\n");
     out.push_str(&format!(
@@ -605,13 +896,15 @@ pub fn render_json_pr4(
         direct.params.iters
     ));
     out.push_str(
-        "  \"note\": \"'pr2_baseline'/'pr3_baseline' are the recorded reference-host \
-         direct-path latencies; 'after' is the same loop on this host (best of three \
-         runs by p50 sum); 'mailbox_feed' times the sharded path end to end; \
-         'remove_heavy' compares remove-then-pop against pop alone on a full queue \
-         (index-heap asymptotics check, same host); 'burst' compares retiring one \
-         cycle's completions through the batch API against sequential per-completion \
-         calls (one sample per burst, same host)\",\n",
+        "  \"note\": \"'pr2_baseline'/'pr3_baseline'/'pr4_baseline' are the recorded \
+         reference-host direct-path latencies; 'after' is the same loop on this host \
+         (best of three runs by p50 sum); 'mailbox_feed' times the sharded path end to \
+         end; 'remove_heavy' compares remove-then-pop against pop alone on a full \
+         queue; 'burst' compares batched against sequential completion retirement; \
+         'steal' compares the full work-stealing cycle (probe + detach + adopt) \
+         against a local completion-pop dispatch on the same loaded shard; \
+         'cross_activation' compares a same-shard DAG successor firing against the \
+         outbox-routed cross-shard path (all ratios same host, same process)\",\n",
     );
     if let Some(b) = pr2 {
         out.push_str(&format!(
@@ -623,6 +916,13 @@ pub fn render_json_pr4(
     if let Some(b) = pr3 {
         out.push_str(&format!(
             "  \"pr3_baseline\": {{\"on_tick\": {}, \"on_job_completed\": {}}},\n",
+            b.tick.json(),
+            b.completion.json()
+        ));
+    }
+    if let Some(b) = pr4 {
+        out.push_str(&format!(
+            "  \"pr4_baseline\": {{\"on_tick\": {}, \"on_job_completed\": {}}},\n",
             b.tick.json(),
             b.completion.json()
         ));
@@ -649,6 +949,17 @@ pub fn render_json_pr4(
         burst.sequential.json(),
         burst.batched.json(),
         burst.workers
+    ));
+    out.push_str(&format!(
+        "  \"steal\": {{\"local_pop\": {}, \"steal_cycle\": {}, \"n\": {}}},\n",
+        steal.local_pop.json(),
+        steal.steal_cycle.json(),
+        steal.n
+    ));
+    out.push_str(&format!(
+        "  \"cross_activation\": {{\"local_fire\": {}, \"routed\": {}}},\n",
+        crossact.local_fire.json(),
+        crossact.routed.json()
     ));
     out.push_str(&format!("  \"dispatches\": {}\n}}\n", direct.dispatches));
     out
@@ -749,7 +1060,22 @@ mod tests {
     }
 
     #[test]
-    fn pr4_json_has_every_section() {
+    fn steal_loop_runs_and_reports() {
+        let r = run_steal(16, 50, 10);
+        assert_eq!(r.n, 15);
+        assert_eq!(r.local_pop.count, 50);
+        assert_eq!(r.steal_cycle.count, 50);
+    }
+
+    #[test]
+    fn cross_activation_loop_runs_and_reports() {
+        let r = run_cross_activation(50, 10);
+        assert_eq!(r.local_fire.count, 50);
+        assert_eq!(r.routed.count, 50);
+    }
+
+    #[test]
+    fn pr5_json_has_every_section() {
         let p = HotpathParams {
             tasks: 8,
             iters: 20,
@@ -760,23 +1086,33 @@ mod tests {
         let sharded = run_sharded(&p);
         let rh = run_remove_heavy(32, 50, 10);
         let burst = run_burst(&p, 2);
-        let json = render_json_pr4(
+        let steal = run_steal(16, 20, 5);
+        let crossact = run_cross_activation(20, 5);
+        let json = render_json_pr5(
             &direct,
             &sharded,
             &rh,
             &burst,
+            &steal,
+            &crossact,
             recorded_pr2().as_ref(),
             recorded_pr3().as_ref(),
+            recorded_pr4().as_ref(),
         );
         for section in [
             "\"pr2_baseline\"",
             "\"pr3_baseline\"",
+            "\"pr4_baseline\"",
             "\"after\"",
             "\"mailbox_feed\"",
             "\"remove_heavy\"",
             "\"burst\"",
+            "\"steal\"",
+            "\"cross_activation\"",
         ] {
             assert!(json.contains(section), "missing {section}: {json}");
         }
+        assert!(crate::compare::extract_p50(&json, "steal", "steal_cycle").is_some());
+        assert!(crate::compare::extract_p50(&json, "cross_activation", "routed").is_some());
     }
 }

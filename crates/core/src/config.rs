@@ -194,6 +194,7 @@ pub struct Config {
     battery_source: Option<Arc<BatteryFn>>,
     initial_mode: ExecMode,
     sharded_dispatch: bool,
+    cull_missed: bool,
 }
 
 impl Config {
@@ -293,6 +294,17 @@ impl Config {
         self.sharded_dispatch
     }
 
+    /// Whether the engine culls ready jobs whose absolute deadline has
+    /// already passed at a scheduler tick (they are removed from the
+    /// ready queue and counted in `EngineStats::culled` instead of being
+    /// dispatched late). Off by default: the paper's scheduler always
+    /// dispatches, and miss accounting then happens on completed
+    /// records.
+    #[must_use]
+    pub const fn cull_missed(&self) -> bool {
+        self.cull_missed
+    }
+
     /// A configuration label like `G-EDF` used in experiment tables.
     #[must_use]
     pub fn label(&self) -> String {
@@ -330,6 +342,7 @@ impl fmt::Debug for Config {
             )
             .field("initial_mode", &self.initial_mode)
             .field("sharded_dispatch", &self.sharded_dispatch)
+            .field("cull_missed", &self.cull_missed)
             .finish()
     }
 }
@@ -350,6 +363,7 @@ pub struct ConfigBuilder {
     battery_source: Option<Arc<BatteryFn>>,
     initial_mode: ExecMode,
     sharded_dispatch: bool,
+    cull_missed: bool,
 }
 
 impl fmt::Debug for ConfigBuilder {
@@ -378,6 +392,7 @@ impl Default for ConfigBuilder {
             battery_source: None,
             initial_mode: ExecMode::NORMAL,
             sharded_dispatch: false,
+            cull_missed: false,
         }
     }
 }
@@ -477,6 +492,14 @@ impl ConfigBuilder {
         self
     }
 
+    /// Enables culling of deadline-missed ready jobs at scheduler
+    /// ticks; see [`Config::cull_missed`].
+    #[must_use]
+    pub fn cull_missed(mut self, on: bool) -> Self {
+        self.cull_missed = on;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -527,6 +550,7 @@ impl ConfigBuilder {
             battery_source: self.battery_source,
             initial_mode: self.initial_mode,
             sharded_dispatch: self.sharded_dispatch,
+            cull_missed: self.cull_missed,
         })
     }
 }

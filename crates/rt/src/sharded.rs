@@ -11,10 +11,28 @@
 //!   dispatches;
 //! * **upstream** (everyone → scheduler): the MPSC command mailbox of
 //!   `yasmin_sync::mailbox` with one lane for the worker's completion
-//!   hand-backs and one lane for control commands
-//!   (activate/stop/shutdown) — the `Activate`/`JobCompleted` command
-//!   flow of the sharded design, with ticks generated locally by each
-//!   scheduler thread at the shared gcd period.
+//!   hand-backs, one lane for control commands
+//!   (activate/stop/shutdown), and **one lane per peer shard** carrying
+//!   the cross-shard protocol — routed DAG activation tokens
+//!   (`CrossActivate`) and the work-stealing handshake
+//!   (`StealRequest` / `Stolen` / `StealDeny`) — with ticks generated
+//!   locally by each scheduler thread at the shared gcd period.
+//!
+//! A wake that finds pending completions *and* a due tick coalesces
+//! both into **one** engine round ([`EngineShard::advance_into`]): the
+//! single dispatch round sees the freed workers and the fresh releases
+//! together instead of paying two rounds.
+//!
+//! With [`ShardedRuntimeBuilder::work_stealing`] enabled, an idle shard
+//! (empty queue, idle worker, drained mailbox) probes the advisory
+//! [`LoadBoard`] for the most loaded peer and sends it a
+//! `StealRequest`; the victim detaches its most urgent
+//! accelerator-free ready job ([`EngineShard::try_steal`] /
+//! [`EngineShard::release_stolen`]) and grants it back, and the thief
+//! adopts and runs it on its own worker — global [`WorkerId`]s keep
+//! every record truthful about where a job actually ran. Cross-shard
+//! DAG successors of any completion (stolen or local) are drained from
+//! the shard outbox and routed to the owning peer's lane.
 //!
 //! Scheduling decisions run through the same zero-allocation
 //! [`ActionSink`] path as the single-owner runtime. Like that runtime,
@@ -30,14 +48,18 @@ use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{JobId, TaskId, VersionId, WorkerId};
 use yasmin_core::time::{Clock, Instant, MonotonicClock};
-use yasmin_sched::{Action, ActionSink, EngineShard, EngineStats, Job};
+use yasmin_sched::{Action, ActionSink, EngineShard, EngineStats, Job, RemoteActivation};
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 use yasmin_sync::spsc;
+use yasmin_sync::steal::LoadBoard;
 use yasmin_sync::wait::Backoff;
 
-/// Lane indices of each shard's command mailbox.
+/// Lane indices of each shard's command mailbox; lane `LANE_PEER0 + p`
+/// belongs to peer shard `p` (a shard's own peer lane stays unused, so
+/// indexing needs no adjustment).
 const LANE_WORKER: usize = 0;
 const LANE_CONTROL: usize = 1;
+const LANE_PEER0: usize = 2;
 
 enum WorkerMsg {
     Run {
@@ -59,6 +81,15 @@ enum ShardMsg {
     },
     /// Explicit activation of a task owned by the shard.
     Activate(TaskId),
+    /// A DAG token routed from a peer shard (cross-shard edge whose
+    /// destination this shard owns).
+    CrossActivate { edge: u32, graph_release: Instant },
+    /// An idle peer asks for a ready job.
+    StealRequest { thief: WorkerId },
+    /// A victim's grant: the detached job for this shard to adopt.
+    Stolen { job: Job },
+    /// A victim's refusal; the thief may re-probe.
+    StealDeny,
     /// Stop releasing periodic jobs.
     Stop,
     /// Drain and exit.
@@ -73,6 +104,7 @@ pub struct ShardedRuntimeBuilder {
     bodies: HashMap<(TaskId, VersionId), TaskBody>,
     pin_offset: usize,
     lock_memory: bool,
+    work_stealing: bool,
 }
 
 impl ShardedRuntimeBuilder {
@@ -88,7 +120,18 @@ impl ShardedRuntimeBuilder {
             bodies: HashMap::new(),
             pin_offset: 0,
             lock_memory: false,
+            work_stealing: false,
         }
+    }
+
+    /// Enables work stealing: an idle shard probes the advisory load
+    /// board and pulls the most urgent accelerator-free ready job off
+    /// the most loaded peer, running it on its own worker. Off by
+    /// default, which preserves strict task-to-worker placement.
+    #[must_use]
+    pub fn work_stealing(mut self, on: bool) -> Self {
+        self.work_stealing = on;
+        self
     }
 
     /// Registers the executable body of `(task, version)`.
@@ -194,18 +237,44 @@ impl ShardedRuntime {
         let clock = Arc::new(MonotonicClock::new());
         let cap = builder.config.max_pending_jobs();
         let waiting = builder.config.waiting();
-        let mut control = Vec::with_capacity(shards.len());
-        let mut schedulers = Vec::with_capacity(shards.len());
-        let mut workers = Vec::with_capacity(shards.len());
+        let n = shards.len();
+        let board = Arc::new(LoadBoard::new(n));
+        let mut control = Vec::with_capacity(n);
+        let mut schedulers = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
 
-        for shard in shards {
+        // One mailbox per shard: worker lane, control lane, and one lane
+        // per peer shard for the cross-shard protocol. Peer senders are
+        // regrouped so scheduler thread `s` owns, for every target `t`,
+        // the sender feeding lane `LANE_PEER0 + s` of `t`'s mailbox.
+        let mut worker_txs = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        let mut peer_lanes_by_target = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (mut lanes, mailbox_rx) = mailbox::<ShardMsg>(LANE_PEER0 + n, cap.max(64));
+            peer_lanes_by_target.push(lanes.split_off(LANE_PEER0));
+            control.push(lanes.remove(LANE_CONTROL));
+            worker_txs.push(lanes.remove(LANE_WORKER));
+            receivers.push(mailbox_rx);
+        }
+        // Transpose: peer_txs[source][target], a shard never sends to
+        // itself.
+        let mut peer_txs: Vec<Vec<Option<MailboxSender<ShardMsg>>>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        for (target, lanes) in peer_lanes_by_target.into_iter().enumerate() {
+            for (source, tx) in lanes.into_iter().enumerate() {
+                peer_txs[source].push((source != target).then_some(tx));
+            }
+        }
+
+        for ((shard, mailbox_rx), (worker_tx, peers)) in shards
+            .into_iter()
+            .zip(receivers)
+            .zip(worker_txs.into_iter().zip(peer_txs))
+        {
             let w = shard.worker();
             let core = builder.pin_offset + w.index();
             let (to_worker, from_sched) = spsc::channel::<WorkerMsg>(cap);
-            let (mut lanes, mailbox_rx) = mailbox::<ShardMsg>(2, cap.max(64));
-            let control_tx = lanes.remove(LANE_CONTROL);
-            let worker_tx = lanes.remove(LANE_WORKER);
-            control.push(control_tx);
 
             let worker_clock = Arc::clone(&clock);
             workers.push(
@@ -220,6 +289,12 @@ impl ShardedRuntime {
 
             let bodies = builder.bodies.clone();
             let sched_clock = Arc::clone(&clock);
+            let links = PeerLinks {
+                txs: peers,
+                pending: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+                board: Arc::clone(&board),
+                stealing: builder.work_stealing && n > 1,
+            };
             schedulers.push(
                 std::thread::Builder::new()
                     .name(format!("yasmin-shard-sched-{w}"))
@@ -232,6 +307,7 @@ impl ShardedRuntime {
                             mailbox_rx,
                             &sched_clock,
                             waiting,
+                            links,
                         )
                     })
                     .map_err(|e| Error::Os(format!("spawning shard scheduler {w}: {e}")))?,
@@ -353,6 +429,69 @@ fn shard_worker_main(
     }
 }
 
+/// A scheduler thread's links to its peers: one mailbox sender per
+/// target shard (its own slot is `None`), the advisory load board, and
+/// whether stealing is enabled.
+///
+/// Peer sends never block: a full lane spills into a local per-target
+/// FIFO that [`PeerLinks::flush`] retries every wake. Blocking here
+/// would be a deadlock hazard — two shards spinning on each other's
+/// full lanes while neither drains its own mailbox, or one shard
+/// wedged forever on a peer that already exited at shutdown.
+struct PeerLinks {
+    txs: Vec<Option<MailboxSender<ShardMsg>>>,
+    /// Per-target overflow, preserving lane FIFO order.
+    pending: Vec<std::collections::VecDeque<ShardMsg>>,
+    board: Arc<LoadBoard>,
+    stealing: bool,
+}
+
+impl PeerLinks {
+    fn send(&mut self, target: usize, msg: ShardMsg) {
+        let tx = self.txs[target]
+            .as_mut()
+            .expect("peer links never target the sending shard");
+        if self.pending[target].is_empty() {
+            if let Err(MailboxFull(v)) = tx.send(msg) {
+                self.pending[target].push_back(v);
+            }
+        } else {
+            // Keep lane order: everything queues behind the backlog.
+            self.pending[target].push_back(msg);
+        }
+    }
+
+    /// Retries the spilled backlog, stopping per target at the first
+    /// still-full lane.
+    fn flush(&mut self) {
+        for (t, q) in self.pending.iter_mut().enumerate() {
+            while let Some(msg) = q.pop_front() {
+                let tx = self.txs[t].as_mut().expect("backlog only for peers");
+                if let Err(MailboxFull(v)) = tx.send(msg) {
+                    q.push_front(v);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn pending_empty(&self) -> bool {
+        self.pending
+            .iter()
+            .all(std::collections::VecDeque::is_empty)
+    }
+
+    /// `true` while an undelivered steal grant sits in the backlog — a
+    /// detached job that must not be dropped.
+    fn pending_grant(&self) -> bool {
+        self.pending
+            .iter()
+            .flatten()
+            .any(|m| matches!(m, ShardMsg::Stolen { .. }))
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn shard_scheduler_main(
     mut shard: EngineShard,
     bodies: &HashMap<(TaskId, VersionId), TaskBody>,
@@ -360,20 +499,27 @@ fn shard_scheduler_main(
     mut rx: MailboxReceiver<ShardMsg>,
     clock: &Arc<MonotonicClock>,
     waiting: WaitChoice,
+    mut peers: PeerLinks,
 ) -> (Vec<RtJobRecord>, EngineStats) {
     let worker = shard.worker();
+    let me = worker.index();
     let tick = shard.tick_period();
     let mut records: Vec<RtJobRecord> = Vec::new();
     let mut shutting_down = false;
+    // The victim worker index of the one in-flight steal request, if
+    // any — cleared by its grant/refusal, or when the victim's lane
+    // closes without answering (the victim exited).
+    let mut pending_steal: Option<usize> = None;
 
     // One reusable sink: the steady-state loop allocates nothing for
     // actions. Dispatches go straight into the worker's SPSC ring.
     let mut sink = ActionSink::new();
     // Completions found pending in one mailbox drain, retired through
-    // the engine's batch API so the whole burst pays a single dispatch
-    // round (with today's one-worker shards the burst is at most one;
-    // the coalescing is load-bearing once shards serve stolen work).
+    // the engine's batch API (or folded into a due tick) so the whole
+    // burst pays a single dispatch round.
     let mut done_batch: Vec<(WorkerId, JobId)> = Vec::with_capacity(8);
+    // Cross-shard DAG tokens drained from the shard outbox, reused.
+    let mut outbox: Vec<RemoteActivation> = Vec::with_capacity(8);
     let mut last_done = Instant::ZERO;
     let dispatch = |sink: &ActionSink, to_worker: &mut spsc::Producer<WorkerMsg>| {
         for &a in sink.as_slice() {
@@ -393,16 +539,54 @@ fn shard_scheduler_main(
         }
     };
 
+    // The advertised load is the *stealable* load: zero whenever the
+    // steal probe would yield no hint (empty queue, or a top job that
+    // must not migrate). Advertising raw ready counts would invite a
+    // persistent request/deny ping-pong against a shard whose queue
+    // holds only unstealable work.
+    let stealable_load =
+        |shard: &EngineShard| -> usize { shard.try_steal().map_or(0, |_| shard.ready_len()) };
+
+    // Everything an engine round leaves behind: dispatches go to the
+    // worker ring, cross-shard tokens route to their owning peers, and
+    // — when anyone actually probes — the advisory load is republished
+    // (with stealing off, the probe and the store would be pure
+    // overhead on the benchmarked dispatch path).
+    macro_rules! settle_round {
+        ($sink:expr) => {{
+            dispatch($sink, &mut to_worker);
+            shard.drain_outbox_into(&mut outbox);
+            for ra in outbox.drain(..) {
+                peers.send(
+                    ra.worker.index(),
+                    ShardMsg::CrossActivate {
+                        edge: ra.edge,
+                        graph_release: ra.graph_release,
+                    },
+                );
+            }
+            if peers.stealing {
+                peers.board.publish(me, stealable_load(&shard));
+            }
+        }};
+    }
+
     shard
         .start_into(clock.now(), &mut sink)
         .expect("fresh shard starts");
-    dispatch(&sink, &mut to_worker);
+    settle_round!(&sink);
     let mut next_tick = clock.now() + tick;
 
     loop {
-        // Drain the mailbox (completions + control), zero-alloc path.
-        // Pending completions coalesce; a control command first flushes
-        // them, so command effects stay ordered as received.
+        // Retry any peer sends that found a full lane earlier — before
+        // draining our own mailbox, so two busy shards always make
+        // mutual progress.
+        peers.flush();
+        // Drain the mailbox (completions, control, peer protocol) on
+        // the zero-alloc path. Pending completions coalesce; any other
+        // command first flushes them, so command effects stay ordered
+        // as received. Completions still pending when the drain ends
+        // are folded into the tick round below if one is due.
         let mut drained_any = false;
         debug_assert!(done_batch.is_empty());
         loop {
@@ -410,13 +594,15 @@ fn shard_scheduler_main(
             if msg.is_some() {
                 drained_any = true;
             }
-            if !done_batch.is_empty() && !matches!(msg, Some(ShardMsg::Done { .. })) {
+            let flush =
+                !done_batch.is_empty() && !matches!(msg, Some(ShardMsg::Done { .. }) | None);
+            if flush {
                 sink.clear();
                 shard
                     .on_jobs_completed_into(&done_batch, last_done, &mut sink)
                     .expect("completion protocol upheld");
                 done_batch.clear();
-                dispatch(&sink, &mut to_worker);
+                settle_round!(&sink);
             }
             let Some(msg) = msg else { break };
             match msg {
@@ -427,10 +613,9 @@ fn shard_scheduler_main(
                     completed,
                 } => {
                     done_batch.push((worker, job.id));
-                    // Max, not overwrite: once shards serve stolen work
-                    // the mailbox merges lanes, and a batch's dispatch
-                    // round must not run at a timestamp earlier than a
-                    // completion it retires.
+                    // Max, not overwrite: the mailbox merges lanes, and
+                    // a batch's dispatch round must not run at a
+                    // timestamp earlier than a completion it retires.
                     last_done = last_done.max(completed);
                     records.push(RtJobRecord {
                         job,
@@ -443,28 +628,101 @@ fn shard_scheduler_main(
                 ShardMsg::Activate(task) => {
                     sink.clear();
                     if shard.activate_into(task, clock.now(), &mut sink).is_ok() {
-                        dispatch(&sink, &mut to_worker);
+                        settle_round!(&sink);
                     }
                 }
+                ShardMsg::CrossActivate {
+                    edge,
+                    graph_release,
+                } => {
+                    sink.clear();
+                    shard
+                        .on_remote_token(edge, graph_release, clock.now(), &mut sink)
+                        .expect("cross-shard token routed to the owning shard");
+                    settle_round!(&sink);
+                }
+                ShardMsg::StealRequest { thief } => {
+                    // Answer authoritatively: detach the most urgent
+                    // accelerator-free ready job, or refuse.
+                    let granted = shard
+                        .try_steal()
+                        .and_then(|hint| shard.release_stolen(hint));
+                    let reply = match granted {
+                        Some(job) => ShardMsg::Stolen { job },
+                        None => ShardMsg::StealDeny,
+                    };
+                    peers.send(thief.index(), reply);
+                    if peers.stealing {
+                        peers.board.publish(me, stealable_load(&shard));
+                    }
+                }
+                ShardMsg::Stolen { job } => {
+                    pending_steal = None;
+                    sink.clear();
+                    shard
+                        .adopt_stolen(job, clock.now(), &mut sink)
+                        .expect("stolen job adoptable by the requesting shard");
+                    settle_round!(&sink);
+                }
+                ShardMsg::StealDeny => pending_steal = None,
                 ShardMsg::Stop => shard.stop(),
                 ShardMsg::Shutdown => shutting_down = true,
             }
         }
-        if shutting_down && shard.is_idle() {
+
+        // A steal request outstanding towards a victim that exited
+        // unanswered (its lane closed and drained) counts as a refusal.
+        if let Some(v) = pending_steal {
+            let lane = LANE_PEER0 + v;
+            if !rx.lane_open(lane) && rx.peek_lane(lane).is_none() {
+                pending_steal = None;
+            }
+        }
+        if shutting_down && shard.is_idle() && pending_steal.is_none() {
             break;
         }
 
-        // Tick edge, generated locally by this shard's owner.
+        // Tick edge, generated locally by this shard's owner. A due
+        // tick folds the still-pending completion batch into the same
+        // engine round: one dispatch round sees the freed worker and
+        // the fresh releases together.
         let now = clock.now();
         if now >= next_tick {
             sink.clear();
-            shard.on_tick_into(now, &mut sink);
-            dispatch(&sink, &mut to_worker);
+            shard
+                .advance_into(&done_batch, now, &mut sink)
+                .expect("completion protocol upheld");
+            done_batch.clear();
+            settle_round!(&sink);
             while next_tick <= now {
                 next_tick += tick;
             }
             continue;
         }
+        if !done_batch.is_empty() {
+            sink.clear();
+            shard
+                .on_jobs_completed_into(&done_batch, last_done, &mut sink)
+                .expect("completion protocol upheld");
+            done_batch.clear();
+            settle_round!(&sink);
+        }
+
+        // Fully idle (empty queue, idle worker, drained mailbox): probe
+        // the load board and ask the most loaded peer for work.
+        if peers.stealing
+            && !shutting_down
+            && pending_steal.is_none()
+            && shard.is_idle()
+            && rx.is_empty()
+        {
+            if let Some(victim) = peers.board.pick_victim(me) {
+                peers.send(victim, ShardMsg::StealRequest { thief: worker });
+                pending_steal = Some(victim);
+                continue;
+            }
+        }
+
         if !drained_any {
             // Idle until the next tick or the next mailbox command; the
             // sleep strategy naps in short slices so completions are
@@ -478,6 +736,36 @@ fn shard_scheduler_main(
             }
         }
     }
+
+    // Answer any steal request that raced with this shard's exit, so a
+    // thief never waits on a victim that left: requests drained here
+    // are refused, everything else has already been handled (the shard
+    // is idle and stopping).
+    while let Some(msg) = rx.try_recv() {
+        if let ShardMsg::StealRequest { thief } = msg {
+            peers.send(thief.index(), ShardMsg::StealDeny);
+        }
+    }
+    // Flush any spilled peer messages. Bounded for routed tokens — a
+    // peer that already exited never drains its lane, and a dead peer
+    // must not wedge shutdown; tokens still unsent after the bound
+    // fall into the documented shutdown-loss window (the schedule is
+    // stopping; see ROADMAP "shutdown drain ordering"). A pending
+    // *steal grant* is never abandoned, though: its job is already
+    // detached from this shard's queue, and its thief is provably
+    // alive (a thief never exits while its request is unanswered), so
+    // waiting for that lane to drain always terminates.
+    let mut backoff = Backoff::new();
+    let mut spins = 0u32;
+    loop {
+        peers.flush();
+        if peers.pending_empty() || (spins >= 1024 && !peers.pending_grant()) {
+            break;
+        }
+        spins += 1;
+        backoff.snooze();
+    }
+    peers.board.publish(me, 0);
 
     // Release the worker.
     let mut msg = WorkerMsg::Exit;
@@ -627,6 +915,134 @@ mod tests {
             .body(t, v, |_| {})
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn cross_shard_dag_fires_on_the_owning_worker() {
+        // src (periodic, worker 0) -> dst (graph node, worker 1): the
+        // successor must run on worker 1, fed by CrossActivate commands
+        // routed through the peer lanes.
+        let mut b = TaskSetBuilder::new();
+        let src = b
+            .task_decl(TaskSpec::periodic("src", ms(5)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        let vs = b
+            .version_decl(src, VersionSpec::new("s", Duration::from_micros(50)))
+            .unwrap();
+        let dst = b
+            .task_decl(TaskSpec::graph_node("dst").on_worker(WorkerId::new(1)))
+            .unwrap();
+        let vd = b
+            .version_decl(dst, VersionSpec::new("d", Duration::from_micros(50)))
+            .unwrap();
+        let c = b.channel_decl("c", 1, 8);
+        b.channel_connect(src, dst, c).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let dst_hits = Arc::new(AtomicU32::new(0));
+        let dh = Arc::clone(&dst_hits);
+        let dst_worker = Arc::new(AtomicU32::new(u32::MAX));
+        let dw = Arc::clone(&dst_worker);
+        let rt = ShardedRuntimeBuilder::new(ts, sharded_config(2))
+            .body(src, vs, |_| {})
+            .body(dst, vd, move |ctx| {
+                dh.fetch_add(1, Ordering::SeqCst);
+                dw.store(u32::from(ctx.worker.raw()), Ordering::SeqCst);
+            })
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        rt.stop();
+        let report = rt.cleanup();
+        let hits = dst_hits.load(Ordering::SeqCst);
+        assert!(hits >= 4, "successor fired only {hits} times");
+        assert_eq!(
+            dst_worker.load(Ordering::SeqCst),
+            1,
+            "successor runs on its assigned worker"
+        );
+        assert!(
+            report.engine_stats.cross_activations >= u64::from(hits),
+            "every firing crossed shards"
+        );
+        // Every dst record names worker 1.
+        for r in report.records.iter().filter(|r| r.job.task == dst) {
+            assert_eq!(r.worker, WorkerId::new(1));
+        }
+    }
+
+    #[test]
+    fn work_stealing_drains_an_imbalanced_shard() {
+        // Worker 0 owns a burst of aperiodic jobs; worker 1 owns only a
+        // light periodic tick source. With stealing enabled, worker 1
+        // must pull jobs over and every activation must complete.
+        const BURST: usize = 6;
+        let mut b = TaskSetBuilder::new();
+        let light = b
+            .task_decl(TaskSpec::periodic("light", ms(5)).on_worker(WorkerId::new(1)))
+            .unwrap();
+        let vl = b
+            .version_decl(light, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let mut heavy = Vec::new();
+        for i in 0..BURST {
+            let t = b
+                .task_decl(TaskSpec::aperiodic(format!("h{i}")).on_worker(WorkerId::new(0)))
+                .unwrap();
+            let v = b.version_decl(t, VersionSpec::new("v", ms(4))).unwrap();
+            heavy.push((t, v));
+        }
+        let ts = Arc::new(b.build().unwrap());
+        let taskset = Arc::clone(&ts);
+        let ran = Arc::new(AtomicU32::new(0));
+        let mut builder = ShardedRuntimeBuilder::new(ts, sharded_config(2))
+            .work_stealing(true)
+            .body(light, vl, |_| {});
+        for &(t, v) in &heavy {
+            let r = Arc::clone(&ran);
+            builder = builder.body(t, v, move |_| {
+                r.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            });
+        }
+        let rt = builder.build().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        for &(t, _) in &heavy {
+            rt.activate(t).unwrap();
+        }
+        // 6 jobs x 3ms on one worker would take ~18ms; give the pair
+        // plenty of slack, then drain.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        rt.stop();
+        let report = rt.cleanup();
+        assert_eq!(
+            ran.load(Ordering::SeqCst) as usize,
+            BURST,
+            "every activated job ran"
+        );
+        assert!(
+            report.engine_stats.stolen >= 1,
+            "the idle shard must steal from the loaded one (stats: {:?})",
+            report.engine_stats
+        );
+        assert_eq!(report.engine_stats.stolen, report.engine_stats.donated);
+        // Stolen jobs are recorded under the worker that actually ran
+        // them: exactly `stolen` records name a worker other than the
+        // task's assigned one (stealing may also move worker 1's light
+        // jobs the other way while it serves stolen heavy work).
+        let migrated = report
+            .records
+            .iter()
+            .filter(|r| {
+                taskset.tasks()[r.job.task.index()].spec().assigned_worker() != Some(r.worker)
+            })
+            .count();
+        assert_eq!(migrated as u64, report.engine_stats.stolen);
+        assert!(
+            report.records.iter().any(
+                |r| r.worker == WorkerId::new(1) && heavy.iter().any(|&(t, _)| t == r.job.task)
+            ),
+            "at least one heavy job ran on the idle worker"
+        );
     }
 
     #[test]

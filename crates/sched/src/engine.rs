@@ -103,6 +103,17 @@ pub struct EngineStats {
     pub channel_overflows: u64,
     /// High-water mark over all ready queues.
     pub max_ready: usize,
+    /// Foreign jobs this engine adopted from a victim shard and ran on
+    /// its own worker (work stealing; thief side).
+    pub stolen: u64,
+    /// Ready jobs this engine handed to a thief shard (victim side).
+    pub donated: u64,
+    /// DAG activation tokens routed to a foreign shard through the
+    /// outbox instead of fired locally (cross-shard edges).
+    pub cross_activations: u64,
+    /// Ready jobs culled at a tick because their absolute deadline had
+    /// already passed ([`yasmin_core::config::Config::cull_missed`]).
+    pub culled: u64,
 }
 
 impl EngineStats {
@@ -121,7 +132,42 @@ impl EngineStats {
         self.sporadic_violations += other.sporadic_violations;
         self.channel_overflows += other.channel_overflows;
         self.max_ready += other.max_ready;
+        self.stolen += other.stolen;
+        self.donated += other.donated;
+        self.cross_activations += other.cross_activations;
+        self.culled += other.culled;
     }
+}
+
+/// A DAG activation token addressed to a foreign shard: the completion
+/// of a job whose out-edge crosses shards does not touch the local
+/// token state (the *destination* shard owns every edge entering its
+/// tasks) — it lands here instead, for the driver to route to the
+/// owning shard's mailbox as a
+/// [`crate::shard::ShardCmd::CrossActivate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteActivation {
+    /// The worker whose shard owns the edge's destination task.
+    pub worker: WorkerId,
+    /// Index of the edge in [`TaskSet::edges`].
+    pub edge: u32,
+    /// Graph release carried by the token (join semantics at the
+    /// destination).
+    pub graph_release: Instant,
+}
+
+/// An O(1) snapshot of a shard's most urgent ready job, taken through a
+/// shared reference — what a work-stealing thief uses to decide whether
+/// a victim is worth a steal request, and what the victim then turns
+/// into a concrete hand-off via [`OnlineEngine::release_stolen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealHint {
+    /// The hinted job.
+    pub job: JobId,
+    /// Its task.
+    pub task: TaskId,
+    /// Its queue priority (smaller = more urgent).
+    pub priority: Priority,
 }
 
 enum VersionChoice {
@@ -207,6 +253,20 @@ pub struct OnlineEngine {
     blocked_buf: Vec<Job>,
     /// Distinct successor tasks of the job that just completed.
     successor_buf: Vec<TaskId>,
+    /// Tokens for cross-shard edges, awaiting routing by the driver
+    /// (shard engines only; always empty on the single-owner engine).
+    outbox: Vec<RemoteActivation>,
+    /// Scratch for the deadline-missed culling scan.
+    cull_buf: Vec<JobId>,
+    /// Copied from the config: cull deadline-missed ready jobs on tick.
+    cull_missed: bool,
+    /// Dense per-task assigned worker (`u16::MAX` = unassigned), so the
+    /// successor-routing path never chases into the task-spec structs.
+    task_worker: Vec<u16>,
+    /// Dense per-task "any version targets an accelerator" flag, so the
+    /// steal probe (run after every engine interaction in the sharded
+    /// runtime) never scans version specs.
+    task_accel_bound: Vec<bool>,
     /// `Some(w)`: this engine is the *shard* owning only worker `w`
     /// (partitioned mapping). It holds exactly one queue and one running
     /// slot, releases only tasks assigned to `w`, and still reports the
@@ -368,6 +428,27 @@ impl OnlineEngine {
             wish_buf: Vec::with_capacity(taskset.accels().len()),
             blocked_buf: Vec::with_capacity(config.max_pending_jobs().min(64)),
             successor_buf: Vec::with_capacity(n),
+            outbox: Vec::with_capacity(if shard.is_some() {
+                taskset.edges().len()
+            } else {
+                0
+            }),
+            cull_buf: if config.cull_missed() {
+                Vec::with_capacity(config.max_pending_jobs().min(64))
+            } else {
+                Vec::new()
+            },
+            cull_missed: config.cull_missed(),
+            task_worker: taskset
+                .tasks()
+                .iter()
+                .map(|t| t.spec().assigned_worker().map_or(u16::MAX, WorkerId::raw))
+                .collect(),
+            task_accel_bound: taskset
+                .tasks()
+                .iter()
+                .map(|t| t.versions().iter().any(|v| v.accel().is_some()))
+                .collect(),
             queues,
             running: vec![None; n_slots],
             shard,
@@ -591,7 +672,36 @@ impl OnlineEngine {
             }
             self.next_wake = wake;
         }
+        if self.cull_missed {
+            self.cull_missed_jobs(now);
+        }
         self.dispatch_round(now, sink);
+    }
+
+    /// Removes every ready job whose absolute deadline has already
+    /// passed at `now` — each removal is the queue's O(log n)
+    /// [`ReadyQueue::remove`], located by an O(queue) scan that only
+    /// runs when [`yasmin_core::config::Config::cull_missed`] opted in.
+    /// Running jobs are never culled (they complete and are accounted
+    /// as misses by the driver).
+    fn cull_missed_jobs(&mut self, now: Instant) {
+        let mut expired = std::mem::take(&mut self.cull_buf);
+        for qi in 0..self.queues.len() {
+            expired.clear();
+            expired.extend(
+                self.queues[qi]
+                    .iter()
+                    .filter(|j| j.deadline_missed_at(now))
+                    .map(|j| j.id),
+            );
+            for &id in &expired {
+                if self.queues[qi].remove(id).is_some() {
+                    self.stats.culled += 1;
+                }
+            }
+        }
+        expired.clear();
+        self.cull_buf = expired;
     }
 
     /// Explicit activation (the paper's `yas_task_activate`): sporadic
@@ -748,6 +858,120 @@ impl OnlineEngine {
         res.map(|()| sink.into_vec())
     }
 
+    /// One coalesced engine round: retires every `(worker, job)`
+    /// completion, then performs the tick at `now` (periodic releases,
+    /// optional deadline culling) and a **single** dispatch round for
+    /// all of it. This is what a sharded scheduler thread calls when a
+    /// wake finds pending completions *and* a due tick: instead of one
+    /// dispatch round for the completion batch and another for the
+    /// tick, the whole wake pays one round that sees both the freed
+    /// workers and the fresh releases.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::on_jobs_completed_into`]; on error the valid
+    /// completion prefix is retired and the tick still runs, so the
+    /// engine stays consistent.
+    pub fn advance_into(
+        &mut self,
+        completions: &[(WorkerId, JobId)],
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        let mut first_err = None;
+        for &(worker, job) in completions {
+            if let Err(e) = self.retire_job(worker, job) {
+                first_err = Some(e);
+                break;
+            }
+        }
+        self.on_tick_into(now, sink);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The most urgent ready job as a work-stealing hint — O(1),
+    /// through a shared reference, shard engines only (`None`
+    /// otherwise). No hint is given for a job that must not migrate:
+    /// one of an accelerator-bound task (accelerators are arbitrated
+    /// shard-locally), or one this shard itself adopted from elsewhere
+    /// — a job migrates **at most once**, so thieves can never bounce
+    /// work around or hand a job back to its owner.
+    #[must_use]
+    pub fn steal_hint(&self) -> Option<StealHint> {
+        let w = self.shard?;
+        let job = self.queues[0].peek_hint()?;
+        if self.task_worker[job.task.index()] != w.raw() || self.task_accel_bound[job.task.index()]
+        {
+            return None;
+        }
+        Some(StealHint {
+            job: job.id,
+            task: job.task,
+            priority: job.priority,
+        })
+    }
+
+    /// Hands the hinted ready job to a thief (victim side of a steal):
+    /// removes it from the ready queue in O(log n) via the
+    /// index-tracked [`ReadyQueue::remove`] and returns it for the
+    /// thief to adopt. Returns `None` when the hint went stale (the job
+    /// dispatched or was culled since the hint was taken) or the job
+    /// must not migrate (accelerator-bound task, or a job this shard
+    /// itself adopted — migration happens at most once).
+    pub fn release_stolen(&mut self, hint: StealHint) -> Option<Job> {
+        let w = self.shard?;
+        if self.task_worker[hint.task.index()] != w.raw()
+            || self.task_accel_bound[hint.task.index()]
+        {
+            return None;
+        }
+        let job = self.queues[0].remove(hint.job)?;
+        debug_assert_eq!(job.task, hint.task);
+        self.stats.donated += 1;
+        Some(job)
+    }
+
+    /// Adopts a job stolen from a victim shard (thief side): the job
+    /// enters this shard's ready queue — keeping EDF order against any
+    /// local work — and the dispatch round runs it on this shard's
+    /// worker, reporting the thief's **global** [`WorkerId`] in the
+    /// dispatch action. Completion is then handed back to *this* shard
+    /// like any local job; DAG successors it fires are routed by
+    /// destination ownership (outbox for foreign destinations).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] on a non-shard engine or for a task of
+    /// this very shard (nothing was stolen) — protocol violations. A
+    /// *full* local queue is not an error: like every release-path
+    /// overflow it is a sizing condition, surfaced through
+    /// `stats.channel_overflows` (the job is dropped) rather than by
+    /// panicking a scheduler thread mid-handshake.
+    pub fn adopt_stolen(&mut self, job: Job, now: Instant, sink: &mut ActionSink) -> Result<()> {
+        let Some(w) = self.shard else {
+            return Err(Error::InvalidConfig(
+                "only engine shards adopt stolen jobs".into(),
+            ));
+        };
+        if self.task_worker[job.task.index()] == w.raw() {
+            return Err(Error::InvalidConfig(format!(
+                "job of task {} is already owned by shard {w}",
+                job.task
+            )));
+        }
+        if self.queues[0].push(job).is_ok() {
+            self.stats.stolen += 1;
+            self.stats.max_ready = self.stats.max_ready.max(self.ready_len());
+        } else {
+            self.stats.channel_overflows += 1;
+        }
+        self.dispatch_round(now, sink);
+        Ok(())
+    }
+
     /// Validates and books one completion — frees the worker slot,
     /// releases any held accelerator, fires DAG successors — without
     /// running a dispatch round (the caller batches that).
@@ -780,42 +1004,121 @@ impl OnlineEngine {
     /// incoming data are present in their input channels"). Edge
     /// adjacency is precomputed at construction and the successor set
     /// lives in a reusable scratch, so firing allocates nothing.
+    ///
+    /// Token state is owned by the shard owning the edge's
+    /// **destination**: an out-edge whose destination belongs to a
+    /// foreign shard is not fired here — it lands in the outbox as a
+    /// [`RemoteActivation`] for the driver to route, which is also why a
+    /// *stolen* job completing on a thief shard stays consistent (the
+    /// thief fires only the edges whose destinations it owns).
     fn fire_successors(&mut self, task: TaskId, graph_release: Instant) {
         let mut successors = std::mem::take(&mut self.successor_buf);
         successors.clear();
         for k in 0..self.out_edges[task.index()].len() {
             let i = self.out_edges[task.index()][k];
-            self.tokens[i] += 1;
-            self.token_release[i].push(graph_release);
-            let cap = self.taskset.channels()[self.taskset.edges()[i].channel.index()].capacity();
-            if cap > 0 && self.tokens[i] as usize > cap {
-                self.stats.channel_overflows += 1;
-            }
             let dst = self.taskset.edges()[i].dst;
+            if let Some(w) = self.shard {
+                let dw = self.task_worker[dst.index()];
+                if dw != w.raw() {
+                    self.outbox.push(RemoteActivation {
+                        worker: WorkerId::new(dw),
+                        edge: i as u32,
+                        graph_release,
+                    });
+                    self.stats.cross_activations += 1;
+                    continue;
+                }
+            }
+            self.push_token(i, graph_release);
             if !successors.contains(&dst) {
                 successors.push(dst);
             }
         }
         for &dst in &successors {
-            loop {
-                let n_in = self.in_edges[dst.index()].len();
-                let all_present = (0..n_in).all(|k| self.tokens[self.in_edges[dst.index()][k]] > 0);
-                if !all_present {
-                    break;
-                }
-                // Consume one token per input; the graph release of the
-                // new job is the *oldest* input instance (join semantics).
-                let mut release = Instant::ZERO;
-                for k in 0..n_in {
-                    let i = self.in_edges[dst.index()][k];
-                    self.tokens[i] -= 1;
-                    let r = self.token_release[i].remove(0);
-                    release = release.max(r);
-                }
-                self.release_job(dst, release, release);
-            }
+            self.try_fire_joins(dst);
         }
         self.successor_buf = successors;
+    }
+
+    /// Books one token on edge `i` (no release attempt).
+    fn push_token(&mut self, i: usize, graph_release: Instant) {
+        self.tokens[i] += 1;
+        self.token_release[i].push(graph_release);
+        let cap = self.taskset.channels()[self.taskset.edges()[i].channel.index()].capacity();
+        if cap > 0 && self.tokens[i] as usize > cap {
+            self.stats.channel_overflows += 1;
+        }
+    }
+
+    /// Releases instances of `dst` while every input edge holds a token.
+    fn try_fire_joins(&mut self, dst: TaskId) {
+        loop {
+            let n_in = self.in_edges[dst.index()].len();
+            let all_present = (0..n_in).all(|k| self.tokens[self.in_edges[dst.index()][k]] > 0);
+            if !all_present {
+                break;
+            }
+            // Consume one token per input; the graph release of the
+            // new job is the *oldest* input instance (join semantics).
+            let mut release = Instant::ZERO;
+            for k in 0..n_in {
+                let i = self.in_edges[dst.index()][k];
+                self.tokens[i] -= 1;
+                let r = self.token_release[i].remove(0);
+                release = release.max(r);
+            }
+            self.release_job(dst, release, release);
+        }
+    }
+
+    /// Applies a DAG token routed from a foreign shard (the receiving
+    /// half of a cross-shard edge): books the token on `edge`, releases
+    /// the destination if its join is complete, and dispatches.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when `edge` is out of range or this
+    /// engine does not own the edge's destination — driver routing
+    /// bugs, not runtime conditions.
+    pub fn on_remote_token(
+        &mut self,
+        edge: u32,
+        graph_release: Instant,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        let i = edge as usize;
+        if i >= self.taskset.edges().len() {
+            return Err(Error::InvalidConfig(format!(
+                "remote token names edge {edge} of {}",
+                self.taskset.edges().len()
+            )));
+        }
+        let dst = self.taskset.edges()[i].dst;
+        if !self.owns_task(dst) {
+            return Err(Error::InvalidConfig(format!(
+                "remote token for edge {edge} routed to a shard not owning {dst}"
+            )));
+        }
+        self.push_token(i, graph_release);
+        self.try_fire_joins(dst);
+        self.dispatch_round(now, sink);
+        Ok(())
+    }
+
+    /// Moves every pending [`RemoteActivation`] into `buf` (appended;
+    /// the outbox is left empty). Drivers call this after any engine
+    /// interaction that may complete jobs and route each entry to the
+    /// owning shard. The caller's buffer is reusable, so the steady
+    /// state allocates nothing.
+    pub fn drain_outbox_into(&mut self, buf: &mut Vec<RemoteActivation>) {
+        buf.append(&mut self.outbox);
+    }
+
+    /// `true` when cross-shard tokens are waiting to be routed.
+    #[must_use]
+    pub fn has_outbox(&self) -> bool {
+        !self.outbox.is_empty()
     }
 
     fn release_job(&mut self, task: TaskId, release: Instant, graph_release: Instant) {
@@ -1728,6 +2031,53 @@ mod tests {
         sink.clear();
         e.on_tick_into(at(10), &mut sink);
         assert_eq!(sink.len(), 1, "task a re-releases and dispatches");
+    }
+
+    #[test]
+    fn cull_missed_removes_expired_ready_jobs_on_tick() {
+        // One worker, two tasks with constrained deadlines: the job that
+        // loses the first dispatch sits ready past its deadline and must
+        // be culled at the next tick — via ReadyQueue::remove, counted
+        // in stats.culled, never dispatched.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let winner = b
+            .task_decl(TaskSpec::periodic("winner", ms(100)).with_constrained_deadline(ms(30)))
+            .unwrap();
+        let loser = b
+            .task_decl(TaskSpec::periodic("loser", ms(100)).with_constrained_deadline(ms(40)))
+            .unwrap();
+        b.version_decl(winner, VersionSpec::new("w", ms(60)))
+            .unwrap();
+        b.version_decl(loser, VersionSpec::new("l", ms(10)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let cfg = Config::builder()
+            .workers(1)
+            .tick(ms(10))
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .preemption(false)
+            .cull_missed(true)
+            .build()
+            .unwrap();
+        let mut e = OnlineEngine::new(ts, cfg).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        assert_eq!(e.running(WorkerId::new(0)).unwrap().job.task, winner);
+        assert_eq!(e.ready_len(), 1, "loser queued");
+        // Ticks before the loser's deadline (40ms) keep it queued.
+        let _ = e.on_tick(at(30));
+        assert_eq!(e.ready_len(), 1);
+        assert_eq!(e.stats().culled, 0);
+        // First tick past the deadline culls it.
+        let _ = e.on_tick(at(50));
+        assert_eq!(e.ready_len(), 0);
+        assert_eq!(e.stats().culled, 1);
+        // The culled job never dispatches: completing the winner leaves
+        // the worker idle.
+        let w = e.running(WorkerId::new(0)).unwrap().job.id;
+        let acts = e.on_job_completed(WorkerId::new(0), w, at(60)).unwrap();
+        assert!(acts.is_empty(), "{acts:?}");
+        assert!(e.running(WorkerId::new(0)).is_none());
+        assert_eq!(e.stats().dispatched, 1);
     }
 
     #[test]

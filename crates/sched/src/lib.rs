@@ -35,7 +35,7 @@ pub mod shard;
 pub mod sink;
 
 pub use accel::AccelManager;
-pub use engine::{Action, EngineStats, OnlineEngine, RunningJob};
+pub use engine::{Action, EngineStats, OnlineEngine, RemoteActivation, RunningJob, StealHint};
 pub use job::Job;
 pub use offline::{
     synthesize, synthesize_strict, OfflineDispatcher, ScheduleTable, SynthesisOptions,

@@ -595,6 +595,14 @@ impl Simulation {
                  JobCompleted command is a driver bug"
                     .into(),
             )),
+            ShardCmd::CrossActivate { .. }
+            | ShardCmd::StealRequest { .. }
+            | ShardCmd::Stolen { .. }
+            | ShardCmd::StealDeny { .. } => Err(Error::InvalidConfig(
+                "cross-shard routing and stealing run through the protocol loop \
+                 (yasmin_sim::par), not the free-running shard feed"
+                    .into(),
+            )),
         }
     }
 

@@ -1,4 +1,5 @@
-//! Multi-threaded partitioned simulation driver (PR 3).
+//! Multi-threaded partitioned simulation driver (PR 3), extended with
+//! the cross-shard protocol loop (PR 5).
 //!
 //! Runs one simulation thread per engine shard — each owning the
 //! independent per-worker scheduler state of
@@ -8,6 +9,16 @@
 //! exercises the exact concurrency topology of the sharded real-time
 //! runtime: multiple producers racing into a mailbox drained by a single
 //! shard owner.
+//!
+//! Task sets with **cross-shard DAG edges**, and runs with
+//! [`ParSimOptions::steal`], execute the same `ShardCmd` protocol under
+//! the deterministic in-process *protocol loop* (see
+//! [`run_partitioned_parallel`]): producer threads still race into the
+//! mailboxes, while the shard engines advance in one global
+//! simulated-time order so routed activations and steal hand-offs land
+//! at exact event boundaries — zero-lookahead cross-shard traffic would
+//! serialise a free-running conservative merge behind null messages
+//! anyway, and schedule validation needs reproducible traces.
 //!
 //! ## Determinism
 //!
@@ -29,28 +40,39 @@
 //!   samplers from `seed ^ worker` so randomised runs are still
 //!   per-shard deterministic.
 //!
-//! One caveat bounds the equality claim: when a **sporadic activation
-//! coincides exactly** with another event of the same shard (e.g. its
-//! offset lands on the tick grid), the single-threaded simulator breaks
-//! the tie by event *insertion order* — a history-dependent global
-//! sequence the mailbox merge cannot observe — while this driver
-//! applies its own fixed rule (external command first). Both drivers
-//! remain individually deterministic, but their traces may then differ
-//! at the tied instant. Keep sporadic offsets off the tick/finish grid
-//! (any sub-tick offset does it) when cross-checking traces; shard-local
-//! ties (tick vs completion) are unaffected because each shard replays
-//! the single-owner engine's own insertion order.
+//! Two tie classes bound the equality claim. First, when a **sporadic
+//! activation coincides exactly** with another event of the same shard
+//! (e.g. its offset lands on the tick grid), the single-threaded
+//! simulator breaks the tie by event *insertion order* — a
+//! history-dependent global sequence the mailbox merge cannot observe —
+//! while this driver applies its own fixed rule (external command
+//! first). Second, under the protocol loop, when a **cross-shard
+//! successor's release coincides exactly** with another event of the
+//! destination shard (e.g. two workers' finishes land on the same
+//! instant), the single-owner engine retires the whole same-timestamp
+//! batch before one dispatch round while the routed token queues behind
+//! the destination's already-scheduled event. Both drivers remain
+//! individually deterministic in every case, but their traces may
+//! differ at a tied instant. Keep sporadic offsets — and, for
+//! cross-shard sets, WCETs — off each other's grid (odd sub-tick values
+//! do it) when cross-checking traces; shard-local ties (tick vs
+//! completion) are unaffected because each shard replays the
+//! single-owner engine's own insertion order.
 
 use crate::engine::{SimConfig, Simulation};
-use crate::trace::SimResult;
+use crate::exec::ExecSampler;
+use crate::trace::{JobRecord, SimResult};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use yasmin_core::config::Config;
+use yasmin_core::energy::Energy;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
-use yasmin_core::ids::TaskId;
+use yasmin_core::ids::{CoreId, TaskId, VersionId, WorkerId};
 use yasmin_core::task::ActivationKind;
 use yasmin_core::time::{Duration, Instant};
-use yasmin_sched::{EngineShard, ShardCmd};
+use yasmin_sched::{Action, ActionSink, EngineShard, Job, RemoteActivation, ShardCmd};
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 use yasmin_sync::wait::Backoff;
 
@@ -67,6 +89,13 @@ pub struct ParSimOptions {
     /// that producer's open-but-empty lane would deadlock the
     /// conservative watermark merge.
     pub lane_capacity: usize,
+    /// Enables work stealing between shards: at every event boundary an
+    /// idle shard (no running slice, empty queue) adopts the most
+    /// urgent accelerator-free ready job of the most loaded peer.
+    /// Stealing (like cross-shard DAG edges) routes the run through the
+    /// deterministic protocol loop — see
+    /// [`run_partitioned_parallel`].
+    pub steal: bool,
 }
 
 impl Default for ParSimOptions {
@@ -74,6 +103,7 @@ impl Default for ParSimOptions {
         ParSimOptions {
             producers: 4,
             lane_capacity: 64,
+            steal: false,
         }
     }
 }
@@ -100,15 +130,13 @@ impl ShardFeed {
         cmd.at().map_or(0, Instant::as_nanos)
     }
 
-    /// Pops the earliest pending command if it is due at or before
-    /// `local` (`None` = no local event pending, pop unconditionally).
-    ///
-    /// Blocks (bounded spin: every producer pushes a finite schedule and
-    /// closes its lane) until the earliest pending time is *known* —
-    /// i.e. no lane is simultaneously open and empty. Ties across lanes
-    /// break by lane index, so the pop order is a pure function of the
-    /// lane contents.
-    pub(crate) fn pop_if_at_or_before(&mut self, local: Option<u64>) -> Option<ShardCmd> {
+    /// The earliest pending (time, lane), blocking (bounded spin: every
+    /// producer pushes a finite schedule and closes its lane) until
+    /// that minimum is *known* — i.e. no lane is simultaneously open
+    /// and empty. Ties across lanes break by lane index, so the result
+    /// is a pure function of the lane contents. `None` once every lane
+    /// is closed and drained.
+    fn watermark(&mut self) -> Option<(u64, usize)> {
         if self.exhausted {
             return None;
         }
@@ -135,20 +163,28 @@ impl ShardFeed {
                 backoff.snooze();
                 continue;
             }
-            return match min {
-                None => {
-                    self.exhausted = true;
-                    None
-                }
-                Some((t, lane)) => {
-                    if local.is_some_and(|lt| t > lt) {
-                        None // the local event comes first
-                    } else {
-                        Some(self.rx.pop_lane(lane).expect("peeked lane head present"))
-                    }
-                }
-            };
+            if min.is_none() {
+                self.exhausted = true;
+            }
+            return min;
         }
+    }
+
+    /// The earliest pending command's time without consuming it
+    /// (blocking as [`ShardFeed::watermark`]); `None` when exhausted.
+    pub(crate) fn peek_time(&mut self) -> Option<u64> {
+        self.watermark().map(|(t, _)| t)
+    }
+
+    /// Pops the earliest pending command if it is due at or before
+    /// `local` (`None` = no local event pending, pop unconditionally);
+    /// blocks as [`ShardFeed::watermark`].
+    pub(crate) fn pop_if_at_or_before(&mut self, local: Option<u64>) -> Option<ShardCmd> {
+        let (t, lane) = self.watermark()?;
+        if local.is_some_and(|lt| t > lt) {
+            return None; // the local event comes first
+        }
+        Some(self.rx.pop_lane(lane).expect("peeked lane head present"))
     }
 }
 
@@ -245,36 +281,22 @@ fn merge_results(results: Vec<SimResult>, workers: usize) -> SimResult {
     merged
 }
 
-/// Runs a partitioned task set with **one simulation thread per worker
-/// shard** and [`ParSimOptions::producers`] producer threads feeding
-/// sporadic activations through per-shard command mailboxes.
-///
-/// `config` must opt in via `Config::sharded_dispatch(true)`; the task
-/// set must satisfy the sharding contract (no cross-shard DAG edges or
-/// accelerators — see [`yasmin_sched::validate_sharding`]).
-///
-/// # Errors
-///
-/// Sharding-contract violations, engine construction errors, or a shard
-/// simulation failing (driver protocol violation).
-///
-/// # Panics
-///
-/// Panics if a shard or producer thread itself panicked.
-pub fn run_partitioned_parallel(
-    taskset: Arc<TaskSet>,
-    config: Config,
-    sim: SimConfig,
-    opts: ParSimOptions,
-) -> Result<SimResult> {
-    if opts.producers == 0 {
-        return Err(Error::InvalidConfig(
-            "the parallel driver needs at least one producer thread".into(),
-        ));
-    }
-    let workers = config.workers();
-    let shards = EngineShard::build_all(&taskset, &config)?;
-    let schedules = producer_schedules(&taskset, opts.producers, sim.horizon);
+/// Per-producer activation schedules plus the per-shard mailboxes they
+/// feed, senders regrouped by producer. Shared by both drivers.
+struct ProducerFeeds {
+    schedules: Vec<Vec<(Instant, TaskId)>>,
+    owner: Vec<usize>,
+    receivers: Vec<MailboxReceiver<ShardCmd>>,
+    by_producer: Vec<Vec<MailboxSender<ShardCmd>>>,
+}
+
+fn build_producer_feeds(
+    taskset: &TaskSet,
+    opts: &ParSimOptions,
+    horizon: Duration,
+    workers: usize,
+) -> ProducerFeeds {
+    let schedules = producer_schedules(taskset, opts.producers, horizon);
     // Task -> owning shard, for producer routing.
     let owner: Vec<usize> = taskset
         .tasks()
@@ -320,6 +342,77 @@ pub fn run_partitioned_parallel(
             by_producer[p].push(tx);
         }
     }
+    ProducerFeeds {
+        schedules,
+        owner,
+        receivers,
+        by_producer,
+    }
+}
+
+/// `true` when some DAG edge's endpoints live on different workers.
+fn has_cross_shard_edges(taskset: &TaskSet) -> bool {
+    taskset.edges().iter().any(|e| {
+        let w = |t: TaskId| taskset.tasks()[t.index()].spec().assigned_worker();
+        w(e.src) != w(e.dst)
+    })
+}
+
+/// Runs a partitioned task set with **one simulation thread per worker
+/// shard** and [`ParSimOptions::producers`] producer threads feeding
+/// sporadic activations through per-shard command mailboxes.
+///
+/// `config` must opt in via `Config::sharded_dispatch(true)`; the task
+/// set must satisfy the sharding contract (accelerators within one
+/// worker — see [`yasmin_sched::validate_sharding`]).
+///
+/// Task sets whose DAG edges **cross shards**, and runs with
+/// [`ParSimOptions::steal`] enabled, are executed by the deterministic
+/// *protocol loop* instead of one free-running thread per shard: the
+/// producer threads still race their activations into the mailbox
+/// lanes, but the shard engines advance in one global simulated-time
+/// order, exchanging [`ShardCmd::CrossActivate`] tokens and steal
+/// hand-offs at exact event boundaries. Cross-shard activation routing
+/// has **zero lookahead** (a token sent at time *t* can alter the
+/// destination shard's behaviour at that same *t*), so a conservative
+/// free-running merge would serialise behind null messages anyway —
+/// the protocol loop keeps the run reproducible and bit-comparable to
+/// the single-owner reference, which is what schedule validation
+/// needs. The protocol loop supports non-preemptive configurations
+/// without kernel models or mode schedules.
+///
+/// # Errors
+///
+/// Sharding-contract violations, engine construction errors, a shard
+/// simulation failing (driver protocol violation), or an unsupported
+/// protocol-loop configuration (preemption, kernel model, mode
+/// schedule) for cross-shard/stealing runs.
+///
+/// # Panics
+///
+/// Panics if a shard or producer thread itself panicked.
+pub fn run_partitioned_parallel(
+    taskset: Arc<TaskSet>,
+    config: Config,
+    sim: SimConfig,
+    opts: ParSimOptions,
+) -> Result<SimResult> {
+    if opts.producers == 0 {
+        return Err(Error::InvalidConfig(
+            "the parallel driver needs at least one producer thread".into(),
+        ));
+    }
+    let workers = config.workers();
+    let shards = EngineShard::build_all(&taskset, &config)?;
+    if opts.steal || has_cross_shard_edges(&taskset) {
+        return run_protocol(&taskset, &config, &sim, &opts, shards);
+    }
+    let ProducerFeeds {
+        schedules,
+        owner,
+        receivers,
+        by_producer,
+    } = build_producer_feeds(&taskset, &opts, sim.horizon, workers);
 
     let results: Vec<Result<SimResult>> = std::thread::scope(|scope| {
         let owner = &owner;
@@ -359,6 +452,487 @@ pub fn run_partitioned_parallel(
     });
     let results: Result<Vec<SimResult>> = results.into_iter().collect();
     Ok(merge_results(results?, workers))
+}
+
+/// One in-flight slice of a protocol-loop shard (non-preemptive: a
+/// dispatched job runs to its modelled finish).
+#[derive(Debug, Clone, Copy)]
+struct ProtoSlice {
+    job: Job,
+    version: VersionId,
+    start: Instant,
+    finish: Instant,
+}
+
+/// Protocol-loop state of one shard.
+struct ProtoShard {
+    shard: EngineShard,
+    feed: ShardFeed,
+    exec: ExecSampler,
+    slice: Option<ProtoSlice>,
+    records: Vec<JobRecord>,
+    busy: Duration,
+}
+
+/// A protocol-loop event targeting one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PEv {
+    /// Scheduler tick on the shared gcd grid.
+    Tick,
+    /// The shard's worker finishes its running slice.
+    Finish { job: yasmin_core::ids::JobId },
+    /// A cross-shard DAG token routed from a peer at its completion
+    /// time.
+    Cross { edge: u32, graph_release: Instant },
+}
+
+#[derive(Debug)]
+struct PItem {
+    time: u64,
+    seq: u64,
+    shard: usize,
+    ev: PEv,
+}
+
+impl PartialEq for PItem {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for PItem {}
+impl Ord for PItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for PItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The deterministic multi-shard protocol loop: all shard engines
+/// advance in one global simulated-time order, exchanging cross-shard
+/// tokens and steal hand-offs as [`ShardCmd`]s at exact event
+/// boundaries, while producer threads feed sporadic activations
+/// through the per-shard mailboxes exactly as in the free-running
+/// driver.
+struct Protocol<'a> {
+    sim: &'a SimConfig,
+    horizon: Instant,
+    tick: Duration,
+    steal: bool,
+    states: Vec<ProtoShard>,
+    heap: BinaryHeap<Reverse<PItem>>,
+    seq: u64,
+    sink: ActionSink,
+    outbox: Vec<RemoteActivation>,
+    accel_busy: Vec<Duration>,
+    /// Wall-clock samples of every engine call, recorded when
+    /// `SimConfig::measure_engine_time` is set — the same measured
+    /// scheduler-overhead metric the other drivers report.
+    overhead_ns: yasmin_core::stats::Samples,
+}
+
+impl Protocol<'_> {
+    fn push_event(&mut self, at: Instant, shard: usize, ev: PEv) {
+        self.seq += 1;
+        self.heap.push(Reverse(PItem {
+            time: at.as_nanos(),
+            seq: self.seq,
+            shard,
+            ev,
+        }));
+    }
+
+    /// Reference work → wall time on `worker`'s core.
+    fn wall_time(&self, worker: WorkerId, reference: Duration) -> Duration {
+        let (num, den) = self
+            .sim
+            .platform
+            .class_of(CoreId::new(worker.raw()))
+            .speed();
+        reference.scale(den, num)
+    }
+
+    /// Models the engine's dispatch: samples the execution demand and
+    /// schedules the finish event.
+    fn model_dispatch(&mut self, s: usize, at: Instant, job: Job, version: VersionId) {
+        debug_assert!(self.states[s].slice.is_none(), "worker already busy");
+        let worker = self.states[s].shard.worker();
+        let wcet = self.states[s].shard.taskset().tasks()[job.task.index()].versions()
+            [version.index()]
+        .wcet();
+        let d = self.states[s].exec.sample(wcet);
+        let start = at + self.sim.overheads.dispatch;
+        let finish = start + self.wall_time(worker, d);
+        self.states[s].slice = Some(ProtoSlice {
+            job,
+            version,
+            start,
+            finish,
+        });
+        self.push_event(finish, s, PEv::Finish { job: job.id });
+    }
+
+    fn apply_actions(&mut self, s: usize, at: Instant, sink: &ActionSink) {
+        for &a in sink.as_slice() {
+            match a {
+                Action::Dispatch { job, version, .. } => self.model_dispatch(s, at, job, version),
+                Action::Boost { .. } => {}
+                Action::Preempt { .. } => {
+                    unreachable!("the protocol loop runs non-preemptive configurations")
+                }
+            }
+        }
+    }
+
+    /// Routes everything the last engine round left in shard `s`'s
+    /// outbox: each cross-shard token becomes a [`PEv::Cross`] event on
+    /// the owning shard at time `at`.
+    fn settle_outbox(&mut self, s: usize, at: Instant) {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        self.states[s].shard.drain_outbox_into(&mut outbox);
+        for ra in outbox.drain(..) {
+            self.push_event(
+                at,
+                ra.worker.index(),
+                PEv::Cross {
+                    edge: ra.edge,
+                    graph_release: ra.graph_release,
+                },
+            );
+        }
+        self.outbox = outbox;
+    }
+
+    /// One engine interaction of shard `s` through the command
+    /// protocol, with action modelling and outbox routing.
+    fn interact(&mut self, s: usize, cmd: ShardCmd) -> Result<()> {
+        let at = cmd.at().unwrap_or(self.horizon);
+        let mut sink = std::mem::take(&mut self.sink);
+        sink.clear();
+        let res = if self.sim.measure_engine_time {
+            let t0 = std::time::Instant::now();
+            let res = self.states[s].shard.process_into(cmd, &mut sink);
+            self.overhead_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            res
+        } else {
+            self.states[s].shard.process_into(cmd, &mut sink)
+        };
+        if res.is_ok() {
+            self.apply_actions(s, at, &sink);
+        }
+        self.sink = sink;
+        res?;
+        self.settle_outbox(s, at);
+        Ok(())
+    }
+
+    /// Books shard `s`'s finish at `now` and hands the completion back
+    /// to the engine.
+    fn finish(&mut self, s: usize, now: Instant, job: yasmin_core::ids::JobId) -> Result<()> {
+        let worker = self.states[s].shard.worker();
+        let slice = self.states[s]
+            .slice
+            .take()
+            .expect("finish events are never stale without preemption");
+        debug_assert_eq!(slice.job.id, job);
+        let wall = now.saturating_since(slice.start);
+        self.states[s].busy += wall;
+        if let Some(a) = self.states[s].shard.taskset().tasks()[slice.job.task.index()].versions()
+            [slice.version.index()]
+        .accel()
+        {
+            self.accel_busy[a.index()] += wall;
+        }
+        let j = slice.job;
+        self.states[s].records.push(JobRecord {
+            job: j.id,
+            task: j.task,
+            seq: j.seq,
+            release: j.release,
+            graph_release: j.graph_release,
+            abs_deadline: j.abs_deadline,
+            first_start: slice.start,
+            completion: now,
+            version: slice.version,
+            worker,
+            preemptions: 0,
+        });
+        self.interact(
+            s,
+            ShardCmd::JobCompleted {
+                worker,
+                job,
+                at: now,
+            },
+        )
+    }
+
+    /// At an event boundary, every fully idle shard (no slice, empty
+    /// queue) adopts the most urgent accelerator-free job of the most
+    /// loaded *stealable* peer (one whose probe yields a hint; ties
+    /// towards the lowest worker index); rounds repeat until no steal
+    /// succeeds. Deterministic by construction.
+    fn steal_pass(&mut self, at: Instant) -> Result<()> {
+        let n = self.states.len();
+        loop {
+            let mut stole = false;
+            for thief in 0..n {
+                if self.states[thief].slice.is_some() || self.states[thief].shard.ready_len() > 0 {
+                    continue;
+                }
+                let victim = (0..n)
+                    .filter(|&v| v != thief)
+                    .filter(|&v| self.states[v].shard.try_steal().is_some())
+                    .map(|v| (self.states[v].shard.ready_len(), v))
+                    .max_by_key(|&(load, v)| (load, Reverse(v)));
+                let Some((_, v)) = victim else { continue };
+                let Some(hint) = self.states[v].shard.try_steal() else {
+                    continue;
+                };
+                let Some(job) = self.states[v].shard.release_stolen(hint) else {
+                    continue;
+                };
+                self.interact(thief, ShardCmd::Stolen { job, at })?;
+                stole = true;
+            }
+            if !stole {
+                return Ok(());
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<()> {
+        // Start every shard at time zero and arm the shared tick grid.
+        let n = self.states.len();
+        for s in 0..n {
+            let mut sink = std::mem::take(&mut self.sink);
+            sink.clear();
+            self.states[s].shard.start_into(Instant::ZERO, &mut sink)?;
+            self.apply_actions(s, Instant::ZERO, &sink);
+            self.sink = sink;
+            self.settle_outbox(s, Instant::ZERO);
+        }
+        for s in 0..n {
+            self.push_event(Instant::ZERO + self.tick, s, PEv::Tick);
+        }
+        if self.steal {
+            self.steal_pass(Instant::ZERO)?;
+        }
+
+        loop {
+            // One globally-earliest item per iteration: the minimum
+            // over every shard's external-command watermark and the
+            // event heap, re-evaluated after each application (applying
+            // anything can schedule earlier finish events or cross
+            // tokens). External commands win exact ties with local
+            // events, like the single-threaded feed merge; command
+            // ties across shards break by worker index.
+            let local_t = self
+                .heap
+                .peek()
+                .map(|Reverse(item)| item.time)
+                .filter(|&t| Instant::from_nanos(t) <= self.horizon);
+            let mut due_cmd: Option<(u64, usize)> = None;
+            for s in 0..n {
+                if let Some(t) = self.states[s].feed.peek_time() {
+                    if due_cmd.is_none_or(|(bt, _)| t < bt) {
+                        due_cmd = Some((t, s));
+                    }
+                }
+            }
+            if let Some((tc, s)) = due_cmd {
+                if local_t.is_none_or(|lt| tc <= lt) {
+                    let cmd = self.states[s]
+                        .feed
+                        .pop_if_at_or_before(Some(tc))
+                        .expect("peeked command present");
+                    let at = cmd.at().unwrap_or(Instant::ZERO);
+                    if at <= self.horizon {
+                        self.interact(s, cmd)?;
+                        if self.steal {
+                            self.steal_pass(at)?;
+                        }
+                    }
+                    // Past-horizon commands are drained but not
+                    // simulated (producers must be unblocked).
+                    continue;
+                }
+            }
+            if local_t.is_none() {
+                break;
+            }
+            let Some(Reverse(item)) = self.heap.pop() else {
+                break;
+            };
+            let now = Instant::from_nanos(item.time);
+            let s = item.shard;
+            match item.ev {
+                PEv::Tick => {
+                    self.interact(s, ShardCmd::Tick { at: now })?;
+                    let next = now + self.tick;
+                    // Horizon exclusive for new releases, like the
+                    // single-threaded driver.
+                    if next < self.horizon {
+                        self.push_event(next, s, PEv::Tick);
+                    }
+                }
+                PEv::Finish { job } => self.finish(s, now, job)?,
+                PEv::Cross {
+                    edge,
+                    graph_release,
+                } => self.interact(
+                    s,
+                    ShardCmd::CrossActivate {
+                        edge,
+                        graph_release,
+                        at: now,
+                    },
+                )?,
+            }
+            if self.steal {
+                self.steal_pass(now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the per-shard states into the whole-system [`SimResult`],
+    /// with the same accounting rules as the single-threaded driver.
+    fn into_result(mut self) -> SimResult {
+        let horizon_dur = self.sim.horizon;
+        let horizon = self.horizon;
+        let mut records = Vec::new();
+        let mut engine_stats = yasmin_sched::EngineStats::default();
+        let mut worker_busy = Vec::with_capacity(self.states.len());
+        let mut unfinished = 0usize;
+        let mut unfinished_missed = 0usize;
+        let mut energy = Energy::ZERO;
+        let accels: Vec<_> = self
+            .states
+            .first()
+            .map(|st| st.shard.taskset().accels().to_vec())
+            .unwrap_or_default();
+        for (w, st) in self.states.iter_mut().enumerate() {
+            let mut busy = st.busy;
+            if let Some(slice) = st.slice {
+                // Account the still-running slice up to the horizon.
+                busy += horizon
+                    .saturating_since(slice.start)
+                    .min(slice.finish.saturating_since(slice.start));
+                unfinished += 1;
+                if slice.job.deadline_missed_at(horizon) {
+                    unfinished_missed += 1;
+                }
+            }
+            unfinished += st.shard.ready_len();
+            records.append(&mut st.records);
+            engine_stats.merge(st.shard.stats());
+            let class = self.sim.platform.class_of(CoreId::new(w as u16));
+            energy += class.active_power().energy_over(busy);
+            energy += class
+                .idle_power()
+                .energy_over(horizon_dur.saturating_sub(busy));
+            worker_busy.push(busy);
+        }
+        for (a, spec) in accels.iter().enumerate() {
+            energy += spec.active_power().energy_over(self.accel_busy[a]);
+        }
+        records.sort_by_key(|r| (r.completion, r.task, r.seq));
+        SimResult {
+            records,
+            unfinished,
+            unfinished_missed,
+            engine_stats,
+            horizon,
+            sched_overhead_ns: self.overhead_ns,
+            worker_busy,
+            energy,
+        }
+    }
+}
+
+/// Runs the cross-shard/stealing protocol loop; see
+/// [`run_partitioned_parallel`].
+fn run_protocol(
+    taskset: &Arc<TaskSet>,
+    config: &Config,
+    sim: &SimConfig,
+    opts: &ParSimOptions,
+    shards: Vec<EngineShard>,
+) -> Result<SimResult> {
+    if config.preemption() {
+        return Err(Error::InvalidConfig(
+            "cross-shard/stealing simulation is non-preemptive: build the Config \
+             with .preemption(false)"
+                .into(),
+        ));
+    }
+    if sim.kernel.is_some() || !sim.mode_schedule.is_empty() {
+        return Err(Error::InvalidConfig(
+            "cross-shard/stealing simulation supports neither kernel models nor \
+             mode schedules yet"
+                .into(),
+        ));
+    }
+    let workers = config.workers();
+    let tick = shards[0].tick_period();
+    let ProducerFeeds {
+        schedules,
+        owner,
+        receivers,
+        by_producer,
+    } = build_producer_feeds(taskset, opts, sim.horizon, workers);
+
+    std::thread::scope(|scope| {
+        let owner = &owner;
+        let mut producer_handles = Vec::with_capacity(opts.producers);
+        for (schedule, senders) in schedules.into_iter().zip(by_producer) {
+            producer_handles.push(
+                std::thread::Builder::new()
+                    .name("yasmin-sim-producer".into())
+                    .spawn_scoped(scope, move || producer_main(schedule, senders, owner))
+                    .expect("spawning producer thread"),
+            );
+        }
+        let states = shards
+            .into_iter()
+            .zip(receivers)
+            .map(|(shard, rx)| {
+                let w = u64::from(shard.worker().raw());
+                let seed = (sim.seed ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ 0xE5E5;
+                ProtoShard {
+                    shard,
+                    feed: ShardFeed::new(rx),
+                    exec: ExecSampler::new(sim.exec, seed),
+                    slice: None,
+                    records: Vec::new(),
+                    busy: Duration::ZERO,
+                }
+            })
+            .collect();
+        let mut protocol = Protocol {
+            sim,
+            horizon: Instant::ZERO + sim.horizon,
+            tick,
+            steal: opts.steal,
+            states,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            sink: ActionSink::new(),
+            outbox: Vec::new(),
+            accel_busy: vec![Duration::ZERO; taskset.accels().len()],
+            overhead_ns: yasmin_core::stats::Samples::new(),
+        };
+        let res = protocol.run();
+        for p in producer_handles {
+            p.join().expect("producer thread panicked");
+        }
+        res.map(|()| protocol.into_result())
+    })
 }
 
 #[cfg(test)]
@@ -422,6 +996,7 @@ mod tests {
             ParSimOptions {
                 producers: 0,
                 lane_capacity: 8,
+                steal: false,
             },
         );
         assert!(err.is_err());

@@ -1,0 +1,299 @@
+//! PR 5 acceptance checks for the cross-shard protocol loop in
+//! `yasmin_sim::par`:
+//!
+//! * a DAG task set whose edges span workers runs under
+//!   `run_partitioned_parallel` and produces **the same trace** as the
+//!   single-owner reference simulation (records matched on
+//!   `(task, seq)`, compared on every timing/placement field);
+//! * an imbalanced partitioned set with stealing enabled shows
+//!   `stolen > 0` and a strictly lower makespan than the same run
+//!   without stealing;
+//! * the protocol loop is deterministic run to run.
+
+use std::sync::Arc;
+use yasmin_core::config::{Config, MappingScheme};
+use yasmin_core::graph::{TaskSet, TaskSetBuilder};
+use yasmin_core::ids::WorkerId;
+use yasmin_core::priority::PriorityPolicy;
+use yasmin_core::task::TaskSpec;
+use yasmin_core::time::{Duration, Instant};
+use yasmin_core::version::VersionSpec;
+use yasmin_sim::{run_partitioned_parallel, ParSimOptions, SimConfig, SimResult, Simulation};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+fn us(v: u64) -> Duration {
+    Duration::from_micros(v)
+}
+
+fn config(workers: usize, sharded: bool) -> Config {
+    Config::builder()
+        .workers(workers)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(sharded)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .preemption(false)
+        .build()
+        .unwrap()
+}
+
+fn opts(steal: bool) -> ParSimOptions {
+    ParSimOptions {
+        producers: 2,
+        lane_capacity: 16,
+        steal,
+    }
+}
+
+/// A DAG with edges crossing shards in both directions, plus local
+/// work on each worker. WCETs are odd microsecond values so no event
+/// ever ties with an event from another source.
+fn cross_shard_set() -> Arc<TaskSet> {
+    let w0 = WorkerId::new(0);
+    let w1 = WorkerId::new(1);
+    let mut b = TaskSetBuilder::new();
+    let a = b
+        .task_decl(TaskSpec::periodic("a", ms(20)).on_worker(w0))
+        .unwrap();
+    let a_dst = b
+        .task_decl(TaskSpec::graph_node("a_dst").on_worker(w1))
+        .unwrap();
+    let bb = b
+        .task_decl(TaskSpec::periodic("b", ms(40)).on_worker(w1))
+        .unwrap();
+    let b_dst = b
+        .task_decl(TaskSpec::graph_node("b_dst").on_worker(w0))
+        .unwrap();
+    b.version_decl(a, VersionSpec::new("a", us(3_137))).unwrap();
+    b.version_decl(a_dst, VersionSpec::new("ad", us(2_411)))
+        .unwrap();
+    b.version_decl(bb, VersionSpec::new("b", us(5_071)))
+        .unwrap();
+    b.version_decl(b_dst, VersionSpec::new("bd", us(1_913)))
+        .unwrap();
+    let c1 = b.channel_decl("c1", 1, 8);
+    let c2 = b.channel_decl("c2", 1, 8);
+    b.channel_connect(a, a_dst, c1).unwrap();
+    b.channel_connect(bb, b_dst, c2).unwrap();
+    Arc::new(b.build().unwrap())
+}
+
+fn assert_same_trace(single: &SimResult, par: &SimResult) {
+    assert_eq!(single.records.len(), par.records.len(), "trace lengths");
+    let key = |r: &yasmin_sim::JobRecord| (r.task, r.seq);
+    let mut s = single.records.clone();
+    let mut p = par.records.clone();
+    s.sort_by_key(key);
+    p.sort_by_key(key);
+    for (a, b) in s.iter().zip(&p) {
+        assert_eq!(key(a), key(b), "record identity");
+        assert_eq!(a.release, b.release, "{a:?} vs {b:?}");
+        assert_eq!(a.graph_release, b.graph_release);
+        assert_eq!(a.abs_deadline, b.abs_deadline);
+        assert_eq!(a.first_start, b.first_start, "{a:?} vs {b:?}");
+        assert_eq!(a.completion, b.completion, "{a:?} vs {b:?}");
+        assert_eq!(a.version, b.version);
+        assert_eq!(a.worker, b.worker);
+    }
+    assert_eq!(single.unfinished, par.unfinished);
+    assert_eq!(single.unfinished_missed, par.unfinished_missed);
+    assert_eq!(single.engine_stats.released, par.engine_stats.released);
+    assert_eq!(single.engine_stats.dispatched, par.engine_stats.dispatched);
+    assert_eq!(single.engine_stats.completed, par.engine_stats.completed);
+    assert_eq!(single.worker_busy, par.worker_busy);
+    assert_eq!(
+        single.energy.as_microjoules(),
+        par.energy.as_microjoules(),
+        "per-shard energy accounting sums to the whole-system figure"
+    );
+}
+
+#[test]
+fn cross_shard_dag_matches_single_owner_reference() {
+    let ts = cross_shard_set();
+    let sim = SimConfig::uniform(2, ms(200));
+    let single = Simulation::new(Arc::clone(&ts), config(2, false), sim.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    let par = run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim, opts(false)).unwrap();
+    // The parallel run really crossed shards.
+    assert!(
+        par.engine_stats.cross_activations >= 10,
+        "expected routed activations, got {}",
+        par.engine_stats.cross_activations
+    );
+    // Successors genuinely ran on their own (foreign) worker.
+    for r in par.records.iter().filter(|r| r.task.index() == 1) {
+        assert_eq!(r.worker, WorkerId::new(1), "a_dst pinned to worker 1");
+    }
+    assert_same_trace(&single, &par);
+}
+
+#[test]
+fn cross_shard_protocol_loop_is_deterministic() {
+    let ts = cross_shard_set();
+    let mut sim = SimConfig::uniform(2, ms(120));
+    sim.measure_engine_time = true;
+    let run =
+        || run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim.clone(), opts(false));
+    let x = run().unwrap();
+    let y = run().unwrap();
+    assert_eq!(x.records.len(), y.records.len());
+    for (a, b) in x.records.iter().zip(&y.records) {
+        assert_eq!(a, b);
+    }
+    // The protocol loop records measured scheduler overhead like the
+    // other drivers.
+    assert!(x.sched_overhead_ns.count() > 10);
+}
+
+#[test]
+fn cross_shard_sporadic_commands_merge_in_global_time_order() {
+    // Regression: the protocol loop once applied every external
+    // command due before the *pre-pass* heap minimum in one batch, so
+    // shard 1's sporadic at 4 ms was dispatched before shard 0's
+    // finish at ~2 ms emitted its cross-shard token — the successor
+    // then found worker 1 busy and started late, diverging from the
+    // single-owner reference. The merge must interleave commands and
+    // heap events in one global time order.
+    let w0 = WorkerId::new(0);
+    let w1 = WorkerId::new(1);
+    let mut b = TaskSetBuilder::new();
+    let s0 = b
+        .task_decl(
+            TaskSpec::sporadic("s0", ms(40))
+                .with_release_offset(us(1_003))
+                .on_worker(w0),
+        )
+        .unwrap();
+    let d = b
+        .task_decl(TaskSpec::graph_node("d").on_worker(w1))
+        .unwrap();
+    let s1 = b
+        .task_decl(
+            TaskSpec::sporadic("s1", ms(40))
+                .with_release_offset(us(4_001))
+                .on_worker(w1),
+        )
+        .unwrap();
+    b.version_decl(s0, VersionSpec::new("s0", us(1_009)))
+        .unwrap();
+    b.version_decl(d, VersionSpec::new("d", us(1_013))).unwrap();
+    b.version_decl(s1, VersionSpec::new("s1", us(5_003)))
+        .unwrap();
+    let c = b.channel_decl("c", 1, 8);
+    b.channel_connect(s0, d, c).unwrap();
+    let ts = Arc::new(b.build().unwrap());
+    let sim = SimConfig::uniform(2, ms(40));
+    let single = Simulation::new(Arc::clone(&ts), config(2, false), sim.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    let par = run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim, opts(false)).unwrap();
+    // The successor must start right after its predecessor (~2.012 ms),
+    // before the 4.001 ms sporadic occupies worker 1.
+    let d_rec = par
+        .records
+        .iter()
+        .find(|r| r.task == d)
+        .expect("successor completed");
+    assert_eq!(d_rec.first_start, Instant::from_nanos(2_012_000));
+    assert_same_trace(&single, &par);
+}
+
+/// Everything lands on worker 0 (four 10 ms sporadic one-shot jobs);
+/// worker 1 owns only a light periodic tick source.
+fn imbalanced_set() -> Arc<TaskSet> {
+    let mut b = TaskSetBuilder::new();
+    for i in 0..4u64 {
+        let t = b
+            .task_decl(
+                TaskSpec::sporadic(format!("h{i}"), ms(500))
+                    .with_release_offset(us(701 + 4 * i))
+                    .on_worker(WorkerId::new(0)),
+            )
+            .unwrap();
+        b.version_decl(t, VersionSpec::new("h", ms(10))).unwrap();
+    }
+    let light = b
+        .task_decl(TaskSpec::periodic("light", ms(10)).on_worker(WorkerId::new(1)))
+        .unwrap();
+    b.version_decl(light, VersionSpec::new("l", us(103)))
+        .unwrap();
+    Arc::new(b.build().unwrap())
+}
+
+fn makespan(r: &SimResult) -> Instant {
+    r.records
+        .iter()
+        .filter(|rec| rec.task.index() < 4)
+        .map(|rec| rec.completion)
+        .max()
+        .expect("heavy jobs completed")
+}
+
+#[test]
+fn stealing_lowers_the_makespan_of_an_imbalanced_set() {
+    let ts = imbalanced_set();
+    let sim = SimConfig::uniform(2, ms(100));
+    let no_steal =
+        run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim.clone(), opts(false))
+            .unwrap();
+    let steal =
+        run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim, opts(true)).unwrap();
+
+    // All four heavy jobs complete in both runs.
+    for r in [&no_steal, &steal] {
+        assert_eq!(
+            r.records.iter().filter(|rec| rec.task.index() < 4).count(),
+            4
+        );
+    }
+    assert_eq!(no_steal.engine_stats.stolen, 0);
+    assert!(
+        steal.engine_stats.stolen >= 1,
+        "the idle shard must steal: {:?}",
+        steal.engine_stats
+    );
+    assert_eq!(steal.engine_stats.stolen, steal.engine_stats.donated);
+    // Stolen jobs really ran on the foreign worker.
+    assert!(steal
+        .records
+        .iter()
+        .any(|rec| rec.task.index() < 4 && rec.worker == WorkerId::new(1)));
+    let (m0, m1) = (makespan(&no_steal), makespan(&steal));
+    assert!(m1 < m0, "stealing must lower the makespan: {m1} !< {m0}");
+    // Serial execution on worker 0 takes ~40 ms; two workers should
+    // roughly halve it.
+    assert!(m0 >= Instant::from_nanos(40_000_000));
+    assert!(m1 <= Instant::from_nanos(31_000_000));
+}
+
+#[test]
+fn stealing_run_is_deterministic() {
+    let ts = imbalanced_set();
+    let sim = SimConfig::uniform(2, ms(60));
+    let run =
+        || run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim.clone(), opts(true));
+    let x = run().unwrap();
+    let y = run().unwrap();
+    assert_eq!(x.records, y.records);
+    assert_eq!(x.engine_stats.stolen, y.engine_stats.stolen);
+}
+
+#[test]
+fn protocol_loop_rejects_preemptive_configs() {
+    let ts = cross_shard_set();
+    let preemptive = Config::builder()
+        .workers(2)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .build()
+        .unwrap();
+    let err = run_partitioned_parallel(ts, preemptive, SimConfig::uniform(2, ms(50)), opts(false));
+    assert!(err.is_err());
+}

@@ -16,6 +16,9 @@
 //! * [`mod@mailbox`] — lock-free MPSC command mailbox (one SPSC lane
 //!   per producer, single owner) feeding the sharded per-worker
 //!   scheduler;
+//! * [`steal`] — the advisory [`steal::LoadBoard`] work-stealing
+//!   thieves probe before sending a steal request over the mailbox's
+//!   per-peer request/response lanes;
 //! * [`wait`] — sleep vs spin waiting strategies.
 //!
 //! This is the only crate in the workspace that uses `unsafe` code; every
@@ -30,6 +33,7 @@ pub mod mailbox;
 pub mod mcs;
 pub mod pip;
 pub mod spsc;
+pub mod steal;
 pub mod ticket;
 pub mod wait;
 
@@ -39,5 +43,6 @@ pub use mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 pub use mcs::McsLock;
 pub use pip::PipMutex;
 pub use spsc::{channel as spsc_channel, Consumer, Producer};
+pub use steal::LoadBoard;
 pub use ticket::TicketLock;
 pub use wait::{wait_for, wait_until, WaitMode};

@@ -1,0 +1,158 @@
+//! Advisory load board for work-stealing victim selection.
+//!
+//! The steal *hand-off* rides the existing lock-free command mailbox
+//! (`yasmin_sync::mailbox`): each shard's mailbox carries one wait-free
+//! SPSC lane per peer, over which a thief sends its steal request and a
+//! victim returns the detached job (or a refusal) on its own lane back
+//! — a request/response lane pair per ordered shard pair, with both
+//! directions completing in a bounded number of steps.
+//!
+//! What messaging alone cannot give a thief is *victim selection*: an
+//! idle shard should not broadcast requests to every peer and make all
+//! of them pay a drain round for nothing. The [`LoadBoard`] is the
+//! missing probe surface: one cache-friendly atomic per shard, updated
+//! by its owner after every engine interaction with its current ready
+//! count, read by thieves with plain `Acquire` loads. The values are
+//! **advisory** — a probe may race with a dispatch and name a victim
+//! that turns out empty — which is fine: the steal request itself is
+//! answered authoritatively by the victim (`EngineShard::try_steal` /
+//! `EngineShard::release_stolen` in `yasmin-sched`, a deny otherwise).
+//! Stale reads cost a wasted request, never correctness.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cache-line padding so two shards' load counters never share a line
+/// (the publish side writes on every engine interaction).
+#[repr(align(64))]
+struct PaddedLoad(AtomicUsize);
+
+/// One advisory ready-count slot per shard; see the module docs.
+pub struct LoadBoard {
+    loads: Vec<PaddedLoad>,
+}
+
+impl std::fmt::Debug for LoadBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.loads.iter().map(|l| l.0.load(Ordering::Relaxed)))
+            .finish()
+    }
+}
+
+impl LoadBoard {
+    /// A board for `shards` shards, all starting at load 0.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        LoadBoard {
+            loads: (0..shards)
+                .map(|_| PaddedLoad(AtomicUsize::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// `true` when the board tracks no shards.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Publishes shard `i`'s current ready count (owner side; called
+    /// after every engine interaction).
+    pub fn publish(&self, i: usize, ready: usize) {
+        self.loads[i].0.store(ready, Ordering::Release);
+    }
+
+    /// Shard `i`'s last published ready count (advisory).
+    #[must_use]
+    pub fn load(&self, i: usize) -> usize {
+        self.loads[i].0.load(Ordering::Acquire)
+    }
+
+    /// The most loaded shard other than `me` with at least one ready
+    /// job, ties broken towards the lowest index — the victim an idle
+    /// thief should ask first. `None` when every peer looks empty.
+    #[must_use]
+    pub fn pick_victim(&self, me: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, slot) in self.loads.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            let l = slot.0.load(Ordering::Acquire);
+            if l == 0 {
+                continue;
+            }
+            if best.is_none_or(|(bl, _)| l > bl) {
+                best = Some((l, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_most_loaded_peer() {
+        let b = LoadBoard::new(4);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.pick_victim(0), None, "everyone idle");
+        b.publish(1, 2);
+        b.publish(2, 7);
+        b.publish(3, 7);
+        assert_eq!(b.pick_victim(0), Some(2), "max load, lowest index");
+        assert_eq!(b.load(2), 7);
+        // A shard never names itself.
+        b.publish(0, 100);
+        assert_eq!(b.pick_victim(0), Some(2));
+        assert_eq!(b.pick_victim(2), Some(0));
+    }
+
+    #[test]
+    fn publish_overwrites_and_zero_hides() {
+        let b = LoadBoard::new(2);
+        b.publish(1, 3);
+        assert_eq!(b.pick_victim(0), Some(1));
+        b.publish(1, 0);
+        assert_eq!(b.pick_victim(0), None, "drained victims disappear");
+    }
+
+    #[test]
+    fn concurrent_publishes_and_probes_stay_coherent() {
+        use std::sync::Arc;
+        let b = Arc::new(LoadBoard::new(3));
+        let publisher = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                for i in 0..50_000usize {
+                    b.publish(1, i % 8);
+                    b.publish(2, (i * 3) % 8);
+                }
+                b.publish(1, 5);
+                b.publish(2, 1);
+            })
+        };
+        let prober = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                for _ in 0..50_000 {
+                    if let Some(v) = b.pick_victim(0) {
+                        assert!(v == 1 || v == 2);
+                    }
+                }
+            })
+        };
+        publisher.join().unwrap();
+        prober.join().unwrap();
+        assert_eq!(b.pick_victim(0), Some(1), "final publishes visible");
+    }
+}

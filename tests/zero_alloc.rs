@@ -4,7 +4,7 @@
 //! warm-up phase (rank caches fill, scratch buffers and the action sink
 //! grow to their high-water marks) each scenario drives 10 000 further
 //! steady-state scheduler interactions and asserts the allocation
-//! counter did not move at all. Five scenarios cover the paths the
+//! counter did not move at all. Seven scenarios cover the paths the
 //! ROADMAP names:
 //!
 //! 1. **independent / global** — the EDF tick/complete loop of PR 2;
@@ -18,7 +18,15 @@
 //!    Boost action, wish scratch and blocked-job re-queue paths);
 //! 5. **burst completion** — every worker's completion retired through
 //!    one `on_jobs_completed_into` batch per cycle (PR 4), including
-//!    the caller-side reusable batch buffer.
+//!    the caller-side reusable batch buffer;
+//! 6. **mode switching** — the execution mode flips every cycle, so
+//!    each dispatch re-ranks versions through the invalidated rank
+//!    cache (PR 5: the cache-refresh path itself must run on the
+//!    pre-grown per-task entries and the in-place rank scratch);
+//! 7. **steady-state stealing** — every cycle an idle thief shard runs
+//!    the full PR 5 migration (O(1) `try_steal` probe, O(log n)
+//!    `release_stolen` detach, `adopt_stolen` dispatch round) and
+//!    retires the stolen job, while the victim refills.
 //!
 //! Runs without the libtest harness (`harness = false` in Cargo.toml)
 //! so no other thread can touch the allocator during the measured
@@ -425,10 +433,156 @@ fn burst_batch_completion() {
     );
 }
 
+/// Scenario 6: a mode switch every cycle invalidates the whole rank
+/// cache, so every dispatch re-ranks its task's versions under the new
+/// selection context — the refresh must fill the pre-grown cache
+/// entries through the in-place rank scratch without touching the
+/// allocator.
+fn mode_switch_rank_refresh() {
+    use yasmin_core::config::VersionPolicy;
+    use yasmin_core::version::{ExecMode, ModeMask};
+    const WORKERS: usize = 2;
+    let alt = ExecMode::new(1);
+    let mut b = TaskSetBuilder::new();
+    for i in 0..32 {
+        let t = b
+            .task_decl(TaskSpec::periodic(
+                format!("t{i}"),
+                Duration::from_millis(10),
+            ))
+            .unwrap();
+        b.version_decl(
+            t,
+            VersionSpec::new("norm", Duration::from_millis(1))
+                .with_modes(ModeMask::only(ExecMode::NORMAL)),
+        )
+        .unwrap();
+        b.version_decl(
+            t,
+            VersionSpec::new("alt", Duration::from_millis(2)).with_modes(ModeMask::only(alt)),
+        )
+        .unwrap();
+    }
+    let ts = Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(WORKERS)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .version_policy(VersionPolicy::Mode)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    let mut engine = OnlineEngine::new(ts, config).expect("valid engine");
+    let mut sink = ActionSink::with_capacity(128);
+    let mut running: Vec<Option<JobId>> = vec![None; WORKERS];
+
+    engine
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh engine starts");
+    track(&mut running, sink.as_slice());
+    let tick = engine.tick_period();
+    let mut now = Instant::ZERO;
+    let mut flip = false;
+
+    assert_zero_alloc("mode-switch-rank-refresh", || {
+        flip = !flip;
+        engine.set_mode(if flip { alt } else { ExecMode::NORMAL });
+        let mid = now + tick.scale(1, 2);
+        for w in 0..WORKERS {
+            if let Some(job) = running[w].take() {
+                sink.clear();
+                engine
+                    .on_job_completed_into(WorkerId::new(w as u16), job, mid, &mut sink)
+                    .expect("completion protocol upheld");
+                track(&mut running, sink.as_slice());
+            }
+        }
+        now += tick;
+        sink.clear();
+        engine.on_tick_into(now, &mut sink);
+        track(&mut running, sink.as_slice());
+    });
+    assert!(
+        engine.stats().dispatched > u64::from(WARMUP),
+        "mode-switch loop must dispatch (got {})",
+        engine.stats().dispatched
+    );
+}
+
+/// Scenario 7: the full work-stealing migration every cycle — probe,
+/// detach, adopt, dispatch on the thief, completion hand-back — plus
+/// the victim's refill, all on pre-grown storage.
+fn steady_state_stealing() {
+    const TASKS: usize = 32;
+    let mut b = TaskSetBuilder::new();
+    let mut tasks = Vec::new();
+    for i in 0..TASKS {
+        let t = b
+            .task_decl(TaskSpec::aperiodic(format!("a{i}")).on_worker(WorkerId::new(0)))
+            .unwrap();
+        b.version_decl(t, VersionSpec::new("v", Duration::from_millis(1)))
+            .unwrap();
+        tasks.push(t);
+    }
+    let ts = Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(2)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .preemption(false)
+        .tick(Duration::from_millis(1_000))
+        .max_pending_jobs(TASKS + 8)
+        .build()
+        .expect("valid config");
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut thief = shards.pop().unwrap();
+    let mut victim = shards.pop().unwrap();
+    let mut sink = ActionSink::with_capacity(64);
+    victim
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh shard starts");
+    thief
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh shard starts");
+    // The first activation parks on the victim's worker; the rest hold
+    // the queue at its steady size.
+    for &t in &tasks {
+        victim.activate_into(t, Instant::ZERO, &mut sink).unwrap();
+    }
+    let w1 = WorkerId::new(1);
+    let mut now = Instant::ZERO;
+    let step = Duration::from_micros(1);
+
+    assert_zero_alloc("steady-state-stealing", || {
+        now += step;
+        let hint = victim.try_steal().expect("victim queue is loaded");
+        let job = victim.release_stolen(hint).expect("hint is fresh");
+        sink.clear();
+        thief
+            .adopt_stolen(job, now, &mut sink)
+            .expect("thief is idle");
+        sink.clear();
+        thief
+            .on_job_completed_into(w1, job.id, now, &mut sink)
+            .expect("completion protocol upheld");
+        sink.clear();
+        victim.activate_into(job.task, now, &mut sink).unwrap();
+    });
+    assert!(
+        victim.stats().donated > u64::from(WARMUP),
+        "every cycle must donate (got {})",
+        victim.stats().donated
+    );
+    assert_eq!(victim.stats().donated, thief.stats().stolen);
+    assert!(thief.stats().completed > u64::from(WARMUP));
+}
+
 fn main() {
     independent_global();
     dag_firing();
     partitioned_sharded_mailbox();
     accel_contention_pip();
     burst_batch_completion();
+    mode_switch_rank_refresh();
+    steady_state_stealing();
 }
