@@ -57,6 +57,13 @@ pub enum Error {
     },
     /// The offline scheduler could not build a feasible table.
     Infeasible(String),
+    /// A tenant id does not exist in the running schedule.
+    UnknownTenant(u32),
+    /// An operation targeted a tenant that has already been retired.
+    TenantRetired(u32),
+    /// On-line admission refused a tenant (rendered reason; the structured
+    /// violated bound lives in `yasmin_sched::admission`).
+    AdmissionRejected(String),
     /// An OS interaction failed (affinity, locking memory, priorities…).
     Os(String),
 }
@@ -92,6 +99,9 @@ impl fmt::Display for Error {
                 write!(f, "capacity of {what} exceeded (bound {capacity})")
             }
             Error::Infeasible(msg) => write!(f, "no feasible offline schedule: {msg}"),
+            Error::UnknownTenant(n) => write!(f, "unknown tenant N{n}"),
+            Error::TenantRetired(n) => write!(f, "tenant N{n} has been retired"),
+            Error::AdmissionRejected(msg) => write!(f, "admission rejected: {msg}"),
             Error::Os(msg) => write!(f, "os interaction failed: {msg}"),
         }
     }

@@ -278,6 +278,129 @@ impl TaskSet {
             .filter(|t| member[t.index()])
             .collect()
     }
+
+    /// Appends an independently-built `tenant` task set to `self`,
+    /// producing the merged set used by on-line admission
+    /// (`yasmin_sched::admission`).
+    ///
+    /// The merge is strictly *append-only*: every task, version,
+    /// accelerator, channel and edge of `self` keeps its id, so a scheduler
+    /// built against `self` can adopt the result in place. The tenant's
+    /// entities are re-identified by offsetting — its `TaskId`s by
+    /// [`TaskSet::len`], its `AccelId`s / `ChannelId`s by the respective
+    /// counts — and its version accelerator bindings are rewritten to the
+    /// offset ids. No edges are created between the two sets: tenants are
+    /// disjoint namespaces, and the concatenated topological orders remain
+    /// valid.
+    ///
+    /// Accelerators are *not* shared across tenants; a tenant wanting a
+    /// GPU declares its own [`AccelSpec`], which admission maps to distinct
+    /// arbitration state.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CapacityExceeded`] if the combined counts overflow the id
+    /// spaces (`u32` tasks/channels, `u16` accelerators).
+    pub fn extended(&self, tenant: &TaskSet) -> Result<TaskSet> {
+        let task_off = self.tasks.len();
+        let accel_off = self.accels.len();
+        let chan_off = self.channels.len();
+        let edge_off = self.edges.len();
+        if u32::try_from(task_off + tenant.tasks.len()).is_err() {
+            return Err(Error::CapacityExceeded {
+                what: "task ids",
+                capacity: u32::MAX as usize,
+            });
+        }
+        if u16::try_from(accel_off + tenant.accels.len()).is_err() {
+            return Err(Error::CapacityExceeded {
+                what: "accelerator ids",
+                capacity: u16::MAX as usize,
+            });
+        }
+        if u32::try_from(chan_off + tenant.channels.len()).is_err() {
+            return Err(Error::CapacityExceeded {
+                what: "channel ids",
+                capacity: u32::MAX as usize,
+            });
+        }
+
+        let mut tasks = self.tasks.clone();
+        for t in &tenant.tasks {
+            let mut task = Task::new(
+                TaskId::new((task_off + t.id().index()) as u32),
+                t.spec().clone(),
+            );
+            for v in t.versions() {
+                let mut spec = v.clone();
+                if let Some(a) = spec.accel() {
+                    spec = spec.with_accel(AccelId::new((accel_off + a.index()) as u16));
+                }
+                task.push_version(spec);
+            }
+            tasks.push(task);
+        }
+
+        let mut accels = self.accels.clone();
+        for a in &tenant.accels {
+            accels.push(
+                AccelSpec::new(AccelId::new((accel_off + a.id().index()) as u16), a.name())
+                    .with_active_power(a.active_power()),
+            );
+        }
+
+        let mut channels = self.channels.clone();
+        for c in &tenant.channels {
+            channels.push(ChannelSpec::new(
+                ChannelId::new((chan_off + c.id().index()) as u32),
+                c.name(),
+                c.capacity(),
+                c.elem_bytes(),
+            ));
+        }
+
+        let mut edges = self.edges.clone();
+        for e in &tenant.edges {
+            edges.push(Edge {
+                src: TaskId::new((task_off + e.src.index()) as u32),
+                dst: TaskId::new((task_off + e.dst.index()) as u32),
+                channel: ChannelId::new((chan_off + e.channel.index()) as u32),
+            });
+        }
+
+        let mut preds = self.preds.clone();
+        let mut succs = self.succs.clone();
+        preds.extend(
+            tenant
+                .preds
+                .iter()
+                .map(|p| p.iter().map(|&i| edge_off + i).collect()),
+        );
+        succs.extend(
+            tenant
+                .succs
+                .iter()
+                .map(|s| s.iter().map(|&i| edge_off + i).collect()),
+        );
+
+        let mut topo = self.topo.clone();
+        topo.extend(
+            tenant
+                .topo
+                .iter()
+                .map(|t| TaskId::new((task_off + t.index()) as u32)),
+        );
+
+        Ok(TaskSet {
+            tasks,
+            accels,
+            channels,
+            edges,
+            preds,
+            succs,
+            topo,
+        })
+    }
 }
 
 /// Fluent builder mirroring the paper's declaration API (Table 1).
@@ -664,6 +787,56 @@ mod tests {
         assert!(s.edges().is_empty());
         assert_eq!(s.component_root(t), t);
         assert_eq!(s.roots().count(), 1);
+    }
+
+    #[test]
+    fn extended_appends_with_offset_remapping() {
+        let base = diamond();
+        let mut b = TaskSetBuilder::new();
+        let root = b
+            .task_decl(TaskSpec::periodic("t-root", Duration::from_millis(50)))
+            .unwrap();
+        let sink = b.task_decl(TaskSpec::graph_node("t-sink")).unwrap();
+        let gpu = b.hwaccel_decl("t-gpu");
+        b.version_decl(root, simple_version()).unwrap();
+        b.version_decl(sink, simple_version().with_accel(gpu))
+            .unwrap();
+        let ch = b.channel_decl("t-ch", 1, 8);
+        b.channel_connect(root, sink, ch).unwrap();
+        let tenant = b.build().unwrap();
+
+        let merged = base.extended(&tenant).unwrap();
+        assert_eq!(merged.len(), 6);
+        // Prefix untouched.
+        for i in 0..4 {
+            assert_eq!(
+                merged.tasks()[i].spec().name(),
+                base.tasks()[i].spec().name()
+            );
+            assert_eq!(merged.tasks()[i].id(), TaskId::new(i as u32));
+        }
+        // Tenant remapped: tasks 4..6, channel 4, accel 0 (base had none).
+        assert_eq!(merged.tasks()[4].spec().name(), "t-root");
+        assert_eq!(merged.tasks()[5].id(), TaskId::new(5));
+        assert_eq!(merged.edges().len(), 5);
+        let e = merged.edges()[4];
+        assert_eq!(e.src, TaskId::new(4));
+        assert_eq!(e.dst, TaskId::new(5));
+        assert_eq!(e.channel, ChannelId::new(4));
+        assert_eq!(merged.channels()[4].name(), "t-ch");
+        // Accel binding rewritten to the merged id space.
+        assert_eq!(
+            merged.tasks()[5].versions()[0].accel(),
+            Some(AccelId::new(0))
+        );
+        // Graph helpers still coherent.
+        assert_eq!(merged.in_degree(TaskId::new(5)), 1);
+        assert_eq!(merged.component_root(TaskId::new(5)), TaskId::new(4));
+        assert_eq!(merged.topological_order().len(), 6);
+        assert_eq!(
+            merged.effective_period(TaskId::new(5)),
+            Some(Duration::from_millis(50))
+        );
     }
 
     #[test]

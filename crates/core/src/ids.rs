@@ -99,6 +99,18 @@ id_type!(
     u16
 );
 
+id_type!(
+    /// Identifies a *tenant*: a task-set namespace admitted into a running
+    /// schedule.
+    ///
+    /// Tenant 0 is always the task set the engine was built with; each
+    /// successful on-line admission allocates the next id in order. Ids are
+    /// never reused, even after the tenant is retired.
+    TenantId,
+    "N",
+    u32
+);
+
 /// Identifies one activation (job) of a task. Monotonically increasing and
 /// globally unique within a run.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

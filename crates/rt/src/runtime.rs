@@ -20,12 +20,14 @@
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use yasmin_core::config::Config;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
-use yasmin_core::ids::{TaskId, VersionId, WorkerId};
+use yasmin_core::ids::{TaskId, TenantId, VersionId, WorkerId};
 use yasmin_core::time::{Clock, Instant, MonotonicClock};
+use yasmin_sched::admission::{reservation_for, AdmissionControl, AdmissionError};
+use yasmin_sched::server::TenantBudget;
 use yasmin_sched::{Action, ActionSink, EngineStats, Job, OnlineEngine};
 use yasmin_sync::wait::{wait_until, WaitMode};
 
@@ -106,6 +108,23 @@ struct Completion {
 
 enum Cmd {
     Activate(TaskId),
+    /// Splice-and-commit an already-evaluated tenant (see
+    /// [`Runtime::admit`]): the scheduler thread adopts the merged set,
+    /// registers the tenant's bodies, arms its releases and replies with
+    /// the assigned id — all between two engine rounds, so the splice is
+    /// atomic with respect to scheduling decisions.
+    Admit {
+        merged: Arc<TaskSet>,
+        bodies: HashMap<(TaskId, VersionId), TaskBody>,
+        budget: Option<TenantBudget>,
+        reply: Sender<Result<TenantId>>,
+    },
+    /// Quiesce a tenant: cull its ready jobs and stop its releases;
+    /// in-flight jobs finish but fire no successors.
+    Retire {
+        tenant: TenantId,
+        reply: Sender<Result<()>>,
+    },
     Stop,
     Shutdown,
 }
@@ -202,6 +221,10 @@ pub struct Runtime {
     scheduler: Option<std::thread::JoinHandle<RuntimeReport>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     worker_tx: Vec<Sender<WorkerMsg>>,
+    /// The current merged task set (grows with each admission) and the
+    /// next tenant id, serialising admissions from concurrent callers.
+    state: Mutex<(Arc<TaskSet>, u32)>,
+    admission: AdmissionControl,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -250,13 +273,14 @@ impl Runtime {
         let sched_core = builder.pin_offset + workers_n;
         let worker_tx_sched = worker_tx.clone();
         let tick = engine.tick_period();
+        let admission = AdmissionControl::for_engine(&engine);
         let scheduler = std::thread::Builder::new()
             .name("yasmin-scheduler".into())
             .spawn(move || {
                 let _ = crate::os::pin_current_thread(sched_core);
                 scheduler_main(
                     &mut engine,
-                    &bodies,
+                    bodies,
                     &worker_tx_sched,
                     &done_rx,
                     &cmd_rx,
@@ -272,6 +296,8 @@ impl Runtime {
             scheduler: Some(scheduler),
             workers,
             worker_tx,
+            state: Mutex::new((builder.taskset, 1)),
+            admission,
         })
     }
 
@@ -285,6 +311,84 @@ impl Runtime {
         self.cmd_tx
             .send(Cmd::Activate(task))
             .map_err(|_| Error::ScheduleNotRunning)
+    }
+
+    /// Admits a new tenant into the **running** schedule.
+    ///
+    /// `candidate` is the tenant's task set declared in its own id
+    /// space; `bodies` maps its `(task, version)` pairs (candidate-local
+    /// ids) to executable bodies; `budget`, when given, caps the
+    /// tenant's processor share with a per-tenant reservation server.
+    ///
+    /// The schedulability check ([`AdmissionControl::evaluate`]) runs on
+    /// the **caller's** thread — the paper's non-real-time admission
+    /// path — and only an accepted tenant ever reaches the scheduler
+    /// thread, which splices and commits it between two engine rounds.
+    /// Existing tenants' scheduling is untouched either way. Returns the
+    /// assigned [`TenantId`] (use it with [`Runtime::retire`]); task ids
+    /// of the tenant are its candidate ids offset by the number of tasks
+    /// admitted before it.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Rejected`] names the violated analysis bound;
+    /// [`AdmissionError::Invalid`] covers malformed requests (missing
+    /// bodies, partition violations, a period off the running tick) and
+    /// a scheduler that is no longer running.
+    pub fn admit(
+        &self,
+        candidate: &TaskSet,
+        bodies: HashMap<(TaskId, VersionId), TaskBody>,
+        budget: Option<TenantBudget>,
+    ) -> std::result::Result<TenantId, AdmissionError> {
+        let mut state = self.state.lock().expect("admission mutex poisoned");
+        check_candidate_bodies(candidate, &bodies)?;
+        let merged = self
+            .admission
+            .evaluate(&state.0, candidate, budget.as_ref())?;
+        let offset = state.0.len() as u32;
+        let remapped = bodies
+            .into_iter()
+            .map(|((t, v), b)| ((TaskId::new(offset + t.raw()), v), b))
+            .collect();
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd_tx
+            .send(Cmd::Admit {
+                merged: Arc::clone(&merged),
+                bodies: remapped,
+                budget,
+                reply: reply_tx,
+            })
+            .map_err(|_| AdmissionError::Invalid(Error::ScheduleNotRunning))?;
+        let tenant = reply_rx
+            .recv()
+            .map_err(|_| AdmissionError::Invalid(Error::ScheduleNotRunning))?
+            .map_err(AdmissionError::Invalid)?;
+        state.0 = merged;
+        state.1 = tenant.raw() + 1;
+        Ok(tenant)
+    }
+
+    /// Retires an admitted tenant: its future releases stop, its ready
+    /// jobs are culled, its in-flight jobs finish without firing
+    /// successors. Other tenants are untouched. Returns once the
+    /// scheduler thread has applied the retirement.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTenant`] / [`Error::TenantRetired`] for bad ids
+    /// or a double retire; [`Error::InvalidConfig`] for tenant 0 (the
+    /// build-time set — use [`Runtime::stop`]);
+    /// [`Error::ScheduleNotRunning`] when the scheduler is gone.
+    pub fn retire(&self, tenant: TenantId) -> Result<()> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd_tx
+            .send(Cmd::Retire {
+                tenant,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::ScheduleNotRunning)?;
+        reply_rx.recv().map_err(|_| Error::ScheduleNotRunning)?
     }
 
     /// Stops releasing new periodic jobs; in-flight jobs drain (the
@@ -316,6 +420,27 @@ impl Runtime {
         }
         report
     }
+}
+
+/// Verifies every version of every candidate task has a registered body
+/// (keyed by candidate-local ids) before any scheduler thread hears
+/// about the tenant.
+pub(crate) fn check_candidate_bodies(
+    candidate: &TaskSet,
+    bodies: &HashMap<(TaskId, VersionId), TaskBody>,
+) -> std::result::Result<(), AdmissionError> {
+    for t in candidate.tasks() {
+        for (vi, _) in t.versions().iter().enumerate() {
+            let key = (t.id(), VersionId::new(vi as u16));
+            if !bodies.contains_key(&key) {
+                return Err(AdmissionError::Invalid(Error::InvalidConfig(format!(
+                    "no body registered for admitted task {} version v{vi}",
+                    t.id()
+                ))));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn worker_main(
@@ -356,7 +481,7 @@ fn worker_main(
 #[allow(clippy::too_many_arguments)]
 fn scheduler_main(
     engine: &mut OnlineEngine,
-    bodies: &HashMap<(TaskId, VersionId), TaskBody>,
+    mut bodies: HashMap<(TaskId, VersionId), TaskBody>,
     worker_tx: &[Sender<WorkerMsg>],
     done_rx: &Receiver<Completion>,
     cmd_rx: &Receiver<Cmd>,
@@ -378,7 +503,9 @@ fn scheduler_main(
     // dispatch round, not N.
     let mut done_batch: Vec<(WorkerId, yasmin_core::ids::JobId)> =
         Vec::with_capacity(worker_tx.len().max(4));
-    let dispatch = |sink: &ActionSink| {
+    // `bodies` is passed explicitly (not captured) because admission
+    // grows the map between rounds.
+    let dispatch = |sink: &ActionSink, bodies: &HashMap<(TaskId, VersionId), TaskBody>| {
         for &a in sink.as_slice() {
             if let Action::Dispatch {
                 worker,
@@ -400,7 +527,7 @@ fn scheduler_main(
     engine
         .start_into(clock.now(), &mut sink)
         .expect("fresh engine starts");
-    dispatch(&sink);
+    dispatch(&sink, &bodies);
     let mut next_tick = clock.now() + tick;
 
     loop {
@@ -411,8 +538,43 @@ fn scheduler_main(
                     let now = clock.now();
                     sink.clear();
                     if engine.activate_into(task, now, &mut sink).is_ok() {
-                        dispatch(&sink);
+                        dispatch(&sink, &bodies);
                     }
+                }
+                Cmd::Admit {
+                    merged,
+                    bodies: tenant_bodies,
+                    budget,
+                    reply,
+                } => {
+                    // Control path: allocation here is fine, the tenant
+                    // is not running yet (see module docs of
+                    // `yasmin_sched::admission`).
+                    let now = clock.now();
+                    let tenant = TenantId::new(engine.tenant_count() as u32);
+                    let server = reservation_for(tenant, budget, now);
+                    sink.clear();
+                    // Anchor the release train at the next tick edge:
+                    // this thread dispatches on a fixed tick grid, and
+                    // an off-grid phase would delay every dispatch of
+                    // the tenant by up to one tick.
+                    let res = engine.splice_taskset(merged, server).and_then(|t| {
+                        bodies.extend(tenant_bodies);
+                        engine.commit_tenant_anchored_into(t, next_tick, now, &mut sink)?;
+                        Ok(t)
+                    });
+                    if res.is_ok() {
+                        dispatch(&sink, &bodies);
+                    }
+                    let _ = reply.send(res);
+                }
+                Cmd::Retire { tenant, reply } => {
+                    sink.clear();
+                    let res = engine.retire_tenant_into(tenant, clock.now(), &mut sink);
+                    if res.is_ok() {
+                        dispatch(&sink, &bodies);
+                    }
+                    let _ = reply.send(res);
                 }
                 Cmd::Stop => engine.stop(),
                 Cmd::Shutdown => shutting_down = true,
@@ -455,7 +617,7 @@ fn scheduler_main(
                 engine
                     .on_jobs_completed_into(&done_batch, last_completed, &mut sink)
                     .expect("completion protocol upheld");
-                dispatch(&sink);
+                dispatch(&sink, &bodies);
             }
             Err(RecvTimeoutError::Timeout) => {
                 // Tick edge: wait precisely (spin window), then release.
@@ -463,7 +625,7 @@ fn scheduler_main(
                 let now = clock.now();
                 sink.clear();
                 engine.on_tick_into(now, &mut sink);
-                dispatch(&sink);
+                dispatch(&sink, &bodies);
                 while next_tick <= now {
                     next_tick += tick;
                 }
@@ -624,6 +786,85 @@ mod tests {
         rt.stop();
         let _ = rt.cleanup();
         assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn tenant_admission_on_the_single_owner_runtime() {
+        let mut b = TaskSetBuilder::new();
+        let base = b.task_decl(TaskSpec::periodic("base", ms(5))).unwrap();
+        let vb = b
+            .version_decl(base, VersionSpec::new("v", Duration::from_micros(50)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let rt = RuntimeBuilder::new(ts, config(1))
+            .body(base, vb, |_| {})
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+
+        // Candidate in its own id space: one periodic task.
+        let mut c = TaskSetBuilder::new();
+        let t = c.task_decl(TaskSpec::periodic("tenant", ms(10))).unwrap();
+        let v = c
+            .version_decl(t, VersionSpec::new("v", Duration::from_micros(50)))
+            .unwrap();
+        let cand = c.build().unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        let mut bodies: HashMap<(TaskId, VersionId), TaskBody> = HashMap::new();
+        bodies.insert(
+            (t, v),
+            Arc::new(move |_: &JobCtx| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let tenant = rt.admit(&cand, bodies, None).unwrap();
+        assert_eq!(tenant.raw(), 1);
+        std::thread::sleep(std::time::Duration::from_millis(35));
+        let ran = hits.load(Ordering::SeqCst);
+        assert!(ran >= 2, "admitted tenant only ran {ran} jobs");
+        rt.retire(tenant).unwrap();
+        assert!(matches!(rt.retire(tenant), Err(Error::TenantRetired(_))));
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        let after = hits.load(Ordering::SeqCst);
+        assert!(after <= ran + 1, "tenant kept running after retirement");
+        rt.stop();
+        let report = rt.cleanup();
+        // The tenant's task is the merged suffix id T1; none of its jobs
+        // missed a deadline.
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.job.task == TaskId::new(1))
+        {
+            assert!(!r.missed());
+        }
+    }
+
+    #[test]
+    fn oversubscribed_tenant_is_rejected() {
+        let mut b = TaskSetBuilder::new();
+        let base = b.task_decl(TaskSpec::periodic("base", ms(5))).unwrap();
+        let vb = b.version_decl(base, VersionSpec::new("v", ms(3))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let rt = RuntimeBuilder::new(ts, config(1))
+            .body(base, vb, |_| {})
+            .build()
+            .unwrap();
+        // Base already uses 3/5 of the single worker; 3ms/5ms more
+        // pushes utilisation to 1.2.
+        let mut c = TaskSetBuilder::new();
+        let t = c.task_decl(TaskSpec::periodic("greedy", ms(5))).unwrap();
+        let v = c.version_decl(t, VersionSpec::new("v", ms(3))).unwrap();
+        let cand = c.build().unwrap();
+        let mut bodies: HashMap<(TaskId, VersionId), TaskBody> = HashMap::new();
+        bodies.insert((t, v), Arc::new(|_: &JobCtx| {}));
+        assert!(matches!(
+            rt.admit(&cand, bodies, None),
+            Err(AdmissionError::Rejected(_))
+        ));
+        rt.stop();
+        let _ = rt.cleanup();
     }
 
     #[test]

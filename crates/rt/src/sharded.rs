@@ -40,15 +40,20 @@
 //! (`preemption(false)`); preemptive sharded configurations are
 //! exercised by the multi-threaded simulator driver (`yasmin_sim::par`).
 
-use crate::runtime::{JobCtx, RtJobRecord, RuntimeReport, TaskBody};
+use crate::runtime::{check_candidate_bodies, JobCtx, RtJobRecord, RuntimeReport, TaskBody};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use yasmin_core::config::{Config, WaitChoice};
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
-use yasmin_core::ids::{JobId, TaskId, VersionId, WorkerId};
+use yasmin_core::ids::{JobId, TaskId, TenantId, VersionId, WorkerId};
 use yasmin_core::time::{Clock, Instant, MonotonicClock};
-use yasmin_sched::{Action, ActionSink, EngineShard, EngineStats, Job, RemoteActivation};
+use yasmin_sched::admission::{AdmissionControl, AdmissionError};
+use yasmin_sched::server::TenantBudget;
+use yasmin_sched::{
+    validate_sharding, Action, ActionSink, EngineShard, EngineStats, Job, RemoteActivation,
+};
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 use yasmin_sync::spsc;
 use yasmin_sync::steal::LoadBoard;
@@ -90,6 +95,30 @@ enum ShardMsg {
     Stolen { job: Job },
     /// A victim's refusal; the thief may re-probe.
     StealDeny,
+    /// Phase one of a two-phase tenant admission (see
+    /// [`ShardedRuntime::admit`]): splice the merged task set — its
+    /// suffix is the new tenant — into this shard and register the
+    /// tenant's bodies, with every new release left **disarmed**. The
+    /// shard decrements `ack` when its splice is done; the admitting
+    /// thread holds the commit until the counter hits zero so a
+    /// cross-shard token for a new task can never reach a shard that has
+    /// not yet heard of it.
+    Admit {
+        taskset: Arc<TaskSet>,
+        bodies: Arc<HashMap<(TaskId, VersionId), TaskBody>>,
+        budget: Option<TenantBudget>,
+        at: Instant,
+        ack: Arc<AtomicUsize>,
+    },
+    /// Phase two: arm the tenant's releases. Each shard anchors them at
+    /// its **next local tick edge** (not the commit send instant): the
+    /// shard dispatches on a fixed tick grid, so an off-grid release
+    /// phase would delay every dispatch of the tenant by up to one tick
+    /// — enough to sink a deadline equal to the period.
+    Commit { tenant: TenantId },
+    /// Quiesce a tenant: cull its ready jobs, disarm its releases, drop
+    /// its pending tokens; in-flight jobs finish but fire no successors.
+    Retire { tenant: TenantId, at: Instant },
     /// Stop releasing periodic jobs.
     Stop,
     /// Drain and exit.
@@ -199,9 +228,21 @@ impl ShardedRuntimeBuilder {
     }
 }
 
+/// Tenant bookkeeping of a sharded runtime, held under one mutex so
+/// concurrent admissions serialise: the current merged task set (grows
+/// with each admission), the next tenant id, and the ids already
+/// retired (validated here because shard threads cannot reply).
+struct TenantState {
+    current: Arc<TaskSet>,
+    next_tenant: u32,
+    retired: Vec<TenantId>,
+}
+
 /// The running sharded middleware: per-core scheduler threads + workers.
 pub struct ShardedRuntime {
-    taskset: Arc<TaskSet>,
+    state: Mutex<TenantState>,
+    admission: AdmissionControl,
+    clock: Arc<MonotonicClock>,
     /// One control sender per shard (lane [`LANE_CONTROL`]); behind a
     /// mutex because mailbox lanes are single-producer while this handle
     /// is `&self`-shared.
@@ -238,6 +279,13 @@ impl ShardedRuntime {
         let cap = builder.config.max_pending_jobs();
         let waiting = builder.config.waiting();
         let n = shards.len();
+        let tick = shards
+            .first()
+            .map(EngineShard::tick_period)
+            .ok_or_else(|| {
+                Error::InvalidConfig("sharded runtime needs at least one worker".into())
+            })?;
+        let admission = AdmissionControl::new(builder.config.clone(), tick);
         let board = Arc::new(LoadBoard::new(n));
         let mut control = Vec::with_capacity(n);
         let mut schedulers = Vec::with_capacity(n);
@@ -287,7 +335,7 @@ impl ShardedRuntime {
                     .map_err(|e| Error::Os(format!("spawning worker {w}: {e}")))?,
             );
 
-            let bodies = builder.bodies.clone();
+            let shard_bodies = builder.bodies.clone();
             let sched_clock = Arc::clone(&clock);
             let links = PeerLinks {
                 txs: peers,
@@ -302,7 +350,7 @@ impl ShardedRuntime {
                         let _ = crate::os::pin_current_thread(core);
                         shard_scheduler_main(
                             shard,
-                            &bodies,
+                            shard_bodies,
                             to_worker,
                             mailbox_rx,
                             &sched_clock,
@@ -315,7 +363,13 @@ impl ShardedRuntime {
         }
 
         Ok(ShardedRuntime {
-            taskset: builder.taskset,
+            state: Mutex::new(TenantState {
+                current: builder.taskset,
+                next_tenant: 1,
+                retired: Vec::new(),
+            }),
+            admission,
+            clock,
             control: Mutex::new(control),
             schedulers,
             workers,
@@ -330,13 +384,137 @@ impl ShardedRuntime {
     /// [`Error::UnknownTask`] / [`Error::MissingPartition`] when the
     /// task does not exist or has no worker assignment.
     pub fn activate(&self, task: TaskId) -> Result<()> {
-        let t = self.taskset.task(task)?;
-        let w = t
-            .spec()
-            .assigned_worker()
-            .ok_or(Error::MissingPartition(task))?;
+        let w = {
+            let state = self.state.lock().expect("tenant state mutex poisoned");
+            state
+                .current
+                .task(task)?
+                .spec()
+                .assigned_worker()
+                .ok_or(Error::MissingPartition(task))?
+        };
         let mut control = self.control.lock().expect("control mutex poisoned");
         send_with_backoff(&mut control[w.index()], ShardMsg::Activate(task));
+        Ok(())
+    }
+
+    /// Admits a new tenant into the **running** sharded schedule.
+    ///
+    /// `candidate` is the tenant's task set declared in its own id
+    /// space; `bodies` maps its `(task, version)` pairs (candidate-local
+    /// ids) to executable bodies; `budget`, when given, caps the
+    /// tenant's share with a per-shard replica of its reservation server
+    /// — under partitioned scheduling the budget bounds the tenant **per
+    /// worker** (a tenant spanning `k` shards may consume up to `k ×`
+    /// capacity per period).
+    ///
+    /// The schedulability check ([`AdmissionControl::evaluate`] plus the
+    /// sharding contract, [`validate_sharding`]) runs on the **caller's**
+    /// thread — the paper's non-real-time admission path. An accepted
+    /// tenant is then spliced in **two phases** over the control lanes:
+    /// every shard first adopts the merged set with the new releases
+    /// disarmed and acknowledges, and only once all shards have
+    /// acknowledged is the commit broadcast that arms the releases. The
+    /// barrier guarantees a cross-shard DAG token of the new tenant can
+    /// never arrive at a shard that has not yet spliced. Existing
+    /// tenants' scheduling is untouched either way.
+    ///
+    /// Returns the assigned [`TenantId`] (use it with
+    /// [`ShardedRuntime::retire`]); the tenant's task ids are its
+    /// candidate ids offset by the number of tasks admitted before it.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Rejected`] names the violated analysis bound;
+    /// [`AdmissionError::Invalid`] covers malformed requests — missing
+    /// bodies, partition or sharding-contract violations (e.g. an
+    /// accelerator shared with another shard), a period off the running
+    /// tick, a degenerate budget.
+    pub fn admit(
+        &self,
+        candidate: &TaskSet,
+        bodies: HashMap<(TaskId, VersionId), TaskBody>,
+        budget: Option<TenantBudget>,
+    ) -> std::result::Result<TenantId, AdmissionError> {
+        let mut state = self.state.lock().expect("tenant state mutex poisoned");
+        check_candidate_bodies(candidate, &bodies)?;
+        let merged = self
+            .admission
+            .evaluate(&state.current, candidate, budget.as_ref())?;
+        validate_sharding(&merged, self.admission.config()).map_err(AdmissionError::Invalid)?;
+        let tenant = TenantId::new(state.next_tenant);
+        let offset = state.current.len() as u32;
+        let remapped: Arc<HashMap<(TaskId, VersionId), TaskBody>> = Arc::new(
+            bodies
+                .into_iter()
+                .map(|((t, v), b)| ((TaskId::new(offset + t.raw()), v), b))
+                .collect(),
+        );
+
+        // Phase 1: broadcast the splice and wait for every shard to
+        // acknowledge it.
+        let mut control = self.control.lock().expect("control mutex poisoned");
+        let ack = Arc::new(AtomicUsize::new(control.len()));
+        let at = self.clock.now();
+        for tx in control.iter_mut() {
+            send_with_backoff(
+                tx,
+                ShardMsg::Admit {
+                    taskset: Arc::clone(&merged),
+                    bodies: Arc::clone(&remapped),
+                    budget,
+                    at,
+                    ack: Arc::clone(&ack),
+                },
+            );
+        }
+        let mut backoff = Backoff::new();
+        while ack.load(Ordering::Acquire) != 0 {
+            backoff.snooze();
+        }
+
+        // Phase 2: every shard knows the tenant — arm its releases
+        // (each shard anchors them at its next local tick edge).
+        for tx in control.iter_mut() {
+            send_with_backoff(tx, ShardMsg::Commit { tenant });
+        }
+        drop(control);
+        state.current = merged;
+        state.next_tenant += 1;
+        Ok(tenant)
+    }
+
+    /// Retires an admitted tenant on every shard: its future releases
+    /// stop, its ready jobs are culled, its in-flight jobs finish
+    /// without firing successors, and racing cross-shard tokens are
+    /// dropped silently. Other tenants are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTenant`] / [`Error::TenantRetired`] for ids never
+    /// admitted or already retired; [`Error::InvalidConfig`] for tenant
+    /// 0 (the build-time set — use [`ShardedRuntime::stop`]).
+    pub fn retire(&self, tenant: TenantId) -> Result<()> {
+        let mut state = self.state.lock().expect("tenant state mutex poisoned");
+        if tenant.raw() == 0 {
+            return Err(Error::InvalidConfig(
+                "tenant 0 is the built-in task set; stop the schedule to end it".into(),
+            ));
+        }
+        if tenant.raw() >= state.next_tenant {
+            return Err(Error::UnknownTenant(tenant.raw()));
+        }
+        if state.retired.contains(&tenant) {
+            return Err(Error::TenantRetired(tenant.raw()));
+        }
+        let at = self.clock.now();
+        {
+            let mut control = self.control.lock().expect("control mutex poisoned");
+            for tx in control.iter_mut() {
+                send_with_backoff(tx, ShardMsg::Retire { tenant, at });
+            }
+        }
+        state.retired.push(tenant);
         Ok(())
     }
 
@@ -494,7 +672,7 @@ impl PeerLinks {
 #[allow(clippy::too_many_lines)]
 fn shard_scheduler_main(
     mut shard: EngineShard,
-    bodies: &HashMap<(TaskId, VersionId), TaskBody>,
+    mut bodies: HashMap<(TaskId, VersionId), TaskBody>,
     mut to_worker: spsc::Producer<WorkerMsg>,
     mut rx: MailboxReceiver<ShardMsg>,
     clock: &Arc<MonotonicClock>,
@@ -521,7 +699,11 @@ fn shard_scheduler_main(
     // Cross-shard DAG tokens drained from the shard outbox, reused.
     let mut outbox: Vec<RemoteActivation> = Vec::with_capacity(8);
     let mut last_done = Instant::ZERO;
-    let dispatch = |sink: &ActionSink, to_worker: &mut spsc::Producer<WorkerMsg>| {
+    // `bodies` is passed explicitly (not captured) because admission
+    // grows the map between rounds.
+    let dispatch = |sink: &ActionSink,
+                    to_worker: &mut spsc::Producer<WorkerMsg>,
+                    bodies: &HashMap<(TaskId, VersionId), TaskBody>| {
         for &a in sink.as_slice() {
             if let Action::Dispatch { job, version, .. } = a {
                 let body = Arc::clone(&bodies[&(job.task, version)]);
@@ -554,7 +736,7 @@ fn shard_scheduler_main(
     // overhead on the benchmarked dispatch path).
     macro_rules! settle_round {
         ($sink:expr) => {{
-            dispatch($sink, &mut to_worker);
+            dispatch($sink, &mut to_worker, &bodies);
             shard.drain_outbox_into(&mut outbox);
             for ra in outbox.drain(..) {
                 peers.send(
@@ -665,6 +847,43 @@ fn shard_scheduler_main(
                     settle_round!(&sink);
                 }
                 ShardMsg::StealDeny => pending_steal = None,
+                ShardMsg::Admit {
+                    taskset,
+                    bodies: tenant_bodies,
+                    budget,
+                    at,
+                    ack,
+                } => {
+                    // Control path: allocation here is fine, the tenant
+                    // is not running yet (see module docs of
+                    // `yasmin_sched::admission`).
+                    for (k, b) in tenant_bodies.iter() {
+                        bodies.insert(*k, Arc::clone(b));
+                    }
+                    shard
+                        .admit_tasks(taskset, budget, at)
+                        .expect("admission validated by the admitting thread");
+                    ack.fetch_sub(1, Ordering::AcqRel);
+                }
+                ShardMsg::Commit { tenant } => {
+                    sink.clear();
+                    // A commit racing a `stop()` is refused by the
+                    // engine (`ScheduleNotRunning`) — the schedule is
+                    // ending anyway, so the tenant simply never starts.
+                    if shard
+                        .commit_tenant_anchored_into(tenant, next_tick, clock.now(), &mut sink)
+                        .is_ok()
+                    {
+                        settle_round!(&sink);
+                    }
+                }
+                ShardMsg::Retire { tenant, at } => {
+                    sink.clear();
+                    shard
+                        .retire_tenant_into(tenant, at, &mut sink)
+                        .expect("retirement validated by the retiring thread");
+                    settle_round!(&sink);
+                }
                 ShardMsg::Stop => shard.stop(),
                 ShardMsg::Shutdown => shutting_down = true,
             }
@@ -1043,6 +1262,130 @@ mod tests {
             ),
             "at least one heavy job ran on the idle worker"
         );
+    }
+
+    /// A candidate tenant in its own id space: one periodic task on
+    /// `worker` with the given period/WCET, plus its body map.
+    fn candidate(
+        period_ms: u64,
+        wcet: Duration,
+        worker: u16,
+        counter: &Arc<AtomicU32>,
+    ) -> (TaskSet, HashMap<(TaskId, VersionId), TaskBody>) {
+        let mut b = TaskSetBuilder::new();
+        let t = b
+            .task_decl(TaskSpec::periodic("tenant", ms(period_ms)).on_worker(WorkerId::new(worker)))
+            .unwrap();
+        let v = b.version_decl(t, VersionSpec::new("v", wcet)).unwrap();
+        let c = Arc::clone(counter);
+        let mut bodies: HashMap<(TaskId, VersionId), TaskBody> = HashMap::new();
+        bodies.insert(
+            (t, v),
+            Arc::new(move |_: &JobCtx| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        (b.build().unwrap(), bodies)
+    }
+
+    #[test]
+    fn tenant_admitted_into_running_schedule_executes_and_retires() {
+        let mut b = TaskSetBuilder::new();
+        let base = b
+            .task_decl(TaskSpec::periodic("base", ms(5)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        let vb = b
+            .version_decl(base, VersionSpec::new("v", Duration::from_micros(50)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let base_count = Arc::new(AtomicU32::new(0));
+        let bc = Arc::clone(&base_count);
+        let rt = ShardedRuntimeBuilder::new(ts, sharded_config(2))
+            .body(base, vb, move |_| {
+                bc.fetch_add(1, Ordering::SeqCst);
+            })
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+
+        let tenant_count = Arc::new(AtomicU32::new(0));
+        let (cand, bodies) = candidate(5, Duration::from_micros(50), 1, &tenant_count);
+        let tenant = rt
+            .admit(&cand, bodies, Some(TenantBudget::deferrable(ms(2), ms(5))))
+            .unwrap();
+        assert_eq!(tenant.raw(), 1);
+
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let before_retire = tenant_count.load(Ordering::SeqCst);
+        assert!(before_retire >= 4, "tenant only ran {before_retire} jobs");
+        rt.retire(tenant).unwrap();
+        assert!(
+            matches!(rt.retire(tenant), Err(Error::TenantRetired(_))),
+            "double retire must be refused"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let after = tenant_count.load(Ordering::SeqCst);
+        // At most the in-flight job finishes after the retire.
+        assert!(
+            after <= before_retire + 1,
+            "tenant kept running after retirement ({before_retire} -> {after})"
+        );
+        rt.stop();
+        let report = rt.cleanup();
+
+        // The tenant's task occupies the merged suffix: base set has one
+        // task, so the tenant's task is T1, pinned to worker 1.
+        let merged_id = TaskId::new(1);
+        let tenant_recs: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.job.task == merged_id)
+            .collect();
+        assert_eq!(tenant_recs.len() as u32, after);
+        for r in &tenant_recs {
+            assert!(!r.missed(), "admitted tenant missed a deadline");
+            assert_eq!(r.worker, WorkerId::new(1));
+        }
+        // The build-time tenant ran throughout.
+        assert!(base_count.load(Ordering::SeqCst) >= 10);
+    }
+
+    #[test]
+    fn overloaded_tenant_is_rejected_with_the_violated_bound() {
+        use yasmin_sched::BoundViolation;
+        let mut b = TaskSetBuilder::new();
+        let base = b
+            .task_decl(TaskSpec::periodic("base", ms(5)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        let vb = b
+            .version_decl(base, VersionSpec::new("v", Duration::from_micros(50)))
+            .unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let rt = ShardedRuntimeBuilder::new(ts, sharded_config(2))
+            .body(base, vb, |_| {})
+            .build()
+            .unwrap();
+
+        // 12ms of work every 10ms on worker 1: density 1.2 > 1.
+        let noop = Arc::new(AtomicU32::new(0));
+        let (cand, bodies) = candidate(10, ms(12), 1, &noop);
+        match rt.admit(&cand, bodies, None) {
+            Err(AdmissionError::Rejected(BoundViolation::WorkerOverload { worker, density })) => {
+                assert_eq!(worker, WorkerId::new(1));
+                assert!(density > 1.0);
+            }
+            other => panic!("expected worker-overload rejection, got {other:?}"),
+        }
+        // A missing body is caught before any shard hears of the tenant.
+        let (cand, _) = candidate(10, ms(1), 1, &noop);
+        assert!(matches!(
+            rt.admit(&cand, HashMap::new(), None),
+            Err(AdmissionError::Invalid(_))
+        ));
+        rt.stop();
+        let report = rt.cleanup();
+        assert_eq!(noop.load(Ordering::SeqCst), 0, "rejected tenant never ran");
+        assert!(report.records.iter().all(|r| r.job.task == base));
     }
 
     #[test]

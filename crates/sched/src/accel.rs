@@ -51,6 +51,15 @@ impl AccelManager {
         }
     }
 
+    /// Grows the manager to `count` accelerators (no-op if already that
+    /// large), preserving all held state — used when on-line admission
+    /// splices a tenant that declares its own accelerators.
+    pub fn grow_to(&mut self, count: usize) {
+        if count > self.states.len() {
+            self.states.resize(count, AccelState { holder: None });
+        }
+    }
+
     /// `true` if `accel` is currently free.
     #[must_use]
     pub fn is_free(&self, accel: AccelId) -> bool {

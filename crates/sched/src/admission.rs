@@ -1,0 +1,797 @@
+//! On-line admission control: multi-tenant serving for a running
+//! schedule.
+//!
+//! The paper fixes the task set before `yas_start` ("it is only possible
+//! to alter the task set while the schedule is not running", §3.1). A
+//! middleware serving many independent applications cannot stop the
+//! world to take one more on board, so this module adds the missing
+//! piece: an arriving *tenant* — an independently-declared
+//! [`TaskSet`] — is schedulability-checked against the live
+//! system with the `yasmin_analysis` bounds, and only on acceptance is
+//! it spliced into the running engine(s). Rejections are structured: the
+//! caller learns *which* analysis bound failed and by how much
+//! ([`BoundViolation`]), not just "no".
+//!
+//! # Tenancy model
+//!
+//! **A tenant is a task-set namespace.** Each tenant declares its tasks,
+//! versions, accelerators and channels against its own id space starting
+//! at zero, exactly as if it were the only application. At admission the
+//! tenant's set is appended to the live set with
+//! [`TaskSet::extended`]: every pre-existing id is unchanged, and the
+//! tenant's ids are offset into the merged space (its `T0` becomes
+//! `T<n>` where `n` was the live task count). Consequences:
+//!
+//! * **Isolation by construction** — no edges ever cross tenants, so a
+//!   tenant's DAG tokens, joins and completions cannot touch another
+//!   tenant's activation state. Accelerators are likewise *not* shared
+//!   across tenants: a tenant wanting a GPU declares its own, which maps
+//!   to its own arbitration slot.
+//! * **Ids are stable for the lifetime of the schedule** — admission is
+//!   append-only and retirement *tombstones* a tenant (marks its range
+//!   retired) rather than compacting ids. A retired tenant's memory is
+//!   reclaimed only when the schedule itself ends; this is the price of
+//!   letting the hot path index dense per-task vectors without
+//!   indirection.
+//! * **Tenant 0 is the task set the engine was built with.** It is never
+//!   budgeted and cannot be retired (stop the schedule instead).
+//!
+//! **Budgets.** An admitted tenant may carry a [`TenantBudget`], which
+//! the engine turns into a [`ReservationServer`]
+//! (a deferrable/polling server in the Ghazalie & Baker sense, anchored
+//! at the admission instant). Every dispatch of one of the tenant's jobs
+//! charges the *selected version's WCET* against the server,
+//! all-or-nothing: a job that does not fit in the remaining budget is
+//! deferred to a later dispatch round — never dropped — and counted in
+//! [`EngineStats::budget_deferrals`]. Charges
+//! are not refunded on early completion, so the reservation is
+//! conservative. Under sharded scheduling each shard holds its own
+//! replica of the server: the budget is then a *per-worker* guarantee,
+//! and a tenant spanning `k` shards may consume up to `k × capacity`
+//! per period in total.
+//!
+//! # The admission state machine
+//!
+//! ```text
+//!            evaluate()                 splice                commit
+//! Arriving ─────────────▶ Checked ─────────────▶ Spliced ─────────────▶ Committed
+//!     │                                                                    │
+//!     │ BoundViolation                                                     │ retire
+//!     ▼                                                                    ▼
+//! Rejected (structured refusal)                                         Retired
+//! ```
+//!
+//! * **Checked** — [`AdmissionControl::evaluate`] ran the analysis on
+//!   the *merged* set (live + candidate) on the caller's thread. This is
+//!   deliberately a non-real-time operation: the RTA fixed points, DAG
+//!   bounds and demand tests allocate and iterate, so drivers run them
+//!   on an admission thread, never on a scheduler thread.
+//! * **Spliced** — every engine (the single [`OnlineEngine`], or each
+//!   [`EngineShard`](crate::shard::EngineShard)) adopted the merged set
+//!   via [`OnlineEngine::splice_taskset`] with the tenant's releases
+//!   still disarmed. In the sharded runtime the splice command travels
+//!   the same per-shard control mailbox lane as every other command, so
+//!   it serialises with the hot path instead of locking it.
+//! * **Committed** — [`OnlineEngine::commit_tenant_into`] armed the
+//!   tenant's periodic roots. Two-phase matters under sharding: commit
+//!   is sent only after *every* shard acknowledged its splice, so no
+//!   shard can complete a tenant job and route a cross-shard token to a
+//!   shard that has never heard of the edge.
+//! * **Retired** — [`OnlineEngine::retire_tenant_into`] quiesced the
+//!   tenant: future releases disarmed, ready jobs culled, pending DAG
+//!   tokens dropped, late cross-shard tokens silently discarded.
+//!   In-flight jobs finish normally (their completions are the tenant's
+//!   last trace) but fire no successors.
+//!
+//! # What is (and is not) guaranteed during splice-in
+//!
+//! * Existing tenants' scheduling is **bit-identical** to a run without
+//!   the admission until the commit instant, and unperturbed after it
+//!   as long as the admission test held (the deterministic-simulator
+//!   parity test asserts the partitioned case exactly).
+//! * The new tenant's first release is **exact in nominal time** —
+//!   `release anchor + release_offset` — but its *dispatch* happens at
+//!   the engine's tick granularity, and the tick is **fixed at build
+//!   time** (gcd of the initial periods, §3.3). The engine therefore
+//!   refuses tenants whose periods are not multiples of the running
+//!   tick, rather than silently drifting their releases. The release
+//!   anchor is the commit instant for exact event-driven drivers (the
+//!   simulator); a driver dispatching on a fixed tick grid (the thread
+//!   runtimes) instead anchors at its **next tick edge**
+//!   ([`OnlineEngine::commit_tenant_anchored_into`]), because an
+//!   off-grid release phase would delay every dispatch of the tenant by
+//!   up to one tick — enough to sink a deadline equal to the period.
+//! * Admission analysis assumes worst-case (largest) version WCETs
+//!   ([`WcetAssumption::MaxVersion`]); run-time version selection can
+//!   only do better.
+//! * Splicing allocates (the engine's dense vectors grow). Admission is
+//!   a control-path event; the steady state between admissions stays
+//!   allocation-free, which `tests/zero_alloc.rs` asserts with a
+//!   counting allocator.
+//!
+//! [`EngineStats::budget_deferrals`]: crate::engine::EngineStats::budget_deferrals
+//! [`TaskSet::extended`]: yasmin_core::graph::TaskSet::extended
+
+use crate::engine::OnlineEngine;
+use crate::server::{ReservationServer, TenantBudget};
+use std::fmt;
+use std::sync::Arc;
+use yasmin_analysis::rta::partitioned_response_times;
+use yasmin_analysis::util::wcet_of;
+use yasmin_analysis::{
+    dag_meets_deadline, edf_schedulable, gfb_global_edf_test, graham_bound, max_utilisation,
+    response_times, response_times_blocking, total_utilisation, ResponseTime, WcetAssumption,
+};
+use yasmin_core::config::{Config, MappingScheme};
+use yasmin_core::error::Error;
+use yasmin_core::graph::TaskSet;
+use yasmin_core::ids::{TaskId, TenantId, WorkerId};
+use yasmin_core::time::{Duration, Instant};
+
+/// Float-comparison slack for utilisation/density sums.
+const EPS: f64 = 1e-9;
+
+/// The analysis bound a rejected tenant violated, with the numbers that
+/// failed it — the structured half of the refusal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundViolation {
+    /// Total utilisation exceeds the platform capacity (`m` processors,
+    /// or 1 for a single core / one partition).
+    TotalUtilisation {
+        /// Achieved `Σ C_i / T_i` of the merged set.
+        total: f64,
+        /// The capacity it must not exceed.
+        capacity: f64,
+    },
+    /// The GFB sufficient test for global EDF failed:
+    /// `U > m − (m−1)·U_max`.
+    GfbDensity {
+        /// Total utilisation of the merged set.
+        total: f64,
+        /// The GFB bound `m − (m−1)·U_max` it exceeded.
+        bound: f64,
+    },
+    /// The EDF processor-demand criterion found an interval whose demand
+    /// exceeds its length (single core).
+    EdfDemand {
+        /// Total utilisation of the merged set (≤ 1, or the failure
+        /// would be [`BoundViolation::TotalUtilisation`]).
+        total: f64,
+    },
+    /// Response-time analysis proved a task misses its deadline.
+    TaskUnschedulable {
+        /// The offending task (merged id space).
+        task: TaskId,
+        /// Its computed WCRT; `None` if the fixed point diverged past
+        /// the deadline.
+        wcrt: Option<Duration>,
+        /// The deadline it misses.
+        deadline: Duration,
+    },
+    /// One partition's density `Σ C_i / min(D_i, T_i)` exceeds its core
+    /// (partitioned EDF).
+    WorkerOverload {
+        /// The overloaded worker.
+        worker: WorkerId,
+        /// Its density.
+        density: f64,
+    },
+    /// Graham's bound proves a DAG cannot meet its graph deadline on the
+    /// platform.
+    DagDeadline {
+        /// The DAG's root (merged id space).
+        root: TaskId,
+        /// The Graham makespan bound.
+        bound: Duration,
+        /// The graph deadline it exceeds.
+        deadline: Duration,
+    },
+    /// The requested [`TenantBudget`] reserves less bandwidth than the
+    /// tenant's own tasks demand — the reservation would starve the
+    /// tenant it protects.
+    BudgetInsufficient {
+        /// The tenant's task utilisation `Σ C_i / T_i`.
+        tenant_utilisation: f64,
+        /// The budget's utilisation `capacity / period`.
+        budget_utilisation: f64,
+    },
+}
+
+impl fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundViolation::TotalUtilisation { total, capacity } => {
+                write!(
+                    f,
+                    "total utilisation {total:.4} exceeds capacity {capacity:.4}"
+                )
+            }
+            BoundViolation::GfbDensity { total, bound } => {
+                write!(f, "global-EDF GFB test failed: U = {total:.4} > {bound:.4}")
+            }
+            BoundViolation::EdfDemand { total } => {
+                write!(f, "EDF demand bound exceeded (U = {total:.4})")
+            }
+            BoundViolation::TaskUnschedulable {
+                task,
+                wcrt,
+                deadline,
+            } => match wcrt {
+                Some(r) => write!(f, "task {task} WCRT {r:?} exceeds deadline {deadline:?}"),
+                None => write!(f, "task {task} RTA diverged past deadline {deadline:?}"),
+            },
+            BoundViolation::WorkerOverload { worker, density } => {
+                write!(f, "worker {worker} density {density:.4} exceeds 1")
+            }
+            BoundViolation::DagDeadline {
+                root,
+                bound,
+                deadline,
+            } => write!(
+                f,
+                "DAG rooted at {root}: Graham bound {bound:?} exceeds deadline {deadline:?}"
+            ),
+            BoundViolation::BudgetInsufficient {
+                tenant_utilisation,
+                budget_utilisation,
+            } => write!(
+                f,
+                "budget utilisation {budget_utilisation:.4} is below the tenant's \
+                 task utilisation {tenant_utilisation:.4}"
+            ),
+        }
+    }
+}
+
+/// Why an admission request did not go through: a schedulability
+/// refusal carrying the violated bound, or a malformed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The analysis rejected the tenant; the system keeps its current
+    /// guarantees and the candidate is not spliced.
+    Rejected(BoundViolation),
+    /// The request itself is invalid (partition violations, incompatible
+    /// tick, missing bodies, id overflow, …) — admission never reached
+    /// the analysis.
+    Invalid(Error),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Rejected(v) => write!(f, "tenant rejected: {v}"),
+            AdmissionError::Invalid(e) => write!(f, "admission request invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+impl From<Error> for AdmissionError {
+    fn from(e: Error) -> Self {
+        AdmissionError::Invalid(e)
+    }
+}
+
+impl From<AdmissionError> for Error {
+    fn from(e: AdmissionError) -> Self {
+        match e {
+            AdmissionError::Rejected(v) => Error::AdmissionRejected(v.to_string()),
+            AdmissionError::Invalid(inner) => inner,
+        }
+    }
+}
+
+/// The admission-time schedulability gate.
+///
+/// Holds the scheduling [`Config`] and the running engine's (fixed)
+/// tick, and evaluates candidate tenants against the live task set. The
+/// test battery follows the configuration:
+///
+/// | mapping | priorities | test |
+/// |---|---|---|
+/// | partitioned (incl. sharded) | static (RM/DM/user) | per-partition RTA (`partitioned_response_times`) |
+/// | partitioned (incl. sharded) | EDF | per-partition density `Σ C/min(D,T) ≤ 1` |
+/// | global, 1 worker | static | RTA, with the PIP blocking term when accelerators are declared |
+/// | global, 1 worker | EDF | utilisation + processor-demand criterion |
+/// | global, m workers | EDF | `U ≤ m` + the GFB test `U ≤ m − (m−1)·U_max` |
+/// | global, m workers | static | refused — no sound test is implemented |
+///
+/// On top of the mapping test, every multi-task DAG of the candidate
+/// with a finite graph deadline must pass Graham's bound on the
+/// configured worker count, and a [`TenantBudget`], when requested,
+/// must cover the tenant's own utilisation.
+///
+/// All tests assume [`WcetAssumption::MaxVersion`] — the largest WCET
+/// over each task's versions — so run-time multi-version selection can
+/// only improve on the admitted guarantees.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    config: Config,
+    tick: Duration,
+}
+
+impl AdmissionControl {
+    /// An admission gate for a system running under `config` with the
+    /// scheduler tick `tick` (see
+    /// [`OnlineEngine::tick_period`]).
+    #[must_use]
+    pub fn new(config: Config, tick: Duration) -> Self {
+        AdmissionControl { config, tick }
+    }
+
+    /// Convenience constructor reading both from a live engine.
+    #[must_use]
+    pub fn for_engine(engine: &OnlineEngine) -> Self {
+        AdmissionControl::new(engine.config().clone(), engine.tick_period())
+    }
+
+    /// The configuration this gate admits against.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The running scheduler tick admitted periods must divide into.
+    #[must_use]
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Evaluates admitting `candidate` (a tenant declared in its own id
+    /// space) into the live set `current`, with an optional budget
+    /// request. Returns the merged task set — ready for
+    /// [`OnlineEngine::splice_taskset`] — on acceptance.
+    ///
+    /// Runs on the caller's thread and allocates freely: call it from an
+    /// admission thread, never a scheduler thread.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Invalid`] for malformed requests (empty
+    /// candidate, partition violations, a period that is not a multiple
+    /// of the running tick, degenerate budget);
+    /// [`AdmissionError::Rejected`] with the violated
+    /// [`BoundViolation`] when the analysis fails.
+    pub fn evaluate(
+        &self,
+        current: &TaskSet,
+        candidate: &TaskSet,
+        budget: Option<&TenantBudget>,
+    ) -> Result<Arc<TaskSet>, AdmissionError> {
+        if candidate.is_empty() {
+            return Err(AdmissionError::Invalid(Error::InvalidConfig(
+                "candidate tenant declares no tasks".into(),
+            )));
+        }
+        if let Some(b) = budget {
+            if b.capacity.is_zero() || b.period.is_zero() || b.capacity > b.period {
+                return Err(AdmissionError::Invalid(Error::InvalidConfig(
+                    "tenant budget needs 0 < capacity <= period".into(),
+                )));
+            }
+        }
+        let workers = self.config.workers();
+        if self.config.mapping() == MappingScheme::Partitioned {
+            for t in candidate.tasks() {
+                match t.spec().assigned_worker() {
+                    None => return Err(AdmissionError::Invalid(Error::MissingPartition(t.id()))),
+                    Some(w) if w.index() >= workers => {
+                        return Err(AdmissionError::Invalid(Error::UnknownWorker(w)))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for t in candidate.tasks() {
+            if t.spec().kind().is_recurring()
+                && t.spec().period().as_nanos() % self.tick.as_nanos() != 0
+            {
+                return Err(AdmissionError::Invalid(Error::InvalidConfig(format!(
+                    "tenant task {} period {:?} is not a multiple of the running tick {:?}",
+                    t.id(),
+                    t.spec().period(),
+                    self.tick
+                ))));
+            }
+        }
+
+        let merged = Arc::new(current.extended(candidate)?);
+        let a = WcetAssumption::MaxVersion;
+
+        if let Some(b) = budget {
+            let tenant_util = total_utilisation(candidate, a);
+            if tenant_util > b.utilisation() + EPS {
+                return Err(AdmissionError::Rejected(
+                    BoundViolation::BudgetInsufficient {
+                        tenant_utilisation: tenant_util,
+                        budget_utilisation: b.utilisation(),
+                    },
+                ));
+            }
+        }
+
+        match (self.config.mapping(), self.config.priority().is_static()) {
+            (MappingScheme::Partitioned, true) => {
+                self.check_partitioned_static(&merged, a)?;
+            }
+            (MappingScheme::Partitioned, false) => {
+                self.check_partitioned_edf(&merged, a)?;
+            }
+            (MappingScheme::Global, is_static) => {
+                self.check_global(&merged, is_static, a)?;
+            }
+        }
+        self.check_dags(&merged, current.len(), a)?;
+        Ok(merged)
+    }
+
+    fn check_partitioned_static(
+        &self,
+        merged: &TaskSet,
+        a: WcetAssumption,
+    ) -> Result<(), AdmissionError> {
+        let results =
+            partitioned_response_times(merged, self.config.workers(), self.config.priority(), a);
+        for (_, r) in results {
+            if !r.schedulable() {
+                return Err(AdmissionError::Rejected(reject_rta(&r)));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_partitioned_edf(
+        &self,
+        merged: &TaskSet,
+        a: WcetAssumption,
+    ) -> Result<(), AdmissionError> {
+        for w in 0..self.config.workers() {
+            let mut density = 0.0;
+            for t in merged.tasks() {
+                if t.spec().assigned_worker().map(WorkerId::index) != Some(w) {
+                    continue;
+                }
+                let c = wcet_of(merged, t.id(), a).as_nanos() as f64;
+                let d = merged.effective_deadline(t.id());
+                let denom = match merged.effective_period(t.id()) {
+                    Some(p) if d < p => d,
+                    Some(p) => p,
+                    None => d,
+                };
+                if denom == Duration::MAX || denom.is_zero() {
+                    continue; // aperiodic & unconstrained: no recurring demand
+                }
+                density += c / denom.as_nanos() as f64;
+            }
+            if density > 1.0 + EPS {
+                return Err(AdmissionError::Rejected(BoundViolation::WorkerOverload {
+                    worker: WorkerId::new(w as u16),
+                    density,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_global(
+        &self,
+        merged: &TaskSet,
+        is_static: bool,
+        a: WcetAssumption,
+    ) -> Result<(), AdmissionError> {
+        let m = self.config.workers();
+        let total = total_utilisation(merged, a);
+        if is_static {
+            if m > 1 {
+                return Err(AdmissionError::Invalid(Error::InvalidConfig(
+                    "no admission test implemented for global static priorities on \
+                     multiple workers"
+                        .into(),
+                )));
+            }
+            let results = if merged.accels().is_empty() {
+                response_times(merged, self.config.priority(), a)
+            } else {
+                response_times_blocking(merged, self.config.priority(), a)
+            };
+            for r in &results {
+                if !r.schedulable() {
+                    return Err(AdmissionError::Rejected(reject_rta(r)));
+                }
+            }
+            return Ok(());
+        }
+        if total > m as f64 + EPS {
+            return Err(AdmissionError::Rejected(BoundViolation::TotalUtilisation {
+                total,
+                capacity: m as f64,
+            }));
+        }
+        if m == 1 {
+            if !edf_schedulable(merged, a) {
+                return Err(AdmissionError::Rejected(BoundViolation::EdfDemand {
+                    total,
+                }));
+            }
+        } else if !gfb_global_edf_test(merged, m, a) {
+            let bound = m as f64 - (m as f64 - 1.0) * max_utilisation(merged, a);
+            return Err(AdmissionError::Rejected(BoundViolation::GfbDensity {
+                total,
+                bound,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Graham's bound for every multi-task DAG of the candidate (the
+    /// merged suffix starting at `first_new`) with a finite graph
+    /// deadline.
+    fn check_dags(
+        &self,
+        merged: &TaskSet,
+        first_new: usize,
+        a: WcetAssumption,
+    ) -> Result<(), AdmissionError> {
+        let m = self.config.workers();
+        for t in &merged.tasks()[first_new..] {
+            let id = t.id();
+            if merged.in_degree(id) != 0 || merged.out_edges(id).next().is_none() {
+                continue; // not a DAG root, or a singleton task
+            }
+            let deadline = merged.effective_deadline(id);
+            if deadline == Duration::MAX {
+                continue;
+            }
+            if !dag_meets_deadline(merged, id, m, a) {
+                return Err(AdmissionError::Rejected(BoundViolation::DagDeadline {
+                    root: id,
+                    bound: graham_bound(merged, id, m, a),
+                    deadline,
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn reject_rta(r: &ResponseTime) -> BoundViolation {
+    BoundViolation::TaskUnschedulable {
+        task: r.task,
+        wcrt: r.wcrt,
+        deadline: r.deadline,
+    }
+}
+
+/// Builds the [`ReservationServer`] for an accepted admission: tagged
+/// with the tenant id the splice will assign, replenishing from the
+/// admission instant.
+#[must_use]
+pub fn reservation_for(
+    tenant: TenantId,
+    budget: Option<TenantBudget>,
+    now: Instant,
+) -> Option<ReservationServer> {
+    budget.map(|b| ReservationServer::new(tenant, b, now))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::OnlineEngine;
+    use crate::server::ServerKind;
+    use crate::sink::ActionSink;
+    use yasmin_core::config::Config;
+    use yasmin_core::graph::TaskSetBuilder;
+    use yasmin_core::priority::PriorityPolicy;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::version::VersionSpec;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// One periodic task `name` with WCET `wcet_ms` every `period_ms`,
+    /// optionally partitioned onto `worker`.
+    fn set(name: &str, wcet_ms: u64, period_ms: u64, worker: Option<u16>) -> TaskSet {
+        let mut b = TaskSetBuilder::new();
+        let mut spec = TaskSpec::periodic(name, ms(period_ms));
+        if let Some(w) = worker {
+            spec = spec.on_worker(WorkerId::new(w));
+        }
+        let t = b.task_decl(spec).unwrap();
+        b.version_decl(t, VersionSpec::new("v0", ms(wcet_ms)))
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    fn edf(workers: usize) -> Config {
+        Config::builder()
+            .workers(workers)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn feasible_tenant_accepted_and_merged() {
+        let live = set("base", 2, 10, None);
+        let tenant = set("guest", 2, 10, None);
+        let ctl = AdmissionControl::new(edf(1), ms(10));
+        let merged = ctl.evaluate(&live, &tenant, None).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.tasks()[1].spec().name(), "guest");
+    }
+
+    #[test]
+    fn overload_rejected_with_utilisation_bound() {
+        let live = set("base", 6, 10, None);
+        let tenant = set("hog", 6, 10, None);
+        let ctl = AdmissionControl::new(edf(1), ms(2));
+        match ctl.evaluate(&live, &tenant, None) {
+            Err(AdmissionError::Rejected(BoundViolation::TotalUtilisation { total, capacity })) => {
+                assert!((total - 1.2).abs() < 1e-9, "total = {total}");
+                assert!((capacity - 1.0).abs() < 1e-12);
+            }
+            other => panic!("expected utilisation rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gfb_failure_names_the_bound() {
+        // Two heavy tasks + newcomer: U = 2.4 on m = 3 passes U <= m but
+        // fails GFB with U_max = 0.8: bound = 3 - 2*0.8 = 1.4.
+        let mut b = TaskSetBuilder::new();
+        for name in ["a", "b"] {
+            let t = b.task_decl(TaskSpec::periodic(name, ms(10))).unwrap();
+            b.version_decl(t, VersionSpec::new("v0", ms(8))).unwrap();
+        }
+        let live = b.build().unwrap();
+        let tenant = set("c", 8, 10, None);
+        let ctl = AdmissionControl::new(edf(3), ms(10));
+        match ctl.evaluate(&live, &tenant, None) {
+            Err(AdmissionError::Rejected(BoundViolation::GfbDensity { total, bound })) => {
+                assert!((total - 2.4).abs() < 1e-9);
+                assert!((bound - 1.4).abs() < 1e-9);
+            }
+            other => panic!("expected GFB rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitioned_rta_rejects_the_failing_task() {
+        let cfg = Config::builder()
+            .workers(2)
+            .mapping(MappingScheme::Partitioned)
+            .priority(PriorityPolicy::RateMonotonic)
+            .build()
+            .unwrap();
+        let live = set("base", 4, 10, Some(0));
+        // The tenant lands on the same worker and cannot fit: 4 + 8 > 10.
+        let tenant = set("guest", 8, 10, Some(0));
+        let ctl = AdmissionControl::new(cfg.clone(), ms(10));
+        match ctl.evaluate(&live, &tenant, None) {
+            Err(AdmissionError::Rejected(BoundViolation::TaskUnschedulable { task, .. })) => {
+                assert_eq!(task, TaskId::new(1), "merged id of the tenant task");
+            }
+            other => panic!("expected RTA rejection, got {other:?}"),
+        }
+        // On the free worker it is accepted.
+        let tenant_ok = set("guest", 8, 10, Some(1));
+        assert!(ctl.evaluate(&live, &tenant_ok, None).is_ok());
+    }
+
+    #[test]
+    fn partitioned_edf_overload_names_the_worker() {
+        let cfg = Config::builder()
+            .workers(2)
+            .mapping(MappingScheme::Partitioned)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .build()
+            .unwrap();
+        let live = set("base", 5, 10, Some(1));
+        let tenant = set("guest", 7, 10, Some(1));
+        let ctl = AdmissionControl::new(cfg, ms(10));
+        match ctl.evaluate(&live, &tenant, None) {
+            Err(AdmissionError::Rejected(BoundViolation::WorkerOverload { worker, density })) => {
+                assert_eq!(worker, WorkerId::new(1));
+                assert!((density - 1.2).abs() < 1e-9);
+            }
+            other => panic!("expected worker overload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insufficient_budget_rejected() {
+        let live = set("base", 1, 10, None);
+        let tenant = set("guest", 4, 10, None); // needs 0.4
+        let budget = TenantBudget {
+            kind: ServerKind::Deferrable,
+            capacity: ms(2),
+            period: ms(10), // grants only 0.2
+        };
+        let ctl = AdmissionControl::new(edf(1), ms(10));
+        match ctl.evaluate(&live, &tenant, Some(&budget)) {
+            Err(AdmissionError::Rejected(BoundViolation::BudgetInsufficient {
+                tenant_utilisation,
+                budget_utilisation,
+            })) => {
+                assert!((tenant_utilisation - 0.4).abs() < 1e-9);
+                assert!((budget_utilisation - 0.2).abs() < 1e-9);
+            }
+            other => panic!("expected budget rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tick_incompatible_period_is_invalid_not_rejected() {
+        let live = set("base", 1, 10, None);
+        let tenant = set("guest", 1, 15, None);
+        let ctl = AdmissionControl::new(edf(1), ms(10));
+        assert!(matches!(
+            ctl.evaluate(&live, &tenant, None),
+            Err(AdmissionError::Invalid(Error::InvalidConfig(_)))
+        ));
+    }
+
+    #[test]
+    fn violation_renders_via_core_error() {
+        let v = BoundViolation::TotalUtilisation {
+            total: 1.25,
+            capacity: 1.0,
+        };
+        let e: Error = AdmissionError::Rejected(v).into();
+        let msg = e.to_string();
+        assert!(msg.contains("admission rejected"), "{msg}");
+        assert!(msg.contains("1.25"), "{msg}");
+    }
+
+    /// End-to-end through a live engine: evaluate → splice → commit →
+    /// run → retire.
+    #[test]
+    fn engine_splice_commit_retire_round_trip() {
+        let live = Arc::new(set("base", 2, 10, None));
+        let config = edf(1);
+        let mut engine = OnlineEngine::new(Arc::clone(&live), config).unwrap();
+        let mut sink = ActionSink::new();
+        let t0 = Instant::ZERO;
+        engine.start_into(t0, &mut sink).unwrap();
+
+        let tenant_set = set("guest", 2, 10, None);
+        let ctl = AdmissionControl::for_engine(&engine);
+        let budget = TenantBudget::deferrable(ms(5), ms(10));
+        let merged = ctl
+            .evaluate(engine.taskset(), &tenant_set, Some(&budget))
+            .unwrap();
+        let tenant = TenantId::new(engine.tenant_count() as u32);
+        let server = reservation_for(tenant, Some(budget), t0);
+        let got = engine.splice_taskset(Arc::clone(&merged), server).unwrap();
+        assert_eq!(got, tenant);
+        assert!(engine.tenant_server(tenant).is_some());
+
+        sink.clear();
+        engine.commit_tenant_into(tenant, t0, &mut sink).unwrap();
+        // Both the base and the guest task release at t0; one worker, so
+        // one dispatch and one job left ready.
+        assert_eq!(engine.ready_len(), 1);
+
+        engine.retire_tenant_into(tenant, t0, &mut sink).unwrap();
+        assert!(engine.is_tenant_retired(tenant).unwrap());
+        assert!(engine.is_task_retired(TaskId::new(1)));
+        // Late activation is refused with the structured error.
+        sink.clear();
+        assert!(matches!(
+            engine.activate_into(TaskId::new(1), t0, &mut sink),
+            Err(Error::TenantRetired(1))
+        ));
+        // Double retire is an error; tenant 0 cannot be retired.
+        assert!(matches!(
+            engine.retire_tenant_into(tenant, t0, &mut sink),
+            Err(Error::TenantRetired(1))
+        ));
+        assert!(matches!(
+            engine.retire_tenant_into(TenantId::new(0), t0, &mut sink),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+}

@@ -23,13 +23,14 @@ use crate::accel::AccelManager;
 use crate::job::Job;
 use crate::queue::ReadyQueue;
 use crate::select::{rank_versions_into, RankBuf};
+use crate::server::ReservationServer;
 use crate::sink::ActionSink;
 use std::sync::Arc;
 use yasmin_core::config::{Config, MappingScheme, SelectCtx, VersionPolicy};
 use yasmin_core::energy::BatteryLevel;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
-use yasmin_core::ids::{AccelId, JobId, TaskId, VersionId, WorkerId};
+use yasmin_core::ids::{AccelId, JobId, TaskId, TenantId, VersionId, WorkerId};
 use yasmin_core::priority::{Priority, PriorityPolicy};
 use yasmin_core::task::ActivationKind;
 use yasmin_core::time::{Duration, Instant};
@@ -111,9 +112,16 @@ pub struct EngineStats {
     /// DAG activation tokens routed to a foreign shard through the
     /// outbox instead of fired locally (cross-shard edges).
     pub cross_activations: u64,
-    /// Ready jobs culled at a tick because their absolute deadline had
-    /// already passed ([`yasmin_core::config::Config::cull_missed`]).
+    /// Ready jobs culled — either at a tick because their absolute
+    /// deadline had already passed
+    /// ([`yasmin_core::config::Config::cull_missed`]), or because their
+    /// tenant was retired while they waited
+    /// ([`OnlineEngine::retire_tenant_into`]).
     pub culled: u64,
+    /// Dispatch attempts deferred because the job's tenant had exhausted
+    /// its [`ReservationServer`] budget for the current replenishment
+    /// period (the job stays ready and retries on later rounds).
+    pub budget_deferrals: u64,
 }
 
 impl EngineStats {
@@ -136,7 +144,31 @@ impl EngineStats {
         self.donated += other.donated;
         self.cross_activations += other.cross_activations;
         self.culled += other.culled;
+        self.budget_deferrals += other.budget_deferrals;
     }
+}
+
+/// Per-tenant bookkeeping: the contiguous id ranges a tenant occupies in
+/// the (append-only) merged task set, its lifecycle flags, and its
+/// optional processor-time reservation.
+#[derive(Debug)]
+struct TenantEntry {
+    /// First task index of the tenant's contiguous range.
+    first_task: u32,
+    /// Number of tasks in the range.
+    task_count: u32,
+    /// First edge index of the tenant's contiguous range.
+    first_edge: u32,
+    /// Number of edges in the range.
+    edge_count: u32,
+    /// Releases armed ([`OnlineEngine::commit_tenant_into`] ran).
+    committed: bool,
+    /// Tenant torn down: future releases culled, activations refused,
+    /// DAG tokens dropped.
+    retired: bool,
+    /// The tenant's budget; `None` (tenant 0, or an unbudgeted admission)
+    /// means dispatches are never charged.
+    server: Option<ReservationServer>,
 }
 
 /// A DAG activation token addressed to a foreign shard: the completion
@@ -267,6 +299,12 @@ pub struct OnlineEngine {
     /// steal probe (run after every engine interaction in the sharded
     /// runtime) never scans version specs.
     task_accel_bound: Vec<bool>,
+    /// The tenants admitted into this engine, in admission order.
+    /// Entry 0 is always the task set the engine was built with.
+    tenants: Vec<TenantEntry>,
+    /// Dense per-task owning tenant (raw [`TenantId`]), so the dispatch
+    /// and token paths resolve tenancy without a range search.
+    tenant_of: Vec<u32>,
     /// `Some(w)`: this engine is the *shard* owning only worker `w`
     /// (partitioned mapping). It holds exactly one queue and one running
     /// slot, releases only tasks assigned to `w`, and still reports the
@@ -449,6 +487,16 @@ impl OnlineEngine {
                 .iter()
                 .map(|t| t.versions().iter().any(|v| v.accel().is_some()))
                 .collect(),
+            tenants: vec![TenantEntry {
+                first_task: 0,
+                task_count: n as u32,
+                first_edge: 0,
+                edge_count: taskset.edges().len() as u32,
+                committed: true,
+                retired: false,
+                server: None,
+            }],
+            tenant_of: vec![0; n],
             queues,
             running: vec![None; n_slots],
             shard,
@@ -488,6 +536,13 @@ impl OnlineEngine {
     #[must_use]
     pub fn taskset(&self) -> &TaskSet {
         &self.taskset
+    }
+
+    /// A shared handle to the task set — what admission control extends
+    /// to build a merged set without cloning the live one.
+    #[must_use]
+    pub fn taskset_arc(&self) -> Arc<TaskSet> {
+        Arc::clone(&self.taskset)
     }
 
     /// The configuration in force.
@@ -641,6 +696,336 @@ impl OnlineEngine {
         self.next_wake = Instant::MAX;
     }
 
+    /// Number of tenants ever admitted (including the built-in tenant 0
+    /// and any since retired).
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The tenant owning `task`, `None` for an unknown task.
+    #[must_use]
+    pub fn tenant_of_task(&self, task: TaskId) -> Option<TenantId> {
+        self.tenant_of.get(task.index()).map(|&n| TenantId::new(n))
+    }
+
+    /// `true` when `task` belongs to a retired tenant (`false` for
+    /// unknown tasks).
+    #[must_use]
+    pub fn is_task_retired(&self, task: TaskId) -> bool {
+        self.tenant_of
+            .get(task.index())
+            .is_some_and(|&n| self.tenants[n as usize].retired)
+    }
+
+    /// `true` when `tenant` has been retired.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTenant`] for an id never admitted.
+    pub fn is_tenant_retired(&self, tenant: TenantId) -> Result<bool> {
+        self.tenants
+            .get(tenant.index())
+            .map(|e| e.retired)
+            .ok_or(Error::UnknownTenant(tenant.raw()))
+    }
+
+    /// The reservation server of `tenant`, `None` when the tenant is
+    /// unbudgeted (or unknown).
+    #[must_use]
+    pub fn tenant_server(&self, tenant: TenantId) -> Option<&ReservationServer> {
+        self.tenants.get(tenant.index())?.server.as_ref()
+    }
+
+    /// Splices an admitted tenant into the live engine — phase one of
+    /// the two-phase admission described in `yasmin_sched::admission`.
+    ///
+    /// `merged` must be [`TaskSet::extended`] of this engine's current
+    /// task set with the tenant's set: every existing id is unchanged
+    /// and the tenant occupies the appended suffix. The engine adopts
+    /// `merged` and extends every per-task/per-edge structure exactly as
+    /// construction would have initialised it, with all of the new
+    /// tasks' releases **disarmed** (`Instant::MAX`): after splicing,
+    /// the engine knows the tenant's tasks and edges (so cross-shard
+    /// tokens for them resolve) but releases nothing of it until
+    /// [`OnlineEngine::commit_tenant_into`].
+    ///
+    /// `server`, if provided, must be tagged with the [`TenantId`] this
+    /// splice assigns (the current [`OnlineEngine::tenant_count`]).
+    ///
+    /// The splice itself allocates (vector growth, rank-cache entries)
+    /// — admission is a control-path operation; the post-splice steady
+    /// state stays allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if `merged` is not an append-only
+    /// extension of the current set, adds no tasks, has a recurring
+    /// period that is not a multiple of the engine tick (admitted
+    /// tenants cannot re-derive the tick of a running scheduler), or a
+    /// mis-tagged server; [`Error::MissingPartition`] /
+    /// [`Error::UnknownWorker`] for partition violations.
+    pub fn splice_taskset(
+        &mut self,
+        merged: Arc<TaskSet>,
+        server: Option<ReservationServer>,
+    ) -> Result<TenantId> {
+        let n0 = self.taskset.len();
+        let n1 = merged.len();
+        let e0 = self.taskset.edges().len();
+        let e1 = merged.edges().len();
+        if n1 <= n0 {
+            return Err(Error::InvalidConfig("tenant splice adds no tasks".into()));
+        }
+        if e1 < e0
+            || merged.edges()[..e0] != self.taskset.edges()[..e0]
+            || merged.accels().len() < self.taskset.accels().len()
+            || merged.channels().len() < self.taskset.channels().len()
+        {
+            return Err(Error::InvalidConfig(
+                "tenant splice must extend the current task set append-only".into(),
+            ));
+        }
+        let tenant = TenantId::new(self.tenants.len() as u32);
+        if let Some(s) = &server {
+            if s.tenant() != tenant {
+                return Err(Error::InvalidConfig(format!(
+                    "reservation server tagged {} but splice assigns {tenant}",
+                    s.tenant()
+                )));
+            }
+        }
+        let workers = self.config.workers();
+        for t in &merged.tasks()[n0..] {
+            if self.config.mapping() == MappingScheme::Partitioned {
+                match t.spec().assigned_worker() {
+                    None => return Err(Error::MissingPartition(t.id())),
+                    Some(w) if w.index() >= workers => return Err(Error::UnknownWorker(w)),
+                    Some(_) => {}
+                }
+            }
+            if t.spec().kind().is_recurring() {
+                let p = t.spec().period();
+                if p.as_nanos() % self.tick.as_nanos() != 0 {
+                    return Err(Error::InvalidConfig(format!(
+                        "tenant task {} period {p:?} is not a multiple of the engine tick \
+                         {:?} (the tick is fixed when the schedule starts)",
+                        t.id(),
+                        self.tick
+                    )));
+                }
+            }
+        }
+
+        for t in &merged.tasks()[n0..] {
+            let id = t.id();
+            self.next_release.push(Instant::MAX);
+            self.period.push(t.spec().period());
+            self.rel_deadline.push(merged.effective_deadline(id));
+            self.queue_of
+                .push(match (self.shard, self.config.mapping()) {
+                    (Some(_), _) | (None, MappingScheme::Global) => 0,
+                    (None, MappingScheme::Partitioned) => {
+                        t.spec().assigned_worker().expect("validated above").index() as u32
+                    }
+                });
+            self.last_activation.push(None);
+            self.activation_seq.push(0);
+            self.static_priority.push(Self::static_priority_of(
+                &merged,
+                self.config.priority(),
+                id,
+            ));
+            self.rank_cache.push(RankEntry {
+                valid: false,
+                ids: Vec::with_capacity(t.versions().len()),
+            });
+            self.task_worker
+                .push(t.spec().assigned_worker().map_or(u16::MAX, WorkerId::raw));
+            self.task_accel_bound
+                .push(t.versions().iter().any(|v| v.accel().is_some()));
+            self.out_edges.push(Vec::new());
+            self.in_edges.push(Vec::new());
+            self.tenant_of.push(tenant.raw());
+        }
+        for (i, e) in merged.edges().iter().enumerate().skip(e0) {
+            self.out_edges[e.src.index()].push(i);
+            self.in_edges[e.dst.index()].push(i);
+            self.tokens.push(0);
+            self.token_release.push(Vec::new());
+        }
+        self.accels.grow_to(merged.accels().len());
+        let max_versions = merged
+            .tasks()
+            .iter()
+            .map(|t| t.versions().len())
+            .max()
+            .unwrap_or(0);
+        self.rank_buf = RankBuf::with_capacity(max_versions);
+        // Re-reserve the hot-path scratch so post-splice steady state
+        // stays allocation-free even when the tenant widened the graph.
+        self.successor_buf.reserve(n1);
+        self.wish_buf.reserve(merged.accels().len());
+        if self.shard.is_some() {
+            self.outbox.reserve(e1);
+        }
+        self.taskset = merged;
+        self.tenants.push(TenantEntry {
+            first_task: n0 as u32,
+            task_count: (n1 - n0) as u32,
+            first_edge: e0 as u32,
+            edge_count: (e1 - e0) as u32,
+            committed: false,
+            retired: false,
+            server,
+        });
+        Ok(tenant)
+    }
+
+    /// Arms a spliced tenant's releases — phase two of admission. Every
+    /// periodic root the engine owns gets its first release at
+    /// `now + release_offset` (release instants are exact; dispatch
+    /// happens at the engine's fixed tick granularity), and a release
+    /// round runs immediately, so zero-offset tenants start at the
+    /// commit instant.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTenant`], [`Error::TenantRetired`],
+    /// [`Error::ScheduleNotRunning`] if the engine is not started, or
+    /// [`Error::InvalidConfig`] for a double commit.
+    pub fn commit_tenant_into(
+        &mut self,
+        tenant: TenantId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.commit_tenant_anchored_into(tenant, now, now, sink)
+    }
+
+    /// [`OnlineEngine::commit_tenant_into`] with the release anchor
+    /// decoupled from the release round: first releases land at
+    /// `anchor + release_offset` while the immediate release round runs
+    /// at `now`.
+    ///
+    /// A driver dispatching on a fixed tick grid (the thread runtimes)
+    /// passes its **next tick edge** as `anchor`: the tenant's release
+    /// train then coincides with dispatch edges, so admitted jobs start
+    /// at their nominal releases and the admitted deadlines hold exactly
+    /// as analysed. Anchoring at an off-grid instant instead would delay
+    /// every dispatch of the tenant by the phase difference — up to one
+    /// full tick, enough to sink a deadline equal to the period. Exact
+    /// event-driven drivers (the simulator) anchor at `now` via
+    /// [`OnlineEngine::commit_tenant_into`].
+    ///
+    /// `anchor < now` is allowed; the round at `now` releases anything
+    /// already due.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::commit_tenant_into`].
+    pub fn commit_tenant_anchored_into(
+        &mut self,
+        tenant: TenantId,
+        anchor: Instant,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        if !self.started || self.stopping {
+            return Err(Error::ScheduleNotRunning);
+        }
+        let entry = self
+            .tenants
+            .get_mut(tenant.index())
+            .ok_or(Error::UnknownTenant(tenant.raw()))?;
+        if entry.retired {
+            return Err(Error::TenantRetired(tenant.raw()));
+        }
+        if entry.committed {
+            return Err(Error::InvalidConfig(format!(
+                "tenant {tenant} is already committed"
+            )));
+        }
+        entry.committed = true;
+        let range = entry.first_task as usize..(entry.first_task + entry.task_count) as usize;
+        for i in range {
+            let id = TaskId::new(i as u32);
+            if !self.owns_task(id) {
+                continue;
+            }
+            let t = &self.taskset.tasks()[i];
+            if self.taskset.in_degree(id) == 0 && t.spec().kind() == ActivationKind::Periodic {
+                let r = anchor + t.spec().release_offset();
+                self.next_release[i] = r;
+                self.next_wake = self.next_wake.min(r);
+            }
+        }
+        self.on_tick_into(now, sink);
+        Ok(())
+    }
+
+    /// Quiesces a tenant: disarms its future releases, culls its ready
+    /// jobs (counted in [`EngineStats::culled`]), drops its pending DAG
+    /// tokens, and marks it retired so late activations and in-flight
+    /// cross-shard tokens are refused or silently dropped. Jobs of the
+    /// tenant already *running* are not interrupted — they complete
+    /// normally (and are the last of the tenant to be accounted), they
+    /// just no longer fire successors. Other tenants are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTenant`]; [`Error::TenantRetired`] on a double
+    /// retire; [`Error::InvalidConfig`] for tenant 0 (the built-in task
+    /// set cannot be retired — stop the schedule instead).
+    pub fn retire_tenant_into(
+        &mut self,
+        tenant: TenantId,
+        _now: Instant,
+        _sink: &mut ActionSink,
+    ) -> Result<()> {
+        if tenant.index() == 0 {
+            return Err(Error::InvalidConfig(
+                "tenant 0 is the built-in task set; stop the schedule to end it".into(),
+            ));
+        }
+        let entry = self
+            .tenants
+            .get_mut(tenant.index())
+            .ok_or(Error::UnknownTenant(tenant.raw()))?;
+        if entry.retired {
+            return Err(Error::TenantRetired(tenant.raw()));
+        }
+        entry.retired = true;
+        let tasks = entry.first_task as usize..(entry.first_task + entry.task_count) as usize;
+        let edges = entry.first_edge as usize..(entry.first_edge + entry.edge_count) as usize;
+        for i in tasks {
+            self.next_release[i] = Instant::MAX;
+        }
+        for i in edges {
+            self.tokens[i] = 0;
+            self.token_release[i].clear();
+        }
+        let raw = tenant.raw();
+        let mut expired = std::mem::take(&mut self.cull_buf);
+        for qi in 0..self.queues.len() {
+            expired.clear();
+            expired.extend(
+                self.queues[qi]
+                    .iter()
+                    .filter(|j| self.tenant_of[j.task.index()] == raw)
+                    .map(|j| j.id),
+            );
+            for &id in &expired {
+                if self.queues[qi].remove(id).is_some() {
+                    self.stats.culled += 1;
+                }
+            }
+        }
+        expired.clear();
+        self.cull_buf = expired;
+        Ok(())
+    }
+
     /// One scheduler-thread activation at time `now`: releases every
     /// periodic job due by `now`, then dispatches/preempts.
     ///
@@ -733,6 +1118,9 @@ impl OnlineEngine {
         sink: &mut ActionSink,
     ) -> Result<()> {
         let t = self.taskset.task(task)?;
+        if self.is_task_retired(task) {
+            return Err(Error::TenantRetired(self.tenant_of[task.index()]));
+        }
         if !self.owns_task(task) {
             return Err(Error::InvalidConfig(format!(
                 "task {task} is not assigned to this engine shard"
@@ -1012,6 +1400,12 @@ impl OnlineEngine {
     /// *stolen* job completing on a thief shard stays consistent (the
     /// thief fires only the edges whose destinations it owns).
     fn fire_successors(&mut self, task: TaskId, graph_release: Instant) {
+        // A retired tenant's in-flight jobs complete but activate
+        // nothing: edges never cross tenants, so skipping the whole
+        // fan-out (local tokens *and* outbox entries) is exact.
+        if self.tenants[self.tenant_of[task.index()] as usize].retired {
+            return;
+        }
         let mut successors = std::mem::take(&mut self.successor_buf);
         successors.clear();
         for k in 0..self.out_edges[task.index()].len() {
@@ -1095,6 +1489,12 @@ impl OnlineEngine {
             )));
         }
         let dst = self.taskset.edges()[i].dst;
+        // A token racing a tenant retirement (sent before the source
+        // shard learned of it) is silently dropped, not a protocol
+        // error.
+        if self.is_task_retired(dst) {
+            return Ok(());
+        }
         if !self.owns_task(dst) {
             return Err(Error::InvalidConfig(format!(
                 "remote token for edge {edge} routed to a shard not owning {dst}"
@@ -1122,6 +1522,10 @@ impl OnlineEngine {
     }
 
     fn release_job(&mut self, task: TaskId, release: Instant, graph_release: Instant) {
+        debug_assert!(
+            !self.is_task_retired(task),
+            "released a job of retired-tenant task {task}"
+        );
         let seq = self.activation_seq[task.index()];
         self.activation_seq[task.index()] += 1;
         self.last_activation[task.index()] = Some(release);
@@ -1296,16 +1700,35 @@ impl OnlineEngine {
         }
     }
 
-    fn dispatch_round(&mut self, _now: Instant, actions: &mut ActionSink) {
+    /// Charges the dispatch of `job` with `version` against its
+    /// tenant's reservation server, if any. All-or-nothing on the
+    /// selected version's WCET; `false` defers the job to a later round
+    /// (counted in [`EngineStats::budget_deferrals`]).
+    #[inline]
+    fn charge_budget(&mut self, job: &Job, version: VersionId, now: Instant) -> bool {
+        let tenant = self.tenant_of[job.task.index()] as usize;
+        let Some(server) = self.tenants[tenant].server.as_mut() else {
+            return true;
+        };
+        let wcet = self.taskset.tasks()[job.task.index()].versions()[version.index()].wcet();
+        if server.try_charge(now, wcet) {
+            true
+        } else {
+            self.stats.budget_deferrals += 1;
+            false
+        }
+    }
+
+    fn dispatch_round(&mut self, now: Instant, actions: &mut ActionSink) {
         for qi in 0..self.queues.len() {
-            self.fill_idle_workers(qi, actions);
+            self.fill_idle_workers(qi, now, actions);
             if self.config.preemption() {
-                self.preempt_round(qi, actions);
+                self.preempt_round(qi, now, actions);
             }
         }
     }
 
-    fn fill_idle_workers(&mut self, qi: usize, actions: &mut ActionSink) {
+    fn fill_idle_workers(&mut self, qi: usize, now: Instant, actions: &mut ActionSink) {
         let mut blocked = std::mem::take(&mut self.blocked_buf);
         blocked.clear();
         loop {
@@ -1316,6 +1739,10 @@ impl OnlineEngine {
             };
             match self.choose_version(job.task) {
                 VersionChoice::Run(v, a) => {
+                    if !self.charge_budget(&job, v, now) {
+                        blocked.push(job);
+                        continue;
+                    }
                     let worker = self.worker_of_slot(w);
                     self.start_job(worker, job, v, a, actions);
                 }
@@ -1337,7 +1764,7 @@ impl OnlineEngine {
         self.blocked_buf = blocked;
     }
 
-    fn preempt_round(&mut self, qi: usize, actions: &mut ActionSink) {
+    fn preempt_round(&mut self, qi: usize, now: Instant, actions: &mut ActionSink) {
         let mut blocked = std::mem::take(&mut self.blocked_buf);
         blocked.clear();
         // The no-preempt fast path compares priorities only, through the
@@ -1365,6 +1792,10 @@ impl OnlineEngine {
             match self.choose_version(top.task) {
                 VersionChoice::Run(v, a) => {
                     let job = self.queues[qi].pop().expect("peeked job present");
+                    if !self.charge_budget(&job, v, now) {
+                        blocked.push(job);
+                        continue;
+                    }
                     let mut old = self.running[w].take().expect("victim present").job;
                     old.preempted = true;
                     let worker = self.worker_of_slot(w);

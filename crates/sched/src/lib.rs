@@ -19,12 +19,17 @@
 //! * [`offline`] — off-line table synthesis, validation, and the run-time
 //!   dispatcher (§3.4, Fig. 1c);
 //! * [`server`] — polling/deferrable aperiodic servers (the paper's §7
-//!   future-work item, implemented).
+//!   future-work item, implemented), plus per-tenant reservation
+//!   servers backing admission budgets;
+//! * [`admission`] — on-line admission control: schedulability-checks an
+//!   arriving tenant against the live set and produces the merged task
+//!   set to splice into a running engine, with structured refusals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accel;
+pub mod admission;
 pub mod engine;
 pub mod job;
 pub mod offline;
@@ -35,6 +40,7 @@ pub mod shard;
 pub mod sink;
 
 pub use accel::AccelManager;
+pub use admission::{AdmissionControl, AdmissionError, BoundViolation};
 pub use engine::{Action, EngineStats, OnlineEngine, RemoteActivation, RunningJob, StealHint};
 pub use job::Job;
 pub use offline::{
@@ -42,6 +48,6 @@ pub use offline::{
 };
 pub use queue::ReadyQueue;
 pub use select::{rank_versions, rank_versions_into, RankBuf};
-pub use server::{AperiodicServer, ServerKind};
+pub use server::{AperiodicServer, ReservationServer, ServerKind, TenantBudget};
 pub use shard::{validate_sharding, EngineShard, ShardCmd};
 pub use sink::ActionSink;

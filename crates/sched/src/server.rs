@@ -17,7 +17,14 @@
 //! tracks replenishments. This composes with the engine by modelling the
 //! server as a periodic task whose job "body" serves the aperiodic
 //! queue.
+//!
+//! [`ReservationServer`] builds on the same accounting to give an
+//! *admitted tenant* (see `yasmin_sched::admission`) a processor-time
+//! reservation: every dispatch of one of the tenant's jobs is charged
+//! against the server, and a tenant whose budget is exhausted has its
+//! jobs deferred — not dropped — until the next replenishment.
 
+use yasmin_core::ids::TenantId;
 use yasmin_core::time::{Duration, Instant};
 
 /// Which replenishment discipline the server follows.
@@ -50,6 +57,19 @@ impl AperiodicServer {
     /// Panics if `capacity` or `period` is zero, or `capacity > period`.
     #[must_use]
     pub fn new(kind: ServerKind, capacity: Duration, period: Duration) -> Self {
+        AperiodicServer::new_at(kind, capacity, period, Instant::ZERO)
+    }
+
+    /// Creates a server whose replenishment schedule is anchored at
+    /// `start` (first replenishment at `start + period`). On-line
+    /// admission uses this so a tenant admitted mid-run replenishes
+    /// relative to its admission instant, not the schedule epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `period` is zero, or `capacity > period`.
+    #[must_use]
+    pub fn new_at(kind: ServerKind, capacity: Duration, period: Duration, start: Instant) -> Self {
         assert!(!capacity.is_zero(), "server capacity must be positive");
         assert!(!period.is_zero(), "server period must be positive");
         assert!(capacity <= period, "capacity cannot exceed the period");
@@ -58,7 +78,7 @@ impl AperiodicServer {
             capacity,
             period,
             budget: capacity,
-            next_replenish: Instant::ZERO + period,
+            next_replenish: start + period,
             served: Duration::ZERO,
             replenishments: 0,
         }
@@ -145,6 +165,129 @@ impl AperiodicServer {
     }
 }
 
+/// The processor-time reservation requested for a tenant at admission.
+///
+/// Budget semantics (see `yasmin_sched::admission` for the full tenancy
+/// model): the engine charges the *selected version's WCET* against the
+/// tenant's [`ReservationServer`] when a job is dispatched. The charge is
+/// all-or-nothing — a job whose full WCET does not fit in the remaining
+/// budget is deferred to a later dispatch round instead of running with a
+/// partial reservation. Charges are never refunded when a job finishes
+/// early, so the reservation is conservative. Under sharded scheduling
+/// every shard holds its own replica of the server, making the budget a
+/// *per-worker* reservation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantBudget {
+    /// Replenishment discipline ([`ServerKind::Deferrable`] is the usual
+    /// choice — budget persists until consumed).
+    pub kind: ServerKind,
+    /// Processor time granted per replenishment period.
+    pub capacity: Duration,
+    /// Replenishment period (also the utilisation the tenant's server
+    /// contributes to admission analysis: `capacity / period`).
+    pub period: Duration,
+}
+
+impl TenantBudget {
+    /// A deferrable reservation of `capacity` every `period`.
+    #[must_use]
+    pub fn deferrable(capacity: Duration, period: Duration) -> Self {
+        TenantBudget {
+            kind: ServerKind::Deferrable,
+            capacity,
+            period,
+        }
+    }
+
+    /// The server utilisation `capacity / period` this budget folds into
+    /// schedulability analysis.
+    #[must_use]
+    pub fn utilisation(&self) -> f64 {
+        self.capacity.as_nanos() as f64 / self.period.as_nanos() as f64
+    }
+}
+
+/// A per-tenant reservation server: [`AperiodicServer`] accounting tagged
+/// with the owning [`TenantId`] and an all-or-nothing charge interface
+/// used by the engine's dispatch path.
+#[derive(Clone, Debug)]
+pub struct ReservationServer {
+    tenant: TenantId,
+    server: AperiodicServer,
+    deferrals: u64,
+}
+
+impl ReservationServer {
+    /// Creates the reservation for `tenant` from its admitted `budget`,
+    /// with the replenishment schedule anchored at `start` (the admission
+    /// instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-capacity/period budget or `capacity > period`
+    /// (admission validates budgets before constructing servers).
+    #[must_use]
+    pub fn new(tenant: TenantId, budget: TenantBudget, start: Instant) -> Self {
+        ReservationServer {
+            tenant,
+            server: AperiodicServer::new_at(budget.kind, budget.capacity, budget.period, start),
+            deferrals: 0,
+        }
+    }
+
+    /// The tenant this reservation belongs to.
+    #[must_use]
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The budget replenished each period.
+    #[must_use]
+    pub fn capacity(&self) -> Duration {
+        self.server.capacity()
+    }
+
+    /// The replenishment period.
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        self.server.period()
+    }
+
+    /// The reservation's utilisation `C_s / T_s`.
+    #[must_use]
+    pub fn utilisation(&self) -> f64 {
+        self.server.utilisation()
+    }
+
+    /// Charges `demand` (a dispatched job's selected-version WCET)
+    /// against the budget at `now`. All-or-nothing: returns `true` and
+    /// consumes `demand` if it fits in the budget available at `now`,
+    /// otherwise consumes nothing, counts a deferral and returns `false`
+    /// (the engine requeues the job for a later round).
+    pub fn try_charge(&mut self, now: Instant, demand: Duration) -> bool {
+        if self.server.available_at(now) >= demand {
+            let granted = self.server.serve(now, demand);
+            debug_assert_eq!(granted, demand);
+            true
+        } else {
+            self.deferrals += 1;
+            false
+        }
+    }
+
+    /// Total processor time charged so far.
+    #[must_use]
+    pub fn total_charged(&self) -> Duration {
+        self.server.total_served()
+    }
+
+    /// How many dispatch attempts were deferred for lack of budget.
+    #[must_use]
+    pub fn deferral_count(&self) -> u64 {
+        self.deferrals
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +355,33 @@ mod tests {
     #[should_panic(expected = "capacity cannot exceed")]
     fn capacity_over_period_rejected() {
         let _ = AperiodicServer::new(ServerKind::Polling, ms(11), ms(10));
+    }
+
+    #[test]
+    fn anchored_server_replenishes_from_start() {
+        let mut s = AperiodicServer::new_at(ServerKind::Deferrable, ms(2), ms(10), at(25));
+        let _ = s.serve(at(26), ms(2));
+        assert_eq!(s.available_at(at(34)), Duration::ZERO);
+        // First replenishment at 25 + 10 = 35, not at 30.
+        assert_eq!(s.available_at(at(35)), ms(2));
+    }
+
+    #[test]
+    fn reservation_charge_is_all_or_nothing() {
+        let budget = TenantBudget::deferrable(ms(3), ms(10));
+        assert!((budget.utilisation() - 0.3).abs() < 1e-12);
+        let mut r = ReservationServer::new(TenantId::new(1), budget, at(0));
+        assert_eq!(r.tenant(), TenantId::new(1));
+        assert!(r.try_charge(at(1), ms(2)));
+        // 1ms left: a 2ms demand must consume nothing.
+        assert!(!r.try_charge(at(2), ms(2)));
+        assert_eq!(r.deferral_count(), 1);
+        assert!(
+            r.try_charge(at(3), ms(1)),
+            "untouched remainder still serves"
+        );
+        // Replenished for the next period.
+        assert!(r.try_charge(at(10), ms(3)));
+        assert_eq!(r.total_charged(), ms(6));
     }
 }

@@ -61,12 +61,13 @@
 
 use crate::engine::{EngineStats, OnlineEngine, RemoteActivation, RunningJob, StealHint};
 use crate::job::Job;
+use crate::server::{ReservationServer, TenantBudget};
 use crate::sink::ActionSink;
 use std::sync::Arc;
 use yasmin_core::config::{Config, MappingScheme};
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
-use yasmin_core::ids::{JobId, TaskId, WorkerId};
+use yasmin_core::ids::{JobId, TaskId, TenantId, WorkerId};
 use yasmin_core::time::{Duration, Instant};
 use yasmin_core::version::ExecMode;
 
@@ -74,8 +75,21 @@ use yasmin_core::version::ExecMode;
 ///
 /// Each variant carries the (driver-supplied) time it takes effect, so a
 /// shard owner can drain several producers and process commands in a
-/// deterministic time order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// deterministic time order (see `yasmin_sim::par` for the protocol
+/// loop that exploits this, and the sharded runtime in `yasmin-rt` for
+/// the free-running equivalent).
+///
+/// Commands travel three kinds of mailbox lanes: the *worker* lane
+/// (completions), the *control* lane (ticks, stop, admission) and
+/// *peer* lanes (cross-shard tokens and steal traffic). The admission
+/// variants ([`ShardCmd::AdmitTasks`] / [`ShardCmd::CommitTenant`] /
+/// [`ShardCmd::RetireTenant`]) are control-lane commands: rare,
+/// allocation-tolerant, and ordered with the ticks around them.
+///
+/// Not `Copy`: [`ShardCmd::AdmitTasks`] carries the merged task set by
+/// `Arc`, which every shard must adopt *by reference* (the whole point
+/// of splicing is that shards share one immutable merged set).
+#[derive(Debug, Clone)]
 pub enum ShardCmd {
     /// Explicit activation of a sporadic/aperiodic task owned by the
     /// shard (the paper's `yas_task_activate`).
@@ -134,6 +148,45 @@ pub enum ShardCmd {
         /// Refusal time.
         at: Instant,
     },
+    /// Phase one of a two-phase tenant admission: adopt the merged task
+    /// set produced by `yasmin_sched::admission` with the new tenant's
+    /// releases still **disarmed** (see
+    /// [`OnlineEngine::splice_taskset`]). The driver broadcasts this to
+    /// every shard and must wait for all of them to apply it before
+    /// sending [`ShardCmd::CommitTenant`] — otherwise a committed
+    /// shard could complete a tenant job and route a cross-shard token
+    /// to a shard that has never heard of the edge.
+    AdmitTasks {
+        /// The merged (live + tenant) task set, shared across shards.
+        taskset: Arc<TaskSet>,
+        /// The tenant's budget; each shard instantiates its own
+        /// [`ReservationServer`] replica anchored at `at`, so the
+        /// budget is a per-worker guarantee under sharding.
+        budget: Option<TenantBudget>,
+        /// Admission time (anchors budget replenishment).
+        at: Instant,
+    },
+    /// Phase two of a tenant admission: arm the tenant's periodic
+    /// releases at `at` (see [`OnlineEngine::commit_tenant_into`]).
+    /// Safe to send only after every shard applied the matching
+    /// [`ShardCmd::AdmitTasks`].
+    CommitTenant {
+        /// The tenant assigned by the splice.
+        tenant: TenantId,
+        /// Commit instant — the tenant's release origin.
+        at: Instant,
+    },
+    /// Quiesce a tenant: disarm future releases, cull its ready jobs,
+    /// drop its pending DAG tokens; in-flight jobs finish but fire no
+    /// successors (see [`OnlineEngine::retire_tenant_into`]). Racing
+    /// cross-shard tokens for a retired tenant are discarded silently,
+    /// so shards may retire in any order.
+    RetireTenant {
+        /// The tenant to retire (tenant 0 is refused).
+        tenant: TenantId,
+        /// Retirement time.
+        at: Instant,
+    },
     /// Stop releasing periodic jobs; in-flight work drains.
     Stop,
 }
@@ -150,7 +203,10 @@ impl ShardCmd {
             | ShardCmd::CrossActivate { at, .. }
             | ShardCmd::StealRequest { at, .. }
             | ShardCmd::Stolen { at, .. }
-            | ShardCmd::StealDeny { at } => Some(at),
+            | ShardCmd::StealDeny { at }
+            | ShardCmd::AdmitTasks { at, .. }
+            | ShardCmd::CommitTenant { at, .. }
+            | ShardCmd::RetireTenant { at, .. } => Some(at),
             ShardCmd::Stop => None,
         }
     }
@@ -275,6 +331,17 @@ impl EngineShard {
             } => self.engine.on_remote_token(edge, graph_release, at, sink),
             ShardCmd::Stolen { job, at } => self.engine.adopt_stolen(job, at, sink),
             ShardCmd::StealDeny { .. } => Ok(()),
+            ShardCmd::AdmitTasks {
+                taskset,
+                budget,
+                at,
+            } => self.admit_tasks(taskset, budget, at).map(|_| ()),
+            ShardCmd::CommitTenant { tenant, at } => {
+                self.engine.commit_tenant_into(tenant, at, sink)
+            }
+            ShardCmd::RetireTenant { tenant, at } => {
+                self.engine.retire_tenant_into(tenant, at, sink)
+            }
             ShardCmd::StealRequest { thief, .. } => Err(Error::InvalidConfig(format!(
                 "StealRequest from {thief} reached process_into: the driver must \
                  answer steal requests itself (try_steal/release_stolen)"
@@ -420,6 +487,85 @@ impl EngineShard {
     /// As [`OnlineEngine::adopt_stolen`].
     pub fn adopt_stolen(&mut self, job: Job, now: Instant, sink: &mut ActionSink) -> Result<()> {
         self.engine.adopt_stolen(job, now, sink)
+    }
+
+    /// Phase one of a tenant admission on this shard: adopts `merged`
+    /// (releases disarmed) and, when a budget is requested, builds this
+    /// shard's own [`ReservationServer`] replica anchored at `at`.
+    /// Returns the tenant id the splice assigned — identical on every
+    /// shard, since all of them splice the same merged set in the same
+    /// admission order.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::splice_taskset`] — the merged set must be an
+    /// append-only extension of the shard's current set, with every new
+    /// task partitioned and every new period a multiple of the tick.
+    pub fn admit_tasks(
+        &mut self,
+        merged: Arc<TaskSet>,
+        budget: Option<TenantBudget>,
+        at: Instant,
+    ) -> Result<TenantId> {
+        let tenant = TenantId::new(self.engine.tenant_count() as u32);
+        let server = budget.map(|b| ReservationServer::new(tenant, b, at));
+        self.engine.splice_taskset(merged, server)
+    }
+
+    /// Phase two of a tenant admission: arms the tenant's releases; see
+    /// [`OnlineEngine::commit_tenant_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::commit_tenant_into`].
+    pub fn commit_tenant_into(
+        &mut self,
+        tenant: TenantId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.engine.commit_tenant_into(tenant, now, sink)
+    }
+
+    /// Phase two with the release anchor pinned to this shard's tick
+    /// grid; see [`OnlineEngine::commit_tenant_anchored_into`]. The
+    /// sharded thread runtime passes its next local tick edge so the
+    /// tenant's releases coincide with dispatch edges.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::commit_tenant_into`].
+    pub fn commit_tenant_anchored_into(
+        &mut self,
+        tenant: TenantId,
+        anchor: Instant,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.engine
+            .commit_tenant_anchored_into(tenant, anchor, now, sink)
+    }
+
+    /// Quiesces a tenant on this shard; see
+    /// [`OnlineEngine::retire_tenant_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::retire_tenant_into`].
+    pub fn retire_tenant_into(
+        &mut self,
+        tenant: TenantId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.engine.retire_tenant_into(tenant, now, sink)
+    }
+
+    /// Number of tenants this shard knows (including tenant 0 and
+    /// retired ones — tenant ids are never reused).
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.engine.tenant_count()
     }
 
     /// Stops releasing periodic jobs; in-flight work drains.

@@ -29,11 +29,13 @@ use yasmin_core::config::Config;
 use yasmin_core::energy::Energy;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
-use yasmin_core::ids::{CoreId, JobId, TaskId, VersionId, WorkerId};
+use yasmin_core::ids::{CoreId, JobId, TaskId, TenantId, VersionId, WorkerId};
 use yasmin_core::platform::PlatformSpec;
 use yasmin_core::stats::Samples;
 use yasmin_core::task::ActivationKind;
 use yasmin_core::time::{Duration, Instant};
+use yasmin_sched::admission::{AdmissionControl, AdmissionError};
+use yasmin_sched::server::{ReservationServer, TenantBudget};
 use yasmin_sched::{Action, ActionSink, Job, OnlineEngine, ShardCmd};
 
 /// Modelled fixed costs of scheduler interactions.
@@ -114,6 +116,16 @@ enum Ev {
     },
     ModeSwitch {
         mode: yasmin_core::version::ExecMode,
+    },
+    /// Splice + commit a pre-validated tenant admission; `idx` indexes
+    /// [`Simulation`]'s pending-admissions side table (the event itself
+    /// stays `Copy` — the merged set travels by `Arc` in the table).
+    Admit {
+        idx: usize,
+    },
+    /// Quiesce an admitted tenant.
+    Retire {
+        tenant: TenantId,
     },
 }
 
@@ -280,6 +292,15 @@ pub struct Simulation {
     /// energy/idle accounting covers only worker `w` so per-shard
     /// results sum to the whole-system result.
     shard: Option<WorkerId>,
+    /// Side table for [`Ev::Admit`]: (merged set, budget) per scheduled
+    /// admission, pre-validated by [`Simulation::admit_at`].
+    pending_admissions: Vec<(Arc<TaskSet>, Option<TenantBudget>)>,
+    /// The task set as it will stand after every scheduled admission —
+    /// the base each further [`Simulation::admit_at`] extends.
+    planned: Arc<TaskSet>,
+    /// Admissions must be scheduled in non-decreasing time order (their
+    /// splice order defines tenant ids).
+    last_admit_offset: Duration,
 }
 
 impl Simulation {
@@ -353,9 +374,61 @@ impl Simulation {
             seq: 0,
             tick,
             shard,
+            pending_admissions: Vec::new(),
+            planned: engine.taskset_arc(),
+            last_admit_offset: Duration::ZERO,
             engine,
             cfg: sim,
         })
+    }
+
+    /// Schedules a tenant admission at `offset` from the start:
+    /// `tenant` (declared in its own id space) is schedulability-checked
+    /// **now** against the planned set — the base set extended by every
+    /// previously scheduled admission — exactly as the runtime's
+    /// admission thread would, and on acceptance an internal admit event
+    /// splices and commits it at the simulated instant. Returns the
+    /// [`TenantId`] the splice will assign.
+    ///
+    /// Deterministic by construction: the admission instant, the merged
+    /// set and the tenant id are all fixed before the run starts, so two
+    /// runs with the same schedule produce identical traces.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Rejected`] with the violated bound;
+    /// [`AdmissionError::Invalid`] for malformed requests, including
+    /// admissions scheduled out of time order.
+    pub fn admit_at(
+        &mut self,
+        offset: Duration,
+        tenant: &TaskSet,
+        budget: Option<TenantBudget>,
+    ) -> std::result::Result<TenantId, AdmissionError> {
+        if offset < self.last_admit_offset {
+            return Err(AdmissionError::Invalid(Error::InvalidConfig(
+                "admissions must be scheduled in non-decreasing time order".into(),
+            )));
+        }
+        let ctl = AdmissionControl::new(self.engine.config().clone(), self.tick);
+        let merged = ctl.evaluate(&self.planned, tenant, budget.as_ref())?;
+        // Tenant ids count the base set (tenant 0) plus every admission
+        // scheduled so far, in splice order.
+        let id = TenantId::new((1 + self.pending_admissions.len()) as u32);
+        self.planned = Arc::clone(&merged);
+        self.last_admit_offset = offset;
+        let idx = self.pending_admissions.len();
+        self.pending_admissions.push((merged, budget));
+        self.push_event(Instant::ZERO + offset, Ev::Admit { idx });
+        Ok(id)
+    }
+
+    /// Schedules the retirement of an admitted tenant at `offset` from
+    /// the start. The tenant must exist by then (i.e. come from a prior
+    /// [`Simulation::admit_at`] with an earlier or equal offset);
+    /// tenant 0 cannot be retired.
+    pub fn retire_at(&mut self, offset: Duration, tenant: TenantId) {
+        self.push_event(Instant::ZERO + offset, Ev::Retire { tenant });
     }
 
     fn push_event(&mut self, at: Instant, ev: Ev) {
@@ -603,6 +676,13 @@ impl Simulation {
                  (yasmin_sim::par), not the free-running shard feed"
                     .into(),
             )),
+            ShardCmd::AdmitTasks { .. }
+            | ShardCmd::CommitTenant { .. }
+            | ShardCmd::RetireTenant { .. } => Err(Error::InvalidConfig(
+                "the simulator schedules admissions deterministically via \
+                 Simulation::admit_at / retire_at, not the external feed"
+                    .into(),
+            )),
         }
     }
 
@@ -725,6 +805,11 @@ impl Simulation {
                     self.finish_batch = batch;
                 }
                 Ev::Sporadic { task } => {
+                    // A retired tenant's sporadic train ends silently:
+                    // no activation, no re-arm.
+                    if self.engine.is_task_retired(task) {
+                        continue;
+                    }
                     let mut sink = std::mem::take(&mut self.sink);
                     sink.clear();
                     self.timed(|e| {
@@ -740,6 +825,59 @@ impl Simulation {
                 }
                 Ev::ModeSwitch { mode } => {
                     self.engine.set_mode(mode);
+                }
+                Ev::Admit { idx } => {
+                    let (merged, budget) = self.pending_admissions[idx].clone();
+                    let tenant = TenantId::new(self.engine.tenant_count() as u32);
+                    let server = budget.map(|b| ReservationServer::new(tenant, b, now));
+                    let first_new = self.engine.taskset().len();
+                    // Splice: pre-validated at admit_at time, so a
+                    // failure here is a driver bug, not a tenant fault.
+                    self.engine
+                        .splice_taskset(Arc::clone(&merged), server)
+                        .expect("admission was validated by admit_at");
+                    // Grow the per-task / per-accel side state the sim
+                    // keeps alongside the engine.
+                    self.accel_busy
+                        .resize(merged.accels().len(), Duration::ZERO);
+                    for t in &merged.tasks()[first_new..] {
+                        self.sporadic_period
+                            .push(if t.spec().kind() == ActivationKind::Sporadic {
+                                t.spec().period()
+                            } else {
+                                Duration::ZERO
+                            });
+                    }
+                    let mut sink = std::mem::take(&mut self.sink);
+                    sink.clear();
+                    self.timed(|e| {
+                        e.commit_tenant_into(tenant, now, &mut sink)
+                            .expect("spliced tenant commits");
+                    });
+                    self.apply_actions(now, &sink);
+                    self.sink = sink;
+                    // Arm the tenant's sporadic roots from the commit
+                    // instant, like the base set's at start.
+                    for t in &merged.tasks()[first_new..] {
+                        if t.spec().kind() == ActivationKind::Sporadic
+                            && merged.in_degree(t.id()) == 0
+                        {
+                            let first = now + t.spec().release_offset();
+                            if first < horizon {
+                                self.push_event(first, Ev::Sporadic { task: t.id() });
+                            }
+                        }
+                    }
+                }
+                Ev::Retire { tenant } => {
+                    let mut sink = std::mem::take(&mut self.sink);
+                    sink.clear();
+                    self.timed(|e| {
+                        e.retire_tenant_into(tenant, now, &mut sink)
+                            .expect("retired tenant was admitted");
+                    });
+                    self.apply_actions(now, &sink);
+                    self.sink = sink;
                 }
             }
         }

@@ -79,13 +79,17 @@ pub mod prelude {
     };
     pub use yasmin_core::energy::{BatteryLevel, Energy, Power};
     pub use yasmin_core::graph::{TaskSet, TaskSetBuilder};
-    pub use yasmin_core::ids::{AccelId, ChannelId, JobId, TaskId, VersionId, WorkerId};
+    pub use yasmin_core::ids::{AccelId, ChannelId, JobId, TaskId, TenantId, VersionId, WorkerId};
     pub use yasmin_core::platform::PlatformSpec;
     pub use yasmin_core::priority::{Priority, PriorityPolicy};
     pub use yasmin_core::task::{ActivationKind, DeadlineKind, TaskSpec};
     pub use yasmin_core::time::{Duration, Instant};
     pub use yasmin_core::version::{ExecMode, ModeMask, PermMask, VersionProps, VersionSpec};
-    pub use yasmin_rt::{JobCtx, Runtime, RuntimeBuilder};
-    pub use yasmin_sched::{OnlineEngine, ScheduleTable};
+    pub use yasmin_rt::{
+        JobCtx, Runtime, RuntimeBuilder, ShardedRuntime, ShardedRuntimeBuilder, TaskBody,
+    };
+    pub use yasmin_sched::{
+        AdmissionControl, AdmissionError, BoundViolation, OnlineEngine, ScheduleTable, TenantBudget,
+    };
     pub use yasmin_sim::{SimConfig, Simulation};
 }

@@ -26,7 +26,13 @@
 //! 7. **steady-state stealing** — every cycle an idle thief shard runs
 //!    the full PR 5 migration (O(1) `try_steal` probe, O(log n)
 //!    `release_stolen` detach, `adopt_stolen` dispatch round) and
-//!    retires the stolen job, while the victim refills.
+//!    retires the stolen job, while the victim refills;
+//! 8. **multi-tenant serving** — a budgeted tenant admitted on-line
+//!    (evaluate → splice → commit) before the measured window; the
+//!    post-admission steady loop, including the per-dispatch budget
+//!    charge against the tenant's reservation server, must not touch
+//!    the allocator (admission itself is a control-path event and *may*
+//!    allocate — the guarantee is about the state it leaves behind).
 //!
 //! Runs without the libtest harness (`harness = false` in Cargo.toml)
 //! so no other thread can touch the allocator during the measured
@@ -577,6 +583,96 @@ fn steady_state_stealing() {
     assert!(thief.stats().completed > u64::from(WARMUP));
 }
 
+/// Scenario 8: multi-tenant steady state. A budgeted tenant is admitted
+/// on-line — evaluated, spliced and committed — before the measured
+/// window; afterwards the engine serves two tenants, and every dispatch
+/// of the admitted one charges its reservation server. Splicing is
+/// allowed to allocate (control path); the steady state it leaves
+/// behind is not.
+fn admitted_tenant_steady_state() {
+    use yasmin_core::ids::TenantId;
+    use yasmin_sched::admission::{reservation_for, AdmissionControl};
+    use yasmin_sched::server::TenantBudget;
+    const WORKERS: usize = 2;
+    let p = Duration::from_millis(10);
+    let build_set = |prefix: &str, n: usize| {
+        let mut b = TaskSetBuilder::new();
+        for i in 0..n {
+            let t = b
+                .task_decl(TaskSpec::periodic(format!("{prefix}{i}"), p))
+                .unwrap();
+            b.version_decl(t, VersionSpec::new("v", Duration::from_millis(1)))
+                .unwrap();
+        }
+        b.build().unwrap()
+    };
+    let config = Config::builder()
+        .workers(WORKERS)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    let mut engine =
+        OnlineEngine::new(Arc::new(build_set("base", 8)), config).expect("valid engine");
+    let mut sink = ActionSink::with_capacity(256);
+    let mut running: Vec<Option<JobId>> = vec![None; WORKERS];
+
+    engine
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh engine starts");
+    track(&mut running, sink.as_slice());
+
+    // On-line admission of a second, budgeted tenant: 4 tasks of
+    // utilisation 0.1 under a half-capacity deferrable budget.
+    let tenant_set = build_set("tenant", 4);
+    let budget = TenantBudget::deferrable(Duration::from_millis(5), p);
+    let admission = AdmissionControl::for_engine(&engine);
+    let merged = admission
+        .evaluate(engine.taskset(), &tenant_set, Some(&budget))
+        .expect("tenant is admissible");
+    let tenant = TenantId::new(engine.tenant_count() as u32);
+    let server = reservation_for(tenant, Some(budget), Instant::ZERO);
+    engine.splice_taskset(merged, server).expect("valid splice");
+    sink.clear();
+    engine
+        .commit_tenant_into(tenant, Instant::ZERO, &mut sink)
+        .expect("tenant commits");
+    track(&mut running, sink.as_slice());
+
+    let tick = engine.tick_period();
+    let mut now = Instant::ZERO;
+
+    assert_zero_alloc("admitted-tenant-steady-state", || {
+        let mid = now + tick.scale(1, 2);
+        for w in 0..WORKERS {
+            if let Some(job) = running[w].take() {
+                sink.clear();
+                engine
+                    .on_job_completed_into(WorkerId::new(w as u16), job, mid, &mut sink)
+                    .expect("completion protocol upheld");
+                track(&mut running, sink.as_slice());
+            }
+        }
+        now += tick;
+        sink.clear();
+        engine.on_tick_into(now, &mut sink);
+        track(&mut running, sink.as_slice());
+    });
+    assert!(
+        engine.stats().dispatched > u64::from(WARMUP),
+        "multi-tenant loop must dispatch (got {})",
+        engine.stats().dispatched
+    );
+    let charged = engine
+        .tenant_server(tenant)
+        .expect("tenant is budgeted")
+        .total_charged();
+    assert!(
+        !charged.is_zero(),
+        "the admitted tenant's dispatches must charge its reservation server"
+    );
+}
+
 fn main() {
     independent_global();
     dag_firing();
@@ -585,4 +681,5 @@ fn main() {
     burst_batch_completion();
     mode_switch_rank_refresh();
     steady_state_stealing();
+    admitted_tenant_steady_state();
 }
