@@ -27,7 +27,7 @@ use yasmin_core::task::TaskSpec;
 use yasmin_core::time::{Duration, Instant};
 use yasmin_core::version::VersionSpec;
 use yasmin_core::WorkerId;
-use yasmin_sched::{Action, OnlineEngine};
+use yasmin_sched::{Action, ActionSink, OnlineEngine};
 use yasmin_sim::{KernelKind, KernelModel};
 
 /// Configuration mirroring the paper's cyclictest invocation.
@@ -141,10 +141,12 @@ pub fn measure_engine_overhead(cfg: &CyclictestConfig, iterations: usize) -> Sam
     let mut samples = Samples::with_capacity(iterations * 2);
 
     let mut now = Instant::ZERO;
+    let mut sink = ActionSink::with_capacity(256);
     let t0 = std::time::Instant::now();
-    let actions = engine.start(now).unwrap();
+    engine.start_into(now, &mut sink).unwrap();
     samples.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-    let mut running: Vec<(WorkerId, yasmin_core::JobId)> = actions
+    let mut running: Vec<(WorkerId, yasmin_core::JobId)> = sink
+        .as_slice()
         .iter()
         .filter_map(|a| match a {
             Action::Dispatch { worker, job, .. } => Some((*worker, job.id)),
@@ -155,15 +157,18 @@ pub fn measure_engine_overhead(cfg: &CyclictestConfig, iterations: usize) -> Sam
     for _ in 0..iterations {
         // Complete everything running, then tick the next period.
         for (w, j) in running.drain(..) {
+            sink.clear();
             let t0 = std::time::Instant::now();
-            let _ = engine.on_job_completed(w, j, now + Duration::from_micros(100));
+            let _ = engine.on_job_completed_into(w, j, now + Duration::from_micros(100), &mut sink);
             samples.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
         now += cfg.interval;
+        sink.clear();
         let t0 = std::time::Instant::now();
-        let actions = engine.on_tick(now);
+        engine.on_tick_into(now, &mut sink);
         samples.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        running = actions
+        running = sink
+            .as_slice()
             .iter()
             .filter_map(|a| match a {
                 Action::Dispatch { worker, job, .. } => Some((*worker, job.id)),

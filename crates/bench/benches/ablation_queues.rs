@@ -8,7 +8,7 @@ use yasmin_core::config::{Config, MappingScheme};
 use yasmin_core::ids::{JobId, TaskId};
 use yasmin_core::priority::{Priority, PriorityPolicy};
 use yasmin_core::time::{Duration, Instant};
-use yasmin_sched::{Job, OnlineEngine, ReadyQueue};
+use yasmin_sched::{ActionSink, Job, OnlineEngine, ReadyQueue};
 use yasmin_taskgen::taskset::{build_independent, build_partitioned, IndependentSetParams};
 
 fn job(id: u64, prio: u64) -> Job {
@@ -75,12 +75,15 @@ fn bench_dispatch_round(c: &mut Criterion) {
                 .build()
                 .expect("config");
             let mut engine = OnlineEngine::new(Arc::clone(&ts), config).expect("engine");
-            let _ = engine.start(Instant::ZERO).expect("start");
+            let mut sink = ActionSink::with_capacity(256);
+            engine.start_into(Instant::ZERO, &mut sink).expect("start");
             let tick = engine.tick_period();
             let mut now = Instant::ZERO;
             b.iter(|| {
                 now += tick;
-                std::hint::black_box(engine.on_tick(now));
+                sink.clear();
+                engine.on_tick_into(now, &mut sink);
+                std::hint::black_box(sink.len());
             });
         });
     }

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use yasmin_core::config::Config;
 use yasmin_core::priority::PriorityPolicy;
 use yasmin_core::time::Instant;
-use yasmin_sched::OnlineEngine;
+use yasmin_sched::{ActionSink, OnlineEngine};
 use yasmin_taskgen::taskset::{build_independent, IndependentSetParams};
 
 fn engine_for(n: usize) -> OnlineEngine {
@@ -36,12 +36,15 @@ fn bench_yasmin_tick(c: &mut Criterion) {
     for n in [20usize, 120] {
         group.bench_function(format!("n{n}"), |b| {
             let mut engine = engine_for(n);
-            let _ = engine.start(Instant::ZERO).expect("starts");
+            let mut sink = ActionSink::with_capacity(256);
+            engine.start_into(Instant::ZERO, &mut sink).expect("starts");
             let mut now = Instant::ZERO;
             let tick = engine.tick_period();
             b.iter(|| {
                 now += tick;
-                std::hint::black_box(engine.on_tick(now));
+                sink.clear();
+                engine.on_tick_into(now, &mut sink);
+                std::hint::black_box(sink.len());
             });
         });
     }

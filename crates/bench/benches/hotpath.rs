@@ -30,6 +30,9 @@ fn engine_for(n: usize) -> OnlineEngine {
     OnlineEngine::new(Arc::new(ts), config).expect("valid engine")
 }
 
+// This series exists to measure the deprecated Vec-returning API
+// against the sink API, so it calls the legacy path on purpose.
+#[allow(deprecated)]
 fn bench_tick_vec(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpath/on_tick_vec");
     group.sample_size(20);

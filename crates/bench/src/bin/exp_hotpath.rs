@@ -21,7 +21,9 @@
 //! against the **best** recorded baseline per entry point
 //! (`BENCH_PR2.json` / `BENCH_PR3.json` / `BENCH_PR4.json`) and bounds
 //! the same-host ratios: mailbox-feed overhead, remove-vs-pop,
-//! batched-vs-sequential, steal-vs-local-pop, routed-vs-local-fire.
+//! batched-vs-sequential, steal-vs-local-pop, routed-vs-local-fire,
+//! plus the message-plane routed-send-vs-local-send ratio recorded in
+//! `BENCH_PR8.json`.
 
 use yasmin_bench::hotpath::{self, HotpathParams, HotpathReport};
 
@@ -60,6 +62,8 @@ fn main() {
     let steal = hotpath::run_steal(STEAL_N, p.iters, p.warmup);
     eprintln!("hotpath: steal done, running cross-activation loop");
     let crossact = hotpath::run_cross_activation(p.iters, p.warmup);
+    eprintln!("hotpath: cross-activation done, running message-plane loop");
+    let msg = hotpath::run_msg(p.iters, p.warmup);
     let json = hotpath::render_json_pr5(
         &direct,
         &sharded,
@@ -74,4 +78,8 @@ fn main() {
     println!("{json}");
     yasmin_bench::write_result("BENCH_PR5.json", &json);
     eprintln!("wrote results/BENCH_PR5.json");
+    let json = hotpath::render_json_pr8(&msg);
+    println!("{json}");
+    yasmin_bench::write_result("BENCH_PR8.json", &json);
+    eprintln!("wrote results/BENCH_PR8.json");
 }

@@ -27,7 +27,11 @@
 //!    * `cross_activation.routed` within 3× of
 //!      `cross_activation.local_fire` — completion + outbox drain + the
 //!      destination's `CrossActivate` round is two engine rounds plus
-//!      routing, bounded against the single local round.
+//!      routing, bounded against the single local round;
+//!    * `msg.routed_send` within 3× of `msg.local_send` (from
+//!      `results/BENCH_PR8.json`) — a high-lane post whose receiver
+//!      lives on a foreign shard pays one peer-lane hop on top of the
+//!      home-shard post, and nothing else.
 //!
 //! Modes: no argument runs both checks; `--cross-file-only` /
 //! `--same-host-only` select one (what the two CI steps use).
@@ -46,6 +50,8 @@ const MAX_BATCH_OVER_SEQUENTIAL_PCT: u64 = 25;
 const MAX_STEAL_OVER_LOCAL_PCT: u64 = 100;
 /// routed cross-shard activation ≤ 3× local firing.
 const MAX_ROUTED_OVER_LOCAL_PCT: u64 = 200;
+/// routed high-lane post ≤ 3× home-shard post.
+const MAX_ROUTED_SEND_OVER_LOCAL_PCT: u64 = 200;
 
 fn read(path: &str) -> String {
     match std::fs::read_to_string(path) {
@@ -166,6 +172,20 @@ fn main() {
                 ("cross_activation", "routed"),
                 ("cross_activation", "local_fire"),
                 MAX_ROUTED_OVER_LOCAL_PCT,
+            )
+            .map(|c| vec![c]),
+        );
+        let pr8 = read("results/BENCH_PR8.json");
+        failed |= report(
+            &format!(
+                "perf_gate: routed vs home-shard high-lane post, same host \
+                 (limit +{MAX_ROUTED_SEND_OVER_LOCAL_PCT}%)"
+            ),
+            &gate_ratio(
+                &pr8,
+                ("msg", "routed_send"),
+                ("msg", "local_send"),
+                MAX_ROUTED_SEND_OVER_LOCAL_PCT,
             )
             .map(|c| vec![c]),
         );

@@ -755,6 +755,235 @@ pub fn run_cross_activation(iters: u32, warmup: u32) -> CrossActReport {
     }
 }
 
+/// The typed message-plane measurement (PR 8): endpoint and
+/// scheduler-side costs of `yasmin_sched::msg`, all in one process so
+/// the ratios are host-independent.
+#[derive(Debug, Clone)]
+pub struct MsgReport {
+    /// Normal-lane `send` → `recv` round trip, endpoints only.
+    pub send_recv: LatencyStats,
+    /// Full PIP cycle: `send_high` + `on_high_posted_into` (boost of
+    /// the pending receiver job) + `recv_high` + `on_high_drained_into`
+    /// (restore).
+    pub boost_cycle: LatencyStats,
+    /// `send_high` + notify hook + command-lane hop + the owning
+    /// shard's `MsgHigh` round, receiver on the sender's home shard.
+    pub local_send: LatencyStats,
+    /// Same, plus the peer-lane hop to a foreign owner — the
+    /// cross-shard routing path of the sharded runtime.
+    pub routed_send: LatencyStats,
+}
+
+/// Runs the message-plane loops.
+///
+/// # Panics
+///
+/// Panics on engine/taskset/channel construction failure (parameter
+/// bug).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_msg(iters: u32, warmup: u32) -> MsgReport {
+    use std::sync::Mutex;
+    use yasmin_core::task::TaskSpec;
+    use yasmin_core::time::Instant as SimInstant;
+    use yasmin_core::version::VersionSpec;
+    use yasmin_sched::msg::{ChannelBuilder, MsgEvent};
+
+    // A notify hook that feeds a mailbox lane, as both runtimes wire it.
+    let feed_hook = |mut lanes: Vec<MailboxSender<MsgEvent>>| {
+        let feed = Mutex::new(lanes.pop().expect("one lane requested"));
+        std::sync::Arc::new(move |ev: MsgEvent| {
+            feed.lock()
+                .expect("notify hook never panics")
+                .send(ev)
+                .expect("event lane sized for the loop");
+        })
+    };
+
+    // Four tasks on a 2-worker partitioned set: each shard holds a
+    // `runner` occupying its worker and a receiver parked in the queue,
+    // so every high post finds a pending job to boost.
+    let mut b = yasmin_core::graph::TaskSetBuilder::new();
+    let mut decl = |name: &str, worker: u16| {
+        let t = b
+            .task_decl(TaskSpec::aperiodic(name).on_worker(WorkerId::new(worker)))
+            .unwrap();
+        b.version_decl(t, VersionSpec::new("v", Duration::from_millis(1)))
+            .unwrap();
+        t
+    };
+    let runner0 = decl("runner0", 0);
+    let dst_local = decl("dst_local", 0);
+    let runner1 = decl("runner1", 1);
+    let dst_routed = decl("dst_routed", 1);
+    let ts = std::sync::Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(2)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .preemption(false)
+        .tick(Duration::from_millis(1_000))
+        .max_pending_jobs(16)
+        .build()
+        .unwrap();
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut far = shards.pop().unwrap();
+    let mut home = shards.pop().unwrap();
+    let mut sink = ActionSink::with_capacity(64);
+    home.start_into(SimInstant::ZERO, &mut sink).unwrap();
+    far.start_into(SimInstant::ZERO, &mut sink).unwrap();
+    for (shard, runner, dst) in [
+        (&mut home, runner0, dst_local),
+        (&mut far, runner1, dst_routed),
+    ] {
+        shard
+            .activate_into(runner, SimInstant::ZERO, &mut sink)
+            .unwrap();
+        shard
+            .activate_into(dst, SimInstant::ZERO, &mut sink)
+            .unwrap();
+    }
+
+    // --- normal lane, endpoints only ----------------------------------
+    let (plain_tx, plain_rx) = ChannelBuilder::standalone("plain", dst_local)
+        .capacity(8)
+        .build::<u64>()
+        .expect("valid channel");
+    let mut send_recv_ns = Samples::with_capacity(iters as usize);
+    for i in 0..(warmup + iters) {
+        let t0 = WallInstant::now();
+        plain_tx.send(u64::from(i)).expect("lane has room");
+        let got = plain_rx.recv().expect("value just sent");
+        let dt = t0.elapsed();
+        assert_eq!(got, u64::from(i));
+        if i >= warmup {
+            send_recv_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    // --- full boost cycle on the owning shard --------------------------
+    let (hot_tx, hot_rx) = ChannelBuilder::standalone("hot", dst_local)
+        .capacity(8)
+        .high_lane(8, Priority::HIGHEST)
+        .build::<u64>()
+        .expect("valid channel");
+    let (lanes, mut hot_events) = mailbox::<MsgEvent>(1, 16);
+    assert!(hot_tx.notify_handle().set_notify(feed_hook(lanes)));
+    let mut now = SimInstant::ZERO;
+    let step = Duration::from_micros(1);
+    let mut boost_ns = Samples::with_capacity(iters as usize);
+    let pump = |events: &mut MailboxReceiver<MsgEvent>,
+                shard: &mut EngineShard,
+                at: SimInstant,
+                sink: &mut ActionSink| {
+        while let Some(ev) = events.try_recv() {
+            sink.clear();
+            match ev {
+                MsgEvent::HighPosted { dst, ceiling } => shard
+                    .process_into(ShardCmd::MsgHigh { dst, ceiling, at }, sink)
+                    .expect("receiver is live"),
+                MsgEvent::HighDrained { dst } => shard
+                    .process_into(ShardCmd::MsgDrained { dst, at }, sink)
+                    .expect("receiver is live"),
+            }
+        }
+    };
+    for i in 0..(warmup + iters) {
+        now += step;
+        let t0 = WallInstant::now();
+        hot_tx.send_high(u64::from(i)).expect("lane has room");
+        pump(&mut hot_events, &mut home, now, &mut sink);
+        let got = hot_rx.recv_high().expect("value just sent");
+        pump(&mut hot_events, &mut home, now, &mut sink);
+        let dt = t0.elapsed();
+        assert_eq!(got, u64::from(i));
+        if i >= warmup {
+            boost_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+    assert!(home.stats().msg_boosts >= u64::from(iters));
+
+    // --- local vs routed post --------------------------------------
+    // Local: the sender's home shard owns the receiver, so the event
+    // popped off the sender lane is applied directly. Routed: the
+    // receiver lives on the far shard — the home shard forwards the
+    // event over a peer lane first, exactly one extra hop.
+    let (far_tx, far_rx) = ChannelBuilder::standalone("far", dst_routed)
+        .capacity(8)
+        .high_lane(8, Priority::HIGHEST)
+        .build::<u64>()
+        .expect("valid channel");
+    let (lanes, mut far_events) = mailbox::<MsgEvent>(1, 16);
+    assert!(far_tx.notify_handle().set_notify(feed_hook(lanes)));
+    let (mut peer_lanes, mut peer_rx) = mailbox::<ShardCmd>(1, 16);
+    let mut peer_tx = peer_lanes.pop().expect("one lane requested");
+
+    let mut local_ns = Samples::with_capacity(iters as usize);
+    let mut routed_ns = Samples::with_capacity(iters as usize);
+    for i in 0..(warmup + iters) {
+        now += step;
+        // Timed local post: hook → sender lane → owner's MsgHigh round.
+        let t0 = WallInstant::now();
+        hot_tx.send_high(u64::from(i)).expect("lane has room");
+        while let Some(ev) = hot_events.try_recv() {
+            if let MsgEvent::HighPosted { dst, ceiling } = ev {
+                sink.clear();
+                home.process_into(
+                    ShardCmd::MsgHigh {
+                        dst,
+                        ceiling,
+                        at: now,
+                    },
+                    &mut sink,
+                )
+                .expect("home shard owns dst_local");
+            }
+        }
+        let dt = t0.elapsed();
+        if i >= warmup {
+            local_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+        // Untimed: drain to rebalance the lane and release the boost.
+        hot_rx.recv_high().expect("value just sent");
+        pump(&mut hot_events, &mut home, now, &mut sink);
+
+        // Timed routed post: one extra peer-lane hop to the far owner.
+        let t0 = WallInstant::now();
+        far_tx.send_high(u64::from(i)).expect("lane has room");
+        while let Some(ev) = far_events.try_recv() {
+            if let MsgEvent::HighPosted { dst, ceiling } = ev {
+                peer_tx
+                    .send(ShardCmd::MsgHigh {
+                        dst,
+                        ceiling,
+                        at: now,
+                    })
+                    .expect("peer lane sized for the loop");
+            }
+        }
+        while let Some(cmd) = peer_rx.try_recv() {
+            sink.clear();
+            far.process_into(cmd, &mut sink)
+                .expect("far shard owns dst_routed");
+        }
+        let dt = t0.elapsed();
+        if i >= warmup {
+            routed_ns.record(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+        far_rx.recv_high().expect("value just sent");
+        pump(&mut far_events, &mut far, now, &mut sink);
+    }
+    assert!(far.stats().msg_boosts >= u64::from(iters));
+
+    MsgReport {
+        send_recv: LatencyStats::from_samples(&mut send_recv_ns),
+        boost_cycle: LatencyStats::from_samples(&mut boost_ns),
+        local_send: LatencyStats::from_samples(&mut local_ns),
+        routed_send: LatencyStats::from_samples(&mut routed_ns),
+    }
+}
+
 /// The dispatch-path latency recorded at the seed state (PR 1, before
 /// the zero-allocation refactor) on the reference host, with the
 /// default parameters. `exp_hotpath` embeds it as the `before` section
@@ -962,6 +1191,32 @@ pub fn render_json_pr5(
         crossact.routed.json()
     ));
     out.push_str(&format!("  \"dispatches\": {}\n}}\n", direct.dispatches));
+    out
+}
+
+/// Renders the message-plane report as `results/BENCH_PR8.json` (PR 8).
+/// The CI perf gate bounds `msg.routed_send` against `msg.local_send`
+/// (same host, same process): the cross-shard hop must stay within 3×
+/// of the home-shard post.
+#[must_use]
+pub fn render_json_pr8(msg: &MsgReport) -> String {
+    let mut out = String::from("{\n  \"bench\": \"msg\",\n");
+    out.push_str(
+        "  \"note\": \"typed message plane (yasmin_sched::msg), all sections same host, \
+         same process; 'send_recv' is the normal-lane endpoint round trip; \
+         'boost_cycle' is send_high + the owning shard's boost round + recv_high + \
+         the restore round; 'local_send' is send_high + notify hook + sender-lane \
+         pop + the owning shard's MsgHigh round with the receiver on the sender's \
+         home shard; 'routed_send' adds the peer-lane hop to a foreign owner\",\n",
+    );
+    out.push_str(&format!(
+        "  \"msg\": {{\"send_recv\": {}, \"boost_cycle\": {}, \"local_send\": {}, \
+         \"routed_send\": {}}}\n}}\n",
+        msg.send_recv.json(),
+        msg.boost_cycle.json(),
+        msg.local_send.json(),
+        msg.routed_send.json()
+    ));
     out
 }
 

@@ -10,6 +10,7 @@
 //! token counts.
 
 use crate::ids::{ChannelId, TaskId};
+use crate::priority::Priority;
 
 /// Static description of a FIFO channel.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,6 +19,11 @@ pub struct ChannelSpec {
     name: String,
     capacity: usize,
     elem_bytes: usize,
+    /// Capacity of the optional high-priority lane (0 = normal lane only).
+    high_capacity: usize,
+    /// Ceiling priority the consumer inherits while the high lane is
+    /// non-empty (`None` = no scheduler-visible boost).
+    high_ceiling: Option<Priority>,
 }
 
 impl ChannelSpec {
@@ -30,7 +36,47 @@ impl ChannelSpec {
             name: name.into(),
             capacity,
             elem_bytes,
+            high_capacity: 0,
+            high_ceiling: None,
         }
+    }
+
+    /// Adds a high-priority lane of `capacity` slots. While that lane is
+    /// non-empty the consuming task's pending job inherits `ceiling`
+    /// (smaller = more urgent) through the engine's PIP machinery; the
+    /// boost is released when the lane drains.
+    #[must_use]
+    pub fn with_high_lane(mut self, capacity: usize, ceiling: Priority) -> Self {
+        self.high_capacity = capacity;
+        self.high_ceiling = Some(ceiling);
+        self
+    }
+
+    /// Rebinds the spec to a new id (used when splicing task sets, which
+    /// offsets channel ids); every other field is preserved.
+    #[must_use]
+    pub fn with_id(mut self, id: ChannelId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Capacity of the high-priority lane (0 = no high lane).
+    #[must_use]
+    pub const fn high_capacity(&self) -> usize {
+        self.high_capacity
+    }
+
+    /// The ceiling priority the consumer inherits while the high lane is
+    /// non-empty, `None` when the channel declares no boost.
+    #[must_use]
+    pub const fn high_ceiling(&self) -> Option<Priority> {
+        self.high_ceiling
+    }
+
+    /// `true` if the channel declares a scheduler-visible high lane.
+    #[must_use]
+    pub const fn has_high_lane(&self) -> bool {
+        self.high_capacity > 0
     }
 
     /// The channel identifier.
@@ -101,5 +147,23 @@ mod tests {
         let c = ChannelSpec::new(ChannelId::new(0), "fl", 0, 1);
         assert!(c.is_precedence_only());
         assert_eq!(c.buffer_bytes(), 0);
+    }
+
+    #[test]
+    fn high_lane_declaration_and_rebind() {
+        let plain = ChannelSpec::new(ChannelId::new(1), "c", 4, 8);
+        assert!(!plain.has_high_lane());
+        assert_eq!(plain.high_ceiling(), None);
+
+        let c = plain.clone().with_high_lane(2, Priority::new(5));
+        assert!(c.has_high_lane());
+        assert_eq!(c.high_capacity(), 2);
+        assert_eq!(c.high_ceiling(), Some(Priority::new(5)));
+
+        let moved = c.clone().with_id(ChannelId::new(9));
+        assert_eq!(moved.id(), ChannelId::new(9));
+        assert_eq!(moved.name(), "c");
+        assert_eq!(moved.high_capacity(), 2);
+        assert_eq!(moved.high_ceiling(), Some(Priority::new(5)));
     }
 }

@@ -10,6 +10,7 @@ use crate::accel::AccelSpec;
 use crate::channel::{ChannelSpec, Edge};
 use crate::error::{Error, Result};
 use crate::ids::{AccelId, ChannelId, TaskId, VersionId};
+use crate::priority::Priority;
 use crate::task::{Task, TaskSpec};
 use crate::time::{gcd_all, lcm_all, Duration};
 use crate::version::VersionSpec;
@@ -351,12 +352,12 @@ impl TaskSet {
 
         let mut channels = self.channels.clone();
         for c in &tenant.channels {
-            channels.push(ChannelSpec::new(
-                ChannelId::new((chan_off + c.id().index()) as u32),
-                c.name(),
-                c.capacity(),
-                c.elem_bytes(),
-            ));
+            // `with_id` preserves every other field (capacity, element
+            // size, high-priority lane) across the id offset.
+            channels.push(
+                c.clone()
+                    .with_id(ChannelId::new((chan_off + c.id().index()) as u32)),
+            );
         }
 
         let mut edges = self.edges.clone();
@@ -498,6 +499,27 @@ impl TaskSetBuilder {
         let id = ChannelId::new(u32::try_from(self.channels.len()).expect("< 2^32 channels"));
         self.channels
             .push(ChannelSpec::new(id, name, capacity, elem_bytes));
+        self.connected.push(false);
+        id
+    }
+
+    /// Declares a FIFO channel with an additional **high-priority lane**
+    /// of `high_capacity` slots. While the high lane is non-empty the
+    /// consuming task inherits `ceiling` (smaller = more urgent) through
+    /// the scheduler's PIP machinery; the boost is released when the lane
+    /// drains. See `yasmin_sched::msg` for the runtime endpoints.
+    pub fn channel_decl_prioritized(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        elem_bytes: usize,
+        high_capacity: usize,
+        ceiling: Priority,
+    ) -> ChannelId {
+        let id = ChannelId::new(u32::try_from(self.channels.len()).expect("< 2^32 channels"));
+        self.channels.push(
+            ChannelSpec::new(id, name, capacity, elem_bytes).with_high_lane(high_capacity, ceiling),
+        );
         self.connected.push(false);
         id
     }

@@ -25,8 +25,10 @@ use yasmin_core::config::Config;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{TaskId, TenantId, VersionId, WorkerId};
+use yasmin_core::priority::Priority;
 use yasmin_core::time::{Clock, Instant, MonotonicClock};
 use yasmin_sched::admission::{reservation_for, AdmissionControl, AdmissionError};
+use yasmin_sched::msg::{MsgEvent, NotifyHandle, Receiver as MsgReceiver, Sender as MsgSender};
 use yasmin_sched::server::TenantBudget;
 use yasmin_sched::{Action, ActionSink, EngineStats, Job, OnlineEngine};
 use yasmin_sync::wait::{wait_until, WaitMode};
@@ -108,6 +110,19 @@ struct Completion {
 
 enum Cmd {
     Activate(TaskId),
+    /// A high-priority message entered a channel lane: boost the
+    /// receiving task through the engine's PIP machinery (see
+    /// `yasmin_sched::msg`). Raised by the channel notify hooks wired in
+    /// [`RuntimeBuilder::channel`], from whichever thread sent.
+    MsgHigh {
+        dst: TaskId,
+        ceiling: Priority,
+    },
+    /// A high-lane message was consumed; the boost drops when the lane
+    /// drains (posts and drains balance).
+    MsgDrained {
+        dst: TaskId,
+    },
     /// Splice-and-commit an already-evaluated tenant (see
     /// [`Runtime::admit`]): the scheduler thread adopts the merged set,
     /// registers the tenant's bodies, arms its releases and replies with
@@ -134,6 +149,7 @@ pub struct RuntimeBuilder {
     taskset: Arc<TaskSet>,
     config: Config,
     bodies: HashMap<(TaskId, VersionId), TaskBody>,
+    channels: Vec<NotifyHandle>,
     pin_offset: usize,
     lock_memory: bool,
 }
@@ -146,9 +162,46 @@ impl RuntimeBuilder {
             taskset,
             config,
             bodies: HashMap::new(),
+            channels: Vec::new(),
             pin_offset: 0,
             lock_memory: false,
         }
+    }
+
+    /// Opens the typed endpoints of a channel declared in the task set
+    /// (`TaskSetBuilder::channel_decl` /
+    /// `TaskSetBuilder::channel_decl_prioritized`) and registers its
+    /// notify hook with the runtime: once built, a
+    /// [`yasmin_sched::msg::Sender::send_high`] on this channel boosts
+    /// the receiving task's pending job through the scheduler until the
+    /// high lane drains. Capacity and element size are validated
+    /// against the [`yasmin_core::channel::ChannelSpec`].
+    ///
+    /// Hand the [`yasmin_sched::msg::Sender`] to the producing task's
+    /// body and the [`yasmin_sched::msg::Receiver`] to the consuming
+    /// one (they are `Send + Sync`; capture them in the closures).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownChannel`] / [`Error::ChannelNotConnected`] for a
+    /// bad id, [`Error::InvalidConfig`] when `T` does not fit the
+    /// spec's element size.
+    pub fn channel<T: Send>(
+        &mut self,
+        id: yasmin_core::ids::ChannelId,
+    ) -> Result<(MsgSender<T>, MsgReceiver<T>)> {
+        let (tx, rx) = yasmin_sched::msg::channel(&self.taskset, id)?;
+        self.channels.push(tx.notify_handle());
+        Ok((tx, rx))
+    }
+
+    /// Registers a standalone channel (built with
+    /// [`yasmin_sched::ChannelBuilder`], outside the task-set graph) so
+    /// its high-lane traffic reaches this runtime's scheduler.
+    #[must_use]
+    pub fn register_channel(mut self, handle: NotifyHandle) -> Self {
+        self.channels.push(handle);
+        self
     }
 
     /// Registers the executable body of `(task, version)`.
@@ -247,6 +300,22 @@ impl Runtime {
         let clock = Arc::new(MonotonicClock::new());
         let (done_tx, done_rx) = bounded::<Completion>(builder.config.max_pending_jobs());
         let (cmd_tx, cmd_rx) = bounded::<Cmd>(64);
+
+        // Arm the channel notify hooks: a high-lane post/drain from any
+        // thread becomes a scheduler command. Channels without a
+        // declared ceiling never reach the scheduler.
+        for handle in &builder.channels {
+            if handle.ceiling().is_none() {
+                continue;
+            }
+            let tx = cmd_tx.clone();
+            let _ = handle.set_notify(Arc::new(move |ev| {
+                let _ = match ev {
+                    MsgEvent::HighPosted { dst, ceiling } => tx.send(Cmd::MsgHigh { dst, ceiling }),
+                    MsgEvent::HighDrained { dst } => tx.send(Cmd::MsgDrained { dst }),
+                };
+            }));
+        }
 
         // Worker threads.
         let mut worker_tx = Vec::with_capacity(workers_n);
@@ -538,6 +607,23 @@ fn scheduler_main(
                     let now = clock.now();
                     sink.clear();
                     if engine.activate_into(task, now, &mut sink).is_ok() {
+                        dispatch(&sink, &bodies);
+                    }
+                }
+                Cmd::MsgHigh { dst, ceiling } => {
+                    let now = clock.now();
+                    sink.clear();
+                    if engine
+                        .on_high_posted_into(dst, ceiling, now, &mut sink)
+                        .is_ok()
+                    {
+                        dispatch(&sink, &bodies);
+                    }
+                }
+                Cmd::MsgDrained { dst } => {
+                    let now = clock.now();
+                    sink.clear();
+                    if engine.on_high_drained_into(dst, now, &mut sink).is_ok() {
                         dispatch(&sink, &bodies);
                     }
                 }

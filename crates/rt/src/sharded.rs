@@ -48,11 +48,14 @@ use yasmin_core::config::{Config, WaitChoice};
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{JobId, TaskId, TenantId, VersionId, WorkerId};
+use yasmin_core::priority::Priority;
 use yasmin_core::time::{Clock, Instant, MonotonicClock};
 use yasmin_sched::admission::{AdmissionControl, AdmissionError};
+use yasmin_sched::msg::{MsgEvent, NotifyHandle, Receiver as MsgReceiver, Sender as MsgSender};
 use yasmin_sched::server::TenantBudget;
 use yasmin_sched::{
     validate_sharding, Action, ActionSink, EngineShard, EngineStats, Job, RemoteActivation,
+    ShardCmd,
 };
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 use yasmin_sync::spsc;
@@ -61,7 +64,10 @@ use yasmin_sync::wait::Backoff;
 
 /// Lane indices of each shard's command mailbox; lane `LANE_PEER0 + p`
 /// belongs to peer shard `p` (a shard's own peer lane stays unused, so
-/// indexing needs no adjustment).
+/// indexing needs no adjustment). Lane `LANE_PEER0 + n` is the *message
+/// lane*: channel notify hooks post high-lane events there from
+/// whichever thread sent or received (the sender handle is shared
+/// behind a mutex, so the lane keeps one logical producer).
 const LANE_WORKER: usize = 0;
 const LANE_CONTROL: usize = 1;
 const LANE_PEER0: usize = 2;
@@ -89,6 +95,16 @@ enum ShardMsg {
     /// A DAG token routed from a peer shard (cross-shard edge whose
     /// destination this shard owns).
     CrossActivate { edge: u32, graph_release: Instant },
+    /// A high-priority message entered a channel lane. Lands first on
+    /// the channel's *home* shard (the sending task's, so one channel's
+    /// posts and drains share one FIFO route); a home shard that does
+    /// not own `dst` forwards it over the per-peer lane to the owner,
+    /// exactly like a [`ShardMsg::CrossActivate`] token.
+    MsgHigh { dst: TaskId, ceiling: Priority },
+    /// A high-lane message was consumed; routed like
+    /// [`ShardMsg::MsgHigh`], releasing the boost when posts and drains
+    /// balance.
+    MsgDrained { dst: TaskId },
     /// An idle peer asks for a ready job.
     StealRequest { thief: WorkerId },
     /// A victim's grant: the detached job for this shard to adopt.
@@ -131,6 +147,7 @@ pub struct ShardedRuntimeBuilder {
     taskset: Arc<TaskSet>,
     config: Config,
     bodies: HashMap<(TaskId, VersionId), TaskBody>,
+    channels: Vec<NotifyHandle>,
     pin_offset: usize,
     lock_memory: bool,
     work_stealing: bool,
@@ -147,10 +164,41 @@ impl ShardedRuntimeBuilder {
             taskset,
             config,
             bodies: HashMap::new(),
+            channels: Vec::new(),
             pin_offset: 0,
             lock_memory: false,
             work_stealing: false,
         }
+    }
+
+    /// Opens the typed endpoints of a declared channel and registers its
+    /// notify hook, mirroring [`crate::runtime::RuntimeBuilder::channel`].
+    /// Under sharding the channel's events land on its *home* shard (the
+    /// sending task's); when the receiving task lives on another shard
+    /// the home shard forwards them over the per-peer lanes, exactly
+    /// like cross-shard DAG activation tokens.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownChannel`] / [`Error::ChannelNotConnected`] for a
+    /// bad id, [`Error::InvalidConfig`] when `T` does not fit the
+    /// spec's element size.
+    pub fn channel<T: Send>(
+        &mut self,
+        id: yasmin_core::ids::ChannelId,
+    ) -> Result<(MsgSender<T>, MsgReceiver<T>)> {
+        let (tx, rx) = yasmin_sched::msg::channel(&self.taskset, id)?;
+        self.channels.push(tx.notify_handle());
+        Ok((tx, rx))
+    }
+
+    /// Registers a standalone channel (built with
+    /// [`yasmin_sched::ChannelBuilder`], outside the task-set graph) so
+    /// its high-lane traffic reaches the shard owning the receiver.
+    #[must_use]
+    pub fn register_channel(mut self, handle: NotifyHandle) -> Self {
+        self.channels.push(handle);
+        self
     }
 
     /// Enables work stealing: an idle shard probes the advisory load
@@ -291,19 +339,64 @@ impl ShardedRuntime {
         let mut schedulers = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
 
-        // One mailbox per shard: worker lane, control lane, and one lane
-        // per peer shard for the cross-shard protocol. Peer senders are
+        // One mailbox per shard: worker lane, control lane, one lane per
+        // peer shard for the cross-shard protocol, and a final message
+        // lane fed by the channel notify hooks. Peer senders are
         // regrouped so scheduler thread `s` owns, for every target `t`,
         // the sender feeding lane `LANE_PEER0 + s` of `t`'s mailbox.
         let mut worker_txs = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         let mut peer_lanes_by_target = Vec::with_capacity(n);
+        let mut msg_txs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (mut lanes, mailbox_rx) = mailbox::<ShardMsg>(LANE_PEER0 + n, cap.max(64));
-            peer_lanes_by_target.push(lanes.split_off(LANE_PEER0));
+            let (mut lanes, mailbox_rx) = mailbox::<ShardMsg>(LANE_PEER0 + n + 1, cap.max(64));
+            let mut peer_lanes = lanes.split_off(LANE_PEER0);
+            let msg_tx = peer_lanes.pop().expect("message lane present");
+            msg_txs.push(Arc::new(Mutex::new(msg_tx)));
+            peer_lanes_by_target.push(peer_lanes);
             control.push(lanes.remove(LANE_CONTROL));
             worker_txs.push(lanes.remove(LANE_WORKER));
             receivers.push(mailbox_rx);
+        }
+
+        // Arm the channel notify hooks: each channel posts its events to
+        // its *home* shard's message lane — the sending task's shard, so
+        // one channel's posts and drains travel one FIFO route and can
+        // never reorder. A home shard that does not own the receiver
+        // forwards over the per-peer lanes (see `ShardMsg::MsgHigh`).
+        for handle in &builder.channels {
+            if handle.ceiling().is_none() {
+                continue;
+            }
+            let owner_of = |t: TaskId| -> Result<usize> {
+                builder
+                    .taskset
+                    .tasks()
+                    .get(t.index())
+                    .ok_or(Error::UnknownTask(t))?
+                    .spec()
+                    .assigned_worker()
+                    .ok_or(Error::MissingPartition(t))
+                    .map(|w| w.index())
+            };
+            let home = match builder
+                .taskset
+                .edges()
+                .iter()
+                .find(|e| Some(e.channel) == handle.channel())
+            {
+                Some(e) => owner_of(e.src)?,
+                None => owner_of(handle.dst())?,
+            };
+            let tx = Arc::clone(&msg_txs[home]);
+            let _ = handle.set_notify(Arc::new(move |ev| {
+                let msg = match ev {
+                    MsgEvent::HighPosted { dst, ceiling } => ShardMsg::MsgHigh { dst, ceiling },
+                    MsgEvent::HighDrained { dst } => ShardMsg::MsgDrained { dst },
+                };
+                let mut tx = tx.lock().expect("message lane mutex poisoned");
+                send_with_backoff(&mut tx, msg);
+            }));
         }
         // Transpose: peer_txs[source][target], a shard never sends to
         // itself.
@@ -823,6 +916,51 @@ fn shard_scheduler_main(
                         .expect("cross-shard token routed to the owning shard");
                     settle_round!(&sink);
                 }
+                ShardMsg::MsgHigh { dst, ceiling } => {
+                    let owner = shard
+                        .taskset()
+                        .tasks()
+                        .get(dst.index())
+                        .and_then(|t| t.spec().assigned_worker());
+                    match owner {
+                        Some(o) if o.index() == me => {
+                            sink.clear();
+                            let cmd = ShardCmd::MsgHigh {
+                                dst,
+                                ceiling,
+                                at: clock.now(),
+                            };
+                            if shard.process_into(cmd, &mut sink).is_ok() {
+                                settle_round!(&sink);
+                            }
+                        }
+                        // Not ours: ride the per-peer lane to the owner,
+                        // like a cross-shard activation token.
+                        Some(o) => peers.send(o.index(), ShardMsg::MsgHigh { dst, ceiling }),
+                        None => {}
+                    }
+                }
+                ShardMsg::MsgDrained { dst } => {
+                    let owner = shard
+                        .taskset()
+                        .tasks()
+                        .get(dst.index())
+                        .and_then(|t| t.spec().assigned_worker());
+                    match owner {
+                        Some(o) if o.index() == me => {
+                            sink.clear();
+                            let cmd = ShardCmd::MsgDrained {
+                                dst,
+                                at: clock.now(),
+                            };
+                            if shard.process_into(cmd, &mut sink).is_ok() {
+                                settle_round!(&sink);
+                            }
+                        }
+                        Some(o) => peers.send(o.index(), ShardMsg::MsgDrained { dst }),
+                        None => {}
+                    }
+                }
                 ShardMsg::StealRequest { thief } => {
                     // Answer authoritatively: detach the most urgent
                     // accelerator-free ready job, or refuse.
@@ -1261,6 +1399,66 @@ mod tests {
                 |r| r.worker == WorkerId::new(1) && heavy.iter().any(|&(t, _)| t == r.job.task)
             ),
             "at least one heavy job ran on the idle worker"
+        );
+    }
+
+    #[test]
+    fn cross_shard_high_lane_boosts_the_receiver() {
+        // src (worker 0) streams typed messages to dst (worker 1) over
+        // the channel bound to their DAG edge; every third message rides
+        // the high lane. The notify hook runs on worker 0's thread, the
+        // post crosses shard 0's message lane and a peer lane to shard 1
+        // — the thread crossings this smoke test exists to put under
+        // TSan. dst outlasts the src period, so a high post always finds
+        // a live dst job to boost.
+        use yasmin_core::priority::Priority;
+        let mut b = TaskSetBuilder::new();
+        let src = b
+            .task_decl(TaskSpec::periodic("src", ms(5)).on_worker(WorkerId::new(0)))
+            .unwrap();
+        let vs = b
+            .version_decl(src, VersionSpec::new("s", Duration::from_micros(50)))
+            .unwrap();
+        let dst = b
+            .task_decl(TaskSpec::graph_node("dst").on_worker(WorkerId::new(1)))
+            .unwrap();
+        let vd = b.version_decl(dst, VersionSpec::new("d", ms(8))).unwrap();
+        let c = b.channel_decl_prioritized("data", 64, 8, 16, Priority::HIGHEST);
+        b.channel_connect(src, dst, c).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+
+        let mut builder = ShardedRuntimeBuilder::new(ts, sharded_config(2));
+        let (tx, rx) = builder.channel::<u64>(c).unwrap();
+        let sent = Arc::new(AtomicU32::new(0));
+        let got = Arc::new(AtomicU32::new(0));
+        let s = Arc::clone(&sent);
+        let g = Arc::clone(&got);
+        let rt = builder
+            .body(src, vs, move |_| {
+                let n = s.fetch_add(1, Ordering::SeqCst);
+                let _ = if n.is_multiple_of(3) {
+                    tx.send_high(u64::from(n))
+                } else {
+                    tx.send(u64::from(n))
+                };
+            })
+            .body(dst, vd, move |_| {
+                while rx.recv().is_some() {
+                    g.fetch_add(1, Ordering::SeqCst);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(8));
+            })
+            .build()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        rt.stop();
+        let report = rt.cleanup();
+        assert!(sent.load(Ordering::SeqCst) >= 8);
+        assert!(got.load(Ordering::SeqCst) >= 1, "messages delivered");
+        assert!(
+            report.engine_stats.msg_boosts >= 1,
+            "a high post while dst is pending must boost it (stats: {:?})",
+            report.engine_stats
         );
     }
 

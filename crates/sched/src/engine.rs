@@ -122,6 +122,9 @@ pub struct EngineStats {
     /// its [`ReservationServer`] budget for the current replenishment
     /// period (the job stays ready and retries on later rounds).
     pub budget_deferrals: u64,
+    /// Priority boosts applied because a high-priority message arrived
+    /// for a task (message-plane PIP; released when the lane drains).
+    pub msg_boosts: u64,
 }
 
 impl EngineStats {
@@ -145,6 +148,7 @@ impl EngineStats {
         self.cross_activations += other.cross_activations;
         self.culled += other.culled;
         self.budget_deferrals += other.budget_deferrals;
+        self.msg_boosts += other.msg_boosts;
     }
 }
 
@@ -305,6 +309,15 @@ pub struct OnlineEngine {
     /// Dense per-task owning tenant (raw [`TenantId`]), so the dispatch
     /// and token paths resolve tenancy without a range search.
     tenant_of: Vec<u32>,
+    /// Dense per-task count of outstanding high-priority messages
+    /// (posted minus drained) — the message-plane boost is held while
+    /// this is non-zero.
+    high_depth: Vec<u32>,
+    /// Dense per-task active message ceiling: the most urgent ceiling
+    /// posted since the high lane last became non-empty;
+    /// [`Priority::LOWEST`] when no boost is active. Jobs released while
+    /// a ceiling is active inherit `min(base, ceiling)`.
+    msg_ceiling: Vec<Priority>,
     /// `Some(w)`: this engine is the *shard* owning only worker `w`
     /// (partitioned mapping). It holds exactly one queue and one running
     /// slot, releases only tasks assigned to `w`, and still reports the
@@ -497,6 +510,8 @@ impl OnlineEngine {
                 server: None,
             }],
             tenant_of: vec![0; n],
+            high_depth: vec![0; n],
+            msg_ceiling: vec![Priority::LOWEST; n],
             queues,
             running: vec![None; n_slots],
             shard,
@@ -651,6 +666,10 @@ impl OnlineEngine {
     /// # Errors
     ///
     /// [`Error::ScheduleRunning`] if already started.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use start_into with a reusable ActionSink"
+    )]
     pub fn start(&mut self, now: Instant) -> Result<Vec<Action>> {
         let mut sink = ActionSink::new();
         self.start_into(now, &mut sink)?;
@@ -847,6 +866,8 @@ impl OnlineEngine {
             self.out_edges.push(Vec::new());
             self.in_edges.push(Vec::new());
             self.tenant_of.push(tenant.raw());
+            self.high_depth.push(0);
+            self.msg_ceiling.push(Priority::LOWEST);
         }
         for (i, e) in merged.edges().iter().enumerate().skip(e0) {
             self.out_edges[e.src.index()].push(i);
@@ -1030,6 +1051,10 @@ impl OnlineEngine {
     /// periodic job due by `now`, then dispatches/preempts.
     ///
     /// Allocating wrapper over [`OnlineEngine::on_tick_into`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use on_tick_into with a reusable ActionSink"
+    )]
     pub fn on_tick(&mut self, now: Instant) -> Vec<Action> {
         let mut sink = ActionSink::new();
         self.on_tick_into(now, &mut sink);
@@ -1098,6 +1123,10 @@ impl OnlineEngine {
     ///
     /// [`Error::UnknownTask`]; [`Error::InvalidConfig`] for periodic tasks
     /// (those are released by the scheduler itself).
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use activate_into with a reusable ActionSink"
+    )]
     pub fn activate(&mut self, task: TaskId, now: Instant) -> Result<Vec<Action>> {
         let mut sink = ActionSink::new();
         self.activate_into(task, now, &mut sink)?;
@@ -1156,6 +1185,10 @@ impl OnlineEngine {
     ///
     /// [`Error::InvalidConfig`] if `worker` is not running `job` — a
     /// driver protocol violation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use on_job_completed_into with a reusable ActionSink"
+    )]
     pub fn on_job_completed(
         &mut self,
         worker: WorkerId,
@@ -1236,6 +1269,10 @@ impl OnlineEngine {
     /// # Errors
     ///
     /// As [`OnlineEngine::on_jobs_completed_into`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use on_jobs_completed_into with a reusable ActionSink"
+    )]
     pub fn on_jobs_completed(
         &mut self,
         completions: &[(WorkerId, JobId)],
@@ -1521,6 +1558,201 @@ impl OnlineEngine {
         !self.outbox.is_empty()
     }
 
+    /// A high-priority message was posted to `dst`'s high lane: raises
+    /// the task's active ceiling to `min(current, ceiling)` and applies
+    /// the boost — the most urgent pending job of `dst` is re-queued at
+    /// the ceiling, a running job of `dst` has its effective priority
+    /// raised (emitting [`Action::Boost`]), and jobs released while the
+    /// lane stays non-empty inherit the ceiling at release. The boost
+    /// holds until [`OnlineEngine::on_high_drained_into`] has been
+    /// called once per post (depth counting), making message priority a
+    /// schedulable quantity, not just queue ordering.
+    ///
+    /// A dispatch round runs afterwards, so under preemptive configs a
+    /// boosted pending job preempts immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTask`] for an out-of-range task, or
+    /// [`Error::InvalidConfig`] when a shard engine receives a post for
+    /// a task it does not own — driver routing bugs, not runtime
+    /// conditions. Posts for retired-tenant tasks are silently dropped.
+    pub fn on_high_posted_into(
+        &mut self,
+        dst: TaskId,
+        ceiling: Priority,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        let ti = dst.index();
+        if ti >= self.taskset.len() {
+            return Err(Error::UnknownTask(dst));
+        }
+        if self.is_task_retired(dst) {
+            return Ok(());
+        }
+        if self.shard.is_some() && !self.owns_task(dst) {
+            return Err(Error::InvalidConfig(format!(
+                "high-priority message for {dst} routed to a shard not owning it"
+            )));
+        }
+        self.high_depth[ti] += 1;
+        if ceiling.is_higher_than(self.msg_ceiling[ti]) {
+            self.msg_ceiling[ti] = ceiling;
+        }
+        let active = self.msg_ceiling[ti];
+        // Boost the most urgent pending job of `dst` (O(log n) re-queue
+        // through the index heap; the scan itself allocates nothing).
+        let qi = self.queue_of[ti] as usize;
+        let mut target: Option<(Priority, JobId)> = None;
+        for j in self.queues[qi].iter() {
+            if j.task == dst
+                && active.is_higher_than(j.priority)
+                && target.is_none_or(|(p, _)| j.priority.is_higher_than(p))
+            {
+                target = Some((j.priority, j.id));
+            }
+        }
+        if let Some((_, id)) = target {
+            let mut job = self.queues[qi].remove(id).expect("job was just iterated");
+            job.priority = active;
+            let _ = self.queues[qi].push(job);
+            self.stats.msg_boosts += 1;
+        }
+        // Boost a running job of `dst` the way accelerator PIP does:
+        // update the slot's effective priority and tell the driver.
+        for s in 0..self.running.len() {
+            let worker = self.worker_of_slot(s);
+            let mut boosted = None;
+            if let Some(r) = self.running[s].as_mut() {
+                if r.job.task == dst && active.is_higher_than(r.effective_priority) {
+                    r.effective_priority = active;
+                    boosted = Some(r.job.id);
+                }
+            }
+            if let Some(job) = boosted {
+                self.stats.msg_boosts += 1;
+                sink.push(Action::Boost {
+                    worker,
+                    job,
+                    priority: active,
+                });
+            }
+        }
+        self.dispatch_round(now, sink);
+        Ok(())
+    }
+
+    /// One high-priority message of `dst` was consumed. When the last
+    /// outstanding post drains (depth reaches zero) the boost is
+    /// released: pending jobs of `dst` return to their base priority
+    /// (recomputed — EDF from the absolute deadline, otherwise the
+    /// static task priority), and a running job whose effective priority
+    /// equals the released ceiling falls back to base (a concurrent,
+    /// more urgent accelerator-PIP boost is left untouched).
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::on_high_posted_into`]. Draining an empty lane
+    /// is a protocol error in debug builds and a no-op in release.
+    pub fn on_high_drained_into(
+        &mut self,
+        dst: TaskId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        let ti = dst.index();
+        if ti >= self.taskset.len() {
+            return Err(Error::UnknownTask(dst));
+        }
+        if self.is_task_retired(dst) {
+            return Ok(());
+        }
+        if self.shard.is_some() && !self.owns_task(dst) {
+            return Err(Error::InvalidConfig(format!(
+                "high-lane drain for {dst} routed to a shard not owning it"
+            )));
+        }
+        debug_assert!(self.high_depth[ti] > 0, "drained an empty high lane");
+        self.high_depth[ti] = self.high_depth[ti].saturating_sub(1);
+        if self.high_depth[ti] > 0 {
+            return Ok(());
+        }
+        let ceiling = std::mem::replace(&mut self.msg_ceiling[ti], Priority::LOWEST);
+        if ceiling == Priority::LOWEST {
+            return Ok(());
+        }
+        // De-boost pending jobs: each restored job stops matching the
+        // scan, so the loop terminates after at most one pass per
+        // boosted job, allocation-free.
+        let qi = self.queue_of[ti] as usize;
+        loop {
+            let mut found: Option<(JobId, Priority)> = None;
+            for j in self.queues[qi].iter() {
+                if j.task == dst {
+                    let base = self.base_priority_of(j);
+                    if j.priority != base {
+                        found = Some((j.id, base));
+                        break;
+                    }
+                }
+            }
+            let Some((id, base)) = found else { break };
+            let mut job = self.queues[qi].remove(id).expect("job was just iterated");
+            job.priority = base;
+            let _ = self.queues[qi].push(job);
+        }
+        // De-boost a running job only when the message ceiling is the
+        // active component of its effective priority.
+        for s in 0..self.running.len() {
+            let worker = self.worker_of_slot(s);
+            let mut restored = None;
+            if let Some(r) = self.running[s].as_mut() {
+                if r.job.task == dst && r.effective_priority == ceiling {
+                    let base = r.job.priority;
+                    if base != r.effective_priority {
+                        r.effective_priority = base;
+                        restored = Some((r.job.id, base));
+                    }
+                }
+            }
+            if let Some((job, priority)) = restored {
+                sink.push(Action::Boost {
+                    worker,
+                    job,
+                    priority,
+                });
+            }
+        }
+        self.dispatch_round(now, sink);
+        Ok(())
+    }
+
+    /// Outstanding high-priority messages for `task` (posted minus
+    /// drained); the message boost is held while this is non-zero.
+    #[must_use]
+    pub fn high_lane_depth(&self, task: TaskId) -> u32 {
+        self.high_depth.get(task.index()).copied().unwrap_or(0)
+    }
+
+    /// The ceiling `task` currently inherits from its high message lane,
+    /// or `None` when no boost is active.
+    #[must_use]
+    pub fn active_msg_ceiling(&self, task: TaskId) -> Option<Priority> {
+        match self.msg_ceiling.get(task.index()) {
+            Some(&c) if c != Priority::LOWEST => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The base (un-boosted) priority of a job under the active policy.
+    fn base_priority_of(&self, job: &Job) -> Priority {
+        match self.config.priority() {
+            PriorityPolicy::EarliestDeadlineFirst => Priority::earliest_deadline(job.abs_deadline),
+            _ => self.static_priority[job.task.index()],
+        }
+    }
+
     fn release_job(&mut self, task: TaskId, release: Instant, graph_release: Instant) {
         debug_assert!(
             !self.is_task_retired(task),
@@ -1538,6 +1770,14 @@ impl OnlineEngine {
         let priority = match self.config.priority() {
             PriorityPolicy::EarliestDeadlineFirst => Priority::earliest_deadline(abs_deadline),
             _ => self.static_priority[task.index()],
+        };
+        // A job released while its task's high message lane is non-empty
+        // inherits the active ceiling immediately (message-plane PIP).
+        let ceiling = self.msg_ceiling[task.index()];
+        let priority = if ceiling.is_higher_than(priority) {
+            ceiling
+        } else {
+            priority
         };
         let job = Job {
             id: JobId::new(self.job_counter),
@@ -1830,6 +2070,10 @@ impl OnlineEngine {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated Vec-returning wrappers stay exercised here until
+    // they are removed outright.
+    #![allow(deprecated)]
+
     use super::*;
     use yasmin_core::config::VersionPolicy;
     use yasmin_core::task::TaskSpec;
@@ -2532,5 +2776,209 @@ mod tests {
             Action::Dispatch { version, .. } => assert_eq!(version.index(), 1),
             other => panic!("{other:?}"),
         }
+    }
+
+    /// Non-preemptive EDF — the thread runtime's semantics, which keeps
+    /// the message-boost tests about queue ordering, not preemption.
+    fn edf_np_config(workers: usize) -> Config {
+        Config::builder()
+            .workers(workers)
+            .priority(PriorityPolicy::EarliestDeadlineFirst)
+            .preemption(false)
+            .build()
+            .unwrap()
+    }
+
+    fn three_task_set() -> Arc<TaskSet> {
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let a = b.task_decl(TaskSpec::periodic("a", ms(10))).unwrap();
+        let c = b.task_decl(TaskSpec::periodic("c", ms(20))).unwrap();
+        let r = b.task_decl(TaskSpec::periodic("r", ms(40))).unwrap();
+        for (t, w) in [(a, 2), (c, 2), (r, 2)] {
+            b.version_decl(t, VersionSpec::new("v", ms(w))).unwrap();
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn high_post_boosts_pending_job_ahead_of_more_urgent_competitor() {
+        // One worker, EDF. At start: a (deadline 10) runs, c (20) and
+        // r (40) queue — c is the more urgent competitor. A high post
+        // for r must re-queue r's pending job at the ceiling so it
+        // dispatches ahead of c when the worker frees; after the lane
+        // drains, the order reverts to plain EDF.
+        let ts = three_task_set();
+        let receiver = TaskId::new(2);
+        let mut e = OnlineEngine::new(ts, edf_np_config(1)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let mut sink = ActionSink::new();
+        e.on_high_posted_into(receiver, Priority::HIGHEST, at(1), &mut sink)
+            .unwrap();
+        assert!(sink.is_empty(), "no worker freed, no action yet");
+        assert_eq!(e.high_lane_depth(receiver), 1);
+        assert_eq!(e.active_msg_ceiling(receiver), Some(Priority::HIGHEST));
+        assert_eq!(e.stats().msg_boosts, 1);
+
+        let running = e.running(WorkerId::new(0)).unwrap().job.id;
+        sink.clear();
+        e.on_job_completed_into(WorkerId::new(0), running, at(2), &mut sink)
+            .unwrap();
+        match sink.as_slice() {
+            [Action::Dispatch { job, .. }] => {
+                assert_eq!(job.task, receiver, "boosted receiver dispatches first");
+                assert_eq!(job.priority, Priority::HIGHEST);
+            }
+            other => panic!("expected one dispatch, got {other:?}"),
+        }
+
+        // Drain while the receiver runs: its slot effective priority
+        // falls back to base and c wins the next free worker.
+        sink.clear();
+        e.on_high_drained_into(receiver, at(3), &mut sink).unwrap();
+        assert_eq!(e.high_lane_depth(receiver), 0);
+        assert_eq!(e.active_msg_ceiling(receiver), None);
+        let receiver_job = e.running(WorkerId::new(0)).unwrap().job.id;
+        sink.clear();
+        e.on_job_completed_into(WorkerId::new(0), receiver_job, at(4), &mut sink)
+            .unwrap();
+        match sink.as_slice() {
+            [Action::Dispatch { job, .. }] => assert_eq!(job.task, TaskId::new(1)),
+            other => panic!("expected one dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn high_post_boosts_running_job_and_drain_restores_base() {
+        let ts = three_task_set();
+        let mut e = OnlineEngine::new(ts, edf_np_config(1)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        // a runs with its EDF base priority (deadline at 10ms).
+        let base = e.running(WorkerId::new(0)).unwrap().effective_priority;
+        assert_eq!(base, Priority::earliest_deadline(at(10)));
+        let mut sink = ActionSink::new();
+        e.on_high_posted_into(TaskId::new(0), Priority::new(7), at(1), &mut sink)
+            .unwrap();
+        let boosted = e.running(WorkerId::new(0)).unwrap();
+        assert_eq!(boosted.effective_priority, Priority::new(7));
+        assert!(
+            sink.as_slice().iter().any(|a| matches!(
+                a,
+                Action::Boost { worker, priority, .. }
+                    if *worker == WorkerId::new(0) && *priority == Priority::new(7)
+            )),
+            "driver is told about the boost: {:?}",
+            sink.as_slice()
+        );
+        sink.clear();
+        e.on_high_drained_into(TaskId::new(0), at(2), &mut sink)
+            .unwrap();
+        assert_eq!(
+            e.running(WorkerId::new(0)).unwrap().effective_priority,
+            base
+        );
+        assert!(
+            sink.as_slice().iter().any(|a| matches!(
+                a,
+                Action::Boost { priority, .. } if *priority == base
+            )),
+            "release is visible too: {:?}",
+            sink.as_slice()
+        );
+    }
+
+    #[test]
+    fn release_during_active_ceiling_inherits_it() {
+        // Post the high message while no job of the receiver is pending:
+        // the job released at the next tick must inherit the ceiling.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let a = b.task_decl(TaskSpec::periodic("a", ms(40))).unwrap();
+        let r = b.task_decl(TaskSpec::periodic("r", ms(40))).unwrap();
+        b.version_decl(a, VersionSpec::new("v", ms(2))).unwrap();
+        b.version_decl(r, VersionSpec::new("v", ms(2))).unwrap();
+        let ts = Arc::new(b.build().unwrap());
+        let receiver = r;
+        let mut e = OnlineEngine::new(ts, edf_np_config(2)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        // Both tasks run; complete both so the next releases are fresh.
+        let mut sink = ActionSink::new();
+        for w in [0, 1] {
+            let id = e.running(WorkerId::new(w)).unwrap().job.id;
+            e.on_job_completed_into(WorkerId::new(w), id, at(6), &mut sink)
+                .unwrap();
+        }
+        e.on_high_posted_into(receiver, Priority::HIGHEST, at(7), &mut sink)
+            .unwrap();
+        assert_eq!(e.stats().msg_boosts, 0, "nothing pending or running yet");
+        sink.clear();
+        e.on_tick_into(at(40), &mut sink);
+        let (rw, rj) = sink
+            .as_slice()
+            .iter()
+            .find_map(|a| match a {
+                Action::Dispatch { worker, job, .. } if job.task == receiver => {
+                    Some((*worker, *job))
+                }
+                _ => None,
+            })
+            .expect("receiver released and dispatched at t=40");
+        assert_eq!(rj.priority, Priority::HIGHEST, "release inherits ceiling");
+        // Drain, finish the cycle: the next release is back to base.
+        e.on_high_drained_into(receiver, at(41), &mut sink).unwrap();
+        sink.clear();
+        e.on_job_completed_into(rw, rj.id, at(42), &mut sink)
+            .unwrap();
+        let aw = if rw == WorkerId::new(0) { 1 } else { 0 };
+        let aj = e.running(WorkerId::new(aw)).unwrap().job.id;
+        e.on_job_completed_into(WorkerId::new(aw), aj, at(43), &mut sink)
+            .unwrap();
+        sink.clear();
+        e.on_tick_into(at(80), &mut sink);
+        let rj2 = sink
+            .as_slice()
+            .iter()
+            .find_map(|a| match a {
+                Action::Dispatch { job, .. } if job.task == receiver => Some(*job),
+                _ => None,
+            })
+            .expect("receiver released at t=80");
+        assert_eq!(rj2.priority, Priority::earliest_deadline(at(120)));
+    }
+
+    #[test]
+    fn ceiling_tightens_and_holds_until_all_posts_drain() {
+        let ts = three_task_set();
+        let receiver = TaskId::new(2);
+        let mut e = OnlineEngine::new(ts, edf_np_config(1)).unwrap();
+        let _ = e.start(Instant::ZERO).unwrap();
+        let mut sink = ActionSink::new();
+        e.on_high_posted_into(receiver, Priority::new(9), at(1), &mut sink)
+            .unwrap();
+        e.on_high_posted_into(receiver, Priority::new(3), at(1), &mut sink)
+            .unwrap();
+        // A less urgent later post does not loosen the ceiling.
+        e.on_high_posted_into(receiver, Priority::new(100), at(1), &mut sink)
+            .unwrap();
+        assert_eq!(e.high_lane_depth(receiver), 3);
+        assert_eq!(e.active_msg_ceiling(receiver), Some(Priority::new(3)));
+        e.on_high_drained_into(receiver, at(2), &mut sink).unwrap();
+        e.on_high_drained_into(receiver, at(2), &mut sink).unwrap();
+        assert_eq!(e.active_msg_ceiling(receiver), Some(Priority::new(3)));
+        e.on_high_drained_into(receiver, at(2), &mut sink).unwrap();
+        assert_eq!(e.active_msg_ceiling(receiver), None);
+        assert_eq!(e.high_lane_depth(receiver), 0);
+    }
+
+    #[test]
+    fn post_for_unknown_task_is_rejected() {
+        let mut e = OnlineEngine::new(two_task_set(), edf_config(1)).unwrap();
+        let mut sink = ActionSink::new();
+        assert!(matches!(
+            e.on_high_posted_into(TaskId::new(9), Priority::HIGHEST, at(0), &mut sink),
+            Err(Error::UnknownTask(_))
+        ));
+        assert!(matches!(
+            e.on_high_drained_into(TaskId::new(9), at(0), &mut sink),
+            Err(Error::UnknownTask(_))
+        ));
     }
 }

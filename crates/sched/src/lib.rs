@@ -16,6 +16,9 @@
 //! * [`shard`] — per-worker engine shards for partitioned mapping: one
 //!   independent scheduler state per worker, fed through the lock-free
 //!   command mailbox (`yasmin_sync::mailbox`);
+//! * [`msg`] — the typed priority message plane: dual-lane
+//!   (normal/high) channels over the wait-free SPSC rings, whose high
+//!   lane boosts the receiving task through the engine's PIP machinery;
 //! * [`offline`] — off-line table synthesis, validation, and the run-time
 //!   dispatcher (§3.4, Fig. 1c);
 //! * [`server`] — polling/deferrable aperiodic servers (the paper's §7
@@ -32,6 +35,7 @@ pub mod accel;
 pub mod admission;
 pub mod engine;
 pub mod job;
+pub mod msg;
 pub mod offline;
 pub mod queue;
 pub mod select;
@@ -43,6 +47,7 @@ pub use accel::AccelManager;
 pub use admission::{AdmissionControl, AdmissionError, BoundViolation};
 pub use engine::{Action, EngineStats, OnlineEngine, RemoteActivation, RunningJob, StealHint};
 pub use job::Job;
+pub use msg::{ChannelBuilder, MsgEvent, MsgNotify, NotifyHandle, Receiver, SendError, Sender};
 pub use offline::{
     synthesize, synthesize_strict, OfflineDispatcher, ScheduleTable, SynthesisOptions,
 };

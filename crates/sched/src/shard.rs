@@ -68,6 +68,7 @@ use yasmin_core::config::{Config, MappingScheme};
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{JobId, TaskId, TenantId, WorkerId};
+use yasmin_core::priority::Priority;
 use yasmin_core::time::{Duration, Instant};
 use yasmin_core::version::ExecMode;
 
@@ -122,6 +123,30 @@ pub enum ShardCmd {
         /// Graph release carried by the token (join semantics).
         graph_release: Instant,
         /// The predecessor's completion time.
+        at: Instant,
+    },
+    /// A high-priority message was posted to a channel whose receiving
+    /// task this shard owns (see [`yasmin_sched::msg`](crate::msg)).
+    /// Routed like [`ShardCmd::CrossActivate`] when the sender runs on
+    /// a foreign shard: the sender's shard forwards it over the
+    /// per-peer lane to the owner, which applies
+    /// [`OnlineEngine::on_high_posted_into`].
+    MsgHigh {
+        /// The receiving task (owned by this shard).
+        dst: TaskId,
+        /// The channel's declared priority ceiling.
+        ceiling: Priority,
+        /// Post time.
+        at: Instant,
+    },
+    /// A high-priority message was consumed from a channel whose
+    /// receiving task this shard owns; applies
+    /// [`OnlineEngine::on_high_drained_into`], releasing the boost once
+    /// the last outstanding high post drains.
+    MsgDrained {
+        /// The receiving task (owned by this shard).
+        dst: TaskId,
+        /// Drain time.
         at: Instant,
     },
     /// An idle thief shard asks this shard for a ready job. Drivers
@@ -201,6 +226,8 @@ impl ShardCmd {
             | ShardCmd::JobCompleted { at, .. }
             | ShardCmd::Tick { at }
             | ShardCmd::CrossActivate { at, .. }
+            | ShardCmd::MsgHigh { at, .. }
+            | ShardCmd::MsgDrained { at, .. }
             | ShardCmd::StealRequest { at, .. }
             | ShardCmd::Stolen { at, .. }
             | ShardCmd::StealDeny { at }
@@ -329,6 +356,10 @@ impl EngineShard {
                 graph_release,
                 at,
             } => self.engine.on_remote_token(edge, graph_release, at, sink),
+            ShardCmd::MsgHigh { dst, ceiling, at } => {
+                self.engine.on_high_posted_into(dst, ceiling, at, sink)
+            }
+            ShardCmd::MsgDrained { dst, at } => self.engine.on_high_drained_into(dst, at, sink),
             ShardCmd::Stolen { job, at } => self.engine.adopt_stolen(job, at, sink),
             ShardCmd::StealDeny { .. } => Ok(()),
             ShardCmd::AdmitTasks {
@@ -566,6 +597,15 @@ impl EngineShard {
     #[must_use]
     pub fn tenant_count(&self) -> usize {
         self.engine.tenant_count()
+    }
+
+    /// This shard's replica of a tenant's reservation server, if the
+    /// tenant carries a budget. Stolen jobs charge the **thief** shard's
+    /// replica on dispatch — the budget follows the tenant, not the
+    /// shard the task was partitioned onto.
+    #[must_use]
+    pub fn tenant_server(&self, tenant: TenantId) -> Option<&crate::server::ReservationServer> {
+        self.engine.tenant_server(tenant)
     }
 
     /// Stops releasing periodic jobs; in-flight work drains.
@@ -952,6 +992,103 @@ mod tests {
         shards[1]
             .process_into(ShardCmd::StealDeny { at: at(2) }, &mut sink)
             .unwrap();
+    }
+
+    #[test]
+    fn stolen_job_charges_the_thief_shard_tenant_replica() {
+        // Base: one task per worker, so both shards build and start.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        for (name, w) in [("base0", 0), ("base1", 1)] {
+            let t = b
+                .task_decl(TaskSpec::periodic(name, ms(40)).on_worker(WorkerId::new(w)))
+                .unwrap();
+            b.version_decl(t, VersionSpec::new(name, ms(1))).unwrap();
+        }
+        let live = Arc::new(b.build().unwrap());
+        let mut shards = EngineShard::build_all(&live, &partitioned_config(2)).unwrap();
+        let mut sink = ActionSink::new();
+        shards[0].start_into(Instant::ZERO, &mut sink).unwrap();
+        shards[1].start_into(Instant::ZERO, &mut sink).unwrap();
+
+        // Guest tenant: two tasks on worker 0, budgeted. Every shard
+        // splices its own server replica.
+        let mut g = yasmin_core::graph::TaskSetBuilder::new();
+        for name in ["g0", "g1"] {
+            let t = g
+                .task_decl(TaskSpec::periodic(name, ms(40)).on_worker(WorkerId::new(0)))
+                .unwrap();
+            g.version_decl(t, VersionSpec::new(name, ms(4))).unwrap();
+        }
+        let merged = Arc::new(live.extended(&g.build().unwrap()).unwrap());
+        // Capacity covers one guest WCET (4ms) but not two: the second
+        // stolen job must defer on the thief's replica.
+        let budget = crate::server::TenantBudget::deferrable(ms(6), ms(40));
+        let tenant = shards[0]
+            .admit_tasks(Arc::clone(&merged), Some(budget), Instant::ZERO)
+            .unwrap();
+        assert_eq!(
+            shards[1]
+                .admit_tasks(merged, Some(budget), Instant::ZERO)
+                .unwrap(),
+            tenant
+        );
+        sink.clear();
+        for s in shards.iter_mut() {
+            s.commit_tenant_into(tenant, Instant::ZERO, &mut sink)
+                .unwrap();
+        }
+        // Worker 0 runs base0; both guest jobs queue behind it. Worker 1
+        // finishes base1 and goes idle — the steal scenario.
+        assert_eq!(shards[0].ready_len(), 2);
+        let b1 = shards[1].running().expect("base1 runs").job.id;
+        sink.clear();
+        shards[1]
+            .on_job_completed_into(WorkerId::new(1), b1, at(1), &mut sink)
+            .unwrap();
+        assert!(shards[1].is_idle());
+
+        let hint = shards[0].try_steal().expect("guest job is stealable");
+        let job = shards[0].release_stolen(hint).expect("hint is fresh");
+        sink.clear();
+        shards[1].adopt_stolen(job, at(1), &mut sink).unwrap();
+        assert!(
+            matches!(sink.as_slice()[0], Action::Dispatch { job: j, .. } if j.id == job.id),
+            "{:?}",
+            sink.as_slice()
+        );
+
+        // The dispatch charged the *thief's* replica with the guest
+        // version's WCET; the victim's replica is untouched (its guest
+        // job is still queued behind base0).
+        let thief = shards[1].tenant_server(tenant).expect("replica spliced");
+        assert_eq!(thief.total_charged(), ms(4));
+        let victim = shards[0].tenant_server(tenant).expect("replica spliced");
+        assert_eq!(victim.total_charged(), Duration::ZERO);
+
+        // Steal the second guest job too. Migrating cannot mint budget:
+        // once the first job completes, the thief's replica (2ms left)
+        // refuses the 4ms charge and the job defers instead of running.
+        let hint2 = shards[0].try_steal().expect("second guest job queued");
+        let job2 = shards[0].release_stolen(hint2).expect("hint is fresh");
+        sink.clear();
+        shards[1].adopt_stolen(job2, at(2), &mut sink).unwrap();
+        shards[1]
+            .on_job_completed_into(WorkerId::new(1), job.id, at(5), &mut sink)
+            .unwrap();
+        assert!(
+            shards[1].running().is_none(),
+            "deferred job must not dispatch"
+        );
+        assert_eq!(shards[1].ready_len(), 1, "it stays queued instead");
+        assert!(shards[1].stats().budget_deferrals >= 1);
+        assert_eq!(
+            shards[1]
+                .tenant_server(tenant)
+                .expect("replica spliced")
+                .total_charged(),
+            ms(4),
+            "no charge beyond the replica's capacity"
+        );
     }
 
     #[test]

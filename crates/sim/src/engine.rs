@@ -80,6 +80,11 @@ pub struct SimConfig {
     /// Timed execution-mode switches (offset from start, new mode) — e.g.
     /// the drone's secure mode "activated when boats are detected" (§5).
     pub mode_schedule: Vec<(Duration, yasmin_core::version::ExecMode)>,
+    /// Timed message-plane events (offset from start, event): high-lane
+    /// posts/drains delivered deterministically at event boundaries, so
+    /// a simulated run reproduces the priority boosts a real channel's
+    /// notify hook would raise (see `yasmin_sched::msg`).
+    pub msg_schedule: Vec<(Duration, yasmin_sched::MsgEvent)>,
 }
 
 impl SimConfig {
@@ -99,6 +104,7 @@ impl SimConfig {
             seed: 0,
             measure_engine_time: false,
             mode_schedule: Vec::new(),
+            msg_schedule: Vec::new(),
         }
     }
 }
@@ -126,6 +132,12 @@ enum Ev {
     /// Quiesce an admitted tenant.
     Retire {
         tenant: TenantId,
+    },
+    /// A scheduled message-plane event ([`SimConfig::msg_schedule`]):
+    /// a high-lane post or drain delivered to the engine at this exact
+    /// event boundary.
+    Msg {
+        ev: yasmin_sched::MsgEvent,
     },
 }
 
@@ -659,6 +671,34 @@ impl Simulation {
                 self.sink = sink;
                 Ok(())
             }
+            ShardCmd::MsgHigh { dst, ceiling, at } => {
+                if at > horizon {
+                    return Ok(());
+                }
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                self.timed(|e| {
+                    e.on_high_posted_into(dst, ceiling, at, &mut sink)
+                        .expect("fed message destination is owned by this shard");
+                });
+                self.apply_actions(at, &sink);
+                self.sink = sink;
+                Ok(())
+            }
+            ShardCmd::MsgDrained { dst, at } => {
+                if at > horizon {
+                    return Ok(());
+                }
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                self.timed(|e| {
+                    e.on_high_drained_into(dst, at, &mut sink)
+                        .expect("fed message destination is owned by this shard");
+                });
+                self.apply_actions(at, &sink);
+                self.sink = sink;
+                Ok(())
+            }
             ShardCmd::Stop => {
                 self.engine.stop();
                 Ok(())
@@ -723,6 +763,10 @@ impl Simulation {
         let mode_schedule = std::mem::take(&mut self.cfg.mode_schedule);
         for (offset, mode) in mode_schedule {
             self.push_event(Instant::ZERO + offset, Ev::ModeSwitch { mode });
+        }
+        let msg_schedule = std::mem::take(&mut self.cfg.msg_schedule);
+        for (offset, ev) in msg_schedule {
+            self.push_event(Instant::ZERO + offset, Ev::Msg { ev });
         }
 
         loop {
@@ -825,6 +869,23 @@ impl Simulation {
                 }
                 Ev::ModeSwitch { mode } => {
                     self.engine.set_mode(mode);
+                }
+                Ev::Msg { ev } => {
+                    let mut sink = std::mem::take(&mut self.sink);
+                    sink.clear();
+                    self.timed(|e| {
+                        match ev {
+                            yasmin_sched::MsgEvent::HighPosted { dst, ceiling } => {
+                                e.on_high_posted_into(dst, ceiling, now, &mut sink)
+                            }
+                            yasmin_sched::MsgEvent::HighDrained { dst } => {
+                                e.on_high_drained_into(dst, now, &mut sink)
+                            }
+                        }
+                        .expect("scheduled message event targets a known task");
+                    });
+                    self.apply_actions(now, &sink);
+                    self.sink = sink;
                 }
                 Ev::Admit { idx } => {
                     let (merged, budget) = self.pending_admissions[idx].clone();

@@ -72,7 +72,7 @@ use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{CoreId, TaskId, VersionId, WorkerId};
 use yasmin_core::task::ActivationKind;
 use yasmin_core::time::{Duration, Instant};
-use yasmin_sched::{Action, ActionSink, EngineShard, Job, RemoteActivation, ShardCmd};
+use yasmin_sched::{Action, ActionSink, EngineShard, Job, MsgEvent, RemoteActivation, ShardCmd};
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 use yasmin_sync::wait::Backoff;
 
@@ -350,6 +350,14 @@ fn build_producer_feeds(
     }
 }
 
+/// The receiving task of a message-plane event (its owner routes it).
+fn msg_dst(ev: &yasmin_sched::MsgEvent) -> TaskId {
+    match *ev {
+        yasmin_sched::MsgEvent::HighPosted { dst, .. }
+        | yasmin_sched::MsgEvent::HighDrained { dst } => dst,
+    }
+}
+
 /// `true` when some DAG edge's endpoints live on different workers.
 fn has_cross_shard_edges(taskset: &TaskSet) -> bool {
     taskset.edges().iter().any(|e| {
@@ -423,6 +431,10 @@ pub fn run_partitioned_parallel(
             // Per-shard sampler streams: deterministic given (seed,
             // worker), independent across shards.
             cfg.seed ^= u64::from(worker.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // Message events are owned by the receiving task's shard,
+            // exactly like cross-shard activation tokens.
+            cfg.msg_schedule
+                .retain(|(_, ev)| owner[msg_dst(ev).index()] == worker.index());
             shard_handles.push(
                 std::thread::Builder::new()
                     .name(format!("yasmin-sim-shard-{worker}"))
@@ -484,6 +496,9 @@ enum PEv {
     /// A cross-shard DAG token routed from a peer at its completion
     /// time.
     Cross { edge: u32, graph_release: Instant },
+    /// A scheduled message-plane event ([`SimConfig::msg_schedule`])
+    /// delivered to the shard owning the receiving task.
+    Msg { ev: MsgEvent },
 }
 
 #[derive(Debug)]
@@ -719,6 +734,19 @@ impl Protocol<'_> {
         for s in 0..n {
             self.push_event(Instant::ZERO + self.tick, s, PEv::Tick);
         }
+        // Arm the scheduled message-plane events on their owning
+        // shards, after the tick train like the single-owner driver
+        // (ties at a tick instant resolve tick-first in both).
+        for i in 0..self.sim.msg_schedule.len() {
+            let (offset, ev) = self.sim.msg_schedule[i];
+            let dst = msg_dst(&ev);
+            let s = self.states[0].shard.taskset().tasks()[dst.index()]
+                .spec()
+                .assigned_worker()
+                .expect("validated by build_all")
+                .index();
+            self.push_event(Instant::ZERO + offset, s, PEv::Msg { ev });
+        }
         if self.steal {
             self.steal_pass(Instant::ZERO)?;
         }
@@ -792,6 +820,17 @@ impl Protocol<'_> {
                         at: now,
                     },
                 )?,
+                PEv::Msg { ev } => {
+                    let cmd = match ev {
+                        MsgEvent::HighPosted { dst, ceiling } => ShardCmd::MsgHigh {
+                            dst,
+                            ceiling,
+                            at: now,
+                        },
+                        MsgEvent::HighDrained { dst } => ShardCmd::MsgDrained { dst, at: now },
+                    };
+                    self.interact(s, cmd)?;
+                }
             }
             if self.steal {
                 self.steal_pass(now)?;

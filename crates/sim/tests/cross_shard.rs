@@ -284,6 +284,97 @@ fn stealing_run_is_deterministic() {
     assert_eq!(x.engine_stats.stolen, y.engine_stats.stolen);
 }
 
+/// PR 8 acceptance: scheduled high-lane message events are delivered
+/// deterministically at event boundaries, produce the *same trace* in
+/// the single-owner reference and the parallel protocol loop, and the
+/// boost visibly reorders dispatch.
+#[test]
+fn message_boost_matches_single_owner_reference() {
+    use yasmin_core::priority::Priority;
+    use yasmin_sched::MsgEvent;
+    let w0 = WorkerId::new(0);
+    let w1 = WorkerId::new(1);
+    // Worker 0: a blocker (earliest deadline) plus two queued tasks m1
+    // (deadline 40 ms) and m2 (deadline 80 ms). Without the boost EDF
+    // runs m1 before m2; the high post at 2.001 ms — while both wait
+    // behind the blocker — must flip that order. Worker 1 only carries
+    // a light tick source. WCETs/offsets are odd so no event ties.
+    let mut b = TaskSetBuilder::new();
+    let blocker = b
+        .task_decl(TaskSpec::periodic("blocker", ms(20)).on_worker(w0))
+        .unwrap();
+    let m1 = b
+        .task_decl(TaskSpec::periodic("m1", ms(40)).on_worker(w0))
+        .unwrap();
+    let m2 = b
+        .task_decl(TaskSpec::periodic("m2", ms(80)).on_worker(w0))
+        .unwrap();
+    let light = b
+        .task_decl(TaskSpec::periodic("light", ms(20)).on_worker(w1))
+        .unwrap();
+    b.version_decl(blocker, VersionSpec::new("b", us(5_003)))
+        .unwrap();
+    b.version_decl(m1, VersionSpec::new("m1", us(3_001)))
+        .unwrap();
+    b.version_decl(m2, VersionSpec::new("m2", us(2_003)))
+        .unwrap();
+    b.version_decl(light, VersionSpec::new("l", us(103)))
+        .unwrap();
+    let ts = Arc::new(b.build().unwrap());
+
+    let mut sim = SimConfig::uniform(2, ms(40));
+    sim.msg_schedule = vec![
+        (
+            us(2_001),
+            MsgEvent::HighPosted {
+                dst: m2,
+                ceiling: Priority::HIGHEST,
+            },
+        ),
+        (us(8_501), MsgEvent::HighDrained { dst: m2 }),
+    ];
+
+    let single = Simulation::new(Arc::clone(&ts), config(2, false), sim.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    let par = run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim, opts(false)).unwrap();
+
+    for r in [&single, &par] {
+        assert_eq!(r.engine_stats.msg_boosts, 1, "{:?}", r.engine_stats);
+        let start_of = |t| {
+            r.records
+                .iter()
+                .find(|rec| rec.task == t)
+                .expect("completed")
+                .first_start
+        };
+        assert!(
+            start_of(m2) < start_of(m1),
+            "the boosted m2 must dispatch before the shorter-deadline m1 \
+             ({} !< {})",
+            start_of(m2),
+            start_of(m1)
+        );
+        assert_eq!(start_of(m2), Instant::from_nanos(5_003_000));
+    }
+    assert_same_trace(&single, &par);
+
+    // Determinism: the same schedule replays to an identical trace.
+    let mut sim2 = SimConfig::uniform(2, ms(40));
+    sim2.msg_schedule = vec![(
+        us(2_001),
+        MsgEvent::HighPosted {
+            dst: m2,
+            ceiling: Priority::HIGHEST,
+        },
+    )];
+    let x = run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim2.clone(), opts(false))
+        .unwrap();
+    let y = run_partitioned_parallel(Arc::clone(&ts), config(2, true), sim2, opts(false)).unwrap();
+    assert_eq!(x.records, y.records);
+}
+
 #[test]
 fn protocol_loop_rejects_preemptive_configs() {
     let ts = cross_shard_set();

@@ -64,6 +64,7 @@ fn main() -> Result<(), yasmin::Error> {
         seed: 2026,
         measure_engine_time: false,
         mode_schedule,
+        msg_schedule: Vec::new(),
     };
     let result = Simulation::new(Arc::new(workload.taskset.clone()), config, sim)?.run()?;
 

@@ -13,7 +13,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`core`] | task model, versions, graphs, config, platforms, time |
-//! | [`sched`] | the scheduling engine (online G/P, offline tables, version selection, PIP) |
+//! | [`sched`] | the scheduling engine (online G/P, offline tables, version selection, PIP, typed priority message plane) |
 //! | [`rt`] | real-thread runtime (scheduler thread + pinned workers) |
 //! | [`sim`] | discrete-event simulator (heterogeneous platforms, kernel latency models) |
 //! | [`sync`] | MCS/ticket locks, PIP mutex, barriers, SPSC rings, wait strategies |
@@ -89,7 +89,8 @@ pub mod prelude {
         JobCtx, Runtime, RuntimeBuilder, ShardedRuntime, ShardedRuntimeBuilder, TaskBody,
     };
     pub use yasmin_sched::{
-        AdmissionControl, AdmissionError, BoundViolation, OnlineEngine, ScheduleTable, TenantBudget,
+        AdmissionControl, AdmissionError, BoundViolation, ChannelBuilder, MsgEvent, MsgNotify,
+        NotifyHandle, OnlineEngine, Receiver, ScheduleTable, SendError, Sender, TenantBudget,
     };
     pub use yasmin_sim::{SimConfig, Simulation};
 }

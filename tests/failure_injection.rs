@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 use yasmin::prelude::*;
-use yasmin::sched::OnlineEngine;
+use yasmin::sched::{ActionSink, OnlineEngine};
 use yasmin::sim::ExecModel;
 
 fn ms(v: u64) -> Duration {
@@ -121,10 +121,14 @@ fn sporadic_violation_counting_via_engine() {
     let ts = Arc::new(b.build().unwrap());
     let config = Config::builder().workers(1).tick(ms(10)).build().unwrap();
     let mut engine = OnlineEngine::new(ts, config).unwrap();
-    let _ = engine.start(Instant::ZERO).unwrap();
-    let _ = engine.activate(s, Instant::from_nanos(0)).unwrap();
-    let _ = engine.activate(s, Instant::from_nanos(3_000_000)).unwrap();
-    let _ = engine.activate(s, Instant::from_nanos(20_000_000)).unwrap();
+    let mut sink = ActionSink::new();
+    engine.start_into(Instant::ZERO, &mut sink).unwrap();
+    for at in [0, 3_000_000, 20_000_000] {
+        sink.clear();
+        engine
+            .activate_into(s, Instant::from_nanos(at), &mut sink)
+            .unwrap();
+    }
     assert_eq!(engine.stats().sporadic_violations, 1);
 }
 

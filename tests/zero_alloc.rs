@@ -4,7 +4,7 @@
 //! warm-up phase (rank caches fill, scratch buffers and the action sink
 //! grow to their high-water marks) each scenario drives 10 000 further
 //! steady-state scheduler interactions and asserts the allocation
-//! counter did not move at all. Seven scenarios cover the paths the
+//! counter did not move at all. Nine scenarios cover the paths the
 //! ROADMAP names:
 //!
 //! 1. **independent / global** — the EDF tick/complete loop of PR 2;
@@ -32,7 +32,13 @@
 //!    post-admission steady loop, including the per-dispatch budget
 //!    charge against the tenant's reservation server, must not touch
 //!    the allocator (admission itself is a control-path event and *may*
-//!    allocate — the guarantee is about the state it leaves behind).
+//!    allocate — the guarantee is about the state it leaves behind);
+//! 9. **message plane** — every cycle sends one normal and one
+//!    high-priority message over a ceiling-bearing channel, routes the
+//!    resulting `MsgEvent`s through the notify hook into the lock-free
+//!    mailbox (the runtimes' wiring), boosts the receiver's pending job
+//!    via the PIP machinery, drains, restores and retires — the
+//!    send/recv/boost loop of the typed message plane.
 //!
 //! Runs without the libtest harness (`harness = false` in Cargo.toml)
 //! so no other thread can touch the allocator during the measured
@@ -673,6 +679,130 @@ fn admitted_tenant_steady_state() {
     );
 }
 
+/// Pumps queued [`MsgEvent`]s from the notify mailbox into the engine's
+/// boost/restore hooks — the role the scheduler thread plays in the
+/// real runtimes.
+fn pump_msg_events(
+    events: &mut MailboxReceiver<yasmin_sched::msg::MsgEvent>,
+    engine: &mut OnlineEngine,
+    now: Instant,
+    sink: &mut ActionSink,
+    running: &mut [Option<JobId>],
+) {
+    use yasmin_sched::msg::MsgEvent;
+    while let Some(ev) = events.try_recv() {
+        sink.clear();
+        match ev {
+            MsgEvent::HighPosted { dst, ceiling } => engine
+                .on_high_posted_into(dst, ceiling, now, sink)
+                .expect("receiver is live"),
+            MsgEvent::HighDrained { dst } => engine
+                .on_high_drained_into(dst, now, sink)
+                .expect("receiver is live"),
+        }
+        track(running, sink.as_slice());
+    }
+}
+
+/// Scenario 9: the typed message plane in steady state. One worker runs
+/// `runner` while `dst` waits in the queue, so every high-lane post
+/// finds a pending job to boost; each cycle does the full
+/// send → notify → boost → recv → drain → restore → retire round trip
+/// with the notify hook feeding a wait-free mailbox lane exactly as the
+/// runtimes wire it.
+fn message_plane_steady_state() {
+    use std::sync::Mutex;
+    use yasmin_core::priority::Priority;
+    use yasmin_sched::msg::{ChannelBuilder, MsgEvent};
+
+    let mut b = TaskSetBuilder::new();
+    let runner = b.task_decl(TaskSpec::aperiodic("runner")).unwrap();
+    b.version_decl(runner, VersionSpec::new("v", Duration::from_millis(1)))
+        .unwrap();
+    let dst = b.task_decl(TaskSpec::aperiodic("dst")).unwrap();
+    b.version_decl(dst, VersionSpec::new("v", Duration::from_millis(1)))
+        .unwrap();
+    let ts = Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(1)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .preemption(false)
+        .tick(Duration::from_millis(1_000))
+        .max_pending_jobs(16)
+        .build()
+        .expect("valid config");
+    let mut engine = OnlineEngine::new(ts, config).expect("valid engine");
+
+    let (tx, rx) = ChannelBuilder::standalone("ctl", dst)
+        .capacity(8)
+        .high_lane(8, Priority::HIGHEST)
+        .build::<u64>()
+        .expect("valid channel");
+    let (mut lanes, mut events) = mailbox::<MsgEvent>(1, 64);
+    let feed = Mutex::new(lanes.pop().expect("one lane requested"));
+    assert!(tx.notify_handle().set_notify(Arc::new(move |ev| {
+        feed.lock()
+            .expect("notify hook never panics")
+            .send(ev)
+            .expect("event lane sized for the cycle");
+    })));
+
+    let mut sink = ActionSink::with_capacity(64);
+    let mut running: Vec<Option<JobId>> = vec![None; 1];
+    engine
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh engine starts");
+    track(&mut running, sink.as_slice());
+
+    let step = Duration::from_micros(10);
+    let mut now = Instant::ZERO;
+    let mut seq = 0u64;
+
+    assert_zero_alloc("message-plane", || {
+        now += step;
+        seq += 1;
+        // `runner` takes the single worker; `dst` parks in the queue.
+        sink.clear();
+        engine
+            .activate_into(runner, now, &mut sink)
+            .expect("worker is idle");
+        track(&mut running, sink.as_slice());
+        let active = running[0].expect("runner dispatched");
+        sink.clear();
+        engine
+            .activate_into(dst, now, &mut sink)
+            .expect("queue has room");
+        // Post both lanes; the high post boosts the queued `dst` job.
+        tx.send(seq).expect("normal lane has room");
+        tx.send_high(seq).expect("high lane has room");
+        pump_msg_events(&mut events, &mut engine, now, &mut sink, &mut running);
+        // Drain high lane first, then the normal lane; the drain event
+        // restores the queued job's base priority.
+        assert_eq!(rx.recv(), Some(seq));
+        assert_eq!(rx.recv(), Some(seq));
+        pump_msg_events(&mut events, &mut engine, now, &mut sink, &mut running);
+        // Retire `runner`, which dispatches the restored `dst` job,
+        // then retire that too so the next cycle starts idle.
+        sink.clear();
+        engine
+            .on_job_completed_into(WorkerId::new(0), active, now, &mut sink)
+            .expect("completion protocol upheld");
+        track(&mut running, sink.as_slice());
+        let drained = running[0].take().expect("dst dispatched after runner");
+        sink.clear();
+        engine
+            .on_job_completed_into(WorkerId::new(0), drained, now, &mut sink)
+            .expect("completion protocol upheld");
+        track(&mut running, sink.as_slice());
+    });
+    assert!(
+        engine.stats().msg_boosts > u64::from(WARMUP),
+        "every cycle must boost the pending receiver (got {})",
+        engine.stats().msg_boosts
+    );
+    assert!(rx.is_empty(), "both lanes drained every cycle");
+}
+
 fn main() {
     independent_global();
     dag_firing();
@@ -682,4 +812,5 @@ fn main() {
     mode_switch_rank_refresh();
     steady_state_stealing();
     admitted_tenant_steady_state();
+    message_plane_steady_state();
 }
