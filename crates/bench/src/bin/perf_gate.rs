@@ -31,7 +31,11 @@
 //!    * `msg.routed_send` within 3× of `msg.local_send` (from
 //!      `results/BENCH_PR8.json`) — a high-lane post whose receiver
 //!      lives on a foreign shard pays one peer-lane hop on top of the
-//!      home-shard post, and nothing else.
+//!      home-shard post, and nothing else;
+//!    * `fault.tick_on` within +15% of `fault.tick_off` (from
+//!      `results/BENCH_PR9.json`) — arming WCET-overrun enforcement
+//!      and the miss trip wire adds only the busy-worker scan to the
+//!      tick, never a task-count-dependent pass.
 //!
 //! Modes: no argument runs both checks; `--cross-file-only` /
 //! `--same-host-only` select one (what the two CI steps use).
@@ -52,6 +56,8 @@ const MAX_STEAL_OVER_LOCAL_PCT: u64 = 100;
 const MAX_ROUTED_OVER_LOCAL_PCT: u64 = 200;
 /// routed high-lane post ≤ 3× home-shard post.
 const MAX_ROUTED_SEND_OVER_LOCAL_PCT: u64 = 200;
+/// armed WCET-overrun enforcement tick ≤ 1.15× unarmed tick.
+const MAX_ENFORCEMENT_OVER_OFF_PCT: u64 = 15;
 
 fn read(path: &str) -> String {
     match std::fs::read_to_string(path) {
@@ -186,6 +192,20 @@ fn main() {
                 ("msg", "routed_send"),
                 ("msg", "local_send"),
                 MAX_ROUTED_SEND_OVER_LOCAL_PCT,
+            )
+            .map(|c| vec![c]),
+        );
+        let pr9 = read("results/BENCH_PR9.json");
+        failed |= report(
+            &format!(
+                "perf_gate: armed enforcement tick vs unarmed tick, same host \
+                 (limit +{MAX_ENFORCEMENT_OVER_OFF_PCT}%)"
+            ),
+            &gate_ratio(
+                &pr9,
+                ("fault", "tick_on"),
+                ("fault", "tick_off"),
+                MAX_ENFORCEMENT_OVER_OFF_PCT,
             )
             .map(|c| vec![c]),
         );

@@ -132,6 +132,7 @@ pub fn run_one(
         measure_engine_time: false,
         mode_schedule: mode_schedule(p),
         msg_schedule: Vec::new(),
+        fault_schedule: Vec::new(),
     };
     let taskset = Arc::new(workload.taskset.clone());
     let result = Simulation::new(taskset, config, sim)

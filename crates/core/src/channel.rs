@@ -12,6 +12,28 @@
 use crate::ids::{ChannelId, TaskId};
 use crate::priority::Priority;
 
+/// What happens to a token posted to a channel that is already at
+/// capacity (the overload-shedding policy).
+///
+/// The default, [`BackpressurePolicy::Reject`], preserves the historic
+/// behaviour: the overflow is counted (`EngineStats::channel_overflows`)
+/// and the token is still queued — producers are never blocked on the
+/// hot path. The dropping policies shed load instead, bounding the
+/// backlog a slow consumer can accumulate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum BackpressurePolicy {
+    /// Count the overflow and keep the token (no shedding).
+    #[default]
+    Reject,
+    /// Drop the *oldest* buffered token to make room for the new one —
+    /// the right policy for telemetry lanes where only the freshest
+    /// sample matters.
+    DropOldest,
+    /// Drop the token with the *latest* downstream release time (the one
+    /// whose derived deadline is furthest away), keeping urgent work.
+    DeadlineAwareDrop,
+}
+
 /// Static description of a FIFO channel.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChannelSpec {
@@ -24,6 +46,8 @@ pub struct ChannelSpec {
     /// Ceiling priority the consumer inherits while the high lane is
     /// non-empty (`None` = no scheduler-visible boost).
     high_ceiling: Option<Priority>,
+    /// What to do with tokens that arrive while the channel is full.
+    backpressure: BackpressurePolicy,
 }
 
 impl ChannelSpec {
@@ -38,7 +62,23 @@ impl ChannelSpec {
             elem_bytes,
             high_capacity: 0,
             high_ceiling: None,
+            backpressure: BackpressurePolicy::Reject,
         }
+    }
+
+    /// Sets the overload-shedding policy applied when a token arrives on
+    /// a full channel (default [`BackpressurePolicy::Reject`]).
+    #[must_use]
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// The overload-shedding policy for tokens arriving on a full
+    /// channel.
+    #[must_use]
+    pub const fn backpressure(&self) -> BackpressurePolicy {
+        self.backpressure
     }
 
     /// Adds a high-priority lane of `capacity` slots. While that lane is

@@ -195,6 +195,8 @@ pub struct Config {
     initial_mode: ExecMode,
     sharded_dispatch: bool,
     cull_missed: bool,
+    enforce_wcet: bool,
+    miss_trip: Option<(Duration, u32)>,
 }
 
 impl Config {
@@ -305,6 +307,26 @@ impl Config {
         self.cull_missed
     }
 
+    /// Whether the engine enforces per-job WCET budgets on the tick
+    /// path: a job still running past `dispatch + selected-version WCET`
+    /// has its task's `OverrunPolicy` applied and is counted in
+    /// `EngineStats::overruns`. Off by default — the paper's scheduler
+    /// trusts declared WCETs.
+    #[must_use]
+    pub const fn enforce_wcet(&self) -> bool {
+        self.enforce_wcet
+    }
+
+    /// The deadline-miss trip wire `(window, budget)`: when more than
+    /// `budget` deadline misses are observed within a sliding window of
+    /// `window`, the engine demotes `OverrunPolicy::LogOnly`-class tasks
+    /// to background priority until the miss rate recovers. `None`
+    /// disables the trip wire.
+    #[must_use]
+    pub const fn miss_trip(&self) -> Option<(Duration, u32)> {
+        self.miss_trip
+    }
+
     /// A configuration label like `G-EDF` used in experiment tables.
     #[must_use]
     pub fn label(&self) -> String {
@@ -343,6 +365,8 @@ impl fmt::Debug for Config {
             .field("initial_mode", &self.initial_mode)
             .field("sharded_dispatch", &self.sharded_dispatch)
             .field("cull_missed", &self.cull_missed)
+            .field("enforce_wcet", &self.enforce_wcet)
+            .field("miss_trip", &self.miss_trip)
             .finish()
     }
 }
@@ -364,6 +388,8 @@ pub struct ConfigBuilder {
     initial_mode: ExecMode,
     sharded_dispatch: bool,
     cull_missed: bool,
+    enforce_wcet: bool,
+    miss_trip: Option<(Duration, u32)>,
 }
 
 impl fmt::Debug for ConfigBuilder {
@@ -393,6 +419,8 @@ impl Default for ConfigBuilder {
             initial_mode: ExecMode::NORMAL,
             sharded_dispatch: false,
             cull_missed: false,
+            enforce_wcet: false,
+            miss_trip: None,
         }
     }
 }
@@ -500,6 +528,24 @@ impl ConfigBuilder {
         self
     }
 
+    /// Enables WCET-overrun enforcement on the tick path; see
+    /// [`Config::enforce_wcet`].
+    #[must_use]
+    pub fn enforce_wcet(mut self, on: bool) -> Self {
+        self.enforce_wcet = on;
+        self
+    }
+
+    /// Arms the deadline-miss trip wire: more than `budget` misses
+    /// within `window` demotes `OverrunPolicy::LogOnly`-class tasks to
+    /// background priority until the rate recovers; see
+    /// [`Config::miss_trip`].
+    #[must_use]
+    pub fn miss_trip(mut self, window: Duration, budget: u32) -> Self {
+        self.miss_trip = Some((window, budget));
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -536,6 +582,13 @@ impl ConfigBuilder {
                 "sharded dispatch needs per-worker ready queues: use partitioned mapping".into(),
             ));
         }
+        if let Some((window, _)) = self.miss_trip {
+            if window.is_zero() {
+                return Err(Error::InvalidConfig(
+                    "miss-trip window must be positive".into(),
+                ));
+            }
+        }
         Ok(Config {
             workers: self.workers,
             mapping: self.mapping,
@@ -551,6 +604,8 @@ impl ConfigBuilder {
             initial_mode: self.initial_mode,
             sharded_dispatch: self.sharded_dispatch,
             cull_missed: self.cull_missed,
+            enforce_wcet: self.enforce_wcet,
+            miss_trip: self.miss_trip,
         })
     }
 }

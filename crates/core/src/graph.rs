@@ -7,7 +7,7 @@
 //! freezes it into an immutable [`TaskSet`] that the scheduler consumes.
 
 use crate::accel::AccelSpec;
-use crate::channel::{ChannelSpec, Edge};
+use crate::channel::{BackpressurePolicy, ChannelSpec, Edge};
 use crate::error::{Error, Result};
 use crate::ids::{AccelId, ChannelId, TaskId, VersionId};
 use crate::priority::Priority;
@@ -499,6 +499,24 @@ impl TaskSetBuilder {
         let id = ChannelId::new(u32::try_from(self.channels.len()).expect("< 2^32 channels"));
         self.channels
             .push(ChannelSpec::new(id, name, capacity, elem_bytes));
+        self.connected.push(false);
+        id
+    }
+
+    /// Declares a FIFO channel with an overload-shedding
+    /// [`BackpressurePolicy`] applied when a token arrives on a full
+    /// channel (`channel_decl` defaults to
+    /// [`BackpressurePolicy::Reject`]: count, never shed).
+    pub fn channel_decl_shedding(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        elem_bytes: usize,
+        policy: BackpressurePolicy,
+    ) -> ChannelId {
+        let id = ChannelId::new(u32::try_from(self.channels.len()).expect("< 2^32 channels"));
+        self.channels
+            .push(ChannelSpec::new(id, name, capacity, elem_bytes).with_backpressure(policy));
         self.connected.push(false);
         id
     }

@@ -30,6 +30,32 @@ impl ActivationKind {
     }
 }
 
+/// What the scheduler does when a job of this task is still running past
+/// its enforcement deadline (dispatch instant + selected version's WCET),
+/// or when its body fails (a worker panic contained by the runtime).
+///
+/// Enforcement is opt-in via `Config::enforce_wcet`; the policy is
+/// per-task so one misbehaving pipeline stage can be contained without
+/// touching the rest of the graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OverrunPolicy {
+    /// Retire the job at the overrun: its successor tokens are dropped
+    /// (downstream DAG nodes never fire from this activation). The body
+    /// itself still runs to completion on its worker — the middleware
+    /// never destroys a thread mid-body — but the completion is
+    /// discarded from the schedule's point of view.
+    Kill,
+    /// Keep the job but demote it to background priority so it can only
+    /// use otherwise-idle processor time; successors fire normally when
+    /// it eventually completes.
+    DemoteToBackground,
+    /// Count the overrun (`EngineStats::overruns`) and keep going.
+    /// `LogOnly` tasks are also the shedding class: the deadline-miss
+    /// trip wire demotes them first under overload.
+    #[default]
+    LogOnly,
+}
+
 /// The deadline scheme of a task, relative to its period (§2).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum DeadlineKind {
@@ -63,6 +89,7 @@ pub struct TaskSpec {
     release_offset: Duration,
     assigned_worker: Option<WorkerId>,
     static_priority: Option<Priority>,
+    overrun_policy: OverrunPolicy,
 }
 
 impl TaskSpec {
@@ -77,6 +104,7 @@ impl TaskSpec {
             release_offset: Duration::ZERO,
             assigned_worker: None,
             static_priority: None,
+            overrun_policy: OverrunPolicy::LogOnly,
         }
     }
 
@@ -99,6 +127,7 @@ impl TaskSpec {
             release_offset: Duration::ZERO,
             assigned_worker: None,
             static_priority: None,
+            overrun_policy: OverrunPolicy::LogOnly,
         }
     }
 
@@ -144,6 +173,15 @@ impl TaskSpec {
     #[must_use]
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.static_priority = Some(priority);
+        self
+    }
+
+    /// Sets the WCET-overrun / body-failure policy (default
+    /// [`OverrunPolicy::LogOnly`]). Only consulted when the engine runs
+    /// with `Config::enforce_wcet(true)` or when a body panics.
+    #[must_use]
+    pub fn with_overrun_policy(mut self, policy: OverrunPolicy) -> Self {
+        self.overrun_policy = policy;
         self
     }
 
@@ -205,6 +243,12 @@ impl TaskSpec {
     #[must_use]
     pub const fn static_priority(&self) -> Option<Priority> {
         self.static_priority
+    }
+
+    /// The WCET-overrun / body-failure policy.
+    #[must_use]
+    pub const fn overrun_policy(&self) -> OverrunPolicy {
+        self.overrun_policy
     }
 
     /// Validates internal consistency (used by the task-set builder).

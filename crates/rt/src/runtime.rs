@@ -30,7 +30,7 @@ use yasmin_core::time::{Clock, Instant, MonotonicClock};
 use yasmin_sched::admission::{reservation_for, AdmissionControl, AdmissionError};
 use yasmin_sched::msg::{MsgEvent, NotifyHandle, Receiver as MsgReceiver, Sender as MsgSender};
 use yasmin_sched::server::TenantBudget;
-use yasmin_sched::{Action, ActionSink, EngineStats, Job, OnlineEngine};
+use yasmin_sched::{Action, ActionSink, EngineStats, Job, JobOutcome, OnlineEngine};
 use yasmin_sync::wait::{wait_until, WaitMode};
 
 /// Context handed to a task body for each job.
@@ -60,6 +60,9 @@ pub struct RtJobRecord {
     pub started: Instant,
     /// When the body returned.
     pub completed: Instant,
+    /// Whether the body returned normally or panicked (panics are
+    /// contained on the worker and retired as failures).
+    pub outcome: JobOutcome,
 }
 
 impl RtJobRecord {
@@ -106,6 +109,7 @@ struct Completion {
     version: VersionId,
     started: Instant,
     completed: Instant,
+    outcome: JobOutcome,
 }
 
 enum Cmd {
@@ -528,7 +532,18 @@ fn worker_main(
                     version,
                     worker: me,
                 };
-                body(&ctx);
+                // Contain body panics on the worker: a panicking job is
+                // reported as Failed instead of poisoning the thread (the
+                // whole point of fault isolation — one bad tenant body
+                // must not take a virtual CPU down with it). `TaskBody`
+                // is not `UnwindSafe` because it is a shared closure, but
+                // the runtime never observes its captured state after a
+                // panic, so the assertion is sound.
+                let outcome =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx))) {
+                        Ok(()) => JobOutcome::Completed,
+                        Err(_) => JobOutcome::Failed,
+                    };
                 let completed = clock.now();
                 if done_tx
                     .send(Completion {
@@ -537,6 +552,7 @@ fn worker_main(
                         version,
                         started,
                         completed,
+                        outcome,
                     })
                     .is_err()
                 {
@@ -571,6 +587,10 @@ fn scheduler_main(
     // engine's batch API: N workers finishing close together cost one
     // dispatch round, not N.
     let mut done_batch: Vec<(WorkerId, yasmin_core::ids::JobId)> =
+        Vec::with_capacity(worker_tx.len().max(4));
+    // Failed (panicked) jobs retire through the failure path, one by
+    // one — rare by construction, so no batch API is warranted.
+    let mut failed_batch: Vec<(WorkerId, yasmin_core::ids::JobId)> =
         Vec::with_capacity(worker_tx.len().max(4));
     // `bodies` is passed explicitly (not captured) because admission
     // grows the map between rounds.
@@ -681,28 +701,42 @@ fn scheduler_main(
         match done_rx.recv_timeout(timeout) {
             Ok(first) => {
                 done_batch.clear();
+                failed_batch.clear();
                 let mut last_completed = first.completed;
-                let mut book = |c: Completion, batch: &mut Vec<(WorkerId, _)>| {
-                    batch.push((c.worker, c.job.id));
+                let mut book = |c: Completion,
+                                batch: &mut Vec<(WorkerId, _)>,
+                                failed: &mut Vec<(WorkerId, _)>| {
+                    match c.outcome {
+                        JobOutcome::Completed => batch.push((c.worker, c.job.id)),
+                        JobOutcome::Failed => failed.push((c.worker, c.job.id)),
+                    }
                     records.push(RtJobRecord {
                         job: c.job,
                         version: c.version,
                         worker: c.worker,
                         started: c.started,
                         completed: c.completed,
+                        outcome: c.outcome,
                     });
                 };
-                book(first, &mut done_batch);
+                book(first, &mut done_batch, &mut failed_batch);
                 // Coalesce the burst: every completion already pending
                 // joins this batch and the single dispatch round below.
                 while let Ok(c) = done_rx.try_recv() {
                     last_completed = last_completed.max(c.completed);
-                    book(c, &mut done_batch);
+                    book(c, &mut done_batch, &mut failed_batch);
                 }
                 sink.clear();
-                engine
-                    .on_jobs_completed_into(&done_batch, last_completed, &mut sink)
-                    .expect("completion protocol upheld");
+                for &(worker, job) in &failed_batch {
+                    engine
+                        .on_job_failed_into(worker, job, last_completed, &mut sink)
+                        .expect("failure protocol upheld");
+                }
+                if !done_batch.is_empty() {
+                    engine
+                        .on_jobs_completed_into(&done_batch, last_completed, &mut sink)
+                        .expect("completion protocol upheld");
+                }
                 dispatch(&sink, &bodies);
             }
             Err(RecvTimeoutError::Timeout) => {

@@ -42,7 +42,7 @@
 
 use crate::runtime::{check_candidate_bodies, JobCtx, RtJobRecord, RuntimeReport, TaskBody};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use yasmin_core::config::{Config, WaitChoice};
 use yasmin_core::error::{Error, Result};
@@ -54,8 +54,8 @@ use yasmin_sched::admission::{AdmissionControl, AdmissionError};
 use yasmin_sched::msg::{MsgEvent, NotifyHandle, Receiver as MsgReceiver, Sender as MsgSender};
 use yasmin_sched::server::TenantBudget;
 use yasmin_sched::{
-    validate_sharding, Action, ActionSink, EngineShard, EngineStats, Job, RemoteActivation,
-    ShardCmd,
+    validate_sharding, Action, ActionSink, EngineShard, EngineStats, Job, JobOutcome,
+    RemoteActivation, ShardCmd,
 };
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 use yasmin_sync::spsc;
@@ -83,12 +83,14 @@ enum WorkerMsg {
 
 /// Commands flowing into a shard's scheduler thread.
 enum ShardMsg {
-    /// The shard's worker finished a job (the `JobCompleted` command).
+    /// The shard's worker finished a job — normally or by panic (the
+    /// `JobCompleted` / `JobFailed` commands).
     Done {
         job: Job,
         version: VersionId,
         started: Instant,
         completed: Instant,
+        outcome: JobOutcome,
     },
     /// Explicit activation of a task owned by the shard.
     Activate(TaskId),
@@ -137,8 +139,19 @@ enum ShardMsg {
     Retire { tenant: TenantId, at: Instant },
     /// Stop releasing periodic jobs.
     Stop,
-    /// Drain and exit.
+    /// Drain and exit (two-phase: see the drain protocol in
+    /// [`shard_scheduler_main`]).
     Shutdown,
+    /// Phase one of the loss-free shutdown drain: a quiesced shard
+    /// barriers each peer lane with this marker. Peer lanes are FIFO,
+    /// so by the time the receiver sees the flush, every token the
+    /// sender routed before it has been received; the receiver answers
+    /// with [`ShardMsg::DrainAck`].
+    DrainFlush { from: usize },
+    /// The ack completing a [`ShardMsg::DrainFlush`] barrier: the
+    /// sending peer has observed everything routed to it before the
+    /// flush (the peer's identity is implied by its lane).
+    DrainAck,
 }
 
 /// Builder for the sharded runtime, mirroring
@@ -335,6 +348,8 @@ impl ShardedRuntime {
             })?;
         let admission = AdmissionControl::new(builder.config.clone(), tick);
         let board = Arc::new(LoadBoard::new(n));
+        let drain_board: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
         let mut control = Vec::with_capacity(n);
         let mut schedulers = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
@@ -435,6 +450,7 @@ impl ShardedRuntime {
                 pending: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
                 board: Arc::clone(&board),
                 stealing: builder.work_stealing && n > 1,
+                drained: Arc::clone(&drain_board),
             };
             schedulers.push(
                 std::thread::Builder::new()
@@ -674,7 +690,16 @@ fn shard_worker_main(
                     version,
                     worker: me,
                 };
-                body(&ctx);
+                // Contain body panics: a panicking job is handed back as
+                // Failed instead of killing the worker thread and with it
+                // the whole shard. `TaskBody` is a shared closure and not
+                // `UnwindSafe`, but its captured state is never observed
+                // by the runtime after a panic, so the assertion is sound.
+                let outcome =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx))) {
+                        Ok(()) => JobOutcome::Completed,
+                        Err(_) => JobOutcome::Failed,
+                    };
                 let completed = clock.now();
                 send_with_backoff(
                     &mut done_tx,
@@ -683,6 +708,7 @@ fn shard_worker_main(
                         version,
                         started,
                         completed,
+                        outcome,
                     },
                 );
             }
@@ -715,6 +741,12 @@ struct PeerLinks {
     pending: Vec<std::collections::VecDeque<ShardMsg>>,
     board: Arc<LoadBoard>,
     stealing: bool,
+    /// The shared drain board of the two-phase shutdown: `drained[s]`
+    /// is raised by shard `s` once it is quiet during shutdown and
+    /// cleared by `s` when late work arrives. A shard exits only at
+    /// global quiescence — every flag raised *and* its own mailbox and
+    /// spill backlog empty — so no in-flight message is ever dropped.
+    drained: Arc<Vec<AtomicBool>>,
 }
 
 impl PeerLinks {
@@ -752,13 +784,24 @@ impl PeerLinks {
             .all(std::collections::VecDeque::is_empty)
     }
 
-    /// `true` while an undelivered steal grant sits in the backlog — a
-    /// detached job that must not be dropped.
-    fn pending_grant(&self) -> bool {
-        self.pending
-            .iter()
-            .flatten()
-            .any(|m| matches!(m, ShardMsg::Stolen { .. }))
+    /// Raises this shard's drained flag. `Release` pairs with the
+    /// `Acquire` in [`PeerLinks::all_drained`]: everything this shard
+    /// sent before raising the flag (tokens already landed in peer
+    /// mailboxes) is visible to a peer that observes the flag before it
+    /// checks its own mailbox.
+    fn set_drained(&self, me: usize) {
+        self.drained[me].store(true, Ordering::Release);
+    }
+
+    /// Clears this shard's drained flag — late work arrived after the
+    /// shard advertised quiescence.
+    fn clear_drained(&self, me: usize) {
+        self.drained[me].store(false, Ordering::Release);
+    }
+
+    /// `true` when every shard has advertised quiescence.
+    fn all_drained(&self) -> bool {
+        self.drained.iter().all(|d| d.load(Ordering::Acquire))
     }
 }
 
@@ -781,6 +824,11 @@ fn shard_scheduler_main(
     // any — cleared by its grant/refusal, or when the victim's lane
     // closes without answering (the victim exited).
     let mut pending_steal: Option<usize> = None;
+    // Two-phase drain state: whether this shard has barriered its peer
+    // lanes with `DrainFlush`, and how many peers have acked.
+    let mut flush_sent = false;
+    let mut drain_acks = 0usize;
+    let peer_count = peers.txs.len().saturating_sub(1);
 
     // One reusable sink: the steady-state loop allocates nothing for
     // actions. Dispatches go straight into the worker's SPSC ring.
@@ -880,14 +928,21 @@ fn shard_scheduler_main(
                 settle_round!(&sink);
             }
             let Some(msg) = msg else { break };
+            // Late work arriving after this shard advertised quiescence
+            // revokes the advertisement before any effect of the work
+            // (dispatches, routed tokens) becomes visible to peers. The
+            // drain-protocol markers themselves are not work.
+            if shutting_down && !matches!(msg, ShardMsg::DrainFlush { .. } | ShardMsg::DrainAck) {
+                peers.clear_drained(me);
+            }
             match msg {
                 ShardMsg::Done {
                     job,
                     version,
                     started,
                     completed,
+                    outcome,
                 } => {
-                    done_batch.push((worker, job.id));
                     // Max, not overwrite: the mailbox merges lanes, and
                     // a batch's dispatch round must not run at a
                     // timestamp earlier than a completion it retires.
@@ -898,7 +953,29 @@ fn shard_scheduler_main(
                         worker,
                         started,
                         completed,
+                        outcome,
                     });
+                    match outcome {
+                        JobOutcome::Completed => done_batch.push((worker, job.id)),
+                        JobOutcome::Failed => {
+                            // Failures are rare by construction: flush
+                            // the completed batch so retirement stays
+                            // ordered, then retire the failure alone
+                            // through the failure path (successors are
+                            // policy-gated there).
+                            sink.clear();
+                            if !done_batch.is_empty() {
+                                shard
+                                    .on_jobs_completed_into(&done_batch, last_done, &mut sink)
+                                    .expect("completion protocol upheld");
+                                done_batch.clear();
+                            }
+                            shard
+                                .on_job_failed_into(worker, job.id, completed, &mut sink)
+                                .expect("failure protocol upheld");
+                            settle_round!(&sink);
+                        }
+                    }
                 }
                 ShardMsg::Activate(task) => {
                     sink.clear();
@@ -1023,7 +1100,19 @@ fn shard_scheduler_main(
                     settle_round!(&sink);
                 }
                 ShardMsg::Stop => shard.stop(),
-                ShardMsg::Shutdown => shutting_down = true,
+                ShardMsg::Shutdown => {
+                    // Shutdown implies stop: the drain below terminates
+                    // only once releases cease.
+                    shard.stop();
+                    shutting_down = true;
+                }
+                ShardMsg::DrainFlush { from } => {
+                    // The flush rode the FIFO peer lane behind every
+                    // token `from` routed here before quiescing; acking
+                    // it proves all of them have been received.
+                    peers.send(from, ShardMsg::DrainAck);
+                }
+                ShardMsg::DrainAck => drain_acks += 1,
             }
         }
 
@@ -1035,8 +1124,36 @@ fn shard_scheduler_main(
                 pending_steal = None;
             }
         }
-        if shutting_down && shard.is_idle() && pending_steal.is_none() {
-            break;
+        // Two-phase loss-free drain (closes ROADMAP parity gap (2), the
+        // shutdown-loss window of the old bounded flush). Phase one: a
+        // shard that has gone locally quiet — idle worker, no steal in
+        // flight, spill backlog flushed — barriers every peer lane with
+        // `DrainFlush` and waits for all acks; the FIFO lanes turn each
+        // ack into a proof that the peer received everything routed to
+        // it before the flush. Phase two: with all acks in and its own
+        // mailbox empty, the shard raises its flag on the shared drain
+        // board. Exit happens only at global quiescence — every shard
+        // drained *and* this shard's mailbox and backlog still empty. A
+        // late token un-drains its receiver before any effect of the
+        // work is visible, and an undelivered message always shows up
+        // either in its sender's backlog (sender not drained) or its
+        // receiver's mailbox (receiver re-checks before exiting), so no
+        // message can be lost.
+        if shutting_down && shard.is_idle() && pending_steal.is_none() && peers.pending_empty() {
+            if !flush_sent {
+                for p in 0..peers.txs.len() {
+                    if p != me {
+                        peers.send(p, ShardMsg::DrainFlush { from: me });
+                    }
+                }
+                flush_sent = true;
+            }
+            if drain_acks >= peer_count && rx.is_empty() {
+                peers.set_drained(me);
+                if peers.all_drained() && rx.is_empty() && peers.pending_empty() {
+                    break;
+                }
+            }
         }
 
         // Tick edge, generated locally by this shard's owner. A due
@@ -1094,34 +1211,19 @@ fn shard_scheduler_main(
         }
     }
 
-    // Answer any steal request that raced with this shard's exit, so a
-    // thief never waits on a victim that left: requests drained here
-    // are refused, everything else has already been handled (the shard
-    // is idle and stopping).
-    while let Some(msg) = rx.try_recv() {
-        if let ShardMsg::StealRequest { thief } = msg {
-            peers.send(thief.index(), ShardMsg::StealDeny);
-        }
-    }
-    // Flush any spilled peer messages. Bounded for routed tokens — a
-    // peer that already exited never drains its lane, and a dead peer
-    // must not wedge shutdown; tokens still unsent after the bound
-    // fall into the documented shutdown-loss window (the schedule is
-    // stopping; see ROADMAP "shutdown drain ordering"). A pending
-    // *steal grant* is never abandoned, though: its job is already
-    // detached from this shard's queue, and its thief is provably
-    // alive (a thief never exits while its request is unanswered), so
-    // waiting for that lane to drain always terminates.
-    let mut backoff = Backoff::new();
-    let mut spins = 0u32;
-    loop {
-        peers.flush();
-        if peers.pending_empty() || (spins >= 1024 && !peers.pending_grant()) {
-            break;
-        }
-        spins += 1;
-        backoff.snooze();
-    }
+    // Global quiescence reached: every shard is drained and this
+    // shard's mailbox and spill backlog are empty. Nothing can be in
+    // flight — an undelivered message would have kept either its
+    // sender's backlog non-empty (sender not drained) or this mailbox
+    // non-empty — so exiting here loses no routed token, steal grant
+    // or completion. (The old exit bounded its backlog flush and
+    // documented a shutdown-loss window; the drain barrier replaces
+    // it.)
+    debug_assert!(
+        peers.pending_empty(),
+        "drained shard with spilled peer messages"
+    );
+    debug_assert!(rx.is_empty(), "drained shard with a non-empty mailbox");
     peers.board.publish(me, 0);
 
     // Release the worker.

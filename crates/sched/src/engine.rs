@@ -26,15 +26,33 @@ use crate::select::{rank_versions_into, RankBuf};
 use crate::server::ReservationServer;
 use crate::sink::ActionSink;
 use std::sync::Arc;
+use yasmin_core::channel::BackpressurePolicy;
 use yasmin_core::config::{Config, MappingScheme, SelectCtx, VersionPolicy};
 use yasmin_core::energy::BatteryLevel;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{AccelId, JobId, TaskId, TenantId, VersionId, WorkerId};
 use yasmin_core::priority::{Priority, PriorityPolicy};
-use yasmin_core::task::ActivationKind;
+use yasmin_core::task::{ActivationKind, OverrunPolicy};
 use yasmin_core::time::{Duration, Instant};
 use yasmin_core::version::{ExecMode, PermMask};
+
+/// How a job's body ended on its worker.
+///
+/// Runtimes wrap task bodies in `catch_unwind`; a panicking body is
+/// contained and reported as [`JobOutcome::Failed`] instead of poisoning
+/// the worker thread. The engine retires failed jobs through
+/// [`OnlineEngine::on_job_failed_into`], which applies the task's
+/// [`OverrunPolicy`] to decide whether successors still fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JobOutcome {
+    /// The body returned normally.
+    #[default]
+    Completed,
+    /// The body panicked; the runtime contained the unwind and the
+    /// worker thread lives on.
+    Failed,
+}
 
 /// A scheduling decision for the driver to carry out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +97,17 @@ pub struct RunningJob {
     pub accel: Option<AccelId>,
     /// Current effective priority (base, or PIP-boosted).
     pub effective_priority: Priority,
+    /// The enforcement deadline: dispatch instant + the selected
+    /// version's WCET (`Instant::MAX` when `Config::enforce_wcet` is
+    /// off). A tick strictly past this instant flags the job as
+    /// overrunning and applies the task's [`OverrunPolicy`].
+    pub enforce_by: Instant,
+    /// The overrun has been detected and handled (policies apply once).
+    pub overrun: bool,
+    /// The job was killed ([`OverrunPolicy::Kill`]): the body still runs
+    /// to completion on its worker — the middleware never destroys a
+    /// thread mid-body — but its successors are dropped at retirement.
+    pub killed: bool,
 }
 
 /// Counters the engine maintains for overhead analysis (Fig. 2 uses the
@@ -125,6 +154,17 @@ pub struct EngineStats {
     /// Priority boosts applied because a high-priority message arrived
     /// for a task (message-plane PIP; released when the lane drains).
     pub msg_boosts: u64,
+    /// Jobs caught running past their enforcement deadline
+    /// (`Config::enforce_wcet`), or force-flagged by fault injection.
+    pub overruns: u64,
+    /// Jobs retired as [`JobOutcome::Failed`] (body panicked; contained
+    /// by the runtime).
+    pub failed: u64,
+    /// DAG tokens shed by a channel's [`BackpressurePolicy`]
+    /// (`DropOldest` / `DeadlineAwareDrop`) on a full channel.
+    pub shed_drops: u64,
+    /// Times the deadline-miss trip wire tripped (`Config::miss_trip`).
+    pub miss_trips: u64,
 }
 
 impl EngineStats {
@@ -149,6 +189,10 @@ impl EngineStats {
         self.culled += other.culled;
         self.budget_deferrals += other.budget_deferrals;
         self.msg_boosts += other.msg_boosts;
+        self.overruns += other.overruns;
+        self.failed += other.failed;
+        self.shed_drops += other.shed_drops;
+        self.miss_trips += other.miss_trips;
     }
 }
 
@@ -318,6 +362,20 @@ pub struct OnlineEngine {
     /// [`Priority::LOWEST`] when no boost is active. Jobs released while
     /// a ceiling is active inherit `min(base, ceiling)`.
     msg_ceiling: Vec<Priority>,
+    /// Dense per-task WCET-overrun / body-failure policy.
+    overrun_policy: Vec<OverrunPolicy>,
+    /// Copied from the config: check enforcement deadlines on tick.
+    enforce_wcet: bool,
+    /// Copied from the config: the deadline-miss trip wire
+    /// `(window, budget)`, `None` when disarmed.
+    miss_trip: Option<(Duration, u32)>,
+    /// Start of the current miss-accounting window.
+    miss_window_start: Instant,
+    /// Deadline misses observed in the current window.
+    miss_window_count: u32,
+    /// The trip wire is tripped: `LogOnly`-class tasks release at
+    /// background priority until a window passes within budget.
+    tripped: bool,
     /// `Some(w)`: this engine is the *shard* owning only worker `w`
     /// (partitioned mapping). It holds exactly one queue and one running
     /// slot, releases only tasks assigned to `w`, and still reports the
@@ -451,7 +509,19 @@ impl OnlineEngine {
         Ok(OnlineEngine {
             accels: AccelManager::new(taskset.accels().len()),
             tokens: vec![0; taskset.edges().len()],
-            token_release: vec![Vec::new(); taskset.edges().len()],
+            // Pre-reserve each edge's release FIFO to its channel's
+            // declared capacity (+1 for the transient over-capacity
+            // entry the shedding policies trim), so token pushes — the
+            // cross-shard inbound path included — never allocate in
+            // steady state.
+            token_release: taskset
+                .edges()
+                .iter()
+                .map(|e| {
+                    let cap = taskset.channels()[e.channel.index()].capacity();
+                    Vec::with_capacity(cap.max(1) + 1)
+                })
+                .collect(),
             next_release: vec![Instant::MAX; n],
             period,
             rel_deadline,
@@ -512,6 +582,16 @@ impl OnlineEngine {
             tenant_of: vec![0; n],
             high_depth: vec![0; n],
             msg_ceiling: vec![Priority::LOWEST; n],
+            overrun_policy: taskset
+                .tasks()
+                .iter()
+                .map(|t| t.spec().overrun_policy())
+                .collect(),
+            enforce_wcet: config.enforce_wcet(),
+            miss_trip: config.miss_trip(),
+            miss_window_start: Instant::ZERO,
+            miss_window_count: 0,
+            tripped: false,
             queues,
             running: vec![None; n_slots],
             shard,
@@ -868,12 +948,14 @@ impl OnlineEngine {
             self.tenant_of.push(tenant.raw());
             self.high_depth.push(0);
             self.msg_ceiling.push(Priority::LOWEST);
+            self.overrun_policy.push(t.spec().overrun_policy());
         }
         for (i, e) in merged.edges().iter().enumerate().skip(e0) {
             self.out_edges[e.src.index()].push(i);
             self.in_edges[e.dst.index()].push(i);
             self.tokens.push(0);
-            self.token_release.push(Vec::new());
+            let cap = merged.channels()[e.channel.index()].capacity();
+            self.token_release.push(Vec::with_capacity(cap.max(1) + 1));
         }
         self.accels.grow_to(merged.accels().len());
         let max_versions = merged
@@ -1082,10 +1164,122 @@ impl OnlineEngine {
             }
             self.next_wake = wake;
         }
+        if self.enforce_wcet {
+            self.enforce_overruns(now, sink);
+        }
+        if self.miss_trip.is_some() {
+            self.roll_miss_window(now);
+        }
         if self.cull_missed {
             self.cull_missed_jobs(now);
         }
         self.dispatch_round(now, sink);
+    }
+
+    /// Scans the running slots for jobs strictly past their enforcement
+    /// deadline and applies each overrunning task's [`OverrunPolicy`]
+    /// exactly once. Only called when `Config::enforce_wcet` opted in,
+    /// so enforcement-off ticks pay nothing.
+    fn enforce_overruns(&mut self, now: Instant, sink: &mut ActionSink) {
+        for s in 0..self.running.len() {
+            let due = self.running[s]
+                .as_ref()
+                .is_some_and(|r| !r.overrun && now > r.enforce_by);
+            if due {
+                self.apply_overrun(s, now, sink);
+            }
+        }
+    }
+
+    /// Marks the job in running-slot `s` as overrunning: counts it,
+    /// bills the overage to its tenant's reservation replica (so one
+    /// tenant's overruns never eat another's budget), and applies the
+    /// task's [`OverrunPolicy`].
+    fn apply_overrun(&mut self, s: usize, now: Instant, sink: &mut ActionSink) {
+        let (task, job, overage) = {
+            let r = self.running[s].as_mut().expect("caller checked the slot");
+            r.overrun = true;
+            (r.job.task, r.job.id, now.saturating_since(r.enforce_by))
+        };
+        self.stats.overruns += 1;
+        let tenant = self.tenant_of[task.index()] as usize;
+        if let Some(server) = self.tenants[tenant].server.as_mut() {
+            let _ = server.charge_overrun(now, overage);
+        }
+        match self.overrun_policy[task.index()] {
+            OverrunPolicy::Kill => {
+                let r = self.running[s].as_mut().expect("slot still occupied");
+                r.killed = true;
+            }
+            OverrunPolicy::DemoteToBackground => {
+                let worker = self.worker_of_slot(s);
+                let r = self.running[s].as_mut().expect("slot still occupied");
+                if r.effective_priority != Priority::LOWEST {
+                    r.effective_priority = Priority::LOWEST;
+                    sink.push(Action::Boost {
+                        worker,
+                        job,
+                        priority: Priority::LOWEST,
+                    });
+                }
+            }
+            OverrunPolicy::LogOnly => {}
+        }
+    }
+
+    /// Deterministic fault injection: treats the running job of `task`
+    /// (if any, and not already flagged) as overrunning *right now*,
+    /// regardless of its enforcement deadline or whether enforcement is
+    /// enabled. Returns `true` when a job was flagged. The simulator's
+    /// `fault_schedule` drives this so overrun behaviour is replayable
+    /// bit-for-bit.
+    pub fn force_overrun(&mut self, task: TaskId, now: Instant, sink: &mut ActionSink) -> bool {
+        for s in 0..self.running.len() {
+            let hit = self.running[s]
+                .as_ref()
+                .is_some_and(|r| r.job.task == task && !r.overrun);
+            if hit {
+                self.apply_overrun(s, now, sink);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Observes one deadline miss at `now` for the trip wire; no-op when
+    /// `Config::miss_trip` is disarmed.
+    fn note_miss(&mut self, now: Instant) {
+        let Some((_, budget)) = self.miss_trip else {
+            return;
+        };
+        self.roll_miss_window(now);
+        self.miss_window_count += 1;
+        if self.miss_window_count > budget && !self.tripped {
+            self.tripped = true;
+            self.stats.miss_trips += 1;
+        }
+    }
+
+    /// Advances the tumbling miss-accounting window: once a full window
+    /// has elapsed the count resets, and — the recovery half of the trip
+    /// wire — a tripped engine untrips, restoring `LogOnly`-class tasks
+    /// to their base release priority.
+    fn roll_miss_window(&mut self, now: Instant) {
+        let Some((window, _)) = self.miss_trip else {
+            return;
+        };
+        if now.saturating_since(self.miss_window_start) >= window {
+            self.miss_window_start = now;
+            self.miss_window_count = 0;
+            self.tripped = false;
+        }
+    }
+
+    /// `true` while the deadline-miss trip wire is tripped (shedding
+    /// mode: `LogOnly`-class tasks release at background priority).
+    #[must_use]
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
     }
 
     /// Removes every ready job whose absolute deadline has already
@@ -1215,7 +1409,7 @@ impl OnlineEngine {
         now: Instant,
         sink: &mut ActionSink,
     ) -> Result<()> {
-        self.retire_job(worker, job)?;
+        self.retire_job(worker, job, now)?;
         self.dispatch_round(now, sink);
         Ok(())
     }
@@ -1246,7 +1440,7 @@ impl OnlineEngine {
         let mut retired = 0usize;
         let mut first_err = None;
         for &(worker, job) in completions {
-            match self.retire_job(worker, job) {
+            match self.retire_job(worker, job, now) {
                 Ok(()) => retired += 1,
                 Err(e) => {
                     first_err = Some(e);
@@ -1305,7 +1499,7 @@ impl OnlineEngine {
     ) -> Result<()> {
         let mut first_err = None;
         for &(worker, job) in completions {
-            if let Err(e) = self.retire_job(worker, job) {
+            if let Err(e) = self.retire_job(worker, job, now) {
                 first_err = Some(e);
                 break;
             }
@@ -1399,8 +1593,10 @@ impl OnlineEngine {
 
     /// Validates and books one completion — frees the worker slot,
     /// releases any held accelerator, fires DAG successors — without
-    /// running a dispatch round (the caller batches that).
-    fn retire_job(&mut self, worker: WorkerId, job: JobId) -> Result<()> {
+    /// running a dispatch round (the caller batches that). A job flagged
+    /// [`OverrunPolicy::Kill`] retires without firing successors, and a
+    /// completion past its absolute deadline feeds the miss trip wire.
+    fn retire_job(&mut self, worker: WorkerId, job: JobId, now: Instant) -> Result<()> {
         let slot = self
             .slot_of(worker)
             .and_then(|s| self.running.get_mut(s))
@@ -1416,10 +1612,72 @@ impl OnlineEngine {
             )));
         }
         self.stats.completed += 1;
+        if self.miss_trip.is_some() && running.job.abs_deadline < now {
+            self.note_miss(now);
+        }
         if let Some(a) = running.accel {
             self.accels.release(a, job);
         }
-        self.fire_successors(running.job.task, running.job.graph_release);
+        if !running.killed {
+            self.fire_successors(running.job.task, running.job.graph_release);
+        }
+        Ok(())
+    }
+
+    /// Validates and books one *failed* completion (the body panicked;
+    /// the runtime contained the unwind). The worker slot and any held
+    /// accelerator are freed like a normal retirement, the failure is
+    /// counted in [`EngineStats::failed`] and fed to the miss trip wire,
+    /// and the task's [`OverrunPolicy`] decides the successor tokens:
+    /// `LogOnly` fires them (downstream stages still run, presumably on
+    /// stale data the application tolerates), `Kill` and
+    /// `DemoteToBackground` drop them (the containment boundary).
+    fn retire_failed(&mut self, worker: WorkerId, job: JobId, now: Instant) -> Result<()> {
+        let slot = self
+            .slot_of(worker)
+            .and_then(|s| self.running.get_mut(s))
+            .ok_or(Error::UnknownWorker(worker))?;
+        let running = slot.take().ok_or_else(|| {
+            Error::InvalidConfig(format!("worker {worker} failed {job} while idle"))
+        })?;
+        if running.job.id != job {
+            let actual = running.job.id;
+            *slot = Some(running);
+            return Err(Error::InvalidConfig(format!(
+                "worker {worker} failed {job} but runs {actual}"
+            )));
+        }
+        self.stats.failed += 1;
+        self.note_miss(now);
+        if let Some(a) = running.accel {
+            self.accels.release(a, job);
+        }
+        if self.overrun_policy[running.job.task.index()] == OverrunPolicy::LogOnly
+            && !running.killed
+        {
+            self.fire_successors(running.job.task, running.job.graph_release);
+        }
+        Ok(())
+    }
+
+    /// Notification that `job`'s body *failed* on `worker` at `now` (a
+    /// contained panic). Frees the worker and any held accelerator,
+    /// applies the task's [`OverrunPolicy`] to the successor tokens, and
+    /// dispatches.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if `worker` is not running `job` — a
+    /// driver protocol violation.
+    pub fn on_job_failed_into(
+        &mut self,
+        worker: WorkerId,
+        job: JobId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.retire_failed(worker, job, now)?;
+        self.dispatch_round(now, sink);
         Ok(())
     }
 
@@ -1471,13 +1729,49 @@ impl OnlineEngine {
         self.successor_buf = successors;
     }
 
-    /// Books one token on edge `i` (no release attempt).
+    /// Books one token on edge `i` (no release attempt). A token
+    /// arriving on a full channel is resolved by the channel's
+    /// [`BackpressurePolicy`]: `Reject` counts the overflow and keeps
+    /// everything (historic behaviour); `DropOldest` sheds the oldest
+    /// buffered token; `DeadlineAwareDrop` sheds the token with the
+    /// latest downstream release (the least urgent). The shedding paths
+    /// leave the FIFO length unchanged, so pre-reserved release buffers
+    /// never reallocate under overload.
     fn push_token(&mut self, i: usize, graph_release: Instant) {
-        self.tokens[i] += 1;
-        self.token_release[i].push(graph_release);
-        let cap = self.taskset.channels()[self.taskset.edges()[i].channel.index()].capacity();
-        if cap > 0 && self.tokens[i] as usize > cap {
-            self.stats.channel_overflows += 1;
+        let spec = &self.taskset.channels()[self.taskset.edges()[i].channel.index()];
+        let cap = spec.capacity();
+        let policy = spec.backpressure();
+        if cap > 0 && self.tokens[i] as usize >= cap {
+            match policy {
+                BackpressurePolicy::Reject => {
+                    self.tokens[i] += 1;
+                    self.token_release[i].push(graph_release);
+                    self.stats.channel_overflows += 1;
+                }
+                BackpressurePolicy::DropOldest => {
+                    self.token_release[i].remove(0);
+                    self.token_release[i].push(graph_release);
+                    self.stats.shed_drops += 1;
+                }
+                BackpressurePolicy::DeadlineAwareDrop => {
+                    // Shed the least urgent instance: the one whose
+                    // graph release (hence derived deadline) is latest.
+                    // Ties keep the older instance (FIFO stability).
+                    let fifo = &mut self.token_release[i];
+                    fifo.push(graph_release);
+                    let mut worst = 0;
+                    for k in 1..fifo.len() {
+                        if fifo[k] > fifo[worst] {
+                            worst = k;
+                        }
+                    }
+                    fifo.remove(worst);
+                    self.stats.shed_drops += 1;
+                }
+            }
+        } else {
+            self.tokens[i] += 1;
+            self.token_release[i].push(graph_release);
         }
     }
 
@@ -1771,6 +2065,17 @@ impl OnlineEngine {
             PriorityPolicy::EarliestDeadlineFirst => Priority::earliest_deadline(abs_deadline),
             _ => self.static_priority[task.index()],
         };
+        // Shedding mode: while the miss trip wire is tripped,
+        // `LogOnly`-class tasks release at background priority so the
+        // enforced/critical classes get the processor first. The message
+        // ceiling below still applies — a control-plane boost outranks
+        // the demotion.
+        let priority =
+            if self.tripped && self.overrun_policy[task.index()] == OverrunPolicy::LogOnly {
+                Priority::LOWEST
+            } else {
+                priority
+            };
         // A job released while its task's high message lane is non-empty
         // inherits the active ceiling immediately (message-plane PIP).
         let ceiling = self.msg_ceiling[task.index()];
@@ -1888,6 +2193,7 @@ impl OnlineEngine {
         job: Job,
         version: VersionId,
         accel: Option<AccelId>,
+        now: Instant,
         actions: &mut ActionSink,
     ) {
         if let Some(a) = accel {
@@ -1895,12 +2201,23 @@ impl OnlineEngine {
                 .acquire(a, job.id, worker, job.priority)
                 .expect("choose_version verified the accelerator is free");
         }
+        // The enforcement budget is the selected version's declared
+        // WCET, armed from the dispatch instant (a preempted job gets a
+        // fresh budget on re-dispatch — its prior slice is not carried).
+        let enforce_by = if self.enforce_wcet {
+            now + self.taskset.tasks()[job.task.index()].versions()[version.index()].wcet()
+        } else {
+            Instant::MAX
+        };
         let slot = self.slot_of(worker).expect("dispatch targets owned worker");
         self.running[slot] = Some(RunningJob {
             job,
             version,
             accel,
             effective_priority: job.priority,
+            enforce_by,
+            overrun: false,
+            killed: false,
         });
         self.stats.dispatched += 1;
         actions.push(Action::Dispatch {
@@ -1984,7 +2301,7 @@ impl OnlineEngine {
                         continue;
                     }
                     let worker = self.worker_of_slot(w);
-                    self.start_job(worker, job, v, a, actions);
+                    self.start_job(worker, job, v, a, now, actions);
                 }
                 VersionChoice::Blocked => {
                     let wishes = std::mem::take(&mut self.wish_buf);
@@ -2045,7 +2362,7 @@ impl OnlineEngine {
                     });
                     self.stats.preempted += 1;
                     let _ = self.queues[qi].push(old);
-                    self.start_job(worker, job, v, a, actions);
+                    self.start_job(worker, job, v, a, now, actions);
                 }
                 VersionChoice::Blocked => {
                     let job = self.queues[qi].pop().expect("peeked job present");

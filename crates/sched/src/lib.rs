@@ -45,7 +45,9 @@ pub mod sink;
 
 pub use accel::AccelManager;
 pub use admission::{AdmissionControl, AdmissionError, BoundViolation};
-pub use engine::{Action, EngineStats, OnlineEngine, RemoteActivation, RunningJob, StealHint};
+pub use engine::{
+    Action, EngineStats, JobOutcome, OnlineEngine, RemoteActivation, RunningJob, StealHint,
+};
 pub use job::Job;
 pub use msg::{ChannelBuilder, MsgEvent, MsgNotify, NotifyHandle, Receiver, SendError, Sender};
 pub use offline::{

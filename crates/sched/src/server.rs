@@ -215,6 +215,7 @@ pub struct ReservationServer {
     tenant: TenantId,
     server: AperiodicServer,
     deferrals: u64,
+    overrun_charges: u64,
 }
 
 impl ReservationServer {
@@ -232,6 +233,7 @@ impl ReservationServer {
             tenant,
             server: AperiodicServer::new_at(budget.kind, budget.capacity, budget.period, start),
             deferrals: 0,
+            overrun_charges: 0,
         }
     }
 
@@ -273,6 +275,23 @@ impl ReservationServer {
             self.deferrals += 1;
             false
         }
+    }
+
+    /// Charges a WCET *overrun* against the budget at `now`: the job
+    /// already ran `overage` beyond what `try_charge` reserved at
+    /// dispatch, so that extra time is billed to this tenant —
+    /// unconditionally, clamped to the budget that remains — instead of
+    /// silently eating other tenants' reservations. Returns how much was
+    /// actually recovered from the remaining budget.
+    pub fn charge_overrun(&mut self, now: Instant, overage: Duration) -> Duration {
+        self.overrun_charges += 1;
+        self.server.serve(now, overage)
+    }
+
+    /// How many overruns were billed against this reservation.
+    #[must_use]
+    pub fn overrun_count(&self) -> u64 {
+        self.overrun_charges
     }
 
     /// Total processor time charged so far.
@@ -383,5 +402,25 @@ mod tests {
         // Replenished for the next period.
         assert!(r.try_charge(at(10), ms(3)));
         assert_eq!(r.total_charged(), ms(6));
+    }
+
+    #[test]
+    fn overrun_charge_is_clamped_but_always_counted() {
+        let mut r = ReservationServer::new(
+            TenantId::new(2),
+            TenantBudget::deferrable(ms(3), ms(10)),
+            at(0),
+        );
+        assert!(r.try_charge(at(0), ms(2)));
+        // 1ms budget left; a 4ms overrun recovers only that 1ms.
+        assert_eq!(r.charge_overrun(at(1), ms(4)), ms(1));
+        assert_eq!(r.overrun_count(), 1);
+        // Budget now exhausted: further dispatches defer.
+        assert!(!r.try_charge(at(2), ms(1)));
+        // Overrun with nothing left recovers zero but is still counted.
+        assert_eq!(r.charge_overrun(at(3), ms(1)), Duration::ZERO);
+        assert_eq!(r.overrun_count(), 2);
+        // Replenishment restores normal service.
+        assert!(r.try_charge(at(10), ms(3)));
     }
 }

@@ -109,6 +109,17 @@ pub enum ShardCmd {
         /// Completion time.
         at: Instant,
     },
+    /// A worker's job body failed (panicked); the shard retires the job
+    /// without firing successors unless the task's overrun policy is
+    /// `LogOnly` (see [`OnlineEngine::on_job_failed_into`]).
+    JobFailed {
+        /// The worker that ran the job (must be the shard's worker).
+        worker: WorkerId,
+        /// The failed job.
+        job: JobId,
+        /// Failure time.
+        at: Instant,
+    },
     /// A scheduler-thread tick: release periodic jobs due by `at`.
     Tick {
         /// The tick instant.
@@ -224,6 +235,7 @@ impl ShardCmd {
         match *self {
             ShardCmd::Activate { at, .. }
             | ShardCmd::JobCompleted { at, .. }
+            | ShardCmd::JobFailed { at, .. }
             | ShardCmd::Tick { at }
             | ShardCmd::CrossActivate { at, .. }
             | ShardCmd::MsgHigh { at, .. }
@@ -347,6 +359,9 @@ impl EngineShard {
             ShardCmd::JobCompleted { worker, job, at } => {
                 self.engine.on_job_completed_into(worker, job, at, sink)
             }
+            ShardCmd::JobFailed { worker, job, at } => {
+                self.engine.on_job_failed_into(worker, job, at, sink)
+            }
             ShardCmd::Tick { at } => {
                 self.engine.on_tick_into(at, sink);
                 Ok(())
@@ -428,6 +443,37 @@ impl EngineShard {
         sink: &mut ActionSink,
     ) -> Result<()> {
         self.engine.on_job_completed_into(worker, job, now, sink)
+    }
+
+    /// Failed-job hand-back (worker body panicked or was reported as
+    /// failed by a fault injector); see
+    /// [`OnlineEngine::on_job_failed_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::on_job_failed_into`]; `worker` must be this
+    /// shard's worker.
+    pub fn on_job_failed_into(
+        &mut self,
+        worker: WorkerId,
+        job: JobId,
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.engine.on_job_failed_into(worker, job, now, sink)
+    }
+
+    /// Forces an overrun on the shard's running job of `task` (fault
+    /// injection); see [`OnlineEngine::force_overrun`]. Returns `false`
+    /// when no such job is running.
+    pub fn force_overrun(&mut self, task: TaskId, now: Instant, sink: &mut ActionSink) -> bool {
+        self.engine.force_overrun(task, now, sink)
+    }
+
+    /// `true` while the shard's deadline-miss trip wire is tripped.
+    #[must_use]
+    pub fn is_tripped(&self) -> bool {
+        self.engine.is_tripped()
     }
 
     /// Batched completion hand-back: a mailbox drain that finds several

@@ -47,6 +47,51 @@ pub struct OverheadModel {
     pub context_switch: Duration,
 }
 
+/// A deterministically scheduled fault ([`SimConfig::fault_schedule`]).
+///
+/// Faults are events like any other: delivered at exact instants, so a
+/// fault schedule replays bit-identically across runs — and across
+/// drivers (single-owner, free-running sharded, protocol loop), which
+/// is what the failure-injection parity tests lock in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultEvent {
+    /// Force a WCET overrun on the running job of `task`: the engine
+    /// applies the task's [`yasmin_core::task::OverrunPolicy`] exactly
+    /// as the enforcement tick would (no-op if the task is not running).
+    Overrun {
+        /// The task whose running job overruns.
+        task: TaskId,
+    },
+    /// Crash the running job of `task` — the simulated analogue of a
+    /// body panic: the job retires through the failure path (counted in
+    /// `EngineStats::failed`, successors policy-gated), the worker is
+    /// freed (no-op if the task is not running).
+    Crash {
+        /// The task whose running job panics.
+        task: TaskId,
+    },
+    /// A burst of `count` back-to-back activations of `task` at one
+    /// instant — the overload source for shedding scenarios.
+    Burst {
+        /// The (sporadic/aperiodic) task to activate.
+        task: TaskId,
+        /// Number of activations delivered at the instant.
+        count: u32,
+    },
+}
+
+impl FaultEvent {
+    /// The task the fault targets.
+    #[must_use]
+    pub const fn task(&self) -> TaskId {
+        match *self {
+            FaultEvent::Overrun { task }
+            | FaultEvent::Crash { task }
+            | FaultEvent::Burst { task, .. } => task,
+        }
+    }
+}
+
 impl Default for OverheadModel {
     fn default() -> Self {
         OverheadModel {
@@ -85,6 +130,10 @@ pub struct SimConfig {
     /// a simulated run reproduces the priority boosts a real channel's
     /// notify hook would raise (see `yasmin_sched::msg`).
     pub msg_schedule: Vec<(Duration, yasmin_sched::MsgEvent)>,
+    /// Timed fault injections (offset from start, fault): overruns,
+    /// crashes and activation bursts delivered deterministically, so
+    /// fault handling is parity-testable bit-for-bit across drivers.
+    pub fault_schedule: Vec<(Duration, FaultEvent)>,
 }
 
 impl SimConfig {
@@ -105,6 +154,7 @@ impl SimConfig {
             measure_engine_time: false,
             mode_schedule: Vec::new(),
             msg_schedule: Vec::new(),
+            fault_schedule: Vec::new(),
         }
     }
 }
@@ -138,6 +188,10 @@ enum Ev {
     /// event boundary.
     Msg {
         ev: yasmin_sched::MsgEvent,
+    },
+    /// A scheduled fault injection ([`SimConfig::fault_schedule`]).
+    Fault {
+        ev: FaultEvent,
     },
 }
 
@@ -631,6 +685,72 @@ impl Simulation {
         Some((worker, job))
     }
 
+    /// Delivers one scheduled fault ([`SimConfig::fault_schedule`]).
+    fn apply_fault(&mut self, now: Instant, ev: FaultEvent) {
+        match ev {
+            FaultEvent::Overrun { task } => {
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                self.timed(|e| {
+                    // No-op when the task is not running at the instant
+                    // (e.g. it already finished) — the schedule stays
+                    // valid across parameter sweeps.
+                    let _ = e.force_overrun(task, now, &mut sink);
+                });
+                self.apply_actions(now, &sink);
+                self.sink = sink;
+            }
+            FaultEvent::Crash { task } => self.apply_crash(now, task),
+            FaultEvent::Burst { task, count } => {
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                for _ in 0..count {
+                    self.timed(|e| {
+                        // Tolerates non-activatable targets so burst
+                        // schedules compose with retirement schedules.
+                        let _ = e.activate_into(task, now, &mut sink);
+                    });
+                }
+                self.apply_actions(now, &sink);
+                self.sink = sink;
+            }
+        }
+    }
+
+    /// Crashes the running job of `task` — the simulated analogue of a
+    /// worker catching a body panic (`yasmin-rt` wraps bodies in
+    /// `catch_unwind`). Progress is accounted, the slice and slab entry
+    /// are dropped *without* a completion record (a failed job never
+    /// completed), and the engine retires the job through its failure
+    /// path. No-op if the task is not running at the instant.
+    fn apply_crash(&mut self, now: Instant, task: TaskId) {
+        let Some(w) = self
+            .slices
+            .iter()
+            .position(|s| matches!(s, Some(sl) if sl.task == task))
+        else {
+            return;
+        };
+        let slice = self.slices[w].take().expect("position matched");
+        let worker = WorkerId::new(w as u16);
+        // Invalidate the scheduled finish.
+        self.gens[w] += 1;
+        let elapsed = now.saturating_since(slice.start);
+        let busy = elapsed.min(self.wall_time(worker, slice.remaining_ref));
+        self.worker_busy[w] += busy;
+        self.account_accel(&slice, busy);
+        let (j, _p) = self.slab.remove(slice.slot);
+        debug_assert_eq!(j.id, slice.job, "slab slot tracks the crashed job");
+        let mut sink = std::mem::take(&mut self.sink);
+        sink.clear();
+        self.timed(|e| {
+            e.on_job_failed_into(worker, slice.job, now, &mut sink)
+                .expect("crashed job is running on its worker");
+        });
+        self.apply_actions(now, &sink);
+        self.sink = sink;
+    }
+
     /// Runs the simulation to the horizon and aggregates the result.
     ///
     /// # Errors
@@ -703,11 +823,13 @@ impl Simulation {
                 self.engine.stop();
                 Ok(())
             }
-            ShardCmd::JobCompleted { .. } => Err(Error::InvalidConfig(
-                "the simulator generates completions internally; an external \
-                 JobCompleted command is a driver bug"
-                    .into(),
-            )),
+            ShardCmd::JobCompleted { .. } | ShardCmd::JobFailed { .. } => {
+                Err(Error::InvalidConfig(
+                    "the simulator generates completions and failures internally; an \
+                 external completion command is a driver bug"
+                        .into(),
+                ))
+            }
             ShardCmd::CrossActivate { .. }
             | ShardCmd::StealRequest { .. }
             | ShardCmd::Stolen { .. }
@@ -767,6 +889,10 @@ impl Simulation {
         let msg_schedule = std::mem::take(&mut self.cfg.msg_schedule);
         for (offset, ev) in msg_schedule {
             self.push_event(Instant::ZERO + offset, Ev::Msg { ev });
+        }
+        let fault_schedule = std::mem::take(&mut self.cfg.fault_schedule);
+        for (offset, ev) in fault_schedule {
+            self.push_event(Instant::ZERO + offset, Ev::Fault { ev });
         }
 
         loop {
@@ -887,6 +1013,7 @@ impl Simulation {
                     self.apply_actions(now, &sink);
                     self.sink = sink;
                 }
+                Ev::Fault { ev } => self.apply_fault(now, ev),
                 Ev::Admit { idx } => {
                     let (merged, budget) = self.pending_admissions[idx].clone();
                     let tenant = TenantId::new(self.engine.tenant_count() as u32);

@@ -30,7 +30,7 @@ pub mod render;
 pub mod stress;
 pub mod trace;
 
-pub use engine::{OverheadModel, SimConfig, Simulation};
+pub use engine::{FaultEvent, OverheadModel, SimConfig, Simulation};
 pub use exec::{ExecModel, ExecSampler};
 pub use kernel::{KernelKind, KernelModel, KernelParams};
 pub use par::{run_partitioned_parallel, ParSimOptions};

@@ -59,7 +59,7 @@
 //! completion) are unaffected because each shard replays the
 //! single-owner engine's own insertion order.
 
-use crate::engine::{SimConfig, Simulation};
+use crate::engine::{FaultEvent, SimConfig, Simulation};
 use crate::exec::ExecSampler;
 use crate::trace::{JobRecord, SimResult};
 use std::cmp::Reverse;
@@ -435,6 +435,9 @@ pub fn run_partitioned_parallel(
             // exactly like cross-shard activation tokens.
             cfg.msg_schedule
                 .retain(|(_, ev)| owner[msg_dst(ev).index()] == worker.index());
+            // Fault injections land on the shard owning the target task.
+            cfg.fault_schedule
+                .retain(|(_, ev)| owner[ev.task().index()] == worker.index());
             shard_handles.push(
                 std::thread::Builder::new()
                     .name(format!("yasmin-sim-shard-{worker}"))
@@ -499,6 +502,9 @@ enum PEv {
     /// A scheduled message-plane event ([`SimConfig::msg_schedule`])
     /// delivered to the shard owning the receiving task.
     Msg { ev: MsgEvent },
+    /// A scheduled fault injection ([`SimConfig::fault_schedule`])
+    /// delivered to the shard owning the target task.
+    Fault { ev: FaultEvent },
 }
 
 #[derive(Debug)]
@@ -649,11 +655,13 @@ impl Protocol<'_> {
     /// to the engine.
     fn finish(&mut self, s: usize, now: Instant, job: yasmin_core::ids::JobId) -> Result<()> {
         let worker = self.states[s].shard.worker();
-        let slice = self.states[s]
-            .slice
-            .take()
-            .expect("finish events are never stale without preemption");
-        debug_assert_eq!(slice.job.id, job);
+        // Without preemption a finish can only be stale when the slice
+        // was crashed by a scheduled fault; job ids are unique, so the
+        // id mismatch (or an already-empty worker) identifies it.
+        if self.states[s].slice.is_none_or(|sl| sl.job.id != job) {
+            return Ok(());
+        }
+        let slice = self.states[s].slice.take().expect("checked above");
         let wall = now.saturating_since(slice.start);
         self.states[s].busy += wall;
         if let Some(a) = self.states[s].shard.taskset().tasks()[slice.job.task.index()].versions()
@@ -684,6 +692,74 @@ impl Protocol<'_> {
                 at: now,
             },
         )
+    }
+
+    /// Delivers one scheduled fault to shard `s` — the protocol-loop
+    /// analogue of `Simulation::apply_fault`, with the same policy:
+    /// overruns and crashes are no-ops when the task is not running,
+    /// bursts tolerate non-activatable targets.
+    fn fault(&mut self, s: usize, now: Instant, ev: FaultEvent) -> Result<()> {
+        match ev {
+            FaultEvent::Overrun { task } => {
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                let _ = self.states[s].shard.force_overrun(task, now, &mut sink);
+                self.apply_actions(s, now, &sink);
+                self.sink = sink;
+                self.settle_outbox(s, now);
+            }
+            FaultEvent::Crash { task } => {
+                // Non-preemptive: the running slice is the only
+                // candidate. Its already-scheduled finish event goes
+                // stale (see `finish`).
+                if self.states[s]
+                    .slice
+                    .is_none_or(|sl| sl.job.task != task || now > sl.finish)
+                {
+                    return Ok(());
+                }
+                let slice = self.states[s].slice.take().expect("checked above");
+                let worker = self.states[s].shard.worker();
+                let wall = now
+                    .saturating_since(slice.start)
+                    .min(slice.finish.saturating_since(slice.start));
+                self.states[s].busy += wall;
+                if let Some(a) = self.states[s].shard.taskset().tasks()[slice.job.task.index()]
+                    .versions()[slice.version.index()]
+                .accel()
+                {
+                    self.accel_busy[a.index()] += wall;
+                }
+                // No completion record — a failed job never completed.
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                let res =
+                    self.states[s]
+                        .shard
+                        .on_job_failed_into(worker, slice.job.id, now, &mut sink);
+                if res.is_ok() {
+                    self.apply_actions(s, now, &sink);
+                }
+                self.sink = sink;
+                res?;
+                self.settle_outbox(s, now);
+            }
+            FaultEvent::Burst { task, count } => {
+                for _ in 0..count {
+                    let mut sink = std::mem::take(&mut self.sink);
+                    sink.clear();
+                    let res = self.states[s]
+                        .shard
+                        .process_into(ShardCmd::Activate { task, at: now }, &mut sink);
+                    if res.is_ok() {
+                        self.apply_actions(s, now, &sink);
+                    }
+                    self.sink = sink;
+                    self.settle_outbox(s, now);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// At an event boundary, every fully idle shard (no slice, empty
@@ -746,6 +822,17 @@ impl Protocol<'_> {
                 .expect("validated by build_all")
                 .index();
             self.push_event(Instant::ZERO + offset, s, PEv::Msg { ev });
+        }
+        // Arm the fault schedule on the shard owning each target task,
+        // after the message events like the single-owner driver.
+        for i in 0..self.sim.fault_schedule.len() {
+            let (offset, ev) = self.sim.fault_schedule[i];
+            let s = self.states[0].shard.taskset().tasks()[ev.task().index()]
+                .spec()
+                .assigned_worker()
+                .expect("validated by build_all")
+                .index();
+            self.push_event(Instant::ZERO + offset, s, PEv::Fault { ev });
         }
         if self.steal {
             self.steal_pass(Instant::ZERO)?;
@@ -831,6 +918,7 @@ impl Protocol<'_> {
                     };
                     self.interact(s, cmd)?;
                 }
+                PEv::Fault { ev } => self.fault(s, now, ev)?,
             }
             if self.steal {
                 self.steal_pass(now)?;

@@ -65,6 +65,7 @@ fn main() -> Result<(), yasmin::Error> {
         measure_engine_time: false,
         mode_schedule,
         msg_schedule: Vec::new(),
+        fault_schedule: Vec::new(),
     };
     let result = Simulation::new(Arc::new(workload.taskset.clone()), config, sim)?.run()?;
 

@@ -74,6 +74,7 @@ pub use yasmin_core::{Error, Result};
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use yasmin_core::channel::BackpressurePolicy;
     pub use yasmin_core::config::{
         Config, LockChoice, MappingScheme, SchedulerClass, VersionPolicy, WaitChoice,
     };
@@ -82,15 +83,16 @@ pub mod prelude {
     pub use yasmin_core::ids::{AccelId, ChannelId, JobId, TaskId, TenantId, VersionId, WorkerId};
     pub use yasmin_core::platform::PlatformSpec;
     pub use yasmin_core::priority::{Priority, PriorityPolicy};
-    pub use yasmin_core::task::{ActivationKind, DeadlineKind, TaskSpec};
+    pub use yasmin_core::task::{ActivationKind, DeadlineKind, OverrunPolicy, TaskSpec};
     pub use yasmin_core::time::{Duration, Instant};
     pub use yasmin_core::version::{ExecMode, ModeMask, PermMask, VersionProps, VersionSpec};
     pub use yasmin_rt::{
         JobCtx, Runtime, RuntimeBuilder, ShardedRuntime, ShardedRuntimeBuilder, TaskBody,
     };
     pub use yasmin_sched::{
-        AdmissionControl, AdmissionError, BoundViolation, ChannelBuilder, MsgEvent, MsgNotify,
-        NotifyHandle, OnlineEngine, Receiver, ScheduleTable, SendError, Sender, TenantBudget,
+        AdmissionControl, AdmissionError, BoundViolation, ChannelBuilder, JobOutcome, MsgEvent,
+        MsgNotify, NotifyHandle, OnlineEngine, Receiver, ScheduleTable, SendError, Sender,
+        TenantBudget,
     };
     pub use yasmin_sim::{SimConfig, Simulation};
 }

@@ -4,7 +4,7 @@
 //! warm-up phase (rank caches fill, scratch buffers and the action sink
 //! grow to their high-water marks) each scenario drives 10 000 further
 //! steady-state scheduler interactions and asserts the allocation
-//! counter did not move at all. Nine scenarios cover the paths the
+//! counter did not move at all. Eleven scenarios cover the paths the
 //! ROADMAP names:
 //!
 //! 1. **independent / global** — the EDF tick/complete loop of PR 2;
@@ -38,7 +38,12 @@
 //!    resulting `MsgEvent`s through the notify hook into the lock-free
 //!    mailbox (the runtimes' wiring), boosts the receiver's pending job
 //!    via the PIP machinery, drains, restores and retires — the
-//!    send/recv/boost loop of the typed message plane.
+//!    send/recv/boost loop of the typed message plane;
+//! 10. **cross-shard outbox** — a completion fires a successor on a
+//!     foreign shard every cycle: outbox fire, drain, route and
+//!     destination release all on pre-grown storage (PR 9);
+//! 11. **enforcement on** — `enforce_wcet` + `miss_trip` armed, one
+//!     forced overrun with a background demotion per cycle (PR 9).
 //!
 //! Runs without the libtest harness (`harness = false` in Cargo.toml)
 //! so no other thread can touch the allocator during the measured
@@ -803,6 +808,159 @@ fn message_plane_steady_state() {
     assert!(rx.is_empty(), "both lanes drained every cycle");
 }
 
+/// Scenario 10: the cross-shard outbox path. Every cycle a source job
+/// completes on shard 0 and lands its successor token in the outbox as
+/// a `RemoteActivation`; the driver drains the outbox into a reusable
+/// buffer and routes it to shard 1 as a `CrossActivate`, releasing and
+/// dispatching the destination — the fire, drain, route and release
+/// must all run on pre-grown storage.
+fn cross_shard_outbox() {
+    use yasmin_sched::RemoteActivation;
+    let mut b = TaskSetBuilder::new();
+    let src = b
+        .task_decl(TaskSpec::aperiodic("src").on_worker(WorkerId::new(0)))
+        .unwrap();
+    let dst = b
+        .task_decl(TaskSpec::graph_node("dst").on_worker(WorkerId::new(1)))
+        .unwrap();
+    b.version_decl(src, VersionSpec::new("v", Duration::from_millis(1)))
+        .unwrap();
+    b.version_decl(dst, VersionSpec::new("v", Duration::from_millis(1)))
+        .unwrap();
+    let c = b.channel_decl("c", 4, 8);
+    b.channel_connect(src, dst, c).unwrap();
+    let ts = Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(2)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .preemption(false)
+        .tick(Duration::from_millis(1_000))
+        .max_pending_jobs(16)
+        .build()
+        .expect("valid config");
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut s1 = shards.pop().unwrap();
+    let mut s0 = shards.pop().unwrap();
+    let mut sink = ActionSink::with_capacity(64);
+    s0.start_into(Instant::ZERO, &mut sink)
+        .expect("fresh shard starts");
+    s1.start_into(Instant::ZERO, &mut sink)
+        .expect("fresh shard starts");
+    let (w0, w1) = (WorkerId::new(0), WorkerId::new(1));
+    let mut running: Vec<Option<JobId>> = vec![None; 2];
+    let mut outbox: Vec<RemoteActivation> = Vec::with_capacity(8);
+    let step = Duration::from_micros(1);
+    let mut now = Instant::ZERO;
+
+    assert_zero_alloc("cross-shard-outbox", || {
+        now += step;
+        sink.clear();
+        s0.activate_into(src, now, &mut sink)
+            .expect("worker 0 idle");
+        track(&mut running, sink.as_slice());
+        let j0 = running[0].take().expect("src dispatched");
+        sink.clear();
+        s0.on_job_completed_into(w0, j0, now, &mut sink)
+            .expect("completion protocol upheld");
+        outbox.clear();
+        s0.drain_outbox_into(&mut outbox);
+        for ra in outbox.drain(..) {
+            sink.clear();
+            s1.process_into(
+                ShardCmd::CrossActivate {
+                    edge: ra.edge,
+                    graph_release: ra.graph_release,
+                    at: now,
+                },
+                &mut sink,
+            )
+            .expect("cross token routes");
+            track(&mut running, sink.as_slice());
+        }
+        let j1 = running[1].take().expect("dst dispatched");
+        sink.clear();
+        s1.on_job_completed_into(w1, j1, now, &mut sink)
+            .expect("completion protocol upheld");
+    });
+    assert!(
+        s0.stats().cross_activations > u64::from(WARMUP),
+        "every cycle must route a cross-shard token (got {})",
+        s0.stats().cross_activations
+    );
+}
+
+/// Scenario 11: steady state with fault-tolerance machinery armed —
+/// `enforce_wcet` scans the running slots every tick, the miss-trip
+/// window rolls, and every cycle one job is flagged as overrunning and
+/// demoted to background (the Boost surfacing of `OverrunPolicy`
+/// enforcement). None of it may touch the allocator.
+fn enforcement_steady_state() {
+    use yasmin_core::task::OverrunPolicy;
+    const WORKERS: usize = 2;
+    let mut b = TaskSetBuilder::new();
+    for i in 0..32 {
+        let t = b
+            .task_decl(
+                TaskSpec::periodic(format!("t{i}"), Duration::from_millis(10))
+                    .with_overrun_policy(OverrunPolicy::DemoteToBackground),
+            )
+            .unwrap();
+        b.version_decl(t, VersionSpec::new("v", Duration::from_millis(1)))
+            .unwrap();
+    }
+    let ts = Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(WORKERS)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .enforce_wcet(true)
+        .miss_trip(Duration::from_millis(100), 64)
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    let mut engine = OnlineEngine::new(ts, config).expect("valid engine");
+    let mut sink = ActionSink::with_capacity(128);
+    let mut running: Vec<Option<JobId>> = vec![None; WORKERS];
+
+    engine
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh engine starts");
+    track(&mut running, sink.as_slice());
+    let tick = engine.tick_period();
+    let mut now = Instant::ZERO;
+
+    assert_zero_alloc("enforcement-steady-state", || {
+        let mid = now + tick.scale(1, 2);
+        // Flag worker 0's running job as overrunning: the Demote policy
+        // books the overrun and emits the background Boost.
+        if let Some(r) = engine.running(WorkerId::new(0)) {
+            let t = r.job.task;
+            sink.clear();
+            engine.force_overrun(t, mid, &mut sink);
+        }
+        for w in 0..WORKERS {
+            if let Some(job) = running[w].take() {
+                sink.clear();
+                engine
+                    .on_job_completed_into(WorkerId::new(w as u16), job, mid, &mut sink)
+                    .expect("completion protocol upheld");
+                track(&mut running, sink.as_slice());
+            }
+        }
+        now += tick;
+        sink.clear();
+        engine.on_tick_into(now, &mut sink);
+        track(&mut running, sink.as_slice());
+    });
+    assert!(
+        engine.stats().overruns > u64::from(WARMUP),
+        "every cycle must book an overrun (got {})",
+        engine.stats().overruns
+    );
+    assert!(!engine.is_tripped(), "on-time completions never trip");
+}
+
 fn main() {
     independent_global();
     dag_firing();
@@ -813,4 +971,6 @@ fn main() {
     steady_state_stealing();
     admitted_tenant_steady_state();
     message_plane_steady_state();
+    cross_shard_outbox();
+    enforcement_steady_state();
 }
