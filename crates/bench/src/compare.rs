@@ -145,6 +145,39 @@ pub fn gate_ratio(
     })
 }
 
+/// Same-host **minimum-speedup** gate between two p50 medians of one
+/// JSON: the `slow` median must be at least `min_speedup_pct` percent
+/// of the `fast` median — 200 enforces "slow ≥ 2× fast". This is the
+/// form the batch-steal amortisation takes (eight single hand-offs must
+/// cost at least twice one batched exchange); [`gate_ratio`] cannot
+/// express it, since its bound is a maximum over the denominator, not a
+/// required multiple.
+///
+/// # Errors
+///
+/// A message naming the missing entry.
+pub fn gate_min_speedup(
+    json: &str,
+    slow: (&str, &str),
+    fast: (&str, &str),
+    min_speedup_pct: u64,
+) -> Result<GateCheck, String> {
+    let s = extract_p50(json, slow.0, slow.1)
+        .ok_or_else(|| format!("JSON lacks {}.{}.p50_ns", slow.0, slow.1))?;
+    let f = extract_p50(json, fast.0, fast.1)
+        .ok_or_else(|| format!("JSON lacks {}.{}.p50_ns", fast.0, fast.1))?;
+    let floor = f.saturating_mul(min_speedup_pct) / 100;
+    Ok(GateCheck {
+        what: format!(
+            "{}.{} >= {min_speedup_pct}% of {}.{}",
+            slow.0, slow.1, fast.0, fast.1
+        ),
+        baseline_p50_ns: floor,
+        current_p50_ns: s,
+        regressed: s < floor,
+    })
+}
+
 /// Same-host sanity gate: within one `BENCH_PR3.json`, the mailbox-fed
 /// sharded path may cost at most `max_overhead_pct` percent over the
 /// direct path for each entry point. Both sides are measured in the
@@ -298,6 +331,37 @@ mod tests {
         .unwrap();
         assert!(rh.regressed, "{rh:?}");
         assert!(gate_ratio(json, ("missing", "x"), ("burst", "batched"), 10).is_err());
+    }
+
+    #[test]
+    fn min_speedup_gate_requires_the_multiple() {
+        let json = r#"{
+  "steal_batch": {"single": {"p50_ns": 2600}, "batch": {"p50_ns": 1000}, "n": 63, "k": 8},
+  "queue_scan": {"soa": {"p50_ns": 90}, "inline_ref": {"p50_ns": 100}, "n": 8192}
+}"#;
+        // single = 2.6x batch: a 2x floor passes, a 3x floor fails.
+        let ok = gate_min_speedup(
+            json,
+            ("steal_batch", "single"),
+            ("steal_batch", "batch"),
+            200,
+        )
+        .unwrap();
+        assert!(!ok.regressed, "{ok:?}");
+        assert_eq!(ok.baseline_p50_ns, 2000);
+        assert_eq!(ok.current_p50_ns, 2600);
+        let bad = gate_min_speedup(
+            json,
+            ("steal_batch", "single"),
+            ("steal_batch", "batch"),
+            300,
+        )
+        .unwrap();
+        assert!(bad.regressed, "{bad:?}");
+        assert!(bad.to_string().contains("REGRESSED"));
+        // Missing entries error loudly.
+        assert!(gate_min_speedup(json, ("missing", "x"), ("steal_batch", "batch"), 200).is_err());
+        assert!(gate_min_speedup(json, ("steal_batch", "single"), ("missing", "x"), 200).is_err());
     }
 
     #[test]

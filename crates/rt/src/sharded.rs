@@ -15,8 +15,9 @@
 //!   (activate/stop/shutdown), and **one lane per peer shard** carrying
 //!   the cross-shard protocol — routed DAG activation tokens
 //!   (`CrossActivate`) and the work-stealing handshake
-//!   (`StealRequest` / `Stolen` / `StealDeny`) — with ticks generated
-//!   locally by each scheduler thread at the shared gcd period.
+//!   (`StealRequest` / `StolenBatch` / `StealDeny`) — with ticks
+//!   generated locally by each scheduler thread at the shared gcd
+//!   period.
 //!
 //! A wake that finds pending completions *and* a due tick coalesces
 //! both into **one** engine round ([`EngineShard::advance_into`]): the
@@ -25,14 +26,21 @@
 //!
 //! With [`ShardedRuntimeBuilder::work_stealing`] enabled, an idle shard
 //! (empty queue, idle worker, drained mailbox) probes the advisory
-//! [`LoadBoard`] for the most loaded peer and sends it a
-//! `StealRequest`; the victim detaches its most urgent
-//! accelerator-free ready job ([`EngineShard::try_steal`] /
-//! [`EngineShard::release_stolen`]) and grants it back, and the thief
-//! adopts and runs it on its own worker — global [`WorkerId`]s keep
-//! every record truthful about where a job actually ran. Cross-shard
-//! DAG successors of any completion (stolen or local) are drained from
-//! the shard outbox and routed to the owning peer's lane.
+//! [`LoadBoard`] for a victim — most loaded peer first, exact load
+//! ties broken towards DAG-adjacent shards (wired from the task set's
+//! cross-shard edges at startup) and recent donors — and sends it a
+//! `StealRequest` carrying a batch size `k` derived from the load gap
+//! ([`LoadBoard::steal_batch_size`], capped at
+//! [`yasmin_sched::MAX_STEAL_BATCH`]). The victim detaches up to `k` of
+//! its most urgent accelerator-free ready jobs in one exchange
+//! ([`EngineShard::try_steal_batch`] /
+//! [`EngineShard::release_stolen_batch`]) and grants them back as a
+//! single `StolenBatch` ack, and the thief adopts the whole batch with
+//! one dispatch round, running the jobs on its own worker — global
+//! [`WorkerId`]s keep every record truthful about where a job actually
+//! ran. Cross-shard DAG successors of any completion (stolen or local)
+//! are drained from the shard outbox and routed to the owning peer's
+//! lane.
 //!
 //! Scheduling decisions run through the same zero-allocation
 //! [`ActionSink`] path as the single-owner runtime. Like that runtime,
@@ -54,8 +62,8 @@ use yasmin_sched::admission::{AdmissionControl, AdmissionError};
 use yasmin_sched::msg::{MsgEvent, NotifyHandle, Receiver as MsgReceiver, Sender as MsgSender};
 use yasmin_sched::server::TenantBudget;
 use yasmin_sched::{
-    validate_sharding, Action, ActionSink, EngineShard, EngineStats, Job, JobOutcome,
-    RemoteActivation, ShardCmd,
+    validate_sharding, Action, ActionSink, EngineShard, EngineStats, Job, JobBatch, JobOutcome,
+    RemoteActivation, ShardCmd, StealHint, MAX_STEAL_BATCH,
 };
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 use yasmin_sync::spsc;
@@ -82,6 +90,10 @@ enum WorkerMsg {
 }
 
 /// Commands flowing into a shard's scheduler thread.
+// The steal-grant variant embeds a fixed-size `JobBatch` (see
+// `ShardCmd`): boxing it would allocate on the steal hot path, and the
+// messages live in preallocated mailbox lanes anyway.
+#[allow(clippy::large_enum_variant)]
 enum ShardMsg {
     /// The shard's worker finished a job — normally or by panic (the
     /// `JobCompleted` / `JobFailed` commands).
@@ -107,10 +119,14 @@ enum ShardMsg {
     /// [`ShardMsg::MsgHigh`], releasing the boost when posts and drains
     /// balance.
     MsgDrained { dst: TaskId },
-    /// An idle peer asks for a ready job.
-    StealRequest { thief: WorkerId },
-    /// A victim's grant: the detached job for this shard to adopt.
-    Stolen { job: Job },
+    /// An idle peer asks for up to `k` ready jobs; `k` is sized by the
+    /// thief from the advertised load gap
+    /// ([`LoadBoard::steal_batch_size`]).
+    StealRequest { thief: WorkerId, k: u8 },
+    /// A victim's grant: up to [`MAX_STEAL_BATCH`] detached jobs in one
+    /// ack (a single steal is a batch of one); the thief adopts them
+    /// all with one dispatch round.
+    StolenBatch { jobs: JobBatch },
     /// A victim's refusal; the thief may re-probe.
     StealDeny,
     /// Phase one of a two-phase tenant admission (see
@@ -348,6 +364,24 @@ impl ShardedRuntime {
             })?;
         let admission = AdmissionControl::new(builder.config.clone(), tick);
         let board = Arc::new(LoadBoard::new(n));
+        // Seed the victim-selection hints: shards joined by a
+        // cross-shard DAG edge are marked adjacent, so on exact load
+        // ties a thief prefers a victim whose jobs have successors (or
+        // predecessors) on the thief's own shard — the stolen work's
+        // tokens then travel a lane that already exists.
+        for e in builder.taskset.edges() {
+            let worker_of = |t: TaskId| {
+                builder.taskset.tasks()[t.index()]
+                    .spec()
+                    .assigned_worker()
+                    .map(|w| w.index())
+            };
+            if let (Some(a), Some(b)) = (worker_of(e.src), worker_of(e.dst)) {
+                if a != b {
+                    board.set_adjacent(a, b);
+                }
+            }
+        }
         let drain_board: Arc<Vec<AtomicBool>> =
             Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
         let mut control = Vec::with_capacity(n);
@@ -824,6 +858,10 @@ fn shard_scheduler_main(
     // any — cleared by its grant/refusal, or when the victim's lane
     // closes without answering (the victim exited).
     let mut pending_steal: Option<usize> = None;
+    // Victim-side batch-steal scratch, reused across grants so the
+    // steal path stays allocation-free after the first exchange.
+    let mut steal_hints: Vec<StealHint> = Vec::with_capacity(MAX_STEAL_BATCH);
+    let mut steal_batch = JobBatch::new();
     // Two-phase drain state: whether this shard has barriered its peer
     // lanes with `DrainFlush`, and how many peers have acked.
     let mut flush_sent = false;
@@ -1038,27 +1076,35 @@ fn shard_scheduler_main(
                         None => {}
                     }
                 }
-                ShardMsg::StealRequest { thief } => {
-                    // Answer authoritatively: detach the most urgent
-                    // accelerator-free ready job, or refuse.
-                    let granted = shard
-                        .try_steal()
-                        .and_then(|hint| shard.release_stolen(hint));
-                    let reply = match granted {
-                        Some(job) => ShardMsg::Stolen { job },
-                        None => ShardMsg::StealDeny,
+                ShardMsg::StealRequest { thief, k } => {
+                    // Answer authoritatively: detach up to `k` of the
+                    // most urgent accelerator-free ready jobs in one
+                    // exchange, or refuse. Scratch buffers are retained
+                    // across rounds — the grant path allocates nothing.
+                    steal_hints.clear();
+                    steal_batch.clear();
+                    shard.try_steal_batch(k as usize, &mut steal_hints);
+                    let granted = shard.release_stolen_batch(&steal_hints, &mut steal_batch);
+                    let reply = if granted == 0 {
+                        ShardMsg::StealDeny
+                    } else {
+                        // Record the donation so future load ties break
+                        // towards this shard — recent donors tend to
+                        // stay the imbalanced ones.
+                        peers.board.record_donation(me);
+                        ShardMsg::StolenBatch { jobs: steal_batch }
                     };
                     peers.send(thief.index(), reply);
                     if peers.stealing {
                         peers.board.publish(me, stealable_load(&shard));
                     }
                 }
-                ShardMsg::Stolen { job } => {
+                ShardMsg::StolenBatch { jobs } => {
                     pending_steal = None;
                     sink.clear();
                     shard
-                        .adopt_stolen(job, clock.now(), &mut sink)
-                        .expect("stolen job adoptable by the requesting shard");
+                        .adopt_stolen_batch(jobs.as_slice(), clock.now(), &mut sink)
+                        .expect("stolen batch adoptable by the requesting shard");
                     settle_round!(&sink);
                 }
                 ShardMsg::StealDeny => pending_steal = None,
@@ -1168,6 +1214,13 @@ fn shard_scheduler_main(
                 .expect("completion protocol upheld");
             done_batch.clear();
             settle_round!(&sink);
+            // Age the donation history once per tick, from one shard
+            // only (every shard halving it would decay n times faster
+            // than intended). "Recent donor" then means "donated within
+            // the last few ticks".
+            if peers.stealing && me == 0 {
+                peers.board.decay_donations();
+            }
             while next_tick <= now {
                 next_tick += tick;
             }
@@ -1191,7 +1244,19 @@ fn shard_scheduler_main(
             && rx.is_empty()
         {
             if let Some(victim) = peers.board.pick_victim(me) {
-                peers.send(victim, ShardMsg::StealRequest { thief: worker });
+                // Size the request to half the advertised load gap: a
+                // thief this idle asks for more from a deeply loaded
+                // victim, and never for more than the batch cap.
+                let k = peers
+                    .board
+                    .steal_batch_size(victim, shard.ready_len(), MAX_STEAL_BATCH);
+                peers.send(
+                    victim,
+                    ShardMsg::StealRequest {
+                        thief: worker,
+                        k: k as u8,
+                    },
+                );
                 pending_steal = Some(victim);
                 continue;
             }
@@ -1484,6 +1549,15 @@ mod tests {
             report.engine_stats
         );
         assert_eq!(report.engine_stats.stolen, report.engine_stats.donated);
+        // Every migration rides a batch grant (a single steal is a
+        // batch of one), and the batch-length histogram books exactly
+        // one entry per exchange.
+        assert!(report.engine_stats.stolen_batch >= 1);
+        assert!(report.engine_stats.stolen_batch <= report.engine_stats.stolen);
+        assert_eq!(
+            report.engine_stats.steal_batch_len.iter().sum::<u64>(),
+            report.engine_stats.stolen_batch
+        );
         // Stolen jobs are recorded under the worker that actually ran
         // them: exactly `stolen` records name a worker other than the
         // task's assigned one (stealing may also move worker 1's light
@@ -1501,6 +1575,76 @@ mod tests {
                 |r| r.worker == WorkerId::new(1) && heavy.iter().any(|&(t, _)| t == r.job.task)
             ),
             "at least one heavy job ran on the idle worker"
+        );
+    }
+
+    #[test]
+    fn batch_steal_grants_multiple_jobs_in_one_exchange() {
+        // A heavy burst parked on shard 0's queue while shard 1 idles:
+        // the thief's probe sees a wide load gap, asks for k > 1, and a
+        // single `StolenBatch` grant migrates several jobs at once. The
+        // CI TSan step runs this whole exchange under ThreadSanitizer —
+        // the hint scan, the k-job detach and the one-ack adoption are
+        // raced against the victim's own dispatching, not just the
+        // single-steal protocol of the test above.
+        const BURST: usize = 12;
+        let mut b = TaskSetBuilder::new();
+        let light = b
+            .task_decl(TaskSpec::periodic("light", ms(5)).on_worker(WorkerId::new(1)))
+            .unwrap();
+        let vl = b
+            .version_decl(light, VersionSpec::new("v", Duration::from_micros(10)))
+            .unwrap();
+        let mut heavy = Vec::new();
+        for i in 0..BURST {
+            let t = b
+                .task_decl(TaskSpec::aperiodic(format!("h{i}")).on_worker(WorkerId::new(0)))
+                .unwrap();
+            let v = b.version_decl(t, VersionSpec::new("v", ms(4))).unwrap();
+            heavy.push((t, v));
+        }
+        let ts = Arc::new(b.build().unwrap());
+        let ran = Arc::new(AtomicU32::new(0));
+        let mut builder = ShardedRuntimeBuilder::new(ts, sharded_config(2))
+            .work_stealing(true)
+            .body(light, vl, |_| {});
+        for &(t, v) in &heavy {
+            let r = Arc::clone(&ran);
+            builder = builder.body(t, v, move |_| {
+                r.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            });
+        }
+        let rt = builder.build().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        for &(t, _) in &heavy {
+            rt.activate(t).unwrap();
+        }
+        // 12 jobs x 3ms on one worker would take ~36ms; give the pair
+        // plenty of slack, then drain.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        rt.stop();
+        let report = rt.cleanup();
+        assert_eq!(
+            ran.load(Ordering::SeqCst) as usize,
+            BURST,
+            "every activated job ran"
+        );
+        assert!(
+            report.engine_stats.stolen_batch >= 1,
+            "the idle shard must steal (stats: {:?})",
+            report.engine_stats
+        );
+        assert!(
+            report.engine_stats.steal_batch_len[1..].iter().sum::<u64>() >= 1,
+            "a 12-deep queue against an idle thief must grant more than \
+             one job in some exchange (histogram {:?})",
+            report.engine_stats.steal_batch_len
+        );
+        assert_eq!(report.engine_stats.stolen, report.engine_stats.donated);
+        assert_eq!(
+            report.engine_stats.steal_batch_len.iter().sum::<u64>(),
+            report.engine_stats.stolen_batch
         );
     }
 

@@ -20,7 +20,7 @@
 //!   inversions (our design decision, documented in DESIGN.md).
 
 use crate::accel::AccelManager;
-use crate::job::Job;
+use crate::job::{Job, JobBatch};
 use crate::queue::ReadyQueue;
 use crate::select::{rank_versions_into, RankBuf};
 use crate::server::ReservationServer;
@@ -138,6 +138,14 @@ pub struct EngineStats {
     pub stolen: u64,
     /// Ready jobs this engine handed to a thief shard (victim side).
     pub donated: u64,
+    /// Batch-steal exchanges this engine completed as the thief
+    /// ([`OnlineEngine::adopt_stolen_batch`]); each exchange's jobs are
+    /// also counted individually in `stolen`.
+    pub stolen_batch: u64,
+    /// Histogram of adopted batch sizes: bucket `i` counts exchanges
+    /// that delivered `i + 1` jobs (the last bucket absorbs anything
+    /// larger, future-proofing against a raised batch cap).
+    pub steal_batch_len: [u64; 8],
     /// DAG activation tokens routed to a foreign shard through the
     /// outbox instead of fired locally (cross-shard edges).
     pub cross_activations: u64,
@@ -185,6 +193,10 @@ impl EngineStats {
         self.max_ready += other.max_ready;
         self.stolen += other.stolen;
         self.donated += other.donated;
+        self.stolen_batch += other.stolen_batch;
+        for (b, o) in self.steal_batch_len.iter_mut().zip(&other.steal_batch_len) {
+            *b += o;
+        }
         self.cross_activations += other.cross_activations;
         self.culled += other.culled;
         self.budget_deferrals += other.budget_deferrals;
@@ -329,6 +341,10 @@ pub struct OnlineEngine {
     policy_uses_battery: bool,
     /// Busy accelerators wished for by the last `Blocked` choice.
     wish_buf: Vec<AccelId>,
+    /// Frontier scratch for the ordered ready-queue scan behind
+    /// [`OnlineEngine::steal_hints`] (batch-steal probes); retained so
+    /// steady-state batch stealing never allocates.
+    steal_frontier: Vec<u32>,
     /// Jobs popped but unable to run this round (returned to the queue).
     blocked_buf: Vec<Job>,
     /// Distinct successor tasks of the job that just completed.
@@ -547,6 +563,12 @@ impl OnlineEngine {
             policy_cacheable: !matches!(config.version_policy(), VersionPolicy::UserDefined(_)),
             policy_uses_battery,
             wish_buf: Vec::with_capacity(taskset.accels().len()),
+            steal_frontier: Vec::with_capacity(if shard.is_some() {
+                // k·(D-1) + 1 for the 4-ary heap at the batch cap.
+                crate::job::MAX_STEAL_BATCH * 3 + 1
+            } else {
+                0
+            }),
             blocked_buf: Vec::with_capacity(config.max_pending_jobs().min(64)),
             successor_buf: Vec::with_capacity(n),
             outbox: Vec::with_capacity(if shard.is_some() {
@@ -1587,6 +1609,124 @@ impl OnlineEngine {
         } else {
             self.stats.channel_overflows += 1;
         }
+        self.dispatch_round(now, sink);
+        Ok(())
+    }
+
+    /// Up to `k` steal hints in ascending queue-key order — the batch
+    /// generalisation of [`OnlineEngine::steal_hint`]. The ordered scan
+    /// walks the ready heap without detaching anything and **stops at
+    /// the first job that must not migrate** (accelerator-bound task,
+    /// or a job this shard itself adopted): like the single-job probe,
+    /// a thief never takes less urgent work while skipping over more
+    /// urgent local-only work. Hints are appended to `out` (cleared
+    /// here); returns the number produced. Shard engines only — 0
+    /// otherwise.
+    pub fn steal_hints(&mut self, k: usize, out: &mut Vec<StealHint>) -> usize {
+        out.clear();
+        let Some(w) = self.shard else { return 0 };
+        let k = k.min(crate::job::MAX_STEAL_BATCH);
+        if k == 0 {
+            return 0;
+        }
+        let mut frontier = std::mem::take(&mut self.steal_frontier);
+        let task_worker = &self.task_worker;
+        let task_accel_bound = &self.task_accel_bound;
+        self.queues[0].scan_in_order(&mut frontier, |job| {
+            if task_worker[job.task.index()] != w.raw() || task_accel_bound[job.task.index()] {
+                return false;
+            }
+            out.push(StealHint {
+                job: job.id,
+                task: job.task,
+                priority: job.priority,
+            });
+            out.len() < k
+        });
+        self.steal_frontier = frontier;
+        out.len()
+    }
+
+    /// Hands a batch of hinted jobs to a thief in one exchange (victim
+    /// side): each hint is re-validated exactly like
+    /// [`OnlineEngine::release_stolen`] — stale hints (dispatched or
+    /// culled since the probe) and jobs that must no longer migrate are
+    /// skipped, never errors — and each detached job is appended to
+    /// `out` in hint order (most urgent first). Returns the number
+    /// detached; every one counts in [`EngineStats::donated`].
+    pub fn release_stolen_batch(&mut self, hints: &[StealHint], out: &mut JobBatch) -> usize {
+        let mut released = 0;
+        for &hint in hints {
+            let Some(job) = self.release_stolen(hint) else {
+                continue;
+            };
+            if out.push(job) {
+                released += 1;
+            } else {
+                // The batch filled up (protocol cap): put the job back —
+                // it was never handed over. The push cannot fail: the
+                // remove just freed its slot.
+                self.queues[0].push(job).expect("slot was just vacated");
+                self.stats.donated -= 1;
+                break;
+            }
+        }
+        released
+    }
+
+    /// Adopts a whole stolen batch (thief side): every job enters this
+    /// shard's ready queue — keeping EDF order against local work —
+    /// then **one** dispatch round runs for the batch, which is the
+    /// point of batching: k migrations pay one protocol exchange and
+    /// one dispatch round instead of k of each. Tenant budgets keep the
+    /// single-steal semantics — each job charges *this* shard's replica
+    /// of its tenant's reservation at dispatch, not at adoption.
+    ///
+    /// Books one exchange in [`EngineStats::stolen_batch`] and the
+    /// batch length in the [`EngineStats::steal_batch_len`] histogram;
+    /// each job also counts in [`EngineStats::stolen`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] on a non-shard engine or when any job
+    /// belongs to this very shard (nothing was stolen) — protocol
+    /// violations, checked before any job is enqueued. A *full* local
+    /// queue is not an error: overflowing jobs are dropped and counted
+    /// in `stats.channel_overflows`, like every release-path overflow.
+    pub fn adopt_stolen_batch(
+        &mut self,
+        jobs: &[Job],
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        let Some(w) = self.shard else {
+            return Err(Error::InvalidConfig(
+                "only engine shards adopt stolen jobs".into(),
+            ));
+        };
+        if let Some(job) = jobs
+            .iter()
+            .find(|j| self.task_worker[j.task.index()] == w.raw())
+        {
+            return Err(Error::InvalidConfig(format!(
+                "job of task {} is already owned by shard {w}",
+                job.task
+            )));
+        }
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        for &job in jobs {
+            if self.queues[0].push(job).is_ok() {
+                self.stats.stolen += 1;
+            } else {
+                self.stats.channel_overflows += 1;
+            }
+        }
+        self.stats.max_ready = self.stats.max_ready.max(self.ready_len());
+        self.stats.stolen_batch += 1;
+        let bucket = (jobs.len() - 1).min(self.stats.steal_batch_len.len() - 1);
+        self.stats.steal_batch_len[bucket] += 1;
         self.dispatch_round(now, sink);
         Ok(())
     }

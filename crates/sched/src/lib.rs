@@ -48,7 +48,7 @@ pub use admission::{AdmissionControl, AdmissionError, BoundViolation};
 pub use engine::{
     Action, EngineStats, JobOutcome, OnlineEngine, RemoteActivation, RunningJob, StealHint,
 };
-pub use job::Job;
+pub use job::{Job, JobBatch, MAX_STEAL_BATCH};
 pub use msg::{ChannelBuilder, MsgEvent, MsgNotify, NotifyHandle, Receiver, SendError, Sender};
 pub use offline::{
     synthesize, synthesize_strict, OfflineDispatcher, ScheduleTable, SynthesisOptions,

@@ -4,10 +4,21 @@
 //! whereas with partitioned scheduling each worker thread has its own
 //! ready queue" (§3.3, Fig. 1a/1b). The queue is an **index-tracked
 //! 4-ary heap** over [`Job::queue_key`] with a fixed capacity decided at
-//! `start()` — no allocation on any path after construction. Heap
-//! entries carry the job payload inline next to a back-pointer into the
-//! index slab, so every sift level is one array read, one array write
-//! and one direct slab update — no hashing anywhere on the sift path.
+//! `start()` — no allocation on any path after construction.
+//!
+//! The heap is laid out **struct-of-arrays**: the array that sifts is a
+//! dense vector of 32-byte nodes — the bare queue key (priority word,
+//! release instant, job id: the exact words every comparison reads)
+//! packed with the payload-slab slot and the index back-pointer — while
+//! the [`Job`] payloads themselves sit in a stable slab that never
+//! moves. The PR 4 layout kept the full `Job` inline in each heap
+//! entry, so at multi-thousand-job occupancy every sift level dragged
+//! ~64 payload bytes per compared child through the cache; here the
+//! comparison loop touches only the packed nodes (the priority word
+//! decides almost every comparison, the release/id words break ties) in
+//! a single bounds-checked stream — half the traffic, two nodes per
+//! cache line, with a node's four heap children adjacent — and payloads
+//! are read exactly once, on pop, peek or remove.
 //!
 //! Every heap entry is tracked by an open-addressed index slab at most
 //! half full, keyed by a Fibonacci (multiplicative) hash of the job id
@@ -28,25 +39,34 @@
 //! | [`ReadyQueue::pop`]    | O(log n) sift-down, O(1) index delete |
 //! | [`ReadyQueue::remove`] | O(log n) sift from the tracked position |
 //! | [`ReadyQueue::peek`] / [`ReadyQueue::peek_hint`] | O(1), `&self` |
+//! | [`ReadyQueue::scan_in_order`] | O(v·D) comparisons for v visited |
 //!
 //! Earlier revisions used a `BinaryHeap` with tombstoned lazy deletion:
 //! `remove` was an O(n) scan, `peek` needed `&mut self` to purge dead
 //! entries, and a `compact()` rebuild guarded the capacity bound. The
 //! index heap removes all three caveats; cheap `remove` + shared-ref
-//! `peek` are also what work stealing needs to probe a victim queue.
+//! `peek` are also what work stealing needs to probe a victim queue, and
+//! the ordered scan is what **batch** stealing uses to enumerate the k
+//! most urgent stealable jobs without detaching anything.
 
 use crate::job::Job;
 use yasmin_core::error::{Error, Result};
 use yasmin_core::ids::JobId;
 use yasmin_core::priority::Priority;
+use yasmin_core::time::Instant;
 
 /// Heap arity: 4 halves the depth of a binary heap for the queue sizes
 /// the engine runs (dozens to a few thousand ready jobs), and the
-/// four-child minimum scan stays within one cache line of `Job`s.
+/// four-child minimum scan stays within two cache lines of packed keys.
 const D: usize = 4;
 
 /// Marker for an unoccupied index-slab slot.
 const EMPTY: u32 = u32::MAX;
+
+/// The words the hot comparison loop reads — exactly
+/// [`Job::queue_key`]'s return, kept dense so sifts never touch the
+/// payload slab.
+type Key = (Priority, Instant, JobId);
 
 /// One slot of the open-addressed id → heap-position index.
 #[derive(Debug, Clone, Copy)]
@@ -58,12 +78,19 @@ struct IndexSlot {
     pos: u32,
 }
 
-/// One heap entry: the job plus a back-pointer to its index-slab slot,
-/// so sift moves update the slab by direct indexing — no hashing or
-/// probing anywhere on the sift path.
+/// One heap entry: the queue key first (so the sift and scan comparison
+/// loops read the leading words of a single dense stream), then where
+/// the payload lives in the slab and which index-slab slot tracks this
+/// entry (so sift moves update the index by direct indexing — no
+/// hashing or probing anywhere on the sift path). 32 bytes: two per
+/// cache line, and a node's four heap children sit adjacent.
 #[derive(Debug, Clone, Copy)]
-struct HeapEntry {
-    job: Job,
+struct Node {
+    /// The comparison words — exactly [`Job::queue_key`]'s return.
+    key: Key,
+    /// Payload-slab slot holding the [`Job`]; stable for the entry's
+    /// whole residence — sifts move `Node`s, never payloads.
+    slot: u32,
     /// The index-slab slot tracking this entry.
     islot: u32,
 }
@@ -72,9 +99,12 @@ struct HeapEntry {
 /// first; ties broken by release time, then job id).
 #[derive(Debug)]
 pub struct ReadyQueue {
-    /// 4-ary min-heap over [`Job::queue_key`]; `heap.len()` is the exact
-    /// live count.
-    heap: Vec<HeapEntry>,
+    /// Dense 4-ary min-heap of key-first nodes — the only array the
+    /// sift and peek comparison loops touch.
+    nodes: Vec<Node>,
+    /// Stable payload slab; `free` lists vacated slots for reuse.
+    slab: Vec<Job>,
+    free: Vec<u32>,
     /// Open-addressed index over the heap, ≥ 2× capacity and a power of
     /// two, so a free slot always terminates a probe.
     index: Vec<IndexSlot>,
@@ -87,12 +117,14 @@ pub struct ReadyQueue {
 
 impl ReadyQueue {
     /// Creates a queue bounded to `capacity` pending jobs, pre-allocating
-    /// the backing storage (heap array and index slab).
+    /// the backing storage (node array, payload slab, index slab).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         let slots = (capacity.max(1) * 2).next_power_of_two();
         ReadyQueue {
-            heap: Vec::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
             index: vec![
                 IndexSlot {
                     id: JobId::new(0),
@@ -165,7 +197,7 @@ impl ReadyQueue {
                 let stays = (j.wrapping_sub(h) & self.mask) < (j.wrapping_sub(i) & self.mask);
                 if !stays {
                     self.index[i] = self.index[j];
-                    self.heap[self.index[i].pos as usize].islot = i as u32;
+                    self.nodes[self.index[i].pos as usize].islot = i as u32;
                     i = j;
                     break;
                 }
@@ -174,73 +206,77 @@ impl ReadyQueue {
     }
 
     /// Moves the entry at `pos` up towards the root until the heap
-    /// property holds; every shifted entry's slab slot is updated by
-    /// direct indexing (no hashing on the sift path).
+    /// property holds; only 32-byte nodes move (payloads stay put in
+    /// the slab), and every shifted entry's index-slab slot is updated
+    /// by direct indexing.
     fn sift_up(&mut self, mut pos: usize) {
-        let entry = self.heap[pos];
+        let node = self.nodes[pos];
         while pos > 0 {
             let parent = (pos - 1) / D;
-            let pe = self.heap[parent];
-            if pe.job.queue_key() <= entry.job.queue_key() {
+            let pn = self.nodes[parent];
+            if pn.key <= node.key {
                 break;
             }
-            self.heap[pos] = pe;
-            self.index[pe.islot as usize].pos = pos as u32;
+            self.nodes[pos] = pn;
+            self.index[pn.islot as usize].pos = pos as u32;
             pos = parent;
         }
-        self.heap[pos] = entry;
-        self.index[entry.islot as usize].pos = pos as u32;
+        self.nodes[pos] = node;
+        self.index[node.islot as usize].pos = pos as u32;
     }
 
     /// Moves the entry at `pos` down towards the leaves until the heap
-    /// property holds.
+    /// property holds. The four-child minimum scan reads the leading
+    /// key words of the dense node array only.
     fn sift_down(&mut self, mut pos: usize) {
-        let entry = self.heap[pos];
-        let n = self.heap.len();
+        let node = self.nodes[pos];
+        let n = self.nodes.len();
         loop {
             let first = pos * D + 1;
             if first >= n {
                 break;
             }
             let mut best = first;
-            let mut best_key = self.heap[first].job.queue_key();
+            let mut best_key = self.nodes[first].key;
             for c in (first + 1)..(first + D).min(n) {
-                let k = self.heap[c].job.queue_key();
+                let k = self.nodes[c].key;
                 if k < best_key {
                     best = c;
                     best_key = k;
                 }
             }
-            if entry.job.queue_key() <= best_key {
+            if node.key <= best_key {
                 break;
             }
-            let ce = self.heap[best];
-            self.heap[pos] = ce;
-            self.index[ce.islot as usize].pos = pos as u32;
+            let cn = self.nodes[best];
+            self.nodes[pos] = cn;
+            self.index[cn.islot as usize].pos = pos as u32;
             pos = best;
         }
-        self.heap[pos] = entry;
-        self.index[entry.islot as usize].pos = pos as u32;
+        self.nodes[pos] = node;
+        self.index[node.islot as usize].pos = pos as u32;
     }
 
     /// Detaches and returns the job at heap position `pos`, restoring
-    /// the heap property around the hole.
+    /// the heap property around the hole and recycling the payload slot.
     fn remove_at(&mut self, pos: usize) -> Job {
-        let entry = self.heap[pos];
-        self.index_delete(entry.islot as usize);
-        let last = self.heap.pop().expect("pos is in bounds");
-        if pos < self.heap.len() {
-            self.heap[pos] = last;
+        let node = self.nodes[pos];
+        let job = self.slab[node.slot as usize];
+        self.free.push(node.slot);
+        self.index_delete(node.islot as usize);
+        let last = self.nodes.pop().expect("pos is in bounds");
+        if pos < self.nodes.len() {
+            self.nodes[pos] = last;
             self.index[last.islot as usize].pos = pos as u32;
             // The filler came from a leaf: it may be out of order in
             // either direction relative to its new neighbourhood.
-            if pos > 0 && last.job.queue_key() < self.heap[(pos - 1) / D].job.queue_key() {
+            if pos > 0 && last.key < self.nodes[(pos - 1) / D].key {
                 self.sift_up(pos);
             } else {
                 self.sift_down(pos);
             }
         }
-        entry.job
+        job
     }
 
     /// Inserts a job. Live job ids must be unique per queue (the engine
@@ -253,15 +289,29 @@ impl ReadyQueue {
     /// sizing error, not a runtime condition to paper over.
     #[inline]
     pub fn push(&mut self, job: Job) -> Result<()> {
-        if self.heap.len() >= self.capacity {
+        if self.nodes.len() >= self.capacity {
             return Err(Error::CapacityExceeded {
                 what: "ready queue",
                 capacity: self.capacity,
             });
         }
-        let pos = self.heap.len();
+        let pos = self.nodes.len();
         let islot = self.index_insert(job.id, pos as u32);
-        self.heap.push(HeapEntry { job, islot });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = job;
+                s
+            }
+            None => {
+                self.slab.push(job);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.nodes.push(Node {
+            key: job.queue_key(),
+            slot,
+            islot,
+        });
         self.sift_up(pos);
         self.pushes += 1;
         Ok(())
@@ -270,7 +320,7 @@ impl ReadyQueue {
     /// Removes and returns the most urgent job (O(log n)).
     #[inline]
     pub fn pop(&mut self) -> Option<Job> {
-        if self.heap.is_empty() {
+        if self.nodes.is_empty() {
             return None;
         }
         self.pops += 1;
@@ -282,16 +332,16 @@ impl ReadyQueue {
     #[inline]
     #[must_use]
     pub fn peek(&self) -> Option<&Job> {
-        self.heap.first().map(|e| &e.job)
+        self.nodes.first().map(|n| &self.slab[n.slot as usize])
     }
 
     /// The most urgent job's priority — what the dispatch paths that
-    /// only compare urgency (the preemption check) need, without
-    /// copying the whole job out.
+    /// only compare urgency (the preemption check) need. Reads the root
+    /// node's leading key word alone; the payload slab is never touched.
     #[inline]
     #[must_use]
     pub fn peek_priority(&self) -> Option<Priority> {
-        self.heap.first().map(|e| e.job.priority)
+        self.nodes.first().map(|n| n.key.0)
     }
 
     /// Alias of [`ReadyQueue::peek`], kept for the callers (telemetry,
@@ -302,6 +352,43 @@ impl ReadyQueue {
     #[must_use]
     pub fn peek_hint(&self) -> Option<&Job> {
         self.peek()
+    }
+
+    /// Visits queued jobs in ascending [`Job::queue_key`] order without
+    /// mutating the queue, stopping when `visit` returns `false`.
+    ///
+    /// `frontier` is caller-retained scratch (cleared here, grown only
+    /// to its high-water mark): the candidate set starts at the root and
+    /// gains at most `D - 1` net entries per visit, so enumerating the
+    /// k most urgent jobs costs O(k²·D) key comparisons on a frontier
+    /// that never exceeds `k·(D-1) + 1` slots — tiny for the batch
+    /// sizes work stealing uses, and allocation-free once warm.
+    ///
+    /// Visit order is deterministic: live keys are unique (the job id
+    /// word is unique per queue), so the frontier minimum is unique at
+    /// every step regardless of the frontier's internal layout.
+    pub fn scan_in_order(&self, frontier: &mut Vec<u32>, mut visit: impl FnMut(&Job) -> bool) {
+        frontier.clear();
+        if self.nodes.is_empty() {
+            return;
+        }
+        frontier.push(0);
+        while !frontier.is_empty() {
+            let mut mi = 0;
+            for i in 1..frontier.len() {
+                if self.nodes[frontier[i] as usize].key < self.nodes[frontier[mi] as usize].key {
+                    mi = i;
+                }
+            }
+            let pos = frontier.swap_remove(mi) as usize;
+            if !visit(&self.slab[self.nodes[pos].slot as usize]) {
+                return;
+            }
+            let first = pos * D + 1;
+            for c in first..(first + D).min(self.nodes.len()) {
+                frontier.push(c as u32);
+            }
+        }
     }
 
     /// Removes a specific job in O(log n): the index locates its heap
@@ -316,13 +403,13 @@ impl ReadyQueue {
     /// Number of queued jobs (exact — there is no lazy-delete debt).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.nodes.len()
     }
 
     /// `true` if no jobs are queued.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.nodes.is_empty()
     }
 
     /// The configured bound.
@@ -345,7 +432,7 @@ impl ReadyQueue {
 
     /// Iterates over queued jobs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = &Job> {
-        self.heap.iter().map(|e| &e.job)
+        self.nodes.iter().map(|n| &self.slab[n.slot as usize])
     }
 }
 
@@ -550,6 +637,32 @@ mod tests {
         );
         assert_eq!(q.pop().unwrap().id, JobId::new(colliders[0]));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scan_in_order_enumerates_by_key_without_mutating() {
+        let mut q = ReadyQueue::with_capacity(16);
+        for (id, prio) in [(1, 40), (2, 10), (3, 30), (4, 20), (5, 50), (6, 5)] {
+            q.push(job(id, prio)).unwrap();
+        }
+        let mut frontier = Vec::new();
+        let mut seen = Vec::new();
+        q.scan_in_order(&mut frontier, |j| {
+            seen.push(j.id.raw());
+            true
+        });
+        assert_eq!(seen, vec![6, 2, 4, 3, 1, 5], "ascending key order");
+        assert_eq!(q.len(), 6, "scan must not mutate");
+        // Early stop: the visitor's `false` ends the scan.
+        seen.clear();
+        q.scan_in_order(&mut frontier, |j| {
+            seen.push(j.id.raw());
+            seen.len() < 3
+        });
+        assert_eq!(seen, vec![6, 2, 4]);
+        // Empty queue: no visits, no panic.
+        let empty = ReadyQueue::with_capacity(4);
+        empty.scan_in_order(&mut frontier, |_| panic!("no jobs to visit"));
     }
 
     #[test]

@@ -33,6 +33,37 @@
 //!   destination ownership exactly as above, so stealing composes with
 //!   cross-shard edges.
 //!
+//! ## Batch steals (PR 10)
+//!
+//! One request/grant round-trip may move up to
+//! [`crate::MAX_STEAL_BATCH`] jobs instead of one. The protocol is the
+//! single steal's, widened:
+//!
+//! 1. The thief asks for `k` jobs (sized from the load gap on the
+//!    `yasmin_sync::steal::LoadBoard`); the victim's driver collects up
+//!    to `k` hints with [`EngineShard::try_steal_batch`] — a
+//!    **non-mutating ordered scan** of the ready queue
+//!    ([`crate::ReadyQueue::scan_in_order`]) that stops at the first
+//!    job in key order that cannot migrate, so a thief never skips
+//!    more-urgent local-only work to take less-urgent jobs behind it.
+//! 2. The victim detaches all still-fresh hinted jobs **atomically with
+//!    respect to its own scheduling** — the driver owns the shard, so
+//!    no dispatch can interleave — via
+//!    [`EngineShard::release_stolen_batch`], which packs them into a
+//!    `Copy` [`JobBatch`] that rides a peer lane by value. Stale hints
+//!    are skipped, never errors.
+//! 3. One [`ShardCmd::StolenBatch`] ack lands the whole batch on the
+//!    thief, which adopts and runs **one dispatch round for all of
+//!    them** ([`EngineShard::adopt_stolen_batch`]).
+//!
+//! The **migrate-at-most-once** invariant is enforced on both sides:
+//! the victim's scan refuses jobs whose task is not homed on the
+//! victim's own worker (i.e. jobs it previously adopted from someone
+//! else), and the thief's adopt rejects any batch containing a job the
+//! thief's shard already owns. A job therefore moves shards at most
+//! once in its lifetime, and tenant-budget charging stays what PR 8
+//! fixed: the charge lands on the **thief's** replica at dispatch.
+//!
 //! ## What still cannot cross shards, and why
 //!
 //! * **Accelerator bindings.** [`EngineShard::build_all`] rejects a
@@ -90,6 +121,12 @@ use yasmin_core::version::ExecMode;
 /// Not `Copy`: [`ShardCmd::AdmitTasks`] carries the merged task set by
 /// `Arc`, which every shard must adopt *by reference* (the whole point
 /// of splicing is that shards share one immutable merged set).
+// StolenBatch carries its jobs inline in the fixed-size `JobBatch`
+// rather than boxing them: the command rides preallocated mailbox
+// lanes, and a `Box` would put an allocation + free on the steal hot
+// path that `tests/zero_alloc.rs` scenario 13 forbids. The widened
+// enum only grows those preallocated slots.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ShardCmd {
     /// Explicit activation of a sporadic/aperiodic task owned by the
@@ -179,6 +216,16 @@ pub enum ShardCmd {
         /// Grant time.
         at: Instant,
     },
+    /// A victim's batch grant: up to [`crate::MAX_STEAL_BATCH`] detached
+    /// ready jobs in one ack, most urgent first (see the module docs on
+    /// batch steals). The thief adopts them all with **one** dispatch
+    /// round ([`EngineShard::adopt_stolen_batch`]).
+    StolenBatch {
+        /// The stolen jobs (already removed from the victim's queue).
+        jobs: crate::job::JobBatch,
+        /// Grant time.
+        at: Instant,
+    },
     /// A victim's refusal (nothing stealable); the thief may re-probe.
     StealDeny {
         /// Refusal time.
@@ -242,6 +289,7 @@ impl ShardCmd {
             | ShardCmd::MsgDrained { at, .. }
             | ShardCmd::StealRequest { at, .. }
             | ShardCmd::Stolen { at, .. }
+            | ShardCmd::StolenBatch { at, .. }
             | ShardCmd::StealDeny { at }
             | ShardCmd::AdmitTasks { at, .. }
             | ShardCmd::CommitTenant { at, .. }
@@ -376,6 +424,9 @@ impl EngineShard {
             }
             ShardCmd::MsgDrained { dst, at } => self.engine.on_high_drained_into(dst, at, sink),
             ShardCmd::Stolen { job, at } => self.engine.adopt_stolen(job, at, sink),
+            ShardCmd::StolenBatch { jobs, at } => {
+                self.engine.adopt_stolen_batch(jobs.as_slice(), at, sink)
+            }
             ShardCmd::StealDeny { .. } => Ok(()),
             ShardCmd::AdmitTasks {
                 taskset,
@@ -564,6 +615,44 @@ impl EngineShard {
     /// As [`OnlineEngine::adopt_stolen`].
     pub fn adopt_stolen(&mut self, job: Job, now: Instant, sink: &mut ActionSink) -> Result<()> {
         self.engine.adopt_stolen(job, now, sink)
+    }
+
+    /// Batch steal probe: collects up to `k` hints (most urgent first)
+    /// into `out` via a non-mutating ordered scan of the ready queue,
+    /// stopping at the first job in key order that cannot migrate;
+    /// returns the hint count. See [`OnlineEngine::steal_hints`] and the
+    /// module docs on batch steals.
+    pub fn try_steal_batch(&mut self, k: usize, out: &mut Vec<StealHint>) -> usize {
+        self.engine.steal_hints(k, out)
+    }
+
+    /// Victim side of a batch steal: detaches every still-fresh hinted
+    /// job and appends it to `out`, most urgent first; stale hints are
+    /// skipped. Returns the number of jobs released. See
+    /// [`OnlineEngine::release_stolen_batch`].
+    pub fn release_stolen_batch(
+        &mut self,
+        hints: &[StealHint],
+        out: &mut crate::job::JobBatch,
+    ) -> usize {
+        self.engine.release_stolen_batch(hints, out)
+    }
+
+    /// Thief side of a batch steal: adopts every job in `jobs` into the
+    /// local queue, then runs **one** dispatch round for the whole
+    /// batch; see [`OnlineEngine::adopt_stolen_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::adopt_stolen_batch`] — the batch is rejected
+    /// whole if any job already belongs to this shard.
+    pub fn adopt_stolen_batch(
+        &mut self,
+        jobs: &[Job],
+        now: Instant,
+        sink: &mut ActionSink,
+    ) -> Result<()> {
+        self.engine.adopt_stolen_batch(jobs, now, sink)
     }
 
     /// Phase one of a tenant admission on this shard: adopts `merged`
@@ -1159,6 +1248,210 @@ mod tests {
         assert!(
             shards[0].try_steal().is_none(),
             "accelerator-bound jobs never migrate"
+        );
+    }
+
+    #[test]
+    fn batch_steal_cycle_moves_k_jobs_in_one_exchange() {
+        // Five tasks on worker 0: one runs, four queue — all stealable.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        for i in 0..5u64 {
+            let t = b
+                .task_decl(
+                    TaskSpec::periodic(format!("a{i}"), ms(10 * (i + 1)))
+                        .on_worker(WorkerId::new(0)),
+                )
+                .unwrap();
+            b.version_decl(t, VersionSpec::new(format!("a{i}"), ms(1)))
+                .unwrap();
+        }
+        let ts = Arc::new(b.build().unwrap());
+        let mut shards = EngineShard::build_all(&ts, &partitioned_config(2)).unwrap();
+        let mut sink = ActionSink::new();
+        shards[0].start_into(Instant::ZERO, &mut sink).unwrap();
+        shards[1].start_into(Instant::ZERO, &mut sink).unwrap();
+        assert_eq!(shards[0].ready_len(), 4);
+        assert!(shards[1].is_idle());
+
+        // Probe for up to 8: the victim offers all four ready jobs, most
+        // urgent first (EDF: ascending deadline).
+        let mut hints = Vec::new();
+        assert_eq!(shards[0].try_steal_batch(8, &mut hints), 4);
+        assert!(
+            hints.windows(2).all(|w| w[0].priority <= w[1].priority),
+            "hints come in ascending key order"
+        );
+        // A smaller k takes a prefix.
+        let mut two = Vec::new();
+        assert_eq!(shards[0].try_steal_batch(2, &mut two), 2);
+        assert_eq!(&hints[..2], &two[..]);
+
+        // The probe detached nothing: the queue is intact.
+        assert_eq!(shards[0].ready_len(), 4);
+
+        let mut batch = crate::job::JobBatch::new();
+        assert_eq!(shards[0].release_stolen_batch(&hints, &mut batch), 4);
+        assert_eq!(shards[0].ready_len(), 0);
+        assert_eq!(shards[0].stats().donated, 4);
+        // Re-releasing the same hints finds them all stale.
+        let mut empty = crate::job::JobBatch::new();
+        assert_eq!(shards[0].release_stolen_batch(&hints, &mut empty), 0);
+
+        // One StolenBatch ack lands all four on the thief.
+        sink.clear();
+        shards[1]
+            .process_into(
+                ShardCmd::StolenBatch {
+                    jobs: batch,
+                    at: at(1),
+                },
+                &mut sink,
+            )
+            .unwrap();
+        let dispatches = sink
+            .as_slice()
+            .iter()
+            .filter(|a| matches!(a, Action::Dispatch { .. }))
+            .count();
+        assert_eq!(dispatches, 1, "one dispatch round for the whole batch");
+        assert_eq!(shards[1].stats().stolen, 4);
+        assert_eq!(shards[1].stats().stolen_batch, 1);
+        assert_eq!(shards[1].stats().steal_batch_len[3], 1, "len-4 bucket");
+        assert_eq!(shards[1].ready_len(), 3);
+        match sink.as_slice()[0] {
+            Action::Dispatch { worker, job, .. } => {
+                assert_eq!(worker, WorkerId::new(1), "thief reports its global id");
+                assert_eq!(job.id, batch.as_slice()[0].id, "most urgent runs first");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Migrate-at-most-once: the thief never re-offers adopted jobs.
+        let mut again = Vec::new();
+        assert_eq!(shards[1].try_steal_batch(8, &mut again), 0);
+        assert!(shards[1].try_steal().is_none());
+
+        // A batch containing a job the shard already owns is rejected
+        // whole — nothing enqueued.
+        let own = batch.as_slice()[1];
+        assert!(shards[0]
+            .adopt_stolen_batch(&[own], at(2), &mut sink)
+            .is_err());
+        assert_eq!(shards[0].stats().stolen, 0);
+        // An empty batch is a no-op, not an error.
+        shards[1].adopt_stolen_batch(&[], at(2), &mut sink).unwrap();
+        assert_eq!(shards[1].stats().stolen_batch, 1);
+    }
+
+    #[test]
+    fn batch_scan_stops_at_the_first_non_stealable_job() {
+        // EDF order on worker 0's queue: p1 (deadline 20) < gpu (40) <
+        // p2 (80). The scan must offer p1 and stop at gpu — it may not
+        // skip over the pinned job to reach p2.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        let gpu = b.hwaccel_decl("gpu");
+        for (name, period, accel) in [
+            ("p0", 10, false),
+            ("p1", 20, false),
+            ("g", 40, true),
+            ("p2", 80, false),
+        ] {
+            let t = b
+                .task_decl(TaskSpec::periodic(name, ms(period)).on_worker(WorkerId::new(0)))
+                .unwrap();
+            let v = VersionSpec::new(name, ms(1));
+            let v = if accel { v.with_accel(gpu) } else { v };
+            b.version_decl(t, v).unwrap();
+        }
+        let ts = Arc::new(b.build().unwrap());
+        let mut shards = EngineShard::build_all(&ts, &partitioned_config(2)).unwrap();
+        let mut sink = ActionSink::new();
+        shards[0].start_into(Instant::ZERO, &mut sink).unwrap();
+        assert_eq!(shards[0].ready_len(), 3, "p0 runs; p1, g, p2 queue");
+        let mut hints = Vec::new();
+        assert_eq!(shards[0].try_steal_batch(8, &mut hints), 1);
+        assert_eq!(ts.tasks()[hints[0].task.index()].spec().name(), "p1");
+    }
+
+    #[test]
+    fn stolen_batch_charges_the_thief_replica_like_single_steals() {
+        // Same scenario as stolen_job_charges_the_thief_shard_tenant_replica,
+        // but both guest jobs migrate in ONE batch exchange: budgets must
+        // still charge the thief's replica per-dispatch, not per-adopt.
+        let mut b = yasmin_core::graph::TaskSetBuilder::new();
+        for (name, w) in [("base0", 0), ("base1", 1)] {
+            let t = b
+                .task_decl(TaskSpec::periodic(name, ms(40)).on_worker(WorkerId::new(w)))
+                .unwrap();
+            b.version_decl(t, VersionSpec::new(name, ms(1))).unwrap();
+        }
+        let live = Arc::new(b.build().unwrap());
+        let mut shards = EngineShard::build_all(&live, &partitioned_config(2)).unwrap();
+        let mut sink = ActionSink::new();
+        shards[0].start_into(Instant::ZERO, &mut sink).unwrap();
+        shards[1].start_into(Instant::ZERO, &mut sink).unwrap();
+
+        let mut g = yasmin_core::graph::TaskSetBuilder::new();
+        for name in ["g0", "g1"] {
+            let t = g
+                .task_decl(TaskSpec::periodic(name, ms(40)).on_worker(WorkerId::new(0)))
+                .unwrap();
+            g.version_decl(t, VersionSpec::new(name, ms(4))).unwrap();
+        }
+        let merged = Arc::new(live.extended(&g.build().unwrap()).unwrap());
+        let budget = crate::server::TenantBudget::deferrable(ms(6), ms(40));
+        let tenant = shards[0]
+            .admit_tasks(Arc::clone(&merged), Some(budget), Instant::ZERO)
+            .unwrap();
+        shards[1]
+            .admit_tasks(merged, Some(budget), Instant::ZERO)
+            .unwrap();
+        sink.clear();
+        for s in shards.iter_mut() {
+            s.commit_tenant_into(tenant, Instant::ZERO, &mut sink)
+                .unwrap();
+        }
+        let b1 = shards[1].running().expect("base1 runs").job.id;
+        sink.clear();
+        shards[1]
+            .on_job_completed_into(WorkerId::new(1), b1, at(1), &mut sink)
+            .unwrap();
+        assert!(shards[1].is_idle());
+
+        // Both guest jobs leave in one exchange.
+        let mut hints = Vec::new();
+        assert_eq!(shards[0].try_steal_batch(8, &mut hints), 2);
+        let mut batch = crate::job::JobBatch::new();
+        assert_eq!(shards[0].release_stolen_batch(&hints, &mut batch), 2);
+        sink.clear();
+        shards[1]
+            .adopt_stolen_batch(batch.as_slice(), at(1), &mut sink)
+            .unwrap();
+
+        // The single dispatch charged one WCET on the thief; adoption of
+        // the still-queued second job charged nothing.
+        let thief = shards[1].tenant_server(tenant).expect("replica spliced");
+        assert_eq!(thief.total_charged(), ms(4));
+        let victim = shards[0].tenant_server(tenant).expect("replica spliced");
+        assert_eq!(victim.total_charged(), Duration::ZERO);
+
+        // When the first stolen job completes, the replica (2ms left)
+        // refuses the second 4ms charge: defer, never mint budget by
+        // migrating.
+        let first = batch.as_slice()[0].id;
+        sink.clear();
+        shards[1]
+            .on_job_completed_into(WorkerId::new(1), first, at(5), &mut sink)
+            .unwrap();
+        assert!(shards[1].running().is_none(), "deferred, not dispatched");
+        assert_eq!(shards[1].ready_len(), 1);
+        assert!(shards[1].stats().budget_deferrals >= 1);
+        assert_eq!(
+            shards[1]
+                .tenant_server(tenant)
+                .expect("replica spliced")
+                .total_charged(),
+            ms(4)
         );
     }
 

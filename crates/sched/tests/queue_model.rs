@@ -1,9 +1,12 @@
-//! Property test: [`ReadyQueue`] (index-tracked 4-ary heap) against a
-//! naive sorted-`Vec` reference model, under random push/pop/remove
-//! sequences. Catches ordering bugs the unit tests' hand-picked
-//! sequences would miss — in particular mid-heap removals repairing the
-//! heap and the id → position index through sifts, and (in the
-//! at-capacity variant) the exact `len()` accounting at the bound.
+//! Property test: [`ReadyQueue`] (the struct-of-arrays index-tracked
+//! 4-ary heap) against a naive sorted-`Vec` reference model, under
+//! random push/pop/remove sequences. Catches ordering bugs the unit
+//! tests' hand-picked sequences would miss — in particular mid-heap
+//! removals repairing the heap and the id → position index through
+//! sifts, the payload slab staying aligned with the sifting node array,
+//! (in the at-capacity variant) the exact `len()` accounting at the
+//! bound, and (in the scan variant) `scan_in_order` enumerating exactly
+//! the reference's sorted order, with early stops, without mutating.
 
 use proptest::prelude::*;
 use yasmin_core::ids::{JobId, TaskId};
@@ -53,6 +56,12 @@ impl ModelQueue {
         let i = self.jobs.iter().position(|j| j.id == id)?;
         Some(self.jobs.remove(i))
     }
+
+    fn sorted(&self) -> Vec<Job> {
+        let mut v = self.jobs.clone();
+        v.sort_by_key(Job::queue_key);
+        v
+    }
 }
 
 proptest! {
@@ -92,6 +101,7 @@ proptest! {
             prop_assert_eq!(q.len(), m.jobs.len());
             prop_assert_eq!(q.is_empty(), m.jobs.is_empty());
             prop_assert_eq!(q.peek().copied(), m.peek());
+            prop_assert_eq!(q.peek_priority(), m.peek().map(|j| j.priority));
         }
         // Drain both fully: the complete surviving order must agree.
         loop {
@@ -156,6 +166,63 @@ proptest! {
             prop_assert_eq!(a, b);
             if a.is_none() {
                 break;
+            }
+        }
+    }
+
+    /// `scan_in_order` against the reference's sorted order, checked at
+    /// intervals through a random push/pop/remove history: the full
+    /// enumeration must equal the sorted model exactly, a random-length
+    /// early-stopped scan must yield precisely the k most urgent jobs,
+    /// and neither scan may mutate the queue — the contract batch
+    /// stealing's hint enumeration stands on.
+    #[test]
+    fn scan_in_order_matches_sorted_reference(ops in prop::collection::vec(0u64..(1u64 << 62), 8..80)) {
+        let mut q = ReadyQueue::with_capacity(128);
+        let mut m = ModelQueue::default();
+        let mut next_id = 0u64;
+        let mut frontier = Vec::new();
+        for (step, &op) in ops.iter().enumerate() {
+            match op % 4 {
+                0 | 1 => {
+                    let j = job(next_id, (op >> 2) % 8, (op >> 5) % 4);
+                    next_id += 1;
+                    q.push(j).unwrap();
+                    m.push(j);
+                }
+                2 => {
+                    prop_assert_eq!(q.pop(), m.pop());
+                }
+                3 => {
+                    let target = if m.jobs.is_empty() || op & (1 << 40) != 0 {
+                        JobId::new(next_id + 1_000)
+                    } else {
+                        m.jobs[((op >> 2) as usize) % m.jobs.len()].id
+                    };
+                    prop_assert_eq!(q.remove(target), m.remove(target));
+                }
+                _ => unreachable!(),
+            }
+            // Scanning every op would square the case cost; every few
+            // ops still crosses plenty of distinct heap shapes.
+            if step % 4 == 3 {
+                let expect = m.sorted();
+                let mut seen: Vec<Job> = Vec::new();
+                q.scan_in_order(&mut frontier, |j| {
+                    seen.push(*j);
+                    true
+                });
+                prop_assert_eq!(&seen, &expect, "full scan == sorted model");
+                prop_assert_eq!(q.len(), expect.len(), "scan must not mutate");
+                if !expect.is_empty() {
+                    let k = 1 + (op >> 7) as usize % expect.len();
+                    seen.clear();
+                    q.scan_in_order(&mut frontier, |j| {
+                        seen.push(*j);
+                        seen.len() < k
+                    });
+                    prop_assert_eq!(&seen, &expect[..k], "early stop yields the k most urgent");
+                }
             }
         }
     }

@@ -833,6 +833,7 @@ impl Simulation {
             ShardCmd::CrossActivate { .. }
             | ShardCmd::StealRequest { .. }
             | ShardCmd::Stolen { .. }
+            | ShardCmd::StolenBatch { .. }
             | ShardCmd::StealDeny { .. } => Err(Error::InvalidConfig(
                 "cross-shard routing and stealing run through the protocol loop \
                  (yasmin_sim::par), not the free-running shard feed"

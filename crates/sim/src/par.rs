@@ -72,7 +72,10 @@ use yasmin_core::graph::TaskSet;
 use yasmin_core::ids::{CoreId, TaskId, VersionId, WorkerId};
 use yasmin_core::task::ActivationKind;
 use yasmin_core::time::{Duration, Instant};
-use yasmin_sched::{Action, ActionSink, EngineShard, Job, MsgEvent, RemoteActivation, ShardCmd};
+use yasmin_sched::{
+    Action, ActionSink, EngineShard, Job, JobBatch, MsgEvent, RemoteActivation, ShardCmd,
+    MAX_STEAL_BATCH,
+};
 use yasmin_sync::mailbox::{mailbox, MailboxFull, MailboxReceiver, MailboxSender};
 use yasmin_sync::wait::Backoff;
 
@@ -96,6 +99,14 @@ pub struct ParSimOptions {
     /// deterministic protocol loop — see
     /// [`run_partitioned_parallel`].
     pub steal: bool,
+    /// Cap on the batch size of one steal exchange (clamped to
+    /// [`yasmin_sched::MAX_STEAL_BATCH`]). At the default `1` every
+    /// exchange moves a single job over [`ShardCmd::Stolen`] —
+    /// bit-identical to the pre-batching protocol. Above `1` an idle
+    /// thief takes up to half the victim's ready load in one
+    /// [`ShardCmd::StolenBatch`] exchange, sized deterministically from
+    /// the victim's queue length at the event boundary.
+    pub steal_batch: usize,
 }
 
 impl Default for ParSimOptions {
@@ -104,6 +115,7 @@ impl Default for ParSimOptions {
             producers: 4,
             lane_capacity: 64,
             steal: false,
+            steal_batch: 1,
         }
     }
 }
@@ -543,6 +555,7 @@ struct Protocol<'a> {
     horizon: Instant,
     tick: Duration,
     steal: bool,
+    steal_batch: usize,
     states: Vec<ProtoShard>,
     heap: BinaryHeap<Reverse<PItem>>,
     seq: u64,
@@ -763,12 +776,18 @@ impl Protocol<'_> {
     }
 
     /// At an event boundary, every fully idle shard (no slice, empty
-    /// queue) adopts the most urgent accelerator-free job of the most
-    /// loaded *stealable* peer (one whose probe yields a hint; ties
-    /// towards the lowest worker index); rounds repeat until no steal
-    /// succeeds. Deterministic by construction.
+    /// queue) adopts work from the most loaded *stealable* peer (one
+    /// whose probe yields a hint; ties towards the lowest worker
+    /// index); rounds repeat until no steal succeeds. Deterministic by
+    /// construction. With `steal_batch == 1` each exchange moves the
+    /// single most urgent job ([`ShardCmd::Stolen`], the pre-batching
+    /// protocol verbatim); above `1` it moves up to half the victim's
+    /// ready load in one [`ShardCmd::StolenBatch`] — the batch size
+    /// depends only on the victim's queue length, so reruns stay
+    /// bit-identical.
     fn steal_pass(&mut self, at: Instant) -> Result<()> {
         let n = self.states.len();
+        let mut hints = Vec::new();
         loop {
             let mut stole = false;
             for thief in 0..n {
@@ -780,14 +799,31 @@ impl Protocol<'_> {
                     .filter(|&v| self.states[v].shard.try_steal().is_some())
                     .map(|v| (self.states[v].shard.ready_len(), v))
                     .max_by_key(|&(load, v)| (load, Reverse(v)));
-                let Some((_, v)) = victim else { continue };
-                let Some(hint) = self.states[v].shard.try_steal() else {
-                    continue;
-                };
-                let Some(job) = self.states[v].shard.release_stolen(hint) else {
-                    continue;
-                };
-                self.interact(thief, ShardCmd::Stolen { job, at })?;
+                let Some((load, v)) = victim else { continue };
+                if self.steal_batch <= 1 {
+                    let Some(hint) = self.states[v].shard.try_steal() else {
+                        continue;
+                    };
+                    let Some(job) = self.states[v].shard.release_stolen(hint) else {
+                        continue;
+                    };
+                    self.interact(thief, ShardCmd::Stolen { job, at })?;
+                } else {
+                    // Half the load gap (the thief is empty, so the gap
+                    // is the victim's whole ready load), capped by the
+                    // option and the protocol batch limit — the same
+                    // sizing rule the free-running runtime derives from
+                    // its load board.
+                    let k = (load / 2).clamp(1, self.steal_batch.min(MAX_STEAL_BATCH));
+                    if self.states[v].shard.try_steal_batch(k, &mut hints) == 0 {
+                        continue;
+                    }
+                    let mut jobs = JobBatch::new();
+                    if self.states[v].shard.release_stolen_batch(&hints, &mut jobs) == 0 {
+                        continue;
+                    }
+                    self.interact(thief, ShardCmd::StolenBatch { jobs, at })?;
+                }
                 stole = true;
             }
             if !stole {
@@ -1046,6 +1082,7 @@ fn run_protocol(
             horizon: Instant::ZERO + sim.horizon,
             tick,
             steal: opts.steal,
+            steal_batch: opts.steal_batch,
             states,
             heap: BinaryHeap::new(),
             seq: 0,
@@ -1123,7 +1160,7 @@ mod tests {
             ParSimOptions {
                 producers: 0,
                 lane_capacity: 8,
-                steal: false,
+                ..ParSimOptions::default()
             },
         );
         assert!(err.is_err());

@@ -44,6 +44,7 @@ fn opts(steal: bool) -> ParSimOptions {
         producers: 2,
         lane_capacity: 16,
         steal,
+        steal_batch: 1,
     }
 }
 
@@ -270,6 +271,110 @@ fn stealing_lowers_the_makespan_of_an_imbalanced_set() {
     // roughly halve it.
     assert!(m0 >= Instant::from_nanos(40_000_000));
     assert!(m1 <= Instant::from_nanos(31_000_000));
+}
+
+/// PR 10 acceptance, batch stealing: 24 tasks — 20 short heavy
+/// one-shots plus a train of three accelerator-bound jobs on worker 0,
+/// and a light tick source on worker 1. The accel jobs carry the
+/// shortest deadlines, so once they land they head worker 0's EDF
+/// queue and **close the steal window** (`try_steal` refuses
+/// accel-bound heads). A k=1 thief grabs only a couple of heavies
+/// before the window shuts and then idles; a batched thief prefetches
+/// half the victim's queue in one exchange and keeps working straight
+/// through the closed window — measurably lowering the heavy-set
+/// makespan. Reruns stay bit-identical.
+#[test]
+fn batch_steals_beat_single_steals_when_the_steal_window_closes() {
+    let mut b = TaskSetBuilder::new();
+    for i in 0..20u64 {
+        let t = b
+            .task_decl(
+                TaskSpec::sporadic(format!("h{i}"), ms(500))
+                    .with_release_offset(us(701 + 4 * i))
+                    .on_worker(WorkerId::new(0)),
+            )
+            .unwrap();
+        b.version_decl(t, VersionSpec::new("h", ms(2))).unwrap();
+    }
+    let gpu = b.hwaccel_decl("gpu");
+    for i in 0..3u64 {
+        let t = b
+            .task_decl(
+                TaskSpec::sporadic(format!("g{i}"), ms(60))
+                    .with_release_offset(us(3_101 + 10 * i))
+                    .on_worker(WorkerId::new(0)),
+            )
+            .unwrap();
+        b.version_decl(t, VersionSpec::new("g", ms(15)).with_accel(gpu))
+            .unwrap();
+    }
+    let light = b
+        .task_decl(TaskSpec::periodic("light", ms(10)).on_worker(WorkerId::new(1)))
+        .unwrap();
+    b.version_decl(light, VersionSpec::new("l", us(103)))
+        .unwrap();
+    let ts = Arc::new(b.build().unwrap());
+    assert_eq!(ts.tasks().len(), 24, "the scenario is a 24-task set");
+
+    let sim = SimConfig::uniform(2, ms(150));
+    let run = |steal_batch: usize| {
+        run_partitioned_parallel(
+            Arc::clone(&ts),
+            config(2, true),
+            sim.clone(),
+            ParSimOptions {
+                steal_batch,
+                ..opts(true)
+            },
+        )
+        .unwrap()
+    };
+    let single = run(1);
+    let batched = run(8);
+
+    let heavy_makespan = |r: &SimResult| {
+        r.records
+            .iter()
+            .filter(|rec| rec.task.index() < 20)
+            .map(|rec| rec.completion)
+            .max()
+            .expect("heavy jobs completed")
+    };
+    for r in [&single, &batched] {
+        assert_eq!(
+            r.records.iter().filter(|rec| rec.task.index() < 20).count(),
+            20,
+            "every heavy one-shot completes"
+        );
+        assert!(r.engine_stats.stolen >= 1);
+        assert_eq!(r.engine_stats.stolen, r.engine_stats.donated);
+    }
+    // k = 1 never rides the batch grant; k = 8 does, and at least one
+    // exchange moved more than one job.
+    assert_eq!(single.engine_stats.stolen_batch, 0);
+    assert!(batched.engine_stats.stolen_batch >= 1);
+    assert!(
+        batched.engine_stats.steal_batch_len[1..]
+            .iter()
+            .sum::<u64>()
+            >= 1,
+        "a multi-job grant happened: {:?}",
+        batched.engine_stats.steal_batch_len
+    );
+    let (m1, mk) = (heavy_makespan(&single), heavy_makespan(&batched));
+    assert!(
+        mk < m1,
+        "batch steals must lower the heavy makespan: {mk} !< {m1}"
+    );
+    // Deterministic: a rerun of the batched protocol loop is
+    // bit-identical, batch sizing included.
+    let again = run(8);
+    assert_eq!(batched.records, again.records);
+    assert_eq!(batched.engine_stats.stolen, again.engine_stats.stolen);
+    assert_eq!(
+        batched.engine_stats.steal_batch_len,
+        again.engine_stats.steal_batch_len
+    );
 }
 
 #[test]

@@ -51,7 +51,7 @@ fn assert_traces_match(ts: &Arc<TaskSet>, workers: usize, horizon: Duration, pro
         ParSimOptions {
             producers,
             lane_capacity: 16,
-            steal: false,
+            ..ParSimOptions::default()
         },
     )
     .unwrap();

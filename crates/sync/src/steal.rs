@@ -3,32 +3,75 @@
 //! The steal *hand-off* rides the existing lock-free command mailbox
 //! (`yasmin_sync::mailbox`): each shard's mailbox carries one wait-free
 //! SPSC lane per peer, over which a thief sends its steal request and a
-//! victim returns the detached job (or a refusal) on its own lane back
+//! victim returns the detached jobs (or a refusal) on its own lane back
 //! — a request/response lane pair per ordered shard pair, with both
-//! directions completing in a bounded number of steps.
+//! directions completing in a bounded number of steps. Since the batch
+//! protocol, one exchange can hand over up to `k` jobs; the board also
+//! feeds the thief the victim/thief load gap from which `k` is derived.
 //!
 //! What messaging alone cannot give a thief is *victim selection*: an
 //! idle shard should not broadcast requests to every peer and make all
 //! of them pay a drain round for nothing. The [`LoadBoard`] is the
-//! missing probe surface: one cache-friendly atomic per shard, updated
+//! missing probe surface: one cache-padded atomic per shard, updated
 //! by its owner after every engine interaction with its current ready
 //! count, read by thieves with plain `Acquire` loads. The values are
 //! **advisory** — a probe may race with a dispatch and name a victim
 //! that turns out empty — which is fine: the steal request itself is
 //! answered authoritatively by the victim (`EngineShard::try_steal` /
-//! `EngineShard::release_stolen` in `yasmin-sched`, a deny otherwise).
-//! Stale reads cost a wasted request, never correctness.
+//! `EngineShard::release_stolen` and their batch variants in
+//! `yasmin-sched`, a deny otherwise). Stale reads cost a wasted
+//! request, never correctness.
+//!
+//! # Victim ranking
+//!
+//! [`LoadBoard::pick_victim`] ranks candidates by published load first —
+//! the most loaded peer always wins, so the board never trades imbalance
+//! correction for locality. Two further signals break *ties* between
+//! equally loaded peers, both advisory and both cache-padded per shard:
+//!
+//! * a **donation history** ([`LoadBoard::record_donation`]): shards
+//!   that recently granted a steal are preferred — a granted request is
+//!   evidence the peer publishes honest, stealable load, where an
+//!   untried peer may be all accelerator-bound or already-migrated
+//!   jobs. History decays by halving ([`LoadBoard::decay_donations`],
+//!   called periodically by the thief loop) so a burst of old donations
+//!   does not pin victim choice forever;
+//! * a **DAG-adjacency hint table** ([`LoadBoard::set_adjacent`]):
+//!   shards connected to the thief by a cross-shard DAG edge are
+//!   preferred, because jobs stolen from a graph neighbour keep their
+//!   produced/consumed edge data on a core that already touches it
+//!   (stolen successors stay cache-warm). The table is a per-shard
+//!   bitmask filled once at runtime start from the task graph; shards
+//!   past index 63 simply carry no hint.
+//!
+//! The full ranking key is `(load, adjacent-to-me, donations, lowest
+//! index)` — every component is a pure function of published state, so
+//! selection is deterministic for deterministic inputs; the simulator's
+//! protocol loop relies on exactly that to keep batch-steal runs
+//! bit-reproducible.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Cache-line padding so two shards' load counters never share a line
 /// (the publish side writes on every engine interaction).
 #[repr(align(64))]
 struct PaddedLoad(AtomicUsize);
 
-/// One advisory ready-count slot per shard; see the module docs.
+/// Cache-line-padded per-shard counter (donation history) or bitmask
+/// (adjacency hints); same sharing argument as [`PaddedLoad`].
+#[repr(align(64))]
+struct PaddedWord(AtomicU64);
+
+/// One advisory ready-count slot per shard, plus the donation-history
+/// and DAG-adjacency tie-breakers; see the module docs.
 pub struct LoadBoard {
     loads: Vec<PaddedLoad>,
+    /// Steals granted by each shard since the last decay (victim side of
+    /// the history: "who recently donated").
+    donations: Vec<PaddedWord>,
+    /// Bit `v` of `adjacency[t]` set ⇔ shards `t` and `v` share a
+    /// cross-shard DAG edge (symmetric; shards ≥ 64 carry no hint).
+    adjacency: Vec<PaddedWord>,
 }
 
 impl std::fmt::Debug for LoadBoard {
@@ -40,13 +83,16 @@ impl std::fmt::Debug for LoadBoard {
 }
 
 impl LoadBoard {
-    /// A board for `shards` shards, all starting at load 0.
+    /// A board for `shards` shards, all starting at load 0 with empty
+    /// donation history and no adjacency hints.
     #[must_use]
     pub fn new(shards: usize) -> Self {
         LoadBoard {
             loads: (0..shards)
                 .map(|_| PaddedLoad(AtomicUsize::new(0)))
                 .collect(),
+            donations: (0..shards).map(|_| PaddedWord(AtomicU64::new(0))).collect(),
+            adjacency: (0..shards).map(|_| PaddedWord(AtomicU64::new(0))).collect(),
         }
     }
 
@@ -74,12 +120,66 @@ impl LoadBoard {
         self.loads[i].0.load(Ordering::Acquire)
     }
 
-    /// The most loaded shard other than `me` with at least one ready
-    /// job, ties broken towards the lowest index — the victim an idle
-    /// thief should ask first. `None` when every peer looks empty.
+    /// Books a granted steal from `donor` (thief side, on receiving a
+    /// `Stolen`/`StolenBatch` grant): recent donors are preferred among
+    /// equally loaded victims. Saturates well below overflow.
+    pub fn record_donation(&self, donor: usize) {
+        let slot = &self.donations[donor].0;
+        // Saturating add without a CAS loop: the counter is advisory, a
+        // lost increment under contention is harmless.
+        let v = slot.load(Ordering::Relaxed);
+        if v < u64::MAX / 2 {
+            slot.store(v + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Shard `i`'s donation count since the last decay (advisory).
+    #[must_use]
+    pub fn donation_score(&self, i: usize) -> u64 {
+        self.donations[i].0.load(Ordering::Relaxed)
+    }
+
+    /// Halves every donation counter — called periodically by thief
+    /// loops so history stays *recent*: a shard that stops donating
+    /// loses its preference within a few decay periods.
+    pub fn decay_donations(&self) {
+        for d in &self.donations {
+            let v = d.0.load(Ordering::Relaxed);
+            if v > 0 {
+                d.0.store(v / 2, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Marks shards `a` and `b` as DAG-adjacent (symmetric) — they own
+    /// tasks connected by a cross-shard edge, so stealing between them
+    /// keeps edge data warm. Hints for shards past index 63 are dropped.
+    pub fn set_adjacent(&self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        if b < 64 {
+            self.adjacency[a].0.fetch_or(1 << b, Ordering::Relaxed);
+        }
+        if a < 64 {
+            self.adjacency[b].0.fetch_or(1 << a, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` when shards `a` and `b` were hinted adjacent.
+    #[must_use]
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        b < 64 && self.adjacency[a].0.load(Ordering::Relaxed) & (1 << b) != 0
+    }
+
+    /// The victim an idle thief should ask first: the most loaded shard
+    /// other than `me` with at least one ready job. Ties on load break
+    /// towards DAG-adjacent shards, then towards recent donors, then
+    /// towards the lowest index — a deterministic total order over the
+    /// published state. `None` when every peer looks empty.
     #[must_use]
     pub fn pick_victim(&self, me: usize) -> Option<usize> {
-        let mut best: Option<(usize, usize)> = None;
+        let mut best: Option<((usize, bool, u64), usize)> = None;
         for (i, slot) in self.loads.iter().enumerate() {
             if i == me {
                 continue;
@@ -88,11 +188,24 @@ impl LoadBoard {
             if l == 0 {
                 continue;
             }
-            if best.is_none_or(|(bl, _)| l > bl) {
-                best = Some((l, i));
+            let key = (l, self.adjacent(me, i), self.donation_score(i));
+            if best.is_none_or(|(bk, _)| key > bk) {
+                best = Some((key, i));
             }
         }
         best.map(|(_, i)| i)
+    }
+
+    /// The batch size a thief should request from `victim`: half the
+    /// published load gap (the thief takes what levels the pair without
+    /// overshooting into a reverse imbalance), at least 1, capped at
+    /// `max`. Advisory like every board read — the victim's engine
+    /// answers authoritatively with however many jobs are actually
+    /// stealable.
+    #[must_use]
+    pub fn steal_batch_size(&self, victim: usize, thief_ready: usize, max: usize) -> usize {
+        let gap = self.load(victim).saturating_sub(thief_ready);
+        (gap / 2).clamp(1, max.max(1))
     }
 }
 
@@ -127,6 +240,83 @@ mod tests {
     }
 
     #[test]
+    fn load_always_dominates_the_tie_breakers() {
+        // Locality and history must never override a genuine imbalance:
+        // a strictly higher load wins against any adjacency + donations.
+        let b = LoadBoard::new(3);
+        b.publish(1, 3);
+        b.publish(2, 4);
+        b.set_adjacent(0, 1);
+        for _ in 0..10 {
+            b.record_donation(1);
+        }
+        assert_eq!(b.pick_victim(0), Some(2), "higher load beats both hints");
+    }
+
+    #[test]
+    fn adjacency_breaks_load_ties() {
+        let b = LoadBoard::new(4);
+        b.publish(1, 5);
+        b.publish(2, 5);
+        b.publish(3, 5);
+        assert_eq!(b.pick_victim(0), Some(1), "no hints: lowest index");
+        b.set_adjacent(0, 2);
+        assert!(b.adjacent(0, 2) && b.adjacent(2, 0), "hints are symmetric");
+        assert!(!b.adjacent(0, 1));
+        assert_eq!(b.pick_victim(0), Some(2), "DAG neighbour wins the tie");
+        // Adjacency is per-thief: shard 3 has no neighbours, so its pick
+        // falls through to the donation/index tie-break.
+        assert_eq!(b.pick_victim(3), Some(1));
+    }
+
+    #[test]
+    fn donation_history_prefers_recent_donors_and_decays() {
+        let b = LoadBoard::new(3);
+        b.publish(1, 5);
+        b.publish(2, 5);
+        b.record_donation(2);
+        b.record_donation(2);
+        assert_eq!(b.donation_score(2), 2);
+        assert_eq!(b.pick_victim(0), Some(2), "recent donor wins the tie");
+        // Decay halves the history; once both scores reach zero the
+        // deterministic index tie-break takes over again.
+        b.decay_donations();
+        assert_eq!(b.donation_score(2), 1);
+        assert_eq!(b.pick_victim(0), Some(2));
+        b.decay_donations();
+        assert_eq!(b.donation_score(2), 0);
+        assert_eq!(b.pick_victim(0), Some(1), "decayed history stops mattering");
+    }
+
+    #[test]
+    fn adjacency_outranks_donations_on_a_load_tie() {
+        // Fixed preference order (adjacency, then donations, then index)
+        // — a deterministic total order, not a weighted blend.
+        let b = LoadBoard::new(3);
+        b.publish(1, 5);
+        b.publish(2, 5);
+        b.record_donation(1);
+        b.set_adjacent(0, 2);
+        assert_eq!(b.pick_victim(0), Some(2), "adjacency beats donations");
+    }
+
+    #[test]
+    fn steal_batch_size_tracks_half_the_load_gap() {
+        let b = LoadBoard::new(2);
+        b.publish(1, 12);
+        assert_eq!(b.steal_batch_size(1, 0, 8), 6, "half the gap");
+        assert_eq!(b.steal_batch_size(1, 8, 8), 2);
+        assert_eq!(b.steal_batch_size(1, 12, 8), 1, "never below 1");
+        b.publish(1, 100);
+        assert_eq!(b.steal_batch_size(1, 0, 8), 8, "capped at max");
+        assert_eq!(
+            b.steal_batch_size(1, 0, 0),
+            1,
+            "degenerate cap still asks for one"
+        );
+    }
+
+    #[test]
     fn concurrent_publishes_and_probes_stay_coherent() {
         use std::sync::Arc;
         let b = Arc::new(LoadBoard::new(3));
@@ -136,6 +326,10 @@ mod tests {
                 for i in 0..50_000usize {
                     b.publish(1, i % 8);
                     b.publish(2, (i * 3) % 8);
+                    b.record_donation(1);
+                    if i % 64 == 0 {
+                        b.decay_donations();
+                    }
                 }
                 b.publish(1, 5);
                 b.publish(2, 1);

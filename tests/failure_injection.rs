@@ -451,7 +451,7 @@ fn fault_schedule_parity_single_owner_vs_sharded() {
         ParSimOptions {
             producers: 2,
             lane_capacity: 16,
-            steal: false,
+            ..ParSimOptions::default()
         },
     )
     .unwrap();
@@ -529,7 +529,7 @@ fn fault_schedule_through_protocol_loop() {
         ParSimOptions {
             producers: 1,
             lane_capacity: 8,
-            steal: false,
+            ..ParSimOptions::default()
         },
     )
     .unwrap();

@@ -4,7 +4,7 @@
 //! warm-up phase (rank caches fill, scratch buffers and the action sink
 //! grow to their high-water marks) each scenario drives 10 000 further
 //! steady-state scheduler interactions and asserts the allocation
-//! counter did not move at all. Eleven scenarios cover the paths the
+//! counter did not move at all. Thirteen scenarios cover the paths the
 //! ROADMAP names:
 //!
 //! 1. **independent / global** — the EDF tick/complete loop of PR 2;
@@ -43,7 +43,17 @@
 //!     foreign shard every cycle: outbox fire, drain, route and
 //!     destination release all on pre-grown storage (PR 9);
 //! 11. **enforcement on** — `enforce_wcet` + `miss_trip` armed, one
-//!     forced overrun with a background demotion per cycle (PR 9).
+//!     forced overrun with a background demotion per cycle (PR 9);
+//! 12. **battery Energy refresh** — the battery probe's reading drifts
+//!     every cycle under `VersionPolicy::Energy`, so every dispatch
+//!     round re-ranks through a freshly invalidated rank cache keyed by
+//!     the new battery context (the last zero-alloc gap the ROADMAP
+//!     names);
+//! 13. **steady-state batch stealing** — every cycle the thief shard
+//!     runs the full PR 10 batched migration (ordered `try_steal_batch`
+//!     scan, `release_stolen_batch` detach into the fixed-size
+//!     [`JobBatch`], `adopt_stolen_batch` dispatch round) and retires
+//!     all k stolen jobs, while the victim refills.
 //!
 //! Runs without the libtest harness (`harness = false` in Cargo.toml)
 //! so no other thread can touch the allocator during the measured
@@ -60,7 +70,7 @@ use yasmin_core::priority::PriorityPolicy;
 use yasmin_core::task::TaskSpec;
 use yasmin_core::time::{Duration, Instant};
 use yasmin_core::version::VersionSpec;
-use yasmin_sched::{ActionSink, EngineShard, OnlineEngine, ShardCmd};
+use yasmin_sched::{ActionSink, EngineShard, JobBatch, OnlineEngine, ShardCmd, StealHint};
 use yasmin_sync::mailbox::{mailbox, MailboxReceiver, MailboxSender};
 use yasmin_taskgen::taskset::{build_independent, build_partitioned, IndependentSetParams};
 
@@ -961,6 +971,193 @@ fn enforcement_steady_state() {
     assert!(!engine.is_tripped(), "on-time completions never trip");
 }
 
+/// Scenario 12: version selection under `VersionPolicy::Energy` with a
+/// live battery probe whose reading drifts every cycle. Each dispatch
+/// round pays the probe, sees a context different from the cached one,
+/// invalidates the whole rank cache and re-ranks its task's versions
+/// under the new affordability cut-off — the worst case for the refresh
+/// path, which must run entirely on the pre-grown cache entries and the
+/// in-place rank scratch.
+fn battery_energy_refresh() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use yasmin_core::config::VersionPolicy;
+    use yasmin_core::energy::{BatteryLevel, Energy};
+    use yasmin_sched::Action;
+    const WORKERS: usize = 2;
+    let mut b = TaskSetBuilder::new();
+    for i in 0..32 {
+        let t = b
+            .task_decl(TaskSpec::periodic(
+                format!("t{i}"),
+                Duration::from_millis(10),
+            ))
+            .unwrap();
+        b.version_decl(
+            t,
+            VersionSpec::new("cheap", Duration::from_millis(2))
+                .with_energy(Energy::from_millijoules(5))
+                .with_energy_budget(Energy::from_millijoules(5)),
+        )
+        .unwrap();
+        b.version_decl(
+            t,
+            VersionSpec::new("hungry", Duration::from_millis(1))
+                .with_energy(Energy::from_millijoules(12))
+                .with_energy_budget(Energy::from_millijoules(12)),
+        )
+        .unwrap();
+    }
+    let ts = Arc::new(b.build().unwrap());
+    let level = Arc::new(AtomicU32::new(1000));
+    let probe = Arc::clone(&level);
+    let config = Config::builder()
+        .workers(WORKERS)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .version_policy(VersionPolicy::Energy)
+        .battery_source(move || BatteryLevel::from_permille(probe.load(Ordering::Relaxed) as u16))
+        .max_pending_jobs(8192)
+        .build()
+        .expect("valid config");
+    let mut engine = OnlineEngine::new(ts, config).expect("valid engine");
+    let mut sink = ActionSink::with_capacity(128);
+    let mut running: Vec<Option<JobId>> = vec![None; WORKERS];
+
+    engine
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh engine starts");
+    track(&mut running, sink.as_slice());
+    let tick = engine.tick_period();
+    let mut now = Instant::ZERO;
+    let (mut cheap, mut hungry) = (0u64, 0u64);
+    let mut count = |sink: &ActionSink| {
+        for a in sink.as_slice() {
+            if let Action::Dispatch { version, .. } = a {
+                match version.index() {
+                    0 => cheap += 1,
+                    _ => hungry += 1,
+                }
+            }
+        }
+    };
+
+    assert_zero_alloc("battery-energy-refresh", || {
+        // Saw the battery between full (hungry affordable) and nearly
+        // drained (only cheap affordable): the context differs on every
+        // probe, so no dispatch ever hits a warm cache entry.
+        let cur = level.load(Ordering::Relaxed);
+        level.store(if cur <= 100 { 1000 } else { cur - 60 }, Ordering::Relaxed);
+        let mid = now + tick.scale(1, 2);
+        for w in 0..WORKERS {
+            if let Some(job) = running[w].take() {
+                sink.clear();
+                engine
+                    .on_job_completed_into(WorkerId::new(w as u16), job, mid, &mut sink)
+                    .expect("completion protocol upheld");
+                track(&mut running, sink.as_slice());
+                count(&sink);
+            }
+        }
+        now += tick;
+        sink.clear();
+        engine.on_tick_into(now, &mut sink);
+        track(&mut running, sink.as_slice());
+        count(&sink);
+    });
+    assert!(
+        engine.stats().dispatched > u64::from(WARMUP),
+        "battery loop must dispatch (got {})",
+        engine.stats().dispatched
+    );
+    assert!(
+        cheap > 0 && hungry > 0,
+        "the drifting probe must flip the selection both ways \
+         (cheap {cheap}, hungry {hungry})"
+    );
+}
+
+/// Scenario 13: the batched work-stealing migration every cycle —
+/// ordered hint scan, k-job detach into the fixed [`JobBatch`], one
+/// adopt dispatch round on the thief, all k retirements and the
+/// victim's refill, all on pre-grown storage.
+fn steady_state_batch_stealing() {
+    const TASKS: usize = 32;
+    const K: usize = 4;
+    let mut b = TaskSetBuilder::new();
+    let mut tasks = Vec::new();
+    for i in 0..TASKS {
+        let t = b
+            .task_decl(TaskSpec::aperiodic(format!("a{i}")).on_worker(WorkerId::new(0)))
+            .unwrap();
+        b.version_decl(t, VersionSpec::new("v", Duration::from_millis(1)))
+            .unwrap();
+        tasks.push(t);
+    }
+    let ts = Arc::new(b.build().unwrap());
+    let config = Config::builder()
+        .workers(2)
+        .mapping(MappingScheme::Partitioned)
+        .sharded_dispatch(true)
+        .priority(PriorityPolicy::EarliestDeadlineFirst)
+        .preemption(false)
+        .tick(Duration::from_millis(1_000))
+        .max_pending_jobs(TASKS + 8)
+        .build()
+        .expect("valid config");
+    let mut shards = EngineShard::build_all(&ts, &config).expect("valid shards");
+    let mut thief = shards.pop().unwrap();
+    let mut victim = shards.pop().unwrap();
+    let mut sink = ActionSink::with_capacity(64);
+    victim
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh shard starts");
+    thief
+        .start_into(Instant::ZERO, &mut sink)
+        .expect("fresh shard starts");
+    for &t in &tasks {
+        victim.activate_into(t, Instant::ZERO, &mut sink).unwrap();
+    }
+    let w1 = WorkerId::new(1);
+    let mut now = Instant::ZERO;
+    let step = Duration::from_micros(1);
+    let mut hints: Vec<StealHint> = Vec::with_capacity(K);
+    let mut batch = JobBatch::new();
+
+    assert_zero_alloc("steady-state-batch-stealing", || {
+        now += step;
+        hints.clear();
+        let hinted = victim.try_steal_batch(K, &mut hints);
+        assert_eq!(hinted, K, "victim queue is loaded");
+        batch.clear();
+        let released = victim.release_stolen_batch(&hints, &mut batch);
+        assert_eq!(released, K, "hints are fresh");
+        sink.clear();
+        thief
+            .adopt_stolen_batch(batch.as_slice(), now, &mut sink)
+            .expect("thief is idle");
+        // The adopt round dispatched the most urgent stolen job; each
+        // retirement dispatches the next from the thief's local queue.
+        for _ in 0..K {
+            let job = thief.running().expect("an adopted job runs").job.id;
+            sink.clear();
+            thief
+                .on_job_completed_into(w1, job, now, &mut sink)
+                .expect("completion protocol upheld");
+        }
+        assert!(thief.running().is_none(), "all k stolen jobs retired");
+        for job in batch.as_slice() {
+            sink.clear();
+            victim.activate_into(job.task, now, &mut sink).unwrap();
+        }
+    });
+    assert!(
+        thief.stats().stolen_batch > u64::from(WARMUP),
+        "every cycle must run one batched exchange (got {})",
+        thief.stats().stolen_batch
+    );
+    assert_eq!(victim.stats().donated, thief.stats().stolen);
+    assert!(thief.stats().completed > u64::from(K as u32 * WARMUP));
+}
+
 fn main() {
     independent_global();
     dag_firing();
@@ -973,4 +1170,6 @@ fn main() {
     message_plane_steady_state();
     cross_shard_outbox();
     enforcement_steady_state();
+    battery_energy_refresh();
+    steady_state_batch_stealing();
 }
